@@ -1,0 +1,80 @@
+//! Criterion benches: scheduling-algorithm runtime scaling.
+//!
+//! Not a paper figure (the paper reports no runtimes), but standard for
+//! a release: one bench per algorithm at N ∈ {100, 300, 500} on the
+//! paper workload, plus the exact solver on a small instance.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fading_core::algo::{ApproxDiversity, ApproxLogN, Dls, GreedyRate, Ldp, Rle};
+use fading_core::{
+    algo::exact::{branch_and_bound, branch_and_bound_parallel},
+    Problem, Scheduler,
+};
+use fading_net::{RateModel, TopologyGenerator, UniformGenerator};
+use std::hint::black_box;
+
+fn algorithm_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("schedule");
+    for &n in &[100usize, 300, 500] {
+        let links = UniformGenerator::paper(n).generate(42);
+        let problem = Problem::paper(links, 3.0);
+        let algos: Vec<Box<dyn Scheduler>> = vec![
+            Box::new(Ldp::new()),
+            Box::new(Rle::new()),
+            Box::new(ApproxLogN),
+            Box::new(ApproxDiversity::new()),
+            Box::new(GreedyRate),
+            Box::new(Dls::new()),
+        ];
+        for algo in &algos {
+            group.bench_with_input(
+                BenchmarkId::new(algo.name(), n),
+                &problem,
+                |b, p| b.iter(|| black_box(algo.schedule(p))),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn interference_matrix(c: &mut Criterion) {
+    let mut group = c.benchmark_group("interference_matrix");
+    for &n in &[100usize, 500] {
+        let links = UniformGenerator::paper(n).generate(7);
+        let channel =
+            fading_channel::RayleighChannel::new(fading_channel::ChannelParams::paper_defaults());
+        group.bench_with_input(BenchmarkId::from_parameter(n), &links, |b, ls| {
+            b.iter(|| black_box(fading_core::InterferenceMatrix::build(ls, &channel)))
+        });
+    }
+    group.finish();
+}
+
+fn exact_solver(c: &mut Criterion) {
+    let gen = UniformGenerator {
+        side: 120.0,
+        n: 14,
+        len_lo: 5.0,
+        len_hi: 20.0,
+        rates: RateModel::Fixed(1.0),
+    };
+    let problem = Problem::paper(gen.generate(3), 3.0);
+    c.bench_function("exact_bnb_n14", |b| {
+        b.iter(|| black_box(branch_and_bound(&problem)))
+    });
+    // Larger instance where the parallel fork pays.
+    let gen22 = UniformGenerator { n: 22, ..gen };
+    let problem22 = Problem::paper(gen22.generate(3), 3.0);
+    let mut group = c.benchmark_group("exact_bnb_n22");
+    group.sample_size(10);
+    group.bench_function("sequential", |b| {
+        b.iter(|| black_box(branch_and_bound(&problem22)))
+    });
+    group.bench_function("parallel", |b| {
+        b.iter(|| black_box(branch_and_bound_parallel(&problem22)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, algorithm_scaling, interference_matrix, exact_solver);
+criterion_main!(benches);

@@ -1,0 +1,108 @@
+//! Criterion benches: substrate hot paths (slot simulation, Monte-Carlo
+//! batches, spatial hashing, feasibility checking).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fading_core::algo::Rle;
+use fading_core::{feasibility::FeasibilityReport, Problem, Scheduler};
+use fading_net::{TopologyGenerator, UniformGenerator};
+use fading_sim::{simulate_many, simulate_slot};
+use std::hint::black_box;
+
+fn slot_simulation(c: &mut Criterion) {
+    let links = UniformGenerator::paper(300).generate(1);
+    let problem = Problem::paper(links, 3.0);
+    let schedule = Rle::new().schedule(&problem);
+    c.bench_function("simulate_slot_rle300", |b| {
+        let mut rng = fading_math::seeded_rng(3);
+        b.iter(|| black_box(simulate_slot(&problem, &schedule, &mut rng)))
+    });
+}
+
+fn monte_carlo_batch(c: &mut Criterion) {
+    let links = UniformGenerator::paper(300).generate(2);
+    let problem = Problem::paper(links, 3.0);
+    let schedule = Rle::new().schedule(&problem);
+    let mut group = c.benchmark_group("monte_carlo");
+    group.sample_size(10);
+    for &trials in &[100u64, 1000] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(trials),
+            &trials,
+            |b, &t| b.iter(|| black_box(simulate_many(&problem, &schedule, t, 5))),
+        );
+    }
+    group.finish();
+}
+
+fn feasibility_check(c: &mut Criterion) {
+    let links = UniformGenerator::paper(500).generate(4);
+    let problem = Problem::paper(links, 3.0);
+    let schedule = fading_core::Schedule::from_ids(problem.links().ids());
+    c.bench_function("feasibility_report_all500", |b| {
+        b.iter(|| black_box(FeasibilityReport::evaluate(&problem, &schedule)))
+    });
+}
+
+fn spatial_hash(c: &mut Criterion) {
+    let links = UniformGenerator::paper(500).generate(5);
+    let senders = links.sender_positions();
+    c.bench_function("spatial_hash_build_query_500", |b| {
+        b.iter(|| {
+            let h = fading_geom::SpatialHash::build(&senders, 50.0);
+            let mut hits = 0usize;
+            for p in senders.iter().step_by(10) {
+                hits += h.query_radius(p, 60.0).len();
+            }
+            black_box(hits)
+        })
+    });
+}
+
+fn protocol_run(c: &mut Criterion) {
+    let links = UniformGenerator::paper(300).generate(6);
+    let problem = Problem::paper(links, 3.0);
+    c.bench_function("dls_protocol_300", |b| {
+        b.iter(|| black_box(fading_proto::DlsProtocol::new().run(&problem)))
+    });
+}
+
+fn capacity_quadrature(c: &mut Criterion) {
+    let params = fading_channel::ChannelParams::paper_defaults();
+    let interferers: Vec<f64> = (1..20).map(|i| 20.0 + 7.0 * i as f64).collect();
+    c.bench_function("ergodic_capacity_19_interferers", |b| {
+        b.iter(|| black_box(fading_channel::ergodic_capacity(&params, 6.0, &interferers)))
+    });
+}
+
+fn queueing_slots(c: &mut Criterion) {
+    let links = UniformGenerator::paper(100).generate(8);
+    let problem = Problem::paper(links, 3.0);
+    let mut group = c.benchmark_group("queueing");
+    group.sample_size(10);
+    group.bench_function("greedy_200_slots", |b| {
+        b.iter(|| {
+            black_box(fading_sim::simulate_queueing(
+                &problem,
+                &fading_core::algo::GreedyRate,
+                &fading_sim::QueueConfig {
+                    arrival_prob: 0.05,
+                    slots: 200,
+                    seed: 1,
+                },
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    slot_simulation,
+    monte_carlo_batch,
+    feasibility_check,
+    spatial_hash,
+    protocol_run,
+    capacity_quadrature,
+    queueing_slots
+);
+criterion_main!(benches);

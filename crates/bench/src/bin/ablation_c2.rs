@@ -1,0 +1,37 @@
+//! Ablation A2: RLE's budget split c₂.
+//!
+//! c₂ splits the γ_ε budget between already-picked senders (line 5 of
+//! Algorithm 2) and later-picked senders (through the deletion radius
+//! c₁, Eq. (59)). The paper leaves c₂ open; this sweep shows the
+//! throughput across the range.
+
+use fading_bench::Cli;
+use fading_core::algo::Rle;
+use fading_core::Scheduler;
+use fading_sim::sweep_n;
+
+fn main() {
+    let cli = Cli::parse();
+    let config = cli.config();
+    let variants: Vec<Rle> = [0.1, 0.3, 0.5, 0.7, 0.9]
+        .iter()
+        .map(|&c2| Rle::with_c2(c2))
+        .collect();
+    // All variants share the name "RLE"; disambiguate via x rows by
+    // running one sweep per variant and renaming.
+    let mut all_rows = Vec::new();
+    for v in &variants {
+        let schedulers: [&dyn Scheduler; 1] = [v];
+        let mut table = sweep_n(&config, &schedulers);
+        for row in &mut table.rows {
+            row.algorithm = format!("RLE(c2={})", v.c2);
+        }
+        all_rows.extend(table.rows);
+    }
+    let table = fading_sim::ResultTable::new(all_rows);
+    cli.emit(
+        "ablation_c2",
+        "Ablation A2 — RLE throughput vs budget split c₂",
+        &table,
+    );
+}

@@ -1,0 +1,47 @@
+//! Ablation A3: empirical approximation ratios on small instances.
+//!
+//! Compares LDP, RLE, DLS and GreedyRate against the exact
+//! branch-and-bound optimum on dense small instances, reporting the
+//! worst and mean utility ratio OPT/ALG. Theorems 4.2/4.4 bound these
+//! by O(g(L)) and a constant respectively; empirically the ratios are
+//! far smaller.
+
+use fading_core::algo::{exact::branch_and_bound, Anneal, Dls, GreedyRate, Ldp, Rle};
+use fading_core::{Problem, Scheduler};
+use fading_net::{RateModel, TopologyGenerator, UniformGenerator};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let instances = if quick { 5 } else { 30 };
+    let n = 16;
+    let algos: Vec<Box<dyn Scheduler>> = vec![
+        Box::new(Ldp::new()),
+        Box::new(Rle::new()),
+        Box::new(Dls::new()),
+        Box::new(GreedyRate),
+        Box::new(Anneal::new(0)),
+    ];
+    println!("# Ablation A3 — empirical approximation ratio (N = {n}, dense 120×120 field)");
+    println!();
+    println!("{:<14} {:>10} {:>10} {:>10}", "algorithm", "mean", "worst", "best");
+    for algo in &algos {
+        let mut ratios = Vec::new();
+        for seed in 0..instances {
+            let gen = UniformGenerator {
+                side: 120.0,
+                n,
+                len_lo: 5.0,
+                len_hi: 20.0,
+                rates: RateModel::Fixed(1.0),
+            };
+            let p = Problem::paper(gen.generate(seed), 3.0);
+            let opt = branch_and_bound(&p).utility(&p);
+            let got = algo.schedule(&p).utility(&p).max(f64::MIN_POSITIVE);
+            ratios.push(opt / got);
+        }
+        let mean = ratios.iter().sum::<f64>() / ratios.len() as f64;
+        let worst = ratios.iter().copied().fold(0.0, f64::max);
+        let best = ratios.iter().copied().fold(f64::INFINITY, f64::min);
+        println!("{:<14} {:>10.3} {:>10.3} {:>10.3}", algo.name(), mean, worst, best);
+    }
+}

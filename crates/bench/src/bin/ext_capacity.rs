@@ -1,0 +1,71 @@
+//! Extension E7: fixed-rate vs Shannon (rate-adaptive) throughput.
+//!
+//! The paper's objective counts a fixed rate λ per successful link.
+//! With rate adaptation, a link instead delivers log₂(1+SINR) per
+//! realization; Theorem 3.1's generalized CCDF makes the *ergodic*
+//! Shannon throughput of any schedule computable in closed form
+//! (quadrature). The comparison flips part of the story: the
+//! conservative schedules win per link, the aggressive baselines win in
+//! aggregate Shannon rate because many medium-SINR links beat few
+//! high-SINR ones.
+
+use fading_channel::ergodic_capacity;
+use fading_core::algo::{ApproxDiversity, ApproxLogN, GreedyRate, Ldp, Rle};
+use fading_core::{Problem, Scheduler};
+use fading_net::{TopologyGenerator, UniformGenerator};
+use fading_sim::simulate_many;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (instances, trials): (u64, u64) = if quick { (2, 200) } else { (5, 1500) };
+    let algos: Vec<Box<dyn Scheduler>> = vec![
+        Box::new(Ldp::new()),
+        Box::new(Rle::new()),
+        Box::new(GreedyRate),
+        Box::new(ApproxLogN),
+        Box::new(ApproxDiversity::new()),
+    ];
+    println!("# Extension E7 — fixed-rate vs ergodic Shannon throughput (paper workload, N=300)");
+    println!();
+    println!(
+        "{:<16} {:>6} {:>14} {:>16} {:>14}",
+        "algorithm", "|S|", "fixed tput", "Shannon (bit/sHz)", "Shannon/link"
+    );
+    for algo in &algos {
+        let mut scheduled = 0.0;
+        let mut fixed = 0.0;
+        let mut shannon = 0.0;
+        for seed in 0..instances {
+            let p = Problem::paper(UniformGenerator::paper(300).generate(seed), 3.0);
+            let s = algo.schedule(&p);
+            scheduled += s.len() as f64;
+            fixed += simulate_many(&p, &s, trials, seed).throughput.mean;
+            // Analytic ergodic Shannon throughput of the schedule.
+            for j in s.iter() {
+                let d_jj = p.links().length(j);
+                let ds: Vec<f64> = s
+                    .iter()
+                    .filter(|&i| i != j)
+                    .map(|i| p.links().sender_receiver_distance(i, j))
+                    .collect();
+                if ds.is_empty() {
+                    continue; // infinite capacity; exclude from totals
+                }
+                shannon += ergodic_capacity(p.params(), d_jj, &ds);
+            }
+        }
+        let k = instances as f64;
+        println!(
+            "{:<16} {:>6.1} {:>14.2} {:>16.2} {:>14.2}",
+            algo.name(),
+            scheduled / k,
+            fixed / k,
+            shannon / k,
+            shannon / scheduled.max(1.0)
+        );
+    }
+    println!();
+    println!("Fixed-rate: reliability rules, the fading-aware algorithms deliver what they");
+    println!("schedule. Shannon: aggregate favors dense schedules, but the per-link rate");
+    println!("column shows what each selected link actually gets.");
+}

@@ -1,0 +1,59 @@
+//! Extension E11: graph-based interference models vs the SINR reality.
+//!
+//! The paper's introduction argues graph models fail because they
+//! ignore *accumulated* interference. This experiment schedules with
+//! two pairwise (graph) rules and with the fading-aware algorithms,
+//! then simulates all of them under Rayleigh fading: the graph
+//! schedules look bigger on paper and shed the difference to failures.
+
+use fading_core::algo::{GraphModel, Ldp, Rle};
+use fading_core::{FeasibilityReport, Problem, Scheduler};
+use fading_net::{TopologyGenerator, UniformGenerator};
+use fading_sim::simulate_many;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (instances, trials): (u64, u64) = if quick { (2, 300) } else { (8, 2000) };
+    let algos: Vec<Box<dyn Scheduler>> = vec![
+        Box::new(GraphModel::pairwise_budget()),
+        Box::new(GraphModel::protocol(2.0)),
+        Box::new(GraphModel::protocol(4.0)),
+        Box::new(Rle::new()),
+        Box::new(Ldp::new()),
+    ];
+    println!("# Extension E11 — graph (pairwise) models vs accumulated-interference reality");
+    println!("# paper workload, N = 300, α = 3; 'unreliable' = links missing the 1−ε target");
+    println!();
+    println!(
+        "{:<24} {:>7} {:>12} {:>14} {:>14}",
+        "algorithm", "|S|", "unreliable", "E[fail]/slot", "delivered"
+    );
+    for algo in &algos {
+        let mut scheduled = 0.0;
+        let mut unreliable = 0.0;
+        let mut failed = 0.0;
+        let mut delivered = 0.0;
+        for seed in 0..instances {
+            let p = Problem::paper(UniformGenerator::paper(300).generate(seed), 3.0);
+            let s = algo.schedule(&p);
+            scheduled += s.len() as f64;
+            unreliable += FeasibilityReport::evaluate(&p, &s).violations().len() as f64;
+            let stats = simulate_many(&p, &s, trials, seed);
+            failed += stats.failed.mean;
+            delivered += stats.throughput.mean;
+        }
+        let k = instances as f64;
+        println!(
+            "{:<24} {:>7.1} {:>12.1} {:>14.3} {:>14.2}",
+            algo.name(),
+            scheduled / k,
+            unreliable / k,
+            failed / k,
+            delivered / k
+        );
+    }
+    println!();
+    println!("Pairwise compatibility admits large schedules whose *sums* of individually");
+    println!("negligible factors cross γ_ε — the accumulation effect the paper's intro");
+    println!("cites as the reason graph models are unsound under SINR.");
+}

@@ -1,0 +1,44 @@
+//! Extension E4: ambient noise sensitivity.
+//!
+//! The paper drops N₀ from the SINR (Eq. (8)) and Corollary 3.1 relies
+//! on that. This experiment re-enables the noise floor in the simulator
+//! only — schedules are still computed with the noiseless rule — and
+//! measures when the approximation stops being safe. Noise is expressed
+//! as a fraction of the weakest scheduled link's mean received power.
+
+use fading_channel::ChannelParams;
+use fading_core::algo::{Ldp, Rle};
+use fading_core::{Problem, Scheduler};
+use fading_net::{TopologyGenerator, UniformGenerator};
+use fading_sim::simulate_many;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let trials: u64 = if quick { 300 } else { 3000 };
+    let fractions = [0.0, 0.01, 0.05, 0.1, 0.2];
+    let links = UniformGenerator::paper(300).generate(4);
+    // Weakest possible desired signal: longest link (20 units).
+    let weakest = ChannelParams::paper_defaults().mean_gain(20.0);
+    let algos: Vec<Box<dyn Scheduler>> = vec![Box::new(Ldp::new()), Box::new(Rle::new())];
+    println!("# Extension E4 — failures/slot with a noise floor the design ignored");
+    println!("# (noise as a fraction of the weakest link's mean signal power)");
+    println!();
+    print!("{:<12} {:>5}", "algorithm", "|S|");
+    for f in fractions {
+        print!(" {:>10}", format!("N0={f}·S"));
+    }
+    println!();
+    for algo in &algos {
+        // Schedule once with the noiseless design rule.
+        let design = Problem::paper(links.clone(), 3.0);
+        let s = algo.schedule(&design);
+        print!("{:<12} {:>5}", algo.name(), s.len());
+        for &f in &fractions {
+            let params = ChannelParams::new(3.0, 1.0, 1.0, f * weakest);
+            let noisy = Problem::new(links.clone(), params, 0.01);
+            let stats = simulate_many(&noisy, &s, trials, 31);
+            print!(" {:>10.3}", stats.failed.mean);
+        }
+        println!();
+    }
+}

@@ -1,0 +1,64 @@
+//! Extension E10: oblivious power assignments.
+//!
+//! The paper fixes uniform power. Because Theorem 3.1 generalizes to
+//! per-link powers, the same fading-aware machinery can schedule under
+//! the classic oblivious assignments P ∝ d^{τα}. This experiment
+//! measures how many links a feasibility-aware greedy schedules (all
+//! provably 1−ε reliable) under τ ∈ {0, 1/2, 1}, across length spreads.
+
+use fading_channel::ChannelParams;
+use fading_core::algo::{GreedyRate, PowerAssignment};
+use fading_core::{Problem, Scheduler};
+use fading_net::{RateModel, TopologyGenerator, UniformGenerator};
+use fading_sim::simulate_many;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (instances, trials): (u64, u64) = if quick { (2, 200) } else { (8, 1000) };
+    let assignments = [
+        PowerAssignment::Uniform,
+        PowerAssignment::SquareRoot,
+        PowerAssignment::Linear,
+    ];
+    println!("# Extension E10 — links scheduled (all ≥ 1−ε reliable) under oblivious power control");
+    println!("# GreedyRate on 500×500 with increasing link-length spread; total power normalized.");
+    println!();
+    println!(
+        "{:>14} {:>12} {:>12} {:>12}",
+        "lengths", "uniform", "square-root", "linear"
+    );
+    for &(lo, hi) in &[(5.0, 20.0), (5.0, 40.0), (5.0, 80.0)] {
+        print!("{:>14}", format!("U[{lo},{hi}]"));
+        for a in assignments {
+            let mut scheduled = 0.0;
+            let mut failed = 0.0;
+            for seed in 0..instances {
+                let gen = UniformGenerator {
+                    side: 500.0,
+                    n: 300,
+                    len_lo: lo,
+                    len_hi: hi,
+                    rates: RateModel::Fixed(1.0),
+                };
+                let links = gen.generate(seed);
+                let scales = a.scales(&links, 3.0);
+                let p = Problem::with_power_scales(
+                    links,
+                    ChannelParams::paper_defaults(),
+                    0.01,
+                    scales,
+                );
+                let s = GreedyRate.schedule(&p);
+                scheduled += s.len() as f64;
+                failed += simulate_many(&p, &s, trials, seed).failed.mean;
+            }
+            let k = instances as f64;
+            print!(" {:>12}", format!("{:.1}({:.2})", scheduled / k, failed / k));
+        }
+        println!();
+    }
+    println!();
+    println!("Cells: links/slot (empirical failures/slot). Wider length spreads favor");
+    println!("length-aware assignments: boosting long links buys more concurrent links");
+    println!("than it costs in interference.");
+}

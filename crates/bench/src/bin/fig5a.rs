@@ -1,0 +1,23 @@
+//! Fig. 5(a): number of failed transmissions vs number of links.
+//!
+//! Four algorithms (LDP, RLE, ApproxLogN, ApproxDiversity) on the
+//! paper workload, α = 3. Expected shape: LDP/RLE ≈ 0 failures; the
+//! deterministic baselines fail increasingly with N.
+
+use fading_bench::Cli;
+use fading_core::algo::{ApproxDiversity, ApproxLogN, Ldp, Rle};
+use fading_core::Scheduler;
+use fading_sim::sweep_n;
+
+fn main() {
+    let cli = Cli::parse();
+    let config = cli.config();
+    let schedulers: [&dyn Scheduler; 4] =
+        [&Ldp::new(), &Rle::new(), &ApproxLogN, &ApproxDiversity::new()];
+    let table = sweep_n(&config, &schedulers);
+    cli.emit(
+        "fig5a",
+        "Fig. 5(a) — failed transmissions vs number of links (α = 3)",
+        &table,
+    );
+}

@@ -1,0 +1,23 @@
+//! Fig. 5(b): number of failed transmissions vs path-loss exponent α.
+//!
+//! N fixed at the default; expected shape: baselines' failures decrease
+//! as α grows (remote interference attenuates faster, Eq. (17)), while
+//! LDP/RLE stay ≈ 0 throughout.
+
+use fading_bench::Cli;
+use fading_core::algo::{ApproxDiversity, ApproxLogN, Ldp, Rle};
+use fading_core::Scheduler;
+use fading_sim::sweep_alpha;
+
+fn main() {
+    let cli = Cli::parse();
+    let config = cli.config();
+    let schedulers: [&dyn Scheduler; 4] =
+        [&Ldp::new(), &Rle::new(), &ApproxLogN, &ApproxDiversity::new()];
+    let table = sweep_alpha(&config, &schedulers);
+    cli.emit(
+        "fig5b",
+        "Fig. 5(b) — failed transmissions vs path-loss exponent (N = default)",
+        &table,
+    );
+}

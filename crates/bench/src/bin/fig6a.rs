@@ -1,0 +1,21 @@
+//! Fig. 6(a): throughput vs number of links (LDP vs RLE, plus the DLS
+//! reconstruction the paper's text references).
+//!
+//! Expected shape: RLE > LDP at every N; throughput grows with N.
+
+use fading_bench::Cli;
+use fading_core::algo::{Dls, Ldp, Rle};
+use fading_core::Scheduler;
+use fading_sim::sweep_n;
+
+fn main() {
+    let cli = Cli::parse();
+    let config = cli.config();
+    let schedulers: [&dyn Scheduler; 3] = [&Ldp::new(), &Rle::new(), &Dls::new()];
+    let table = sweep_n(&config, &schedulers);
+    cli.emit(
+        "fig6a",
+        "Fig. 6(a) — throughput vs number of links (α = 3)",
+        &table,
+    );
+}

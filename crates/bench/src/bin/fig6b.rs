@@ -1,0 +1,23 @@
+//! Fig. 6(b): throughput vs path-loss exponent α (LDP vs RLE, plus the
+//! DLS reconstruction).
+//!
+//! Expected shape: throughput increases with α for both algorithms
+//! (smaller grid squares for LDP, smaller deletion radius for RLE);
+//! RLE > LDP throughout.
+
+use fading_bench::Cli;
+use fading_core::algo::{Dls, Ldp, Rle};
+use fading_core::Scheduler;
+use fading_sim::sweep_alpha;
+
+fn main() {
+    let cli = Cli::parse();
+    let config = cli.config();
+    let schedulers: [&dyn Scheduler; 3] = [&Ldp::new(), &Rle::new(), &Dls::new()];
+    let table = sweep_alpha(&config, &schedulers);
+    cli.emit(
+        "fig6b",
+        "Fig. 6(b) — throughput vs path-loss exponent (N = default)",
+        &table,
+    );
+}

@@ -1,0 +1,48 @@
+//! Extension experiment: multi-slot scheduling (the paper's future
+//! work) — how many slots each one-shot algorithm needs to drain every
+//! link, on the paper workload.
+
+use fading_core::algo::{Dls, GreedyRate, Ldp, Rle};
+use fading_core::{multislot::{conflict_clique_lower_bound, schedule_all}, Problem, Scheduler};
+use fading_net::{TopologyGenerator, UniformGenerator};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (ns, instances): (&[usize], u64) = if quick {
+        (&[100], 2)
+    } else {
+        (&[100, 200, 300], 5)
+    };
+    let algos: Vec<Box<dyn Scheduler>> = vec![
+        Box::new(Ldp::new()),
+        Box::new(Rle::new()),
+        Box::new(Dls::new()),
+        Box::new(GreedyRate),
+    ];
+    println!("# Extension — slots needed to schedule every link (mean over instances)");
+    println!("# 'clique LB' = greedy pairwise-conflict clique: no plan can use fewer slots.");
+    println!();
+    println!("{:<12} {:>6} {:>12} {:>11}", "algorithm", "N", "slots(mean)", "clique LB");
+    for &n in ns {
+        let mut bound_total = 0usize;
+        for seed in 0..instances {
+            let p = Problem::paper(UniformGenerator::paper(n).generate(seed), 3.0);
+            bound_total += conflict_clique_lower_bound(&p);
+        }
+        let bound_mean = bound_total as f64 / instances as f64;
+        for algo in &algos {
+            let mut total = 0usize;
+            for seed in 0..instances {
+                let p = Problem::paper(UniformGenerator::paper(n).generate(seed), 3.0);
+                total += schedule_all(&p, algo.as_ref()).num_slots();
+            }
+            println!(
+                "{:<12} {:>6} {:>12.1} {:>11.1}",
+                algo.name(),
+                n,
+                total as f64 / instances as f64,
+                bound_mean
+            );
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Shared plumbing for the figure-regeneration binaries.
+//!
+//! Every binary accepts `--quick` (small grids, for smoke-testing the
+//! pipeline) and `--csv`/`--json` (also emit machine-readable output
+//! next to the text table, under `results/`).
+
+use fading_sim::{ExperimentConfig, ResultTable};
+use std::path::PathBuf;
+
+/// Parsed command-line options shared by all figure binaries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cli {
+    /// Use the reduced grid for a fast smoke run.
+    pub quick: bool,
+    /// Also write `results/<name>.csv`.
+    pub csv: bool,
+    /// Also write `results/<name>.json`.
+    pub json: bool,
+}
+
+impl Cli {
+    /// Parses `std::env::args`, ignoring unknown flags with a warning.
+    pub fn parse() -> Self {
+        let mut cli = Self {
+            quick: false,
+            csv: false,
+            json: false,
+        };
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--quick" => cli.quick = true,
+                "--csv" => cli.csv = true,
+                "--json" => cli.json = true,
+                other => eprintln!("warning: ignoring unknown flag {other}"),
+            }
+        }
+        cli
+    }
+
+    /// The experiment configuration this invocation asked for.
+    pub fn config(&self) -> ExperimentConfig {
+        if self.quick {
+            ExperimentConfig::quick()
+        } else {
+            ExperimentConfig::paper()
+        }
+    }
+
+    /// Prints the table and writes the requested machine-readable
+    /// copies under `results/`.
+    pub fn emit(&self, name: &str, title: &str, table: &ResultTable) {
+        println!("# {title}");
+        println!();
+        print!("{}", table.render_text());
+        let dir = PathBuf::from("results");
+        if self.csv || self.json {
+            if let Err(e) = std::fs::create_dir_all(&dir) {
+                eprintln!("warning: cannot create {}: {e}", dir.display());
+                return;
+            }
+        }
+        if self.csv {
+            let path = dir.join(format!("{name}.csv"));
+            if let Err(e) = std::fs::write(&path, table.render_csv()) {
+                eprintln!("warning: cannot write {}: {e}", path.display());
+            } else {
+                eprintln!("wrote {}", path.display());
+            }
+        }
+        if self.json {
+            let path = dir.join(format!("{name}.json"));
+            if let Err(e) = std::fs::write(&path, table.to_json()) {
+                eprintln!("warning: cannot write {}: {e}", path.display());
+            } else {
+                eprintln!("wrote {}", path.display());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_flag_selects_quick_config() {
+        let cli = Cli {
+            quick: true,
+            csv: false,
+            json: false,
+        };
+        assert_eq!(cli.config(), ExperimentConfig::quick());
+        let full = Cli {
+            quick: false,
+            csv: false,
+            json: false,
+        };
+        assert_eq!(full.config(), ExperimentConfig::paper());
+    }
+}

@@ -1,0 +1,151 @@
+//! Ergodic Shannon capacity under Rayleigh fading.
+//!
+//! Theorem 3.1's derivation gives more than a threshold test: for *any*
+//! `x ≥ 0` (zero noise),
+//!
+//! `Pr(X_j ≥ x) = Π_i 1/(1 + x (d_jj/d_ij)^α)`,
+//!
+//! i.e. the full complementary CDF of the SINR. The ergodic (mean)
+//! Shannon rate of a link then follows by the layer-cake formula
+//!
+//! `E[log₂(1+X)] = (1/ln 2) ∫₀^∞ Pr(X ≥ x)/(1+x) dx`,
+//!
+//! evaluated with adaptive quadrature. This powers the E-series
+//! experiment comparing the paper's fixed-rate objective against a
+//! rate-adaptive (Shannon) view of the same schedules.
+
+use crate::params::ChannelParams;
+use fading_math::integrate_to_infinity;
+
+/// Complementary CDF of the SINR of a link with length `d_jj` under
+/// concurrent interferers at distances `interferer_distances`
+/// (Theorem 3.1 generalized from `γ_th` to arbitrary `x`).
+///
+/// # Panics
+/// Panics if `x < 0` or any distance is non-positive.
+pub fn sinr_ccdf(params: &ChannelParams, d_jj: f64, interferer_distances: &[f64], x: f64) -> f64 {
+    assert!(x >= 0.0, "SINR threshold must be non-negative, got {x}");
+    assert!(d_jj > 0.0, "link length must be positive");
+    interferer_distances
+        .iter()
+        .map(|&d_ij| {
+            assert!(d_ij > 0.0, "interferer distance must be positive");
+            1.0 / (1.0 + x * (d_jj / d_ij).powf(params.alpha))
+        })
+        .product()
+}
+
+/// Ergodic Shannon rate `E[log₂(1 + X_j)]` in bits/s/Hz.
+///
+/// Returns `+∞` when there are no interferers (zero noise ⇒ infinite
+/// SINR almost surely).
+pub fn ergodic_capacity(params: &ChannelParams, d_jj: f64, interferer_distances: &[f64]) -> f64 {
+    if interferer_distances.is_empty() {
+        return f64::INFINITY;
+    }
+    let integrand =
+        |x: f64| sinr_ccdf(params, d_jj, interferer_distances, x) / (1.0 + x);
+    integrate_to_infinity(&integrand, 0.0, 1e-9) / std::f64::consts::LN_2
+}
+
+/// Outage probability at threshold `x`: `Pr(X_j < x) = 1 − CCDF(x)`.
+pub fn outage_probability(
+    params: &ChannelParams,
+    d_jj: f64,
+    interferer_distances: &[f64],
+    x: f64,
+) -> f64 {
+    1.0 - sinr_ccdf(params, d_jj, interferer_distances, x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rayleigh::RayleighChannel;
+    use fading_math::{seeded_rng, OnlineStats};
+
+    fn params() -> ChannelParams {
+        ChannelParams::paper_defaults()
+    }
+
+    #[test]
+    fn ccdf_at_gamma_th_matches_theorem_3_1() {
+        let p = params();
+        let ray = RayleighChannel::new(p);
+        let d_jj = 7.0;
+        let ds = [20.0, 33.0, 51.0];
+        let via_ccdf = sinr_ccdf(&p, d_jj, &ds, p.gamma_th);
+        let via_thm = ray.success_probability(d_jj, ds.iter().copied());
+        assert!((via_ccdf - via_thm).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ccdf_properties() {
+        let p = params();
+        let ds = [15.0, 40.0];
+        assert_eq!(sinr_ccdf(&p, 5.0, &ds, 0.0), 1.0);
+        let mut prev = 1.0;
+        for i in 1..40 {
+            let x = i as f64;
+            let c = sinr_ccdf(&p, 5.0, &ds, x);
+            assert!(c <= prev && (0.0..=1.0).contains(&c));
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn capacity_matches_monte_carlo() {
+        let p = params();
+        let ray = RayleighChannel::new(p);
+        let d_jj = 6.0;
+        let ds = [18.0, 25.0, 60.0];
+        let analytic = ergodic_capacity(&p, d_jj, &ds);
+        let mut rng = seeded_rng(8);
+        let mut stats = OnlineStats::new();
+        for _ in 0..200_000 {
+            let signal = ray.sample_gain(&mut rng, d_jj);
+            let interference: f64 = ds.iter().map(|&d| ray.sample_gain(&mut rng, d)).sum();
+            stats.push((1.0 + signal / interference).log2());
+        }
+        let rel = (stats.mean() - analytic).abs() / analytic;
+        assert!(
+            rel < 0.02,
+            "Monte-Carlo {} vs quadrature {analytic} (rel {rel})",
+            stats.mean()
+        );
+    }
+
+    #[test]
+    fn capacity_increases_as_interferers_recede() {
+        let p = params();
+        let near = ergodic_capacity(&p, 5.0, &[15.0, 20.0]);
+        let far = ergodic_capacity(&p, 5.0, &[150.0, 200.0]);
+        assert!(far > near, "{far} vs {near}");
+    }
+
+    #[test]
+    fn no_interference_is_infinite() {
+        assert_eq!(ergodic_capacity(&params(), 5.0, &[]), f64::INFINITY);
+    }
+
+    #[test]
+    fn outage_complements_ccdf() {
+        let p = params();
+        let ds = [22.0, 31.0];
+        for x in [0.1, 1.0, 5.0] {
+            let sum = outage_probability(&p, 6.0, &ds, x) + sinr_ccdf(&p, 6.0, &ds, x);
+            assert!((sum - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn capacity_grows_with_alpha_when_interferers_are_far() {
+        // Far interferers attenuate faster than the (short) desired link
+        // suffers, so higher α helps.
+        let d_jj = 5.0;
+        let ds = [60.0, 80.0];
+        let lo = ergodic_capacity(&ChannelParams::with_alpha(2.5), d_jj, &ds);
+        let hi = ergodic_capacity(&ChannelParams::with_alpha(4.5), d_jj, &ds);
+        assert!(hi > lo, "{hi} vs {lo}");
+    }
+}

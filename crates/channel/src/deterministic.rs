@@ -1,0 +1,189 @@
+//! The classical deterministic SINR (physical interference) model.
+//!
+//! This is the model assumed by the ApproxLogN and ApproxDiversity
+//! baselines: the signal transmitted at power `P` is received at
+//! distance `d` with *exactly* strength `P·d^{−α}`. A transmission
+//! succeeds iff `P·d_jj^{−α} / (N₀ + Σ_i P·d_ij^{−α}) ≥ γ_th`.
+//!
+//! The paper's point is precisely that schedules deemed feasible under
+//! this model can fail under Rayleigh fading; the simulator pairs
+//! deterministically-feasible schedules with fading realizations to
+//! count those failures (Fig. 5).
+
+use crate::params::ChannelParams;
+use fading_math::KahanSum;
+use serde::{Deserialize, Serialize};
+
+/// The deterministic SINR channel.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct DeterministicSinr {
+    /// Physical constants.
+    pub params: ChannelParams,
+}
+
+impl DeterministicSinr {
+    /// Creates the model over the given parameters.
+    pub fn new(params: ChannelParams) -> Self {
+        Self { params }
+    }
+
+    /// Deterministic received power at distance `d`: `P·d^{−α}`.
+    #[inline]
+    pub fn gain(&self, d: f64) -> f64 {
+        self.params.mean_gain(d)
+    }
+
+    /// Deterministic SINR of a link of length `d_jj` under interferers
+    /// at distances `d_ij`. Returns `+∞` when there is neither noise nor
+    /// interference.
+    pub fn sinr<I>(&self, d_jj: f64, interferer_distances: I) -> f64
+    where
+        I: IntoIterator<Item = f64>,
+    {
+        let interference = KahanSum::sum_iter(
+            interferer_distances.into_iter().map(|d| self.gain(d)),
+        );
+        let denom = self.params.noise + interference;
+        if denom == 0.0 {
+            f64::INFINITY
+        } else {
+            self.gain(d_jj) / denom
+        }
+    }
+
+    /// Whether the link meets the decoding threshold in this model.
+    pub fn is_feasible<I>(&self, d_jj: f64, interferer_distances: I) -> bool
+    where
+        I: IntoIterator<Item = f64>,
+    {
+        self.sinr(d_jj, interferer_distances) >= self.params.gamma_th
+    }
+
+    /// The *relative interference* of a sender at distance `d_ij` on a
+    /// receiver with link length `d_jj`, normalized so that a link is
+    /// feasible (with zero noise) iff the relative interferences sum to
+    /// at most 1:
+    /// `ri_{i,j} = γ_th · (d_jj / d_ij)^α`.
+    ///
+    /// This is the deterministic analogue of the paper's interference
+    /// factor (it is exactly `e^{f_{i,j}} − 1`), and is the quantity the
+    /// ApproxDiversity baseline budgets.
+    #[inline]
+    pub fn relative_interference(&self, d_ij: f64, d_jj: f64) -> f64 {
+        assert!(
+            d_ij > 0.0 && d_jj > 0.0,
+            "relative interference needs positive distances"
+        );
+        self.params.gamma_th * (d_jj / d_ij).powf(self.params.alpha)
+    }
+
+    /// Feasibility via the relative-interference budget (zero-noise
+    /// equivalent of [`Self::is_feasible`]): `Σ ri_{i,j} ≤ 1`.
+    pub fn within_budget<I>(&self, d_jj: f64, interferer_distances: I, budget: f64) -> bool
+    where
+        I: IntoIterator<Item = f64>,
+    {
+        KahanSum::sum_iter(
+            interferer_distances
+                .into_iter()
+                .map(|d| self.relative_interference(d, d_jj)),
+        ) <= budget
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn chan() -> DeterministicSinr {
+        DeterministicSinr::new(ChannelParams::paper_defaults())
+    }
+
+    #[test]
+    fn sinr_matches_hand_computation() {
+        let c = chan(); // α=3, P=1, N₀=0
+        // d_jj=2 → S = 1/8; interferers at 4 and 8 → I = 1/64 + 1/512.
+        let sinr = c.sinr(2.0, [4.0, 8.0]);
+        let expect = (1.0 / 8.0) / (1.0 / 64.0 + 1.0 / 512.0);
+        assert!((sinr - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_interference_no_noise_is_infinite() {
+        assert_eq!(chan().sinr(5.0, std::iter::empty()), f64::INFINITY);
+        assert!(chan().is_feasible(5.0, std::iter::empty()));
+    }
+
+    #[test]
+    fn noise_bounds_sinr() {
+        let c = DeterministicSinr::new(ChannelParams::new(3.0, 1.0, 1.0, 0.5));
+        let sinr = c.sinr(1.0, std::iter::empty());
+        assert!((sinr - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn feasibility_threshold() {
+        let c = chan();
+        // Single interferer: feasible iff (d_jj/d_ij)^α ≤ 1/γ_th,
+        // i.e. d_ij ≥ d_jj with γ_th = 1.
+        assert!(c.is_feasible(5.0, [5.0]));
+        assert!(c.is_feasible(5.0, [5.1]));
+        assert!(!c.is_feasible(5.0, [4.9]));
+    }
+
+    #[test]
+    fn relative_interference_is_exp_of_factor_minus_one() {
+        let c = chan();
+        let ray = crate::rayleigh::RayleighChannel::new(c.params);
+        for (d_ij, d_jj) in [(10.0, 5.0), (7.0, 7.0), (100.0, 5.0)] {
+            let ri = c.relative_interference(d_ij, d_jj);
+            let f = ray.interference_factor(d_ij, d_jj);
+            assert!((ri - (f.exp() - 1.0)).abs() < 1e-12 * (1.0 + ri));
+        }
+    }
+
+    #[test]
+    fn budget_check_equals_sinr_check_when_noiseless() {
+        let c = chan();
+        let cases: [(f64, Vec<f64>); 3] = [
+            (5.0, vec![6.0, 30.0]),
+            (5.0, vec![4.0]),
+            (12.0, vec![40.0, 41.0, 42.0, 43.0]),
+        ];
+        for (d_jj, ds) in cases {
+            assert_eq!(
+                c.is_feasible(d_jj, ds.iter().copied()),
+                c.within_budget(d_jj, ds.iter().copied(), 1.0),
+                "d_jj={d_jj} ds={ds:?}"
+            );
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn sinr_decreases_with_more_interference(
+            d_jj in 0.1f64..50.0,
+            ds in proptest::collection::vec(0.1f64..1e3, 1..20),
+        ) {
+            let c = chan();
+            let fewer = c.sinr(d_jj, ds[1..].iter().copied());
+            let more = c.sinr(d_jj, ds.iter().copied());
+            prop_assert!(more <= fewer);
+        }
+
+        #[test]
+        fn budget_equivalence_holds_generally(
+            d_jj in 0.1f64..50.0,
+            ds in proptest::collection::vec(0.1f64..1e3, 0..20),
+            alpha in 2.1f64..5.0,
+            gamma in 0.1f64..4.0,
+        ) {
+            let c = DeterministicSinr::new(ChannelParams::new(alpha, gamma, 1.0, 0.0));
+            prop_assert_eq!(
+                c.is_feasible(d_jj, ds.iter().copied()),
+                c.within_budget(d_jj, ds.iter().copied(), 1.0)
+            );
+        }
+    }
+}

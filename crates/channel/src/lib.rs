@@ -1,0 +1,33 @@
+//! Wireless channel models for the fading-rls workspace.
+//!
+//! Two models live here:
+//!
+//! * [`rayleigh`] — the paper's model (Section II): the instantaneous
+//!   power received at distance `d` from a sender transmitting at power
+//!   `P` is exponential with mean `P·d^{−α}`. Theorem 3.1's closed-form
+//!   success probability and Corollary 3.1's linear *interference
+//!   factors* are implemented here.
+//! * [`deterministic`] — the classical (non-fading) SINR model used by
+//!   the ApproxLogN / ApproxDiversity baselines, in which the received
+//!   power is exactly `P·d^{−α}`.
+//!
+//! [`sinr`] computes realized SINRs from sampled gain matrices, and
+//! [`params`] holds the shared physical constants.
+
+pub mod capacity;
+pub mod correlated;
+pub mod deterministic;
+pub mod nakagami;
+pub mod params;
+pub mod rayleigh;
+pub mod shadowing;
+pub mod sinr;
+
+pub use capacity::{ergodic_capacity, outage_probability, sinr_ccdf};
+pub use correlated::{CorrelatedGain, CorrelatedRayleigh};
+pub use deterministic::DeterministicSinr;
+pub use nakagami::NakagamiChannel;
+pub use params::ChannelParams;
+pub use rayleigh::RayleighChannel;
+pub use shadowing::ShadowedRayleigh;
+pub use sinr::{sinr_of, SinrOutcome};

@@ -1,0 +1,83 @@
+//! Realized-SINR evaluation from sampled gains.
+//!
+//! The simulator draws one gain per (sender, receiver) pair and asks,
+//! per receiver, whether the realized `X_j = Z_jj / (N₀ + Σ_{i≠j} Z_ij)`
+//! clears the decoding threshold (Eq. (7)–(8)).
+
+use crate::params::ChannelParams;
+use fading_math::KahanSum;
+
+/// Result of evaluating one receiver in one channel realization.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SinrOutcome {
+    /// Realized SINR `X_j` (`+∞` when the denominator is zero).
+    pub sinr: f64,
+    /// Whether `X_j ≥ γ_th`.
+    pub success: bool,
+}
+
+/// Computes the realized SINR outcome for a receiver.
+///
+/// * `signal` — realized power from the desired sender, `Z_jj`;
+/// * `interference` — realized powers from each concurrent interferer.
+pub fn sinr_of<I>(params: &ChannelParams, signal: f64, interference: I) -> SinrOutcome
+where
+    I: IntoIterator<Item = f64>,
+{
+    debug_assert!(signal >= 0.0, "negative signal power");
+    let total = KahanSum::sum_iter(interference);
+    debug_assert!(total >= 0.0, "negative interference power");
+    let denom = params.noise + total;
+    let sinr = if denom == 0.0 {
+        f64::INFINITY
+    } else {
+        signal / denom
+    };
+    SinrOutcome {
+        sinr,
+        success: sinr >= params.gamma_th,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_denominator_is_infinite_success() {
+        let p = ChannelParams::paper_defaults();
+        let out = sinr_of(&p, 1e-12, std::iter::empty());
+        assert_eq!(out.sinr, f64::INFINITY);
+        assert!(out.success);
+    }
+
+    #[test]
+    fn threshold_is_inclusive() {
+        let p = ChannelParams::paper_defaults(); // γ_th = 1
+        assert!(sinr_of(&p, 2.0, [2.0]).success);
+        assert!(!sinr_of(&p, 2.0, [2.0 + 1e-9]).success);
+    }
+
+    #[test]
+    fn interference_accumulates() {
+        let p = ChannelParams::paper_defaults();
+        let out = sinr_of(&p, 3.0, [1.0, 1.0, 1.0]);
+        assert!((out.sinr - 1.0).abs() < 1e-12);
+        assert!(out.success);
+    }
+
+    #[test]
+    fn noise_participates_in_denominator() {
+        let p = ChannelParams::new(3.0, 1.0, 1.0, 2.0);
+        let out = sinr_of(&p, 3.0, [1.0]);
+        assert!((out.sinr - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_signal_fails_against_any_interference() {
+        let p = ChannelParams::paper_defaults();
+        let out = sinr_of(&p, 0.0, [1e-30]);
+        assert_eq!(out.sinr, 0.0);
+        assert!(!out.success);
+    }
+}

@@ -1,0 +1,117 @@
+//! Minimal `--key value` argument parsing.
+//!
+//! Deliberately hand-rolled: the CLI needs exactly flag/value pairs and
+//! positional subcommands, not a parser framework dependency.
+
+use std::collections::BTreeMap;
+
+/// Parsed command line: a subcommand plus `--key value` options.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Args {
+    /// The first positional argument.
+    pub command: String,
+    /// All `--key value` pairs (later occurrences win).
+    pub options: BTreeMap<String, String>,
+}
+
+/// Parses an argument vector (excluding the program name).
+///
+/// Grammar: `<command> (--key value)*`. A trailing `--key` without a
+/// value, or a stray positional, is an error.
+pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Args, String> {
+    let mut it = argv.into_iter();
+    let command = it.next().ok_or("missing subcommand")?;
+    if command.starts_with("--") {
+        return Err(format!("expected a subcommand, got flag {command}"));
+    }
+    let mut options = BTreeMap::new();
+    while let Some(tok) = it.next() {
+        let key = tok
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected --flag, got {tok}"))?;
+        let value = it
+            .next()
+            .ok_or_else(|| format!("flag --{key} is missing its value"))?;
+        options.insert(key.to_string(), value);
+    }
+    Ok(Args { command, options })
+}
+
+impl Args {
+    /// A required string option.
+    pub fn require(&self, key: &str) -> Result<&str, String> {
+        self.options
+            .get(key)
+            .map(String::as_str)
+            .ok_or_else(|| format!("missing required option --{key}"))
+    }
+
+    /// An optional string option.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// An optional typed option with a default.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("option --{key}: cannot parse {v:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_command_and_flags() {
+        let a = parse(argv("generate --n 100 --seed 7")).unwrap();
+        assert_eq!(a.command, "generate");
+        assert_eq!(a.require("n").unwrap(), "100");
+        assert_eq!(a.get_or::<u64>("seed", 0).unwrap(), 7);
+    }
+
+    #[test]
+    fn later_flags_override_earlier() {
+        let a = parse(argv("x --k 1 --k 2")).unwrap();
+        assert_eq!(a.get("k"), Some("2"));
+    }
+
+    #[test]
+    fn defaults_apply_when_absent() {
+        let a = parse(argv("x")).unwrap();
+        assert_eq!(a.get_or::<f64>("alpha", 3.0).unwrap(), 3.0);
+        assert!(a.get("missing").is_none());
+    }
+
+    #[test]
+    fn missing_subcommand_is_an_error() {
+        assert!(parse(Vec::<String>::new()).is_err());
+        assert!(parse(argv("--n 5")).is_err());
+    }
+
+    #[test]
+    fn dangling_flag_is_an_error() {
+        assert!(parse(argv("x --n")).is_err());
+    }
+
+    #[test]
+    fn unparsable_value_is_an_error() {
+        let a = parse(argv("x --n five")).unwrap();
+        assert!(a.get_or::<usize>("n", 1).is_err());
+    }
+
+    #[test]
+    fn require_reports_the_flag_name() {
+        let a = parse(argv("x")).unwrap();
+        let err = a.require("out").unwrap_err();
+        assert!(err.contains("--out"), "{err}");
+    }
+}

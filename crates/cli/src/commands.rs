@@ -1,0 +1,420 @@
+//! The CLI subcommands, separated from `main` for testability.
+
+use crate::args::Args;
+use fading_core::algo::{
+    Anneal, ApproxDiversity, ApproxLogN, Dls, ExactBnb, GreedyRate, Ldp, RandomFeasible, Rle,
+};
+use fading_core::{FeasibilityReport, Problem, Schedule, Scheduler};
+use fading_net::{instance_stats, io, RateModel, TopologyGenerator, UniformGenerator};
+use fading_sim::simulate_many;
+use std::path::Path;
+
+/// Runs a parsed command, writing human output to `out`.
+pub fn run(args: &Args, out: &mut dyn std::io::Write) -> Result<(), String> {
+    match args.command.as_str() {
+        "generate" => generate(args, out),
+        "stats" => stats(args, out),
+        "schedule" => schedule(args, out),
+        "simulate" => simulate(args, out),
+        "render" => render(args, out),
+        "multislot" => multislot(args, out),
+        "capacity" => capacity(args, out),
+        "help" | "--help" => {
+            write!(out, "{}", usage()).map_err(|e| e.to_string())
+        }
+        other => Err(format!("unknown subcommand {other}\n\n{}", usage())),
+    }
+}
+
+/// The usage text.
+pub fn usage() -> String {
+    "fading — fading-resistant link scheduling (ICPP 2017 reproduction)
+
+USAGE:
+  fading generate --n <links> --out <file> [--side 500] [--len-lo 5]
+                  [--len-hi 20] [--seed 0] [--rate 1.0]
+  fading stats    --instance <file>
+  fading schedule --instance <file> --algo <name> [--alpha 3] [--eps 0.01]
+                  [--out <file>]
+  fading simulate --instance <file> --schedule <file> [--alpha 3]
+                  [--eps 0.01] [--trials 1000] [--seed 0]
+  fading render   --instance <file> --out <file.svg> [--schedule <file>]
+                  [--width 800] [--grid-cell <units>] [--disks <radius-factor>]
+  fading multislot --instance <file> --algo <name> [--alpha 3] [--eps 0.01]
+  fading capacity --instance <file> --schedule <file> [--alpha 3] [--eps 0.01]
+
+ALGORITHMS:
+  ldp | ldp-two-sided | rle | dls | greedy | random | exact | anneal |
+  approx-logn | approx-diversity
+"
+    .to_string()
+}
+
+fn load_instance(args: &Args) -> Result<fading_net::LinkSet, String> {
+    let path = args.require("instance")?;
+    io::load(Path::new(path)).map_err(|e| format!("cannot read {path}: {e}"))
+}
+
+fn build_problem(args: &Args, links: fading_net::LinkSet) -> Result<Problem, String> {
+    let alpha: f64 = args.get_or("alpha", 3.0)?;
+    let eps: f64 = args.get_or("eps", 0.01)?;
+    if !alpha.is_finite() || alpha <= 2.0 {
+        return Err(format!("--alpha must be > 2, got {alpha}"));
+    }
+    if !eps.is_finite() || eps <= 0.0 || eps >= 1.0 {
+        return Err(format!("--eps must be in (0,1), got {eps}"));
+    }
+    Ok(Problem::new(
+        links,
+        fading_channel::ChannelParams::with_alpha(alpha),
+        eps,
+    ))
+}
+
+/// Resolves an algorithm name to a scheduler.
+pub fn scheduler_by_name(name: &str) -> Result<Box<dyn Scheduler>, String> {
+    Ok(match name {
+        "ldp" => Box::new(Ldp::new()),
+        "ldp-two-sided" => Box::new(Ldp::two_sided()),
+        "rle" => Box::new(Rle::new()),
+        "dls" => Box::new(Dls::new()),
+        "greedy" => Box::new(GreedyRate),
+        "random" => Box::new(RandomFeasible::new(0)),
+        "exact" => Box::new(ExactBnb),
+        "anneal" => Box::new(Anneal::new(0)),
+        "approx-logn" => Box::new(ApproxLogN),
+        "approx-diversity" => Box::new(ApproxDiversity::new()),
+        other => return Err(format!("unknown algorithm {other}; see `fading help`")),
+    })
+}
+
+fn generate(args: &Args, out: &mut dyn std::io::Write) -> Result<(), String> {
+    let n: usize = args.get_or("n", 0)?;
+    if n == 0 {
+        return Err("--n must be a positive link count".into());
+    }
+    let gen = UniformGenerator {
+        side: args.get_or("side", 500.0)?,
+        n,
+        len_lo: args.get_or("len-lo", 5.0)?,
+        len_hi: args.get_or("len-hi", 20.0)?,
+        rates: RateModel::Fixed(args.get_or("rate", 1.0)?),
+    };
+    let links = gen.generate(args.get_or("seed", 0)?);
+    let path = args.require("out")?;
+    io::save(&links, Path::new(path)).map_err(|e| format!("cannot write {path}: {e}"))?;
+    writeln!(out, "wrote {} links to {path}", links.len()).map_err(|e| e.to_string())
+}
+
+fn stats(args: &Args, out: &mut dyn std::io::Write) -> Result<(), String> {
+    let links = load_instance(args)?;
+    if links.is_empty() {
+        return Err("instance is empty".into());
+    }
+    let s = instance_stats(&links);
+    writeln!(
+        out,
+        "links:             {}\ndensity:           {:.6} links/unit²\nlengths:           {:.2} .. {:.2} (mean {:.2})\nlength diversity:  g(L) = {}\nnearest sender:    {:.2} (mean)\ndistance spread Δ: {:.1}",
+        s.n, s.density, s.min_length, s.max_length, s.mean_length, s.diversity,
+        s.mean_nearest_sender, s.distance_spread
+    )
+    .map_err(|e| e.to_string())
+}
+
+fn schedule(args: &Args, out: &mut dyn std::io::Write) -> Result<(), String> {
+    let links = load_instance(args)?;
+    let problem = build_problem(args, links)?;
+    let scheduler = scheduler_by_name(args.require("algo")?)?;
+    let schedule = scheduler.schedule(&problem);
+    let report = FeasibilityReport::evaluate(&problem, &schedule);
+    writeln!(
+        out,
+        "{}: scheduled {} of {} links (rate {:.2}), fading-feasible: {}",
+        scheduler.name(),
+        schedule.len(),
+        problem.len(),
+        schedule.utility(&problem),
+        report.is_feasible()
+    )
+    .map_err(|e| e.to_string())?;
+    if let Some(path) = args.get("out") {
+        let json = serde_json::to_string_pretty(&schedule).map_err(|e| e.to_string())?;
+        std::fs::write(path, json).map_err(|e| format!("cannot write {path}: {e}"))?;
+        writeln!(out, "wrote schedule to {path}").map_err(|e| e.to_string())?;
+    }
+    Ok(())
+}
+
+fn simulate(args: &Args, out: &mut dyn std::io::Write) -> Result<(), String> {
+    let links = load_instance(args)?;
+    let problem = build_problem(args, links)?;
+    let sched_path = args.require("schedule")?;
+    let text = std::fs::read_to_string(sched_path)
+        .map_err(|e| format!("cannot read {sched_path}: {e}"))?;
+    let schedule: Schedule = serde_json::from_str(&text)
+        .map_err(|e| format!("cannot parse {sched_path}: {e}"))?;
+    if let Some(bad) = schedule.iter().find(|id| id.index() >= problem.len()) {
+        return Err(format!("schedule references nonexistent link {bad}"));
+    }
+    let trials: u64 = args.get_or("trials", 1000)?;
+    let stats = simulate_many(&problem, &schedule, trials, args.get_or("seed", 0)?);
+    writeln!(
+        out,
+        "{} links over {trials} Rayleigh slots:\n  failed/slot:     {:.4} ± {:.4}\n  throughput/slot: {:.3} ± {:.3}\n  budget (ε·|S|):  {:.3}",
+        schedule.len(),
+        stats.failed.mean,
+        stats.failed.ci95,
+        stats.throughput.mean,
+        stats.throughput.ci95,
+        problem.epsilon() * schedule.len() as f64
+    )
+    .map_err(|e| e.to_string())
+}
+
+fn multislot(args: &Args, out: &mut dyn std::io::Write) -> Result<(), String> {
+    let links = load_instance(args)?;
+    let problem = build_problem(args, links)?;
+    let scheduler = scheduler_by_name(args.require("algo")?)?;
+    let plan = fading_core::multislot::schedule_all(&problem, scheduler.as_ref());
+    let bound = fading_core::multislot::conflict_clique_lower_bound(&problem);
+    writeln!(
+        out,
+        "{}: {} links drained in {} slots (clique lower bound {bound})",
+        scheduler.name(),
+        problem.len(),
+        plan.num_slots()
+    )
+    .map_err(|e| e.to_string())?;
+    for (i, slot) in plan.slots().iter().enumerate() {
+        let ids: Vec<String> = slot.iter().map(|id| id.to_string()).collect();
+        writeln!(out, "  slot {:>3}: {}", i + 1, ids.join(" ")).map_err(|e| e.to_string())?;
+    }
+    Ok(())
+}
+
+fn capacity(args: &Args, out: &mut dyn std::io::Write) -> Result<(), String> {
+    let links = load_instance(args)?;
+    let problem = build_problem(args, links)?;
+    let sched_path = args.require("schedule")?;
+    let text = std::fs::read_to_string(sched_path)
+        .map_err(|e| format!("cannot read {sched_path}: {e}"))?;
+    let schedule: Schedule = serde_json::from_str(&text)
+        .map_err(|e| format!("cannot parse {sched_path}: {e}"))?;
+    if let Some(bad) = schedule.iter().find(|id| id.index() >= problem.len()) {
+        return Err(format!("schedule references nonexistent link {bad}"));
+    }
+    writeln!(
+        out,
+        "{:<8} {:>10} {:>16} {:>18}",
+        "link", "success", "E[fail]/slot", "ergodic bit/s/Hz"
+    )
+    .map_err(|e| e.to_string())?;
+    let mut total_cap = 0.0;
+    for j in schedule.iter() {
+        let d_jj = problem.links().length(j);
+        let ds: Vec<f64> = schedule
+            .iter()
+            .filter(|&i| i != j)
+            .map(|i| problem.links().sender_receiver_distance(i, j))
+            .collect();
+        let success = fading_channel::sinr_ccdf(
+            problem.params(),
+            d_jj,
+            &ds,
+            problem.params().gamma_th,
+        );
+        let cap = fading_channel::ergodic_capacity(problem.params(), d_jj, &ds);
+        if cap.is_finite() {
+            total_cap += cap;
+        }
+        writeln!(
+            out,
+            "{:<8} {:>10.5} {:>16.5} {:>18.2}",
+            j.to_string(),
+            success,
+            1.0 - success,
+            cap
+        )
+        .map_err(|e| e.to_string())?;
+    }
+    writeln!(out, "total ergodic Shannon throughput: {total_cap:.2} bit/s/Hz")
+        .map_err(|e| e.to_string())
+}
+
+fn render(args: &Args, out: &mut dyn std::io::Write) -> Result<(), String> {
+    let links = load_instance(args)?;
+    let schedule: Option<Schedule> = match args.get("schedule") {
+        None => None,
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read {path}: {e}"))?;
+            Some(serde_json::from_str(&text).map_err(|e| format!("cannot parse {path}: {e}"))?)
+        }
+    };
+    let options = fading_viz::RenderOptions {
+        width_px: args.get_or("width", 800.0)?,
+        grid_cell: match args.get("grid-cell") {
+            None => None,
+            Some(v) => Some(v.parse().map_err(|_| format!("--grid-cell: bad value {v}"))?),
+        },
+        deletion_radius_factor: match args.get("disks") {
+            None => None,
+            Some(v) => Some(v.parse().map_err(|_| format!("--disks: bad value {v}"))?),
+        },
+    };
+    let svg = fading_viz::render_instance(&links, schedule.as_ref(), &options);
+    let path = args.require("out")?;
+    std::fs::write(path, svg).map_err(|e| format!("cannot write {path}: {e}"))?;
+    writeln!(out, "rendered {} links to {path}", links.len()).map_err(|e| e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::parse;
+
+    fn run_line(line: &str) -> Result<String, String> {
+        let args = parse(line.split_whitespace().map(String::from))?;
+        let mut buf = Vec::new();
+        run(&args, &mut buf)?;
+        Ok(String::from_utf8(buf).unwrap())
+    }
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("fading_cli_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn full_pipeline_generate_stats_schedule_simulate() {
+        let inst = tmp("pipeline.json");
+        let sched = tmp("pipeline_schedule.json");
+        let out = run_line(&format!("generate --n 60 --seed 3 --out {inst}")).unwrap();
+        assert!(out.contains("wrote 60 links"));
+
+        let out = run_line(&format!("stats --instance {inst}")).unwrap();
+        assert!(out.contains("links:             60"));
+        assert!(out.contains("length diversity"));
+
+        let out =
+            run_line(&format!("schedule --instance {inst} --algo rle --out {sched}")).unwrap();
+        assert!(out.contains("RLE: scheduled"));
+        assert!(out.contains("fading-feasible: true"));
+
+        let out = run_line(&format!(
+            "simulate --instance {inst} --schedule {sched} --trials 200"
+        ))
+        .unwrap();
+        assert!(out.contains("failed/slot"));
+    }
+
+    #[test]
+    fn every_algorithm_name_resolves() {
+        for name in [
+            "ldp",
+            "ldp-two-sided",
+            "rle",
+            "dls",
+            "greedy",
+            "random",
+            "exact",
+            "anneal",
+            "approx-logn",
+            "approx-diversity",
+        ] {
+            assert!(scheduler_by_name(name).is_ok(), "{name}");
+        }
+        assert!(scheduler_by_name("nope").is_err());
+    }
+
+    #[test]
+    fn unknown_subcommand_shows_usage() {
+        let err = run_line("frobnicate").unwrap_err();
+        assert!(err.contains("unknown subcommand"));
+        assert!(err.contains("USAGE"));
+    }
+
+    #[test]
+    fn schedule_rejects_bad_alpha() {
+        let inst = tmp("bad_alpha.json");
+        run_line(&format!("generate --n 5 --out {inst}")).unwrap();
+        let err =
+            run_line(&format!("schedule --instance {inst} --algo rle --alpha 1.5")).unwrap_err();
+        assert!(err.contains("--alpha"));
+    }
+
+    #[test]
+    fn simulate_rejects_mismatched_schedule() {
+        let inst_big = tmp("mismatch_big.json");
+        let inst_small = tmp("mismatch_small.json");
+        let sched = tmp("mismatch_schedule.json");
+        run_line(&format!("generate --n 50 --out {inst_big}")).unwrap();
+        run_line(&format!("generate --n 3 --out {inst_small}")).unwrap();
+        run_line(&format!(
+            "schedule --instance {inst_big} --algo greedy --out {sched}"
+        ))
+        .unwrap();
+        let err = run_line(&format!(
+            "simulate --instance {inst_small} --schedule {sched}"
+        ))
+        .unwrap_err();
+        assert!(err.contains("nonexistent link"), "{err}");
+    }
+
+    #[test]
+    fn missing_instance_file_is_a_clean_error() {
+        let err = run_line("stats --instance /nonexistent/inst.json").unwrap_err();
+        assert!(err.contains("cannot read"));
+    }
+
+    #[test]
+    fn multislot_drains_everything() {
+        let inst = tmp("multislot.json");
+        run_line(&format!("generate --n 25 --out {inst}")).unwrap();
+        let out = run_line(&format!("multislot --instance {inst} --algo greedy")).unwrap();
+        assert!(out.contains("25 links drained"));
+        assert!(out.contains("clique lower bound"));
+        // Every link id appears exactly once across slots.
+        let mut count = 0;
+        for line in out.lines().filter(|l| l.trim_start().starts_with("slot")) {
+            count += line.split_whitespace().skip(2).count();
+        }
+        assert_eq!(count, 25);
+    }
+
+    #[test]
+    fn capacity_reports_per_link_numbers() {
+        let inst = tmp("capacity.json");
+        let sched = tmp("capacity_schedule.json");
+        run_line(&format!("generate --n 40 --out {inst}")).unwrap();
+        run_line(&format!("schedule --instance {inst} --algo rle --out {sched}")).unwrap();
+        let out = run_line(&format!("capacity --instance {inst} --schedule {sched}")).unwrap();
+        assert!(out.contains("ergodic"));
+        assert!(out.contains("total ergodic Shannon throughput"));
+    }
+
+    #[test]
+    fn render_writes_svg() {
+        let inst = tmp("render.json");
+        let sched = tmp("render_schedule.json");
+        let svg = tmp("render.svg");
+        run_line(&format!("generate --n 30 --out {inst}")).unwrap();
+        run_line(&format!("schedule --instance {inst} --algo rle --out {sched}")).unwrap();
+        let out = run_line(&format!(
+            "render --instance {inst} --schedule {sched} --out {svg} --grid-cell 125 --disks 5"
+        ))
+        .unwrap();
+        assert!(out.contains("rendered 30 links"));
+        let body = std::fs::read_to_string(&svg).unwrap();
+        assert!(body.starts_with("<svg"));
+        assert!(body.contains("<line"));
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let out = run_line("help").unwrap();
+        assert!(out.contains("USAGE"));
+        assert!(out.contains("approx-diversity"));
+    }
+}

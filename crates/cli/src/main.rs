@@ -1,0 +1,28 @@
+//! `fading` — the command-line front end.
+//!
+//! See `fading help` (or [`commands::usage`]) for the subcommands:
+//! generate instances, inspect them, schedule with any algorithm in the
+//! workspace, and Monte-Carlo the result.
+
+mod args;
+mod commands;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.is_empty() {
+        print!("{}", commands::usage());
+        std::process::exit(2);
+    }
+    let parsed = match args::parse(argv) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let mut stdout = std::io::stdout();
+    if let Err(e) = commands::run(&parsed, &mut stdout) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

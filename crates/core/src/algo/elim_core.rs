@@ -1,0 +1,195 @@
+//! Shared machinery for shortest-first elimination schedulers
+//! (RLE, ApproxDiversity).
+//!
+//! Both follow Algorithm 2's skeleton: repeatedly pick the shortest
+//! remaining link, delete every link whose sender falls inside a disk
+//! of radius `c₁·d_ii` around the picked receiver, and delete every
+//! link whose accumulated interference from the picked senders exceeds
+//! `c₂ · budget`. They differ in the interference metric (fading
+//! factors vs deterministic relative interference) and the budget
+//! (`γ_ε` vs 1).
+
+use crate::problem::Problem;
+use crate::schedule::Schedule;
+use fading_geom::SpatialHash;
+use fading_net::LinkId;
+
+/// Which accumulated-interference metric drives deletions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ElimMetric {
+    /// The paper's interference factor `f_{i,j}` with budget `γ_ε`.
+    FadingFactor,
+    /// Deterministic relative interference `γ_th (d_jj/d_ij)^α`
+    /// (`= e^{f_{i,j}} − 1`) with budget 1.
+    DeterministicRelative,
+}
+
+/// Runs the elimination skeleton. `c1` is the deletion-radius factor,
+/// `c2 ∈ (0,1)` the budget fraction reserved for already-picked senders.
+pub fn eliminate_schedule(problem: &Problem, c1: f64, c2: f64, metric: ElimMetric) -> Schedule {
+    assert!(c1 >= 1.0, "deletion radius factor must be ≥ 1, got {c1}");
+    assert!(c2 > 0.0 && c2 < 1.0, "c₂ must be in (0,1), got {c2}");
+    let links = problem.links();
+    let n = links.len();
+    if n == 0 {
+        return Schedule::empty();
+    }
+    let budget = match metric {
+        ElimMetric::FadingFactor => problem.gamma_eps(),
+        ElimMetric::DeterministicRelative => 1.0,
+    };
+    let threshold = c2 * budget;
+
+    // Links in non-decreasing length order (ties by id for determinism).
+    let mut order: Vec<LinkId> = links.ids().collect();
+    order.sort_by(|&a, &b| {
+        links
+            .length(a)
+            .total_cmp(&links.length(b))
+            .then(a.cmp(&b))
+    });
+
+    // Spatial hash over sender positions for the disk deletions; cell
+    // size near the typical deletion radius keeps queries local.
+    let senders = links.sender_positions();
+    let typical_radius = c1 * links.min_length().unwrap_or(1.0);
+    let hash = SpatialHash::build(&senders, typical_radius.max(1e-9));
+
+    let mut alive = vec![true; n];
+    let mut acc = vec![0.0f64; n];
+    let mut picked = Vec::new();
+
+    for &i in &order {
+        if !alive[i.index()] {
+            continue;
+        }
+        // Line 3: pick the shortest remaining link.
+        alive[i.index()] = false;
+        picked.push(i);
+        let receiver = links.link(i).receiver;
+        let radius = c1 * links.length(i);
+        // Line 4: delete links whose senders are within c₁·d_ii of r_i.
+        hash.for_each_in_radius(&receiver, radius, |j| {
+            alive[j as usize] = false;
+        });
+        // Line 5: delete links whose accumulated interference from the
+        // picked senders exceeds c₂·budget.
+        let row = problem.factors().row(i);
+        for j in 0..n {
+            if !alive[j] {
+                continue;
+            }
+            acc[j] += match metric {
+                ElimMetric::FadingFactor => row[j],
+                // e^f − 1 recovers the deterministic relative
+                // interference from the precomputed factor.
+                ElimMetric::DeterministicRelative => row[j].exp_m1(),
+            };
+            if acc[j] > threshold {
+                alive[j] = false;
+            }
+        }
+    }
+    Schedule::from_ids(picked)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fading_net::{TopologyGenerator, UniformGenerator};
+
+    fn problem(n: usize, seed: u64) -> Problem {
+        Problem::paper(UniformGenerator::paper(n).generate(seed), 3.0)
+    }
+
+    #[test]
+    fn empty_instance() {
+        let links = fading_net::LinkSet::new(fading_geom::Rect::square(1.0), vec![]);
+        let p = Problem::paper(links, 3.0);
+        assert!(eliminate_schedule(&p, 10.0, 0.5, ElimMetric::FadingFactor).is_empty());
+    }
+
+    #[test]
+    fn always_schedules_the_globally_shortest_link() {
+        let p = problem(100, 1);
+        let shortest = p
+            .links()
+            .ids()
+            .min_by(|&a, &b| p.links().length(a).total_cmp(&p.links().length(b)))
+            .unwrap();
+        let s = eliminate_schedule(&p, 20.0, 0.5, ElimMetric::FadingFactor);
+        assert!(s.contains(shortest));
+    }
+
+    #[test]
+    fn scheduled_senders_respect_the_deletion_radius() {
+        let p = problem(200, 2);
+        let c1 = 15.0;
+        let s = eliminate_schedule(&p, c1, 0.5, ElimMetric::FadingFactor);
+        // No scheduled sender may lie strictly inside the deletion disk
+        // of another scheduled link that was picked earlier (shorter).
+        let links = p.links();
+        for j in s.iter() {
+            for i in s.iter() {
+                if i == j || links.length(i) > links.length(j) {
+                    continue;
+                }
+                // i was picked no later than j.
+                let d = links.link(j).sender.distance(&links.link(i).receiver);
+                assert!(
+                    d > c1 * links.length(i) - 1e-9,
+                    "sender {j} inside deletion disk of {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn accumulated_interference_respects_threshold() {
+        let p = problem(200, 3);
+        let c2 = 0.5;
+        let s = eliminate_schedule(&p, 23.0, c2, ElimMetric::FadingFactor);
+        // For each scheduled link, the factors from *shorter* scheduled
+        // links (those picked before it) must be within c₂·γ_ε.
+        let links = p.links();
+        for j in s.iter() {
+            let sum: f64 = s
+                .iter()
+                .filter(|&i| i != j && links.length(i) <= links.length(j))
+                .map(|i| p.factor(i, j))
+                .sum();
+            assert!(
+                sum <= c2 * p.gamma_eps() + 1e-12,
+                "{j}: earlier-pick interference {sum}"
+            );
+        }
+    }
+
+    #[test]
+    fn larger_c1_schedules_fewer_links() {
+        let p = problem(300, 4);
+        let small = eliminate_schedule(&p, 5.0, 0.5, ElimMetric::FadingFactor).len();
+        let large = eliminate_schedule(&p, 40.0, 0.5, ElimMetric::FadingFactor).len();
+        assert!(
+            small >= large,
+            "c₁=5 gave {small}, c₁=40 gave {large} — deletion radius should prune"
+        );
+    }
+
+    #[test]
+    fn deterministic_metric_schedules_more_than_fading_metric() {
+        // Budget 1 ≫ γ_ε ≈ 0.01: the deterministic variant is far more
+        // permissive at equal c₁/c₂.
+        let p = problem(300, 5);
+        let fading = eliminate_schedule(&p, 6.0, 0.5, ElimMetric::FadingFactor).len();
+        let det = eliminate_schedule(&p, 6.0, 0.5, ElimMetric::DeterministicRelative).len();
+        assert!(det >= fading);
+    }
+
+    #[test]
+    #[should_panic(expected = "c₂ must be in (0,1)")]
+    fn rejects_bad_c2() {
+        let p = problem(5, 6);
+        eliminate_schedule(&p, 5.0, 0.0, ElimMetric::FadingFactor);
+    }
+}

@@ -1,0 +1,199 @@
+//! Shared machinery for grid-partition schedulers (LDP, ApproxLogN).
+//!
+//! Both algorithms follow the same skeleton (Algorithm 1 of the paper):
+//! build link classes by length magnitude, tile the region with squares
+//! sized to the class, 4-color the squares, pick the best receiver per
+//! square, and return the best (class, color) combination. They differ
+//! only in (i) how classes are formed and (ii) the square scale.
+
+use crate::problem::Problem;
+use crate::schedule::Schedule;
+use fading_geom::GridPartition;
+use fading_net::diversity::{diversity_exponents, magnitude};
+use fading_net::LinkId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// How link classes are built from length magnitudes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ClassMode {
+    /// Class `k` contains every link with `d < 2^{h_k+1} δ` (upper bound
+    /// only) — the paper's improvement over \[14\]: a shorter link is
+    /// always safe wherever a longer one is (Eq. (36)).
+    Nested,
+    /// Class `k` contains links with `2^{h_k} δ ≤ d < 2^{h_k+1} δ`
+    /// (both bounds) — the original \[14\] construction, kept for the
+    /// ablation experiment.
+    TwoSided,
+}
+
+/// Runs the grid-partition skeleton with the given class mode and
+/// square scale (`β` for LDP, `μ` for ApproxLogN); the square for the
+/// class of magnitude `h` has side `2^{h+1}·scale·δ`.
+pub fn grid_schedule(problem: &Problem, mode: ClassMode, scale: f64) -> Schedule {
+    assert!(scale.is_finite() && scale > 0.0, "invalid grid scale {scale}");
+    let links = problem.links();
+    let Some(delta) = links.min_length() else {
+        return Schedule::empty();
+    };
+    let mut best = Schedule::empty();
+    let mut best_utility = f64::NEG_INFINITY;
+    for &h in &diversity_exponents(links) {
+        let cell = 2f64.powi(h as i32 + 1) * scale * delta;
+        let grid = GridPartition::new(links.region(), cell);
+        // The best-rate receiver in each occupied square.
+        let mut per_cell: HashMap<fading_geom::CellIndex, LinkId> = HashMap::new();
+        for link in links.links() {
+            let m = magnitude(link.length(), delta);
+            let in_class = match mode {
+                ClassMode::Nested => m <= h,
+                ClassMode::TwoSided => m == h,
+            };
+            if !in_class {
+                continue;
+            }
+            let cell_idx = grid.cell_of(&link.receiver);
+            per_cell
+                .entry(cell_idx)
+                .and_modify(|cur| {
+                    let cur_link = links.link(*cur);
+                    // Highest rate wins; ties broken by shorter length,
+                    // then id, for determinism.
+                    let better = (link.rate, -link.length(), std::cmp::Reverse(link.id))
+                        > (cur_link.rate, -cur_link.length(), std::cmp::Reverse(cur_link.id));
+                    if better {
+                        *cur = link.id;
+                    }
+                })
+                .or_insert(link.id);
+        }
+        // Group the per-square winners by square color.
+        let mut per_color: [Vec<LinkId>; 4] = Default::default();
+        for (&cell_idx, &id) in &per_cell {
+            per_color[grid.color_of(cell_idx).0 as usize].push(id);
+        }
+        for ids in per_color {
+            let utility: f64 = ids.iter().map(|&id| problem.rate(id)).sum();
+            if utility > best_utility {
+                best_utility = utility;
+                best = Schedule::from_ids(ids);
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constants::ldp_beta;
+    use fading_net::{RateModel, TopologyGenerator, UniformGenerator};
+
+    fn problem(n: usize, seed: u64) -> Problem {
+        Problem::paper(UniformGenerator::paper(n).generate(seed), 3.0)
+    }
+
+    #[test]
+    fn empty_instance_gives_empty_schedule() {
+        let links = fading_net::LinkSet::new(fading_geom::Rect::square(1.0), vec![]);
+        let p = Problem::paper(links, 3.0);
+        assert!(grid_schedule(&p, ClassMode::Nested, 10.0).is_empty());
+    }
+
+    #[test]
+    fn nonempty_instance_schedules_at_least_one_link() {
+        let p = problem(50, 1);
+        let beta = ldp_beta(p.params(), p.gamma_eps());
+        let s = grid_schedule(&p, ClassMode::Nested, beta);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn at_most_one_link_per_same_color_square() {
+        let p = problem(300, 2);
+        let beta = ldp_beta(p.params(), p.gamma_eps());
+        let s = grid_schedule(&p, ClassMode::Nested, beta);
+        // Recover the winning class scale is unknown here; instead check
+        // the weaker invariant that all scheduled receivers are pairwise
+        // farther than the smallest class's square side apart OR in
+        // different-colored squares for every class grid. The robust
+        // check: for every class grid, no two scheduled receivers share
+        // a square.
+        let links = p.links();
+        let delta = links.min_length().unwrap();
+        for &h in &fading_net::diversity_exponents(links) {
+            let cell = 2f64.powi(h as i32 + 1) * beta * delta;
+            let grid = GridPartition::new(links.region(), cell);
+            let mut cells = std::collections::HashSet::new();
+            let mut shared = false;
+            for id in s.iter() {
+                if !cells.insert(grid.cell_of(&links.link(id).receiver)) {
+                    shared = true;
+                }
+            }
+            // The winning (class, color) must come from *some* grid in
+            // which receivers occupy distinct same-color squares; at
+            // least one h must show no sharing.
+            if !shared {
+                return;
+            }
+        }
+        panic!("scheduled receivers share a square in every class grid");
+    }
+
+    #[test]
+    fn nested_mode_never_worse_than_two_sided() {
+        // Nested classes are supersets of two-sided classes, so every
+        // two-sided per-square winner is available to nested too.
+        for seed in 0..5 {
+            let p = problem(120, seed);
+            let beta = ldp_beta(p.params(), p.gamma_eps());
+            let nested = grid_schedule(&p, ClassMode::Nested, beta).utility(&p);
+            let two_sided = grid_schedule(&p, ClassMode::TwoSided, beta).utility(&p);
+            assert!(
+                nested >= two_sided - 1e-12,
+                "seed {seed}: nested {nested} < two-sided {two_sided}"
+            );
+        }
+    }
+
+    #[test]
+    fn smaller_scale_schedules_at_least_as_many_links_in_some_class() {
+        // Halving the square size cannot reduce the best achievable
+        // count below the bigger-square result in expectation; check the
+        // utility is weakly better on a fixed dense instance.
+        let p = problem(400, 3);
+        let small = grid_schedule(&p, ClassMode::Nested, 4.0).utility(&p);
+        let large = grid_schedule(&p, ClassMode::Nested, 16.0).utility(&p);
+        assert!(small >= large);
+    }
+
+    #[test]
+    fn picks_highest_rate_receiver_per_square() {
+        // Two links, receivers in the same unit square, different rates:
+        // the scheduler must keep the higher-rate one.
+        use fading_geom::{Point2, Rect};
+        use fading_net::{Link, LinkSet};
+        let links = vec![
+            Link::new(LinkId(0), Point2::new(100.0, 0.0), Point2::new(100.0, 5.0), 1.0),
+            Link::new(LinkId(1), Point2::new(101.0, 0.0), Point2::new(101.0, 5.0), 7.0),
+        ];
+        let ls = LinkSet::new(Rect::square(500.0), links);
+        let p = Problem::new(ls, fading_channel::ChannelParams::paper_defaults(), 0.01);
+        let s = grid_schedule(&p, ClassMode::Nested, 50.0);
+        assert_eq!(s.ids(), &[LinkId(1)]);
+    }
+
+    #[test]
+    fn rate_diversity_exercises_tie_breaking() {
+        let gen = UniformGenerator {
+            rates: RateModel::Uniform { lo: 1.0, hi: 5.0 },
+            ..UniformGenerator::paper(150)
+        };
+        let p = Problem::paper(gen.generate(4), 3.0);
+        let beta = ldp_beta(p.params(), p.gamma_eps());
+        let s = grid_schedule(&p, ClassMode::Nested, beta);
+        assert!(!s.is_empty());
+        assert!(s.utility(&p) > 0.0);
+    }
+}

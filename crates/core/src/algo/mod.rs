@@ -1,0 +1,37 @@
+//! Scheduling algorithms.
+//!
+//! The fading-resistant algorithms (LDP, RLE, and their shared
+//! machinery) guarantee Corollary 3.1 feasibility; the baselines
+//! (ApproxLogN, ApproxDiversity) guarantee only deterministic-SINR
+//! feasibility and exist to reproduce the paper's fading-susceptibility
+//! comparison (Fig. 5). The exact solvers bound everything from above
+//! on small instances.
+
+pub mod anneal;
+pub mod approx_diversity;
+pub mod approx_logn;
+pub mod dls;
+pub mod elim_core;
+pub mod exact;
+pub mod graph_model;
+pub mod greedy;
+pub mod grid_core;
+pub mod ldp;
+pub mod local_search;
+pub mod power;
+pub mod random;
+pub mod rle;
+
+pub use anneal::Anneal;
+pub use approx_diversity::ApproxDiversity;
+pub use approx_logn::ApproxLogN;
+pub use dls::Dls;
+pub use exact::ExactBnb;
+pub use graph_model::{ConflictRule, GraphModel};
+pub use greedy::GreedyRate;
+pub use grid_core::ClassMode;
+pub use ldp::Ldp;
+pub use local_search::LocalSearch;
+pub use power::PowerAssignment;
+pub use random::RandomFeasible;
+pub use rle::Rle;

@@ -1,0 +1,173 @@
+//! Oblivious power assignments — the power-control extension.
+//!
+//! The paper fixes uniform transmit power; the joint
+//! scheduling-and-power-control literature it cites (Section VI-B)
+//! studies *oblivious* assignments where a link's power depends only on
+//! its own length. The classic family is `P_i ∝ d_ii^{τα}`:
+//!
+//! * `τ = 0` — uniform (the paper's model);
+//! * `τ = 1` — linear: every link receives the same mean signal power,
+//!   the "channel inversion" assignment;
+//! * `τ = 1/2` — square-root (mean-power): the assignment known to be
+//!   strictly stronger than both extremes for capacity maximization
+//!   [Fanghänel–Kesselheim–Vöcking].
+//!
+//! Because Theorem 3.1 generalizes to per-link powers, the feasibility
+//! machinery applies verbatim: we build the power-scaled factor matrix
+//! and let the fading-aware schedulers run unchanged. Scales are
+//! normalized to mean 1 so total radiated power is comparable across
+//! assignments.
+
+use fading_net::LinkSet;
+use serde::{Deserialize, Serialize};
+
+/// An oblivious power-assignment rule `P_i ∝ d_ii^{τ·α}`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum PowerAssignment {
+    /// Uniform power (the paper's model), `τ = 0`.
+    Uniform,
+    /// Square-root assignment, `τ = 1/2`.
+    SquareRoot,
+    /// Linear (channel-inversion) assignment, `τ = 1`.
+    Linear,
+}
+
+impl PowerAssignment {
+    /// The exponent `τ` of the rule.
+    pub fn tau(&self) -> f64 {
+        match self {
+            PowerAssignment::Uniform => 0.0,
+            PowerAssignment::SquareRoot => 0.5,
+            PowerAssignment::Linear => 1.0,
+        }
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PowerAssignment::Uniform => "uniform",
+            PowerAssignment::SquareRoot => "square-root",
+            PowerAssignment::Linear => "linear",
+        }
+    }
+
+    /// Computes normalized per-link power scales for `links` under
+    /// path-loss exponent `alpha`: `scale_i ∝ d_ii^{τα}`, rescaled to
+    /// mean 1.
+    ///
+    /// # Panics
+    /// Panics on an empty instance.
+    pub fn scales(&self, links: &LinkSet, alpha: f64) -> Vec<f64> {
+        assert!(!links.is_empty(), "power assignment on empty instance");
+        let tau = self.tau();
+        let raw: Vec<f64> = links
+            .links()
+            .iter()
+            .map(|l| l.length().powf(tau * alpha))
+            .collect();
+        let mean = raw.iter().sum::<f64>() / raw.len() as f64;
+        raw.into_iter().map(|p| p / mean).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::GreedyRate;
+    use crate::feasibility::is_feasible;
+    use crate::{Problem, Scheduler};
+    use fading_channel::ChannelParams;
+    use fading_net::{TopologyGenerator, UniformGenerator};
+
+    #[test]
+    fn uniform_scales_are_all_one() {
+        let links = UniformGenerator::paper(30).generate(1);
+        let scales = PowerAssignment::Uniform.scales(&links, 3.0);
+        assert!(scales.iter().all(|&s| (s - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn scales_are_normalized_to_mean_one() {
+        let links = UniformGenerator::paper(50).generate(2);
+        for a in [PowerAssignment::SquareRoot, PowerAssignment::Linear] {
+            let scales = a.scales(&links, 3.0);
+            let mean = scales.iter().sum::<f64>() / scales.len() as f64;
+            assert!((mean - 1.0).abs() < 1e-12, "{}", a.name());
+            assert!(scales.iter().all(|&s| s > 0.0));
+        }
+    }
+
+    #[test]
+    fn longer_links_get_more_power() {
+        let links = UniformGenerator::paper(50).generate(3);
+        let scales = PowerAssignment::Linear.scales(&links, 3.0);
+        let (mut longest, mut shortest) = (0usize, 0usize);
+        for (i, l) in links.links().iter().enumerate() {
+            if l.length() > links.links()[longest].length() {
+                longest = i;
+            }
+            if l.length() < links.links()[shortest].length() {
+                shortest = i;
+            }
+        }
+        assert!(scales[longest] > scales[shortest]);
+    }
+
+    #[test]
+    fn linear_assignment_equalizes_mean_received_power() {
+        // P_i · d_ii^{−α} constant across links under τ = 1.
+        let links = UniformGenerator::paper(20).generate(4);
+        let alpha = 3.0;
+        let scales = PowerAssignment::Linear.scales(&links, alpha);
+        let received: Vec<f64> = links
+            .links()
+            .iter()
+            .zip(&scales)
+            .map(|(l, &s)| s * l.length().powf(-alpha))
+            .collect();
+        let first = received[0];
+        for r in &received {
+            assert!((r - first).abs() < 1e-9 * first, "{r} vs {first}");
+        }
+    }
+
+    #[test]
+    fn power_aware_problems_schedule_feasibly() {
+        let links = UniformGenerator::paper(150).generate(5);
+        for a in [
+            PowerAssignment::Uniform,
+            PowerAssignment::SquareRoot,
+            PowerAssignment::Linear,
+        ] {
+            let scales = a.scales(&links, 3.0);
+            let p = Problem::with_power_scales(
+                links.clone(),
+                ChannelParams::paper_defaults(),
+                0.01,
+                scales,
+            );
+            let s = GreedyRate.schedule(&p);
+            assert!(!s.is_empty(), "{}", a.name());
+            assert!(is_feasible(&p, &s), "{}", a.name());
+        }
+    }
+
+    #[test]
+    fn uniform_power_scales_match_the_plain_problem() {
+        // with_power_scales(1,…,1) must produce the identical factor
+        // matrix as the paper's model.
+        let links = UniformGenerator::paper(25).generate(6);
+        let plain = Problem::paper(links.clone(), 3.0);
+        let scaled = Problem::with_power_scales(
+            links,
+            ChannelParams::paper_defaults(),
+            0.01,
+            vec![1.0; 25],
+        );
+        for i in plain.links().ids() {
+            for j in plain.links().ids() {
+                assert_eq!(plain.factor(i, j), scaled.factor(i, j));
+            }
+        }
+    }
+}

@@ -1,0 +1,289 @@
+//! The ILP formulation of Fading-R-LS (Eq. (20)–(22)) and a small 0/1
+//! branch-and-bound solver for it.
+//!
+//! ```text
+//! max  Σ_i λ_i x_i
+//! s.t. Σ_i f_{i,j} x_i ≤ γ_ε + M (1 − x_j)   ∀ j
+//!      x_i ∈ {0, 1}
+//! ```
+//!
+//! The big-M constant deactivates constraint `j` when link `j` is not
+//! scheduled; `M = Σ_i f_{i,j}` (the largest possible left-hand side)
+//! suffices. The generic solver handles any 0/1 program with
+//! non-negative constraint coefficients, which is all the model needs —
+//! and lets tests validate the formulation against the combinatorial
+//! solver in [`crate::algo::exact`].
+
+use crate::problem::Problem;
+use crate::schedule::Schedule;
+use fading_math::KahanSum;
+use fading_net::LinkId;
+
+/// One `≤` constraint: `Σ coeffs[i]·x_i ≤ rhs`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Constraint {
+    /// Non-negative coefficients, one per variable.
+    pub coeffs: Vec<f64>,
+    /// Right-hand side.
+    pub rhs: f64,
+}
+
+/// A 0/1 maximization program with non-negative constraint matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IlpModel {
+    /// Objective coefficients (may be any sign, though Fading-R-LS
+    /// rates are positive).
+    pub objective: Vec<f64>,
+    /// The constraints.
+    pub constraints: Vec<Constraint>,
+}
+
+/// Builds the literal Eq. (20)–(22) model for a problem instance.
+///
+/// Constraint `j` is rewritten in `≤` form as
+/// `Σ_i f_{i,j} x_i + M_j x_j ≤ γ_ε + M_j`.
+pub fn build_model(problem: &Problem) -> IlpModel {
+    let n = problem.len();
+    let objective = problem.links().ids().map(|i| problem.rate(i)).collect();
+    let constraints = problem
+        .links()
+        .ids()
+        .map(|j| {
+            let mut coeffs: Vec<f64> = problem
+                .links()
+                .ids()
+                .map(|i| problem.factor(i, j))
+                .collect();
+            let big_m = KahanSum::sum_iter(coeffs.iter().copied());
+            coeffs[j.index()] += big_m; // f_{j,j} = 0, so this sets the x_j coefficient
+            Constraint {
+                coeffs,
+                rhs: problem.gamma_eps() + big_m,
+            }
+        })
+        .collect();
+    debug_assert_eq!(n, problem.len());
+    IlpModel {
+        objective,
+        constraints,
+    }
+}
+
+/// Practical size ceiling for [`solve`].
+pub const ILP_MAX_VARS: usize = 40;
+
+/// Solves the model exactly by depth-first branch-and-bound.
+///
+/// Variables are branched in non-increasing objective order; the bound
+/// is the sum of remaining positive objective coefficients; partial
+/// assignments are pruned as soon as the committed left-hand side of
+/// any constraint exceeds its right-hand side (sound because all
+/// constraint coefficients are non-negative).
+///
+/// Returns the optimal assignment and its objective value.
+///
+/// # Panics
+/// Panics if the model has more than [`ILP_MAX_VARS`] variables, a
+/// negative constraint coefficient, or mismatched dimensions.
+pub fn solve(model: &IlpModel) -> (Vec<bool>, f64) {
+    let n = model.objective.len();
+    assert!(n <= ILP_MAX_VARS, "ILP solver limited to {ILP_MAX_VARS} variables, got {n}");
+    for c in &model.constraints {
+        assert_eq!(c.coeffs.len(), n, "constraint dimension mismatch");
+        assert!(
+            c.coeffs.iter().all(|&v| v >= 0.0),
+            "solver requires non-negative constraint coefficients"
+        );
+    }
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| model.objective[b].total_cmp(&model.objective[a]));
+    // suffix[k] = sum of positive objective over order[k..].
+    let mut suffix = vec![0.0; n + 1];
+    for k in (0..n).rev() {
+        suffix[k] = suffix[k + 1] + model.objective[order[k]].max(0.0);
+    }
+
+    struct Search<'m> {
+        model: &'m IlpModel,
+        order: Vec<usize>,
+        suffix: Vec<f64>,
+        lhs: Vec<f64>,
+        assignment: Vec<bool>,
+        best_value: f64,
+        best: Vec<bool>,
+    }
+
+    impl Search<'_> {
+        fn dfs(&mut self, k: usize, value: f64) {
+            if value > self.best_value {
+                self.best_value = value;
+                self.best = self.assignment.clone();
+            }
+            if k == self.order.len() || value + self.suffix[k] <= self.best_value {
+                return;
+            }
+            let var = self.order[k];
+            // Branch x = 1 first (objective order makes it promising).
+            let fits = self
+                .model
+                .constraints
+                .iter()
+                .zip(&self.lhs)
+                .all(|(c, &lhs)| crate::feasibility::within_budget(lhs + c.coeffs[var], c.rhs));
+            if fits {
+                for (c, lhs) in self.model.constraints.iter().zip(&mut self.lhs) {
+                    *lhs += c.coeffs[var];
+                }
+                self.assignment[var] = true;
+                self.dfs(k + 1, value + self.model.objective[var]);
+                self.assignment[var] = false;
+                for (c, lhs) in self.model.constraints.iter().zip(&mut self.lhs) {
+                    *lhs -= c.coeffs[var];
+                }
+            }
+            self.dfs(k + 1, value);
+        }
+    }
+
+    let mut search = Search {
+        model,
+        order,
+        suffix,
+        lhs: vec![0.0; model.constraints.len()],
+        assignment: vec![false; n],
+        best_value: f64::NEG_INFINITY,
+        best: vec![false; n],
+    };
+    search.dfs(0, 0.0);
+    let value = search.best_value.max(0.0);
+    (search.best, value)
+}
+
+/// Solves a problem instance through its ILP form, returning a schedule.
+pub fn solve_problem(problem: &Problem) -> Schedule {
+    let model = build_model(problem);
+    let (assignment, _) = solve(&model);
+    Schedule::from_ids(
+        assignment
+            .iter()
+            .enumerate()
+            .filter(|(_, &x)| x)
+            .map(|(i, _)| LinkId(i as u32)),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::exact::branch_and_bound;
+    use crate::feasibility::is_feasible;
+    use fading_net::{RateModel, TopologyGenerator, UniformGenerator};
+
+    fn small_problem(n: usize, seed: u64) -> Problem {
+        let gen = UniformGenerator {
+            side: 120.0,
+            n,
+            len_lo: 5.0,
+            len_hi: 20.0,
+            rates: RateModel::Uniform { lo: 0.5, hi: 2.0 },
+        };
+        Problem::paper(gen.generate(seed), 3.0)
+    }
+
+    #[test]
+    fn model_dimensions_match_instance() {
+        let p = small_problem(9, 1);
+        let m = build_model(&p);
+        assert_eq!(m.objective.len(), 9);
+        assert_eq!(m.constraints.len(), 9);
+        for c in &m.constraints {
+            assert_eq!(c.coeffs.len(), 9);
+        }
+    }
+
+    #[test]
+    fn big_m_deactivates_unscheduled_constraints() {
+        // With x_j = 0 the constraint must hold even when every other
+        // link transmits: Σ_{i≠j} f_{i,j} ≤ γ_ε + M_j by M's choice.
+        let p = small_problem(8, 2);
+        let m = build_model(&p);
+        for (j, c) in m.constraints.iter().enumerate() {
+            let all_others: f64 = c
+                .coeffs
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| i != j)
+                .map(|(_, &v)| v)
+                .sum();
+            assert!(all_others <= c.rhs + 1e-9, "constraint {j} not deactivatable");
+        }
+    }
+
+    #[test]
+    fn ilp_matches_combinatorial_optimum() {
+        for seed in 0..6 {
+            let p = small_problem(10, seed);
+            let via_ilp = solve_problem(&p);
+            let via_bnb = branch_and_bound(&p);
+            assert!(
+                (via_ilp.utility(&p) - via_bnb.utility(&p)).abs() < 1e-9,
+                "seed {seed}: ILP {} vs B&B {}",
+                via_ilp.utility(&p),
+                via_bnb.utility(&p)
+            );
+            assert!(is_feasible(&p, &via_ilp), "seed {seed}: ILP schedule infeasible");
+        }
+    }
+
+    #[test]
+    fn solves_a_hand_built_knapsack_like_model() {
+        // max 3x0 + 2x1 + 2x2 s.t. 2x0 + x1 + x2 ≤ 2 → pick x1, x2.
+        let model = IlpModel {
+            objective: vec![3.0, 2.0, 2.0],
+            constraints: vec![Constraint {
+                coeffs: vec![2.0, 1.0, 1.0],
+                rhs: 2.0,
+            }],
+        };
+        let (x, v) = solve(&model);
+        assert_eq!(x, vec![false, true, true]);
+        assert!((v - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn infeasible_positive_vars_yield_empty_solution() {
+        let model = IlpModel {
+            objective: vec![1.0],
+            constraints: vec![Constraint {
+                coeffs: vec![5.0],
+                rhs: 1.0,
+            }],
+        };
+        let (x, v) = solve(&model);
+        assert_eq!(x, vec![false]);
+        assert_eq!(v, 0.0);
+    }
+
+    #[test]
+    fn empty_model() {
+        let model = IlpModel {
+            objective: vec![],
+            constraints: vec![],
+        };
+        let (x, v) = solve(&model);
+        assert!(x.is_empty());
+        assert_eq!(v, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative constraint coefficients")]
+    fn rejects_negative_coefficients() {
+        solve(&IlpModel {
+            objective: vec![1.0],
+            constraints: vec![Constraint {
+                coeffs: vec![-1.0],
+                rhs: 1.0,
+            }],
+        });
+    }
+}

@@ -1,0 +1,198 @@
+//! Dense interference-factor matrix.
+//!
+//! `f[i][j]` is the interference factor of sender `i` on receiver `j`
+//! (Eq. (17)): `ln(1 + γ_th (d_jj/d_ij)^α)` for `i ≠ j` and `0` on the
+//! diagonal. Every algorithm consults these values many times, so they
+//! are computed once per instance — in parallel across rows for large
+//! instances, since each entry is independent.
+
+use fading_channel::RayleighChannel;
+use fading_net::{LinkId, LinkSet};
+use rayon::prelude::*;
+
+/// Row-major `N×N` matrix of interference factors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InterferenceMatrix {
+    n: usize,
+    /// `data[i * n + j] = f_{i,j}`.
+    data: Vec<f64>,
+}
+
+/// Instances below this size are built sequentially; the rayon
+/// fork-join overhead only pays off once rows get expensive.
+const PARALLEL_THRESHOLD: usize = 64;
+
+impl InterferenceMatrix {
+    /// Computes all pairwise factors for `links` under `channel` with
+    /// uniform transmit power (the paper's model).
+    pub fn build(links: &LinkSet, channel: &RayleighChannel) -> Self {
+        Self::build_with_powers(links, channel, None)
+    }
+
+    /// Computes factors with optional per-link power scales (`scale_i ×
+    /// P` for sender `i`); `None` means uniform power. Theorem 3.1 and
+    /// Corollary 3.1 hold verbatim with the generalized factors.
+    ///
+    /// # Panics
+    /// Panics if `powers` is provided with the wrong length or a
+    /// non-positive entry.
+    pub fn build_with_powers(
+        links: &LinkSet,
+        channel: &RayleighChannel,
+        powers: Option<&[f64]>,
+    ) -> Self {
+        let n = links.len();
+        if n == 0 {
+            return Self { n, data: Vec::new() };
+        }
+        if let Some(p) = powers {
+            assert_eq!(p.len(), n, "power vector length mismatch");
+            assert!(
+                p.iter().all(|&s| s.is_finite() && s > 0.0),
+                "power scales must be positive"
+            );
+        }
+        let mut data = vec![0.0; n * n];
+        let fill_row = |i: usize, row: &mut [f64]| {
+            let sender = LinkId(i as u32);
+            for (j, slot) in row.iter_mut().enumerate() {
+                if i != j {
+                    let receiver = LinkId(j as u32);
+                    let d_ij = links.sender_receiver_distance(sender, receiver);
+                    let d_jj = links.length(receiver);
+                    *slot = match powers {
+                        None => channel.interference_factor(d_ij, d_jj),
+                        Some(p) => {
+                            channel.interference_factor_scaled(d_ij, d_jj, p[i], p[j])
+                        }
+                    };
+                }
+            }
+        };
+        if n >= PARALLEL_THRESHOLD {
+            data.par_chunks_mut(n)
+                .enumerate()
+                .for_each(|(i, row)| fill_row(i, row));
+        } else {
+            for (i, row) in data.chunks_mut(n).enumerate() {
+                fill_row(i, row);
+            }
+        }
+        Self { n, data }
+    }
+
+    /// Number of links `N`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the matrix is empty.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The factor `f_{i,j}` of sender `i` on receiver `j`.
+    #[inline]
+    pub fn factor(&self, sender: LinkId, receiver: LinkId) -> f64 {
+        self.data[sender.index() * self.n + receiver.index()]
+    }
+
+    /// Row `i`: the factors of sender `i` on every receiver.
+    #[inline]
+    pub fn row(&self, sender: LinkId) -> &[f64] {
+        let i = sender.index();
+        &self.data[i * self.n..(i + 1) * self.n]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fading_channel::ChannelParams;
+    use fading_net::{TopologyGenerator, UniformGenerator};
+
+    fn build(n: usize, seed: u64) -> (LinkSet, InterferenceMatrix) {
+        let links = UniformGenerator::paper(n).generate(seed);
+        let channel = RayleighChannel::new(ChannelParams::paper_defaults());
+        let m = InterferenceMatrix::build(&links, &channel);
+        (links, m)
+    }
+
+    #[test]
+    fn diagonal_is_zero() {
+        let (links, m) = build(30, 1);
+        for id in links.ids() {
+            assert_eq!(m.factor(id, id), 0.0);
+        }
+    }
+
+    #[test]
+    fn entries_match_direct_formula() {
+        let (links, m) = build(20, 2);
+        let channel = RayleighChannel::new(ChannelParams::paper_defaults());
+        for i in links.ids() {
+            for j in links.ids() {
+                if i == j {
+                    continue;
+                }
+                let d_ij = links.sender_receiver_distance(i, j);
+                let d_jj = links.length(j);
+                let expect = channel.interference_factor(d_ij, d_jj);
+                assert_eq!(m.factor(i, j), expect, "f({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_and_sequential_agree() {
+        // 100 links crosses PARALLEL_THRESHOLD; rebuild a 100-link
+        // instance and check entries against the scalar formula.
+        let (links, m) = build(100, 3);
+        assert_eq!(m.len(), 100);
+        let channel = RayleighChannel::new(ChannelParams::paper_defaults());
+        for i in links.ids().step_by(7) {
+            for j in links.ids().step_by(11) {
+                if i == j {
+                    continue;
+                }
+                let expect = channel.interference_factor(
+                    links.sender_receiver_distance(i, j),
+                    links.length(j),
+                );
+                assert_eq!(m.factor(i, j), expect);
+            }
+        }
+    }
+
+    #[test]
+    fn row_slices_align_with_factor() {
+        let (links, m) = build(15, 4);
+        for i in links.ids() {
+            let row = m.row(i);
+            for j in links.ids() {
+                assert_eq!(row[j.index()], m.factor(i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn all_factors_are_positive_off_diagonal() {
+        let (links, m) = build(40, 5);
+        for i in links.ids() {
+            for j in links.ids() {
+                if i != j {
+                    assert!(m.factor(i, j) > 0.0, "f({i},{j}) must be positive");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_instance() {
+        let links = LinkSet::new(fading_geom::Rect::square(1.0), vec![]);
+        let channel = RayleighChannel::new(ChannelParams::paper_defaults());
+        let m = InterferenceMatrix::build(&links, &channel);
+        assert!(m.is_empty());
+    }
+}

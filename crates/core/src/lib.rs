@@ -1,0 +1,59 @@
+//! Fading-Resistant Link Scheduling (Fading-R-LS).
+//!
+//! This crate is the paper's primary contribution: given a set of links
+//! in the plane and a Rayleigh-fading channel, select the sender subset
+//! maximizing total data rate such that every selected link succeeds
+//! with probability at least `1 − ε` (Section III).
+//!
+//! The decision machinery rests on Corollary 3.1: link `j` meets its
+//! reliability target under concurrent senders `P` iff
+//! `Σ_{i∈P\{j}} f_{i,j} ≤ γ_ε`, with interference factors
+//! `f_{i,j} = ln(1 + γ_th (d_jj/d_ij)^α)` precomputed in an
+//! [`interference::InterferenceMatrix`].
+//!
+//! # Algorithms
+//!
+//! | Algorithm | Module | Guarantee | Notes |
+//! |---|---|---|---|
+//! | LDP | [`algo::ldp`] | `O(g(L))` | link-diversity grid partition (Alg. 1) |
+//! | RLE | [`algo::rle`] | `O(1)` | uniform rates, shortest-first elimination (Alg. 2) |
+//! | ApproxLogN | [`algo::approx_logn`] | — | deterministic-SINR baseline [Goussevskaia+ 07] |
+//! | ApproxDiversity | [`algo::approx_diversity`] | — | deterministic-SINR baseline [Goussevskaia+ 09] |
+//! | GreedyRate | [`algo::greedy`] | heuristic | feasibility-aware rate-greedy |
+//! | Exact | [`algo::exact`] | optimal | branch-and-bound, small `N` |
+//! | DLS | [`algo::dls`] | reconstruction | decentralized rounds (see DESIGN.md §5) |
+//!
+//! The ILP of Eq. (20)–(22) is in [`ilp`], the Knapsack reduction of
+//! Theorem 3.2 in [`reduction`], and the multi-slot extension (the
+//! paper's future work) in [`multislot`].
+
+pub mod algo;
+pub mod constants;
+pub mod feasibility;
+pub mod ilp;
+pub mod interference;
+pub mod multislot;
+pub mod problem;
+pub mod reduction;
+pub mod schedule;
+
+pub use feasibility::FeasibilityReport;
+pub use interference::InterferenceMatrix;
+pub use problem::Problem;
+pub use schedule::Schedule;
+
+/// A one-shot link scheduling algorithm.
+///
+/// `Send + Sync` so sweeps can evaluate instances in parallel; all
+/// built-in schedulers are plain data.
+pub trait Scheduler: Send + Sync {
+    /// Human-readable algorithm name (used by result tables).
+    fn name(&self) -> &'static str;
+
+    /// Computes a schedule for one time slot. Implementations must
+    /// return schedules that are feasible *under the model the
+    /// algorithm assumes* — for the fading-resistant algorithms that is
+    /// Corollary 3.1; for the deterministic baselines it is the
+    /// non-fading SINR test (which is the point of the comparison).
+    fn schedule(&self, problem: &Problem) -> Schedule;
+}

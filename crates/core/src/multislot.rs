@@ -1,0 +1,241 @@
+//! Multi-slot scheduling — the paper's stated future work
+//! ("schedule all the links with the minimum number of time slots").
+//!
+//! The standard reduction from one-shot capacity maximization: run a
+//! one-shot scheduler, commit its schedule to a slot, remove the
+//! scheduled links, and repeat until every link has transmitted. If the
+//! one-shot scheduler ever returns an empty schedule on a non-empty
+//! residue (which the built-in schedulers never do, but the interface
+//! can't promise), the shortest remaining link is scheduled alone —
+//! a singleton is always feasible, so the loop terminates.
+
+use crate::problem::Problem;
+use crate::schedule::Schedule;
+use crate::Scheduler;
+use fading_net::LinkId;
+
+/// A complete multi-slot schedule: every link appears in exactly one
+/// slot, and every slot is feasible in isolation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiSlotSchedule {
+    slots: Vec<Schedule>,
+}
+
+impl MultiSlotSchedule {
+    /// The per-slot schedules, in transmission order.
+    pub fn slots(&self) -> &[Schedule] {
+        &self.slots
+    }
+
+    /// Number of time slots used.
+    pub fn num_slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total number of scheduled link transmissions.
+    pub fn total_links(&self) -> usize {
+        self.slots.iter().map(Schedule::len).sum()
+    }
+
+    /// Slot index of a link, if scheduled.
+    pub fn slot_of(&self, id: LinkId) -> Option<usize> {
+        self.slots.iter().position(|s| s.contains(id))
+    }
+}
+
+/// Schedules *all* links of `problem` using `scheduler` for each slot.
+pub fn schedule_all<S: Scheduler + ?Sized>(problem: &Problem, scheduler: &S) -> MultiSlotSchedule {
+    let mut remaining: Vec<LinkId> = problem.links().ids().collect();
+    let mut slots = Vec::new();
+    while !remaining.is_empty() {
+        // Build the residual instance (renumbered) and map ids back.
+        let (sub_links, mapping) = problem.links().restrict(&remaining);
+        let sub = Problem::new(sub_links, *problem.params(), problem.epsilon());
+        let sub_schedule = scheduler.schedule(&sub);
+        let slot: Vec<LinkId> = if sub_schedule.is_empty() {
+            // Fallback: a singleton is always feasible (no interferers).
+            let shortest = *remaining
+                .iter()
+                .min_by(|&&a, &&b| {
+                    problem
+                        .links()
+                        .length(a)
+                        .total_cmp(&problem.links().length(b))
+                })
+                .expect("remaining is non-empty");
+            vec![shortest]
+        } else {
+            sub_schedule.iter().map(|sub_id| mapping[sub_id.index()]).collect()
+        };
+        remaining.retain(|id| !slot.contains(id));
+        slots.push(Schedule::from_ids(slot));
+    }
+    MultiSlotSchedule { slots }
+}
+
+/// A lower bound on the number of slots any multi-slot schedule needs:
+/// the size of a clique in the *pairwise-conflict graph* (links `i, j`
+/// conflict when even the two of them alone violate Corollary 3.1 —
+/// `f_{i,j} > γ_ε` or `f_{j,i} > γ_ε`). Every member of such a clique
+/// must occupy a distinct slot.
+///
+/// Finding the maximum clique is itself NP-hard; this returns a greedy
+/// clique (highest-conflict-degree first), which is still a *valid*
+/// lower bound, just not necessarily the best one.
+pub fn conflict_clique_lower_bound(problem: &Problem) -> usize {
+    let n = problem.len();
+    if n == 0 {
+        return 0;
+    }
+    let budget = problem.gamma_eps();
+    let conflicts = |a: LinkId, b: LinkId| -> bool {
+        problem.factor(a, b) > budget || problem.factor(b, a) > budget
+    };
+    // Conflict degree per link.
+    let ids: Vec<LinkId> = problem.links().ids().collect();
+    let mut order: Vec<LinkId> = ids.clone();
+    let degree: Vec<usize> = ids
+        .iter()
+        .map(|&a| ids.iter().filter(|&&b| b != a && conflicts(a, b)).count())
+        .collect();
+    order.sort_by_key(|id| std::cmp::Reverse(degree[id.index()]));
+    let mut clique: Vec<LinkId> = Vec::new();
+    for cand in order {
+        if clique.iter().all(|&m| conflicts(m, cand)) {
+            clique.push(cand);
+        }
+    }
+    clique.len().max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::{GreedyRate, Ldp, Rle};
+    use crate::feasibility::is_feasible;
+    use fading_net::{TopologyGenerator, UniformGenerator};
+    use std::collections::HashSet;
+
+    fn problem(n: usize, seed: u64) -> Problem {
+        Problem::paper(UniformGenerator::paper(n).generate(seed), 3.0)
+    }
+
+    fn assert_valid_cover(p: &Problem, ms: &MultiSlotSchedule) {
+        let mut seen = HashSet::new();
+        for slot in ms.slots() {
+            assert!(!slot.is_empty(), "empty slot");
+            assert!(is_feasible(p, slot), "infeasible slot");
+            for id in slot.iter() {
+                assert!(seen.insert(id), "link {id} scheduled twice");
+            }
+        }
+        assert_eq!(seen.len(), p.len(), "not all links were scheduled");
+    }
+
+    #[test]
+    fn rle_covers_all_links_with_feasible_slots() {
+        let p = problem(120, 1);
+        let ms = schedule_all(&p, &Rle::new());
+        assert_valid_cover(&p, &ms);
+        assert!(ms.num_slots() >= 1);
+    }
+
+    #[test]
+    fn ldp_covers_all_links_with_feasible_slots() {
+        let p = problem(80, 2);
+        let ms = schedule_all(&p, &Ldp::new());
+        assert_valid_cover(&p, &ms);
+    }
+
+    #[test]
+    fn greedy_needs_no_more_slots_than_links() {
+        let p = problem(60, 3);
+        let ms = schedule_all(&p, &GreedyRate);
+        assert_valid_cover(&p, &ms);
+        assert!(ms.num_slots() <= p.len());
+    }
+
+    #[test]
+    fn slot_of_finds_every_link() {
+        let p = problem(50, 4);
+        let ms = schedule_all(&p, &Rle::new());
+        for id in p.links().ids() {
+            assert!(ms.slot_of(id).is_some());
+        }
+        assert_eq!(ms.total_links(), p.len());
+    }
+
+    #[test]
+    fn empty_problem_needs_zero_slots() {
+        let links = fading_net::LinkSet::new(fading_geom::Rect::square(1.0), vec![]);
+        let p = Problem::paper(links, 3.0);
+        let ms = schedule_all(&p, &Rle::new());
+        assert_eq!(ms.num_slots(), 0);
+    }
+
+    #[test]
+    fn greedy_uses_fewer_or_equal_slots_than_singletons() {
+        let p = problem(40, 5);
+        let ms = schedule_all(&p, &GreedyRate);
+        assert!(ms.num_slots() < p.len(), "parallelism should help");
+    }
+
+    #[test]
+    fn lower_bound_is_respected_by_every_plan() {
+        for seed in 0..4 {
+            let p = problem(80, seed);
+            let bound = conflict_clique_lower_bound(&p);
+            assert!(bound >= 1);
+            for s in [&Rle::new() as &dyn crate::Scheduler, &Ldp::new(), &GreedyRate] {
+                let plan = schedule_all(&p, s);
+                assert!(
+                    plan.num_slots() >= bound,
+                    "{}: {} slots below clique bound {bound} (seed {seed})",
+                    s.name(),
+                    plan.num_slots()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lower_bound_detects_mutual_conflicts() {
+        // A tight cluster of links all pairwise-conflicting: bound = n.
+        use fading_geom::{Point2, Rect};
+        use fading_net::{Link, LinkSet};
+        let links: Vec<Link> = (0..5)
+            .map(|i| {
+                let y = i as f64 * 2.0;
+                Link::new(
+                    fading_net::LinkId(i),
+                    Point2::new(0.0, y),
+                    Point2::new(10.0, y),
+                    1.0,
+                )
+            })
+            .collect();
+        let p = Problem::paper(LinkSet::new(Rect::square(100.0), links), 3.0);
+        assert_eq!(conflict_clique_lower_bound(&p), 5);
+    }
+
+    #[test]
+    fn lower_bound_is_one_for_isolated_links() {
+        use fading_geom::{Point2, Rect};
+        use fading_net::{Link, LinkSet};
+        let links: Vec<Link> = (0..4)
+            .map(|i| {
+                let base = Point2::new(i as f64 * 10_000.0, 0.0);
+                Link::new(fading_net::LinkId(i), base, base + Point2::new(5.0, 0.0), 1.0)
+            })
+            .collect();
+        let p = Problem::paper(LinkSet::new(Rect::square(50_000.0), links), 3.0);
+        assert_eq!(conflict_clique_lower_bound(&p), 1);
+    }
+
+    #[test]
+    fn empty_problem_bound_is_zero() {
+        let links = fading_net::LinkSet::new(fading_geom::Rect::square(1.0), vec![]);
+        let p = Problem::paper(links, 3.0);
+        assert_eq!(conflict_clique_lower_bound(&p), 0);
+    }
+}

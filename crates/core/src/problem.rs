@@ -1,0 +1,198 @@
+//! The Fading-R-LS problem instance.
+
+use crate::interference::InterferenceMatrix;
+use fading_channel::{ChannelParams, DeterministicSinr, RayleighChannel};
+use fading_math::gamma_eps;
+use fading_net::{LinkId, LinkSet};
+
+/// A complete Fading-R-LS instance: links, channel, reliability target,
+/// and the precomputed interference-factor matrix.
+///
+/// ```
+/// use fading_core::Problem;
+/// use fading_net::{TopologyGenerator, UniformGenerator};
+///
+/// let links = UniformGenerator::paper(50).generate(1);
+/// let problem = Problem::paper(links, 3.0);
+/// assert_eq!(problem.len(), 50);
+/// // γ_ε = ln(1/(1−ε)) with the paper's ε = 0.01
+/// assert!((problem.gamma_eps() - (1.0f64 / 0.99).ln()).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Problem {
+    links: LinkSet,
+    channel: RayleighChannel,
+    epsilon: f64,
+    gamma_eps: f64,
+    factors: InterferenceMatrix,
+    /// Per-link transmit power scales (`None` = uniform, the paper's
+    /// model). Factors, feasibility, and the simulator all honor them.
+    power_scales: Option<Vec<f64>>,
+}
+
+impl Problem {
+    /// Builds an instance; precomputes the `N×N` interference matrix.
+    ///
+    /// # Panics
+    /// Panics if `epsilon` is outside `(0, 1)`.
+    pub fn new(links: LinkSet, params: ChannelParams, epsilon: f64) -> Self {
+        let gamma_eps = gamma_eps(epsilon); // validates epsilon
+        let channel = RayleighChannel::new(params);
+        let factors = InterferenceMatrix::build(&links, &channel);
+        Self {
+            links,
+            channel,
+            epsilon,
+            gamma_eps,
+            factors,
+            power_scales: None,
+        }
+    }
+
+    /// Builds an instance with per-link transmit power scales
+    /// (`scale_i × P` for sender `i`) — the power-control extension.
+    /// Theorem 3.1 generalizes exactly, so every factor-based algorithm
+    /// and checker works unchanged on the generalized factors.
+    ///
+    /// # Panics
+    /// Panics on length mismatch, non-positive scales, or `epsilon`
+    /// outside `(0, 1)`.
+    pub fn with_power_scales(
+        links: LinkSet,
+        params: ChannelParams,
+        epsilon: f64,
+        power_scales: Vec<f64>,
+    ) -> Self {
+        let gamma_eps = gamma_eps(epsilon);
+        let channel = RayleighChannel::new(params);
+        let factors = InterferenceMatrix::build_with_powers(&links, &channel, Some(&power_scales));
+        Self {
+            links,
+            channel,
+            epsilon,
+            gamma_eps,
+            factors,
+            power_scales: Some(power_scales),
+        }
+    }
+
+    /// Transmit power scale of a link (1 under uniform power).
+    #[inline]
+    pub fn power_scale(&self, id: LinkId) -> f64 {
+        self.power_scales
+            .as_ref()
+            .map_or(1.0, |p| p[id.index()])
+    }
+
+    /// The full power-scale vector, if power control is active.
+    pub fn power_scales(&self) -> Option<&[f64]> {
+        self.power_scales.as_deref()
+    }
+
+    /// The paper's evaluation configuration: `ε = 0.01` and
+    /// [`ChannelParams::paper_defaults`] (or a supplied `α`).
+    pub fn paper(links: LinkSet, alpha: f64) -> Self {
+        Self::new(links, ChannelParams::with_alpha(alpha), 0.01)
+    }
+
+    /// The links of the instance.
+    pub fn links(&self) -> &LinkSet {
+        &self.links
+    }
+
+    /// Number of links `N`.
+    pub fn len(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Whether the instance is empty.
+    pub fn is_empty(&self) -> bool {
+        self.links.is_empty()
+    }
+
+    /// The Rayleigh channel model.
+    pub fn channel(&self) -> &RayleighChannel {
+        &self.channel
+    }
+
+    /// The deterministic-SINR view of the same physical parameters
+    /// (used by the fading-susceptible baselines).
+    pub fn deterministic_channel(&self) -> DeterministicSinr {
+        DeterministicSinr::new(self.channel.params)
+    }
+
+    /// Physical parameters.
+    pub fn params(&self) -> &ChannelParams {
+        &self.channel.params
+    }
+
+    /// Acceptable error probability `ε`.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// The feasibility budget `γ_ε = ln(1/(1−ε))`.
+    pub fn gamma_eps(&self) -> f64 {
+        self.gamma_eps
+    }
+
+    /// The precomputed interference factors.
+    pub fn factors(&self) -> &InterferenceMatrix {
+        &self.factors
+    }
+
+    /// Interference factor `f_{i,j}` (Eq. (17)).
+    #[inline]
+    pub fn factor(&self, sender: LinkId, receiver: LinkId) -> f64 {
+        self.factors.factor(sender, receiver)
+    }
+
+    /// Rate `λ_i` of a link.
+    #[inline]
+    pub fn rate(&self, id: LinkId) -> f64 {
+        self.links.link(id).rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fading_net::{TopologyGenerator, UniformGenerator};
+
+    #[test]
+    fn paper_instance_wires_everything() {
+        let links = UniformGenerator::paper(25).generate(1);
+        let p = Problem::paper(links.clone(), 3.0);
+        assert_eq!(p.len(), 25);
+        assert_eq!(p.epsilon(), 0.01);
+        assert_eq!(p.params().alpha, 3.0);
+        assert_eq!(p.factors().len(), 25);
+        assert!((p.gamma_eps() - (1.0f64 / 0.99).ln()).abs() < 1e-12);
+        assert_eq!(p.links(), &links);
+    }
+
+    #[test]
+    fn factor_shortcut_matches_matrix() {
+        let links = UniformGenerator::paper(10).generate(2);
+        let p = Problem::paper(links, 3.0);
+        for i in p.links().ids() {
+            for j in p.links().ids() {
+                assert_eq!(p.factor(i, j), p.factors().factor(i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_view_shares_params() {
+        let links = UniformGenerator::paper(5).generate(3);
+        let p = Problem::paper(links, 3.5);
+        assert_eq!(p.deterministic_channel().params, *p.params());
+    }
+
+    #[test]
+    #[should_panic(expected = "acceptable error rate")]
+    fn rejects_epsilon_one() {
+        let links = UniformGenerator::paper(3).generate(4);
+        Problem::new(links, ChannelParams::paper_defaults(), 1.0);
+    }
+}

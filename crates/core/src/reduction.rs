@@ -1,0 +1,303 @@
+//! The Knapsack → Fading-R-LS reduction of Theorem 3.2.
+//!
+//! Given a Knapsack instance (values `p_i`, weights `w_i`, capacity
+//! `W`), the construction places one sender per item on the x-axis at
+//! `x_i = ((e^{γ_ε w_i/W} − 1)/γ_th)^{−1/α}` (Eq. (23)) so that its
+//! interference factor on a gate receiver at the origin is *exactly*
+//! `γ_ε w_i / W`; a gate link `(s_{n+1}, r_{n+1}) = ((0,1), (0,0))` with
+//! rate `2 Σ p` forces any high-value schedule to respect
+//! `Σ w_i ≤ W`. Item receivers sit `δ` (Eq. (25)) from their senders,
+//! close enough to be informed regardless of which other senders are
+//! active. Consequently
+//!
+//! `OPT_FadingRLS = 2 Σ p + OPT_Knapsack`,
+//!
+//! which the integration tests verify with the exact solvers on both
+//! sides.
+
+use crate::problem::Problem;
+use fading_channel::ChannelParams;
+use fading_geom::{Point2, Rect};
+use fading_math::gamma_eps;
+use fading_net::{Link, LinkId, LinkSet};
+
+/// A 0/1 Knapsack instance.
+///
+/// ```
+/// use fading_core::reduction::{knapsack_to_fading_rls, KnapsackInstance};
+/// use fading_core::algo::exact::branch_and_bound;
+/// use fading_channel::ChannelParams;
+///
+/// let kp = KnapsackInstance::new(vec![6.0, 10.0], vec![1.0, 2.0], 2.5);
+/// let reduced = knapsack_to_fading_rls(&kp, ChannelParams::paper_defaults(), 0.01);
+/// let opt = branch_and_bound(&reduced.problem).utility(&reduced.problem);
+/// // OPT = 2Σp + knapsack optimum (Theorem 3.2)
+/// assert!((opt - (2.0 * 16.0 + 10.0)).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct KnapsackInstance {
+    /// Item values `p_i` (positive).
+    pub values: Vec<f64>,
+    /// Item weights `w_i` (positive, pairwise distinct — equal weights
+    /// would map two senders to the same point, violating the wireless
+    /// model's distinct-sender assumption; perturb ties upstream).
+    pub weights: Vec<f64>,
+    /// Capacity `W` (positive).
+    pub capacity: f64,
+}
+
+impl KnapsackInstance {
+    /// Validates and wraps an instance.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch, non-positive data, or duplicate
+    /// weights.
+    pub fn new(values: Vec<f64>, weights: Vec<f64>, capacity: f64) -> Self {
+        assert_eq!(values.len(), weights.len(), "values/weights length mismatch");
+        assert!(capacity > 0.0, "capacity must be positive");
+        assert!(
+            values.iter().all(|&v| v.is_finite() && v > 0.0),
+            "values must be positive"
+        );
+        assert!(
+            weights.iter().all(|&w| w.is_finite() && w > 0.0),
+            "weights must be positive"
+        );
+        for i in 0..weights.len() {
+            for j in (i + 1)..weights.len() {
+                assert!(
+                    weights[i] != weights[j],
+                    "weights must be pairwise distinct (items {i} and {j})"
+                );
+            }
+        }
+        Self {
+            values,
+            weights,
+            capacity,
+        }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the instance has no items.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Total value `Σ p_i`.
+    pub fn total_value(&self) -> f64 {
+        self.values.iter().sum()
+    }
+
+    /// Exact optimum by enumeration — `O(2^n)`, for validating the
+    /// reduction on small instances.
+    ///
+    /// # Panics
+    /// Panics for more than 20 items.
+    pub fn brute_force_optimum(&self) -> f64 {
+        let n = self.len();
+        assert!(n <= 20, "brute force limited to 20 items");
+        let mut best = 0.0f64;
+        for mask in 0u32..(1u32 << n) {
+            let mut value = 0.0;
+            let mut weight = 0.0;
+            for i in 0..n {
+                if mask & (1 << i) != 0 {
+                    value += self.values[i];
+                    weight += self.weights[i];
+                }
+            }
+            if weight <= self.capacity {
+                best = best.max(value);
+            }
+        }
+        best
+    }
+}
+
+/// Output of the reduction: the Fading-R-LS instance plus bookkeeping
+/// for interpreting its schedules.
+#[derive(Debug, Clone)]
+pub struct ReducedInstance {
+    /// The constructed scheduling problem (items `0..n`, gate link `n`).
+    pub problem: Problem,
+    /// Id of the gate link `(s_{n+1}, r_{n+1})`.
+    pub gate: LinkId,
+    /// The gate's rate, `2 Σ p`.
+    pub gate_rate: f64,
+}
+
+/// Performs the Theorem 3.2 construction.
+///
+/// `params` supplies `α`, `γ_th` and power; `eps` the reliability
+/// target. Works for any valid parameters, not only the paper defaults.
+pub fn knapsack_to_fading_rls(
+    kp: &KnapsackInstance,
+    params: ChannelParams,
+    eps: f64,
+) -> ReducedInstance {
+    let n = kp.len();
+    let ge = gamma_eps(eps);
+    let alpha = params.alpha;
+    let gamma_th = params.gamma_th;
+
+    // Eq. (23): sender positions on the x-axis.
+    let xs: Vec<f64> = kp
+        .weights
+        .iter()
+        .map(|&w| ((ge * w / kp.capacity).exp_m1() / gamma_th).powf(-1.0 / alpha))
+        .collect();
+    let mut senders: Vec<Point2> = xs.iter().map(|&x| Point2::new(x, 0.0)).collect();
+    senders.push(Point2::new(0.0, 1.0)); // s_{n+1}
+
+    // d_min over all sender pairs (Eq. (25) needs it, including the gate).
+    let mut d_min = f64::INFINITY;
+    for i in 0..senders.len() {
+        for j in (i + 1)..senders.len() {
+            d_min = d_min.min(senders[i].distance(&senders[j]));
+        }
+    }
+    assert!(
+        d_min > 0.0,
+        "degenerate construction: two senders coincide (duplicate weights?)"
+    );
+
+    // Eq. (25): the item-receiver offset.
+    let delta = d_min
+        / (((ge / (n as f64 + 1.0)).exp_m1() / gamma_th).powf(-1.0 / alpha) + 1.0);
+
+    let total_value = kp.total_value();
+    let gate_rate = 2.0 * total_value;
+    let mut links: Vec<Link> = (0..n)
+        .map(|i| {
+            Link::new(
+                LinkId(i as u32),
+                senders[i],
+                senders[i] + Point2::new(delta, 0.0),
+                kp.values[i],
+            )
+        })
+        .collect();
+    links.push(Link::new(
+        LinkId(n as u32),
+        senders[n],
+        Point2::new(0.0, 0.0), // r_{n+1} at the origin
+        gate_rate,
+    ));
+
+    let max_x = xs.iter().copied().fold(1.0f64, f64::max) + delta + 1.0;
+    let region = Rect::new(Point2::new(-1.0, -1.0), Point2::new(max_x, 2.0));
+    let problem = Problem::new(LinkSet::new(region, links), params, eps);
+    ReducedInstance {
+        problem,
+        gate: LinkId(n as u32),
+        gate_rate,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::exact::branch_and_bound;
+    use crate::schedule::Schedule;
+
+    fn params() -> ChannelParams {
+        ChannelParams::paper_defaults()
+    }
+
+    fn reduce(values: &[f64], weights: &[f64], cap: f64) -> ReducedInstance {
+        let kp = KnapsackInstance::new(values.to_vec(), weights.to_vec(), cap);
+        knapsack_to_fading_rls(&kp, params(), 0.01)
+    }
+
+    #[test]
+    fn gate_interference_factors_encode_weights() {
+        // f_{i, gate} must equal γ_ε w_i / W exactly (Eq. (30)).
+        let weights = [1.0, 2.5, 4.0];
+        let r = reduce(&[1.0, 1.0, 1.0], &weights, 5.0);
+        let ge = r.problem.gamma_eps();
+        for (i, &w) in weights.iter().enumerate() {
+            let f = r.problem.factor(LinkId(i as u32), r.gate);
+            let expect = ge * w / 5.0;
+            assert!(
+                (f - expect).abs() < 1e-12 * expect,
+                "item {i}: f={f} vs γ_ε w/W={expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn item_receivers_are_informed_under_any_coalition() {
+        // The δ construction must keep every item link feasible even
+        // when all senders (including the gate) transmit.
+        let r = reduce(&[3.0, 1.0, 2.0, 5.0], &[2.0, 1.0, 3.0, 4.0], 6.0);
+        let all = Schedule::from_ids(r.problem.links().ids());
+        let report = crate::feasibility::FeasibilityReport::evaluate(&r.problem, &all);
+        for e in report.entries() {
+            if e.id != r.gate {
+                assert!(e.feasible, "item link {} must always be informed", e.id);
+            }
+        }
+    }
+
+    #[test]
+    fn optimum_equals_two_sigma_p_plus_knapsack_optimum() {
+        let cases: [(Vec<f64>, Vec<f64>, f64); 4] = [
+            (vec![2.0, 3.0, 4.0], vec![1.0, 2.0, 3.0], 3.5),
+            (vec![1.0, 1.0, 1.0, 1.0], vec![1.0, 2.0, 3.0, 4.0], 5.0),
+            (vec![5.0, 4.0, 3.0], vec![4.0, 3.0, 2.0], 5.0),
+            (vec![10.0], vec![3.0], 1.0), // item never fits
+        ];
+        for (values, weights, cap) in cases {
+            let kp = KnapsackInstance::new(values.clone(), weights.clone(), cap);
+            let expect = 2.0 * kp.total_value() + kp.brute_force_optimum();
+            let red = knapsack_to_fading_rls(&kp, params(), 0.01);
+            let opt = branch_and_bound(&red.problem);
+            assert!(
+                (opt.utility(&red.problem) - expect).abs() < 1e-9,
+                "values={values:?} weights={weights:?} W={cap}: fading OPT {} vs 2Σp+knap {}",
+                opt.utility(&red.problem),
+                expect
+            );
+            assert!(opt.contains(red.gate), "optimum must include the gate link");
+        }
+    }
+
+    #[test]
+    fn reduction_works_for_other_alpha_and_eps() {
+        let kp = KnapsackInstance::new(vec![2.0, 2.0, 3.0], vec![1.5, 2.5, 3.5], 4.0);
+        for (alpha, eps) in [(2.5, 0.05), (4.0, 0.001)] {
+            let red = knapsack_to_fading_rls(&kp, ChannelParams::with_alpha(alpha), eps);
+            let expect = 2.0 * kp.total_value() + kp.brute_force_optimum();
+            let opt = branch_and_bound(&red.problem);
+            assert!(
+                (opt.utility(&red.problem) - expect).abs() < 1e-9,
+                "α={alpha} ε={eps}"
+            );
+        }
+    }
+
+    #[test]
+    fn brute_force_knapsack_examples() {
+        let kp = KnapsackInstance::new(vec![6.0, 10.0, 12.0], vec![1.0, 2.0, 3.0], 5.0);
+        assert_eq!(kp.brute_force_optimum(), 22.0);
+        let tight = KnapsackInstance::new(vec![1.0], vec![2.0], 1.0);
+        assert_eq!(tight.brute_force_optimum(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "pairwise distinct")]
+    fn rejects_duplicate_weights() {
+        KnapsackInstance::new(vec![1.0, 2.0], vec![3.0, 3.0], 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn rejects_nonpositive_values() {
+        KnapsackInstance::new(vec![0.0], vec![1.0], 5.0);
+    }
+}

@@ -1,0 +1,127 @@
+//! Schedules — the output of every algorithm.
+
+use crate::problem::Problem;
+use fading_net::LinkId;
+use serde::{Deserialize, Serialize};
+
+/// A set of links selected to transmit concurrently in one time slot.
+///
+/// Stored as a sorted, deduplicated id list, so membership tests are
+/// `O(log n)` and iteration order is deterministic.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Schedule {
+    members: Vec<LinkId>,
+}
+
+impl Schedule {
+    /// The empty schedule.
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Builds a schedule from ids (sorted and deduplicated).
+    pub fn from_ids<I: IntoIterator<Item = LinkId>>(ids: I) -> Self {
+        let mut members: Vec<LinkId> = ids.into_iter().collect();
+        members.sort_unstable();
+        members.dedup();
+        Self { members }
+    }
+
+    /// Number of scheduled links.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether no link is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Whether `id` is scheduled.
+    pub fn contains(&self, id: LinkId) -> bool {
+        self.members.binary_search(&id).is_ok()
+    }
+
+    /// The scheduled ids in ascending order.
+    pub fn ids(&self) -> &[LinkId] {
+        &self.members
+    }
+
+    /// Iterator over scheduled ids.
+    pub fn iter(&self) -> impl Iterator<Item = LinkId> + '_ {
+        self.members.iter().copied()
+    }
+
+    /// Total data rate `U(P) = Σ_{i∈P} λ_i` — the objective of Eq. (20).
+    pub fn utility(&self, problem: &Problem) -> f64 {
+        self.members.iter().map(|&id| problem.rate(id)).sum()
+    }
+
+    /// Membership bitmap of length `n` (dense algorithms index by id).
+    pub fn bitmap(&self, n: usize) -> Vec<bool> {
+        let mut bits = vec![false; n];
+        for &id in &self.members {
+            bits[id.index()] = true;
+        }
+        bits
+    }
+}
+
+impl FromIterator<LinkId> for Schedule {
+    fn from_iter<I: IntoIterator<Item = LinkId>>(iter: I) -> Self {
+        Self::from_ids(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fading_net::{TopologyGenerator, UniformGenerator};
+
+    #[test]
+    fn from_ids_sorts_and_dedups() {
+        let s = Schedule::from_ids([LinkId(3), LinkId(1), LinkId(3), LinkId(0)]);
+        assert_eq!(s.ids(), &[LinkId(0), LinkId(1), LinkId(3)]);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn contains_uses_membership() {
+        let s = Schedule::from_ids([LinkId(2), LinkId(5)]);
+        assert!(s.contains(LinkId(2)));
+        assert!(s.contains(LinkId(5)));
+        assert!(!s.contains(LinkId(3)));
+    }
+
+    #[test]
+    fn empty_schedule() {
+        let s = Schedule::empty();
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert!(!s.contains(LinkId(0)));
+    }
+
+    #[test]
+    fn utility_sums_rates() {
+        let links = UniformGenerator::paper(10).generate(1);
+        let p = crate::Problem::paper(links, 3.0);
+        let s = Schedule::from_ids([LinkId(0), LinkId(4), LinkId(9)]);
+        // paper generator uses unit rates
+        assert_eq!(s.utility(&p), 3.0);
+        assert_eq!(Schedule::empty().utility(&p), 0.0);
+    }
+
+    #[test]
+    fn bitmap_matches_membership() {
+        let s = Schedule::from_ids([LinkId(1), LinkId(3)]);
+        assert_eq!(s.bitmap(5), vec![false, true, false, true, false]);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let s = Schedule::from_ids([LinkId(7), LinkId(2)]);
+        let json = serde_json::to_string(&s).unwrap();
+        let back: Schedule = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+}

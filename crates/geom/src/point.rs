@@ -1,0 +1,156 @@
+//! Points in the Euclidean plane.
+
+use serde::{Deserialize, Serialize};
+use std::ops::{Add, Sub};
+
+/// A point (or displacement) in the 2-D Euclidean plane.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Point2 {
+    /// Horizontal coordinate.
+    pub x: f64,
+    /// Vertical coordinate.
+    pub y: f64,
+}
+
+impl Point2 {
+    /// Creates a point from coordinates.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Self { x, y }
+    }
+
+    /// The origin `(0, 0)`.
+    #[inline]
+    pub const fn origin() -> Self {
+        Self { x: 0.0, y: 0.0 }
+    }
+
+    /// Euclidean distance to `other`.
+    #[inline]
+    pub fn distance(&self, other: &Self) -> f64 {
+        self.distance_sq(other).sqrt()
+    }
+
+    /// Squared Euclidean distance to `other` (avoids the sqrt when only
+    /// comparisons are needed, e.g. in radius queries).
+    #[inline]
+    pub fn distance_sq(&self, other: &Self) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Euclidean norm when interpreted as a vector from the origin.
+    #[inline]
+    pub fn norm(&self) -> f64 {
+        self.x.hypot(self.y)
+    }
+
+    /// Point at distance `r` from `self` in direction `theta` (radians).
+    #[inline]
+    pub fn offset_polar(&self, r: f64, theta: f64) -> Self {
+        Self::new(self.x + r * theta.cos(), self.y + r * theta.sin())
+    }
+}
+
+impl Add for Point2 {
+    type Output = Point2;
+    #[inline]
+    fn add(self, rhs: Point2) -> Point2 {
+        Point2::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl Sub for Point2 {
+    type Output = Point2;
+    #[inline]
+    fn sub(self, rhs: Point2) -> Point2 {
+        Point2::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl From<(f64, f64)> for Point2 {
+    fn from((x, y): (f64, f64)) -> Self {
+        Self::new(x, y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn distance_is_euclidean() {
+        let a = Point2::new(0.0, 0.0);
+        let b = Point2::new(3.0, 4.0);
+        assert_eq!(a.distance(&b), 5.0);
+        assert_eq!(a.distance_sq(&b), 25.0);
+    }
+
+    #[test]
+    fn distance_to_self_is_zero() {
+        let p = Point2::new(1.5, -2.5);
+        assert_eq!(p.distance(&p), 0.0);
+    }
+
+    #[test]
+    fn offset_polar_lands_at_expected_distance() {
+        let p = Point2::new(1.0, 1.0);
+        for i in 0..8 {
+            let theta = i as f64 * std::f64::consts::FRAC_PI_4;
+            let q = p.offset_polar(2.0, theta);
+            assert!((p.distance(&q) - 2.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = Point2::new(1.0, 2.0);
+        let b = Point2::new(-0.5, 4.0);
+        assert_eq!((a + b) - b, a);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let p = Point2::new(1.25, -3.5);
+        let json = serde_json::to_string(&p).unwrap();
+        let q: Point2 = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, q);
+    }
+
+    proptest! {
+        #[test]
+        fn distance_is_symmetric(
+            ax in -1e3f64..1e3, ay in -1e3f64..1e3,
+            bx in -1e3f64..1e3, by in -1e3f64..1e3,
+        ) {
+            let a = Point2::new(ax, ay);
+            let b = Point2::new(bx, by);
+            prop_assert_eq!(a.distance(&b), b.distance(&a));
+        }
+
+        #[test]
+        fn triangle_inequality(
+            ax in -1e3f64..1e3, ay in -1e3f64..1e3,
+            bx in -1e3f64..1e3, by in -1e3f64..1e3,
+            cx in -1e3f64..1e3, cy in -1e3f64..1e3,
+        ) {
+            let a = Point2::new(ax, ay);
+            let b = Point2::new(bx, by);
+            let c = Point2::new(cx, cy);
+            prop_assert!(a.distance(&c) <= a.distance(&b) + b.distance(&c) + 1e-9);
+        }
+
+        #[test]
+        fn distance_sq_consistent_with_distance(
+            ax in -1e3f64..1e3, ay in -1e3f64..1e3,
+            bx in -1e3f64..1e3, by in -1e3f64..1e3,
+        ) {
+            let a = Point2::new(ax, ay);
+            let b = Point2::new(bx, by);
+            let d = a.distance(&b);
+            prop_assert!((d * d - a.distance_sq(&b)).abs() <= 1e-9 * (1.0 + d * d));
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! Poisson-disk (blue-noise) sampling via Bridson's algorithm.
+//!
+//! Uniform random deployments produce clumps; real radio deployments
+//! are often planned with a minimum spacing. Poisson-disk sampling
+//! yields points that are uniform at large scales but never closer
+//! than a radius `r` — a standard workload in wireless evaluation.
+//! Used by `fading-net`'s [`PoissonGenerator`].
+//!
+//! [`PoissonGenerator`]: ../../fading_net/generator/struct.PoissonGenerator.html
+
+use crate::point::Point2;
+use crate::rect::Rect;
+use rand::Rng;
+
+/// Bridson's attempts-per-active-point constant; 30 is the paper's
+/// recommendation.
+const ATTEMPTS: usize = 30;
+
+/// Samples points in `region` such that all pairwise distances are at
+/// least `r`, until no more points fit (maximal sample) or `max_points`
+/// is reached.
+///
+/// # Panics
+/// Panics unless `r > 0`.
+pub fn poisson_disk<R: Rng + ?Sized>(
+    rng: &mut R,
+    region: &Rect,
+    r: f64,
+    max_points: usize,
+) -> Vec<Point2> {
+    assert!(r.is_finite() && r > 0.0, "radius must be positive, got {r}");
+    if max_points == 0 {
+        return Vec::new();
+    }
+    // Background grid with cells of r/√2 holds at most one sample each.
+    let cell = r / 2f64.sqrt();
+    let cols = (region.width() / cell).ceil() as usize + 1;
+    let rows = (region.height() / cell).ceil() as usize + 1;
+    let mut grid: Vec<Option<u32>> = vec![None; cols * rows];
+    let origin = region.min();
+    let index = |p: &Point2| -> usize {
+        let a = ((p.x - origin.x) / cell) as usize;
+        let b = ((p.y - origin.y) / cell) as usize;
+        b.min(rows - 1) * cols + a.min(cols - 1)
+    };
+
+    let mut points: Vec<Point2> = Vec::new();
+    let mut active: Vec<u32> = Vec::new();
+
+    let first = Point2::new(
+        rng.gen_range(region.min().x..=region.max().x),
+        rng.gen_range(region.min().y..=region.max().y),
+    );
+    grid[index(&first)] = Some(0);
+    points.push(first);
+    active.push(0);
+
+    let fits = |p: &Point2, points: &[Point2], grid: &[Option<u32>]| -> bool {
+        if !region.contains(p) {
+            return false;
+        }
+        let a = ((p.x - origin.x) / cell) as i64;
+        let b = ((p.y - origin.y) / cell) as i64;
+        for db in -2..=2i64 {
+            for da in -2..=2i64 {
+                let (na, nb) = (a + da, b + db);
+                if na < 0 || nb < 0 || na as usize >= cols || nb as usize >= rows {
+                    continue;
+                }
+                if let Some(i) = grid[nb as usize * cols + na as usize] {
+                    if points[i as usize].distance(p) < r {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    };
+
+    while !active.is_empty() && points.len() < max_points {
+        let slot = rng.gen_range(0..active.len());
+        let base = points[active[slot] as usize];
+        let mut placed = false;
+        for _ in 0..ATTEMPTS {
+            // Candidate uniform in the annulus [r, 2r) around base.
+            let rho = r * (1.0 + rng.gen::<f64>());
+            let theta = rng.gen_range(0.0..std::f64::consts::TAU);
+            let candidate = base.offset_polar(rho, theta);
+            if fits(&candidate, &points, &grid) {
+                let id = points.len() as u32;
+                grid[index(&candidate)] = Some(id);
+                points.push(candidate);
+                active.push(id);
+                placed = true;
+                break;
+            }
+        }
+        if !placed {
+            active.swap_remove(slot);
+        }
+    }
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn respects_minimum_separation() {
+        let region = Rect::square(100.0);
+        let pts = poisson_disk(&mut rng(1), &region, 8.0, usize::MAX);
+        for i in 0..pts.len() {
+            for j in (i + 1)..pts.len() {
+                assert!(
+                    pts[i].distance(&pts[j]) >= 8.0 - 1e-9,
+                    "{i} and {j} too close"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn all_points_inside_region() {
+        let region = Rect::square(50.0);
+        for p in poisson_disk(&mut rng(2), &region, 5.0, usize::MAX) {
+            assert!(region.contains(&p));
+        }
+    }
+
+    #[test]
+    fn maximal_sample_is_dense() {
+        // A maximal r-separated set in a L×L square has at least
+        // (L/2r)² points (greedy packing argument).
+        let region = Rect::square(100.0);
+        let r = 10.0;
+        let pts = poisson_disk(&mut rng(3), &region, r, usize::MAX);
+        let lower = (100.0 / (2.0 * r)).powi(2) as usize;
+        assert!(
+            pts.len() >= lower,
+            "only {} points, expected ≥ {lower}",
+            pts.len()
+        );
+    }
+
+    #[test]
+    fn max_points_caps_the_sample() {
+        let region = Rect::square(200.0);
+        let pts = poisson_disk(&mut rng(4), &region, 3.0, 25);
+        assert_eq!(pts.len(), 25);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let region = Rect::square(80.0);
+        let a = poisson_disk(&mut rng(5), &region, 6.0, usize::MAX);
+        let b = poisson_disk(&mut rng(5), &region, 6.0, usize::MAX);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "radius must be positive")]
+    fn rejects_zero_radius() {
+        poisson_disk(&mut rng(6), &Rect::square(10.0), 0.0, 10);
+    }
+}

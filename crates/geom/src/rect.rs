@@ -1,0 +1,147 @@
+//! Axis-aligned rectangles (deployment regions).
+
+use crate::point::Point2;
+use serde::{Deserialize, Serialize};
+
+/// An axis-aligned rectangle `[x0, x1] × [y0, y1]`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Rect {
+    x0: f64,
+    y0: f64,
+    x1: f64,
+    y1: f64,
+}
+
+impl Rect {
+    /// Creates a rectangle from two opposite corners (any order).
+    ///
+    /// # Panics
+    /// Panics if any coordinate is non-finite or the rectangle is
+    /// degenerate (zero width or height).
+    pub fn new(a: Point2, b: Point2) -> Self {
+        let (x0, x1) = if a.x <= b.x { (a.x, b.x) } else { (b.x, a.x) };
+        let (y0, y1) = if a.y <= b.y { (a.y, b.y) } else { (b.y, a.y) };
+        assert!(
+            x0.is_finite() && x1.is_finite() && y0.is_finite() && y1.is_finite(),
+            "rect corners must be finite"
+        );
+        assert!(x0 < x1 && y0 < y1, "rect must have positive area");
+        Self { x0, y0, x1, y1 }
+    }
+
+    /// Square `[0, side] × [0, side]` — the paper's deployment region is
+    /// the 500 × 500 instance of this.
+    pub fn square(side: f64) -> Self {
+        Self::new(Point2::origin(), Point2::new(side, side))
+    }
+
+    /// Lower-left corner.
+    pub fn min(&self) -> Point2 {
+        Point2::new(self.x0, self.y0)
+    }
+
+    /// Upper-right corner.
+    pub fn max(&self) -> Point2 {
+        Point2::new(self.x1, self.y1)
+    }
+
+    /// Width (x extent).
+    pub fn width(&self) -> f64 {
+        self.x1 - self.x0
+    }
+
+    /// Height (y extent).
+    pub fn height(&self) -> f64 {
+        self.y1 - self.y0
+    }
+
+    /// Area.
+    pub fn area(&self) -> f64 {
+        self.width() * self.height()
+    }
+
+    /// Length of the diagonal — an upper bound on any pairwise distance
+    /// inside the region (the paper's `Δ` denominator scale).
+    pub fn diagonal(&self) -> f64 {
+        self.width().hypot(self.height())
+    }
+
+    /// Whether `p` lies inside (closed boundary).
+    pub fn contains(&self, p: &Point2) -> bool {
+        p.x >= self.x0 && p.x <= self.x1 && p.y >= self.y0 && p.y <= self.y1
+    }
+
+    /// Clamps `p` to the rectangle.
+    pub fn clamp(&self, p: Point2) -> Point2 {
+        Point2::new(p.x.clamp(self.x0, self.x1), p.y.clamp(self.y0, self.y1))
+    }
+
+    /// Grows the rectangle by `margin` on every side.
+    pub fn expand(&self, margin: f64) -> Rect {
+        Rect::new(
+            Point2::new(self.x0 - margin, self.y0 - margin),
+            Point2::new(self.x1 + margin, self.y1 + margin),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn square_has_expected_bounds() {
+        let r = Rect::square(500.0);
+        assert_eq!(r.min(), Point2::origin());
+        assert_eq!(r.max(), Point2::new(500.0, 500.0));
+        assert_eq!(r.area(), 250_000.0);
+        assert!((r.diagonal() - 500.0 * 2f64.sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn corners_normalize() {
+        let r = Rect::new(Point2::new(5.0, 7.0), Point2::new(1.0, 2.0));
+        assert_eq!(r.min(), Point2::new(1.0, 2.0));
+        assert_eq!(r.max(), Point2::new(5.0, 7.0));
+    }
+
+    #[test]
+    fn contains_boundary() {
+        let r = Rect::square(1.0);
+        assert!(r.contains(&Point2::origin()));
+        assert!(r.contains(&Point2::new(1.0, 1.0)));
+        assert!(!r.contains(&Point2::new(1.0 + 1e-12, 0.5)));
+    }
+
+    #[test]
+    fn clamp_moves_outside_points_to_boundary() {
+        let r = Rect::square(1.0);
+        assert_eq!(r.clamp(Point2::new(2.0, -1.0)), Point2::new(1.0, 0.0));
+        let inside = Point2::new(0.3, 0.4);
+        assert_eq!(r.clamp(inside), inside);
+    }
+
+    #[test]
+    fn expand_grows_symmetrically() {
+        let r = Rect::square(2.0).expand(1.0);
+        assert_eq!(r.min(), Point2::new(-1.0, -1.0));
+        assert_eq!(r.max(), Point2::new(3.0, 3.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive area")]
+    fn rejects_degenerate() {
+        Rect::new(Point2::origin(), Point2::new(0.0, 5.0));
+    }
+
+    proptest! {
+        #[test]
+        fn clamped_point_is_contained(
+            px in -1e4f64..1e4, py in -1e4f64..1e4, side in 0.1f64..1e3
+        ) {
+            let r = Rect::square(side);
+            prop_assert!(r.contains(&r.clamp(Point2::new(px, py))));
+        }
+    }
+}

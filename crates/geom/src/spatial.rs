@@ -1,0 +1,264 @@
+//! Uniform-grid spatial hash for radius queries over point sets.
+//!
+//! RLE deletes every sender within radius `c₁·d_ii` of each chosen
+//! receiver; with `N` links and `Θ(N)` iterations a naive scan is
+//! `O(N²)` per instance sweep. The spatial hash buckets points into
+//! cells of the query radius scale so each query touches only nearby
+//! buckets. Topology generators also use it for minimum-separation
+//! checks.
+
+use crate::point::Point2;
+use std::collections::HashMap;
+
+/// A static spatial hash over indexed points.
+#[derive(Debug, Clone)]
+pub struct SpatialHash {
+    cell: f64,
+    buckets: HashMap<(i64, i64), Vec<u32>>,
+    points: Vec<Point2>,
+}
+
+impl SpatialHash {
+    /// Builds a hash over `points` with bucket side `cell`.
+    ///
+    /// A good `cell` is the typical query radius; correctness does not
+    /// depend on the choice, only performance.
+    ///
+    /// # Panics
+    /// Panics if `cell` is not finite and positive.
+    pub fn build(points: &[Point2], cell: f64) -> Self {
+        assert!(
+            cell.is_finite() && cell > 0.0,
+            "spatial hash cell must be finite and positive, got {cell}"
+        );
+        let mut buckets: HashMap<(i64, i64), Vec<u32>> = HashMap::new();
+        for (i, p) in points.iter().enumerate() {
+            buckets
+                .entry(Self::key(p, cell))
+                .or_default()
+                .push(i as u32);
+        }
+        Self {
+            cell,
+            buckets,
+            points: points.to_vec(),
+        }
+    }
+
+    #[inline]
+    fn key(p: &Point2, cell: f64) -> (i64, i64) {
+        ((p.x / cell).floor() as i64, (p.y / cell).floor() as i64)
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Indices of all points with `distance(center, p) <= radius`.
+    pub fn query_radius(&self, center: &Point2, radius: f64) -> Vec<u32> {
+        assert!(radius >= 0.0, "radius must be non-negative");
+        let mut out = Vec::new();
+        self.for_each_in_radius(center, radius, |i| out.push(i));
+        out
+    }
+
+    /// Calls `f` for each point index within `radius` of `center`.
+    pub fn for_each_in_radius<F: FnMut(u32)>(&self, center: &Point2, radius: f64, mut f: F) {
+        let r_sq = radius * radius;
+        let span = (radius / self.cell).ceil() as i64;
+        let (ca, cb) = Self::key(center, self.cell);
+        for a in (ca - span)..=(ca + span) {
+            for b in (cb - span)..=(cb + span) {
+                if let Some(bucket) = self.buckets.get(&(a, b)) {
+                    for &i in bucket {
+                        if self.points[i as usize].distance_sq(center) <= r_sq {
+                            f(i);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Index of the nearest point to `center`, or `None` when empty.
+    /// Expanding-ring search over buckets, starting at the nearest
+    /// occupied ring so queries far outside the point cloud stay cheap.
+    pub fn nearest(&self, center: &Point2) -> Option<u32> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let (ca, cb) = Self::key(center, self.cell);
+        let (mut ring, max_ring) = self.ring_bounds(ca, cb);
+        let mut best: Option<(u32, f64)> = None;
+        while ring <= max_ring {
+            self.visit_ring(ca, cb, ring, |bucket| {
+                for &i in bucket {
+                    let d = self.points[i as usize].distance_sq(center);
+                    if best.is_none_or(|(_, bd)| d < bd) {
+                        best = Some((i, d));
+                    }
+                }
+            });
+            // A point in a farther ring is at distance ≥ (ring − 1)·cell
+            // from the center cell, so once the best candidate is within
+            // that bound no farther ring can beat it.
+            if let Some((idx, d_sq)) = best {
+                if d_sq.sqrt() <= (ring as f64 - 1.0).max(0.0) * self.cell {
+                    return Some(idx);
+                }
+            }
+            ring += 1;
+        }
+        best.map(|(i, _)| i)
+    }
+
+    /// Chebyshev distances (in cells) from `(ca, cb)` to the closest and
+    /// farthest occupied bucket.
+    fn ring_bounds(&self, ca: i64, cb: i64) -> (i64, i64) {
+        let mut lo = i64::MAX;
+        let mut hi = 0;
+        for &(a, b) in self.buckets.keys() {
+            let d = (a - ca).abs().max((b - cb).abs());
+            lo = lo.min(d);
+            hi = hi.max(d);
+        }
+        (lo.min(hi), hi)
+    }
+
+    /// Calls `f` with each occupied bucket on the Chebyshev ring of
+    /// radius `ring` around `(ca, cb)`; iterates only the ring boundary.
+    fn visit_ring<F: FnMut(&[u32])>(&self, ca: i64, cb: i64, ring: i64, mut f: F) {
+        let mut visit = |a: i64, b: i64| {
+            if let Some(bucket) = self.buckets.get(&(a, b)) {
+                f(bucket);
+            }
+        };
+        if ring == 0 {
+            visit(ca, cb);
+            return;
+        }
+        for a in (ca - ring)..=(ca + ring) {
+            visit(a, cb - ring);
+            visit(a, cb + ring);
+        }
+        for b in (cb - ring + 1)..=(cb + ring - 1) {
+            visit(ca - ring, b);
+            visit(ca + ring, b);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::Rng;
+    use rand::SeedableRng;
+
+    fn random_points(n: usize, seed: u64) -> Vec<Point2> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Point2::new(rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0)))
+            .collect()
+    }
+
+    fn brute_force_radius(points: &[Point2], c: &Point2, r: f64) -> Vec<u32> {
+        let mut v: Vec<u32> = points
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.distance(c) <= r)
+            .map(|(i, _)| i as u32)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn radius_query_matches_brute_force() {
+        let pts = random_points(500, 1);
+        let hash = SpatialHash::build(&pts, 10.0);
+        for (i, c) in random_points(50, 2).iter().enumerate() {
+            let r = 1.0 + (i as f64) % 30.0;
+            let mut got = hash.query_radius(c, r);
+            got.sort_unstable();
+            assert_eq!(got, brute_force_radius(&pts, c, r), "center {c:?} r {r}");
+        }
+    }
+
+    #[test]
+    fn zero_radius_finds_exact_duplicates() {
+        let pts = vec![Point2::new(1.0, 1.0), Point2::new(2.0, 2.0), Point2::new(1.0, 1.0)];
+        let hash = SpatialHash::build(&pts, 1.0);
+        let mut got = hash.query_radius(&Point2::new(1.0, 1.0), 0.0);
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 2]);
+    }
+
+    #[test]
+    fn empty_index() {
+        let hash = SpatialHash::build(&[], 1.0);
+        assert!(hash.is_empty());
+        assert!(hash.query_radius(&Point2::origin(), 10.0).is_empty());
+        assert_eq!(hash.nearest(&Point2::origin()), None);
+    }
+
+    #[test]
+    fn nearest_matches_brute_force() {
+        let pts = random_points(300, 3);
+        let hash = SpatialHash::build(&pts, 7.0);
+        for c in random_points(60, 4) {
+            let got = hash.nearest(&c).unwrap();
+            let best = pts
+                .iter()
+                .enumerate()
+                .min_by(|(_, p), (_, q)| p.distance(&c).total_cmp(&q.distance(&c)))
+                .map(|(i, _)| i as u32)
+                .unwrap();
+            assert_eq!(
+                pts[got as usize].distance(&c),
+                pts[best as usize].distance(&c),
+                "center {c:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn nearest_far_outside_the_cloud() {
+        let pts = random_points(50, 5);
+        let hash = SpatialHash::build(&pts, 5.0);
+        let far = Point2::new(-1e4, 1e4);
+        let got = hash.nearest(&far).unwrap();
+        let best = pts
+            .iter()
+            .enumerate()
+            .min_by(|(_, p), (_, q)| p.distance(&far).total_cmp(&q.distance(&far)))
+            .map(|(i, _)| i as u32)
+            .unwrap();
+        assert_eq!(got, best);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn radius_query_agrees_with_scan(
+            seed in 0u64..1000,
+            n in 1usize..120,
+            cx in 0.0f64..100.0, cy in 0.0f64..100.0,
+            r in 0.0f64..60.0,
+            cell in 0.5f64..25.0,
+        ) {
+            let pts = random_points(n, seed);
+            let hash = SpatialHash::build(&pts, cell);
+            let c = Point2::new(cx, cy);
+            let mut got = hash.query_radius(&c, r);
+            got.sort_unstable();
+            prop_assert_eq!(got, brute_force_radius(&pts, &c, r));
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! Percentile-bootstrap confidence intervals.
+//!
+//! Failure counts per slot are heavily skewed (most slots lose nothing,
+//! a few lose several links), so the normal-approximation CI of
+//! [`crate::stats`] can be misleading near zero. The percentile
+//! bootstrap makes no distributional assumption: resample with
+//! replacement, recompute the statistic, take empirical quantiles.
+
+use crate::quantile::quantile;
+use crate::rng::{seeded_rng, split_seed};
+use rand::Rng;
+
+/// A two-sided bootstrap confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BootstrapCi {
+    /// Lower endpoint.
+    pub lo: f64,
+    /// Point estimate (the statistic on the original sample).
+    pub point: f64,
+    /// Upper endpoint.
+    pub hi: f64,
+}
+
+/// Percentile-bootstrap CI for an arbitrary statistic.
+///
+/// * `data` — the sample;
+/// * `statistic` — e.g. mean, median, `|{x > 0}|/n`;
+/// * `resamples` — bootstrap replicates (≥ 100 recommended);
+/// * `confidence` — e.g. 0.95;
+/// * `seed` — reproducibility.
+///
+/// # Panics
+/// Panics if `data` is empty, `resamples == 0`, or `confidence`
+/// outside `(0, 1)`.
+pub fn bootstrap_ci<F>(
+    data: &[f64],
+    statistic: F,
+    resamples: u32,
+    confidence: f64,
+    seed: u64,
+) -> BootstrapCi
+where
+    F: Fn(&[f64]) -> f64,
+{
+    assert!(!data.is_empty(), "bootstrap of empty sample");
+    assert!(resamples > 0, "need at least one resample");
+    assert!(
+        confidence > 0.0 && confidence < 1.0,
+        "confidence must be in (0,1), got {confidence}"
+    );
+    let point = statistic(data);
+    let mut replicates = Vec::with_capacity(resamples as usize);
+    let mut buf = vec![0.0; data.len()];
+    for b in 0..resamples {
+        let mut rng = seeded_rng(split_seed(seed, b as u64));
+        for slot in buf.iter_mut() {
+            *slot = data[rng.gen_range(0..data.len())];
+        }
+        replicates.push(statistic(&buf));
+    }
+    let alpha = 1.0 - confidence;
+    BootstrapCi {
+        lo: quantile(&replicates, alpha / 2.0),
+        point,
+        hi: quantile(&replicates, 1.0 - alpha / 2.0),
+    }
+}
+
+/// Bootstrap CI of the mean — the common case.
+pub fn bootstrap_mean_ci(data: &[f64], resamples: u32, confidence: f64, seed: u64) -> BootstrapCi {
+    bootstrap_ci(
+        data,
+        |xs| xs.iter().sum::<f64>() / xs.len() as f64,
+        resamples,
+        confidence,
+        seed,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded_rng;
+    use rand::Rng;
+
+    #[test]
+    fn point_estimate_is_the_sample_statistic() {
+        let data = [1.0, 2.0, 3.0, 4.0];
+        let ci = bootstrap_mean_ci(&data, 200, 0.95, 1);
+        assert_eq!(ci.point, 2.5);
+        assert!(ci.lo <= ci.point && ci.point <= ci.hi);
+    }
+
+    #[test]
+    fn interval_shrinks_with_sample_size() {
+        let mut rng = seeded_rng(2);
+        let small: Vec<f64> = (0..20).map(|_| rng.gen_range(0.0..1.0)).collect();
+        let large: Vec<f64> = (0..2000).map(|_| rng.gen_range(0.0..1.0)).collect();
+        let ci_small = bootstrap_mean_ci(&small, 300, 0.95, 3);
+        let ci_large = bootstrap_mean_ci(&large, 300, 0.95, 4);
+        assert!(
+            ci_large.hi - ci_large.lo < ci_small.hi - ci_small.lo,
+            "more data should tighten the CI"
+        );
+    }
+
+    #[test]
+    fn covers_the_true_mean_most_of_the_time() {
+        // 40 independent experiments with true mean 0.5; the 95% CI
+        // should cover ≥ 80% of them (loose check — small samples).
+        let mut covered = 0;
+        for trial in 0..40u64 {
+            let mut rng = seeded_rng(100 + trial);
+            let data: Vec<f64> = (0..60).map(|_| rng.gen_range(0.0..1.0)).collect();
+            let ci = bootstrap_mean_ci(&data, 200, 0.95, trial);
+            if ci.lo <= 0.5 && 0.5 <= ci.hi {
+                covered += 1;
+            }
+        }
+        assert!(covered >= 32, "only {covered}/40 intervals covered the mean");
+    }
+
+    #[test]
+    fn works_with_custom_statistics() {
+        // Fraction of positives of an all-positive sample is exactly 1
+        // in every resample.
+        let data = [1.0, 2.0, 3.0];
+        let ci = bootstrap_ci(
+            &data,
+            |xs| xs.iter().filter(|&&x| x > 0.0).count() as f64 / xs.len() as f64,
+            100,
+            0.9,
+            5,
+        );
+        assert_eq!((ci.lo, ci.point, ci.hi), (1.0, 1.0, 1.0));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let data = [0.0, 1.0, 0.0, 2.0, 0.0];
+        let a = bootstrap_mean_ci(&data, 150, 0.95, 9);
+        let b = bootstrap_mean_ci(&data, 150, 0.95, 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn rejects_empty_sample() {
+        bootstrap_mean_ci(&[], 10, 0.95, 0);
+    }
+}

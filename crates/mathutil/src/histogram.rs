@@ -1,0 +1,176 @@
+//! Fixed-width histogram over a closed range.
+//!
+//! Used by the experiment harness to characterize per-link SINR and
+//! success-probability distributions (the paper reports aggregates; the
+//! histogram lets EXPERIMENTS.md show the underlying spread).
+
+use serde::{Deserialize, Serialize};
+
+/// Fixed-width histogram over `[lo, hi]` with out-of-range counters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` equal-width buckets over `[lo, hi]`.
+    ///
+    /// # Panics
+    /// Panics if `bins == 0` or `lo >= hi` or the bounds are not finite.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo < hi,
+            "invalid histogram range [{lo}, {hi}]"
+        );
+        Self {
+            lo,
+            hi,
+            bins: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, x: f64) {
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x > self.hi {
+            self.overflow += 1;
+        } else {
+            let width = (self.hi - self.lo) / self.bins.len() as f64;
+            let idx = (((x - self.lo) / width) as usize).min(self.bins.len() - 1);
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Number of in-range buckets.
+    pub fn num_bins(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// Count in bucket `i`.
+    pub fn bin_count(&self, i: usize) -> u64 {
+        self.bins[i]
+    }
+
+    /// `[lo, hi)` edges of bucket `i` (last bucket is closed at `hi`).
+    pub fn bin_edges(&self, i: usize) -> (f64, f64) {
+        let width = (self.hi - self.lo) / self.bins.len() as f64;
+        (self.lo + width * i as f64, self.lo + width * (i + 1) as f64)
+    }
+
+    /// Observations below `lo`.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations above `hi`.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total observations recorded, including out-of-range ones.
+    pub fn total(&self) -> u64 {
+        self.underflow + self.overflow + self.bins.iter().sum::<u64>()
+    }
+
+    /// Fraction of in-range mass at or below the upper edge of bucket `i`.
+    pub fn cumulative_fraction(&self, i: usize) -> f64 {
+        let in_range: u64 = self.bins.iter().sum();
+        if in_range == 0 {
+            return 0.0;
+        }
+        let cum: u64 = self.bins[..=i].iter().sum();
+        cum as f64 / in_range as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn records_into_expected_bins() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.record(0.5);
+        h.record(9.99);
+        h.record(5.0);
+        assert_eq!(h.bin_count(0), 1);
+        assert_eq!(h.bin_count(9), 1);
+        assert_eq!(h.bin_count(5), 1);
+        assert_eq!(h.total(), 3);
+    }
+
+    #[test]
+    fn upper_boundary_lands_in_last_bin() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.record(1.0);
+        assert_eq!(h.bin_count(3), 1);
+        assert_eq!(h.overflow(), 0);
+    }
+
+    #[test]
+    fn out_of_range_counted_separately() {
+        let mut h = Histogram::new(0.0, 1.0, 2);
+        h.record(-0.1);
+        h.record(1.1);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.total(), 2);
+    }
+
+    #[test]
+    fn bin_edges_tile_the_range() {
+        let h = Histogram::new(2.0, 4.0, 4);
+        assert_eq!(h.bin_edges(0), (2.0, 2.5));
+        assert_eq!(h.bin_edges(3), (3.5, 4.0));
+    }
+
+    #[test]
+    fn cumulative_fraction_reaches_one() {
+        let mut h = Histogram::new(0.0, 1.0, 5);
+        for i in 0..50 {
+            h.record(i as f64 / 50.0);
+        }
+        assert!((h.cumulative_fraction(4) - 1.0).abs() < 1e-12);
+        assert!(h.cumulative_fraction(0) > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn rejects_zero_bins() {
+        Histogram::new(0.0, 1.0, 0);
+    }
+
+    proptest! {
+        #[test]
+        fn total_matches_record_count(
+            xs in proptest::collection::vec(-2.0f64..3.0, 0..500)
+        ) {
+            let mut h = Histogram::new(0.0, 1.0, 7);
+            for &x in &xs { h.record(x); }
+            prop_assert_eq!(h.total(), xs.len() as u64);
+        }
+
+        #[test]
+        fn cumulative_fraction_is_monotone(
+            xs in proptest::collection::vec(0.0f64..1.0, 1..300)
+        ) {
+            let mut h = Histogram::new(0.0, 1.0, 10);
+            for &x in &xs { h.record(x); }
+            let mut prev = 0.0;
+            for i in 0..h.num_bins() {
+                let c = h.cumulative_fraction(i);
+                prop_assert!(c + 1e-12 >= prev);
+                prev = c;
+            }
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Adaptive Simpson quadrature.
+//!
+//! The ergodic-capacity extension needs
+//! `E[log₂(1+X)] = ∫₀^∞ Pr(X ≥ x)/((1+x)·ln 2) dx`
+//! where the integrand is smooth, positive and decaying — a perfect fit
+//! for adaptive Simpson with interval doubling for the infinite tail.
+
+/// Adaptive Simpson integral of `f` over `[a, b]` to absolute
+/// tolerance `tol`.
+///
+/// # Panics
+/// Panics unless `a ≤ b`, both finite, and `tol > 0`.
+pub fn integrate<F: Fn(f64) -> f64>(f: &F, a: f64, b: f64, tol: f64) -> f64 {
+    assert!(a.is_finite() && b.is_finite() && a <= b, "bad interval [{a}, {b}]");
+    assert!(tol > 0.0, "tolerance must be positive");
+    if a == b {
+        return 0.0;
+    }
+    let fa = f(a);
+    let fb = f(b);
+    let m = 0.5 * (a + b);
+    let fm = f(m);
+    adaptive(f, a, b, fa, fb, fm, simpson(a, b, fa, fm, fb), tol, 50)
+}
+
+#[inline]
+fn simpson(a: f64, b: f64, fa: f64, fm: f64, fb: f64) -> f64 {
+    (b - a) / 6.0 * (fa + 4.0 * fm + fb)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn adaptive<F: Fn(f64) -> f64>(
+    f: &F,
+    a: f64,
+    b: f64,
+    fa: f64,
+    fb: f64,
+    fm: f64,
+    whole: f64,
+    tol: f64,
+    depth: u32,
+) -> f64 {
+    let m = 0.5 * (a + b);
+    let lm = 0.5 * (a + m);
+    let rm = 0.5 * (m + b);
+    let flm = f(lm);
+    let frm = f(rm);
+    let left = simpson(a, m, fa, flm, fm);
+    let right = simpson(m, b, fm, frm, fb);
+    let delta = left + right - whole;
+    if depth == 0 || delta.abs() <= 15.0 * tol {
+        left + right + delta / 15.0
+    } else {
+        adaptive(f, a, m, fa, fm, flm, left, tol / 2.0, depth - 1)
+            + adaptive(f, m, b, fm, fb, frm, right, tol / 2.0, depth - 1)
+    }
+}
+
+/// Integral of `f` over `[a, ∞)` for integrands that decay to zero:
+/// doubles the upper limit until the last panel contributes less than
+/// `tol`.
+///
+/// # Panics
+/// Panics unless `a` is finite and `tol > 0`.
+pub fn integrate_to_infinity<F: Fn(f64) -> f64>(f: &F, a: f64, tol: f64) -> f64 {
+    assert!(a.is_finite(), "lower limit must be finite");
+    assert!(tol > 0.0, "tolerance must be positive");
+    let mut lo = a;
+    let mut hi = a + 1.0;
+    let mut total = 0.0;
+    for _ in 0..64 {
+        let panel = integrate(f, lo, hi, tol / 4.0);
+        total += panel;
+        if panel.abs() < tol && (hi - a) > 8.0 {
+            return total;
+        }
+        lo = hi;
+        hi = a + (hi - a) * 2.0;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{E, PI};
+
+    #[test]
+    fn polynomial_is_exact() {
+        // Simpson is exact on cubics.
+        let got = integrate(&|x| x * x * x - 2.0 * x + 1.0, 0.0, 2.0, 1e-12);
+        assert!((got - (4.0 - 4.0 + 2.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn integrates_transcendentals() {
+        let got = integrate(&f64::sin, 0.0, PI, 1e-10);
+        assert!((got - 2.0).abs() < 1e-9, "{got}");
+        let got = integrate(&f64::exp, 0.0, 1.0, 1e-10);
+        assert!((got - (E - 1.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn handles_sharp_peaks() {
+        // ∫ 1/(1+x²) over [-50, 50] ≈ π.
+        let got = integrate(&|x| 1.0 / (1.0 + x * x), -50.0, 50.0, 1e-10);
+        assert!((got - (50f64.atan() * 2.0)).abs() < 1e-8, "{got}");
+    }
+
+    #[test]
+    fn empty_interval_is_zero() {
+        assert_eq!(integrate(&f64::exp, 1.0, 1.0, 1e-9), 0.0);
+    }
+
+    #[test]
+    fn infinite_tail_exponential() {
+        let got = integrate_to_infinity(&|x| (-x).exp(), 0.0, 1e-10);
+        assert!((got - 1.0).abs() < 1e-8, "{got}");
+    }
+
+    #[test]
+    fn infinite_tail_heavy() {
+        // ∫₀^∞ 1/(1+x)³ dx = 1/2.
+        let got = integrate_to_infinity(&|x| (1.0 + x).powi(-3), 0.0, 1e-10);
+        assert!((got - 0.5).abs() < 1e-7, "{got}");
+    }
+
+    #[test]
+    fn shifted_lower_limit() {
+        // ∫₂^∞ e^{-x} dx = e^{-2}.
+        let got = integrate_to_infinity(&|x| (-x).exp(), 2.0, 1e-10);
+        assert!((got - (-2f64).exp()).abs() < 1e-8);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad interval")]
+    fn rejects_reversed_interval() {
+        integrate(&|x| x, 1.0, 0.0, 1e-9);
+    }
+}

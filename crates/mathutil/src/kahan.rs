@@ -1,0 +1,121 @@
+//! Compensated (Kahan–Neumaier) summation.
+//!
+//! The feasibility test of Corollary 3.1 compares a sum of up to `N`
+//! interference factors against the tiny constant `γ_ε ≈ ε`. With
+//! ε = 0.01 and hundreds of addends spanning ten orders of magnitude,
+//! naive summation can mis-classify borderline schedules; Neumaier's
+//! variant keeps the error independent of the addend order.
+
+/// A running compensated sum (Neumaier variant of Kahan summation).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct KahanSum {
+    sum: f64,
+    compensation: f64,
+}
+
+impl KahanSum {
+    /// Creates an empty sum.
+    #[inline]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one value.
+    #[inline]
+    pub fn add(&mut self, value: f64) {
+        let t = self.sum + value;
+        if self.sum.abs() >= value.abs() {
+            self.compensation += (self.sum - t) + value;
+        } else {
+            self.compensation += (value - t) + self.sum;
+        }
+        self.sum = t;
+    }
+
+    /// Current value of the sum including the compensation term.
+    #[inline]
+    pub fn value(&self) -> f64 {
+        self.sum + self.compensation
+    }
+
+    /// Sums an iterator of values with compensation.
+    pub fn sum_iter<I: IntoIterator<Item = f64>>(iter: I) -> f64 {
+        let mut acc = Self::new();
+        for v in iter {
+            acc.add(v);
+        }
+        acc.value()
+    }
+}
+
+impl std::iter::FromIterator<f64> for KahanSum {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut acc = Self::new();
+        for v in iter {
+            acc.add(v);
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_sum_is_zero() {
+        assert_eq!(KahanSum::new().value(), 0.0);
+    }
+
+    #[test]
+    fn sums_simple_sequence() {
+        let s = KahanSum::sum_iter((1..=100).map(|i| i as f64));
+        assert_eq!(s, 5050.0);
+    }
+
+    #[test]
+    fn classic_kahan_counterexample() {
+        // 1 + 1e100 + 1 - 1e100 = 2 exactly with Neumaier; naive gives 0.
+        let vals = [1.0, 1e100, 1.0, -1e100];
+        let naive: f64 = vals.iter().sum();
+        let comp = KahanSum::sum_iter(vals.iter().copied());
+        assert_eq!(naive, 0.0, "sanity: naive summation loses the ones");
+        assert_eq!(comp, 2.0);
+    }
+
+    #[test]
+    fn many_tiny_addends_survive_a_large_one() {
+        // 1e16 + 1.0 * 4096 times: each 1.0 is below the ulp of 1e16, so
+        // naive summation drops them all; compensation keeps them.
+        let mut acc = KahanSum::new();
+        acc.add(1e16);
+        for _ in 0..4096 {
+            acc.add(1.0);
+        }
+        let err = (acc.value() - (1e16 + 4096.0)).abs();
+        assert!(err <= 2.0, "err={err}");
+    }
+
+    proptest! {
+        #[test]
+        fn order_independent_within_tolerance(
+            mut xs in proptest::collection::vec(-1e6f64..1e6, 0..200)
+        ) {
+            let fwd = KahanSum::sum_iter(xs.iter().copied());
+            xs.reverse();
+            let rev = KahanSum::sum_iter(xs.iter().copied());
+            let scale = xs.iter().map(|x| x.abs()).sum::<f64>().max(1.0);
+            prop_assert!((fwd - rev).abs() <= 1e-9 * scale);
+        }
+
+        #[test]
+        fn matches_naive_on_benign_inputs(
+            xs in proptest::collection::vec(0.0f64..1.0, 0..100)
+        ) {
+            let naive: f64 = xs.iter().sum();
+            let comp = KahanSum::sum_iter(xs.iter().copied());
+            prop_assert!((naive - comp).abs() <= 1e-10 * naive.max(1.0));
+        }
+    }
+}

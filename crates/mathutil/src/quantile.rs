@@ -1,0 +1,132 @@
+//! Sample quantiles (linear interpolation, type-7 / default in R and
+//! NumPy).
+//!
+//! The normal-approximation CIs in [`crate::stats`] are fine for means;
+//! the experiment reports also quote medians and tail quantiles of the
+//! failure distribution, which need order statistics.
+
+/// Returns the `q`-quantile (`0 ≤ q ≤ 1`) of `data` using linear
+/// interpolation between order statistics (type 7).
+///
+/// `data` does not need to be sorted; a sorted copy is made.
+///
+/// # Panics
+/// Panics if `data` is empty, `q` is outside `[0,1]`, or any value is
+/// NaN.
+pub fn quantile(data: &[f64], q: f64) -> f64 {
+    assert!(!data.is_empty(), "quantile of empty sample");
+    assert!((0.0..=1.0).contains(&q), "quantile level {q} outside [0,1]");
+    assert!(
+        data.iter().all(|x| !x.is_nan()),
+        "quantile input contains NaN"
+    );
+    let mut sorted = data.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    quantile_sorted(&sorted, q)
+}
+
+/// [`quantile`] on data already sorted ascending (no copy).
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "quantile of empty sample");
+    assert!((0.0..=1.0).contains(&q), "quantile level {q} outside [0,1]");
+    let n = sorted.len();
+    if n == 1 {
+        return sorted[0];
+    }
+    let h = q * (n as f64 - 1.0);
+    let lo = h.floor() as usize;
+    let hi = (lo + 1).min(n - 1);
+    let frac = h - lo as f64;
+    sorted[lo] + frac * (sorted[hi] - sorted[lo])
+}
+
+/// Median shorthand.
+pub fn median(data: &[f64]) -> f64 {
+    quantile(data, 0.5)
+}
+
+/// Interquartile range `Q3 − Q1`.
+pub fn iqr(data: &[f64]) -> f64 {
+    let mut sorted = data.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    quantile_sorted(&sorted, 0.75) - quantile_sorted(&sorted, 0.25)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn median_of_odd_sample() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+    }
+
+    #[test]
+    fn median_of_even_sample_interpolates() {
+        assert_eq!(median(&[1.0, 2.0, 3.0, 4.0]), 2.5);
+    }
+
+    #[test]
+    fn extreme_quantiles_are_min_max() {
+        let data = [5.0, -1.0, 3.0, 9.0];
+        assert_eq!(quantile(&data, 0.0), -1.0);
+        assert_eq!(quantile(&data, 1.0), 9.0);
+    }
+
+    #[test]
+    fn matches_numpy_reference() {
+        // numpy.quantile([1,2,3,4,5,6,7,8,9,10], .3) == 3.7
+        let data: Vec<f64> = (1..=10).map(|i| i as f64).collect();
+        assert!((quantile(&data, 0.3) - 3.7).abs() < 1e-12);
+        // numpy.quantile(..., .95) == 9.55
+        assert!((quantile(&data, 0.95) - 9.55).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_element() {
+        assert_eq!(quantile(&[7.0], 0.25), 7.0);
+        assert_eq!(iqr(&[7.0]), 0.0);
+    }
+
+    #[test]
+    fn iqr_of_uniform_grid() {
+        let data: Vec<f64> = (0..=100).map(|i| i as f64).collect();
+        assert!((iqr(&data) - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn rejects_empty() {
+        quantile(&[], 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0,1]")]
+    fn rejects_bad_level() {
+        quantile(&[1.0], 1.5);
+    }
+
+    proptest! {
+        #[test]
+        fn quantile_is_monotone_in_q(
+            data in proptest::collection::vec(-1e6f64..1e6, 1..100),
+            a in 0.0f64..1.0,
+            b in 0.0f64..1.0,
+        ) {
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(quantile(&data, lo) <= quantile(&data, hi) + 1e-9);
+        }
+
+        #[test]
+        fn quantile_is_bounded_by_extremes(
+            data in proptest::collection::vec(-1e6f64..1e6, 1..100),
+            q in 0.0f64..1.0,
+        ) {
+            let v = quantile(&data, q);
+            let min = data.iter().copied().fold(f64::INFINITY, f64::min);
+            let max = data.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(v >= min - 1e-9 && v <= max + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,233 @@
+//! Streaming summary statistics (Welford) and confidence intervals.
+//!
+//! The Monte-Carlo harness aggregates per-trial metrics (failed
+//! transmissions, throughput) across thousands of trials, often in
+//! parallel; [`OnlineStats`] supports O(1) merge so rayon reductions can
+//! combine per-thread partials exactly.
+
+use serde::{Deserialize, Serialize};
+
+/// Welford-style online mean/variance accumulator with exact merge.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct OnlineStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    #[inline]
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Merges another accumulator into this one (Chan's parallel update).
+    pub fn merge(&mut self, other: &Self) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance (0 when fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count as f64 - 1.0)
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Standard error of the mean.
+    pub fn std_err(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.std_dev() / (self.count as f64).sqrt()
+        }
+    }
+
+    /// Smallest observation (`+∞` when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (`−∞` when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Freezes the accumulator into a serializable [`Summary`].
+    pub fn summary(&self) -> Summary {
+        Summary {
+            count: self.count,
+            mean: self.mean(),
+            std_dev: self.std_dev(),
+            ci95: ci95_half_width(self),
+            min: if self.count == 0 { f64::NAN } else { self.min },
+            max: if self.count == 0 { f64::NAN } else { self.max },
+        }
+    }
+}
+
+/// Half-width of the normal-approximation 95% confidence interval for
+/// the mean (`1.96 · SE`). Adequate for the trial counts (≥ 100) used by
+/// the experiment harness.
+pub fn ci95_half_width(stats: &OnlineStats) -> f64 {
+    1.96 * stats.std_err()
+}
+
+/// Frozen summary of a metric series, suitable for result tables.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of observations.
+    pub count: u64,
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation.
+    pub std_dev: f64,
+    /// 95% CI half-width for the mean.
+    pub ci95: f64,
+    /// Minimum observation.
+    pub min: f64,
+    /// Maximum observation.
+    pub max: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn stats_of(xs: &[f64]) -> OnlineStats {
+        let mut s = OnlineStats::new();
+        for &x in xs {
+            s.push(x);
+        }
+        s
+    }
+
+    #[test]
+    fn empty_stats_are_benign() {
+        let s = OnlineStats::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.std_err(), 0.0);
+    }
+
+    #[test]
+    fn known_sequence() {
+        let s = stats_of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        // population variance is 4; sample variance = 32/7
+        assert!((s.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn single_observation() {
+        let s = stats_of(&[3.0]);
+        assert_eq!(s.mean(), 3.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.min(), 3.0);
+        assert_eq!(s.max(), 3.0);
+    }
+
+    #[test]
+    fn merge_empty_is_identity() {
+        let mut a = stats_of(&[1.0, 2.0, 3.0]);
+        let before = a;
+        a.merge(&OnlineStats::new());
+        assert_eq!(a, before);
+        let mut e = OnlineStats::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+
+    #[test]
+    fn summary_roundtrips_through_serde() {
+        let s = stats_of(&[1.0, 2.0, 3.0]).summary();
+        let json = serde_json::to_string(&s).unwrap();
+        let back: Summary = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+
+    proptest! {
+        #[test]
+        fn merge_equals_sequential(
+            xs in proptest::collection::vec(-1e3f64..1e3, 1..100),
+            ys in proptest::collection::vec(-1e3f64..1e3, 1..100),
+        ) {
+            let mut merged = stats_of(&xs);
+            merged.merge(&stats_of(&ys));
+            let all: Vec<f64> = xs.iter().chain(ys.iter()).copied().collect();
+            let seq = stats_of(&all);
+            prop_assert_eq!(merged.count(), seq.count());
+            prop_assert!((merged.mean() - seq.mean()).abs() < 1e-9);
+            prop_assert!((merged.variance() - seq.variance()).abs() < 1e-6);
+            prop_assert_eq!(merged.min(), seq.min());
+            prop_assert_eq!(merged.max(), seq.max());
+        }
+
+        #[test]
+        fn variance_is_nonnegative(xs in proptest::collection::vec(-1e6f64..1e6, 0..200)) {
+            let s = stats_of(&xs);
+            prop_assert!(s.variance() >= 0.0);
+        }
+
+        #[test]
+        fn mean_is_bounded_by_min_max(xs in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+            let s = stats_of(&xs);
+            prop_assert!(s.min() <= s.mean() + 1e-9);
+            prop_assert!(s.mean() <= s.max() + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! Length diversity (Definition 4.1 of the paper).
+//!
+//! `G(L)` is the set of length magnitudes — the distinct values of
+//! `⌊log₂(d(l)/δ)⌋` where `δ` is the shortest link length — and
+//! `g(L) = |G(L)|` is the *link length diversity*. LDP builds one
+//! (nested) link class per magnitude, and its approximation ratio is
+//! `O(g(L))`.
+
+use crate::linkset::LinkSet;
+
+/// The sorted distinct magnitudes `h = ⌊log₂(d(l)/δ)⌋` present in `L`.
+///
+/// Returns an empty vector for an empty set. The smallest magnitude is
+/// always 0 (the shortest link itself).
+pub fn diversity_exponents(links: &LinkSet) -> Vec<u32> {
+    let Some(delta) = links.min_length() else {
+        return Vec::new();
+    };
+    let mut hs: Vec<u32> = links
+        .links()
+        .iter()
+        .map(|l| magnitude(l.length(), delta))
+        .collect();
+    hs.sort_unstable();
+    hs.dedup();
+    hs
+}
+
+/// The link length diversity `g(L) = |G(L)|`.
+pub fn length_diversity(links: &LinkSet) -> usize {
+    diversity_exponents(links).len()
+}
+
+/// Magnitude of one length relative to the shortest: `⌊log₂(d/δ)⌋`.
+///
+/// Guards against floating-point log slightly undershooting at exact
+/// powers of two (e.g. `log2(8δ/δ)` evaluating to `2.9999…`).
+pub fn magnitude(length: f64, delta: f64) -> u32 {
+    debug_assert!(length >= delta * (1.0 - 1e-12), "length below minimum");
+    let ratio = length / delta;
+    let h = ratio.log2().floor();
+    let h = if (ratio / 2f64.powf(h + 1.0) - 1.0).abs() < 1e-12 {
+        h + 1.0
+    } else {
+        h
+    };
+    h.max(0.0) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::{Link, LinkId};
+    use fading_geom::{Point2, Rect};
+
+    fn set_with_lengths(lengths: &[f64]) -> LinkSet {
+        let links = lengths
+            .iter()
+            .enumerate()
+            .map(|(i, &len)| {
+                let y = i as f64 * 1000.0; // far apart, distinct endpoints
+                Link::new(
+                    LinkId(i as u32),
+                    Point2::new(0.0, y),
+                    Point2::new(len, y),
+                    1.0,
+                )
+            })
+            .collect();
+        LinkSet::new(Rect::square(1e6), links)
+    }
+
+    #[test]
+    fn uniform_lengths_have_diversity_one() {
+        let ls = set_with_lengths(&[5.0, 5.0, 5.0]);
+        assert_eq!(length_diversity(&ls), 1);
+        assert_eq!(diversity_exponents(&ls), vec![0]);
+    }
+
+    #[test]
+    fn paper_evaluation_range_has_diversity_two() {
+        // Lengths in [5, 20): magnitudes ⌊log₂(d/5)⌋ ∈ {0, 1}.
+        let ls = set_with_lengths(&[5.0, 7.0, 9.9, 10.0, 15.0, 19.9]);
+        assert_eq!(diversity_exponents(&ls), vec![0, 1]);
+        assert_eq!(length_diversity(&ls), 2);
+    }
+
+    #[test]
+    fn magnitude_boundaries() {
+        assert_eq!(magnitude(5.0, 5.0), 0);
+        assert_eq!(magnitude(9.999, 5.0), 0);
+        assert_eq!(magnitude(10.0, 5.0), 1);
+        assert_eq!(magnitude(19.999, 5.0), 1);
+        assert_eq!(magnitude(20.0, 5.0), 2);
+        assert_eq!(magnitude(40.0, 5.0), 3);
+    }
+
+    #[test]
+    fn sparse_magnitudes_are_deduplicated() {
+        let ls = set_with_lengths(&[1.0, 1.5, 64.0, 65.0]);
+        assert_eq!(diversity_exponents(&ls), vec![0, 6]);
+        assert_eq!(length_diversity(&ls), 2);
+    }
+
+    #[test]
+    fn empty_set() {
+        let ls = LinkSet::new(Rect::square(1.0), vec![]);
+        assert_eq!(length_diversity(&ls), 0);
+        assert!(diversity_exponents(&ls).is_empty());
+    }
+
+    #[test]
+    fn diversity_grows_logarithmically_with_length_ratio() {
+        let lengths: Vec<f64> = (0..10).map(|i| 2f64.powi(i)).collect();
+        let ls = set_with_lengths(&lengths);
+        assert_eq!(length_diversity(&ls), 10);
+    }
+}

@@ -1,0 +1,107 @@
+//! Instance (de)serialization.
+//!
+//! Instances are stored as JSON so experiment runs can be archived and
+//! replayed exactly; EXPERIMENTS.md references instance files produced
+//! through this module.
+
+use crate::linkset::LinkSet;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Serializes a link set to pretty JSON.
+pub fn to_json(links: &LinkSet) -> String {
+    serde_json::to_string_pretty(links).expect("LinkSet serialization cannot fail")
+}
+
+/// Errors from reading an instance.
+#[derive(Debug)]
+pub enum LoadError {
+    /// The text is not valid JSON for an instance.
+    Parse(serde_json::Error),
+    /// The parsed instance violates the model invariants.
+    Invalid(crate::error::ValidationError),
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadError::Parse(e) => write!(f, "parse error: {e}"),
+            LoadError::Invalid(e) => write!(f, "invalid instance: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+/// Parses a link set from JSON, revalidating invariants.
+///
+/// Deserializes into the raw shape, then rebuilds through the fallible
+/// validating constructor so hand-edited files can't violate the model
+/// assumptions (and can't panic the caller either).
+pub fn from_json(json: &str) -> Result<LinkSet, LoadError> {
+    let raw: LinkSet = serde_json::from_str(json).map_err(LoadError::Parse)?;
+    LinkSet::try_new(*raw.region(), raw.links().to_vec()).map_err(LoadError::Invalid)
+}
+
+/// Writes an instance to a file.
+pub fn save(links: &LinkSet, path: &Path) -> io::Result<()> {
+    fs::write(path, to_json(links))
+}
+
+/// Reads an instance from a file.
+pub fn load(path: &Path) -> io::Result<LinkSet> {
+    let text = fs::read_to_string(path)?;
+    from_json(&text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{TopologyGenerator, UniformGenerator};
+
+    #[test]
+    fn json_roundtrip_preserves_instance() {
+        let ls = UniformGenerator::paper(40).generate(5);
+        let json = to_json(&ls);
+        let back = from_json(&json).unwrap();
+        assert_eq!(ls, back);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let ls = UniformGenerator::paper(10).generate(6);
+        let dir = std::env::temp_dir().join("fading_net_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("instance.json");
+        save(&ls, &path).unwrap();
+        let back = load(&path).unwrap();
+        assert_eq!(ls, back);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn malformed_json_is_an_error() {
+        assert!(matches!(from_json("{not json"), Err(LoadError::Parse(_))));
+    }
+
+    #[test]
+    fn invalid_instance_is_a_clean_error_not_a_panic() {
+        // Hand-edited file with a zero-length link.
+        let json = r#"{
+            "region": {"x0": 0.0, "y0": 0.0, "x1": 10.0, "y1": 10.0},
+            "links": [{
+                "id": 0,
+                "sender": {"x": 1.0, "y": 1.0},
+                "receiver": {"x": 1.0, "y": 1.0},
+                "rate": 1.0
+            }]
+        }"#;
+        assert!(matches!(from_json(json), Err(LoadError::Invalid(_))));
+    }
+
+    #[test]
+    fn load_missing_file_is_an_error() {
+        assert!(load(Path::new("/nonexistent/fading/instance.json")).is_err());
+    }
+}

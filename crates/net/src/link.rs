@@ -1,0 +1,105 @@
+//! Transmission links.
+
+use fading_geom::Point2;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a link within a [`crate::LinkSet`] — also the index of
+/// the link in the set's storage, so lookups are O(1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct LinkId(pub u32);
+
+impl LinkId {
+    /// The link's position in its set's storage.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for LinkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "l{}", self.0)
+    }
+}
+
+/// A directed transmission link `(s_i, r_i)` with data rate `λ_i`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Link {
+    /// Identifier (index within the owning set).
+    pub id: LinkId,
+    /// Sender position `s_i`.
+    pub sender: Point2,
+    /// Receiver position `r_i`.
+    pub receiver: Point2,
+    /// Data rate `λ_i` carried when the link succeeds.
+    pub rate: f64,
+}
+
+impl Link {
+    /// Creates a link, validating geometry and rate.
+    ///
+    /// # Panics
+    /// Panics if sender and receiver coincide or the rate is not
+    /// finite and positive.
+    pub fn new(id: LinkId, sender: Point2, receiver: Point2, rate: f64) -> Self {
+        assert!(
+            sender.distance_sq(&receiver) > 0.0,
+            "link {id} has zero length (sender == receiver)"
+        );
+        assert!(
+            rate.is_finite() && rate > 0.0,
+            "link {id} rate must be finite and positive, got {rate}"
+        );
+        Self {
+            id,
+            sender,
+            receiver,
+            rate,
+        }
+    }
+
+    /// The link length `d_ii = |s_i − r_i|`.
+    #[inline]
+    pub fn length(&self) -> f64 {
+        self.sender.distance(&self.receiver)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn length_is_sender_receiver_distance() {
+        let l = Link::new(
+            LinkId(0),
+            Point2::new(0.0, 0.0),
+            Point2::new(3.0, 4.0),
+            1.0,
+        );
+        assert_eq!(l.length(), 5.0);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(LinkId(17).to_string(), "l17");
+    }
+
+    #[test]
+    fn id_index_roundtrip() {
+        assert_eq!(LinkId(5).index(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero length")]
+    fn rejects_colocated_endpoints() {
+        let p = Point2::new(1.0, 1.0);
+        Link::new(LinkId(0), p, p, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be finite and positive")]
+    fn rejects_zero_rate() {
+        Link::new(LinkId(0), Point2::origin(), Point2::new(1.0, 0.0), 0.0);
+    }
+}

@@ -1,0 +1,212 @@
+//! Random-waypoint mobility.
+//!
+//! The paper motivates fading with "mobility in a multi-path
+//! propagation environment" (Section I). This module supplies the
+//! mobility half of that story: each transmitter–receiver pair moves as
+//! a rigid unit (think vehicle-mounted radios — link lengths stay
+//! constant, cross distances change) following the classic random
+//! waypoint model: pick a destination uniformly in the region, travel
+//! to it at a per-leg speed, repeat.
+//!
+//! The extension experiment (`ext_mobility`) computes a schedule at
+//! `t = 0` and tracks how its reliability erodes as topology drift
+//! invalidates the interference geometry it was computed for.
+
+use crate::link::{Link, LinkId};
+use crate::linkset::LinkSet;
+use fading_geom::{Point2, Rect};
+use fading_math::seeded_rng;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Random-waypoint state for every link of an instance.
+#[derive(Debug, Clone)]
+pub struct RandomWaypoint {
+    region: Rect,
+    /// Min/max speed per leg (units per time step).
+    speed_lo: f64,
+    speed_hi: f64,
+    rng: StdRng,
+    /// Per link: current sender position, receiver offset, waypoint,
+    /// current speed.
+    states: Vec<NodeState>,
+    rates: Vec<f64>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct NodeState {
+    sender: Point2,
+    offset: Point2,
+    waypoint: Point2,
+    speed: f64,
+}
+
+impl RandomWaypoint {
+    /// Initializes mobility for `links`, keeping each receiver's offset
+    /// from its sender rigid.
+    ///
+    /// # Panics
+    /// Panics unless `0 < speed_lo ≤ speed_hi`.
+    pub fn new(links: &LinkSet, speed_lo: f64, speed_hi: f64, seed: u64) -> Self {
+        assert!(
+            speed_lo > 0.0 && speed_hi >= speed_lo,
+            "need 0 < speed_lo ≤ speed_hi, got [{speed_lo}, {speed_hi}]"
+        );
+        let region = *links.region();
+        let mut rng = seeded_rng(seed);
+        let states = links
+            .links()
+            .iter()
+            .map(|l| {
+                let waypoint = Self::random_point(&mut rng, &region);
+                NodeState {
+                    sender: l.sender,
+                    offset: l.receiver - l.sender,
+                    waypoint,
+                    speed: rng.gen_range(speed_lo..=speed_hi),
+                }
+            })
+            .collect();
+        let rates = links.links().iter().map(|l| l.rate).collect();
+        Self {
+            region,
+            speed_lo,
+            speed_hi,
+            rng,
+            states,
+            rates,
+        }
+    }
+
+    fn random_point(rng: &mut StdRng, region: &Rect) -> Point2 {
+        Point2::new(
+            rng.gen_range(region.min().x..=region.max().x),
+            rng.gen_range(region.min().y..=region.max().y),
+        )
+    }
+
+    /// Advances every link by one time step of duration `dt` and
+    /// returns the moved instance.
+    pub fn step(&mut self, dt: f64) -> LinkSet {
+        assert!(dt > 0.0, "time step must be positive");
+        for s in &mut self.states {
+            let mut budget = s.speed * dt;
+            // Travel toward the waypoint, possibly reaching it and
+            // starting a new leg within the same step.
+            while budget > 0.0 {
+                let to_target = s.waypoint - s.sender;
+                let dist = to_target.norm();
+                if dist <= budget {
+                    s.sender = s.waypoint;
+                    budget -= dist;
+                    s.waypoint = Self::random_point(&mut self.rng, &self.region);
+                    s.speed = self.rng.gen_range(self.speed_lo..=self.speed_hi);
+                    if dist == 0.0 {
+                        break; // degenerate zero-length leg; retry next step
+                    }
+                } else {
+                    let scale = budget / dist;
+                    s.sender =
+                        s.sender + Point2::new(to_target.x * scale, to_target.y * scale);
+                    budget = 0.0;
+                }
+            }
+        }
+        self.snapshot()
+    }
+
+    /// The current positions as a [`LinkSet`].
+    pub fn snapshot(&self) -> LinkSet {
+        let links = self
+            .states
+            .iter()
+            .zip(&self.rates)
+            .enumerate()
+            .map(|(i, (s, &rate))| {
+                Link::new(LinkId(i as u32), s.sender, s.sender + s.offset, rate)
+            })
+            .collect();
+        LinkSet::new(self.region, links)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{TopologyGenerator, UniformGenerator};
+
+    fn start() -> LinkSet {
+        UniformGenerator::paper(60).generate(5)
+    }
+
+    #[test]
+    fn link_lengths_are_preserved() {
+        let links = start();
+        let lengths: Vec<f64> = links.links().iter().map(Link::length).collect();
+        let mut mob = RandomWaypoint::new(&links, 1.0, 5.0, 7);
+        for _ in 0..20 {
+            let moved = mob.step(1.0);
+            for (l, &len) in moved.links().iter().zip(&lengths) {
+                assert!((l.length() - len).abs() < 1e-9, "length drifted");
+            }
+        }
+    }
+
+    #[test]
+    fn senders_stay_inside_the_region() {
+        let links = start();
+        let region = *links.region();
+        let mut mob = RandomWaypoint::new(&links, 2.0, 10.0, 11);
+        for _ in 0..50 {
+            let moved = mob.step(1.0);
+            for l in moved.links() {
+                assert!(
+                    region.contains(&l.sender),
+                    "sender escaped: {:?}",
+                    l.sender
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn positions_actually_move() {
+        let links = start();
+        let mut mob = RandomWaypoint::new(&links, 3.0, 3.0, 13);
+        let moved = mob.step(1.0);
+        let displacement: f64 = moved
+            .links()
+            .iter()
+            .zip(links.links())
+            .map(|(a, b)| a.sender.distance(&b.sender))
+            .sum::<f64>()
+            / links.len() as f64;
+        // Each sender travels ~3 units (less only if its waypoint was
+        // nearer than the step budget).
+        assert!(displacement > 1.0, "mean displacement {displacement}");
+        assert!(displacement <= 3.0 + 1e-9);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let links = start();
+        let mut a = RandomWaypoint::new(&links, 1.0, 4.0, 17);
+        let mut b = RandomWaypoint::new(&links, 1.0, 4.0, 17);
+        for _ in 0..10 {
+            assert_eq!(a.step(0.5), b.step(0.5));
+        }
+    }
+
+    #[test]
+    fn snapshot_before_stepping_is_the_input() {
+        let links = start();
+        let mob = RandomWaypoint::new(&links, 1.0, 2.0, 19);
+        assert_eq!(mob.snapshot(), links);
+    }
+
+    #[test]
+    #[should_panic(expected = "speed_lo")]
+    fn rejects_bad_speeds() {
+        RandomWaypoint::new(&start(), 0.0, 1.0, 0);
+    }
+}

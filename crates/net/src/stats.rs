@@ -1,0 +1,165 @@
+//! Instance statistics — the workload-characterization numbers quoted
+//! in EXPERIMENTS.md and printed by the examples.
+
+use crate::linkset::LinkSet;
+use fading_geom::SpatialHash;
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a scheduling instance.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InstanceStats {
+    /// Number of links.
+    pub n: usize,
+    /// Links per unit area (density).
+    pub density: f64,
+    /// Shortest link length `δ`.
+    pub min_length: f64,
+    /// Longest link length.
+    pub max_length: f64,
+    /// Mean link length.
+    pub mean_length: f64,
+    /// Length diversity `g(L)` (Definition 4.1).
+    pub diversity: usize,
+    /// Mean distance from each sender to its nearest other sender —
+    /// the contention scale.
+    pub mean_nearest_sender: f64,
+    /// `Δ`: ratio of the largest to the smallest pairwise node
+    /// distance (the paper's RLE analysis parameter).
+    pub distance_spread: f64,
+}
+
+/// Computes [`InstanceStats`] for a non-empty instance.
+///
+/// # Panics
+/// Panics on an empty instance (no statistics to compute).
+pub fn instance_stats(links: &LinkSet) -> InstanceStats {
+    assert!(!links.is_empty(), "statistics of an empty instance");
+    let n = links.len();
+    let lengths: Vec<f64> = links.links().iter().map(|l| l.length()).collect();
+    let min_length = lengths.iter().copied().fold(f64::INFINITY, f64::min);
+    let max_length = lengths.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let mean_length = lengths.iter().sum::<f64>() / n as f64;
+
+    // Nearest-neighbor distances among senders via the spatial hash.
+    let senders = links.sender_positions();
+    let mean_nearest_sender = if n >= 2 {
+        let hash = SpatialHash::build(&senders, (mean_length * 4.0).max(1e-9));
+        let total: f64 = senders
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                // Query the hash excluding the point itself.
+                let mut best = f64::INFINITY;
+                let mut radius = mean_length.max(1e-9);
+                loop {
+                    for j in hash.query_radius(p, radius) {
+                        if j as usize != i {
+                            best = best.min(senders[j as usize].distance(p));
+                        }
+                    }
+                    if best.is_finite() {
+                        return best;
+                    }
+                    radius *= 2.0;
+                    if radius > links.region().diagonal() * 2.0 {
+                        // Fallback: full scan (degenerate geometry).
+                        for (j, q) in senders.iter().enumerate() {
+                            if j != i {
+                                best = best.min(q.distance(p));
+                            }
+                        }
+                        return best;
+                    }
+                }
+            })
+            .sum();
+        total / n as f64
+    } else {
+        f64::NAN
+    };
+
+    // Distance spread Δ over all node pairs (senders and receivers).
+    let mut all = senders;
+    all.extend(links.receiver_positions());
+    let mut min_d = f64::INFINITY;
+    let mut max_d: f64 = 0.0;
+    for i in 0..all.len() {
+        for j in (i + 1)..all.len() {
+            let d = all[i].distance(&all[j]);
+            if d > 0.0 {
+                min_d = min_d.min(d);
+            }
+            max_d = max_d.max(d);
+        }
+    }
+
+    InstanceStats {
+        n,
+        density: n as f64 / links.region().area(),
+        min_length,
+        max_length,
+        mean_length,
+        diversity: crate::diversity::length_diversity(links),
+        mean_nearest_sender,
+        distance_spread: max_d / min_d,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{GridGenerator, RateModel, TopologyGenerator, UniformGenerator};
+
+    #[test]
+    fn paper_workload_statistics_are_sane() {
+        let links = UniformGenerator::paper(200).generate(1);
+        let s = instance_stats(&links);
+        assert_eq!(s.n, 200);
+        assert!((s.density - 200.0 / 250_000.0).abs() < 1e-12);
+        assert!(s.min_length >= 5.0 && s.max_length <= 20.0);
+        assert!(s.mean_length > 5.0 && s.mean_length < 20.0);
+        assert_eq!(s.diversity, 2);
+        assert!(s.mean_nearest_sender > 0.0);
+        assert!(s.distance_spread > 1.0);
+    }
+
+    #[test]
+    fn lattice_nearest_neighbor_is_the_spacing_scale() {
+        let gen = GridGenerator {
+            rows: 6,
+            cols: 6,
+            spacing: 50.0,
+            link_length: 10.0,
+            rates: RateModel::Fixed(1.0),
+        };
+        let s = instance_stats(&gen.generate(0));
+        assert!(
+            (s.mean_nearest_sender - 50.0).abs() < 1e-9,
+            "lattice nearest sender {}",
+            s.mean_nearest_sender
+        );
+        assert_eq!(s.diversity, 1);
+    }
+
+    #[test]
+    fn denser_instances_have_smaller_nearest_neighbor() {
+        let sparse = instance_stats(&UniformGenerator::paper(50).generate(2));
+        let dense = instance_stats(&UniformGenerator::paper(500).generate(2));
+        assert!(dense.mean_nearest_sender < sparse.mean_nearest_sender);
+        assert!(dense.density > sparse.density);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let s = instance_stats(&UniformGenerator::paper(30).generate(3));
+        let json = serde_json::to_string(&s).unwrap();
+        let back: InstanceStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty instance")]
+    fn rejects_empty() {
+        instance_stats(&LinkSet::new(fading_geom::Rect::square(1.0), vec![]));
+    }
+}

@@ -1,0 +1,269 @@
+//! The synchronous protocol engine.
+//!
+//! The engine plays the role of the radio medium: it delivers local
+//! broadcasts to the contention neighborhood and lets each receiver
+//! "measure" the interference factor accumulated from currently active
+//! senders (a physically observable quantity — no messages needed).
+//! All *decisions* are taken by per-node state machines using only
+//! their inbox and local measurements.
+
+use crate::messages::{MessageKind, TrafficStats};
+use fading_core::constants::rle_c1;
+use fading_core::{FeasibilityReport, Problem, Schedule};
+use fading_net::LinkId;
+
+/// Per-node protocol phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Undecided,
+    Active,
+    Retired,
+}
+
+/// The DLS protocol runner.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DlsProtocol {
+    /// Budget split, as in RLE/DLS.
+    pub c2: f64,
+}
+
+/// Result of executing the protocol on an instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProtocolOutcome {
+    /// The agreed schedule.
+    pub schedule: Schedule,
+    /// Synchronous rounds until quiescence (excluding discovery).
+    pub rounds: u32,
+    /// Messages sent, by kind.
+    pub traffic: TrafficStats,
+}
+
+impl Default for DlsProtocol {
+    fn default() -> Self {
+        Self { c2: 0.5 }
+    }
+}
+
+impl DlsProtocol {
+    /// Protocol with the symmetric split `c₂ = 1/2` (matching
+    /// [`fading_core::algo::Dls::new`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Executes the protocol.
+    pub fn run(&self, problem: &Problem) -> ProtocolOutcome {
+        let links = problem.links();
+        let n = links.len();
+        let mut traffic = TrafficStats::default();
+        if n == 0 {
+            return ProtocolOutcome {
+                schedule: Schedule::empty(),
+                rounds: 0,
+                traffic,
+            };
+        }
+        let c1 = rle_c1(problem.params(), problem.gamma_eps(), self.c2);
+        let threshold = self.c2 * problem.gamma_eps();
+
+        // --- Discovery (round 0): every node broadcasts Hello once.
+        // The engine derives the contention topology: i and j contend
+        // when either sender is inside the other's receiver disk scaled
+        // by the longer link.
+        for _ in 0..n {
+            traffic.record(MessageKind::Hello);
+        }
+        let contends = |a: LinkId, b: LinkId| -> bool {
+            let scale = c1 * links.length(a).max(links.length(b));
+            links.link(a).sender.distance(&links.link(b).receiver) < scale
+                || links.link(b).sender.distance(&links.link(a).receiver) < scale
+        };
+        let contenders: Vec<Vec<LinkId>> = links
+            .ids()
+            .map(|a| links.ids().filter(|&b| b != a && contends(a, b)).collect())
+            .collect();
+
+        let mut phase = vec![Phase::Undecided; n];
+        // Local physical measurement: interference factor accumulated
+        // at each undecided receiver from active senders.
+        let mut measured = vec![0.0f64; n];
+        let mut rounds = 0u32;
+
+        loop {
+            rounds += 1;
+            // 1. Budget retirement — local measurement, no message.
+            for j in links.ids() {
+                if phase[j.index()] == Phase::Undecided && measured[j.index()] > threshold {
+                    phase[j.index()] = Phase::Retired;
+                }
+            }
+            // 2. Status broadcast from every undecided node.
+            let undecided: Vec<LinkId> = links
+                .ids()
+                .filter(|&j| phase[j.index()] == Phase::Undecided)
+                .collect();
+            for _ in &undecided {
+                traffic.record(MessageKind::Status);
+            }
+            // 3. Dominance decision from each node's inbox: a node
+            // activates iff every undecided contender it heard from has
+            // a longer link (ties by id).
+            let activating: Vec<LinkId> = undecided
+                .iter()
+                .copied()
+                .filter(|&j| {
+                    contenders[j.index()]
+                        .iter()
+                        .filter(|&&k| phase[k.index()] == Phase::Undecided)
+                        .all(|&k| (links.length(j), j) < (links.length(k), k))
+                })
+                .collect();
+            if activating.is_empty() {
+                break;
+            }
+            for &i in &activating {
+                phase[i.index()] = Phase::Active;
+            }
+            // 4. Clear broadcasts; disk retirements and measurement
+            // updates at the remaining undecided receivers.
+            for &i in &activating {
+                traffic.record(MessageKind::Clear);
+                let r_i = links.link(i).receiver;
+                let radius = c1 * links.length(i);
+                let row = problem.factors().row(i);
+                for j in links.ids() {
+                    if phase[j.index()] != Phase::Undecided {
+                        continue;
+                    }
+                    if links.link(j).sender.distance(&r_i) < radius {
+                        phase[j.index()] = Phase::Retired;
+                    } else {
+                        measured[j.index()] += row[j.index()];
+                    }
+                }
+            }
+            assert!(rounds <= n as u32 + 1, "protocol failed to make progress");
+        }
+
+        // 5. Verification handshake: receivers that still exceed the
+        // full budget NACK out, worst first (mirrors the centralized
+        // safety valve; never fires on the paper workloads).
+        let mut members: Vec<LinkId> = links
+            .ids()
+            .filter(|&j| phase[j.index()] == Phase::Active)
+            .collect();
+        loop {
+            let schedule = Schedule::from_ids(members.iter().copied());
+            let report = FeasibilityReport::evaluate(problem, &schedule);
+            if report.is_feasible() {
+                return ProtocolOutcome {
+                    schedule,
+                    rounds,
+                    traffic,
+                };
+            }
+            let worst = report
+                .entries()
+                .iter()
+                .max_by(|a, b| a.interference_sum.total_cmp(&b.interference_sum))
+                .expect("infeasible report cannot be empty")
+                .id;
+            traffic.record(MessageKind::Nack);
+            members.retain(|&j| j != worst);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fading_core::algo::Dls;
+    use fading_core::Scheduler;
+    use fading_net::{TopologyGenerator, UniformGenerator};
+    use proptest::prelude::*;
+
+    fn problem(n: usize, seed: u64) -> Problem {
+        Problem::paper(UniformGenerator::paper(n).generate(seed), 3.0)
+    }
+
+    #[test]
+    fn protocol_matches_centralized_dls() {
+        for seed in 0..5 {
+            let p = problem(200, seed);
+            let centralized = Dls::new().schedule(&p);
+            let outcome = DlsProtocol::new().run(&p);
+            assert_eq!(
+                outcome.schedule, centralized,
+                "protocol and centralized DLS diverged on seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn schedule_is_feasible() {
+        let p = problem(250, 9);
+        let outcome = DlsProtocol::new().run(&p);
+        assert!(fading_core::feasibility::is_feasible(&p, &outcome.schedule));
+        assert!(!outcome.schedule.is_empty());
+    }
+
+    #[test]
+    fn traffic_accounting_is_consistent() {
+        let p = problem(150, 3);
+        let outcome = DlsProtocol::new().run(&p);
+        // One Hello per node.
+        assert_eq!(outcome.traffic.hello, 150);
+        // One Clear per scheduled link (plus none for NACKed ones here).
+        assert_eq!(
+            outcome.traffic.clear,
+            outcome.schedule.len() as u64 + outcome.traffic.nack
+        );
+        // Status messages: at most (undecided per round) × rounds ≤ N·rounds.
+        assert!(outcome.traffic.status <= 150 * outcome.rounds as u64);
+        assert!(outcome.traffic.status >= outcome.schedule.len() as u64);
+        assert_eq!(
+            outcome.traffic.total(),
+            outcome.traffic.hello
+                + outcome.traffic.status
+                + outcome.traffic.clear
+                + outcome.traffic.nack
+        );
+    }
+
+    #[test]
+    fn converges_in_few_rounds() {
+        let p = problem(300, 4);
+        let outcome = DlsProtocol::new().run(&p);
+        assert!(
+            outcome.rounds <= 30,
+            "took {} rounds for 300 links",
+            outcome.rounds
+        );
+    }
+
+    #[test]
+    fn empty_instance() {
+        let links = fading_net::LinkSet::new(fading_geom::Rect::square(1.0), vec![]);
+        let p = Problem::paper(links, 3.0);
+        let outcome = DlsProtocol::new().run(&p);
+        assert!(outcome.schedule.is_empty());
+        assert_eq!(outcome.rounds, 0);
+        assert_eq!(outcome.traffic.total(), 0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        #[test]
+        fn protocol_equals_centralized_on_random_instances(
+            n in 2usize..60,
+            seed in 0u64..2000,
+            alpha in 2.2f64..5.0,
+        ) {
+            let links = UniformGenerator::paper(n).generate(seed);
+            let p = Problem::paper(links, alpha);
+            let centralized = Dls { c2: 0.5 }.schedule(&p);
+            let outcome = DlsProtocol::new().run(&p);
+            prop_assert_eq!(outcome.schedule, centralized);
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! A message-passing execution of the DLS decentralized scheduler.
+//!
+//! `fading-core`'s [`Dls`] computes the decentralized schedule with
+//! centralized bookkeeping (convenient for sweeps). This crate runs the
+//! *actual protocol*: per-link nodes that exchange explicit messages
+//! over radius-limited local broadcast and keep only local state. It
+//! serves two purposes:
+//!
+//! 1. **Validation** — the protocol execution must reach exactly the
+//!    same schedule as the centralized emulation (tested);
+//! 2. **Cost accounting** — rounds to converge and messages sent, the
+//!    numbers a protocol paper would report (`ext_dls_overhead`).
+//!
+//! Protocol sketch (one synchronous round):
+//!
+//! * every undecided node that measures accumulated interference above
+//!   `c₂ γ_ε` at its receiver retires silently;
+//! * every undecided node broadcasts `Status { length, id }` to its
+//!   contention neighborhood;
+//! * a node activates iff it dominates (shorter link, ties by id) every
+//!   undecided contender it heard from;
+//! * each activating node's receiver broadcasts `Clear { radius }`;
+//!   undecided nodes whose *sender* lies inside a clear disk retire;
+//! * a final handshake lets any receiver that still exceeds its budget
+//!   send `Nack` and withdraw (never observed on the paper workloads,
+//!   mirroring the centralized safety valve).
+//!
+//! Neighbor discovery (`Hello`) happens once at start-up. Two links
+//! contend when either sender sits within `c₁·max(dᵢ, dⱼ)` of the other
+//! receiver — the longer link's node initiates contact, so the pair is
+//! discoverable with local information only.
+//!
+//! [`Dls`]: fading_core::algo::Dls
+
+pub mod engine;
+pub mod messages;
+
+pub use engine::{DlsProtocol, ProtocolOutcome};
+pub use messages::{Message, MessageKind, TrafficStats};

@@ -1,0 +1,282 @@
+//! Packet-level queueing on top of per-slot scheduling.
+//!
+//! The paper schedules one saturated slot; a deployed network runs the
+//! scheduler every slot over whatever is *backlogged*. This module
+//! closes that loop: Bernoulli packet arrivals per link, per-slot
+//! scheduling restricted to backlogged links, Rayleigh channel
+//! realizations deciding actual delivery, FIFO queues, delay
+//! accounting. The `ext_queueing` experiment locates each scheduler's
+//! stability region (offered load vs backlog growth).
+
+use crate::slot::simulate_slot;
+use fading_core::{Problem, Scheduler};
+use fading_math::{seeded_rng, split_seed, OnlineStats};
+use fading_net::LinkId;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Configuration for a queueing run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QueueConfig {
+    /// Per-link probability of one packet arrival per slot.
+    pub arrival_prob: f64,
+    /// Number of simulated slots.
+    pub slots: u64,
+    /// RNG seed (arrivals and channel draws derive from it).
+    pub seed: u64,
+}
+
+/// Aggregate results of a queueing run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QueueResult {
+    /// Packets that arrived.
+    pub arrived: u64,
+    /// Packets delivered.
+    pub delivered: u64,
+    /// Mean delivery delay in slots (arrival slot → delivery slot).
+    pub mean_delay: f64,
+    /// Time-averaged total backlog (packets waiting, sampled per slot).
+    pub mean_backlog: f64,
+    /// Largest backlog observed.
+    pub max_backlog: u64,
+    /// Backlog remaining when the run ended.
+    pub final_backlog: u64,
+}
+
+impl QueueResult {
+    /// Delivered throughput in packets/slot.
+    pub fn throughput(&self, slots: u64) -> f64 {
+        self.delivered as f64 / slots as f64
+    }
+}
+
+/// How per-slot service decisions weigh the backlog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ServicePolicy {
+    /// Schedule the backlogged sub-instance with the links' own rates
+    /// (the paper's objective applied per slot).
+    PlainRates,
+    /// MaxWeight / backpressure: rate of each backlogged link is its
+    /// queue length, so the scheduler chases the longest queues — the
+    /// classic throughput-optimal policy of Tassiulas–Ephremides.
+    MaxWeight,
+}
+
+/// Runs the queueing simulation.
+///
+/// Each slot: arrivals → schedule the backlogged sub-instance →
+/// realize the Rayleigh channel → successful links pop one packet.
+///
+/// # Panics
+/// Panics unless `0 < arrival_prob ≤ 1` and `slots > 0`.
+pub fn simulate_queueing<S: Scheduler + ?Sized>(
+    problem: &Problem,
+    scheduler: &S,
+    cfg: &QueueConfig,
+) -> QueueResult {
+    simulate_queueing_with_policy(problem, scheduler, cfg, ServicePolicy::PlainRates)
+}
+
+/// [`simulate_queueing`] with an explicit [`ServicePolicy`].
+pub fn simulate_queueing_with_policy<S: Scheduler + ?Sized>(
+    problem: &Problem,
+    scheduler: &S,
+    cfg: &QueueConfig,
+    policy: ServicePolicy,
+) -> QueueResult {
+    assert!(
+        cfg.arrival_prob > 0.0 && cfg.arrival_prob <= 1.0,
+        "arrival probability must be in (0,1], got {}",
+        cfg.arrival_prob
+    );
+    assert!(cfg.slots > 0, "need at least one slot");
+    let n = problem.len();
+    let mut queues: Vec<VecDeque<u64>> = vec![VecDeque::new(); n];
+    let mut arrival_rng = seeded_rng(split_seed(cfg.seed, 0));
+    let mut delays = OnlineStats::new();
+    let mut backlog_stats = OnlineStats::new();
+    let mut arrived = 0u64;
+    let mut delivered = 0u64;
+    let mut max_backlog = 0u64;
+
+    for t in 0..cfg.slots {
+        // Arrivals.
+        for q in queues.iter_mut() {
+            if arrival_rng.gen::<f64>() < cfg.arrival_prob {
+                q.push_back(t);
+                arrived += 1;
+            }
+        }
+        // Backlogged sub-instance.
+        let backlogged: Vec<LinkId> = (0..n as u32)
+            .map(LinkId)
+            .filter(|id| !queues[id.index()].is_empty())
+            .collect();
+        if !backlogged.is_empty() {
+            let (mut sub_links, mapping) = problem.links().restrict(&backlogged);
+            if policy == ServicePolicy::MaxWeight {
+                // Reweight each backlogged link by its queue length so
+                // rate-aware schedulers implement backpressure.
+                let region = *sub_links.region();
+                let reweighted = sub_links
+                    .links()
+                    .iter()
+                    .enumerate()
+                    .map(|(k, l)| {
+                        let backlog = queues[mapping[k].index()].len() as f64;
+                        fading_net::Link::new(l.id, l.sender, l.receiver, backlog.max(1e-9))
+                    })
+                    .collect();
+                sub_links = fading_net::LinkSet::new(region, reweighted);
+            }
+            let sub = Problem::new(sub_links, *problem.params(), problem.epsilon());
+            let schedule = scheduler.schedule(&sub);
+            // Channel realization decides actual delivery.
+            let mut rng = seeded_rng(split_seed(cfg.seed, t + 1));
+            let outcome = simulate_slot(&sub, &schedule, &mut rng);
+            for sub_id in outcome.successes {
+                let orig = mapping[sub_id.index()];
+                if let Some(arrival_t) = queues[orig.index()].pop_front() {
+                    delivered += 1;
+                    delays.push((t - arrival_t) as f64);
+                }
+            }
+        }
+        let backlog: u64 = queues.iter().map(|q| q.len() as u64).sum();
+        backlog_stats.push(backlog as f64);
+        max_backlog = max_backlog.max(backlog);
+    }
+
+    QueueResult {
+        arrived,
+        delivered,
+        mean_delay: delays.mean(),
+        mean_backlog: backlog_stats.mean(),
+        max_backlog,
+        final_backlog: queues.iter().map(|q| q.len() as u64).sum(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fading_core::algo::{GreedyRate, Rle};
+    use fading_net::{TopologyGenerator, UniformGenerator};
+
+    fn problem(n: usize, seed: u64) -> Problem {
+        Problem::paper(UniformGenerator::paper(n).generate(seed), 3.0)
+    }
+
+    fn cfg(p: f64, slots: u64) -> QueueConfig {
+        QueueConfig {
+            arrival_prob: p,
+            slots,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn conservation_arrived_equals_delivered_plus_backlog() {
+        let p = problem(80, 1);
+        let r = simulate_queueing(&p, &GreedyRate, &cfg(0.05, 400));
+        assert_eq!(r.arrived, r.delivered + r.final_backlog);
+    }
+
+    #[test]
+    fn light_load_is_stable_with_small_delay() {
+        // 100 links × 0.001 arrivals/slot = 0.1 packets/slot offered;
+        // GreedyRate serves ~40/slot — queues must stay tiny.
+        let p = problem(100, 2);
+        let r = simulate_queueing(&p, &GreedyRate, &cfg(0.001, 1500));
+        assert!(r.arrived > 50, "sanity: some packets arrived");
+        assert!(
+            r.final_backlog <= 3,
+            "light load left {} packets queued",
+            r.final_backlog
+        );
+        assert!(r.mean_delay < 5.0, "mean delay {}", r.mean_delay);
+    }
+
+    #[test]
+    fn overload_grows_the_backlog() {
+        // 1 arrival/slot/link ≫ service capacity: backlog ≈ linear in t.
+        let p = problem(100, 3);
+        let r = simulate_queueing(&p, &Rle::new(), &cfg(1.0, 300));
+        assert!(
+            r.final_backlog > r.arrived / 2,
+            "overload should leave most packets queued ({} of {})",
+            r.final_backlog,
+            r.arrived
+        );
+        assert!(r.max_backlog >= r.final_backlog / 2);
+    }
+
+    #[test]
+    fn greedy_sustains_more_load_than_rle() {
+        let p = problem(100, 4);
+        let c = cfg(0.08, 600);
+        let greedy = simulate_queueing(&p, &GreedyRate, &c);
+        let rle = simulate_queueing(&p, &Rle::new(), &c);
+        assert!(
+            greedy.mean_backlog < rle.mean_backlog,
+            "greedy backlog {} vs RLE {}",
+            greedy.mean_backlog,
+            rle.mean_backlog
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = problem(60, 5);
+        let a = simulate_queueing(&p, &GreedyRate, &cfg(0.02, 200));
+        let b = simulate_queueing(&p, &GreedyRate, &cfg(0.02, 200));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn maxweight_conserves_packets_too() {
+        let p = problem(80, 7);
+        let r = simulate_queueing_with_policy(
+            &p,
+            &GreedyRate,
+            &cfg(0.06, 400),
+            ServicePolicy::MaxWeight,
+        );
+        assert_eq!(r.arrived, r.delivered + r.final_backlog);
+    }
+
+    #[test]
+    fn maxweight_shrinks_the_worst_queue() {
+        // Under moderate overload, backpressure keeps the maximum
+        // backlog smaller than plain rates (it chases long queues).
+        let p = problem(100, 8);
+        let c = cfg(0.12, 800);
+        let plain =
+            simulate_queueing_with_policy(&p, &GreedyRate, &c, ServicePolicy::PlainRates);
+        let mw = simulate_queueing_with_policy(&p, &GreedyRate, &c, ServicePolicy::MaxWeight);
+        // Same arrivals either way (same seed stream).
+        assert_eq!(plain.arrived, mw.arrived);
+        assert!(
+            mw.delivered as f64 >= 0.8 * plain.delivered as f64,
+            "backpressure should not collapse throughput ({} vs {})",
+            mw.delivered,
+            plain.delivered
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "arrival probability")]
+    fn rejects_bad_arrival_prob() {
+        let p = problem(5, 6);
+        simulate_queueing(
+            &p,
+            &GreedyRate,
+            &QueueConfig {
+                arrival_prob: 0.0,
+                slots: 10,
+                seed: 0,
+            },
+        );
+    }
+}

@@ -1,0 +1,180 @@
+//! The Fig. 5 / Fig. 6 sweeps.
+//!
+//! For every sweep value and every scheduler: generate `instances`
+//! topologies, compute the schedule once per topology (the algorithms
+//! are deterministic), then Monte-Carlo the channel `trials` times per
+//! topology, and aggregate into a [`ResultRow`].
+
+use crate::config::ExperimentConfig;
+use crate::monte_carlo::{simulate_many, MonteCarloStats};
+use crate::results::{aggregate_row, ResultRow, ResultTable};
+use fading_channel::ChannelParams;
+use fading_core::{Problem, Scheduler};
+use fading_math::split_seed;
+use fading_net::TopologyGenerator;
+use rayon::prelude::*;
+
+/// Which parameter a sweep varies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SweepAxis {
+    /// Number of links `N` (Fig. 5(a)/6(a)); `α` fixed at the default.
+    NumLinks,
+    /// Path-loss exponent `α` (Fig. 5(b)/6(b)); `N` fixed at the default.
+    Alpha,
+}
+
+/// Runs the sweep selected by `axis` (dispatches to [`sweep_n`] /
+/// [`sweep_alpha`]).
+pub fn sweep(
+    config: &ExperimentConfig,
+    axis: SweepAxis,
+    schedulers: &[&dyn Scheduler],
+) -> ResultTable {
+    match axis {
+        SweepAxis::NumLinks => sweep_n(config, schedulers),
+        SweepAxis::Alpha => sweep_alpha(config, schedulers),
+    }
+}
+
+fn measure_point(
+    config: &ExperimentConfig,
+    n: usize,
+    alpha: f64,
+    scheduler: &dyn Scheduler,
+    point_seed: u64,
+) -> Vec<MonteCarloStats> {
+    // Instances are independent and seeded, so evaluate them in
+    // parallel; results are position-stable and bit-identical to the
+    // sequential order.
+    (0..config.instances)
+        .into_par_iter()
+        .map(|k| {
+            let inst_seed = split_seed(point_seed, k as u64);
+            let links = config.generator(n).generate(inst_seed);
+            let params = ChannelParams::new(alpha, config.gamma_th, 1.0, 0.0);
+            let problem = Problem::new(links, params, config.epsilon);
+            let schedule = scheduler.schedule(&problem);
+            simulate_many(&problem, &schedule, config.trials, split_seed(inst_seed, 1))
+        })
+        .collect()
+}
+
+/// Sweeps `N` over `config.n_values` at `config.default_alpha`
+/// (Fig. 5(a) failed-transmission series and Fig. 6(a) throughput
+/// series, depending on which columns the caller reads).
+pub fn sweep_n(config: &ExperimentConfig, schedulers: &[&dyn Scheduler]) -> ResultTable {
+    let mut rows: Vec<ResultRow> = Vec::new();
+    for (xi, &n) in config.n_values.iter().enumerate() {
+        // One seed per sweep point: every scheduler is evaluated on the
+        // same topologies (paired comparison, as in the paper).
+        let point_seed = split_seed(config.seed, xi as u64);
+        for scheduler in schedulers {
+            let stats = measure_point(config, n, config.default_alpha, *scheduler, point_seed);
+            rows.push(aggregate_row("N", n as f64, scheduler.name(), &stats));
+        }
+    }
+    ResultTable::new(rows)
+}
+
+/// Sweeps `α` over `config.alpha_values` at `config.default_n`
+/// (Fig. 5(b)/6(b)).
+pub fn sweep_alpha(config: &ExperimentConfig, schedulers: &[&dyn Scheduler]) -> ResultTable {
+    let mut rows: Vec<ResultRow> = Vec::new();
+    for (xi, &alpha) in config.alpha_values.iter().enumerate() {
+        // One seed per sweep point (paired comparison across schedulers).
+        let point_seed = split_seed(config.seed, (900_000 + xi) as u64);
+        for scheduler in schedulers {
+            let stats = measure_point(config, config.default_n, alpha, *scheduler, point_seed);
+            rows.push(aggregate_row("alpha", alpha, scheduler.name(), &stats));
+        }
+    }
+    ResultTable::new(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fading_core::algo::{ApproxLogN, Ldp, Rle};
+
+    fn tiny_config() -> ExperimentConfig {
+        ExperimentConfig {
+            n_values: vec![50, 150],
+            alpha_values: vec![3.0, 4.0],
+            default_n: 100,
+            default_alpha: 3.0,
+            instances: 2,
+            trials: 50,
+            ..ExperimentConfig::paper()
+        }
+    }
+
+    #[test]
+    fn sweep_n_produces_rows_per_point_and_algorithm() {
+        let cfg = tiny_config();
+        let table = sweep_n(&cfg, &[&Rle::new(), &Ldp::new()]);
+        assert_eq!(table.rows.len(), 4); // 2 N values × 2 algorithms
+        assert_eq!(table.series("RLE").len(), 2);
+        assert_eq!(table.series("LDP").len(), 2);
+        for r in &table.rows {
+            assert_eq!(r.x_label, "N");
+            assert_eq!(r.instances, 2);
+            assert_eq!(r.trials, 50);
+        }
+    }
+
+    #[test]
+    fn sweep_alpha_produces_rows_per_point() {
+        let cfg = tiny_config();
+        let table = sweep_alpha(&cfg, &[&Rle::new()]);
+        assert_eq!(table.rows.len(), 2);
+        assert_eq!(table.rows[0].x, 3.0);
+        assert_eq!(table.rows[1].x, 4.0);
+        assert_eq!(table.rows[0].x_label, "alpha");
+    }
+
+    #[test]
+    fn sweep_dispatch_matches_named_functions() {
+        let cfg = tiny_config();
+        assert_eq!(
+            sweep(&cfg, SweepAxis::NumLinks, &[&Rle::new()]),
+            sweep_n(&cfg, &[&Rle::new()])
+        );
+        assert_eq!(
+            sweep(&cfg, SweepAxis::Alpha, &[&Rle::new()]),
+            sweep_alpha(&cfg, &[&Rle::new()])
+        );
+    }
+
+    #[test]
+    fn sweeps_are_deterministic() {
+        let cfg = tiny_config();
+        let a = sweep_n(&cfg, &[&Rle::new()]);
+        let b = sweep_n(&cfg, &[&Rle::new()]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fading_resistant_beats_baseline_on_failures() {
+        // Miniature Fig. 5(a): RLE near-zero failures, ApproxLogN not.
+        let cfg = ExperimentConfig {
+            n_values: vec![300],
+            instances: 3,
+            trials: 200,
+            ..ExperimentConfig::paper()
+        };
+        let table = sweep_n(&cfg, &[&Rle::new(), &ApproxLogN]);
+        let rle = &table.series("RLE")[0];
+        let logn = &table.series("ApproxLogN")[0];
+        assert!(
+            rle.failed_mean <= 0.05 * rle.scheduled_mean.max(1.0),
+            "RLE failures {} too high",
+            rle.failed_mean
+        );
+        assert!(
+            logn.failed_mean > rle.failed_mean,
+            "baseline ({}) should fail more than RLE ({})",
+            logn.failed_mean,
+            rle.failed_mean
+        );
+    }
+}

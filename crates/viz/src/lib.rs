@@ -1,0 +1,11 @@
+//! SVG rendering of instances and schedules.
+//!
+//! A picture settles most scheduling arguments: which links were
+//! chosen, how much space the exclusion geometry really takes, where
+//! LDP's colored squares fall. [`SvgScene`] builds standalone SVG
+//! documents from an instance, an optional schedule, and optional
+//! overlays; the CLI's `render` subcommand writes them to disk.
+
+mod svg;
+
+pub use svg::{render_instance, RenderOptions, SvgScene};

@@ -1,0 +1,243 @@
+//! Minimal SVG document builder (no external dependencies) plus the
+//! instance/schedule renderer.
+
+use fading_core::Schedule;
+use fading_geom::GridPartition;
+use fading_net::LinkSet;
+use std::fmt::Write as _;
+
+/// Rendering options for [`render_instance`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RenderOptions {
+    /// Output width in pixels (height scales with the region's aspect).
+    pub width_px: f64,
+    /// Draw the LDP grid of this cell size, 4-colored, behind the links.
+    pub grid_cell: Option<f64>,
+    /// Draw each scheduled link's RLE deletion disk (radius factor ×
+    /// link length) around its receiver.
+    pub deletion_radius_factor: Option<f64>,
+}
+
+impl Default for RenderOptions {
+    fn default() -> Self {
+        Self {
+            width_px: 800.0,
+            grid_cell: None,
+            deletion_radius_factor: None,
+        }
+    }
+}
+
+/// An SVG document under construction (world coordinates mapped to
+/// pixel space at construction time).
+#[derive(Debug, Clone)]
+pub struct SvgScene {
+    width: f64,
+    height: f64,
+    scale: f64,
+    off_x: f64,
+    off_y: f64,
+    body: String,
+}
+
+impl SvgScene {
+    /// Creates a scene mapping the world rect `[x0,x1]×[y0,y1]` onto a
+    /// `width_px`-wide canvas (y flipped so world-up is screen-up).
+    pub fn new(x0: f64, y0: f64, x1: f64, y1: f64, width_px: f64) -> Self {
+        assert!(x1 > x0 && y1 > y0, "degenerate world rect");
+        assert!(width_px > 0.0, "canvas width must be positive");
+        let scale = width_px / (x1 - x0);
+        Self {
+            width: width_px,
+            height: (y1 - y0) * scale,
+            scale,
+            off_x: x0,
+            off_y: y0,
+            body: String::new(),
+        }
+    }
+
+    fn px(&self, x: f64, y: f64) -> (f64, f64) {
+        (
+            (x - self.off_x) * self.scale,
+            self.height - (y - self.off_y) * self.scale,
+        )
+    }
+
+    /// Adds a line segment (world coordinates).
+    pub fn line(&mut self, x1: f64, y1: f64, x2: f64, y2: f64, stroke: &str, width: f64) {
+        let (a, b) = self.px(x1, y1);
+        let (c, d) = self.px(x2, y2);
+        let _ = writeln!(
+            self.body,
+            r#"<line x1="{a:.2}" y1="{b:.2}" x2="{c:.2}" y2="{d:.2}" stroke="{stroke}" stroke-width="{width}"/>"#
+        );
+    }
+
+    /// Adds a circle (world center/radius).
+    pub fn circle(&mut self, x: f64, y: f64, r: f64, fill: &str, opacity: f64) {
+        let (cx, cy) = self.px(x, y);
+        let _ = writeln!(
+            self.body,
+            r#"<circle cx="{cx:.2}" cy="{cy:.2}" r="{:.2}" fill="{fill}" fill-opacity="{opacity}"/>"#,
+            r * self.scale
+        );
+    }
+
+    /// Adds an axis-aligned rectangle (world lower-left + size).
+    pub fn rect(&mut self, x: f64, y: f64, w: f64, h: f64, fill: &str, opacity: f64) {
+        let (px, py) = self.px(x, y + h); // SVG rects anchor top-left
+        let _ = writeln!(
+            self.body,
+            r#"<rect x="{px:.2}" y="{py:.2}" width="{:.2}" height="{:.2}" fill="{fill}" fill-opacity="{opacity}"/>"#,
+            w * self.scale,
+            h * self.scale
+        );
+    }
+
+    /// Finalizes the document.
+    pub fn finish(self) -> String {
+        format!(
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{:.0}\" height=\"{:.0}\" viewBox=\"0 0 {:.0} {:.0}\">\n<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n{}</svg>\n",
+            self.width, self.height, self.width, self.height, self.body
+        )
+    }
+}
+
+/// Grid-square fill colors for the four LDP colors.
+const GRID_COLORS: [&str; 4] = ["#d5e8f7", "#fde2cf", "#ddf2d8", "#f3ddf2"];
+
+/// Renders an instance (and optionally a schedule) to an SVG string.
+///
+/// Scheduled links are bold green with sender/receiver dots; others
+/// light gray. Optional overlays: the LDP 4-colored grid and RLE
+/// deletion disks.
+pub fn render_instance(
+    links: &LinkSet,
+    schedule: Option<&Schedule>,
+    options: &RenderOptions,
+) -> String {
+    let region = links.region();
+    let mut scene = SvgScene::new(
+        region.min().x,
+        region.min().y,
+        region.max().x,
+        region.max().y,
+        options.width_px,
+    );
+    // Grid overlay first (background).
+    if let Some(cell) = options.grid_cell {
+        let grid = GridPartition::new(region, cell);
+        let cols = (region.width() / cell).ceil() as i64;
+        let rows = (region.height() / cell).ceil() as i64;
+        for a in 0..cols {
+            for b in 0..rows {
+                let idx = fading_geom::CellIndex { a, b };
+                let color = GRID_COLORS[grid.color_of(idx).0 as usize];
+                let o = grid.cell_origin(idx);
+                scene.rect(o.x, o.y, cell, cell, color, 0.6);
+            }
+        }
+    }
+    // Deletion disks behind links.
+    if let (Some(factor), Some(s)) = (options.deletion_radius_factor, schedule) {
+        for id in s.iter() {
+            let l = links.link(id);
+            scene.circle(l.receiver.x, l.receiver.y, factor * l.length(), "#c23b3b", 0.07);
+        }
+    }
+    // Links.
+    for l in links.links() {
+        let scheduled = schedule.is_some_and(|s| s.contains(l.id));
+        let (stroke, width) = if scheduled {
+            ("#1a7a2e", 2.5)
+        } else {
+            ("#b8b8b8", 1.0)
+        };
+        scene.line(l.sender.x, l.sender.y, l.receiver.x, l.receiver.y, stroke, width);
+        if scheduled {
+            scene.circle(l.sender.x, l.sender.y, 2.0 / 800.0 * region.width(), "#1a7a2e", 1.0);
+            scene.circle(l.receiver.x, l.receiver.y, 2.0 / 800.0 * region.width(), "#114d1d", 1.0);
+        }
+    }
+    scene.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fading_net::{LinkId, TopologyGenerator, UniformGenerator};
+
+    fn instance() -> LinkSet {
+        UniformGenerator::paper(40).generate(1)
+    }
+
+    #[test]
+    fn produces_wellformed_svg() {
+        let svg = render_instance(&instance(), None, &RenderOptions::default());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert_eq!(svg.matches("<svg").count(), 1);
+        // One line per link plus no schedule dots.
+        assert_eq!(svg.matches("<line").count(), 40);
+    }
+
+    #[test]
+    fn scheduled_links_are_highlighted() {
+        let links = instance();
+        let schedule = Schedule::from_ids([LinkId(0), LinkId(5)]);
+        let svg = render_instance(&links, Some(&schedule), &RenderOptions::default());
+        assert_eq!(svg.matches("#1a7a2e").count(), 2 + 2); // 2 strokes + 2 sender dots
+        assert_eq!(svg.matches("<circle").count(), 4); // 2 links × 2 dots
+    }
+
+    #[test]
+    fn grid_overlay_tiles_the_region() {
+        let links = instance(); // 500×500 region
+        let svg = render_instance(
+            &links,
+            None,
+            &RenderOptions {
+                grid_cell: Some(125.0),
+                ..RenderOptions::default()
+            },
+        );
+        // 4×4 cells + the background rect.
+        assert_eq!(svg.matches("<rect").count(), 17);
+        for c in GRID_COLORS {
+            assert!(svg.contains(c), "missing grid color {c}");
+        }
+    }
+
+    #[test]
+    fn deletion_disks_render_per_scheduled_link() {
+        let links = instance();
+        let schedule = Schedule::from_ids([LinkId(1), LinkId(2), LinkId(3)]);
+        let svg = render_instance(
+            &links,
+            Some(&schedule),
+            &RenderOptions {
+                deletion_radius_factor: Some(10.0),
+                ..RenderOptions::default()
+            },
+        );
+        // 3 disks + 6 endpoint dots.
+        assert_eq!(svg.matches("<circle").count(), 9);
+    }
+
+    #[test]
+    fn y_axis_is_flipped() {
+        let mut scene = SvgScene::new(0.0, 0.0, 100.0, 100.0, 100.0);
+        scene.line(0.0, 0.0, 0.0, 100.0, "black", 1.0);
+        let svg = scene.finish();
+        // World (0,0) maps to pixel y=100 (bottom), world (0,100) to 0.
+        assert!(svg.contains(r#"y1="100.00""#), "{svg}");
+        assert!(svg.contains(r#"y2="0.00""#));
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate world rect")]
+    fn rejects_degenerate_world() {
+        SvgScene::new(0.0, 0.0, 0.0, 1.0, 100.0);
+    }
+}

@@ -1,0 +1,59 @@
+//! The paper's central claim, end to end: a schedule that is feasible
+//! under the deterministic SINR model can be unreliable under Rayleigh
+//! fading — and the closed form of Theorem 3.1 predicts exactly how
+//! unreliable.
+//!
+//! Run with: `cargo run --release --example fading_vs_deterministic`
+
+use fading_rls::prelude::*;
+
+fn main() {
+    let links = UniformGenerator::paper(400).generate(2024);
+    let problem = Problem::paper(links, 3.0);
+
+    // Schedule with the deterministic-SINR baseline [14].
+    let schedule = ApproxLogN.schedule(&problem);
+    println!(
+        "ApproxLogN scheduled {} links (deterministic SINR ≥ γ_th for all of them)",
+        schedule.len()
+    );
+
+    // Theorem 3.1: per-link success probability under Rayleigh fading.
+    let report = FeasibilityReport::evaluate(&problem, &schedule);
+    let mut predicted_failures = 0.0;
+    let mut unreliable = 0;
+    for e in report.entries() {
+        predicted_failures += 1.0 - e.success_probability;
+        if !e.feasible {
+            unreliable += 1;
+        }
+    }
+    println!(
+        "closed form (Thm 3.1): {unreliable} links below the 1−ε target, \
+         E[failures/slot] = {predicted_failures:.2}"
+    );
+
+    // Monte-Carlo the channel and compare with the prediction.
+    let stats = simulate_many(&problem, &schedule, 5000, 99);
+    println!(
+        "simulated 5000 Rayleigh slots: {:.2} failures/slot (± {:.2})",
+        stats.failed.mean, stats.failed.ci95
+    );
+
+    // Now the fading-resistant algorithms on the same instance.
+    println!();
+    for s in [&Ldp::new() as &dyn Scheduler, &Rle::new()] {
+        let sched = s.schedule(&problem);
+        let st = simulate_many(&problem, &sched, 5000, 101);
+        println!(
+            "{:<4} schedules {:>3} links, {:.3} failures/slot — every link ≥ {:.0}% reliable",
+            s.name(),
+            sched.len(),
+            st.failed.mean,
+            100.0 * (1.0 - problem.epsilon())
+        );
+    }
+    println!();
+    println!("The baseline delivers more links per slot but breaks its reliability");
+    println!("contract; LDP/RLE trade concurrency for a guaranteed error rate.");
+}

@@ -1,0 +1,64 @@
+//! Multi-slot scheduling on heterogeneous workloads (the paper's
+//! stated future work): drain clustered, linear, and uniform topologies
+//! and compare how many slots each algorithm needs.
+//!
+//! Run with: `cargo run --release --example multislot_scheduling`
+
+use fading_rls::prelude::*;
+
+fn drain(label: &str, links: LinkSet) {
+    let problem = Problem::paper(links, 3.0);
+    println!(
+        "{label}: {} links, g(L) = {}",
+        problem.len(),
+        fading_rls::net::length_diversity(problem.links())
+    );
+    for s in [
+        &Rle::new() as &dyn Scheduler,
+        &Ldp::new(),
+        &GreedyRate,
+        &Dls::new(),
+    ] {
+        let plan = schedule_all(&problem, s);
+        // Every slot must be individually feasible.
+        let all_feasible = plan.slots().iter().all(|sl| is_feasible(&problem, sl));
+        println!(
+            "  {:<12} {:>4} slots ({:>5.1} links/slot, feasible: {})",
+            s.name(),
+            plan.num_slots(),
+            problem.len() as f64 / plan.num_slots() as f64,
+            all_feasible
+        );
+    }
+    println!();
+}
+
+fn main() {
+    drain(
+        "uniform field",
+        UniformGenerator::paper(200).generate(1),
+    );
+    drain(
+        "clustered hotspots",
+        ClusteredGenerator {
+            side: 500.0,
+            clusters: 5,
+            links_per_cluster: 40,
+            cluster_radius: 40.0,
+            len_lo: 5.0,
+            len_hi: 20.0,
+            rates: RateModel::Fixed(1.0),
+        }
+        .generate(2),
+    );
+    drain(
+        "highway chain",
+        LinearGenerator {
+            n: 120,
+            spacing: 30.0,
+            link_length: 8.0,
+            rates: RateModel::Fixed(1.0),
+        }
+        .generate(3),
+    );
+}

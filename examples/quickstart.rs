@@ -1,0 +1,61 @@
+//! Quickstart: build the paper's workload, schedule one slot with each
+//! algorithm, verify the fading guarantee, and Monte-Carlo the channel.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use fading_rls::prelude::*;
+
+fn main() {
+    // The paper's Section V workload: N links in a 500×500 field, each
+    // receiver 5–20 units from its sender, unit data rates.
+    let links = UniformGenerator::paper(300).generate(42);
+    println!(
+        "instance: {} links, lengths {:.1}..{:.1}, diversity g(L) = {}",
+        links.len(),
+        links.min_length().unwrap(),
+        links.max_length().unwrap(),
+        fading_rls::net::length_diversity(&links),
+    );
+
+    // α = 3, γ_th = 1, ε = 0.01 (the paper's defaults).
+    let problem = Problem::paper(links, 3.0);
+    println!(
+        "channel: α = {}, γ_th = {}, ε = {} (γ_ε = {:.5})",
+        problem.params().alpha,
+        problem.params().gamma_th,
+        problem.epsilon(),
+        problem.gamma_eps()
+    );
+    println!();
+
+    // Schedule one time slot with each algorithm.
+    let schedulers: Vec<Box<dyn Scheduler>> = vec![
+        Box::new(Ldp::new()),
+        Box::new(Rle::new()),
+        Box::new(Dls::new()),
+        Box::new(GreedyRate),
+        Box::new(ApproxLogN),
+        Box::new(ApproxDiversity::new()),
+    ];
+    println!(
+        "{:<18} {:>7} {:>12} {:>14} {:>16}",
+        "algorithm", "links", "feasible?", "E[failed]/slot", "E[throughput]"
+    );
+    for s in &schedulers {
+        let schedule = s.schedule(&problem);
+        let feasible = is_feasible(&problem, &schedule);
+        // 2000 Rayleigh realizations of the slot.
+        let stats = simulate_many(&problem, &schedule, 2000, 7);
+        println!(
+            "{:<18} {:>7} {:>12} {:>14.3} {:>16.2}",
+            s.name(),
+            schedule.len(),
+            if feasible { "yes" } else { "NO" },
+            stats.failed.mean,
+            stats.throughput.mean,
+        );
+    }
+    println!();
+    println!("LDP/RLE/DLS/GreedyRate satisfy Corollary 3.1 (every link ≥ 99% reliable);");
+    println!("the deterministic-SINR baselines schedule more links but shed them to fading.");
+}

@@ -1,0 +1,68 @@
+//! Sensor-field convergecast: the uniform-rate scenario that motivates
+//! RLE (Section IV-B cites periodic sensor reporting with equal rates).
+//!
+//! A lattice of sensors each reports to a nearby aggregator over a
+//! fixed-length link. We (1) schedule as much as possible per slot with
+//! RLE, (2) drain the whole field with the multi-slot extension, and
+//! (3) verify the per-slot reliability empirically.
+//!
+//! Run with: `cargo run --release --example sensor_network`
+
+use fading_rls::prelude::*;
+
+fn main() {
+    // 12×12 sensors, 40 m pitch, 8 m report links — one length class.
+    let field = GridGenerator {
+        rows: 12,
+        cols: 12,
+        spacing: 40.0,
+        link_length: 8.0,
+        rates: RateModel::Fixed(1.0),
+    };
+    let links = field.generate(7);
+    println!(
+        "sensor field: {} links on a lattice, g(L) = {}",
+        links.len(),
+        fading_rls::net::length_diversity(&links)
+    );
+
+    let problem = Problem::paper(links, 3.0);
+    let rle = Rle::new();
+
+    // One slot: how many sensors can report simultaneously?
+    let slot = rle.schedule(&problem);
+    println!(
+        "single slot: {} of {} sensors transmit (feasible: {})",
+        slot.len(),
+        problem.len(),
+        is_feasible(&problem, &slot)
+    );
+
+    // Drain the entire field: the paper's future-work objective.
+    let plan = schedule_all(&problem, &rle);
+    println!(
+        "full drain: {} slots, {:.1} links/slot on average",
+        plan.num_slots(),
+        problem.len() as f64 / plan.num_slots() as f64
+    );
+
+    // Reliability check: simulate each slot and count failures.
+    let mut total_failed = 0.0;
+    for (i, s) in plan.slots().iter().enumerate() {
+        let stats = simulate_many(&problem, s, 1000, 100 + i as u64);
+        total_failed += stats.failed.mean;
+    }
+    println!(
+        "empirical failures across all slots: {:.3} per round (target ≤ {:.2})",
+        total_failed,
+        problem.epsilon() * problem.len() as f64
+    );
+
+    // Compare against LDP on the same field.
+    let ldp_plan = schedule_all(&problem, &Ldp::new());
+    println!(
+        "LDP drains the field in {} slots (RLE: {})",
+        ldp_plan.num_slots(),
+        plan.num_slots()
+    );
+}

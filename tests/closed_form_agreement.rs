@@ -1,0 +1,100 @@
+//! Theorem 3.1 validation: the closed-form success probability
+//! `Pr(X_j ≥ γ_th) = Π_i 1/(1 + γ_th (d_jj/d_ij)^α)` must match the
+//! Monte-Carlo frequency of the simulated Rayleigh channel, link by
+//! link and in aggregate — across path-loss exponents and schedule
+//! densities.
+
+use fading_rls::prelude::*;
+
+/// Simulates `trials` slots and returns per-link empirical success
+/// frequencies, index-aligned with `schedule.ids()`.
+fn empirical_success(
+    problem: &Problem,
+    schedule: &fading_rls::core::Schedule,
+    trials: u64,
+    seed: u64,
+) -> Vec<f64> {
+    let mut counts = vec![0u64; schedule.len()];
+    for t in 0..trials {
+        let mut rng = fading_rls::math::seeded_rng(fading_rls::math::split_seed(seed, t));
+        let out = simulate_slot(problem, schedule, &mut rng);
+        for (k, id) in schedule.iter().enumerate() {
+            if out.successes.contains(&id) {
+                counts[k] += 1;
+            }
+        }
+    }
+    counts.iter().map(|&c| c as f64 / trials as f64).collect()
+}
+
+#[test]
+fn per_link_success_matches_theorem_3_1() {
+    let links = UniformGenerator::paper(150).generate(21);
+    let problem = Problem::paper(links, 3.0);
+    // A dense schedule so probabilities are strictly inside (0,1).
+    let schedule = ApproxDiversity::new().schedule(&problem);
+    let trials = 20_000;
+    let empirical = empirical_success(&problem, &schedule, trials, 5);
+    let report = FeasibilityReport::evaluate(&problem, &schedule);
+    for (emp, entry) in empirical.iter().zip(report.entries()) {
+        let analytic = entry.success_probability;
+        // Binomial standard error at 20k trials.
+        let se = (analytic * (1.0 - analytic) / trials as f64).sqrt();
+        assert!(
+            (emp - analytic).abs() <= 5.0 * se + 0.005,
+            "link {}: empirical {emp} vs closed form {analytic}",
+            entry.id
+        );
+    }
+}
+
+#[test]
+fn aggregate_failures_match_across_alpha() {
+    for &alpha in &[2.5, 3.5, 4.5] {
+        let links = UniformGenerator::paper(200).generate(31);
+        let problem = Problem::paper(links, alpha);
+        let schedule = ApproxLogN.schedule(&problem);
+        let report = FeasibilityReport::evaluate(&problem, &schedule);
+        let analytic: f64 = report
+            .entries()
+            .iter()
+            .map(|e| 1.0 - e.success_probability)
+            .sum();
+        let stats = simulate_many(&problem, &schedule, 8000, 7);
+        assert!(
+            (stats.failed.mean - analytic).abs() <= 4.0 * stats.failed.ci95 + 0.05,
+            "α={alpha}: empirical {} vs analytic {analytic}",
+            stats.failed.mean
+        );
+    }
+}
+
+#[test]
+fn feasible_links_rarely_fail_infeasible_links_often_do() {
+    let links = UniformGenerator::paper(300).generate(41);
+    let problem = Problem::paper(links, 3.0);
+    let schedule = ApproxDiversity::new().schedule(&problem);
+    let report = FeasibilityReport::evaluate(&problem, &schedule);
+    let empirical = empirical_success(&problem, &schedule, 5000, 17);
+    for (emp, entry) in empirical.iter().zip(report.entries()) {
+        if entry.feasible {
+            assert!(
+                *emp >= 1.0 - problem.epsilon() - 0.01,
+                "feasible link {} failed too often ({emp})",
+                entry.id
+            );
+        }
+    }
+    // And at least one infeasible link visibly under-performs (the
+    // instance is dense enough that some link misses the target badly).
+    let worst = empirical
+        .iter()
+        .zip(report.entries())
+        .filter(|(_, e)| !e.feasible)
+        .map(|(emp, _)| *emp)
+        .fold(f64::INFINITY, f64::min);
+    assert!(
+        worst < 1.0 - problem.epsilon(),
+        "expected an under-target link, min success {worst}"
+    );
+}

@@ -1,0 +1,218 @@
+//! Torture tests: extreme geometries and parameters through the public
+//! API. None of these appear in the paper's evaluation, but a released
+//! library must survive them.
+
+use fading_rls::prelude::*;
+
+fn all_schedulers() -> Vec<Box<dyn Scheduler>> {
+    vec![
+        Box::new(Ldp::new()),
+        Box::new(Rle::new()),
+        Box::new(Dls::new()),
+        Box::new(GreedyRate),
+        Box::new(ApproxLogN),
+        Box::new(ApproxDiversity::new()),
+    ]
+}
+
+#[test]
+fn single_link_instance() {
+    let links = LinkSet::new(
+        fading_rls::geom::Rect::square(100.0),
+        vec![Link::new(
+            LinkId(0),
+            fading_rls::geom::Point2::new(10.0, 10.0),
+            fading_rls::geom::Point2::new(15.0, 10.0),
+            1.0,
+        )],
+    );
+    let p = Problem::paper(links, 3.0);
+    for s in all_schedulers() {
+        let schedule = s.schedule(&p);
+        assert_eq!(schedule.len(), 1, "{} must schedule the lone link", s.name());
+        assert!(is_feasible(&p, &schedule));
+    }
+}
+
+#[test]
+fn two_links_far_apart_both_always_scheduled_by_greedy() {
+    let mk = |x: f64| {
+        (
+            fading_rls::geom::Point2::new(x, 0.0),
+            fading_rls::geom::Point2::new(x + 5.0, 0.0),
+        )
+    };
+    let (s0, r0) = mk(0.0);
+    let (s1, r1) = mk(100_000.0);
+    let links = LinkSet::new(
+        fading_rls::geom::Rect::square(200_000.0),
+        vec![
+            Link::new(LinkId(0), s0, r0, 1.0),
+            Link::new(LinkId(1), s1, r1, 1.0),
+        ],
+    );
+    let p = Problem::paper(links, 3.0);
+    let schedule = GreedyRate.schedule(&p);
+    assert_eq!(schedule.len(), 2);
+}
+
+#[test]
+fn collinear_chain_is_handled() {
+    let gen = LinearGenerator {
+        n: 40,
+        spacing: 25.0,
+        link_length: 6.0,
+        rates: RateModel::Fixed(1.0),
+    };
+    let p = Problem::paper(gen.generate(0), 3.0);
+    for s in all_schedulers() {
+        let schedule = s.schedule(&p);
+        assert!(!schedule.is_empty(), "{}", s.name());
+    }
+}
+
+#[test]
+fn microscopic_and_gigantic_coordinates() {
+    // Interference factors are scale-invariant; algorithms must not
+    // depend on absolute coordinate magnitude.
+    for scale in [1e-3, 1e6] {
+        let links: Vec<Link> = (0..20)
+            .map(|i| {
+                let base = fading_rls::geom::Point2::new(
+                    (i % 5) as f64 * 100.0 * scale,
+                    (i / 5) as f64 * 100.0 * scale,
+                );
+                Link::new(
+                    LinkId(i),
+                    base,
+                    base + fading_rls::geom::Point2::new(10.0 * scale, 0.0),
+                    1.0,
+                )
+            })
+            .collect();
+        let ls = LinkSet::new(fading_rls::geom::Rect::square(500.0 * scale), links);
+        let p = Problem::paper(ls, 3.0);
+        let rle = Rle::new().schedule(&p);
+        assert!(!rle.is_empty(), "scale {scale}");
+        assert!(is_feasible(&p, &rle), "scale {scale}");
+    }
+}
+
+#[test]
+fn alpha_barely_above_two() {
+    // ζ(α−1) explodes as α→2⁺; constants must stay finite and the
+    // algorithms functional (they just become very conservative).
+    let links = UniformGenerator::paper(100).generate(7);
+    let p = Problem::new(links, ChannelParams::new(2.05, 1.0, 1.0, 0.0), 0.01);
+    for s in [&Ldp::new() as &dyn Scheduler, &Rle::new()] {
+        let schedule = s.schedule(&p);
+        assert!(!schedule.is_empty(), "{}", s.name());
+        assert!(is_feasible(&p, &schedule), "{}", s.name());
+    }
+}
+
+#[test]
+fn very_strict_and_very_loose_epsilon() {
+    let links = UniformGenerator::paper(150).generate(8);
+    // Strict: one failure in a million.
+    let strict = Problem::new(links.clone(), ChannelParams::paper_defaults(), 1e-6);
+    let s_strict = Rle::new().schedule(&strict);
+    assert!(is_feasible(&strict, &s_strict));
+    // Loose: 30% failures tolerated.
+    let loose = Problem::new(links, ChannelParams::paper_defaults(), 0.3);
+    let s_loose = Rle::new().schedule(&loose);
+    assert!(is_feasible(&loose, &s_loose));
+    assert!(
+        s_loose.len() >= s_strict.len(),
+        "looser target must not schedule fewer links ({} vs {})",
+        s_loose.len(),
+        s_strict.len()
+    );
+}
+
+#[test]
+fn huge_rate_disparities() {
+    let links: Vec<Link> = (0..12)
+        .map(|i| {
+            let base = fading_rls::geom::Point2::new((i as f64) * 40.0, 0.0);
+            let rate = if i == 5 { 1e9 } else { 1e-6 };
+            Link::new(
+                LinkId(i),
+                base,
+                base + fading_rls::geom::Point2::new(8.0, 0.0),
+                rate,
+            )
+        })
+        .collect();
+    let ls = LinkSet::new(fading_rls::geom::Rect::square(600.0), links);
+    let p = Problem::paper(ls, 3.0);
+    let s = GreedyRate.schedule(&p);
+    assert!(s.contains(LinkId(5)), "the valuable link must be scheduled");
+    assert!(is_feasible(&p, &s));
+    // Exact solver handles the disparity too.
+    let opt = fading_rls::core::algo::exact::branch_and_bound(&p);
+    assert!(opt.contains(LinkId(5)));
+}
+
+#[test]
+fn extreme_gamma_thresholds() {
+    let links = UniformGenerator::paper(80).generate(9);
+    // Very demanding decoding threshold.
+    let hard = Problem::new(links.clone(), ChannelParams::new(3.0, 100.0, 1.0, 0.0), 0.01);
+    let s_hard = Rle::new().schedule(&hard);
+    assert!(is_feasible(&hard, &s_hard));
+    // Very forgiving threshold.
+    let easy = Problem::new(links, ChannelParams::new(3.0, 0.01, 1.0, 0.0), 0.01);
+    let s_easy = Rle::new().schedule(&easy);
+    assert!(is_feasible(&easy, &s_easy));
+    assert!(s_easy.len() >= s_hard.len());
+}
+
+#[test]
+fn dense_clump_schedules_exactly_one() {
+    // 30 links crammed into a 30×30 patch with overlapping geometry:
+    // mutual factors are enormous, any pair conflicts, so the fading-
+    // aware algorithms must return singletons (and stay feasible).
+    let gen = ClusteredGenerator {
+        side: 1000.0,
+        clusters: 1,
+        links_per_cluster: 30,
+        cluster_radius: 15.0,
+        len_lo: 5.0,
+        len_hi: 20.0,
+        rates: RateModel::Fixed(1.0),
+    };
+    let p = Problem::paper(gen.generate(10), 3.0);
+    let s = Rle::new().schedule(&p);
+    assert_eq!(s.len(), 1, "clump must collapse to a single link");
+    assert!(is_feasible(&p, &s));
+}
+
+#[test]
+fn multislot_on_the_dense_clump_uses_one_slot_per_link() {
+    let gen = ClusteredGenerator {
+        side: 1000.0,
+        clusters: 1,
+        links_per_cluster: 15,
+        cluster_radius: 10.0,
+        len_lo: 5.0,
+        len_hi: 20.0,
+        rates: RateModel::Fixed(1.0),
+    };
+    let p = Problem::paper(gen.generate(11), 3.0);
+    let plan = schedule_all(&p, &Rle::new());
+    assert_eq!(plan.num_slots(), 15);
+    let bound = fading_rls::core::multislot::conflict_clique_lower_bound(&p);
+    assert_eq!(bound, 15, "clump is a full conflict clique");
+}
+
+#[test]
+fn simulator_handles_degenerate_schedules() {
+    let links = UniformGenerator::paper(30).generate(12);
+    let p = Problem::paper(links, 3.0);
+    // Empty schedule: zero everything.
+    let stats = simulate_many(&p, &fading_rls::core::Schedule::empty(), 50, 1);
+    assert_eq!(stats.failed.mean, 0.0);
+    assert_eq!(stats.throughput.mean, 0.0);
+    assert_eq!(stats.scheduled, 0);
+}

@@ -1,0 +1,154 @@
+//! End-to-end pipeline tests: generate → schedule → verify → simulate,
+//! exercising every scheduler through the public facade API.
+
+use fading_rls::prelude::*;
+
+fn schedulers() -> Vec<Box<dyn Scheduler>> {
+    vec![
+        Box::new(Ldp::new()),
+        Box::new(Ldp::two_sided()),
+        Box::new(Rle::new()),
+        Box::new(Dls::new()),
+        Box::new(GreedyRate),
+        Box::new(RandomFeasible::new(3)),
+        Box::new(ApproxLogN),
+        Box::new(ApproxDiversity::new()),
+    ]
+}
+
+#[test]
+fn every_scheduler_produces_a_nonempty_schedule() {
+    let links = UniformGenerator::paper(200).generate(11);
+    let problem = Problem::paper(links, 3.0);
+    for s in schedulers() {
+        let schedule = s.schedule(&problem);
+        assert!(!schedule.is_empty(), "{} returned empty", s.name());
+        assert!(
+            schedule.iter().all(|id| id.index() < problem.len()),
+            "{} returned out-of-range ids",
+            s.name()
+        );
+    }
+}
+
+#[test]
+fn fading_resistant_schedulers_meet_the_reliability_contract() {
+    // The paper's headline: LDP/RLE (and our fading-aware extras) keep
+    // every link ≥ 1−ε reliable; empirical failures per slot stay below
+    // ε·|S| with Monte-Carlo slack.
+    for seed in [1u64, 2, 3] {
+        let links = UniformGenerator::paper(250).generate(seed);
+        let problem = Problem::paper(links, 3.0);
+        for s in [
+            &Ldp::new() as &dyn Scheduler,
+            &Rle::new(),
+            &Dls::new(),
+            &GreedyRate,
+        ] {
+            let schedule = s.schedule(&problem);
+            assert!(
+                is_feasible(&problem, &schedule),
+                "{} infeasible on seed {seed}",
+                s.name()
+            );
+            let stats = simulate_many(&problem, &schedule, 2000, seed);
+            let bound = problem.epsilon() * schedule.len() as f64;
+            assert!(
+                stats.failed.mean <= bound + 4.0 * stats.failed.ci95.max(0.01),
+                "{} on seed {seed}: {} failures vs bound {}",
+                s.name(),
+                stats.failed.mean,
+                bound
+            );
+        }
+    }
+}
+
+#[test]
+fn baselines_break_the_contract_that_ldp_and_rle_keep() {
+    // Fig. 5 in one assertion: on the same instances, the deterministic
+    // baselines accumulate strictly more expected failures than the
+    // fading-resistant algorithms.
+    let mut baseline_failures = 0.0;
+    let mut resistant_failures = 0.0;
+    for seed in 0..3u64 {
+        let links = UniformGenerator::paper(300).generate(seed);
+        let problem = Problem::paper(links, 3.0);
+        for s in [&ApproxLogN as &dyn Scheduler, &ApproxDiversity::new()] {
+            let schedule = s.schedule(&problem);
+            baseline_failures += simulate_many(&problem, &schedule, 1000, seed).failed.mean;
+        }
+        for s in [&Ldp::new() as &dyn Scheduler, &Rle::new()] {
+            let schedule = s.schedule(&problem);
+            resistant_failures += simulate_many(&problem, &schedule, 1000, seed).failed.mean;
+        }
+    }
+    assert!(
+        baseline_failures > 10.0 * resistant_failures.max(0.01),
+        "baselines {baseline_failures} vs resistant {resistant_failures}"
+    );
+}
+
+#[test]
+fn throughput_ordering_matches_figure_6() {
+    // RLE > LDP in delivered throughput on the paper workload.
+    let mut rle = 0.0;
+    let mut ldp = 0.0;
+    for seed in 0..5u64 {
+        let links = UniformGenerator::paper(300).generate(seed);
+        let problem = Problem::paper(links, 3.0);
+        rle += simulate_many(&problem, &Rle::new().schedule(&problem), 500, seed)
+            .throughput
+            .mean;
+        ldp += simulate_many(&problem, &Ldp::new().schedule(&problem), 500, seed)
+            .throughput
+            .mean;
+    }
+    assert!(rle > ldp, "RLE {rle} should out-deliver LDP {ldp}");
+}
+
+#[test]
+fn instance_io_roundtrips_through_the_full_pipeline() {
+    let links = UniformGenerator::paper(60).generate(5);
+    let json = fading_rls::net::io::to_json(&links);
+    let restored = fading_rls::net::io::from_json(&json).unwrap();
+    assert_eq!(links, restored);
+    // Schedules computed on original and restored instances agree.
+    let p1 = Problem::paper(links, 3.0);
+    let p2 = Problem::paper(restored, 3.0);
+    assert_eq!(Rle::new().schedule(&p1), Rle::new().schedule(&p2));
+}
+
+#[test]
+fn alpha_sweep_shapes_hold_end_to_end() {
+    // Fig. 5(b)/6(b): baselines fail less and RLE delivers more as α
+    // grows. Compare the sweep endpoints.
+    let links = UniformGenerator::paper(300).generate(9);
+    let lo = Problem::paper(links.clone(), 2.5);
+    let hi = Problem::paper(links, 4.5);
+
+    // Per-link failure rate (the Eq. (17) mechanism): larger α
+    // attenuates remote interference faster. The absolute count is
+    // confounded by the α-dependent schedule size.
+    let fail_rate = |p: &Problem| {
+        let s = ApproxDiversity::new().schedule(p);
+        simulate_many(p, &s, 1000, 1).failed.mean / s.len() as f64
+    };
+    assert!(
+        fail_rate(&lo) > fail_rate(&hi),
+        "baseline per-link failure rate should drop with α: {} vs {}",
+        fail_rate(&lo),
+        fail_rate(&hi)
+    );
+
+    let tput = |p: &Problem| {
+        let s = Rle::new().schedule(p);
+        simulate_many(p, &s, 500, 2).throughput.mean
+    };
+    assert!(
+        tput(&hi) > tput(&lo),
+        "RLE throughput should rise with α: {} vs {}",
+        tput(&lo),
+        tput(&hi)
+    );
+}

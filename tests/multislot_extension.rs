@@ -1,0 +1,87 @@
+//! Multi-slot extension tests across topology families: every link is
+//! scheduled exactly once, every slot is feasible, and parallelism
+//! beats one-link-per-slot.
+
+use fading_rls::prelude::*;
+use std::collections::HashSet;
+
+fn check_cover(problem: &Problem, plan: &MultiSlotSchedule) {
+    let mut seen = HashSet::new();
+    for slot in plan.slots() {
+        assert!(!slot.is_empty());
+        assert!(is_feasible(problem, slot));
+        for id in slot.iter() {
+            assert!(seen.insert(id), "{id} scheduled twice");
+        }
+    }
+    assert_eq!(seen.len(), problem.len());
+}
+
+#[test]
+fn uniform_field_cover() {
+    let p = Problem::paper(UniformGenerator::paper(150).generate(1), 3.0);
+    for s in [&Rle::new() as &dyn Scheduler, &Ldp::new(), &GreedyRate] {
+        check_cover(&p, &schedule_all(&p, s));
+    }
+}
+
+#[test]
+fn clustered_field_cover() {
+    let gen = ClusteredGenerator {
+        side: 400.0,
+        clusters: 4,
+        links_per_cluster: 30,
+        cluster_radius: 35.0,
+        len_lo: 5.0,
+        len_hi: 20.0,
+        rates: RateModel::Fixed(1.0),
+    };
+    let p = Problem::paper(gen.generate(2), 3.0);
+    check_cover(&p, &schedule_all(&p, &Rle::new()));
+}
+
+#[test]
+fn chain_cover_with_high_parallelism() {
+    let gen = LinearGenerator {
+        n: 80,
+        spacing: 40.0,
+        link_length: 8.0,
+        rates: RateModel::Fixed(1.0),
+    };
+    let p = Problem::paper(gen.generate(3), 3.0);
+    let plan = schedule_all(&p, &Rle::new());
+    check_cover(&p, &plan);
+    // Links 5 hops apart barely interfere; far fewer slots than links.
+    assert!(plan.num_slots() * 4 <= p.len());
+}
+
+#[test]
+fn higher_alpha_needs_no_more_slots() {
+    // Stronger attenuation can only help concurrency.
+    let links = UniformGenerator::paper(120).generate(4);
+    let lo = Problem::paper(links.clone(), 2.5);
+    let hi = Problem::paper(links, 4.5);
+    let slots_lo = schedule_all(&lo, &Rle::new()).num_slots();
+    let slots_hi = schedule_all(&hi, &Rle::new()).num_slots();
+    assert!(
+        slots_hi <= slots_lo,
+        "α=4.5 used {slots_hi} slots, α=2.5 used {slots_lo}"
+    );
+}
+
+#[test]
+fn per_slot_reliability_carries_over() {
+    // Simulating each slot of the plan independently keeps failures
+    // within ε per link.
+    let p = Problem::paper(UniformGenerator::paper(100).generate(5), 3.0);
+    let plan = schedule_all(&p, &Rle::new());
+    let mut total_failed = 0.0;
+    for (i, slot) in plan.slots().iter().enumerate() {
+        total_failed += simulate_many(&p, slot, 500, i as u64).failed.mean;
+    }
+    let bound = p.epsilon() * p.len() as f64;
+    assert!(
+        total_failed <= bound + 1.0,
+        "total expected failures {total_failed} vs bound {bound}"
+    );
+}

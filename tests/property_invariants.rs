@@ -1,0 +1,212 @@
+//! Property-based invariants across the whole stack.
+//!
+//! These encode the physics and algebra the implementation must
+//! respect regardless of instance: scale invariance of the
+//! interference factors, feasibility of every fading-aware scheduler's
+//! output, monotonicity of the budget, and id bookkeeping under
+//! restriction.
+
+use fading_rls::prelude::*;
+use proptest::prelude::*;
+
+/// Strategy: a random Fading-R-LS instance with `n ∈ [2, 25]` links.
+fn instance_strategy() -> impl Strategy<Value = (LinkSet, f64)> {
+    (2usize..25, 0u64..5000, 100.0f64..500.0, 2.2f64..5.0).prop_map(|(n, seed, side, alpha)| {
+        let gen = UniformGenerator {
+            side,
+            n,
+            len_lo: 5.0,
+            len_hi: 20.0,
+            rates: RateModel::Fixed(1.0),
+        };
+        (gen.generate(seed), alpha)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn fading_aware_schedulers_always_feasible((links, alpha) in instance_strategy()) {
+        let p = Problem::paper(links, alpha);
+        for s in [
+            &Ldp::new() as &dyn Scheduler,
+            &Ldp::two_sided(),
+            &Rle::new(),
+            &Dls::new(),
+            &GreedyRate,
+            &RandomFeasible::new(1),
+        ] {
+            let schedule = s.schedule(&p);
+            prop_assert!(
+                is_feasible(&p, &schedule),
+                "{} produced an infeasible schedule", s.name()
+            );
+            prop_assert!(!schedule.is_empty(), "{} returned empty", s.name());
+            prop_assert!(schedule.utility(&p) <= p.links().total_rate() + 1e-9);
+        }
+    }
+
+    #[test]
+    fn interference_factors_are_scale_invariant(
+        (links, alpha) in instance_strategy(),
+        scale in 0.1f64..10.0,
+    ) {
+        // f_{i,j} depends only on the distance *ratio* d_jj/d_ij, so
+        // uniformly scaling all coordinates must not change any factor.
+        let p1 = Problem::paper(links.clone(), alpha);
+        let scaled: Vec<Link> = links
+            .links()
+            .iter()
+            .map(|l| {
+                Link::new(
+                    l.id,
+                    fading_rls::geom::Point2::new(l.sender.x * scale, l.sender.y * scale),
+                    fading_rls::geom::Point2::new(l.receiver.x * scale, l.receiver.y * scale),
+                    l.rate,
+                )
+            })
+            .collect();
+        let region = fading_rls::geom::Rect::new(
+            fading_rls::geom::Point2::new(
+                links.region().min().x * scale - 1.0,
+                links.region().min().y * scale - 1.0,
+            ),
+            fading_rls::geom::Point2::new(
+                links.region().max().x * scale + 1.0,
+                links.region().max().y * scale + 1.0,
+            ),
+        );
+        let p2 = Problem::paper(LinkSet::new(region, scaled), alpha);
+        for i in p1.links().ids() {
+            for j in p1.links().ids() {
+                let a = p1.factor(i, j);
+                let b = p2.factor(i, j);
+                prop_assert!(
+                    (a - b).abs() <= 1e-9 * (1.0 + a.abs()),
+                    "factor({i},{j}) changed under scaling: {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn feasibility_is_monotone_in_epsilon(
+        (links, alpha) in instance_strategy(),
+        eps_lo in 0.001f64..0.05,
+        bump in 1.5f64..10.0,
+    ) {
+        // A schedule feasible at ε is feasible at any larger ε.
+        let eps_hi = (eps_lo * bump).min(0.9);
+        let strict = Problem::new(links.clone(), ChannelParams::with_alpha(alpha), eps_lo);
+        let loose = Problem::new(links, ChannelParams::with_alpha(alpha), eps_hi);
+        let schedule = GreedyRate.schedule(&strict);
+        prop_assert!(is_feasible(&strict, &schedule));
+        prop_assert!(is_feasible(&loose, &schedule));
+    }
+
+    #[test]
+    fn removing_a_link_preserves_feasibility((links, alpha) in instance_strategy()) {
+        // Feasibility is downward-closed: dropping any member keeps the
+        // rest feasible (interference only shrinks).
+        let p = Problem::paper(links, alpha);
+        let schedule = GreedyRate.schedule(&p);
+        prop_assume!(schedule.len() >= 2);
+        for drop in schedule.iter() {
+            let rest = Schedule::from_ids(schedule.iter().filter(|&i| i != drop));
+            prop_assert!(is_feasible(&p, &rest), "dropping {drop} broke feasibility");
+        }
+    }
+
+    #[test]
+    fn restrict_preserves_geometry((links, _alpha) in instance_strategy()) {
+        let keep: Vec<LinkId> = links.ids().step_by(2).collect();
+        let (sub, mapping) = links.restrict(&keep);
+        prop_assert_eq!(sub.len(), keep.len());
+        for (new_idx, old_id) in mapping.iter().enumerate() {
+            let old = links.link(*old_id);
+            let new = sub.link(LinkId(new_idx as u32));
+            prop_assert_eq!(old.sender, new.sender);
+            prop_assert_eq!(old.receiver, new.receiver);
+            prop_assert_eq!(old.rate, new.rate);
+        }
+    }
+
+    #[test]
+    fn success_probabilities_multiply_out((links, alpha) in instance_strategy()) {
+        // For every link in the all-on schedule, the report's success
+        // probability equals the product form of Theorem 3.1.
+        let p = Problem::paper(links, alpha);
+        let all = Schedule::from_ids(p.links().ids());
+        let report = FeasibilityReport::evaluate(&p, &all);
+        for e in report.entries() {
+            let d_jj = p.links().length(e.id);
+            let product: f64 = all
+                .iter()
+                .filter(|&i| i != e.id)
+                .map(|i| {
+                    let d_ij = p.links().sender_receiver_distance(i, e.id);
+                    1.0 / (1.0 + p.params().gamma_th * (d_jj / d_ij).powf(p.params().alpha))
+                })
+                .product();
+            prop_assert!(
+                (e.success_probability - product).abs() <= 1e-9,
+                "link {}: {} vs {}", e.id, e.success_probability, product
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn multislot_plans_cover_exactly_once((links, alpha) in instance_strategy()) {
+        let p = Problem::paper(links, alpha);
+        let plan = schedule_all(&p, &Rle::new());
+        let mut seen = std::collections::HashSet::new();
+        for slot in plan.slots() {
+            prop_assert!(!slot.is_empty());
+            prop_assert!(is_feasible(&p, slot));
+            for id in slot.iter() {
+                prop_assert!(seen.insert(id), "{id} appears in two slots");
+            }
+        }
+        prop_assert_eq!(seen.len(), p.len());
+        let bound = fading_rls::core::multislot::conflict_clique_lower_bound(&p);
+        prop_assert!(plan.num_slots() >= bound);
+    }
+
+    #[test]
+    fn local_search_only_improves((links, alpha) in instance_strategy()) {
+        let p = Problem::paper(links, alpha);
+        let base = Ldp::new().schedule(&p);
+        let improved = fading_rls::core::algo::local_search::improve(&p, &base, 20);
+        prop_assert!(improved.utility(&p) >= base.utility(&p) - 1e-12);
+        prop_assert!(is_feasible(&p, &improved));
+    }
+}
+
+proptest! {
+    // The exact solver is slower; fewer cases.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn bnb_is_never_beaten_by_any_feasible_schedule(
+        n in 4usize..11,
+        seed in 0u64..1000,
+    ) {
+        let gen = UniformGenerator {
+            side: 120.0,
+            n,
+            len_lo: 5.0,
+            len_hi: 20.0,
+            rates: RateModel::Fixed(1.0),
+        };
+        let p = Problem::paper(gen.generate(seed), 3.0);
+        let opt = fading_rls::core::algo::exact::branch_and_bound(&p).utility(&p);
+        // Exhaustive cross-check on these tiny instances.
+        let oracle = fading_rls::core::algo::exact::exhaustive(&p).utility(&p);
+        prop_assert!((opt - oracle).abs() < 1e-9, "B&B {opt} vs oracle {oracle}");
+    }
+}

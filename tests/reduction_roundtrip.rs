@@ -1,0 +1,122 @@
+//! Theorem 3.2 validation: the Knapsack → Fading-R-LS reduction is
+//! exact. For randomized Knapsack instances we solve both sides with
+//! exact solvers and check `OPT_FadingRLS = 2 Σ p + OPT_Knapsack`, plus
+//! the structural facts the proof relies on.
+
+use fading_rls::core::algo::exact::branch_and_bound;
+use fading_rls::core::ilp;
+use fading_rls::core::reduction::{knapsack_to_fading_rls, KnapsackInstance};
+use fading_rls::math::seeded_rng;
+use fading_rls::prelude::*;
+use rand::Rng;
+
+fn random_knapsack(n: usize, seed: u64) -> KnapsackInstance {
+    let mut rng = seeded_rng(seed);
+    let values: Vec<f64> = (0..n).map(|_| rng.gen_range(1.0..10.0)).collect();
+    // Distinct weights by construction: base + unique increments.
+    let mut weights: Vec<f64> = (0..n)
+        .map(|i| rng.gen_range(0.5..5.0) + i as f64 * 5.0)
+        .collect();
+    use rand::seq::SliceRandom;
+    weights.shuffle(&mut rng);
+    let total: f64 = weights.iter().sum();
+    let capacity = rng.gen_range(0.3..0.8) * total;
+    KnapsackInstance::new(values, weights, capacity)
+}
+
+#[test]
+fn randomized_roundtrip_small_instances() {
+    for seed in 0..10u64 {
+        let kp = random_knapsack(8, seed);
+        let expect = 2.0 * kp.total_value() + kp.brute_force_optimum();
+        let red = knapsack_to_fading_rls(&kp, ChannelParams::paper_defaults(), 0.01);
+        let opt = branch_and_bound(&red.problem);
+        let got = opt.utility(&red.problem);
+        assert!(
+            (got - expect).abs() < 1e-6 * expect,
+            "seed {seed}: fading OPT {got} vs 2Σp + knap {expect}"
+        );
+    }
+}
+
+#[test]
+fn ilp_agrees_with_bnb_on_reduced_instances() {
+    for seed in 0..4u64 {
+        let kp = random_knapsack(7, 100 + seed);
+        let red = knapsack_to_fading_rls(&kp, ChannelParams::paper_defaults(), 0.01);
+        let via_bnb = branch_and_bound(&red.problem).utility(&red.problem);
+        let via_ilp = ilp::solve_problem(&red.problem).utility(&red.problem);
+        assert!(
+            (via_bnb - via_ilp).abs() < 1e-9 * via_bnb.max(1.0),
+            "seed {seed}: {via_bnb} vs {via_ilp}"
+        );
+    }
+}
+
+#[test]
+fn optimum_schedule_decodes_to_a_feasible_knapsack_selection() {
+    // The ⇐ direction constructively: drop the gate link from the
+    // optimum and the remaining items must fit the capacity.
+    for seed in 0..6u64 {
+        let kp = random_knapsack(8, 200 + seed);
+        let red = knapsack_to_fading_rls(&kp, ChannelParams::paper_defaults(), 0.01);
+        let opt = branch_and_bound(&red.problem);
+        assert!(opt.contains(red.gate), "seed {seed}: gate missing");
+        let picked_weight: f64 = opt
+            .iter()
+            .filter(|&id| id != red.gate)
+            .map(|id| kp.weights[id.index()])
+            .sum();
+        assert!(
+            picked_weight <= kp.capacity * (1.0 + 1e-6),
+            "seed {seed}: decoded selection overweight ({picked_weight} > {})",
+            kp.capacity
+        );
+        let picked_value: f64 = opt
+            .iter()
+            .filter(|&id| id != red.gate)
+            .map(|id| kp.values[id.index()])
+            .sum();
+        assert!(
+            (picked_value - kp.brute_force_optimum()).abs() < 1e-6,
+            "seed {seed}: decoded value {picked_value} vs knapsack OPT {}",
+            kp.brute_force_optimum()
+        );
+    }
+}
+
+#[test]
+fn forward_direction_any_feasible_selection_embeds() {
+    // The ⇒ direction: every knapsack-feasible subset, plus the gate,
+    // is a feasible Fading-R-LS schedule.
+    let kp = random_knapsack(8, 999);
+    let red = knapsack_to_fading_rls(&kp, ChannelParams::paper_defaults(), 0.01);
+    let n = kp.len();
+    for mask in 0u32..(1 << n) {
+        let weight: f64 = (0..n)
+            .filter(|i| mask & (1 << i) != 0)
+            .map(|i| kp.weights[i])
+            .sum();
+        if weight > kp.capacity {
+            continue;
+        }
+        let ids = (0..n)
+            .filter(|i| mask & (1 << i) != 0)
+            .map(|i| LinkId(i as u32))
+            .chain([red.gate]);
+        let schedule = fading_rls::core::Schedule::from_ids(ids);
+        assert!(
+            is_feasible(&red.problem, &schedule),
+            "mask {mask:b} (weight {weight} ≤ {}) should embed feasibly",
+            kp.capacity
+        );
+    }
+}
+
+#[test]
+fn gate_rate_dominates_any_itemset() {
+    let kp = random_knapsack(10, 555);
+    let red = knapsack_to_fading_rls(&kp, ChannelParams::paper_defaults(), 0.01);
+    assert_eq!(red.gate_rate, 2.0 * kp.total_value());
+    assert!(red.gate_rate > kp.total_value());
+}

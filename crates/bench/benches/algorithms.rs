@@ -27,11 +27,9 @@ fn algorithm_scaling(c: &mut Criterion) {
             Box::new(Dls::new()),
         ];
         for algo in &algos {
-            group.bench_with_input(
-                BenchmarkId::new(algo.name(), n),
-                &problem,
-                |b, p| b.iter(|| black_box(algo.schedule(p))),
-            );
+            group.bench_with_input(BenchmarkId::new(algo.name(), n), &problem, |b, p| {
+                b.iter(|| black_box(algo.schedule(p)))
+            });
         }
     }
     group.finish();
@@ -76,5 +74,10 @@ fn exact_solver(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, algorithm_scaling, interference_matrix, exact_solver);
+criterion_group!(
+    benches,
+    algorithm_scaling,
+    interference_matrix,
+    exact_solver
+);
 criterion_main!(benches);

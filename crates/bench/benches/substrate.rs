@@ -25,11 +25,9 @@ fn monte_carlo_batch(c: &mut Criterion) {
     let mut group = c.benchmark_group("monte_carlo");
     group.sample_size(10);
     for &trials in &[100u64, 1000] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(trials),
-            &trials,
-            |b, &t| b.iter(|| black_box(simulate_many(&problem, &schedule, t, 5))),
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(trials), &trials, |b, &t| {
+            b.iter(|| black_box(simulate_many(&problem, &schedule, t, 5)))
+        });
     }
     group.finish();
 }

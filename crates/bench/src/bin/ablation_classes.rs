@@ -34,7 +34,10 @@ fn main() {
         "# Ablation A1b — wide-diversity workload (2000×2000, lengths U[5,80], rate = length·scale)"
     );
     println!();
-    println!("{:>6} {:>18} {:>18} {:>8}", "N", "nested", "two-sided", "gain");
+    println!(
+        "{:>6} {:>18} {:>18} {:>8}",
+        "N", "nested", "two-sided", "gain"
+    );
     let instances = if cli.quick { 3 } else { 10 };
     for &n in &[300usize, 600, 900] {
         let mut nested_total = 0.0;

@@ -11,7 +11,8 @@ use fading_core::{Problem, Scheduler};
 use fading_net::{RateModel, TopologyGenerator, UniformGenerator};
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let cli = fading_bench::Cli::parse();
+    let quick = cli.quick;
     let instances = if quick { 5 } else { 30 };
     let n = 16;
     let algos: Vec<Box<dyn Scheduler>> = vec![
@@ -23,7 +24,10 @@ fn main() {
     ];
     println!("# Ablation A3 — empirical approximation ratio (N = {n}, dense 120×120 field)");
     println!();
-    println!("{:<14} {:>10} {:>10} {:>10}", "algorithm", "mean", "worst", "best");
+    println!(
+        "{:<14} {:>10} {:>10} {:>10}",
+        "algorithm", "mean", "worst", "best"
+    );
     for algo in &algos {
         let mut ratios = Vec::new();
         for seed in 0..instances {
@@ -42,6 +46,13 @@ fn main() {
         let mean = ratios.iter().sum::<f64>() / ratios.len() as f64;
         let worst = ratios.iter().copied().fold(0.0, f64::max);
         let best = ratios.iter().copied().fold(f64::INFINITY, f64::min);
-        println!("{:<14} {:>10.3} {:>10.3} {:>10.3}", algo.name(), mean, worst, best);
+        println!(
+            "{:<14} {:>10.3} {:>10.3} {:>10.3}",
+            algo.name(),
+            mean,
+            worst,
+            best
+        );
     }
+    cli.write_manifest("ablation_ratio");
 }

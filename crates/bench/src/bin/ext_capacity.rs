@@ -16,7 +16,8 @@ use fading_net::{TopologyGenerator, UniformGenerator};
 use fading_sim::simulate_many;
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let cli = fading_bench::Cli::parse();
+    let quick = cli.quick;
     let (instances, trials): (u64, u64) = if quick { (2, 200) } else { (5, 1500) };
     let algos: Vec<Box<dyn Scheduler>> = vec![
         Box::new(Ldp::new()),
@@ -68,4 +69,5 @@ fn main() {
     println!("Fixed-rate: reliability rules, the fading-aware algorithms deliver what they");
     println!("schedule. Shannon: aggregate favors dense schedules, but the per-link rate");
     println!("column shows what each selected link actually gets.");
+    cli.write_manifest("ext_capacity");
 }

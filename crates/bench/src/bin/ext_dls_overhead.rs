@@ -11,7 +11,8 @@ use fading_net::{TopologyGenerator, UniformGenerator};
 use fading_proto::DlsProtocol;
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let cli = fading_bench::Cli::parse();
+    let quick = cli.quick;
     let (ns, instances): (&[usize], u64) = if quick {
         (&[100, 300], 2)
     } else {
@@ -54,4 +55,5 @@ fn main() {
     println!();
     println!("Traffic is dominated by per-round Status beacons; rounds stay flat in N");
     println!("because non-contending links activate in parallel.");
+    cli.write_manifest("ext_dls_overhead");
 }

@@ -12,7 +12,8 @@ use fading_net::{TopologyGenerator, UniformGenerator};
 use fading_sim::simulate_many;
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let cli = fading_bench::Cli::parse();
+    let quick = cli.quick;
     let (instances, trials): (u64, u64) = if quick { (2, 300) } else { (8, 2000) };
     let algos: Vec<Box<dyn Scheduler>> = vec![
         Box::new(GraphModel::pairwise_budget()),
@@ -56,4 +57,5 @@ fn main() {
     println!("Pairwise compatibility admits large schedules whose *sums* of individually");
     println!("negligible factors cross γ_ε — the accumulation effect the paper's intro");
     println!("cites as the reason graph models are unsound under SINR.");
+    cli.write_manifest("ext_graph_model");
 }

@@ -12,7 +12,8 @@ use fading_net::{TopologyGenerator, UniformGenerator};
 use fading_sim::robustness::drift_reliability;
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let cli = fading_bench::Cli::parse();
+    let quick = cli.quick;
     let steps = if quick { 5 } else { 20 };
     let speed = 5.0; // units per step; links are 5–20 units long
     let algos: Vec<Box<dyn Scheduler>> = vec![
@@ -45,4 +46,5 @@ fn main() {
     }
     println!();
     println!("Values above the budget column mean the stale schedule now violates ε.");
+    cli.write_manifest("ext_mobility");
 }

@@ -12,7 +12,8 @@ use fading_net::{TopologyGenerator, UniformGenerator};
 use fading_sim::robustness::simulate_many_nakagami;
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let cli = fading_bench::Cli::parse();
+    let quick = cli.quick;
     let (instances, trials): (u64, u64) = if quick { (2, 300) } else { (5, 2000) };
     let ms = [0.5, 0.75, 1.0, 2.0, 4.0];
     let algos: Vec<Box<dyn Scheduler>> = vec![
@@ -20,7 +21,9 @@ fn main() {
         Box::new(Rle::new()),
         Box::new(ApproxLogN),
     ];
-    println!("# Extension E1 — failures/slot under Nakagami-m fading (schedules designed for m = 1)");
+    println!(
+        "# Extension E1 — failures/slot under Nakagami-m fading (schedules designed for m = 1)"
+    );
     println!();
     print!("{:<12} {:>7}", "algorithm", "|S|");
     for m in ms {
@@ -47,4 +50,5 @@ fn main() {
     println!();
     println!("ε·|S| is the per-slot budget the m = 1 design promises; watch it hold for");
     println!("m ≥ 1 and break for m < 1 (heavier-than-Rayleigh fading).");
+    cli.write_manifest("ext_nakagami");
 }

@@ -13,7 +13,8 @@ use fading_net::{TopologyGenerator, UniformGenerator};
 use fading_sim::simulate_many;
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let cli = fading_bench::Cli::parse();
+    let quick = cli.quick;
     let trials: u64 = if quick { 300 } else { 3000 };
     let fractions = [0.0, 0.01, 0.05, 0.1, 0.2];
     let links = UniformGenerator::paper(300).generate(4);
@@ -41,4 +42,5 @@ fn main() {
         }
         println!();
     }
+    cli.write_manifest("ext_noise");
 }

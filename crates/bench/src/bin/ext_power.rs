@@ -13,14 +13,17 @@ use fading_net::{RateModel, TopologyGenerator, UniformGenerator};
 use fading_sim::simulate_many;
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let cli = fading_bench::Cli::parse();
+    let quick = cli.quick;
     let (instances, trials): (u64, u64) = if quick { (2, 200) } else { (8, 1000) };
     let assignments = [
         PowerAssignment::Uniform,
         PowerAssignment::SquareRoot,
         PowerAssignment::Linear,
     ];
-    println!("# Extension E10 — links scheduled (all ≥ 1−ε reliable) under oblivious power control");
+    println!(
+        "# Extension E10 — links scheduled (all ≥ 1−ε reliable) under oblivious power control"
+    );
     println!("# GreedyRate on 500×500 with increasing link-length spread; total power normalized.");
     println!();
     println!(
@@ -53,7 +56,10 @@ fn main() {
                 failed += simulate_many(&p, &s, trials, seed).failed.mean;
             }
             let k = instances as f64;
-            print!(" {:>12}", format!("{:.1}({:.2})", scheduled / k, failed / k));
+            print!(
+                " {:>12}",
+                format!("{:.1}({:.2})", scheduled / k, failed / k)
+            );
         }
         println!();
     }
@@ -61,4 +67,5 @@ fn main() {
     println!("Cells: links/slot (empirical failures/slot). Wider length spreads favor");
     println!("length-aware assignments: boosting long links buys more concurrent links");
     println!("than it costs in interference.");
+    cli.write_manifest("ext_power");
 }

@@ -11,7 +11,8 @@ use fading_net::{TopologyGenerator, UniformGenerator};
 use fading_sim::{simulate_queueing_with_policy, QueueConfig, ServicePolicy};
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let cli = fading_bench::Cli::parse();
+    let quick = cli.quick;
     let slots: u64 = if quick { 300 } else { 1500 };
     let n = 150;
     let loads = [0.01, 0.03, 0.05, 0.10, 0.20];
@@ -67,4 +68,5 @@ fn main() {
     println!("A backlog that grows with the horizon marks an unstable load; the");
     println!("feasibility-aware greedy sustains several times the load of the");
     println!("worst-case-guaranteed algorithms.");
+    cli.write_manifest("ext_queueing");
 }

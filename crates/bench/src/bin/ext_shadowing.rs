@@ -10,7 +10,8 @@ use fading_net::{TopologyGenerator, UniformGenerator};
 use fading_sim::robustness::simulate_many_shadowed;
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let cli = fading_bench::Cli::parse();
+    let quick = cli.quick;
     let (instances, trials): (u64, u64) = if quick { (2, 300) } else { (5, 2000) };
     let sigmas = [0.0, 2.0, 4.0, 8.0];
     let algos: Vec<Box<dyn Scheduler>> = vec![Box::new(Ldp::new()), Box::new(Rle::new())];
@@ -29,7 +30,9 @@ fn main() {
             let s = algo.schedule(&p);
             scheduled += s.len() as f64;
             for (k, &sigma) in sigmas.iter().enumerate() {
-                failures[k] += simulate_many_shadowed(&p, &s, sigma, trials, seed).failed.mean;
+                failures[k] += simulate_many_shadowed(&p, &s, sigma, trials, seed)
+                    .failed
+                    .mean;
             }
         }
         print!("{:<12} {:>7.1}", algo.name(), scheduled / instances as f64);
@@ -38,4 +41,5 @@ fn main() {
         }
         println!();
     }
+    cli.write_manifest("ext_shadowing");
 }

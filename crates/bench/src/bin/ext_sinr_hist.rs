@@ -11,7 +11,8 @@ use fading_net::{TopologyGenerator, UniformGenerator};
 use fading_sim::robustness::sinr_histogram;
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let cli = fading_bench::Cli::parse();
+    let quick = cli.quick;
     let trials: u64 = if quick { 100 } else { 1000 };
     let p = Problem::paper(UniformGenerator::paper(300).generate(12), 3.0);
     println!("# Extension E5 — realized SINR distribution (dB); threshold γ_th = 0 dB");
@@ -27,7 +28,10 @@ fn main() {
             hist.underflow(),
             hist.overflow()
         );
-        let max_count = (0..hist.num_bins()).map(|i| hist.bin_count(i)).max().unwrap_or(1);
+        let max_count = (0..hist.num_bins())
+            .map(|i| hist.bin_count(i))
+            .max()
+            .unwrap_or(1);
         for i in 0..hist.num_bins() {
             let (lo, hi) = hist.bin_edges(i);
             let count = hist.bin_count(i);
@@ -44,4 +48,5 @@ fn main() {
     }
     println!();
     println!("Bars marked '!' are below the decoding threshold — lost transmissions.");
+    cli.write_manifest("ext_sinr_hist");
 }

@@ -12,8 +12,12 @@ use fading_sim::sweep_alpha;
 fn main() {
     let cli = Cli::parse();
     let config = cli.config();
-    let schedulers: [&dyn Scheduler; 4] =
-        [&Ldp::new(), &Rle::new(), &ApproxLogN, &ApproxDiversity::new()];
+    let schedulers: [&dyn Scheduler; 4] = [
+        &Ldp::new(),
+        &Rle::new(),
+        &ApproxLogN,
+        &ApproxDiversity::new(),
+    ];
     let table = sweep_alpha(&config, &schedulers);
     cli.emit(
         "fig5b",

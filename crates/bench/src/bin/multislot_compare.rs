@@ -3,11 +3,15 @@
 //! link, on the paper workload.
 
 use fading_core::algo::{Dls, GreedyRate, Ldp, Rle};
-use fading_core::{multislot::{conflict_clique_lower_bound, schedule_all}, Problem, Scheduler};
+use fading_core::{
+    multislot::{conflict_clique_lower_bound, schedule_all},
+    Problem, Scheduler,
+};
 use fading_net::{TopologyGenerator, UniformGenerator};
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let cli = fading_bench::Cli::parse();
+    let quick = cli.quick;
     let (ns, instances): (&[usize], u64) = if quick {
         (&[100], 2)
     } else {
@@ -22,7 +26,10 @@ fn main() {
     println!("# Extension — slots needed to schedule every link (mean over instances)");
     println!("# 'clique LB' = greedy pairwise-conflict clique: no plan can use fewer slots.");
     println!();
-    println!("{:<12} {:>6} {:>12} {:>11}", "algorithm", "N", "slots(mean)", "clique LB");
+    println!(
+        "{:<12} {:>6} {:>12} {:>11}",
+        "algorithm", "N", "slots(mean)", "clique LB"
+    );
     for &n in ns {
         let mut bound_total = 0usize;
         for seed in 0..instances {
@@ -45,4 +52,5 @@ fn main() {
             );
         }
     }
+    cli.write_manifest("multislot_compare");
 }

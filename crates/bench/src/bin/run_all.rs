@@ -42,6 +42,9 @@ fn main() {
         if quick {
             cmd.arg("--quick");
         }
+        // One manifest per figure: config, wall time, metric snapshot,
+        // and span timings, next to the figure's text output.
+        cmd.args(["--metrics-out", &format!("results/{bin}_manifest.json")]);
         eprintln!("running {bin}{}…", if quick { " --quick" } else { "" });
         match cmd.output() {
             Ok(out) if out.status.success() => {

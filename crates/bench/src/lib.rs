@@ -1,11 +1,16 @@
 //! Shared plumbing for the figure-regeneration binaries.
 //!
 //! Every binary accepts `--quick` (small grids, for smoke-testing the
-//! pipeline) and `--csv`/`--json` (also emit machine-readable output
-//! next to the text table, under `results/`).
+//! pipeline), `--csv`/`--json` (also emit machine-readable output next
+//! to the text table, under `results/`), `--progress` (live sweep
+//! progress on stderr), `--quiet` (suppress progress and write
+//! chatter), and `--metrics-out <path>` (write a
+//! [`fading_obs::RunManifest`] with metrics and span timings after the
+//! run).
 
 use fading_sim::{ExperimentConfig, ResultTable};
 use std::path::PathBuf;
+use std::time::Instant;
 
 /// Parsed command-line options shared by all figure binaries.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -16,25 +21,69 @@ pub struct Cli {
     pub csv: bool,
     /// Also write `results/<name>.json`.
     pub json: bool,
+    /// Show live progress on stderr.
+    pub progress: bool,
+    /// Suppress progress and non-essential chatter.
+    pub quiet: bool,
+    /// Write a run manifest (metrics + spans) to this path.
+    pub metrics_out: Option<PathBuf>,
+    /// When the run started (for the manifest's wall time).
+    started: Instant,
 }
 
-impl Cli {
-    /// Parses `std::env::args`, ignoring unknown flags with a warning.
-    pub fn parse() -> Self {
-        let mut cli = Self {
+impl Default for Cli {
+    fn default() -> Self {
+        Self {
             quick: false,
             csv: false,
             json: false,
-        };
-        for arg in std::env::args().skip(1) {
+            progress: false,
+            quiet: false,
+            metrics_out: None,
+            started: Instant::now(),
+        }
+    }
+}
+
+impl Cli {
+    /// Parses an argument list (excluding the program name). Unknown
+    /// flags are an error, not a warning — a typo'd flag must not
+    /// silently run the full paper grid.
+    pub fn parse_from<I: IntoIterator<Item = String>>(argv: I) -> Result<Self, String> {
+        let mut cli = Self::default();
+        let mut it = argv.into_iter();
+        while let Some(arg) = it.next() {
             match arg.as_str() {
                 "--quick" => cli.quick = true,
                 "--csv" => cli.csv = true,
                 "--json" => cli.json = true,
-                other => eprintln!("warning: ignoring unknown flag {other}"),
+                "--progress" => cli.progress = true,
+                "--quiet" => cli.quiet = true,
+                "--metrics-out" => {
+                    let path = it.next().ok_or("--metrics-out is missing its path")?;
+                    cli.metrics_out = Some(PathBuf::from(path));
+                }
+                other => return Err(format!("unknown flag {other}")),
             }
         }
-        cli
+        Ok(cli)
+    }
+
+    /// Parses `std::env::args`, exiting with a usage message on error,
+    /// and arms the progress reporter.
+    pub fn parse() -> Self {
+        match Self::parse_from(std::env::args().skip(1)) {
+            Ok(cli) => {
+                fading_obs::set_progress(cli.progress && !cli.quiet);
+                cli
+            }
+            Err(e) => {
+                eprintln!(
+                    "error: {e}\nusage: [--quick] [--csv] [--json] [--progress] [--quiet] [--metrics-out <path>]"
+                );
+                std::process::exit(2);
+            }
+        }
     }
 
     /// The experiment configuration this invocation asked for.
@@ -46,8 +95,8 @@ impl Cli {
         }
     }
 
-    /// Prints the table and writes the requested machine-readable
-    /// copies under `results/`.
+    /// Prints the table, writes the requested machine-readable copies
+    /// under `results/`, and writes the run manifest if asked to.
     pub fn emit(&self, name: &str, title: &str, table: &ResultTable) {
         println!("# {title}");
         println!();
@@ -63,7 +112,7 @@ impl Cli {
             let path = dir.join(format!("{name}.csv"));
             if let Err(e) = std::fs::write(&path, table.render_csv()) {
                 eprintln!("warning: cannot write {}: {e}", path.display());
-            } else {
+            } else if !self.quiet {
                 eprintln!("wrote {}", path.display());
             }
         }
@@ -71,9 +120,31 @@ impl Cli {
             let path = dir.join(format!("{name}.json"));
             if let Err(e) = std::fs::write(&path, table.to_json()) {
                 eprintln!("warning: cannot write {}: {e}", path.display());
-            } else {
+            } else if !self.quiet {
                 eprintln!("wrote {}", path.display());
             }
+        }
+        self.write_manifest(name);
+    }
+
+    /// Writes the run manifest (config, metrics, spans) if
+    /// `--metrics-out` was given. Binaries with custom output (the
+    /// extension experiments) call this directly instead of [`emit`].
+    ///
+    /// [`emit`]: Cli::emit
+    pub fn write_manifest(&self, name: &str) {
+        let Some(path) = &self.metrics_out else {
+            return;
+        };
+        let manifest = fading_obs::ManifestBuilder::new(name)
+            .started_at(self.started)
+            .seed(self.config().seed)
+            .config_kv("quick", self.quick)
+            .finish();
+        if let Err(e) = manifest.write(path) {
+            eprintln!("warning: cannot write {}: {e}", path.display());
+        } else if !self.quiet {
+            eprintln!("wrote {}", path.display());
         }
     }
 }
@@ -86,15 +157,39 @@ mod tests {
     fn quick_flag_selects_quick_config() {
         let cli = Cli {
             quick: true,
-            csv: false,
-            json: false,
+            ..Cli::default()
         };
         assert_eq!(cli.config(), ExperimentConfig::quick());
-        let full = Cli {
-            quick: false,
-            csv: false,
-            json: false,
-        };
-        assert_eq!(full.config(), ExperimentConfig::paper());
+        assert_eq!(Cli::default().config(), ExperimentConfig::paper());
+    }
+
+    #[test]
+    fn parse_from_accepts_all_flags() {
+        let cli = Cli::parse_from(
+            [
+                "--quick",
+                "--csv",
+                "--json",
+                "--progress",
+                "--quiet",
+                "--metrics-out",
+                "m.json",
+            ]
+            .map(String::from),
+        )
+        .unwrap();
+        assert!(cli.quick && cli.csv && cli.json && cli.progress && cli.quiet);
+        assert_eq!(
+            cli.metrics_out.as_deref(),
+            Some(std::path::Path::new("m.json"))
+        );
+    }
+
+    #[test]
+    fn parse_from_rejects_unknown_flags() {
+        let err = Cli::parse_from(["--quik".to_string()]).unwrap_err();
+        assert!(err.contains("--quik"), "{err}");
+        let err = Cli::parse_from(["--metrics-out".to_string()]).unwrap_err();
+        assert!(err.contains("missing its path"), "{err}");
     }
 }

@@ -43,8 +43,7 @@ pub fn ergodic_capacity(params: &ChannelParams, d_jj: f64, interferer_distances:
     if interferer_distances.is_empty() {
         return f64::INFINITY;
     }
-    let integrand =
-        |x: f64| sinr_ccdf(params, d_jj, interferer_distances, x) / (1.0 + x);
+    let integrand = |x: f64| sinr_ccdf(params, d_jj, interferer_distances, x) / (1.0 + x);
     integrate_to_infinity(&integrand, 0.0, 1e-9) / std::f64::consts::LN_2
 }
 

@@ -123,7 +123,11 @@ mod tests {
                 below_mean += 1;
             }
         }
-        assert!((stats.mean() - mean).abs() < 0.03 * mean, "{}", stats.mean());
+        assert!(
+            (stats.mean() - mean).abs() < 0.03 * mean,
+            "{}",
+            stats.mean()
+        );
         let frac = below_mean as f64 / n as f64;
         let expect = 1.0 - (-1.0f64).exp();
         assert!((frac - expect).abs() < 0.01, "{frac} vs {expect}");

@@ -40,9 +40,8 @@ impl DeterministicSinr {
     where
         I: IntoIterator<Item = f64>,
     {
-        let interference = KahanSum::sum_iter(
-            interferer_distances.into_iter().map(|d| self.gain(d)),
-        );
+        let interference =
+            KahanSum::sum_iter(interferer_distances.into_iter().map(|d| self.gain(d)));
         let denom = self.params.noise + interference;
         if denom == 0.0 {
             f64::INFINITY
@@ -103,7 +102,7 @@ mod tests {
     #[test]
     fn sinr_matches_hand_computation() {
         let c = chan(); // α=3, P=1, N₀=0
-        // d_jj=2 → S = 1/8; interferers at 4 and 8 → I = 1/64 + 1/512.
+                        // d_jj=2 → S = 1/8; interferers at 4 and 8 → I = 1/64 + 1/512.
         let sinr = c.sinr(2.0, [4.0, 8.0]);
         let expect = (1.0 / 8.0) / (1.0 / 64.0 + 1.0 / 512.0);
         assert!((sinr - expect).abs() < 1e-12);

@@ -77,7 +77,12 @@ impl NakagamiChannel {
 /// Marsaglia–Tsang Gamma(shape, scale) sampling; for `shape < 1` uses
 /// the Johnk boost `Gamma(a) = Gamma(a+1) · U^{1/a}`.
 pub fn sample_gamma<R: Rng + ?Sized>(rng: &mut R, shape: f64, scale: f64) -> f64 {
-    assert!(shape > 0.0 && scale > 0.0, "gamma parameters must be positive");
+    assert!(
+        shape > 0.0 && scale > 0.0,
+        "gamma parameters must be positive"
+    );
+    // Gamma variates drawn (the `shape < 1` boost counts both levels).
+    fading_obs::counter!("channel.nakagami.draws").incr();
     if shape < 1.0 {
         let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
         return sample_gamma(rng, shape + 1.0, scale) * u.powf(1.0 / shape);
@@ -167,12 +172,24 @@ mod tests {
         let mut rng = seeded_rng(3);
         let d = 5.0;
         let interferers = [18.0, 40.0];
-        let p_half = NakagamiChannel::new(params, 0.5)
-            .estimate_success_probability(&mut rng, d, &interferers, 60_000);
-        let p_one = NakagamiChannel::new(params, 1.0)
-            .estimate_success_probability(&mut rng, d, &interferers, 60_000);
-        let p_four = NakagamiChannel::new(params, 4.0)
-            .estimate_success_probability(&mut rng, d, &interferers, 60_000);
+        let p_half = NakagamiChannel::new(params, 0.5).estimate_success_probability(
+            &mut rng,
+            d,
+            &interferers,
+            60_000,
+        );
+        let p_one = NakagamiChannel::new(params, 1.0).estimate_success_probability(
+            &mut rng,
+            d,
+            &interferers,
+            60_000,
+        );
+        let p_four = NakagamiChannel::new(params, 4.0).estimate_success_probability(
+            &mut rng,
+            d,
+            &interferers,
+            60_000,
+        );
         assert!(
             p_half < p_one && p_one < p_four,
             "m=0.5:{p_half} m=1:{p_one} m=4:{p_four}"

@@ -76,8 +76,7 @@ impl RayleighChannel {
             scale_i > 0.0 && scale_j > 0.0,
             "power scales must be positive"
         );
-        (self.params.gamma_th * (scale_i / scale_j) * (d_jj / d_ij).powf(self.params.alpha))
-            .ln_1p()
+        (self.params.gamma_th * (scale_i / scale_j) * (d_jj / d_ij).powf(self.params.alpha)).ln_1p()
     }
 
     /// The interference factor `f_{i,j}` of a sender at distance `d_ij`
@@ -158,7 +157,7 @@ mod tests {
     #[test]
     fn interference_factor_matches_eq_17() {
         let c = chan(); // α = 3, γ_th = 1
-        // d_ij = d_jj → f = ln(1 + 1) = ln 2.
+                        // d_ij = d_jj → f = ln(1 + 1) = ln 2.
         assert!((c.interference_factor(5.0, 5.0) - 2f64.ln()).abs() < 1e-15);
         // Interferer twice as far: f = ln(1 + 1/8).
         assert!((c.interference_factor(10.0, 5.0) - 1.125f64.ln()).abs() < 1e-12);
@@ -222,7 +221,10 @@ mod tests {
         let mut ok = 0u64;
         for _ in 0..trials {
             let signal = c.sample_gain(&mut rng, d_jj);
-            let interference: f64 = interferers.iter().map(|&d| c.sample_gain(&mut rng, d)).sum();
+            let interference: f64 = interferers
+                .iter()
+                .map(|&d| c.sample_gain(&mut rng, d))
+                .sum();
             if signal / interference >= c.params.gamma_th {
                 ok += 1;
             }

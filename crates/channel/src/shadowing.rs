@@ -44,6 +44,7 @@ impl ShadowedRayleigh {
         if self.sigma_db == 0.0 {
             return 1.0;
         }
+        fading_obs::counter!("channel.shadowing.draws").incr();
         let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
         let u2: f64 = rng.gen();
         let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();

@@ -14,10 +14,13 @@ pub struct Args {
     pub options: BTreeMap<String, String>,
 }
 
+/// Flags that never take a value; their presence stores `"true"`.
+pub const BOOLEAN_FLAGS: &[&str] = &["progress", "quiet"];
+
 /// Parses an argument vector (excluding the program name).
 ///
-/// Grammar: `<command> (--key value)*`. A trailing `--key` without a
-/// value, or a stray positional, is an error.
+/// Grammar: `<command> (--key value | --boolean-flag)*`. A trailing
+/// `--key` without a value, or a stray positional, is an error.
 pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Args, String> {
     let mut it = argv.into_iter();
     let command = it.next().ok_or("missing subcommand")?;
@@ -29,6 +32,10 @@ pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Args, String> {
         let key = tok
             .strip_prefix("--")
             .ok_or_else(|| format!("expected --flag, got {tok}"))?;
+        if BOOLEAN_FLAGS.contains(&key) {
+            options.insert(key.to_string(), "true".to_string());
+            continue;
+        }
         let value = it
             .next()
             .ok_or_else(|| format!("flag --{key} is missing its value"))?;
@@ -51,14 +58,24 @@ impl Args {
         self.options.get(key).map(String::as_str)
     }
 
-    /// An optional typed option with a default.
-    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+    /// An optional typed option with a default. The error names the
+    /// flag, echoes the raw value, and keeps the parser's own message.
+    pub fn get_or<T>(&self, key: &str, default: T) -> Result<T, String>
+    where
+        T: std::str::FromStr,
+        T::Err: std::fmt::Display,
+    {
         match self.options.get(key) {
             None => Ok(default),
             Some(v) => v
                 .parse()
-                .map_err(|_| format!("option --{key}: cannot parse {v:?}")),
+                .map_err(|e| format!("option --{key}: cannot parse {v:?}: {e}")),
         }
+    }
+
+    /// Whether a boolean flag (see [`BOOLEAN_FLAGS`]) was given.
+    pub fn flag(&self, key: &str) -> bool {
+        self.options.get(key).is_some_and(|v| v != "false")
     }
 }
 
@@ -106,6 +123,24 @@ mod tests {
     fn unparsable_value_is_an_error() {
         let a = parse(argv("x --n five")).unwrap();
         assert!(a.get_or::<usize>("n", 1).is_err());
+    }
+
+    #[test]
+    fn parse_errors_name_flag_value_and_cause() {
+        let a = parse(argv("x --n five")).unwrap();
+        let err = a.get_or::<usize>("n", 1).unwrap_err();
+        assert!(err.contains("--n"), "{err}");
+        assert!(err.contains("\"five\""), "{err}");
+        assert!(err.contains("invalid digit"), "kept cause: {err}");
+    }
+
+    #[test]
+    fn boolean_flags_take_no_value() {
+        let a = parse(argv("simulate --progress --trials 50 --quiet")).unwrap();
+        assert!(a.flag("progress"));
+        assert!(a.flag("quiet"));
+        assert!(!a.flag("metrics-out"));
+        assert_eq!(a.get_or::<u64>("trials", 0).unwrap(), 50);
     }
 
     #[test]

@@ -9,19 +9,89 @@ use fading_net::{instance_stats, io, RateModel, TopologyGenerator, UniformGenera
 use fading_sim::simulate_many;
 use std::path::Path;
 
-/// Runs a parsed command, writing human output to `out`.
-pub fn run(args: &Args, out: &mut dyn std::io::Write) -> Result<(), String> {
-    match args.command.as_str() {
-        "generate" => generate(args, out),
-        "stats" => stats(args, out),
-        "schedule" => schedule(args, out),
-        "simulate" => simulate(args, out),
-        "render" => render(args, out),
-        "multislot" => multislot(args, out),
-        "capacity" => capacity(args, out),
-        "help" | "--help" => {
-            write!(out, "{}", usage()).map_err(|e| e.to_string())
+/// Flags accepted by every subcommand (observability plumbing).
+const GLOBAL_FLAGS: &[&str] = &["metrics-out", "progress", "quiet"];
+
+/// Rejects any option not in `allowed` (or [`GLOBAL_FLAGS`]), so a
+/// typo'd flag fails loudly instead of silently using a default.
+fn reject_unknown_flags(args: &Args, allowed: &[&str]) -> Result<(), String> {
+    for key in args.options.keys() {
+        if !allowed.contains(&key.as_str()) && !GLOBAL_FLAGS.contains(&key.as_str()) {
+            return Err(format!(
+                "unknown option --{key} for `{}`; see `fading help`",
+                args.command
+            ));
         }
+    }
+    Ok(())
+}
+
+/// Runs a parsed command, writing human output to `out`.
+///
+/// Every subcommand also honors `--progress` (throttled stderr
+/// progress), `--quiet` (suppress progress and manifest chatter), and
+/// `--metrics-out <path>` (write a [`fading_obs::RunManifest`] JSON
+/// after a successful run).
+pub fn run(args: &Args, out: &mut dyn std::io::Write) -> Result<(), String> {
+    let started = std::time::Instant::now();
+    let quiet = args.flag("quiet");
+    fading_obs::set_progress(args.flag("progress") && !quiet);
+    dispatch(args, out)?;
+    if let Some(path) = args.get("metrics-out") {
+        let mut builder = fading_obs::ManifestBuilder::new(&args.command)
+            .started_at(started)
+            .seed(args.get_or("seed", 0).unwrap_or(0));
+        for (key, value) in &args.options {
+            builder = builder.config_kv(key, value);
+        }
+        builder.finish().write(Path::new(path))?;
+        if !quiet {
+            writeln!(out, "wrote metrics manifest to {path}").map_err(|e| e.to_string())?;
+        }
+    }
+    Ok(())
+}
+
+fn dispatch(args: &Args, out: &mut dyn std::io::Write) -> Result<(), String> {
+    match args.command.as_str() {
+        "generate" => {
+            reject_unknown_flags(
+                args,
+                &["n", "out", "side", "len-lo", "len-hi", "seed", "rate"],
+            )?;
+            generate(args, out)
+        }
+        "stats" => {
+            reject_unknown_flags(args, &["instance"])?;
+            stats(args, out)
+        }
+        "schedule" => {
+            reject_unknown_flags(args, &["instance", "algo", "alpha", "eps", "out"])?;
+            schedule(args, out)
+        }
+        "simulate" => {
+            reject_unknown_flags(
+                args,
+                &["instance", "schedule", "alpha", "eps", "trials", "seed"],
+            )?;
+            simulate(args, out)
+        }
+        "render" => {
+            reject_unknown_flags(
+                args,
+                &["instance", "out", "schedule", "width", "grid-cell", "disks"],
+            )?;
+            render(args, out)
+        }
+        "multislot" => {
+            reject_unknown_flags(args, &["instance", "algo", "alpha", "eps"])?;
+            multislot(args, out)
+        }
+        "capacity" => {
+            reject_unknown_flags(args, &["instance", "schedule", "alpha", "eps"])?;
+            capacity(args, out)
+        }
+        "help" | "--help" => write!(out, "{}", usage()).map_err(|e| e.to_string()),
         other => Err(format!("unknown subcommand {other}\n\n{}", usage())),
     }
 }
@@ -151,8 +221,8 @@ fn simulate(args: &Args, out: &mut dyn std::io::Write) -> Result<(), String> {
     let sched_path = args.require("schedule")?;
     let text = std::fs::read_to_string(sched_path)
         .map_err(|e| format!("cannot read {sched_path}: {e}"))?;
-    let schedule: Schedule = serde_json::from_str(&text)
-        .map_err(|e| format!("cannot parse {sched_path}: {e}"))?;
+    let schedule: Schedule =
+        serde_json::from_str(&text).map_err(|e| format!("cannot parse {sched_path}: {e}"))?;
     if let Some(bad) = schedule.iter().find(|id| id.index() >= problem.len()) {
         return Err(format!("schedule references nonexistent link {bad}"));
     }
@@ -198,8 +268,8 @@ fn capacity(args: &Args, out: &mut dyn std::io::Write) -> Result<(), String> {
     let sched_path = args.require("schedule")?;
     let text = std::fs::read_to_string(sched_path)
         .map_err(|e| format!("cannot read {sched_path}: {e}"))?;
-    let schedule: Schedule = serde_json::from_str(&text)
-        .map_err(|e| format!("cannot parse {sched_path}: {e}"))?;
+    let schedule: Schedule =
+        serde_json::from_str(&text).map_err(|e| format!("cannot parse {sched_path}: {e}"))?;
     if let Some(bad) = schedule.iter().find(|id| id.index() >= problem.len()) {
         return Err(format!("schedule references nonexistent link {bad}"));
     }
@@ -217,12 +287,8 @@ fn capacity(args: &Args, out: &mut dyn std::io::Write) -> Result<(), String> {
             .filter(|&i| i != j)
             .map(|i| problem.links().sender_receiver_distance(i, j))
             .collect();
-        let success = fading_channel::sinr_ccdf(
-            problem.params(),
-            d_jj,
-            &ds,
-            problem.params().gamma_th,
-        );
+        let success =
+            fading_channel::sinr_ccdf(problem.params(), d_jj, &ds, problem.params().gamma_th);
         let cap = fading_channel::ergodic_capacity(problem.params(), d_jj, &ds);
         if cap.is_finite() {
             total_cap += cap;
@@ -237,8 +303,11 @@ fn capacity(args: &Args, out: &mut dyn std::io::Write) -> Result<(), String> {
         )
         .map_err(|e| e.to_string())?;
     }
-    writeln!(out, "total ergodic Shannon throughput: {total_cap:.2} bit/s/Hz")
-        .map_err(|e| e.to_string())
+    writeln!(
+        out,
+        "total ergodic Shannon throughput: {total_cap:.2} bit/s/Hz"
+    )
+    .map_err(|e| e.to_string())
 }
 
 fn render(args: &Args, out: &mut dyn std::io::Write) -> Result<(), String> {
@@ -246,8 +315,8 @@ fn render(args: &Args, out: &mut dyn std::io::Write) -> Result<(), String> {
     let schedule: Option<Schedule> = match args.get("schedule") {
         None => None,
         Some(path) => {
-            let text = std::fs::read_to_string(path)
-                .map_err(|e| format!("cannot read {path}: {e}"))?;
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
             Some(serde_json::from_str(&text).map_err(|e| format!("cannot parse {path}: {e}"))?)
         }
     };
@@ -255,7 +324,10 @@ fn render(args: &Args, out: &mut dyn std::io::Write) -> Result<(), String> {
         width_px: args.get_or("width", 800.0)?,
         grid_cell: match args.get("grid-cell") {
             None => None,
-            Some(v) => Some(v.parse().map_err(|_| format!("--grid-cell: bad value {v}"))?),
+            Some(v) => Some(
+                v.parse()
+                    .map_err(|_| format!("--grid-cell: bad value {v}"))?,
+            ),
         },
         deletion_radius_factor: match args.get("disks") {
             None => None,
@@ -297,8 +369,10 @@ mod tests {
         assert!(out.contains("links:             60"));
         assert!(out.contains("length diversity"));
 
-        let out =
-            run_line(&format!("schedule --instance {inst} --algo rle --out {sched}")).unwrap();
+        let out = run_line(&format!(
+            "schedule --instance {inst} --algo rle --out {sched}"
+        ))
+        .unwrap();
         assert!(out.contains("RLE: scheduled"));
         assert!(out.contains("fading-feasible: true"));
 
@@ -339,8 +413,10 @@ mod tests {
     fn schedule_rejects_bad_alpha() {
         let inst = tmp("bad_alpha.json");
         run_line(&format!("generate --n 5 --out {inst}")).unwrap();
-        let err =
-            run_line(&format!("schedule --instance {inst} --algo rle --alpha 1.5")).unwrap_err();
+        let err = run_line(&format!(
+            "schedule --instance {inst} --algo rle --alpha 1.5"
+        ))
+        .unwrap_err();
         assert!(err.contains("--alpha"));
     }
 
@@ -388,7 +464,10 @@ mod tests {
         let inst = tmp("capacity.json");
         let sched = tmp("capacity_schedule.json");
         run_line(&format!("generate --n 40 --out {inst}")).unwrap();
-        run_line(&format!("schedule --instance {inst} --algo rle --out {sched}")).unwrap();
+        run_line(&format!(
+            "schedule --instance {inst} --algo rle --out {sched}"
+        ))
+        .unwrap();
         let out = run_line(&format!("capacity --instance {inst} --schedule {sched}")).unwrap();
         assert!(out.contains("ergodic"));
         assert!(out.contains("total ergodic Shannon throughput"));
@@ -400,7 +479,10 @@ mod tests {
         let sched = tmp("render_schedule.json");
         let svg = tmp("render.svg");
         run_line(&format!("generate --n 30 --out {inst}")).unwrap();
-        run_line(&format!("schedule --instance {inst} --algo rle --out {sched}")).unwrap();
+        run_line(&format!(
+            "schedule --instance {inst} --algo rle --out {sched}"
+        ))
+        .unwrap();
         let out = run_line(&format!(
             "render --instance {inst} --schedule {sched} --out {svg} --grid-cell 125 --disks 5"
         ))
@@ -416,5 +498,60 @@ mod tests {
         let out = run_line("help").unwrap();
         assert!(out.contains("USAGE"));
         assert!(out.contains("approx-diversity"));
+    }
+
+    #[test]
+    fn unknown_flag_is_rejected_per_subcommand() {
+        let err = run_line("generate --n 10 --trails 5").unwrap_err();
+        assert!(err.contains("unknown option --trails"), "{err}");
+        assert!(err.contains("generate"), "{err}");
+        // `trials` is valid for simulate but not for schedule.
+        let err = run_line("schedule --instance x --trials 10").unwrap_err();
+        assert!(err.contains("unknown option --trials"), "{err}");
+    }
+
+    #[test]
+    fn global_flags_are_accepted_everywhere() {
+        let inst = tmp("globals.json");
+        run_line(&format!("generate --n 10 --out {inst} --quiet")).unwrap();
+        run_line(&format!("stats --instance {inst} --quiet")).unwrap();
+    }
+
+    #[test]
+    fn metrics_out_writes_a_parseable_manifest() {
+        let inst = tmp("manifest_inst.json");
+        let sched = tmp("manifest_schedule.json");
+        let manifest = tmp("manifest.json");
+        run_line(&format!("generate --n 20 --seed 9 --out {inst}")).unwrap();
+        run_line(&format!(
+            "schedule --instance {inst} --algo rle --out {sched}"
+        ))
+        .unwrap();
+        let out = run_line(&format!(
+            "simulate --instance {inst} --schedule {sched} --trials 64 --seed 9 --metrics-out {manifest}"
+        ))
+        .unwrap();
+        assert!(out.contains("wrote metrics manifest"), "{out}");
+        let body = std::fs::read_to_string(&manifest).unwrap();
+        let m: fading_obs::RunManifest = serde_json::from_str(&body).unwrap();
+        assert_eq!(m.name, "simulate");
+        assert_eq!(m.seed, 9);
+        assert_eq!(m.config.get("trials").map(String::as_str), Some("64"));
+        // The Monte-Carlo loop ran, so its trial counter must be ≥ 64
+        // (other tests on the shared registry may add more).
+        assert!(*m.metrics.counters.get("sim.mc.trials").unwrap_or(&0) >= 64);
+    }
+
+    #[test]
+    fn quiet_suppresses_manifest_chatter() {
+        let inst = tmp("quiet_inst.json");
+        let manifest = tmp("quiet_manifest.json");
+        run_line(&format!("generate --n 10 --out {inst}")).unwrap();
+        let out = run_line(&format!(
+            "stats --instance {inst} --metrics-out {manifest} --quiet"
+        ))
+        .unwrap();
+        assert!(!out.contains("wrote metrics manifest"), "{out}");
+        assert!(std::path::Path::new(&manifest).exists());
     }
 }

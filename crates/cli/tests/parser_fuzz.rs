@@ -37,7 +37,11 @@ fn generate_roundtrip_through_the_binary() {
     std::fs::create_dir_all(&dir).unwrap();
     let inst = dir.join("roundtrip.json");
     let out = run_binary(&["generate", "--n", "12", "--out", inst.to_str().unwrap()]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let out = run_binary(&["stats", "--instance", inst.to_str().unwrap()]);
     assert!(out.status.success());
     assert!(String::from_utf8_lossy(&out.stdout).contains("12"));

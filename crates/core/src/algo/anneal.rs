@@ -145,12 +145,9 @@ impl Scheduler for Anneal {
                 // conflicting members until the insertion is feasible.
                 let mut evicted: Vec<LinkId> = Vec::new();
                 while !state.feasible_with(Some(id)) {
-                    let victim = state
-                        .members()
-                        .into_iter()
-                        .min_by(|&a, &b| {
-                            problem.rate(a).total_cmp(&problem.rate(b)).then(a.cmp(&b))
-                        });
+                    let victim = state.members().into_iter().min_by(|&a, &b| {
+                        problem.rate(a).total_cmp(&problem.rate(b)).then(a.cmp(&b))
+                    });
                     match victim {
                         Some(v) => {
                             state.remove(v);
@@ -159,8 +156,8 @@ impl Scheduler for Anneal {
                         None => break,
                     }
                 }
-                let delta = problem.rate(id)
-                    - evicted.iter().map(|&v| problem.rate(v)).sum::<f64>();
+                let delta =
+                    problem.rate(id) - evicted.iter().map(|&v| problem.rate(v)).sum::<f64>();
                 if delta >= 0.0 || rng.gen::<f64>() < (delta / temp).exp() {
                     state.insert(id); // accept repaired insertion
                 } else {

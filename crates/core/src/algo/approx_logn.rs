@@ -9,7 +9,7 @@
 //! schedules far more links, and (the paper's point) those links have
 //! no fading headroom and fail in a Rayleigh environment (Fig. 5).
 
-use crate::algo::grid_core::{grid_schedule, ClassMode};
+use crate::algo::grid_core::{grid_schedule_labeled, ClassMode};
 use crate::constants::approx_logn_mu;
 use crate::problem::Problem;
 use crate::schedule::Schedule;
@@ -33,7 +33,7 @@ impl Scheduler for ApproxLogN {
 
     fn schedule(&self, problem: &Problem) -> Schedule {
         let mu = approx_logn_mu(problem.params());
-        grid_schedule(problem, ClassMode::TwoSided, mu)
+        grid_schedule_labeled(problem, ClassMode::TwoSided, mu, "core.approx_logn")
     }
 }
 

@@ -82,9 +82,8 @@ impl Dls {
             d_ab < scale || d_ba < scale
         };
         // Local dominance order: shorter link wins, ties by id.
-        let dominates = |a: LinkId, b: LinkId| -> bool {
-            (links.length(a), a) < (links.length(b), b)
-        };
+        let dominates =
+            |a: LinkId, b: LinkId| -> bool { (links.length(a), a) < (links.length(b), b) };
 
         let mut state = vec![State::Undecided; n];
         let mut acc = vec![0.0f64; n]; // measured interference factor

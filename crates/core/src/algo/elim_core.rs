@@ -42,12 +42,7 @@ pub fn eliminate_schedule(problem: &Problem, c1: f64, c2: f64, metric: ElimMetri
 
     // Links in non-decreasing length order (ties by id for determinism).
     let mut order: Vec<LinkId> = links.ids().collect();
-    order.sort_by(|&a, &b| {
-        links
-            .length(a)
-            .total_cmp(&links.length(b))
-            .then(a.cmp(&b))
-    });
+    order.sort_by(|&a, &b| links.length(a).total_cmp(&links.length(b)).then(a.cmp(&b)));
 
     // Spatial hash over sender positions for the disk deletions; cell
     // size near the typical deletion radius keeps queries local.
@@ -58,6 +53,7 @@ pub fn eliminate_schedule(problem: &Problem, c1: f64, c2: f64, metric: ElimMetri
     let mut alive = vec![true; n];
     let mut acc = vec![0.0f64; n];
     let mut picked = Vec::new();
+    let mut eliminations = 0u64;
 
     for &i in &order {
         if !alive[i.index()] {
@@ -70,7 +66,10 @@ pub fn eliminate_schedule(problem: &Problem, c1: f64, c2: f64, metric: ElimMetri
         let radius = c1 * links.length(i);
         // Line 4: delete links whose senders are within c₁·d_ii of r_i.
         hash.for_each_in_radius(&receiver, radius, |j| {
-            alive[j as usize] = false;
+            if alive[j as usize] {
+                alive[j as usize] = false;
+                eliminations += 1;
+            }
         });
         // Line 5: delete links whose accumulated interference from the
         // picked senders exceeds c₂·budget.
@@ -87,9 +86,21 @@ pub fn eliminate_schedule(problem: &Problem, c1: f64, c2: f64, metric: ElimMetri
             };
             if acc[j] > threshold {
                 alive[j] = false;
+                eliminations += 1;
             }
         }
     }
+    // Flushed once per schedule call: the elimination loop itself
+    // stays free of shared-state writes.
+    let (rounds_name, elim_name) = match metric {
+        ElimMetric::FadingFactor => ("core.rle.rounds", "core.rle.eliminations"),
+        ElimMetric::DeterministicRelative => (
+            "core.approx_diversity.rounds",
+            "core.approx_diversity.eliminations",
+        ),
+    };
+    fading_obs::counter(rounds_name).add(picked.len() as u64);
+    fading_obs::counter(elim_name).add(eliminations);
     Schedule::from_ids(picked)
 }
 

@@ -36,12 +36,7 @@ pub fn branch_and_bound(problem: &Problem) -> Schedule {
     let mut order: Vec<LinkId> = links.ids().collect();
     // High rates first so good solutions are found early and the
     // utility bound prunes aggressively.
-    order.sort_by(|&a, &b| {
-        problem
-            .rate(b)
-            .total_cmp(&problem.rate(a))
-            .then(a.cmp(&b))
-    });
+    order.sort_by(|&a, &b| problem.rate(b).total_cmp(&problem.rate(a)).then(a.cmp(&b)));
     // suffix[k] = total rate of order[k..]: the best any completion can add.
     let mut suffix = vec![0.0; order.len() + 1];
     for k in (0..order.len()).rev() {
@@ -55,15 +50,24 @@ pub fn branch_and_bound(problem: &Problem) -> Schedule {
         budget: f64,
         best_utility: f64,
         best: Vec<LinkId>,
+        // Accumulated locally and flushed to the metric registry once
+        // per solve, keeping the exponential search free of atomics.
+        nodes: u64,
+        pruned: u64,
     }
 
     impl Search<'_> {
         fn dfs(&mut self, k: usize, acc: &mut InterferenceAccumulator<'_>, utility: f64) {
+            self.nodes += 1;
             if utility > self.best_utility {
                 self.best_utility = utility;
                 self.best = acc.selected().to_vec();
             }
-            if k == self.order.len() || utility + self.suffix[k] <= self.best_utility {
+            if k == self.order.len() {
+                return;
+            }
+            if utility + self.suffix[k] <= self.best_utility {
+                self.pruned += 1;
                 return;
             }
             let id = self.order[k];
@@ -85,9 +89,13 @@ pub fn branch_and_bound(problem: &Problem) -> Schedule {
         budget: problem.gamma_eps(),
         best_utility: f64::NEG_INFINITY,
         best: Vec::new(),
+        nodes: 0,
+        pruned: 0,
     };
     let mut acc = InterferenceAccumulator::new(problem);
     search.dfs(0, &mut acc, 0.0);
+    fading_obs::counter!("core.exact.nodes").add(search.nodes);
+    fading_obs::counter!("core.exact.pruned").add(search.pruned);
     Schedule::from_ids(search.best)
 }
 
@@ -132,7 +140,12 @@ pub fn exhaustive(problem: &Problem) -> Schedule {
             best_mask = mask;
         }
     }
-    Schedule::from_ids((0..n).filter(|j| best_mask & (1 << j) != 0).map(|j| LinkId(j as u32)))
+    fading_obs::counter!("core.exact.exhaustive_masks").add(1u64 << n);
+    Schedule::from_ids(
+        (0..n)
+            .filter(|j| best_mask & (1 << j) != 0)
+            .map(|j| LinkId(j as u32)),
+    )
 }
 
 /// Parallel branch-and-bound: identical search to
@@ -152,12 +165,7 @@ pub fn branch_and_bound_parallel(problem: &Problem) -> Schedule {
     );
     let links = problem.links();
     let mut order: Vec<LinkId> = links.ids().collect();
-    order.sort_by(|&a, &b| {
-        problem
-            .rate(b)
-            .total_cmp(&problem.rate(a))
-            .then(a.cmp(&b))
-    });
+    order.sort_by(|&a, &b| problem.rate(b).total_cmp(&problem.rate(a)).then(a.cmp(&b)));
     let mut suffix = vec![0.0; order.len() + 1];
     for k in (0..order.len()).rev() {
         suffix[k] = suffix[k + 1] + problem.rate(order[k]);
@@ -293,7 +301,10 @@ mod tests {
             let p = Problem::paper(gen.generate(seed), 3.0);
             let bnb = branch_and_bound(&p);
             let oracle = exhaustive(&p);
-            assert!((bnb.utility(&p) - oracle.utility(&p)).abs() < 1e-9, "seed {seed}");
+            assert!(
+                (bnb.utility(&p) - oracle.utility(&p)).abs() < 1e-9,
+                "seed {seed}"
+            );
         }
     }
 
@@ -317,7 +328,10 @@ mod tests {
                 crate::algo::GreedyRate.schedule(&p).utility(&p),
                 crate::algo::RandomFeasible::new(1).schedule(&p).utility(&p),
             ] {
-                assert!(opt >= sched - 1e-9, "seed {seed}: opt {opt} < heuristic {sched}");
+                assert!(
+                    opt >= sched - 1e-9,
+                    "seed {seed}: opt {opt} < heuristic {sched}"
+                );
             }
         }
     }
@@ -372,9 +386,8 @@ mod tests {
         for seed in 0..3 {
             let p = Problem::paper(gen.generate(seed), 3.0);
             assert!(
-                (branch_and_bound(&p).utility(&p)
-                    - branch_and_bound_parallel(&p).utility(&p))
-                .abs()
+                (branch_and_bound(&p).utility(&p) - branch_and_bound_parallel(&p).utility(&p))
+                    .abs()
                     < 1e-9,
                 "seed {seed}"
             );

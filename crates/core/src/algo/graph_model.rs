@@ -170,7 +170,10 @@ mod tests {
         let p = problem(300, 3);
         let tight = GraphModel::protocol(1.5).schedule(&p).len();
         let loose = GraphModel::protocol(6.0).schedule(&p).len();
-        assert!(loose <= tight, "range 6 gave {loose}, range 1.5 gave {tight}");
+        assert!(
+            loose <= tight,
+            "range 6 gave {loose}, range 1.5 gave {tight}"
+        );
     }
 
     #[test]

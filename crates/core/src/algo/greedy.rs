@@ -99,7 +99,10 @@ mod tests {
             greedy_total += GreedyRate.schedule(&p).utility(&p);
             rle_total += crate::algo::Rle::new().schedule(&p).utility(&p);
         }
-        assert!(greedy_total >= rle_total * 0.8, "{greedy_total} vs {rle_total}");
+        assert!(
+            greedy_total >= rle_total * 0.8,
+            "{greedy_total} vs {rle_total}"
+        );
     }
 
     #[test]

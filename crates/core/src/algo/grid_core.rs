@@ -31,14 +31,33 @@ pub enum ClassMode {
 /// square scale (`β` for LDP, `μ` for ApproxLogN); the square for the
 /// class of magnitude `h` has side `2^{h+1}·scale·δ`.
 pub fn grid_schedule(problem: &Problem, mode: ClassMode, scale: f64) -> Schedule {
-    assert!(scale.is_finite() && scale > 0.0, "invalid grid scale {scale}");
+    grid_schedule_labeled(problem, mode, scale, "core.grid")
+}
+
+/// [`grid_schedule`] with an explicit metric prefix, so callers (LDP,
+/// ApproxLogN) report class/color counts under their own name:
+/// `<prefix>.classes`, `<prefix>.cells`, `<prefix>.colors`.
+pub fn grid_schedule_labeled(
+    problem: &Problem,
+    mode: ClassMode,
+    scale: f64,
+    stat_prefix: &str,
+) -> Schedule {
+    assert!(
+        scale.is_finite() && scale > 0.0,
+        "invalid grid scale {scale}"
+    );
     let links = problem.links();
     let Some(delta) = links.min_length() else {
         return Schedule::empty();
     };
     let mut best = Schedule::empty();
     let mut best_utility = f64::NEG_INFINITY;
+    let mut classes = 0u64;
+    let mut cells = 0u64;
+    let mut colors = 0u64;
     for &h in &diversity_exponents(links) {
+        classes += 1;
         let cell = 2f64.powi(h as i32 + 1) * scale * delta;
         let grid = GridPartition::new(links.region(), cell);
         // The best-rate receiver in each occupied square.
@@ -60,7 +79,11 @@ pub fn grid_schedule(problem: &Problem, mode: ClassMode, scale: f64) -> Schedule
                     // Highest rate wins; ties broken by shorter length,
                     // then id, for determinism.
                     let better = (link.rate, -link.length(), std::cmp::Reverse(link.id))
-                        > (cur_link.rate, -cur_link.length(), std::cmp::Reverse(cur_link.id));
+                        > (
+                            cur_link.rate,
+                            -cur_link.length(),
+                            std::cmp::Reverse(cur_link.id),
+                        );
                     if better {
                         *cur = link.id;
                     }
@@ -68,11 +91,13 @@ pub fn grid_schedule(problem: &Problem, mode: ClassMode, scale: f64) -> Schedule
                 .or_insert(link.id);
         }
         // Group the per-square winners by square color.
+        cells += per_cell.len() as u64;
         let mut per_color: [Vec<LinkId>; 4] = Default::default();
         for (&cell_idx, &id) in &per_cell {
             per_color[grid.color_of(cell_idx).0 as usize].push(id);
         }
         for ids in per_color {
+            colors += 1;
             let utility: f64 = ids.iter().map(|&id| problem.rate(id)).sum();
             if utility > best_utility {
                 best_utility = utility;
@@ -80,6 +105,11 @@ pub fn grid_schedule(problem: &Problem, mode: ClassMode, scale: f64) -> Schedule
             }
         }
     }
+    // One registry flush per schedule call; the per-link loops above
+    // touch no shared state.
+    fading_obs::counter(&format!("{stat_prefix}.classes")).add(classes);
+    fading_obs::counter(&format!("{stat_prefix}.cells")).add(cells);
+    fading_obs::counter(&format!("{stat_prefix}.colors")).add(colors);
     best
 }
 
@@ -175,8 +205,18 @@ mod tests {
         use fading_geom::{Point2, Rect};
         use fading_net::{Link, LinkSet};
         let links = vec![
-            Link::new(LinkId(0), Point2::new(100.0, 0.0), Point2::new(100.0, 5.0), 1.0),
-            Link::new(LinkId(1), Point2::new(101.0, 0.0), Point2::new(101.0, 5.0), 7.0),
+            Link::new(
+                LinkId(0),
+                Point2::new(100.0, 0.0),
+                Point2::new(100.0, 5.0),
+                1.0,
+            ),
+            Link::new(
+                LinkId(1),
+                Point2::new(101.0, 0.0),
+                Point2::new(101.0, 5.0),
+                7.0,
+            ),
         ];
         let ls = LinkSet::new(Rect::square(500.0), links);
         let p = Problem::new(ls, fading_channel::ChannelParams::paper_defaults(), 0.01);

@@ -9,7 +9,7 @@
 //! receiver in each square, and returns the best of the `4·g(L)`
 //! feasible schedules. Approximation ratio `O(g(L))` (Theorem 4.2).
 
-use crate::algo::grid_core::{grid_schedule, ClassMode};
+use crate::algo::grid_core::{grid_schedule_labeled, ClassMode};
 use crate::constants::ldp_beta;
 use crate::problem::Problem;
 use crate::schedule::Schedule;
@@ -56,7 +56,7 @@ impl Scheduler for Ldp {
 
     fn schedule(&self, problem: &Problem) -> Schedule {
         let beta = ldp_beta(problem.params(), problem.gamma_eps());
-        grid_schedule(problem, self.mode, beta)
+        grid_schedule_labeled(problem, self.mode, beta, "core.ldp")
     }
 }
 

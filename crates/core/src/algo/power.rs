@@ -158,12 +158,8 @@ mod tests {
         // matrix as the paper's model.
         let links = UniformGenerator::paper(25).generate(6);
         let plain = Problem::paper(links.clone(), 3.0);
-        let scaled = Problem::with_power_scales(
-            links,
-            ChannelParams::paper_defaults(),
-            0.01,
-            vec![1.0; 25],
-        );
+        let scaled =
+            Problem::with_power_scales(links, ChannelParams::paper_defaults(), 0.01, vec![1.0; 25]);
         for i in plain.links().ids() {
             for j in plain.links().ids() {
                 assert_eq!(plain.factor(i, j), scaled.factor(i, j));

@@ -55,7 +55,10 @@ pub fn approx_logn_mu(params: &ChannelParams) -> f64 {
 /// senders.
 pub fn rle_c1(params: &ChannelParams, gamma_eps: f64, c2: f64) -> f64 {
     assert!(gamma_eps > 0.0, "γ_ε must be positive");
-    assert!((0.0..1.0).contains(&c2) && c2 > 0.0, "c₂ must be in (0,1), got {c2}");
+    assert!(
+        (0.0..1.0).contains(&c2) && c2 > 0.0,
+        "c₂ must be in (0,1), got {c2}"
+    );
     2f64.sqrt()
         * (12.0 * zeta(params.alpha - 1.0) * params.gamma_th / (gamma_eps * (1.0 - c2)))
             .powf(1.0 / params.alpha)
@@ -65,7 +68,10 @@ pub fn rle_c1(params: &ChannelParams, gamma_eps: f64, c2: f64) -> f64 {
 /// ApproxDiversity deletion radius factor: the deterministic analogue
 /// of [`rle_c1`] with the relative-interference budget 1 replacing `γ_ε`.
 pub fn approx_diversity_c1(params: &ChannelParams, c2: f64) -> f64 {
-    assert!((0.0..1.0).contains(&c2) && c2 > 0.0, "c₂ must be in (0,1), got {c2}");
+    assert!(
+        (0.0..1.0).contains(&c2) && c2 > 0.0,
+        "c₂ must be in (0,1), got {c2}"
+    );
     2f64.sqrt()
         * (12.0 * zeta(params.alpha - 1.0) * params.gamma_th / (1.0 - c2)).powf(1.0 / params.alpha)
         + 1.0

@@ -219,7 +219,10 @@ mod tests {
             let expect = (-e.interference_sum).exp();
             assert!((e.success_probability - expect).abs() < 1e-15);
             // feasible ⟺ success prob ≥ 1−ε
-            assert_eq!(e.feasible, e.success_probability >= 1.0 - p.epsilon() - 1e-12);
+            assert_eq!(
+                e.feasible,
+                e.success_probability >= 1.0 - p.epsilon() - 1e-12
+            );
         }
     }
 

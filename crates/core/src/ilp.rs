@@ -87,7 +87,10 @@ pub const ILP_MAX_VARS: usize = 40;
 /// negative constraint coefficient, or mismatched dimensions.
 pub fn solve(model: &IlpModel) -> (Vec<bool>, f64) {
     let n = model.objective.len();
-    assert!(n <= ILP_MAX_VARS, "ILP solver limited to {ILP_MAX_VARS} variables, got {n}");
+    assert!(
+        n <= ILP_MAX_VARS,
+        "ILP solver limited to {ILP_MAX_VARS} variables, got {n}"
+    );
     for c in &model.constraints {
         assert_eq!(c.coeffs.len(), n, "constraint dimension mismatch");
         assert!(
@@ -111,10 +114,13 @@ pub fn solve(model: &IlpModel) -> (Vec<bool>, f64) {
         assignment: Vec<bool>,
         best_value: f64,
         best: Vec<bool>,
+        // Flushed to `core.ilp.iterations` once per solve.
+        iterations: u64,
     }
 
     impl Search<'_> {
         fn dfs(&mut self, k: usize, value: f64) {
+            self.iterations += 1;
             if value > self.best_value {
                 self.best_value = value;
                 self.best = self.assignment.clone();
@@ -153,8 +159,10 @@ pub fn solve(model: &IlpModel) -> (Vec<bool>, f64) {
         assignment: vec![false; n],
         best_value: f64::NEG_INFINITY,
         best: vec![false; n],
+        iterations: 0,
     };
     search.dfs(0, 0.0);
+    fading_obs::counter!("core.ilp.iterations").add(search.iterations);
     let value = search.best_value.max(0.0);
     (search.best, value)
 }
@@ -215,7 +223,10 @@ mod tests {
                 .filter(|&(i, _)| i != j)
                 .map(|(_, &v)| v)
                 .sum();
-            assert!(all_others <= c.rhs + 1e-9, "constraint {j} not deactivatable");
+            assert!(
+                all_others <= c.rhs + 1e-9,
+                "constraint {j} not deactivatable"
+            );
         }
     }
 
@@ -231,7 +242,10 @@ mod tests {
                 via_ilp.utility(&p),
                 via_bnb.utility(&p)
             );
-            assert!(is_feasible(&p, &via_ilp), "seed {seed}: ILP schedule infeasible");
+            assert!(
+                is_feasible(&p, &via_ilp),
+                "seed {seed}: ILP schedule infeasible"
+            );
         }
     }
 

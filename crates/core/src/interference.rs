@@ -43,7 +43,10 @@ impl InterferenceMatrix {
     ) -> Self {
         let n = links.len();
         if n == 0 {
-            return Self { n, data: Vec::new() };
+            return Self {
+                n,
+                data: Vec::new(),
+            };
         }
         if let Some(p) = powers {
             assert_eq!(p.len(), n, "power vector length mismatch");
@@ -62,9 +65,7 @@ impl InterferenceMatrix {
                     let d_jj = links.length(receiver);
                     *slot = match powers {
                         None => channel.interference_factor(d_ij, d_jj),
-                        Some(p) => {
-                            channel.interference_factor_scaled(d_ij, d_jj, p[i], p[j])
-                        }
+                        Some(p) => channel.interference_factor_scaled(d_ij, d_jj, p[i], p[j]),
                     };
                 }
             }
@@ -156,10 +157,8 @@ mod tests {
                 if i == j {
                     continue;
                 }
-                let expect = channel.interference_factor(
-                    links.sender_receiver_distance(i, j),
-                    links.length(j),
-                );
+                let expect = channel
+                    .interference_factor(links.sender_receiver_distance(i, j), links.length(j));
                 assert_eq!(m.factor(i, j), expect);
             }
         }

@@ -65,7 +65,10 @@ pub fn schedule_all<S: Scheduler + ?Sized>(problem: &Problem, scheduler: &S) -> 
                 .expect("remaining is non-empty");
             vec![shortest]
         } else {
-            sub_schedule.iter().map(|sub_id| mapping[sub_id.index()]).collect()
+            sub_schedule
+                .iter()
+                .map(|sub_id| mapping[sub_id.index()])
+                .collect()
         };
         remaining.retain(|id| !slot.contains(id));
         slots.push(Schedule::from_ids(slot));
@@ -186,7 +189,11 @@ mod tests {
             let p = problem(80, seed);
             let bound = conflict_clique_lower_bound(&p);
             assert!(bound >= 1);
-            for s in [&Rle::new() as &dyn crate::Scheduler, &Ldp::new(), &GreedyRate] {
+            for s in [
+                &Rle::new() as &dyn crate::Scheduler,
+                &Ldp::new(),
+                &GreedyRate,
+            ] {
                 let plan = schedule_all(&p, s);
                 assert!(
                     plan.num_slots() >= bound,
@@ -225,7 +232,12 @@ mod tests {
         let links: Vec<Link> = (0..4)
             .map(|i| {
                 let base = Point2::new(i as f64 * 10_000.0, 0.0);
-                Link::new(fading_net::LinkId(i), base, base + Point2::new(5.0, 0.0), 1.0)
+                Link::new(
+                    fading_net::LinkId(i),
+                    base,
+                    base + Point2::new(5.0, 0.0),
+                    1.0,
+                )
             })
             .collect();
         let p = Problem::paper(LinkSet::new(Rect::square(50_000.0), links), 3.0);

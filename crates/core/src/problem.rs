@@ -79,9 +79,7 @@ impl Problem {
     /// Transmit power scale of a link (1 under uniform power).
     #[inline]
     pub fn power_scale(&self, id: LinkId) -> f64 {
-        self.power_scales
-            .as_ref()
-            .map_or(1.0, |p| p[id.index()])
+        self.power_scales.as_ref().map_or(1.0, |p| p[id.index()])
     }
 
     /// The full power-scale vector, if power control is active.

@@ -53,7 +53,11 @@ impl KnapsackInstance {
     /// Panics on dimension mismatch, non-positive data, or duplicate
     /// weights.
     pub fn new(values: Vec<f64>, weights: Vec<f64>, capacity: f64) -> Self {
-        assert_eq!(values.len(), weights.len(), "values/weights length mismatch");
+        assert_eq!(
+            values.len(),
+            weights.len(),
+            "values/weights length mismatch"
+        );
         assert!(capacity > 0.0, "capacity must be positive");
         assert!(
             values.iter().all(|&v| v.is_finite() && v > 0.0),
@@ -167,8 +171,7 @@ pub fn knapsack_to_fading_rls(
     );
 
     // Eq. (25): the item-receiver offset.
-    let delta = d_min
-        / (((ge / (n as f64 + 1.0)).exp_m1() / gamma_th).powf(-1.0 / alpha) + 1.0);
+    let delta = d_min / (((ge / (n as f64 + 1.0)).exp_m1() / gamma_th).powf(-1.0 / alpha) + 1.0);
 
     let total_value = kp.total_value();
     let gate_rate = 2.0 * total_value;

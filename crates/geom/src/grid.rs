@@ -120,15 +120,24 @@ mod tests {
     fn cell_of_maps_points_to_tiles() {
         let g = grid(10.0);
         assert_eq!(g.cell_of(&Point2::new(0.0, 0.0)), CellIndex { a: 0, b: 0 });
-        assert_eq!(g.cell_of(&Point2::new(9.999, 0.0)), CellIndex { a: 0, b: 0 });
+        assert_eq!(
+            g.cell_of(&Point2::new(9.999, 0.0)),
+            CellIndex { a: 0, b: 0 }
+        );
         assert_eq!(g.cell_of(&Point2::new(10.0, 0.0)), CellIndex { a: 1, b: 0 });
-        assert_eq!(g.cell_of(&Point2::new(25.0, 37.0)), CellIndex { a: 2, b: 3 });
+        assert_eq!(
+            g.cell_of(&Point2::new(25.0, 37.0)),
+            CellIndex { a: 2, b: 3 }
+        );
     }
 
     #[test]
     fn negative_coordinates_are_handled() {
         let g = grid(10.0);
-        assert_eq!(g.cell_of(&Point2::new(-0.5, -0.5)), CellIndex { a: -1, b: -1 });
+        assert_eq!(
+            g.cell_of(&Point2::new(-0.5, -0.5)),
+            CellIndex { a: -1, b: -1 }
+        );
         // Color is still well-defined and periodic for negative cells.
         assert_eq!(
             g.color_of(CellIndex { a: -1, b: -1 }),
@@ -154,7 +163,10 @@ mod tests {
             for b in -3..3i64 {
                 let c = g.color_of(CellIndex { a, b });
                 for (da, db) in [(0, 1), (1, 0), (1, 1), (1, -1)] {
-                    let n = CellIndex { a: a + da, b: b + db };
+                    let n = CellIndex {
+                        a: a + da,
+                        b: b + db,
+                    };
                     assert_ne!(c, g.color_of(n), "cells ({a},{b}) and {n:?} share color");
                 }
             }

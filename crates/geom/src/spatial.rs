@@ -193,7 +193,11 @@ mod tests {
 
     #[test]
     fn zero_radius_finds_exact_duplicates() {
-        let pts = vec![Point2::new(1.0, 1.0), Point2::new(2.0, 2.0), Point2::new(1.0, 1.0)];
+        let pts = vec![
+            Point2::new(1.0, 1.0),
+            Point2::new(2.0, 2.0),
+            Point2::new(1.0, 1.0),
+        ];
         let hash = SpatialHash::build(&pts, 1.0);
         let mut got = hash.query_radius(&Point2::new(1.0, 1.0), 0.0);
         got.sort_unstable();

@@ -117,7 +117,10 @@ mod tests {
                 covered += 1;
             }
         }
-        assert!(covered >= 32, "only {covered}/40 intervals covered the mean");
+        assert!(
+            covered >= 32,
+            "only {covered}/40 intervals covered the mean"
+        );
     }
 
     #[test]

@@ -11,7 +11,10 @@
 /// # Panics
 /// Panics unless `a ≤ b`, both finite, and `tol > 0`.
 pub fn integrate<F: Fn(f64) -> f64>(f: &F, a: f64, b: f64, tol: f64) -> f64 {
-    assert!(a.is_finite() && b.is_finite() && a <= b, "bad interval [{a}, {b}]");
+    assert!(
+        a.is_finite() && b.is_finite() && a <= b,
+        "bad interval [{a}, {b}]"
+    );
     assert!(tol > 0.0, "tolerance must be positive");
     if a == b {
         return 0.0;

@@ -19,9 +19,9 @@ pub mod stats;
 pub mod zeta;
 
 pub use bootstrap::{bootstrap_ci, bootstrap_mean_ci, BootstrapCi};
-pub use integrate::{integrate, integrate_to_infinity};
 pub use expdist::Exponential;
 pub use histogram::Histogram;
+pub use integrate::{integrate, integrate_to_infinity};
 pub use kahan::KahanSum;
 pub use quantile::{iqr, median, quantile};
 pub use rng::{seeded_rng, split_seed};

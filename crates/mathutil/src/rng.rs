@@ -21,8 +21,7 @@ pub fn seeded_rng(seed: u64) -> StdRng {
 /// Monte-Carlo run can use `split_seed(base, i)` safely in parallel.
 #[inline]
 pub fn split_seed(base: u64, index: u64) -> u64 {
-    let mut z = base
-        .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(index.wrapping_add(1)));
+    let mut z = base.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(index.wrapping_add(1)));
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
@@ -56,7 +55,10 @@ mod tests {
         let mut seen = HashSet::new();
         for base in 0..32u64 {
             for idx in 0..256u64 {
-                assert!(seen.insert(split_seed(base, idx)), "collision at ({base},{idx})");
+                assert!(
+                    seen.insert(split_seed(base, idx)),
+                    "collision at ({base},{idx})"
+                );
             }
         }
     }

@@ -114,10 +114,7 @@ impl TopologyGenerator for UniformGenerator {
         let mut senders: Vec<Point2> = Vec::with_capacity(self.n);
         let mut receivers: Vec<Point2> = Vec::with_capacity(self.n);
         while links.len() < self.n {
-            let s = Point2::new(
-                rng.gen_range(0.0..self.side),
-                rng.gen_range(0.0..self.side),
-            );
+            let s = Point2::new(rng.gen_range(0.0..self.side), rng.gen_range(0.0..self.side));
             let d = rng.gen_range(self.len_lo..=self.len_hi);
             let theta = rng.gen_range(0.0..std::f64::consts::TAU);
             let r = s.offset_polar(d, theta);
@@ -168,10 +165,7 @@ impl TopologyGenerator for ClusteredGenerator {
         let mut senders: Vec<Point2> = Vec::new();
         let mut receivers: Vec<Point2> = Vec::new();
         for _ in 0..self.clusters {
-            let center = Point2::new(
-                rng.gen_range(0.0..self.side),
-                rng.gen_range(0.0..self.side),
-            );
+            let center = Point2::new(rng.gen_range(0.0..self.side), rng.gen_range(0.0..self.side));
             let mut placed = 0;
             while placed < self.links_per_cluster {
                 let rho = self.cluster_radius * rng.gen_range(0.0f64..1.0).sqrt();
@@ -236,7 +230,12 @@ impl TopologyGenerator for GridGenerator {
                 let theta = ((row + col) % 4) as f64 * std::f64::consts::FRAC_PI_2;
                 let r = s.offset_polar(self.link_length, theta);
                 let id = LinkId(links.len() as u32);
-                links.push(Link::new(id, s, r, self.rates.sample(&mut rng, self.link_length)));
+                links.push(Link::new(
+                    id,
+                    s,
+                    r,
+                    self.rates.sample(&mut rng, self.link_length),
+                ));
             }
         }
         LinkSet::new(region, links)
@@ -269,8 +268,7 @@ impl TopologyGenerator for PoissonGenerator {
         self.rates.validate();
         let region = Rect::square(self.side);
         let mut rng = seeded_rng(seed);
-        let senders =
-            fading_geom::poisson_disk(&mut rng, &region, self.min_separation, self.max_n);
+        let senders = fading_geom::poisson_disk(&mut rng, &region, self.min_separation, self.max_n);
         let mut links = Vec::with_capacity(senders.len());
         let mut receivers: Vec<Point2> = Vec::with_capacity(senders.len());
         for s in senders {
@@ -322,7 +320,12 @@ impl TopologyGenerator for LinearGenerator {
             .map(|i| {
                 let s = Point2::new((i as f64 + 0.5) * self.spacing, 0.0);
                 let r = Point2::new(s.x + self.link_length, 0.0);
-                Link::new(LinkId(i as u32), s, r, self.rates.sample(&mut rng, self.link_length))
+                Link::new(
+                    LinkId(i as u32),
+                    s,
+                    r,
+                    self.rates.sample(&mut rng, self.link_length),
+                )
             })
             .collect();
         LinkSet::new(region, links)

@@ -71,12 +71,7 @@ mod tests {
 
     #[test]
     fn length_is_sender_receiver_distance() {
-        let l = Link::new(
-            LinkId(0),
-            Point2::new(0.0, 0.0),
-            Point2::new(3.0, 4.0),
-            1.0,
-        );
+        let l = Link::new(LinkId(0), Point2::new(0.0, 0.0), Point2::new(3.0, 4.0), 1.0);
         assert_eq!(l.length(), 5.0);
     }
 

@@ -56,7 +56,10 @@ impl LinkSet {
                 return Err(E::ZeroLengthLink(l.id));
             }
             if !(l.rate.is_finite() && l.rate > 0.0) {
-                return Err(E::BadRate { id: l.id, rate: l.rate });
+                return Err(E::BadRate {
+                    id: l.id,
+                    rate: l.rate,
+                });
             }
         }
         for i in 0..links.len() {
@@ -120,18 +123,12 @@ impl LinkSet {
 
     /// Shortest link length `δ` (`None` for an empty set).
     pub fn min_length(&self) -> Option<f64> {
-        self.links
-            .iter()
-            .map(Link::length)
-            .min_by(f64::total_cmp)
+        self.links.iter().map(Link::length).min_by(f64::total_cmp)
     }
 
     /// Longest link length (`None` for an empty set).
     pub fn max_length(&self) -> Option<f64> {
-        self.links
-            .iter()
-            .map(Link::length)
-            .max_by(f64::total_cmp)
+        self.links.iter().map(Link::length).max_by(f64::total_cmp)
     }
 
     /// Sum of all rates — the upper bound on any schedule's utility.
@@ -261,13 +258,23 @@ mod tests {
             Err(ValidationError::DuplicateSender(LinkId(0), LinkId(1)))
         );
         // Misnumbered id.
-        let links = vec![Link::new(LinkId(2), Point2::origin(), Point2::new(1.0, 0.0), 1.0)];
+        let links = vec![Link::new(
+            LinkId(2),
+            Point2::origin(),
+            Point2::new(1.0, 0.0),
+            1.0,
+        )];
         assert!(matches!(
             LinkSet::try_new(Rect::square(10.0), links),
             Err(ValidationError::MisnumberedId { slot: 0, .. })
         ));
         // Valid set round-trips.
-        let links = vec![Link::new(LinkId(0), Point2::origin(), Point2::new(1.0, 0.0), 1.0)];
+        let links = vec![Link::new(
+            LinkId(0),
+            Point2::origin(),
+            Point2::new(1.0, 0.0),
+            1.0,
+        )];
         assert!(LinkSet::try_new(Rect::square(10.0), links).is_ok());
     }
 

@@ -106,8 +106,7 @@ impl RandomWaypoint {
                     }
                 } else {
                     let scale = budget / dist;
-                    s.sender =
-                        s.sender + Point2::new(to_target.x * scale, to_target.y * scale);
+                    s.sender = s.sender + Point2::new(to_target.x * scale, to_target.y * scale);
                     budget = 0.0;
                 }
             }
@@ -122,9 +121,7 @@ impl RandomWaypoint {
             .iter()
             .zip(&self.rates)
             .enumerate()
-            .map(|(i, (s, &rate))| {
-                Link::new(LinkId(i as u32), s.sender, s.sender + s.offset, rate)
-            })
+            .map(|(i, (s, &rate))| Link::new(LinkId(i as u32), s.sender, s.sender + s.offset, rate))
             .collect();
         LinkSet::new(self.region, links)
     }
@@ -160,11 +157,7 @@ mod tests {
         for _ in 0..50 {
             let moved = mob.step(1.0);
             for l in moved.links() {
-                assert!(
-                    region.contains(&l.sender),
-                    "sender escaped: {:?}",
-                    l.sender
-                );
+                assert!(region.contains(&l.sender), "sender escaped: {:?}", l.sender);
             }
         }
     }

@@ -1,0 +1,157 @@
+//! Structured JSONL event sink.
+//!
+//! When a sink is installed ([`set_event_sink`]), every
+//! [`emit_event`] appends one JSON object per line:
+//! `{"ts_ms":…,"kind":"…",<fields>}`. With no sink installed, emitting
+//! is a cheap no-op, so library code can emit unconditionally.
+
+use serde::Node;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::{Mutex, OnceLock};
+use std::time::SystemTime;
+
+/// A field value attached to an event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventValue {
+    /// Unsigned integer.
+    U64(u64),
+    /// Float.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl From<u64> for EventValue {
+    fn from(v: u64) -> Self {
+        Self::U64(v)
+    }
+}
+impl From<usize> for EventValue {
+    fn from(v: usize) -> Self {
+        Self::U64(v as u64)
+    }
+}
+impl From<f64> for EventValue {
+    fn from(v: f64) -> Self {
+        Self::F64(v)
+    }
+}
+impl From<&str> for EventValue {
+    fn from(v: &str) -> Self {
+        Self::Str(v.to_string())
+    }
+}
+impl From<String> for EventValue {
+    fn from(v: String) -> Self {
+        Self::Str(v)
+    }
+}
+impl From<bool> for EventValue {
+    fn from(v: bool) -> Self {
+        Self::Bool(v)
+    }
+}
+
+impl EventValue {
+    fn to_node(&self) -> Node {
+        match self {
+            Self::U64(v) => Node::U64(*v),
+            Self::F64(v) => Node::F64(*v),
+            Self::Str(v) => Node::Str(v.clone()),
+            Self::Bool(v) => Node::Bool(*v),
+        }
+    }
+}
+
+/// Wrapper so a hand-built [`Node`] can go through `serde_json`.
+struct RawNode(Node);
+
+impl serde::Serialize for RawNode {
+    fn serialize_node(&self) -> Node {
+        self.0.clone()
+    }
+}
+
+fn sink() -> &'static Mutex<Option<BufWriter<File>>> {
+    static SINK: OnceLock<Mutex<Option<BufWriter<File>>>> = OnceLock::new();
+    SINK.get_or_init(|| Mutex::new(None))
+}
+
+/// Installs (or replaces) the process-wide event sink, truncating
+/// `path`. Pass-through I/O errors are the caller's to handle.
+pub fn set_event_sink(path: &Path) -> std::io::Result<()> {
+    let file = File::create(path)?;
+    *sink().lock().unwrap() = Some(BufWriter::new(file));
+    Ok(())
+}
+
+/// Flushes and removes the current sink, if any.
+pub fn close_event_sink() {
+    if let Some(mut w) = sink().lock().unwrap().take() {
+        let _ = w.flush();
+    }
+}
+
+/// Appends one event line (no-op without a sink). `kind` identifies
+/// the event; `fields` are additional key/value pairs.
+pub fn emit_event(kind: &str, fields: &[(&str, EventValue)]) {
+    let mut guard = sink().lock().unwrap();
+    let Some(writer) = guard.as_mut() else {
+        return;
+    };
+    let ts_ms = SystemTime::now()
+        .duration_since(SystemTime::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0);
+    let mut entries = vec![
+        ("ts_ms".to_string(), Node::U64(ts_ms)),
+        ("kind".to_string(), Node::Str(kind.to_string())),
+    ];
+    for (k, v) in fields {
+        entries.push((k.to_string(), v.to_node()));
+    }
+    let line = serde_json::to_string(&RawNode(Node::Map(entries))).unwrap_or_default();
+    // Per-line flush keeps the log usable even if the run is killed;
+    // events are low-rate by design.
+    let _ = writeln!(writer, "{line}");
+    let _ = writer.flush();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_sink_is_a_noop() {
+        emit_event("noop", &[("x", 1u64.into())]);
+    }
+
+    #[test]
+    fn events_append_as_json_lines() {
+        let path = std::env::temp_dir().join("fading_obs_events_test.jsonl");
+        set_event_sink(&path).unwrap();
+        emit_event(
+            "point",
+            &[("n", 100usize.into()), ("scheduler", "RLE".into())],
+        );
+        emit_event("done", &[("ok", true.into()), ("secs", 1.5f64.into())]);
+        close_event_sink();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"kind\":\"point\""), "{}", lines[0]);
+        assert!(lines[0].contains("\"scheduler\":\"RLE\""));
+        assert!(lines[1].contains("\"ok\":true"));
+        // Every line parses back as JSON with the mandatory keys.
+        for line in lines {
+            let node = serde_json::parse_node_str(line).unwrap();
+            assert!(node.get("ts_ms").is_some());
+            assert!(node.get("kind").is_some());
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,423 @@
+//! The global metric registry: counters, gauges, and histograms.
+//!
+//! Counters and histograms shard their state across
+//! [`SHARDS`] cache-line-padded atomics. Each thread is assigned a
+//! shard by a thread-local sequential id, so concurrent increments
+//! from different `rayon` workers land on different cache lines and a
+//! hot-loop increment costs one relaxed `fetch_add`. [`snapshot`]
+//! merges the shards into plain serializable maps.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Number of per-metric shards; a power of two ≥ typical core counts.
+pub const SHARDS: usize = 16;
+
+/// A `u64` on its own cache line, so shards never false-share.
+#[repr(align(64))]
+struct PaddedU64(AtomicU64);
+
+impl PaddedU64 {
+    fn zero() -> Self {
+        Self(AtomicU64::new(0))
+    }
+}
+
+/// The calling thread's shard index (stable for the thread's lifetime).
+fn shard_index() -> usize {
+    static NEXT_THREAD: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static SHARD: usize = NEXT_THREAD.fetch_add(1, Ordering::Relaxed) % SHARDS;
+    }
+    SHARD.with(|s| *s)
+}
+
+/// Lock-free f64 accumulation into an atomic bit pattern.
+fn add_f64(cell: &AtomicU64, v: f64) {
+    let mut cur = cell.load(Ordering::Relaxed);
+    loop {
+        let next = (f64::from_bits(cur) + v).to_bits();
+        match cell.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(seen) => cur = seen,
+        }
+    }
+}
+
+struct CounterCell {
+    shards: [PaddedU64; SHARDS],
+}
+
+impl CounterCell {
+    fn new() -> Self {
+        Self {
+            shards: std::array::from_fn(|_| PaddedU64::zero()),
+        }
+    }
+
+    fn sum(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.0.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    fn reset(&self) {
+        for s in &self.shards {
+            s.0.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A monotonically increasing counter handle (cheap to clone).
+#[derive(Clone)]
+pub struct Counter(Arc<CounterCell>);
+
+impl Counter {
+    /// Adds `n`; one relaxed atomic op on the caller's shard.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.shards[shard_index()]
+            .0
+            .fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds 1.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// The current merged total.
+    pub fn value(&self) -> u64 {
+        self.0.sum()
+    }
+}
+
+/// A last-write-wins `f64` gauge handle.
+#[derive(Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Stores `v`.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// The last stored value (0.0 if never set).
+    pub fn value(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+struct HistogramShard {
+    buckets: Vec<AtomicU64>,
+    overflow: AtomicU64,
+    count: AtomicU64,
+    sum_bits: AtomicU64,
+}
+
+struct HistogramCell {
+    /// Finite bucket upper bounds, strictly increasing. A value `v`
+    /// falls into the first bucket with `v <= bound` ("less-or-equal"
+    /// semantics); values above the last bound count as overflow.
+    bounds: Vec<f64>,
+    shards: Vec<HistogramShard>,
+}
+
+impl HistogramCell {
+    fn new(bounds: Vec<f64>) -> Self {
+        let shards = (0..SHARDS)
+            .map(|_| HistogramShard {
+                buckets: (0..bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+                overflow: AtomicU64::new(0),
+                count: AtomicU64::new(0),
+                sum_bits: AtomicU64::new(0),
+            })
+            .collect();
+        Self { bounds, shards }
+    }
+
+    fn reset(&self) {
+        for s in &self.shards {
+            for b in &s.buckets {
+                b.store(0, Ordering::Relaxed);
+            }
+            s.overflow.store(0, Ordering::Relaxed);
+            s.count.store(0, Ordering::Relaxed);
+            s.sum_bits.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A fixed-bucket histogram handle.
+#[derive(Clone)]
+pub struct Histogram(Arc<HistogramCell>);
+
+impl Histogram {
+    /// Records one observation.
+    pub fn record(&self, v: f64) {
+        let cell = &*self.0;
+        let shard = &cell.shards[shard_index()];
+        let idx = cell.bounds.partition_point(|&b| v > b);
+        if idx < cell.bounds.len() {
+            shard.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        } else {
+            shard.overflow.fetch_add(1, Ordering::Relaxed);
+        }
+        shard.count.fetch_add(1, Ordering::Relaxed);
+        add_f64(&shard.sum_bits, v);
+    }
+
+    /// The merged current state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let cell = &*self.0;
+        let mut counts = vec![0u64; cell.bounds.len()];
+        let mut overflow = 0u64;
+        let mut count = 0u64;
+        let mut sum = 0.0f64;
+        for s in &cell.shards {
+            for (acc, b) in counts.iter_mut().zip(&s.buckets) {
+                *acc += b.load(Ordering::Relaxed);
+            }
+            overflow += s.overflow.load(Ordering::Relaxed);
+            count += s.count.load(Ordering::Relaxed);
+            sum += f64::from_bits(s.sum_bits.load(Ordering::Relaxed));
+        }
+        HistogramSnapshot {
+            bounds: cell.bounds.clone(),
+            counts,
+            overflow,
+            count,
+            sum,
+        }
+    }
+}
+
+/// Serializable state of one histogram.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Bucket upper bounds (finite, increasing).
+    pub bounds: Vec<f64>,
+    /// Observations per bucket (`v <= bounds[i]`, first match).
+    pub counts: Vec<u64>,
+    /// Observations above the last bound.
+    pub overflow: u64,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: f64,
+}
+
+/// Serializable state of the whole registry at one instant.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Counter totals by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram states by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// An empty snapshot (useful as a fixture).
+    pub fn empty() -> Self {
+        Self {
+            counters: BTreeMap::new(),
+            gauges: BTreeMap::new(),
+            histograms: BTreeMap::new(),
+        }
+    }
+}
+
+#[derive(Default)]
+struct Registry {
+    counters: Mutex<BTreeMap<String, Arc<CounterCell>>>,
+    gauges: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    histograms: Mutex<BTreeMap<String, Arc<HistogramCell>>>,
+}
+
+fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(Registry::default)
+}
+
+/// Returns (registering on first use) the counter named `name`.
+pub fn counter(name: &str) -> Counter {
+    let mut map = registry().counters.lock().unwrap();
+    let cell = map
+        .entry(name.to_string())
+        .or_insert_with(|| Arc::new(CounterCell::new()));
+    Counter(Arc::clone(cell))
+}
+
+/// Returns (registering on first use) the gauge named `name`.
+pub fn gauge(name: &str) -> Gauge {
+    let mut map = registry().gauges.lock().unwrap();
+    let cell = map
+        .entry(name.to_string())
+        .or_insert_with(|| Arc::new(AtomicU64::new(0)));
+    Gauge(Arc::clone(cell))
+}
+
+/// Returns (registering on first use) the histogram named `name` with
+/// the given finite, strictly increasing bucket upper `bounds`. An
+/// existing histogram keeps its original bounds.
+///
+/// # Panics
+/// Panics if `bounds` is empty, non-increasing, or non-finite on
+/// first registration.
+pub fn histogram(name: &str, bounds: &[f64]) -> Histogram {
+    let mut map = registry().histograms.lock().unwrap();
+    let cell = map.entry(name.to_string()).or_insert_with(|| {
+        assert!(!bounds.is_empty(), "histogram {name}: no buckets");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]) && bounds.iter().all(|b| b.is_finite()),
+            "histogram {name}: bounds must be finite and strictly increasing"
+        );
+        Arc::new(HistogramCell::new(bounds.to_vec()))
+    });
+    Histogram(Arc::clone(cell))
+}
+
+/// Merges every metric's shards into a serializable snapshot.
+pub fn snapshot() -> MetricsSnapshot {
+    let reg = registry();
+    let counters = reg
+        .counters
+        .lock()
+        .unwrap()
+        .iter()
+        .map(|(k, v)| (k.clone(), v.sum()))
+        .collect();
+    let gauges = reg
+        .gauges
+        .lock()
+        .unwrap()
+        .iter()
+        .map(|(k, v)| (k.clone(), f64::from_bits(v.load(Ordering::Relaxed))))
+        .collect();
+    let histograms = reg
+        .histograms
+        .lock()
+        .unwrap()
+        .iter()
+        .map(|(k, v)| (k.clone(), Histogram(Arc::clone(v)).snapshot()))
+        .collect();
+    MetricsSnapshot {
+        counters,
+        gauges,
+        histograms,
+    }
+}
+
+/// Zeroes every registered metric (registrations and handles stay
+/// valid). Meant for tests and for isolating phases of a long process.
+pub fn reset_metrics() {
+    let reg = registry();
+    for cell in reg.counters.lock().unwrap().values() {
+        cell.reset();
+    }
+    for cell in reg.gauges.lock().unwrap().values() {
+        cell.store(0, Ordering::Relaxed);
+    }
+    for cell in reg.histograms.lock().unwrap().values() {
+        cell.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_handles_share_state_by_name() {
+        let a = counter("obs.test.shared");
+        let b = counter("obs.test.shared");
+        a.add(3);
+        b.incr();
+        assert_eq!(a.value(), b.value());
+        assert!(a.value() >= 4);
+    }
+
+    #[test]
+    fn gauge_is_last_write_wins() {
+        let g = gauge("obs.test.gauge");
+        g.set(2.5);
+        g.set(-7.25);
+        assert_eq!(g.value(), -7.25);
+        assert_eq!(snapshot().gauges["obs.test.gauge"], -7.25);
+    }
+
+    #[test]
+    fn histogram_respects_bucket_boundaries() {
+        // "le" semantics: a value equal to a bound lands in that bucket.
+        let h = histogram("obs.test.bounds", &[1.0, 10.0, 100.0]);
+        for v in [0.5, 1.0, 1.5, 10.0, 100.0, 1000.0] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.counts, vec![2, 2, 1]);
+        assert_eq!(s.overflow, 1);
+        assert_eq!(s.count, 6);
+        assert!((s.sum - 1113.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_keeps_first_registration_bounds() {
+        let h1 = histogram("obs.test.first_bounds", &[5.0, 50.0]);
+        let h2 = histogram("obs.test.first_bounds", &[999.0]);
+        h1.record(7.0);
+        assert_eq!(h2.snapshot().bounds, vec![5.0, 50.0]);
+        assert_eq!(h2.snapshot().counts, vec![0, 1]);
+    }
+
+    #[test]
+    fn shards_merge_deterministically_under_rayon_join() {
+        let c = counter("obs.test.join_total");
+        let h = histogram("obs.test.join_hist", &[0.5, 1.5]);
+        rayon::join(
+            || {
+                rayon::join(
+                    || {
+                        for _ in 0..10_000 {
+                            c.incr();
+                            h.record(1.0);
+                        }
+                    },
+                    || {
+                        for _ in 0..10_000 {
+                            c.add(2);
+                        }
+                    },
+                )
+            },
+            || {
+                for _ in 0..10_000 {
+                    c.incr();
+                }
+            },
+        );
+        // 10k + 20k + 10k regardless of thread interleaving.
+        assert_eq!(c.value(), 40_000);
+        let s = h.snapshot();
+        assert_eq!(s.counts, vec![0, 10_000]);
+        assert_eq!(s.count, 10_000);
+        assert!((s.sum - 10_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn snapshot_includes_all_kinds() {
+        counter("obs.test.snap_counter").add(5);
+        gauge("obs.test.snap_gauge").set(1.5);
+        histogram("obs.test.snap_hist", &[1.0]).record(0.25);
+        let s = snapshot();
+        assert!(s.counters["obs.test.snap_counter"] >= 5);
+        assert_eq!(s.gauges["obs.test.snap_gauge"], 1.5);
+        assert_eq!(s.histograms["obs.test.snap_hist"].count, 1);
+    }
+}

@@ -1,0 +1,130 @@
+//! Throttled live progress on stderr.
+//!
+//! A [`Progress`] reporter prints at most one line per
+//! [`Progress::MIN_INTERVAL_MS`] (plus always the final line), shaped
+//! like `point 3/12 · scheduler=RLE · 48k trials/s · ETA 00:41`.
+//! Reporting is globally gated by [`set_progress`], off by default, so
+//! instrumented library code stays silent under tests and in scripts
+//! unless a `--progress` flag switches it on.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Instant;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Globally enables or disables progress output.
+pub fn set_progress(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether progress output is currently enabled.
+pub fn progress_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// A throttled progress reporter for a fixed number of steps.
+pub struct Progress {
+    label: &'static str,
+    unit: &'static str,
+    total: u64,
+    start: Instant,
+    /// Milliseconds after `start` of the last printed line.
+    last_print_ms: AtomicU64,
+}
+
+impl Progress {
+    /// Minimum milliseconds between printed lines.
+    pub const MIN_INTERVAL_MS: u64 = 100;
+
+    /// A reporter for `total` steps. `label` names the step ("point"),
+    /// `unit` names the throughput item ("trials").
+    pub fn new(label: &'static str, unit: &'static str, total: u64) -> Self {
+        Self {
+            label,
+            unit,
+            total,
+            start: Instant::now(),
+            last_print_ms: AtomicU64::new(0),
+        }
+    }
+
+    /// Reports step `done` of `total` finished. `detail` is free-form
+    /// context ("scheduler=RLE"); `items` is the cumulative number of
+    /// throughput units processed so far. Throttled, and silent unless
+    /// [`set_progress`] enabled output.
+    pub fn report(&self, done: u64, detail: &str, items: u64) {
+        if !progress_enabled() {
+            return;
+        }
+        let elapsed_ms = self.start.elapsed().as_millis() as u64;
+        let finished = done >= self.total;
+        if !finished {
+            let last = self.last_print_ms.load(Ordering::Relaxed);
+            if elapsed_ms.saturating_sub(last) < Self::MIN_INTERVAL_MS
+                || self
+                    .last_print_ms
+                    .compare_exchange(last, elapsed_ms, Ordering::Relaxed, Ordering::Relaxed)
+                    .is_err()
+            {
+                return; // within throttle window, or another thread won
+            }
+        }
+        let secs = (elapsed_ms as f64 / 1000.0).max(1e-9);
+        let rate = items as f64 / secs;
+        let eta = if done == 0 {
+            "--:--".to_string()
+        } else {
+            fmt_mmss(elapsed_ms as f64 / 1000.0 * (self.total - done) as f64 / done as f64)
+        };
+        eprintln!(
+            "{} {done}/{} · {detail} · {} {}/s · ETA {eta}",
+            self.label,
+            self.total,
+            fmt_count(rate),
+            self.unit
+        );
+    }
+}
+
+/// `48321.7` → `"48k"`, `1.9e6` → `"1.9M"`, `417.0` → `"417"`.
+fn fmt_count(v: f64) -> String {
+    if v >= 1e6 {
+        format!("{:.1}M", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.0}k", v / 1e3)
+    } else {
+        format!("{v:.0}")
+    }
+}
+
+/// Seconds → `"mm:ss"` (minutes unbounded).
+fn fmt_mmss(secs: f64) -> String {
+    let s = secs.round().max(0.0) as u64;
+    format!("{:02}:{:02}", s / 60, s % 60)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_count(417.4), "417");
+        assert_eq!(fmt_count(48_321.7), "48k");
+        assert_eq!(fmt_count(1_900_000.0), "1.9M");
+        assert_eq!(fmt_mmss(41.0), "00:41");
+        assert_eq!(fmt_mmss(125.4), "02:05");
+    }
+
+    #[test]
+    fn disabled_by_default_and_toggleable() {
+        // Other tests may race on the global; just exercise the API.
+        let p = Progress::new("point", "trials", 12);
+        p.report(3, "scheduler=RLE", 144_000); // silent unless enabled
+        set_progress(true);
+        assert!(progress_enabled());
+        p.report(12, "scheduler=RLE", 576_000); // final line always prints
+        set_progress(false);
+        assert!(!progress_enabled());
+    }
+}

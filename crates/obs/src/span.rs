@@ -1,0 +1,188 @@
+//! RAII wall-clock spans aggregated into a timing tree.
+//!
+//! [`Span::enter`] pushes a name onto a thread-local stack and starts
+//! a timer; dropping the guard pops the stack and accumulates the
+//! elapsed time under the dotted path of every open span on that
+//! thread. [`span_snapshot`] turns the accumulated paths into a
+//! hierarchical [`SpanNode`] tree.
+//!
+//! Spans opened on `rayon` worker threads start their own root (the
+//! stack is per-thread), which is the honest reading: a worker's time
+//! is not lexically inside the caller's frame.
+
+use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+thread_local! {
+    static STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+/// path -> (calls, total nanoseconds)
+fn table() -> &'static Mutex<BTreeMap<String, (u64, u64)>> {
+    static TABLE: OnceLock<Mutex<BTreeMap<String, (u64, u64)>>> = OnceLock::new();
+    TABLE.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+/// An open timing span; created by [`Span::enter`] or the
+/// [`crate::span!`] macro, recorded on drop.
+pub struct Span {
+    start: Instant,
+    path: String,
+}
+
+impl Span {
+    /// Opens a span named `name` nested under the spans currently open
+    /// on this thread. Guards must be dropped in reverse open order
+    /// (the natural RAII scoping); bind the result to a local.
+    pub fn enter(name: &str) -> Self {
+        let path = STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            stack.push(name.to_string());
+            stack.join(".")
+        });
+        Self {
+            start: Instant::now(),
+            path,
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let elapsed_ns = self.start.elapsed().as_nanos() as u64;
+        STACK.with(|s| {
+            s.borrow_mut().pop();
+        });
+        let mut totals = table().lock().unwrap();
+        let entry = totals
+            .entry(std::mem::take(&mut self.path))
+            .or_insert((0, 0));
+        entry.0 += 1;
+        entry.1 += elapsed_ns;
+    }
+}
+
+/// One node of the reported timing tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpanNode {
+    /// Last path segment (span name).
+    pub name: String,
+    /// Number of completed spans at exactly this path. Zero for
+    /// intermediate nodes that only exist as parents.
+    pub calls: u64,
+    /// Total wall time at exactly this path, in nanoseconds
+    /// (children's time is included — the parent's clock was running).
+    pub total_ns: u64,
+    /// Child spans, sorted by name.
+    pub children: Vec<SpanNode>,
+}
+
+fn insert(nodes: &mut Vec<SpanNode>, segments: &[&str], calls: u64, total_ns: u64) {
+    let Some((&head, rest)) = segments.split_first() else {
+        return;
+    };
+    let node = match nodes.iter().position(|n| n.name == head) {
+        Some(i) => &mut nodes[i],
+        None => {
+            nodes.push(SpanNode {
+                name: head.to_string(),
+                calls: 0,
+                total_ns: 0,
+                children: Vec::new(),
+            });
+            nodes.last_mut().unwrap()
+        }
+    };
+    if rest.is_empty() {
+        node.calls += calls;
+        node.total_ns += total_ns;
+    } else {
+        insert(&mut node.children, rest, calls, total_ns);
+    }
+}
+
+/// The completed-span tree so far. Sibling order follows the sorted
+/// dotted paths, so the output is deterministic.
+pub fn span_snapshot() -> Vec<SpanNode> {
+    let totals = table().lock().unwrap();
+    let mut roots = Vec::new();
+    for (path, &(calls, total_ns)) in totals.iter() {
+        let segments: Vec<&str> = path.split('.').collect();
+        insert(&mut roots, &segments, calls, total_ns);
+    }
+    roots
+}
+
+/// Discards all recorded span timings (open guards still record on
+/// drop). Meant for tests and phase isolation.
+pub fn reset_spans() {
+    table().lock().unwrap().clear();
+}
+
+/// Looks up a node by dotted path in a snapshot (helper for tests and
+/// acceptance checks).
+pub fn find<'a>(nodes: &'a [SpanNode], path: &str) -> Option<&'a SpanNode> {
+    let (head, rest) = match path.split_once('.') {
+        Some((h, r)) => (h, Some(r)),
+        None => (path, None),
+    };
+    let node = nodes.iter().find(|n| n.name == head)?;
+    match rest {
+        None => Some(node),
+        Some(r) => find(&node.children, r),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nested_spans_build_a_tree() {
+        {
+            let _outer = Span::enter("obs_test_outer");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            {
+                let _inner = Span::enter("inner");
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            let _inner2 = Span::enter("inner2");
+        }
+        let snap = span_snapshot();
+        let outer = find(&snap, "obs_test_outer").expect("outer recorded");
+        assert_eq!(outer.calls, 1);
+        let inner = find(&snap, "obs_test_outer.inner").expect("inner nested");
+        assert_eq!(inner.calls, 1);
+        assert!(inner.total_ns > 0);
+        assert!(
+            outer.total_ns >= inner.total_ns,
+            "parent includes child time"
+        );
+        assert!(find(&snap, "obs_test_outer.inner2").is_some());
+        assert!(find(&snap, "inner").is_none(), "inner is not a root");
+    }
+
+    #[test]
+    fn dotted_names_create_levels() {
+        {
+            let _s = Span::enter("obs_test_ldp.partition");
+        }
+        let snap = span_snapshot();
+        let leaf = find(&snap, "obs_test_ldp.partition").expect("leaf");
+        assert_eq!(leaf.calls, 1);
+        let parent = find(&snap, "obs_test_ldp").expect("intermediate");
+        assert_eq!(parent.calls, 0, "purely structural node");
+    }
+
+    #[test]
+    fn repeated_spans_accumulate_calls() {
+        for _ in 0..5 {
+            let _s = Span::enter("obs_test_repeat");
+        }
+        let snap = span_snapshot();
+        assert!(find(&snap, "obs_test_repeat").unwrap().calls >= 5);
+    }
+}

@@ -26,11 +26,13 @@ pub mod slot;
 pub use config::ExperimentConfig;
 pub use convergence::{convergence_trace, trials_for_ci, TracePoint};
 pub use monte_carlo::{simulate_many, MonteCarloStats};
-pub use queueing::{simulate_queueing, simulate_queueing_with_policy, QueueConfig, QueueResult, ServicePolicy};
+pub use queueing::{
+    simulate_queueing, simulate_queueing_with_policy, QueueConfig, QueueResult, ServicePolicy,
+};
 pub use results::{ResultRow, ResultTable};
 pub use robustness::{
-    burstiness, drift_reliability, simulate_many_nakagami, simulate_many_shadowed,
-    sinr_histogram, BurstStats,
+    burstiness, drift_reliability, simulate_many_nakagami, simulate_many_shadowed, sinr_histogram,
+    BurstStats,
 };
 pub use runner::{sweep, sweep_alpha, sweep_n, SweepAxis};
 pub use slot::{realized_sinrs, simulate_slot, SlotOutcome};

@@ -84,6 +84,8 @@ pub fn simulate_many(
         }
         (f, th)
     };
+    fading_obs::counter!("sim.mc.trials").add(trials);
+    fading_obs::counter!("sim.mc.batches").incr();
     MonteCarloStats {
         scheduled: schedule.len(),
         scheduled_rate: schedule.utility(problem),

@@ -252,8 +252,7 @@ mod tests {
         // backlog smaller than plain rates (it chases long queues).
         let p = problem(100, 8);
         let c = cfg(0.12, 800);
-        let plain =
-            simulate_queueing_with_policy(&p, &GreedyRate, &c, ServicePolicy::PlainRates);
+        let plain = simulate_queueing_with_policy(&p, &GreedyRate, &c, ServicePolicy::PlainRates);
         let mw = simulate_queueing_with_policy(&p, &GreedyRate, &c, ServicePolicy::MaxWeight);
         // Same arrivals either way (same seed stream).
         assert_eq!(plain.arrived, mw.arrived);

@@ -86,52 +86,54 @@ pub fn simulate_many_shadowed(
     let channel = ShadowedRayleigh::new(*problem.params(), sigma_db);
     let links = problem.links();
     let members: Vec<_> = schedule.iter().collect();
-    let (failed, throughput) = (0..trials)
-        .into_par_iter()
-        .fold(
-            || (OnlineStats::new(), OnlineStats::new()),
-            |(mut f, mut th), t| {
-                let mut rng = seeded_rng(split_seed(base_seed, t));
-                // Quasi-static shadowing: one factor per (i, j) pair,
-                // fixed for the whole realization.
-                let k = members.len();
-                let mut shadow = vec![1.0f64; k * k];
-                for v in shadow.iter_mut() {
-                    *v = channel.sample_shadow_factor(&mut rng);
-                }
-                let mut failed_count = 0u32;
-                let mut delivered = 0.0;
-                for (jj, &j) in members.iter().enumerate() {
-                    let signal =
-                        channel.sample_gain(&mut rng, links.length(j), shadow[jj * k + jj]);
-                    let interference = members.iter().enumerate().filter(|&(ii, _)| ii != jj).map(
-                        |(ii, &i)| {
-                            channel.sample_gain(
-                                &mut rng,
-                                links.sender_receiver_distance(i, j),
-                                shadow[ii * k + jj],
-                            )
-                        },
-                    );
-                    if sinr_of(problem.params(), signal, interference).success {
-                        delivered += problem.rate(j);
-                    } else {
-                        failed_count += 1;
+    let (failed, throughput) =
+        (0..trials)
+            .into_par_iter()
+            .fold(
+                || (OnlineStats::new(), OnlineStats::new()),
+                |(mut f, mut th), t| {
+                    let mut rng = seeded_rng(split_seed(base_seed, t));
+                    // Quasi-static shadowing: one factor per (i, j) pair,
+                    // fixed for the whole realization.
+                    let k = members.len();
+                    let mut shadow = vec![1.0f64; k * k];
+                    for v in shadow.iter_mut() {
+                        *v = channel.sample_shadow_factor(&mut rng);
                     }
-                }
-                f.push(failed_count as f64);
-                th.push(delivered);
-                (f, th)
-            },
-        )
-        .reduce(
-            || (OnlineStats::new(), OnlineStats::new()),
-            |(mut f1, mut t1), (f2, t2)| {
-                f1.merge(&f2);
-                t1.merge(&t2);
-                (f1, t1)
-            },
-        );
+                    let mut failed_count = 0u32;
+                    let mut delivered = 0.0;
+                    for (jj, &j) in members.iter().enumerate() {
+                        let signal =
+                            channel.sample_gain(&mut rng, links.length(j), shadow[jj * k + jj]);
+                        let interference =
+                            members.iter().enumerate().filter(|&(ii, _)| ii != jj).map(
+                                |(ii, &i)| {
+                                    channel.sample_gain(
+                                        &mut rng,
+                                        links.sender_receiver_distance(i, j),
+                                        shadow[ii * k + jj],
+                                    )
+                                },
+                            );
+                        if sinr_of(problem.params(), signal, interference).success {
+                            delivered += problem.rate(j);
+                        } else {
+                            failed_count += 1;
+                        }
+                    }
+                    f.push(failed_count as f64);
+                    th.push(delivered);
+                    (f, th)
+                },
+            )
+            .reduce(
+                || (OnlineStats::new(), OnlineStats::new()),
+                |(mut f1, mut t1), (f2, t2)| {
+                    f1.merge(&f2);
+                    t1.merge(&t2);
+                    (f1, t1)
+                },
+            );
     MonteCarloStats {
         scheduled: schedule.len(),
         scheduled_rate: schedule.utility(problem),
@@ -375,8 +377,7 @@ mod tests {
         let iid = burstiness(&p, &s, 0.0, 3000, 5);
         let sticky = burstiness(&p, &s, 0.95, 3000, 6);
         assert!(
-            (iid.failure_rate - sticky.failure_rate).abs()
-                <= 0.3 * iid.failure_rate.max(0.005),
+            (iid.failure_rate - sticky.failure_rate).abs() <= 0.3 * iid.failure_rate.max(0.005),
             "iid {} vs ρ=0.95 {}",
             iid.failure_rate,
             sticky.failure_rate

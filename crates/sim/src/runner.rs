@@ -43,34 +43,125 @@ fn measure_point(
     scheduler: &dyn Scheduler,
     point_seed: u64,
 ) -> Vec<MonteCarloStats> {
+    let threads = std::thread::available_parallelism().map_or(1, |t| t.get());
+    fading_obs::gauge("sim.runner.threads").set(threads as f64);
+    // Summed per-instance busy time; divided by a point's wall time ×
+    // thread count it gives the instance-parallelism occupancy.
+    let busy_ms = fading_obs::counter!("sim.runner.instance_busy_ms");
     // Instances are independent and seeded, so evaluate them in
     // parallel; results are position-stable and bit-identical to the
     // sequential order.
     (0..config.instances)
         .into_par_iter()
         .map(|k| {
+            let started = std::time::Instant::now();
             let inst_seed = split_seed(point_seed, k as u64);
             let links = config.generator(n).generate(inst_seed);
             let params = ChannelParams::new(alpha, config.gamma_th, 1.0, 0.0);
             let problem = Problem::new(links, params, config.epsilon);
-            let schedule = scheduler.schedule(&problem);
-            simulate_many(&problem, &schedule, config.trials, split_seed(inst_seed, 1))
+            let schedule = {
+                let _span = fading_obs::span!("scheduler");
+                scheduler.schedule(&problem)
+            };
+            let stats = {
+                let _span = fading_obs::span!("simulation");
+                simulate_many(&problem, &schedule, config.trials, split_seed(inst_seed, 1))
+            };
+            busy_ms.add(started.elapsed().as_millis() as u64);
+            stats
         })
         .collect()
+}
+
+/// Per-sweep progress and timing state shared by [`sweep_n`] /
+/// [`sweep_alpha`].
+struct SweepMeter {
+    progress: fading_obs::Progress,
+    point_ms: fading_obs::Histogram,
+    last_point_ms: fading_obs::Gauge,
+    done: u64,
+    trials_done: u64,
+}
+
+impl SweepMeter {
+    fn new(points: u64) -> Self {
+        Self {
+            progress: fading_obs::Progress::new("point", "trials", points),
+            point_ms: fading_obs::histogram(
+                "sim.runner.point_ms",
+                &[10.0, 100.0, 1_000.0, 10_000.0, 100_000.0, 1_000_000.0],
+            ),
+            last_point_ms: fading_obs::gauge("sim.runner.last_point_ms"),
+            done: 0,
+            trials_done: 0,
+        }
+    }
+}
+
+/// Measures one sweep point and aggregates it into a row, recording
+/// wall time, progress, and a structured event along the way.
+#[allow(clippy::too_many_arguments)]
+fn measured_row(
+    config: &ExperimentConfig,
+    n: usize,
+    alpha: f64,
+    scheduler: &dyn Scheduler,
+    point_seed: u64,
+    axis_label: &'static str,
+    x: f64,
+    meter: &mut SweepMeter,
+) -> ResultRow {
+    let started = std::time::Instant::now();
+    let stats = measure_point(config, n, alpha, scheduler, point_seed);
+    let row = {
+        let _span = fading_obs::span!("aggregation");
+        aggregate_row(axis_label, x, scheduler.name(), &stats)
+    };
+    let ms = started.elapsed().as_secs_f64() * 1e3;
+    meter.point_ms.record(ms);
+    meter.last_point_ms.set(ms);
+    let point_trials = config.trials * config.instances as u64;
+    meter.done += 1;
+    meter.trials_done += point_trials;
+    meter.progress.report(
+        meter.done,
+        &format!("{axis_label}={x} · scheduler={}", scheduler.name()),
+        meter.trials_done,
+    );
+    fading_obs::emit_event(
+        "sweep_point",
+        &[
+            ("axis", axis_label.into()),
+            ("x", x.into()),
+            ("scheduler", scheduler.name().into()),
+            ("wall_ms", ms.into()),
+            ("trials", point_trials.into()),
+        ],
+    );
+    row
 }
 
 /// Sweeps `N` over `config.n_values` at `config.default_alpha`
 /// (Fig. 5(a) failed-transmission series and Fig. 6(a) throughput
 /// series, depending on which columns the caller reads).
 pub fn sweep_n(config: &ExperimentConfig, schedulers: &[&dyn Scheduler]) -> ResultTable {
+    let mut meter = SweepMeter::new((config.n_values.len() * schedulers.len()) as u64);
     let mut rows: Vec<ResultRow> = Vec::new();
     for (xi, &n) in config.n_values.iter().enumerate() {
         // One seed per sweep point: every scheduler is evaluated on the
         // same topologies (paired comparison, as in the paper).
         let point_seed = split_seed(config.seed, xi as u64);
         for scheduler in schedulers {
-            let stats = measure_point(config, n, config.default_alpha, *scheduler, point_seed);
-            rows.push(aggregate_row("N", n as f64, scheduler.name(), &stats));
+            rows.push(measured_row(
+                config,
+                n,
+                config.default_alpha,
+                *scheduler,
+                point_seed,
+                "N",
+                n as f64,
+                &mut meter,
+            ));
         }
     }
     ResultTable::new(rows)
@@ -79,13 +170,22 @@ pub fn sweep_n(config: &ExperimentConfig, schedulers: &[&dyn Scheduler]) -> Resu
 /// Sweeps `α` over `config.alpha_values` at `config.default_n`
 /// (Fig. 5(b)/6(b)).
 pub fn sweep_alpha(config: &ExperimentConfig, schedulers: &[&dyn Scheduler]) -> ResultTable {
+    let mut meter = SweepMeter::new((config.alpha_values.len() * schedulers.len()) as u64);
     let mut rows: Vec<ResultRow> = Vec::new();
     for (xi, &alpha) in config.alpha_values.iter().enumerate() {
         // One seed per sweep point (paired comparison across schedulers).
         let point_seed = split_seed(config.seed, (900_000 + xi) as u64);
         for scheduler in schedulers {
-            let stats = measure_point(config, config.default_n, alpha, *scheduler, point_seed);
-            rows.push(aggregate_row("alpha", alpha, scheduler.name(), &stats));
+            rows.push(measured_row(
+                config,
+                config.default_n,
+                alpha,
+                *scheduler,
+                point_seed,
+                "alpha",
+                alpha,
+                &mut meter,
+            ));
         }
     }
     ResultTable::new(rows)

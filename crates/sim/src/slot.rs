@@ -39,8 +39,7 @@ pub fn simulate_slot<R: Rng + ?Sized>(
     let mut failures = Vec::new();
     let mut delivered_rate = 0.0;
     for j in schedule.iter() {
-        let signal =
-            channel.sample_gain_scaled(rng, links.length(j), problem.power_scale(j));
+        let signal = channel.sample_gain_scaled(rng, links.length(j), problem.power_scale(j));
         let interference = schedule.iter().filter(|&i| i != j).map(|i| {
             channel.sample_gain_scaled(
                 rng,
@@ -56,6 +55,11 @@ pub fn simulate_slot<R: Rng + ?Sized>(
             failures.push(j);
         }
     }
+    // |S| draws per scheduled link (its signal plus |S|−1 interferers),
+    // batched into one increment per slot so the Monte-Carlo hot loop
+    // never touches the registry per draw.
+    let s = schedule.len() as u64;
+    fading_obs::counter!("channel.rayleigh.draws").add(s * s);
     SlotOutcome {
         successes,
         failures,
@@ -77,8 +81,7 @@ pub fn realized_sinrs<R: Rng + ?Sized>(
     schedule
         .iter()
         .map(|j| {
-            let signal =
-                channel.sample_gain_scaled(rng, links.length(j), problem.power_scale(j));
+            let signal = channel.sample_gain_scaled(rng, links.length(j), problem.power_scale(j));
             let interference = schedule.iter().filter(|&i| i != j).map(|i| {
                 channel.sample_gain_scaled(
                     rng,
@@ -86,7 +89,10 @@ pub fn realized_sinrs<R: Rng + ?Sized>(
                     problem.power_scale(i),
                 )
             });
-            (j, fading_channel::sinr_of(problem.params(), signal, interference).sinr)
+            (
+                j,
+                fading_channel::sinr_of(problem.params(), signal, interference).sinr,
+            )
         })
         .collect()
 }

@@ -143,7 +143,13 @@ pub fn render_instance(
     if let (Some(factor), Some(s)) = (options.deletion_radius_factor, schedule) {
         for id in s.iter() {
             let l = links.link(id);
-            scene.circle(l.receiver.x, l.receiver.y, factor * l.length(), "#c23b3b", 0.07);
+            scene.circle(
+                l.receiver.x,
+                l.receiver.y,
+                factor * l.length(),
+                "#c23b3b",
+                0.07,
+            );
         }
     }
     // Links.
@@ -154,10 +160,29 @@ pub fn render_instance(
         } else {
             ("#b8b8b8", 1.0)
         };
-        scene.line(l.sender.x, l.sender.y, l.receiver.x, l.receiver.y, stroke, width);
+        scene.line(
+            l.sender.x,
+            l.sender.y,
+            l.receiver.x,
+            l.receiver.y,
+            stroke,
+            width,
+        );
         if scheduled {
-            scene.circle(l.sender.x, l.sender.y, 2.0 / 800.0 * region.width(), "#1a7a2e", 1.0);
-            scene.circle(l.receiver.x, l.receiver.y, 2.0 / 800.0 * region.width(), "#114d1d", 1.0);
+            scene.circle(
+                l.sender.x,
+                l.sender.y,
+                2.0 / 800.0 * region.width(),
+                "#1a7a2e",
+                1.0,
+            );
+            scene.circle(
+                l.receiver.x,
+                l.receiver.y,
+                2.0 / 800.0 * region.width(),
+                "#114d1d",
+                1.0,
+            );
         }
     }
     scene.finish()

@@ -15,7 +15,10 @@ fn main() {
     let links = UniformGenerator::paper(300).generate(5);
     let problem = Problem::paper(links, 3.0);
     let schedule = Rle::new().schedule(&problem);
-    println!("RLE scheduled {} links; analyzing the first one.\n", schedule.len());
+    println!(
+        "RLE scheduled {} links; analyzing the first one.\n",
+        schedule.len()
+    );
 
     let j = schedule.ids()[0];
     let d_jj = problem.links().length(j);
@@ -26,7 +29,10 @@ fn main() {
         .collect();
 
     // (a) Outage curve.
-    println!("outage curve for {j} (length {d_jj:.1}, {} interferers):", interferers.len());
+    println!(
+        "outage curve for {j} (length {d_jj:.1}, {} interferers):",
+        interferers.len()
+    );
     for db in [-10.0, -5.0, 0.0, 5.0, 10.0, 20.0, 30.0] {
         let x = 10f64.powf(db / 10.0);
         println!(
@@ -34,8 +40,16 @@ fn main() {
             outage_probability(problem.params(), d_jj, &interferers, x)
         );
     }
-    let at_gamma = sinr_ccdf(problem.params(), d_jj, &interferers, problem.params().gamma_th);
-    println!("  success at γ_th: {at_gamma:.6} (target ≥ {:.2})\n", 1.0 - problem.epsilon());
+    let at_gamma = sinr_ccdf(
+        problem.params(),
+        d_jj,
+        &interferers,
+        problem.params().gamma_th,
+    );
+    println!(
+        "  success at γ_th: {at_gamma:.6} (target ≥ {:.2})\n",
+        1.0 - problem.epsilon()
+    );
 
     // (b) Ergodic capacity: quadrature vs Monte-Carlo.
     let analytic = ergodic_capacity(problem.params(), d_jj, &interferers);
@@ -44,10 +58,16 @@ fn main() {
     let mut stats = OnlineStats::new();
     for _ in 0..100_000 {
         let signal = channel.sample_gain(&mut rng, d_jj);
-        let interference: f64 = interferers.iter().map(|&d| channel.sample_gain(&mut rng, d)).sum();
+        let interference: f64 = interferers
+            .iter()
+            .map(|&d| channel.sample_gain(&mut rng, d))
+            .sum();
         stats.push((1.0 + signal / interference).log2());
     }
-    println!("ergodic Shannon rate: quadrature {analytic:.3} bit/s/Hz, Monte-Carlo {:.3}\n", stats.mean());
+    println!(
+        "ergodic Shannon rate: quadrature {analytic:.3} bit/s/Hz, Monte-Carlo {:.3}\n",
+        stats.mean()
+    );
 
     // (c) Whole-schedule view.
     let mut total = 0.0;

@@ -57,7 +57,11 @@ fn main() {
         }
         let stale_fail = expected_failures(&now, &stale);
         let fresh_fail = expected_failures(&now, &refreshed);
-        let mark = if stale_fail > budget { " <- over budget" } else { "" };
+        let mark = if stale_fail > budget {
+            " <- over budget"
+        } else {
+            ""
+        };
         println!("{t:>4} {stale_fail:>16.4} {fresh_fail:>22.4}{mark}");
     }
     println!();

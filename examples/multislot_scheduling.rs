@@ -34,10 +34,7 @@ fn drain(label: &str, links: LinkSet) {
 }
 
 fn main() {
-    drain(
-        "uniform field",
-        UniformGenerator::paper(200).generate(1),
-    );
+    drain("uniform field", UniformGenerator::paper(200).generate(1));
     drain(
         "clustered hotspots",
         ClusteredGenerator {

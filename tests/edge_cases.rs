@@ -29,7 +29,12 @@ fn single_link_instance() {
     let p = Problem::paper(links, 3.0);
     for s in all_schedulers() {
         let schedule = s.schedule(&p);
-        assert_eq!(schedule.len(), 1, "{} must schedule the lone link", s.name());
+        assert_eq!(
+            schedule.len(),
+            1,
+            "{} must schedule the lone link",
+            s.name()
+        );
         assert!(is_feasible(&p, &schedule));
     }
 }
@@ -158,7 +163,11 @@ fn huge_rate_disparities() {
 fn extreme_gamma_thresholds() {
     let links = UniformGenerator::paper(80).generate(9);
     // Very demanding decoding threshold.
-    let hard = Problem::new(links.clone(), ChannelParams::new(3.0, 100.0, 1.0, 0.0), 0.01);
+    let hard = Problem::new(
+        links.clone(),
+        ChannelParams::new(3.0, 100.0, 1.0, 0.0),
+        0.01,
+    );
     let s_hard = Rle::new().schedule(&hard);
     assert!(is_feasible(&hard, &s_hard));
     // Very forgiving threshold.

@@ -20,8 +20,12 @@ fn cfg() -> ExperimentConfig {
 
 #[test]
 fn fig5a_shape_failures_vs_n() {
-    let schedulers: [&dyn Scheduler; 4] =
-        [&Ldp::new(), &Rle::new(), &ApproxLogN, &ApproxDiversity::new()];
+    let schedulers: [&dyn Scheduler; 4] = [
+        &Ldp::new(),
+        &Rle::new(),
+        &ApproxLogN,
+        &ApproxDiversity::new(),
+    ];
     let t = sweep_n(&cfg(), &schedulers);
     // LDP and RLE: essentially zero failures at every N.
     for name in ["LDP", "RLE"] {
@@ -39,7 +43,11 @@ fn fig5a_shape_failures_vs_n() {
     for name in ["ApproxLogN", "ApproxDiversity"] {
         let series = t.series(name);
         for row in &series {
-            assert!(row.failed_mean > 0.05, "{name} at N={} unexpectedly clean", row.x);
+            assert!(
+                row.failed_mean > 0.05,
+                "{name} at N={} unexpectedly clean",
+                row.x
+            );
         }
         assert!(
             series.last().unwrap().failed_mean > series.first().unwrap().failed_mean,
@@ -86,8 +94,7 @@ fn fig6a_shape_throughput_vs_n() {
     // Throughput does not shrink with N for either algorithm.
     for series in [&rle, &ldp] {
         assert!(
-            series.last().unwrap().throughput_mean
-                >= series.first().unwrap().throughput_mean - 0.5,
+            series.last().unwrap().throughput_mean >= series.first().unwrap().throughput_mean - 0.5,
             "throughput should not collapse with N"
         );
     }

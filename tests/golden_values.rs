@@ -22,8 +22,16 @@ fn golden_instance_geometry() {
     // stability (StdRng is documented as a stable algorithm per rand
     // 0.8.x; this pins our usage of it).
     let l0 = links.link(LinkId(0));
-    assert!((l0.sender.x - 86.62732213077828192).abs() < 1e-9, "{}", l0.sender.x);
-    assert!((l0.sender.y - 76.14821530110893377).abs() < 1e-9, "{}", l0.sender.y);
+    assert!(
+        (l0.sender.x - 86.62732213077828192).abs() < 1e-9,
+        "{}",
+        l0.sender.x
+    );
+    assert!(
+        (l0.sender.y - 76.14821530110893377).abs() < 1e-9,
+        "{}",
+        l0.sender.y
+    );
     assert!((links.min_length().unwrap() - 5.17247734438783002).abs() < 1e-9);
 }
 
@@ -70,7 +78,11 @@ fn golden_monte_carlo_statistics() {
     let stats = simulate_many(&p, &s, 500, 99);
     // Bit-reproducible across thread counts by construction.
     assert_eq!(stats.scheduled, 62);
-    assert!((stats.failed.mean - 1.73).abs() < 1e-9, "{}", stats.failed.mean);
+    assert!(
+        (stats.failed.mean - 1.73).abs() < 1e-9,
+        "{}",
+        stats.failed.mean
+    );
     assert!(
         (stats.throughput.mean - 60.27).abs() < 1e-9,
         "{}",
@@ -84,5 +96,9 @@ fn golden_diversity_and_stats() {
     assert_eq!(fading_rls::net::length_diversity(&links), 2);
     let st = fading_rls::net::instance_stats(&links);
     assert_eq!(st.diversity, 2);
-    assert!((st.mean_length - 12.52917648974644393).abs() < 1e-9, "{}", st.mean_length);
+    assert!(
+        (st.mean_length - 12.52917648974644393).abs() < 1e-9,
+        "{}",
+        st.mean_length
+    );
 }

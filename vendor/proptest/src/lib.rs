@@ -1,0 +1,410 @@
+//! Offline vendored subset of the `proptest` API.
+//!
+//! Supports the shapes this workspace uses: the `proptest!` macro with
+//! an optional `#![proptest_config(...)]` header, `pat in strategy`
+//! bindings, `prop_assert!`/`prop_assert_eq!`/`prop_assume!`, range and
+//! tuple strategies, `prop_map`, `proptest::collection::vec`, and
+//! simple `[chars]{lo,hi}` character-class string strategies.
+//!
+//! Differences from real proptest: cases are generated from a
+//! deterministic per-test RNG (no persisted failure seeds) and there is
+//! no shrinking — a failing case panics with the generated inputs'
+//! case number instead of a minimized example.
+
+use std::ops::Range;
+
+/// Runner configuration (subset).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest defaults to 256; the vendored runner uses a
+        // smaller default so unconfigured property tests stay fast on
+        // the single-core CI machine. Tests that need a specific count
+        // set it via `ProptestConfig::with_cases`.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Deterministic per-test RNG (SplitMix64 keyed by the test name).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates an RNG keyed by the test name so each property test gets
+    /// a stable, independent stream.
+    pub fn for_test(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng { state: h }
+    }
+
+    /// Next 64 random bits (SplitMix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform in `[0, bound)`; `bound` must be positive.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+}
+
+/// A generator of values for property tests.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Draws one value from a strategy (used by the `proptest!` expansion,
+/// which only holds the strategy expression by reference).
+pub fn sample<S: Strategy>(strategy: &S, rng: &mut TestRng) -> S::Value {
+    strategy.generate(rng)
+}
+
+/// The `prop_map` adapter.
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let lo = self.start;
+                let hi = self.end;
+                assert!(lo < hi, "empty float strategy range");
+                let v = lo + (rng.next_f64() as $t) * (hi - lo);
+                if v < hi { v } else { lo }
+            }
+        }
+    )*};
+}
+
+float_range_strategy!(f64, f32);
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let span = self.end.wrapping_sub(self.start) as u64;
+                assert!(span > 0, "empty integer strategy range");
+                self.start.wrapping_add(rng.below(span) as $t)
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategy {
+    ($(($($t:ident . $n:tt),+))*) => {$(
+        impl<$($t: Strategy),+> Strategy for ($($t,)+) {
+            type Value = ($($t::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$n.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+/// Character-class string strategy: a `&'static str` of the shape
+/// `[chars]{lo,hi}` is interpreted as "`lo..=hi` characters drawn from
+/// the class" (ranges like `a-z` supported, a trailing `-` is literal).
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (class, lo, hi) = parse_char_class(self);
+        let len = lo + rng.below((hi - lo + 1) as u64) as usize;
+        (0..len)
+            .map(|_| class[rng.below(class.len() as u64) as usize])
+            .collect()
+    }
+}
+
+fn parse_char_class(pattern: &str) -> (Vec<char>, usize, usize) {
+    let open = pattern.find('[');
+    let close = pattern.find(']');
+    let (Some(open), Some(close)) = (open, close) else {
+        // Not a class pattern: treat the whole string as a literal.
+        return (
+            pattern.chars().collect::<Vec<_>>(),
+            pattern.chars().count(),
+            pattern.chars().count(),
+        );
+    };
+    let class_src: Vec<char> = pattern[open + 1..close].chars().collect();
+    let mut class = Vec::new();
+    let mut i = 0;
+    while i < class_src.len() {
+        if i + 2 < class_src.len() && class_src[i + 1] == '-' {
+            let (a, b) = (class_src[i], class_src[i + 2]);
+            for c in a..=b {
+                class.push(c);
+            }
+            i += 3;
+        } else {
+            class.push(class_src[i]);
+            i += 1;
+        }
+    }
+    assert!(!class.is_empty(), "empty character class in {pattern:?}");
+    // Repetition: {lo,hi} (defaults to exactly one).
+    let (mut lo, mut hi) = (1usize, 1usize);
+    if let (Some(bo), Some(bc)) = (pattern.find('{'), pattern.find('}')) {
+        let reps = &pattern[bo + 1..bc];
+        if let Some((a, b)) = reps.split_once(',') {
+            lo = a.trim().parse().expect("bad repetition lower bound");
+            hi = b.trim().parse().expect("bad repetition upper bound");
+        } else {
+            lo = reps.trim().parse().expect("bad repetition count");
+            hi = lo;
+        }
+    }
+    (class, lo, hi)
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// A `Vec` strategy: `size` elements (sampled uniformly from the
+    /// half-open range) each drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty vec size range");
+        VecStrategy { element, size }
+    }
+
+    /// See [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.end - self.size.start) as u64;
+            let len = self.size.start + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Test-runner types (API-compat module path).
+pub mod test_runner {
+    pub use super::{ProptestConfig, TestRng};
+}
+
+/// Strategy types (API-compat module path).
+pub mod strategy {
+    pub use super::{Just, Map, Strategy};
+}
+
+/// The common imports.
+pub mod prelude {
+    pub use super::collection;
+    pub use super::{Just, ProptestConfig, Strategy, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Property-test entry macro (subset of proptest's).
+///
+/// Each case runs in a closure so `prop_assume!` can skip the rest of a
+/// case with `return`. Failures panic immediately (no shrinking).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!(($cfg); $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!(($crate::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr);) => {};
+    (
+        ($cfg:expr);
+        $(#[$meta:meta])*
+        fn $name:ident($($p:pat in $s:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let mut __rng = $crate::TestRng::for_test(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..__config.cases {
+                let mut __run = || {
+                    $(let $p = $crate::sample(&$s, &mut __rng);)+
+                    let _ = &__case;
+                    $body
+                };
+                __run();
+            }
+        }
+        $crate::__proptest_items!(($cfg); $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// Skips the rest of the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::for_test("bounds");
+        for _ in 0..200 {
+            let f = crate::sample(&(1.5f64..2.5), &mut rng);
+            assert!((1.5..2.5).contains(&f));
+            let u = crate::sample(&(3usize..9), &mut rng);
+            assert!((3..9).contains(&u));
+            let i = crate::sample(&(-5i64..5), &mut rng);
+            assert!((-5..5).contains(&i));
+        }
+    }
+
+    #[test]
+    fn char_class_strategy_matches_shape() {
+        let mut rng = TestRng::for_test("class");
+        for _ in 0..100 {
+            let s = crate::sample(&"[a-c9=./-]{0,12}", &mut rng);
+            assert!(s.len() <= 12);
+            assert!(s.chars().all(|c| "abc9=./-".contains(c)));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_with_config_and_tuples((a, b) in (0u64..10, 0.0f64..1.0), v in collection::vec(0i32..3, 1..4)) {
+            prop_assume!(a != 9);
+            prop_assert!(a < 10);
+            prop_assert!((0.0..1.0).contains(&b));
+            prop_assert_eq!(v.len(), v.len());
+            prop_assert!(!v.is_empty());
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_without_config(x in -1.0f64..1.0) {
+            prop_assert!(x.abs() <= 1.0);
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! ChaCha12 block cipher core, matching `rand_chacha` 0.3 output.
+//!
+//! `StdRng` in rand 0.8 is `ChaCha12Rng`: a ChaCha stream with 12
+//! rounds, a 64-bit block counter in state words 12–13 and a 64-bit
+//! stream id in words 14–15, buffered four 64-byte blocks at a time
+//! through `rand_core`'s `BlockRng`. This module reproduces that
+//! construction exactly so seeded streams are bit-identical to the
+//! crates.io implementation (the workspace's golden tests pin values
+//! from it).
+
+/// Number of `u32` results buffered per refill (four ChaCha blocks).
+const BUF_WORDS: usize = 64;
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// The raw ChaCha12 keystream generator.
+#[derive(Clone, Debug)]
+struct ChaCha12Core {
+    /// Key words (state words 4..12).
+    key: [u32; 8],
+    /// 64-bit block counter (state words 12..14).
+    counter: u64,
+    /// 64-bit stream id (state words 14..16).
+    stream: u64,
+}
+
+impl ChaCha12Core {
+    fn from_seed(seed: [u8; 32]) -> Self {
+        let mut key = [0u32; 8];
+        for (i, k) in key.iter_mut().enumerate() {
+            *k = u32::from_le_bytes(seed[4 * i..4 * i + 4].try_into().unwrap());
+        }
+        Self {
+            key,
+            counter: 0,
+            stream: 0,
+        }
+    }
+
+    /// Writes one 64-byte block for the current counter into `out`.
+    fn block(&self, counter: u64, out: &mut [u32]) {
+        let mut state = [0u32; 16];
+        state[0] = 0x6170_7865;
+        state[1] = 0x3320_646e;
+        state[2] = 0x7962_2d32;
+        state[3] = 0x6b20_6574;
+        state[4..12].copy_from_slice(&self.key);
+        state[12] = counter as u32;
+        state[13] = (counter >> 32) as u32;
+        state[14] = self.stream as u32;
+        state[15] = (self.stream >> 32) as u32;
+        let mut working = state;
+        for _ in 0..6 {
+            // One double round = a column round + a diagonal round.
+            quarter_round(&mut working, 0, 4, 8, 12);
+            quarter_round(&mut working, 1, 5, 9, 13);
+            quarter_round(&mut working, 2, 6, 10, 14);
+            quarter_round(&mut working, 3, 7, 11, 15);
+            quarter_round(&mut working, 0, 5, 10, 15);
+            quarter_round(&mut working, 1, 6, 11, 12);
+            quarter_round(&mut working, 2, 7, 8, 13);
+            quarter_round(&mut working, 3, 4, 9, 14);
+        }
+        for i in 0..16 {
+            out[i] = working[i].wrapping_add(state[i]);
+        }
+    }
+
+    /// Refills the 64-word result buffer (4 consecutive blocks).
+    fn generate(&mut self, results: &mut [u32; BUF_WORDS]) {
+        for b in 0..4 {
+            let counter = self.counter.wrapping_add(b as u64);
+            self.block(counter, &mut results[16 * b..16 * (b + 1)]);
+        }
+        self.counter = self.counter.wrapping_add(4);
+    }
+}
+
+/// `ChaCha12Rng` ≡ rand 0.8's `StdRng`: the core above driven through
+/// the exact `BlockRng` buffering logic of `rand_core` 0.6.
+#[derive(Clone, Debug)]
+pub struct ChaCha12Rng {
+    core: ChaCha12Core,
+    results: [u32; BUF_WORDS],
+    index: usize,
+}
+
+impl ChaCha12Rng {
+    pub fn from_seed(seed: [u8; 32]) -> Self {
+        Self {
+            core: ChaCha12Core::from_seed(seed),
+            results: [0u32; BUF_WORDS],
+            // Past the end: the first draw triggers a refill.
+            index: BUF_WORDS,
+        }
+    }
+
+    #[inline]
+    fn generate_and_set(&mut self, index: usize) {
+        self.core.generate(&mut self.results);
+        self.index = index;
+    }
+
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        if self.index >= BUF_WORDS {
+            self.generate_and_set(0);
+        }
+        let value = self.results[self.index];
+        self.index += 1;
+        value
+    }
+
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let read_u64 = |results: &[u32; BUF_WORDS], index: usize| {
+            (u64::from(results[index + 1]) << 32) | u64::from(results[index])
+        };
+        let index = self.index;
+        if index < BUF_WORDS - 1 {
+            self.index += 2;
+            read_u64(&self.results, index)
+        } else if index >= BUF_WORDS {
+            self.generate_and_set(2);
+            read_u64(&self.results, 0)
+        } else {
+            // One word left: combine it with the first of the next buffer.
+            let x = u64::from(self.results[BUF_WORDS - 1]);
+            self.generate_and_set(1);
+            x | (u64::from(self.results[0]) << 32)
+        }
+    }
+
+    pub fn fill_bytes(&mut self, dest: &mut [u8]) {
+        // Byte-for-byte equivalent of BlockRng::fill_bytes: consume
+        // whole or partial u32 words little-endian.
+        let mut i = 0;
+        while i < dest.len() {
+            if self.index >= BUF_WORDS {
+                self.generate_and_set(0);
+            }
+            let avail = &self.results[self.index..];
+            let mut consumed = 0usize;
+            for word in avail {
+                let bytes = word.to_le_bytes();
+                let take = (dest.len() - i).min(4);
+                dest[i..i + take].copy_from_slice(&bytes[..take]);
+                i += take;
+                if take < 4 {
+                    // Partial word: rand_core still advances a full word.
+                    consumed += 1;
+                    break;
+                }
+                consumed += 1;
+                if i == dest.len() {
+                    break;
+                }
+            }
+            self.index += consumed;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chacha_blocks_are_deterministic_and_distinct() {
+        let mut a = ChaCha12Rng::from_seed([7u8; 32]);
+        let mut b = ChaCha12Rng::from_seed([7u8; 32]);
+        let mut c = ChaCha12Rng::from_seed([8u8; 32]);
+        for _ in 0..200 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let same = (0..64).filter(|_| a.next_u64() == c.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+}

@@ -1,0 +1,73 @@
+//! The `Standard` distribution (subset of `rand::distributions`).
+
+use crate::RngCore;
+
+/// A distribution that can sample values of type `T`.
+pub trait Distribution<T> {
+    fn sample<R: crate::Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The standard distribution: uniform over a type's natural domain
+/// (`[0, 1)` for floats, all values for integers and `bool`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+macro_rules! standard_uint_from_u32 {
+    ($($t:ty),*) => {$(
+        impl Distribution<$t> for Standard {
+            #[inline]
+            fn sample<R: crate::Rng + ?Sized>(&self, rng: &mut R) -> $t {
+                RngCore::next_u32(rng) as $t
+            }
+        }
+    )*};
+}
+macro_rules! standard_uint_from_u64 {
+    ($($t:ty),*) => {$(
+        impl Distribution<$t> for Standard {
+            #[inline]
+            fn sample<R: crate::Rng + ?Sized>(&self, rng: &mut R) -> $t {
+                RngCore::next_u64(rng) as $t
+            }
+        }
+    )*};
+}
+
+standard_uint_from_u32!(u8, u16, u32, i8, i16, i32);
+standard_uint_from_u64!(u64, i64, usize, isize);
+
+impl Distribution<u128> for Standard {
+    #[inline]
+    fn sample<R: crate::Rng + ?Sized>(&self, rng: &mut R) -> u128 {
+        // rand 0.8: high word first.
+        let hi = RngCore::next_u64(rng) as u128;
+        let lo = RngCore::next_u64(rng) as u128;
+        (hi << 64) | lo
+    }
+}
+
+impl Distribution<bool> for Standard {
+    #[inline]
+    fn sample<R: crate::Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        // rand 0.8: sign-bit test on a u32 draw.
+        (RngCore::next_u32(rng) as i32) < 0
+    }
+}
+
+impl Distribution<f64> for Standard {
+    /// Multiply-based conversion with 53 bits of precision, as in rand
+    /// 0.8's `distributions::float`.
+    #[inline]
+    fn sample<R: crate::Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let value = RngCore::next_u64(rng) >> (64 - 53);
+        value as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    #[inline]
+    fn sample<R: crate::Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+        let value = RngCore::next_u32(rng) >> (32 - 24);
+        value as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}

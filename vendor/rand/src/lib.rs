@@ -1,0 +1,126 @@
+//! Offline vendored subset of the `rand` 0.8 API.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! ships the slice of `rand` it actually uses. The implementation is
+//! deliberately bit-compatible with rand 0.8.5 for everything the
+//! golden regression tests exercise:
+//!
+//! * `StdRng` is ChaCha12 via `rand_core`'s `BlockRng` buffering
+//!   ([`chacha`]), seeded through the PCG32-based `seed_from_u64`;
+//! * `Rng::gen::<f64>()` is the 53-bit multiply-based `Standard`
+//!   distribution;
+//! * `Rng::gen_range` reproduces `UniformFloat::sample_single[_inclusive]`
+//!   and `UniformInt`'s widening-multiply rejection sampling;
+//! * `seq::SliceRandom::shuffle` is the same reverse Fisher–Yates.
+//!
+//! Anything the workspace does not call is simply absent.
+
+mod chacha;
+pub mod uniform;
+
+pub mod distributions;
+pub mod rngs;
+pub mod seq;
+
+pub use distributions::{Distribution, Standard};
+
+/// Low-level source of randomness (subset of `rand_core::RngCore`).
+pub trait RngCore {
+    fn next_u32(&mut self) -> u32;
+    fn next_u64(&mut self) -> u64;
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    #[inline]
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for Box<R> {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    #[inline]
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// User-facing random value generation (subset of `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Samples via the `Standard` distribution.
+    #[inline]
+    fn gen<T>(&mut self) -> T
+    where
+        Standard: Distribution<T>,
+    {
+        Standard.sample(self)
+    }
+
+    /// Uniform sample from a range, matching rand 0.8's
+    /// `sample_single` / `sample_single_inclusive`.
+    #[inline]
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: uniform::SampleUniform,
+        R: uniform::SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Bernoulli trial with success probability `p`.
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p={p} outside [0,1]");
+        // rand 0.8 Bernoulli: compare 64-bit draw against p·2⁶⁴.
+        if p == 1.0 {
+            return true;
+        }
+        let p_int = (p * (1u64 << 32) as f64 * (1u64 << 32) as f64) as u64;
+        self.next_u64() < p_int
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Seedable RNGs (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// rand_core 0.6's default: fill the seed with a PCG32 stream
+    /// started from `state`. Bit-identical to the crates.io version.
+    fn seed_from_u64(mut state: u64) -> Self {
+        fn pcg32(state: &mut u64) -> [u8; 4] {
+            const MUL: u64 = 6364136223846793005;
+            const INC: u64 = 11634580027462260723;
+            *state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let s = *state;
+            let xorshifted = (((s >> 18) ^ s) >> 27) as u32;
+            let rot = (s >> 59) as u32;
+            xorshifted.rotate_right(rot).to_le_bytes()
+        }
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            let x = pcg32(&mut state);
+            chunk.copy_from_slice(&x[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}

@@ -1,0 +1,31 @@
+//! Named RNGs (subset of `rand::rngs`).
+
+use crate::chacha::ChaCha12Rng;
+use crate::{RngCore, SeedableRng};
+
+/// The standard RNG: ChaCha with 12 rounds, exactly as rand 0.8.
+#[derive(Clone, Debug)]
+pub struct StdRng(ChaCha12Rng);
+
+impl RngCore for StdRng {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        self.0.next_u32()
+    }
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+    #[inline]
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.0.fill_bytes(dest)
+    }
+}
+
+impl SeedableRng for StdRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        Self(ChaCha12Rng::from_seed(seed))
+    }
+}

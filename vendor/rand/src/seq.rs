@@ -1,0 +1,33 @@
+//! Slice utilities (subset of `rand::seq`).
+
+use crate::Rng;
+
+/// Random operations on slices (subset of `rand::seq::SliceRandom`).
+pub trait SliceRandom {
+    type Item;
+
+    /// In-place Fisher–Yates shuffle, identical draw order to rand 0.8
+    /// (reverse walk, inclusive index sampling).
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+
+    /// A uniformly random element, or `None` if empty.
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            self.swap(i, rng.gen_range(0..=i));
+        }
+    }
+
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[rng.gen_range(0..self.len())])
+        }
+    }
+}

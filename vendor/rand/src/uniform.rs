@@ -1,0 +1,172 @@
+//! Range sampling, matching rand 0.8.5's `UniformInt` / `UniformFloat`
+//! single-sample paths bit-for-bit.
+
+use crate::RngCore;
+use std::ops::{Range, RangeInclusive};
+
+/// Types that can be sampled uniformly from a range.
+pub trait SampleUniform: Sized + PartialOrd {
+    fn sample_single<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+    fn sample_single_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+}
+
+/// Ranges accepted by [`crate::Rng::gen_range`].
+pub trait SampleRange<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    #[inline]
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_single(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform + Copy> SampleRange<T> for RangeInclusive<T> {
+    #[inline]
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_single_inclusive(*self.start(), *self.end(), rng)
+    }
+}
+
+macro_rules! uniform_float_impl {
+    ($ty:ty, $next:ident, $bits_to_discard:expr, $exp_one:expr, $fraction_bits:expr) => {
+        impl SampleUniform for $ty {
+            fn sample_single<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                debug_assert!(low < high, "UniformSampler::sample_single: low >= high");
+                let mut scale = high - low;
+                assert!(
+                    scale.is_finite(),
+                    "UniformSampler::sample_single: range overflow"
+                );
+                loop {
+                    // A value in [1, 2): exponent 0, random fraction.
+                    let fraction = rng.$next() >> $bits_to_discard;
+                    let value1_2 = <$ty>::from_bits(fraction | $exp_one);
+                    // Shift to [0, 1) before scaling to avoid overflow;
+                    // the subtraction is exact (Sterbenz) and this is the
+                    // exact rounding order rand 0.8.5 uses here.
+                    let value0_1 = value1_2 - 1.0;
+                    let res = value0_1 * scale + low;
+                    if res < high {
+                        return res;
+                    }
+                    // Rounding landed on/above `high` (rare): shrink the
+                    // scale one ulp and retry, as upstream does.
+                    scale = <$ty>::from_bits(scale.to_bits() - 1);
+                }
+            }
+
+            fn sample_single_inclusive<R: RngCore + ?Sized>(
+                low: Self,
+                high: Self,
+                rng: &mut R,
+            ) -> Self {
+                debug_assert!(
+                    low <= high,
+                    "UniformSampler::sample_single_inclusive: low > high"
+                );
+                // Stretch so the largest fraction maps onto `high`.
+                let scale = (high - low) / (1.0 as $ty - <$ty>::EPSILON / 2.0);
+                debug_assert!(
+                    scale >= 0.0,
+                    "UniformSampler::sample_single_inclusive: range overflow"
+                );
+                loop {
+                    let fraction = rng.$next() >> $bits_to_discard;
+                    let value1_2 = <$ty>::from_bits(fraction | $exp_one);
+                    let value0_1 = value1_2 - 1.0;
+                    let res = value0_1 * scale + low;
+                    // Upstream redraws on overshoot (p ≈ 2⁻⁶⁴).
+                    if res <= high {
+                        return res;
+                    }
+                }
+            }
+        }
+    };
+}
+
+// f64: discard 12 bits, exponent bits for 1.0 are 0x3FF << 52.
+uniform_float_impl!(f64, next_u64, 12, 0x3FFu64 << 52, 52);
+// f32: discard 9 bits, exponent bits for 1.0f32 are 0x7F << 23.
+uniform_float_impl!(f32, next_u32, 9, 0x7Fu32 << 23, 23);
+
+#[inline(always)]
+fn wmul_u32(a: u32, b: u32) -> (u32, u32) {
+    let full = a as u64 * b as u64;
+    ((full >> 32) as u32, full as u32)
+}
+
+#[inline(always)]
+fn wmul_u64(a: u64, b: u64) -> (u64, u64) {
+    let full = a as u128 * b as u128;
+    ((full >> 64) as u64, full as u64)
+}
+
+macro_rules! uniform_int_impl {
+    ($ty:ty, $unsigned:ty, $u_large:ty, $wmul:ident, $next:ident) => {
+        impl SampleUniform for $ty {
+            #[inline]
+            fn sample_single<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                assert!(low < high, "UniformSampler::sample_single: low >= high");
+                Self::sample_single_inclusive(low, high - 1, rng)
+            }
+
+            fn sample_single_inclusive<R: RngCore + ?Sized>(
+                low: Self,
+                high: Self,
+                rng: &mut R,
+            ) -> Self {
+                assert!(
+                    low <= high,
+                    "UniformSampler::sample_single_inclusive: low > high"
+                );
+                let range = (high as $unsigned)
+                    .wrapping_sub(low as $unsigned)
+                    .wrapping_add(1) as $u_large;
+                // Range 0 means the whole domain: accept any draw.
+                if range == 0 {
+                    return rng.$next() as $ty;
+                }
+                // Widening-multiply rejection zone, as in rand 0.8.5.
+                let zone = (range << range.leading_zeros()).wrapping_sub(1);
+                loop {
+                    let v: $u_large = rng.$next() as $u_large;
+                    let (hi, lo) = $wmul(v, range);
+                    if lo <= zone {
+                        return low.wrapping_add(hi as $ty);
+                    }
+                }
+            }
+        }
+    };
+}
+
+uniform_int_impl!(u32, u32, u32, wmul_u32, next_u32);
+uniform_int_impl!(i32, u32, u32, wmul_u32, next_u32);
+uniform_int_impl!(u64, u64, u64, wmul_u64, next_u64);
+uniform_int_impl!(i64, u64, u64, wmul_u64, next_u64);
+uniform_int_impl!(usize, usize, u64, wmul_u64, next_u64);
+uniform_int_impl!(isize, usize, u64, wmul_u64, next_u64);
+
+#[cfg(test)]
+mod tests {
+    use crate::rngs::StdRng;
+    use crate::{Rng, SeedableRng};
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..2000 {
+            let x: f64 = rng.gen_range(3.0..7.0);
+            assert!((3.0..7.0).contains(&x));
+            let y: usize = rng.gen_range(0..13);
+            assert!(y < 13);
+            let z: f64 = rng.gen_range(5.0..=20.0);
+            assert!((5.0..=20.0).contains(&z));
+            let w: u32 = rng.gen_range(0..=6);
+            assert!(w <= 6);
+        }
+    }
+}

@@ -1,0 +1,465 @@
+//! Offline vendored subset of the `rayon` API.
+//!
+//! The build environment has no crates.io access, so the workspace
+//! ships the small slice of rayon it uses, implemented with
+//! `std::thread::scope` instead of a work-stealing pool:
+//!
+//! * `(a..b).into_par_iter()` over integer ranges, with `map`,
+//!   `fold(..).reduce(..)`, `collect::<Vec<_>>()`, `for_each`, `sum`;
+//! * `slice.par_chunks_mut(n)` with `enumerate().for_each(..)`;
+//! * [`join`].
+//!
+//! Work is split into contiguous chunks, one per available core, and
+//! results are stitched back in input order, so `collect` is
+//! position-stable and `fold → reduce` merges partials in a
+//! deterministic order (the workspace's accumulators merge exactly, so
+//! results are bit-identical to sequential execution either way).
+
+use std::num::NonZeroUsize;
+
+pub mod prelude {
+    pub use crate::{
+        IndexedParallelIterator, IntoParallelIterator, ParChunksMut, ParallelIterator,
+        ParallelSliceMut,
+    };
+}
+
+/// Number of worker threads used for parallel calls.
+fn threads() -> usize {
+    std::thread::available_parallelism().map_or(1, NonZeroUsize::get)
+}
+
+/// Runs both closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if threads() <= 1 {
+        let ra = a();
+        let rb = b();
+        return (ra, rb);
+    }
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        let rb = hb.join().expect("rayon::join worker panicked");
+        (ra, rb)
+    })
+}
+
+/// Splits `len` items into at most `threads()` contiguous chunks.
+fn chunk_bounds(len: usize) -> Vec<(usize, usize)> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let workers = threads().min(len);
+    let base = len / workers;
+    let extra = len % workers;
+    let mut bounds = Vec::with_capacity(workers);
+    let mut start = 0;
+    for w in 0..workers {
+        let size = base + usize::from(w < extra);
+        bounds.push((start, start + size));
+        start += size;
+    }
+    bounds
+}
+
+/// Runs `f(chunk_range)` for every chunk on scoped threads and returns
+/// the per-chunk outputs in input order.
+fn run_chunks<T, F>(len: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, usize) -> T + Sync,
+{
+    let bounds = chunk_bounds(len);
+    if bounds.len() <= 1 {
+        return bounds.into_iter().map(|(lo, hi)| f(lo, hi)).collect();
+    }
+    std::thread::scope(|s| {
+        let f = &f;
+        let handles: Vec<_> = bounds
+            .iter()
+            .map(|&(lo, hi)| s.spawn(move || f(lo, hi)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rayon worker panicked"))
+            .collect()
+    })
+}
+
+/// Conversion into a parallel iterator.
+pub trait IntoParallelIterator {
+    type Item: Send;
+    type Iter: ParallelIterator<Item = Self::Item>;
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// A data-parallel iterator over an indexable source.
+///
+/// Unlike real rayon this is driven through a single primitive:
+/// [`ParallelIterator::chunked_fold`], which every adapter and terminal
+/// method is written against.
+pub trait ParallelIterator: Sized + Send + Sync {
+    type Item: Send;
+
+    /// Number of items.
+    fn par_len(&self) -> usize;
+
+    /// Produces the item at `index`. Must be safe to call concurrently
+    /// for distinct indices.
+    fn item_at(&self, index: usize) -> Self::Item;
+
+    /// Maps each item through `f`.
+    fn map<F, R>(self, f: F) -> Map<Self, F>
+    where
+        F: Fn(Self::Item) -> R + Sync + Send,
+        R: Send,
+    {
+        Map { base: self, f }
+    }
+
+    /// Parallel fold: every chunk starts from `identity()` and folds
+    /// its items; the per-chunk accumulators are then combined with
+    /// [`FoldReduce::reduce`].
+    fn fold<T, ID, F>(self, identity: ID, fold_op: F) -> FoldReduce<Self, ID, F>
+    where
+        T: Send,
+        ID: Fn() -> T + Sync + Send,
+        F: Fn(T, Self::Item) -> T + Sync + Send,
+    {
+        FoldReduce {
+            base: self,
+            identity,
+            fold_op,
+        }
+    }
+
+    /// Runs `f` on every item.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync + Send,
+    {
+        let len = self.par_len();
+        let this = &self;
+        run_chunks(len, |lo, hi| {
+            for i in lo..hi {
+                f(this.item_at(i));
+            }
+        });
+    }
+
+    /// Collects into a container (only `Vec<T>` is supported).
+    fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<Self::Item>,
+    {
+        C::from_par_iter(self)
+    }
+
+    /// Sums the items.
+    fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<Self::Item> + std::iter::Sum<S> + Send,
+    {
+        let len = self.par_len();
+        let this = &self;
+        run_chunks(len, |lo, hi| (lo..hi).map(|i| this.item_at(i)).sum::<S>())
+            .into_iter()
+            .sum()
+    }
+
+    /// Counts the items.
+    fn count(self) -> usize {
+        self.par_len()
+    }
+
+    /// Pairs every item with its index.
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { base: self }
+    }
+}
+
+/// Marker trait mirroring rayon's indexed iterator hierarchy.
+pub trait IndexedParallelIterator: ParallelIterator {}
+impl<T: ParallelIterator> IndexedParallelIterator for T {}
+
+/// Collection types buildable from a parallel iterator.
+pub trait FromParallelIterator<T: Send> {
+    fn from_par_iter<I: ParallelIterator<Item = T>>(iter: I) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<I: ParallelIterator<Item = T>>(iter: I) -> Self {
+        let len = iter.par_len();
+        let this = &iter;
+        let chunks = run_chunks(len, |lo, hi| {
+            (lo..hi).map(|i| this.item_at(i)).collect::<Vec<_>>()
+        });
+        let mut out = Vec::with_capacity(len);
+        for c in chunks {
+            out.extend(c);
+        }
+        out
+    }
+}
+
+/// Parallel iterator over an integer range.
+pub struct RangeIter<T> {
+    start: T,
+    len: usize,
+}
+
+macro_rules! range_iter_impl {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Item = $t;
+            type Iter = RangeIter<$t>;
+            fn into_par_iter(self) -> RangeIter<$t> {
+                let len = if self.end > self.start {
+                    (self.end - self.start) as usize
+                } else {
+                    0
+                };
+                RangeIter { start: self.start, len }
+            }
+        }
+
+        impl ParallelIterator for RangeIter<$t> {
+            type Item = $t;
+            fn par_len(&self) -> usize {
+                self.len
+            }
+            fn item_at(&self, index: usize) -> $t {
+                self.start + index as $t
+            }
+        }
+    )*};
+}
+
+range_iter_impl!(u32, u64, usize, i32, i64);
+
+/// Parallel iterator over an owned `Vec` (items must be cloned out, so
+/// `T: Clone`; the workspace only uses this for cheap value types).
+pub struct VecIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send + Sync + Clone> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = VecIter<T>;
+    fn into_par_iter(self) -> VecIter<T> {
+        VecIter { items: self }
+    }
+}
+
+impl<T: Send + Sync + Clone> ParallelIterator for VecIter<T> {
+    type Item = T;
+    fn par_len(&self) -> usize {
+        self.items.len()
+    }
+    fn item_at(&self, index: usize) -> T {
+        self.items[index].clone()
+    }
+}
+
+/// The `map` adapter.
+pub struct Map<I, F> {
+    base: I,
+    f: F,
+}
+
+impl<I, F, R> ParallelIterator for Map<I, F>
+where
+    I: ParallelIterator,
+    F: Fn(I::Item) -> R + Sync + Send,
+    R: Send,
+{
+    type Item = R;
+    fn par_len(&self) -> usize {
+        self.base.par_len()
+    }
+    fn item_at(&self, index: usize) -> R {
+        (self.f)(self.base.item_at(index))
+    }
+}
+
+/// The `enumerate` adapter.
+pub struct Enumerate<I> {
+    base: I,
+}
+
+impl<I: ParallelIterator> ParallelIterator for Enumerate<I> {
+    type Item = (usize, I::Item);
+    fn par_len(&self) -> usize {
+        self.base.par_len()
+    }
+    fn item_at(&self, index: usize) -> (usize, I::Item) {
+        (index, self.base.item_at(index))
+    }
+}
+
+/// Pending `fold`, waiting for its `reduce`.
+pub struct FoldReduce<I, ID, F> {
+    base: I,
+    identity: ID,
+    fold_op: F,
+}
+
+impl<I, T, ID, F> FoldReduce<I, ID, F>
+where
+    I: ParallelIterator,
+    T: Send,
+    ID: Fn() -> T + Sync + Send,
+    F: Fn(T, I::Item) -> T + Sync + Send,
+{
+    /// Combines the per-chunk accumulators in input order.
+    pub fn reduce<RID, R>(self, reduce_identity: RID, reduce_op: R) -> T
+    where
+        RID: Fn() -> T + Sync + Send,
+        R: Fn(T, T) -> T + Sync + Send,
+    {
+        let len = self.base.par_len();
+        let base = &self.base;
+        let identity = &self.identity;
+        let fold_op = &self.fold_op;
+        let partials = run_chunks(len, |lo, hi| {
+            let mut acc = identity();
+            for i in lo..hi {
+                acc = fold_op(acc, base.item_at(i));
+            }
+            acc
+        });
+        partials.into_iter().fold(reduce_identity(), &reduce_op)
+    }
+}
+
+/// Mutable chunk splitting for slices (subset of `ParallelSliceMut`).
+pub trait ParallelSliceMut<T: Send> {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ParChunksMut {
+            slice: self,
+            chunk_size,
+        }
+    }
+}
+
+/// Parallel iterator over mutable chunks of a slice.
+///
+/// Mutable borrows cannot go through the shared `item_at` primitive,
+/// so this type provides its own `enumerate().for_each(..)` pipeline
+/// (the only shape the workspace uses).
+pub struct ParChunksMut<'a, T> {
+    slice: &'a mut [T],
+    chunk_size: usize,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    pub fn enumerate(self) -> ParChunksMutEnumerate<'a, T> {
+        ParChunksMutEnumerate { inner: self }
+    }
+
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut [T]) + Sync + Send,
+    {
+        self.enumerate().for_each(|(_, chunk)| f(chunk));
+    }
+}
+
+/// Enumerated mutable chunks.
+pub struct ParChunksMutEnumerate<'a, T> {
+    inner: ParChunksMut<'a, T>,
+}
+
+impl<T: Send> ParChunksMutEnumerate<'_, T> {
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &mut [T])) + Sync + Send,
+    {
+        let chunks: Vec<(usize, &mut [T])> = self
+            .inner
+            .slice
+            .chunks_mut(self.inner.chunk_size)
+            .enumerate()
+            .collect();
+        if threads() <= 1 || chunks.len() <= 1 {
+            for pair in chunks {
+                f(pair);
+            }
+            return;
+        }
+        // Distribute the chunks round-robin over the workers.
+        let workers = threads().min(chunks.len());
+        let mut per_worker: Vec<Vec<(usize, &mut [T])>> = Vec::new();
+        for _ in 0..workers {
+            per_worker.push(Vec::new());
+        }
+        for (k, pair) in chunks.into_iter().enumerate() {
+            per_worker[k % workers].push(pair);
+        }
+        std::thread::scope(|s| {
+            let mut handles = Vec::new();
+            for batch in per_worker {
+                let f = &f;
+                handles.push(s.spawn(move || {
+                    for pair in batch {
+                        f(pair);
+                    }
+                }));
+            }
+            for h in handles {
+                h.join().expect("rayon worker panicked");
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<u64> = (0u64..1000).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(v, (0u64..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fold_reduce_sums() {
+        let total = (0u64..10_000)
+            .into_par_iter()
+            .fold(|| 0u64, |acc, x| acc + x)
+            .reduce(|| 0u64, |a, b| a + b);
+        assert_eq!(total, 10_000 * 9_999 / 2);
+    }
+
+    #[test]
+    fn par_chunks_mut_touches_every_chunk() {
+        let mut data = vec![0usize; 64];
+        data.par_chunks_mut(8).enumerate().for_each(|(i, chunk)| {
+            for v in chunk.iter_mut() {
+                *v = i + 1;
+            }
+        });
+        assert!(data.iter().all(|&v| v > 0));
+        assert_eq!(data[0], 1);
+        assert_eq!(data[63], 8);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = crate::join(|| 1 + 1, || "x".to_string());
+        assert_eq!(a, 2);
+        assert_eq!(b, "x");
+    }
+}

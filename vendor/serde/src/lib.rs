@@ -1,0 +1,346 @@
+//! Offline vendored subset of the `serde` API.
+//!
+//! The build environment has no crates.io access, so the workspace
+//! ships a minimal serde replacement. Instead of serde's
+//! visitor-based zero-copy architecture, values serialize into an
+//! owned data-model tree ([`Node`]) and deserialize back out of one;
+//! `serde_json` renders and parses that tree. The externally visible
+//! behavior (derive on structs/enums, JSON shapes: newtype structs are
+//! transparent, enums are externally tagged) matches real serde for
+//! everything the workspace uses, so the shipped instance files parse
+//! unchanged.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+/// The serde data-model tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Node {
+    Null,
+    Bool(bool),
+    /// Negative integers.
+    I64(i64),
+    /// Non-negative integers.
+    U64(u64),
+    F64(f64),
+    Str(String),
+    Seq(Vec<Node>),
+    /// Key order is preserved (matches struct field order).
+    Map(Vec<(String, Node)>),
+}
+
+impl Node {
+    /// Looks up a key in a map node.
+    pub fn get(&self, key: &str) -> Option<&Node> {
+        match self {
+            Node::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            Node::Null => "null",
+            Node::Bool(_) => "bool",
+            Node::I64(_) | Node::U64(_) => "integer",
+            Node::F64(_) => "float",
+            Node::Str(_) => "string",
+            Node::Seq(_) => "sequence",
+            Node::Map(_) => "map",
+        }
+    }
+}
+
+/// Deserialization error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeError(pub String);
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+fn type_err<T>(expected: &str, got: &Node) -> Result<T, DeError> {
+    Err(DeError(format!(
+        "invalid type: expected {expected}, found {}",
+        got.kind()
+    )))
+}
+
+/// A value that can be rendered into the data model.
+pub trait Serialize {
+    fn serialize_node(&self) -> Node;
+}
+
+/// A value that can be rebuilt from the data model.
+pub trait Deserialize: Sized {
+    fn deserialize_node(node: &Node) -> Result<Self, DeError>;
+}
+
+// ---- primitive impls -------------------------------------------------
+
+macro_rules! serde_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_node(&self) -> Node {
+                Node::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_node(node: &Node) -> Result<Self, DeError> {
+                match node {
+                    Node::U64(v) => <$t>::try_from(*v)
+                        .map_err(|_| DeError(format!("integer {v} out of range"))),
+                    Node::I64(v) => <$t>::try_from(*v)
+                        .map_err(|_| DeError(format!("integer {v} out of range"))),
+                    other => type_err("integer", other),
+                }
+            }
+        }
+    )*};
+}
+
+macro_rules! serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_node(&self) -> Node {
+                let v = *self as i64;
+                if v < 0 { Node::I64(v) } else { Node::U64(v as u64) }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_node(node: &Node) -> Result<Self, DeError> {
+                match node {
+                    Node::U64(v) => <$t>::try_from(*v)
+                        .map_err(|_| DeError(format!("integer {v} out of range"))),
+                    Node::I64(v) => <$t>::try_from(*v)
+                        .map_err(|_| DeError(format!("integer {v} out of range"))),
+                    other => type_err("integer", other),
+                }
+            }
+        }
+    )*};
+}
+
+serde_uint!(u8, u16, u32, u64, usize);
+serde_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for bool {
+    fn serialize_node(&self) -> Node {
+        Node::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn deserialize_node(node: &Node) -> Result<Self, DeError> {
+        match node {
+            Node::Bool(b) => Ok(*b),
+            other => type_err("bool", other),
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize_node(&self) -> Node {
+        Node::F64(*self)
+    }
+}
+impl Deserialize for f64 {
+    fn deserialize_node(node: &Node) -> Result<Self, DeError> {
+        match node {
+            Node::F64(v) => Ok(*v),
+            Node::U64(v) => Ok(*v as f64),
+            Node::I64(v) => Ok(*v as f64),
+            other => type_err("float", other),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize_node(&self) -> Node {
+        Node::F64(f64::from(*self))
+    }
+}
+impl Deserialize for f32 {
+    fn deserialize_node(node: &Node) -> Result<Self, DeError> {
+        f64::deserialize_node(node).map(|v| v as f32)
+    }
+}
+
+impl Serialize for String {
+    fn serialize_node(&self) -> Node {
+        Node::Str(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn deserialize_node(node: &Node) -> Result<Self, DeError> {
+        match node {
+            Node::Str(s) => Ok(s.clone()),
+            other => type_err("string", other),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize_node(&self) -> Node {
+        Node::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn serialize_node(&self) -> Node {
+        Node::Str(self.to_string())
+    }
+}
+impl Deserialize for char {
+    fn deserialize_node(node: &Node) -> Result<Self, DeError> {
+        match node {
+            Node::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => type_err("single-character string", other),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_node(&self) -> Node {
+        (**self).serialize_node()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn serialize_node(&self) -> Node {
+        (**self).serialize_node()
+    }
+}
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize_node(node: &Node) -> Result<Self, DeError> {
+        T::deserialize_node(node).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_node(&self) -> Node {
+        match self {
+            None => Node::Null,
+            Some(v) => v.serialize_node(),
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_node(node: &Node) -> Result<Self, DeError> {
+        match node {
+            Node::Null => Ok(None),
+            other => T::deserialize_node(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_node(&self) -> Node {
+        Node::Seq(self.iter().map(Serialize::serialize_node).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_node(node: &Node) -> Result<Self, DeError> {
+        match node {
+            Node::Seq(items) => items.iter().map(T::deserialize_node).collect(),
+            other => type_err("sequence", other),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_node(&self) -> Node {
+        Node::Seq(self.iter().map(Serialize::serialize_node).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_node(&self) -> Node {
+        Node::Seq(self.iter().map(Serialize::serialize_node).collect())
+    }
+}
+
+macro_rules! serde_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize_node(&self) -> Node {
+                Node::Seq(vec![$(self.$n.serialize_node()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn deserialize_node(node: &Node) -> Result<Self, DeError> {
+                match node {
+                    Node::Seq(items) => {
+                        let expected = [$($n),+].len();
+                        if items.len() != expected {
+                            return Err(DeError(format!(
+                                "expected a tuple of {expected}, found {} elements",
+                                items.len()
+                            )));
+                        }
+                        Ok(($($t::deserialize_node(&items[$n])?,)+))
+                    }
+                    other => type_err("sequence", other),
+                }
+            }
+        }
+    )*};
+}
+
+serde_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn serialize_node(&self) -> Node {
+        Node::Map(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.serialize_node()))
+                .collect(),
+        )
+    }
+}
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn deserialize_node(node: &Node) -> Result<Self, DeError> {
+        match node {
+            Node::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::deserialize_node(v)?)))
+                .collect(),
+            other => type_err("map", other),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn serialize_node(&self) -> Node {
+        // Deterministic output: sort keys like a BTreeMap.
+        let mut entries: Vec<_> = self
+            .iter()
+            .map(|(k, v)| (k.clone(), v.serialize_node()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Node::Map(entries)
+    }
+}
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn deserialize_node(node: &Node) -> Result<Self, DeError> {
+        match node {
+            Node::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::deserialize_node(v)?)))
+                .collect(),
+            other => type_err("map", other),
+        }
+    }
+}

@@ -1,0 +1,409 @@
+//! Derive macros for the vendored serde subset.
+//!
+//! No `syn`/`quote` are available offline, so the input item is parsed
+//! directly from the `proc_macro` token stream and the impl is emitted
+//! as a source string. Supported shapes (everything this workspace
+//! derives on): named structs, tuple/newtype structs, unit structs, and
+//! enums with unit, newtype, tuple, and struct variants. Generic types
+//! and `#[serde(...)]` attributes are not supported.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive: generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive: generated invalid Deserialize impl")
+}
+
+// ---- item model ------------------------------------------------------
+
+enum Fields {
+    Unit,
+    /// Tuple struct/variant: number of unnamed fields.
+    Tuple(usize),
+    /// Named fields in declaration order.
+    Named(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+// ---- parsing ---------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes and visibility ahead of `struct` / `enum`.
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2, // #[...]
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                // pub(crate) / pub(in ...)
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected type name, found {other}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive: generic types are not supported (offline vendored stub)");
+    }
+
+    match kind.as_str() {
+        "struct" => {
+            let fields = match tokens.get(i) {
+                // `struct Name;`
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                None => Fields::Unit,
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(split_top_commas(g.stream()).len())
+                }
+                other => panic!("serde_derive: unexpected struct body {other:?}"),
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => {
+            let body = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("serde_derive: expected enum body, found {other:?}"),
+            };
+            let variants = split_top_commas(body)
+                .into_iter()
+                .filter(|v| !v.is_empty())
+                .map(parse_variant)
+                .collect();
+            Item::Enum { name, variants }
+        }
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    }
+}
+
+/// Splits a token list at top-level commas. Commas inside groups are
+/// never top-level; commas inside generic angle brackets are excluded
+/// by tracking `<`/`>` depth (angle brackets are punctuation, not
+/// groups).
+fn split_top_commas(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    let mut angle: i32 = 0;
+    for tt in stream {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                out.push(std::mem::take(&mut cur));
+                continue;
+            }
+            _ => {}
+        }
+        cur.push(tt);
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Extracts field names from `{ attrs? vis? name: Type, ... }` content.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    split_top_commas(stream)
+        .into_iter()
+        .filter(|f| !f.is_empty())
+        .map(|field| {
+            let mut last_ident = None;
+            for tt in &field {
+                match tt {
+                    TokenTree::Ident(id) => last_ident = Some(id.to_string()),
+                    TokenTree::Punct(p) if p.as_char() == ':' => break,
+                    _ => {}
+                }
+            }
+            last_ident.expect("serde_derive: field without a name")
+        })
+        .collect()
+}
+
+fn parse_variant(tokens: Vec<TokenTree>) -> Variant {
+    let mut i = 0;
+    while matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == '#') {
+        i += 2; // attribute: '#' + bracket group
+    }
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected variant name, found {other}"),
+    };
+    let fields = match tokens.get(i + 1) {
+        None => Fields::Unit,
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            Fields::Named(parse_named_fields(g.stream()))
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Fields::Tuple(split_top_commas(g.stream()).len())
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+            panic!("serde_derive: explicit discriminants are not supported")
+        }
+        other => panic!("serde_derive: unexpected tokens after variant `{name}`: {other:?}"),
+    };
+    Variant { name, fields }
+}
+
+// ---- codegen: Serialize ----------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => "serde::Node::Null".to_string(),
+                // Newtype structs are transparent, larger tuples a seq
+                // (matches serde's JSON representation).
+                Fields::Tuple(1) => "serde::Serialize::serialize_node(&self.0)".to_string(),
+                Fields::Tuple(n) => {
+                    let elems: Vec<String> = (0..*n)
+                        .map(|k| format!("serde::Serialize::serialize_node(&self.{k})"))
+                        .collect();
+                    format!("serde::Node::Seq(vec![{}])", elems.join(", "))
+                }
+                Fields::Named(names) => {
+                    let entries: Vec<String> = names
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "(\"{f}\".to_string(), serde::Serialize::serialize_node(&self.{f}))"
+                            )
+                        })
+                        .collect();
+                    format!("serde::Node::Map(vec![{}])", entries.join(", "))
+                }
+            };
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                 \x20   fn serialize_node(&self) -> serde::Node {{ {body} }}\n\
+                 }}\n"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                let arm = match &v.fields {
+                    Fields::Unit => {
+                        format!("{name}::{vn} => serde::Node::Str(\"{vn}\".to_string()),\n")
+                    }
+                    Fields::Tuple(1) => format!(
+                        "{name}::{vn}(__f0) => serde::Node::Map(vec![(\"{vn}\".to_string(), \
+                         serde::Serialize::serialize_node(__f0))]),\n"
+                    ),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                        let elems: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("serde::Serialize::serialize_node({b})"))
+                            .collect();
+                        format!(
+                            "{name}::{vn}({}) => serde::Node::Map(vec![(\"{vn}\".to_string(), \
+                             serde::Node::Seq(vec![{}]))]),\n",
+                            binds.join(", "),
+                            elems.join(", ")
+                        )
+                    }
+                    Fields::Named(names) => {
+                        let entries: Vec<String> = names
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(\"{f}\".to_string(), serde::Serialize::serialize_node({f}))"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{vn} {{ {} }} => serde::Node::Map(vec![(\"{vn}\".to_string(), \
+                             serde::Node::Map(vec![{}]))]),\n",
+                            names.join(", "),
+                            entries.join(", ")
+                        )
+                    }
+                };
+                arms.push_str(&arm);
+            }
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                 \x20   fn serialize_node(&self) -> serde::Node {{\n\
+                 \x20       match self {{\n{arms}\x20       }}\n\
+                 \x20   }}\n\
+                 }}\n"
+            )
+        }
+    }
+}
+
+// ---- codegen: Deserialize --------------------------------------------
+
+fn named_fields_ctor(type_path: &str, names: &[String], src: &str) -> String {
+    let inits: Vec<String> = names
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: serde::Deserialize::deserialize_node({src}.get(\"{f}\")\
+                 .ok_or_else(|| serde::DeError(\"missing field `{f}`\".to_string()))?)?"
+            )
+        })
+        .collect();
+    format!("{type_path} {{ {} }}", inits.join(", "))
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => format!("{{ let _ = node; Ok({name}) }}"),
+                Fields::Tuple(1) => {
+                    format!("Ok({name}(serde::Deserialize::deserialize_node(node)?))")
+                }
+                Fields::Tuple(n) => {
+                    let elems: Vec<String> = (0..*n)
+                        .map(|k| format!("serde::Deserialize::deserialize_node(&__items[{k}])?"))
+                        .collect();
+                    format!(
+                        "match node {{\n\
+                         \x20   serde::Node::Seq(__items) if __items.len() == {n} => \
+                         Ok({name}({})),\n\
+                         \x20   _ => Err(serde::DeError(\
+                         \"invalid type: expected a sequence of {n} for tuple struct {name}\"\
+                         .to_string())),\n\
+                         }}",
+                        elems.join(", ")
+                    )
+                }
+                Fields::Named(names) => {
+                    let ctor = named_fields_ctor(name, names, "node");
+                    format!(
+                        "match node {{\n\
+                         \x20   serde::Node::Map(_) => Ok({ctor}),\n\
+                         \x20   _ => Err(serde::DeError(\
+                         \"invalid type: expected a map for struct {name}\".to_string())),\n\
+                         }}"
+                    )
+                }
+            };
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                 \x20   fn deserialize_node(node: &serde::Node) -> Result<Self, serde::DeError> \
+                 {{\n\x20       {body}\n\x20   }}\n\
+                 }}\n"
+            )
+        }
+        Item::Enum { name, variants } => {
+            // Externally tagged: unit variants are plain strings, data
+            // variants are single-entry maps keyed by the variant name.
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => {
+                        unit_arms.push_str(&format!("\"{vn}\" => Ok({name}::{vn}),\n"));
+                    }
+                    Fields::Tuple(1) => {
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => Ok({name}::{vn}(\
+                             serde::Deserialize::deserialize_node(__value)?)),\n"
+                        ));
+                    }
+                    Fields::Tuple(n) => {
+                        let elems: Vec<String> = (0..*n)
+                            .map(|k| {
+                                format!("serde::Deserialize::deserialize_node(&__items[{k}])?")
+                            })
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => match __value {{\n\
+                             \x20   serde::Node::Seq(__items) if __items.len() == {n} => \
+                             Ok({name}::{vn}({})),\n\
+                             \x20   _ => Err(serde::DeError(\
+                             \"invalid data for variant `{vn}`\".to_string())),\n\
+                             }},\n",
+                            elems.join(", ")
+                        ));
+                    }
+                    Fields::Named(names) => {
+                        let ctor = named_fields_ctor(&format!("{name}::{vn}"), names, "__value");
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => match __value {{\n\
+                             \x20   serde::Node::Map(_) => Ok({ctor}),\n\
+                             \x20   _ => Err(serde::DeError(\
+                             \"invalid data for variant `{vn}`\".to_string())),\n\
+                             }},\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                 \x20   fn deserialize_node(node: &serde::Node) -> Result<Self, serde::DeError> {{\n\
+                 \x20       match node {{\n\
+                 \x20           serde::Node::Str(__s) => match __s.as_str() {{\n\
+                 {unit_arms}\
+                 \x20               __other => Err(serde::DeError(format!(\
+                 \"unknown variant `{{__other}}` of enum {name}\"))),\n\
+                 \x20           }},\n\
+                 \x20           serde::Node::Map(__entries) if __entries.len() == 1 => {{\n\
+                 \x20               let (__tag, __value) = &__entries[0];\n\
+                 \x20               let _ = __value;\n\
+                 \x20               match __tag.as_str() {{\n\
+                 {data_arms}\
+                 \x20                   __other => Err(serde::DeError(format!(\
+                 \"unknown variant `{{__other}}` of enum {name}\"))),\n\
+                 \x20               }}\n\
+                 \x20           }}\n\
+                 \x20           _ => Err(serde::DeError(\
+                 \"invalid representation for enum {name}\".to_string())),\n\
+                 \x20       }}\n\
+                 \x20   }}\n\
+                 }}\n"
+            )
+        }
+    }
+}

@@ -3,10 +3,94 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fading_core::algo::Rle;
-use fading_core::{feasibility::FeasibilityReport, Problem, Scheduler};
-use fading_net::{TopologyGenerator, UniformGenerator};
+use fading_core::{feasibility::FeasibilityReport, BackendChoice, Problem, Scheduler};
+use fading_net::{RateModel, TopologyGenerator, UniformGenerator};
 use fading_sim::{simulate_many, simulate_slot};
 use std::hint::black_box;
+
+/// Paper-density instance scaled to `n` links: the 500×500 field holds
+/// 300 links, so the side grows as `√(n/300)` and the local interference
+/// structure stays comparable across sizes.
+fn scaled_generator(n: usize) -> UniformGenerator {
+    UniformGenerator {
+        side: 500.0 * (n as f64 / 300.0).sqrt(),
+        n,
+        len_lo: 5.0,
+        len_hi: 20.0,
+        rates: RateModel::Fixed(1.0),
+    }
+}
+
+/// Sizes for the backend comparison; the dense arm stops at 4096
+/// (an `N×N` `f64` matrix at 32k links is 8 GB).
+const SUBSTRATE_SIZES: &[usize] = &[256, 4096, 32_768];
+const DENSE_LIMIT: usize = 4096;
+
+fn interference_build(c: &mut Criterion) {
+    let params = fading_channel::ChannelParams::paper_defaults();
+    let mut group = c.benchmark_group("interference_build");
+    group.sample_size(10);
+    for &n in SUBSTRATE_SIZES {
+        let links = scaled_generator(n).generate(7);
+        if n <= DENSE_LIMIT {
+            group.bench_with_input(BenchmarkId::new("dense", n), &links, |b, ls| {
+                b.iter(|| {
+                    black_box(Problem::with_backend(
+                        ls.clone(),
+                        params,
+                        0.01,
+                        BackendChoice::Dense,
+                    ))
+                })
+            });
+        }
+        group.bench_with_input(BenchmarkId::new("sparse", n), &links, |b, ls| {
+            b.iter(|| {
+                black_box(Problem::with_backend(
+                    ls.clone(),
+                    params,
+                    0.01,
+                    BackendChoice::parse("sparse").unwrap(),
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn interference_row_sums(c: &mut Criterion) {
+    let params = fading_channel::ChannelParams::paper_defaults();
+    let mut group = c.benchmark_group("interference_row_sum");
+    group.sample_size(10);
+    // Sums every sender's stored out-factors — the bulk-iteration shape
+    // the greedy accumulators drive.
+    let sum_all = |p: &Problem| {
+        let mut total = 0.0f64;
+        for i in p.links().ids() {
+            if let Some(row) = p.factors().dense_row(i) {
+                total += row.iter().sum::<f64>();
+            } else {
+                p.factors().for_each_out(i, &mut |_, f| total += f);
+            }
+        }
+        total
+    };
+    for &n in SUBSTRATE_SIZES {
+        let links = scaled_generator(n).generate(9);
+        if n <= DENSE_LIMIT {
+            let dense = Problem::with_backend(links.clone(), params, 0.01, BackendChoice::Dense);
+            group.bench_with_input(BenchmarkId::new("dense", n), &dense, |b, p| {
+                b.iter(|| black_box(sum_all(p)))
+            });
+        }
+        let sparse =
+            Problem::with_backend(links, params, 0.01, BackendChoice::parse("sparse").unwrap());
+        group.bench_with_input(BenchmarkId::new("sparse", n), &sparse, |b, p| {
+            b.iter(|| black_box(sum_all(p)))
+        });
+    }
+    group.finish();
+}
 
 fn slot_simulation(c: &mut Criterion) {
     let links = UniformGenerator::paper(300).generate(1);
@@ -95,6 +179,8 @@ fn queueing_slots(c: &mut Criterion) {
 
 criterion_group!(
     benches,
+    interference_build,
+    interference_row_sums,
     slot_simulation,
     monte_carlo_batch,
     feasibility_check,

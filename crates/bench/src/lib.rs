@@ -8,12 +8,13 @@
 //! [`fading_obs::RunManifest`] with metrics and span timings after the
 //! run).
 
+use fading_core::BackendChoice;
 use fading_sim::{ExperimentConfig, ResultTable};
 use std::path::PathBuf;
 use std::time::Instant;
 
 /// Parsed command-line options shared by all figure binaries.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Cli {
     /// Use the reduced grid for a fast smoke run.
     pub quick: bool,
@@ -27,6 +28,8 @@ pub struct Cli {
     pub quiet: bool,
     /// Write a run manifest (metrics + spans) to this path.
     pub metrics_out: Option<PathBuf>,
+    /// Interference backend for every `Problem` the sweep builds.
+    pub interference: BackendChoice,
     /// When the run started (for the manifest's wall time).
     started: Instant,
 }
@@ -40,6 +43,7 @@ impl Default for Cli {
             progress: false,
             quiet: false,
             metrics_out: None,
+            interference: BackendChoice::Dense,
             started: Instant::now(),
         }
     }
@@ -63,6 +67,10 @@ impl Cli {
                     let path = it.next().ok_or("--metrics-out is missing its path")?;
                     cli.metrics_out = Some(PathBuf::from(path));
                 }
+                "--interference" => {
+                    let name = it.next().ok_or("--interference is missing its backend")?;
+                    cli.interference = BackendChoice::parse(&name)?;
+                }
                 other => return Err(format!("unknown flag {other}")),
             }
         }
@@ -79,7 +87,7 @@ impl Cli {
             }
             Err(e) => {
                 eprintln!(
-                    "error: {e}\nusage: [--quick] [--csv] [--json] [--progress] [--quiet] [--metrics-out <path>]"
+                    "error: {e}\nusage: [--quick] [--csv] [--json] [--progress] [--quiet] [--metrics-out <path>] [--interference dense|sparse|auto]"
                 );
                 std::process::exit(2);
             }
@@ -88,11 +96,13 @@ impl Cli {
 
     /// The experiment configuration this invocation asked for.
     pub fn config(&self) -> ExperimentConfig {
-        if self.quick {
+        let mut config = if self.quick {
             ExperimentConfig::quick()
         } else {
             ExperimentConfig::paper()
-        }
+        };
+        config.interference = self.interference;
+        config
     }
 
     /// Prints the table, writes the requested machine-readable copies
@@ -191,5 +201,16 @@ mod tests {
         assert!(err.contains("--quik"), "{err}");
         let err = Cli::parse_from(["--metrics-out".to_string()]).unwrap_err();
         assert!(err.contains("missing its path"), "{err}");
+    }
+
+    #[test]
+    fn interference_flag_threads_into_the_config() {
+        let cli = Cli::parse_from(["--interference".to_string(), "auto".to_string()]).unwrap();
+        assert_eq!(cli.interference, BackendChoice::Auto);
+        assert_eq!(cli.config().interference, BackendChoice::Auto);
+        let err = Cli::parse_from(["--interference".to_string(), "csr".to_string()]).unwrap_err();
+        assert!(err.contains("unknown interference backend"), "{err}");
+        let err = Cli::parse_from(["--interference".to_string()]).unwrap_err();
+        assert!(err.contains("missing its backend"), "{err}");
     }
 }

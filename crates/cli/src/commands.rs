@@ -4,7 +4,7 @@ use crate::args::Args;
 use fading_core::algo::{
     Anneal, ApproxDiversity, ApproxLogN, Dls, ExactBnb, GreedyRate, Ldp, RandomFeasible, Rle,
 };
-use fading_core::{FeasibilityReport, Problem, Schedule, Scheduler};
+use fading_core::{BackendChoice, FeasibilityReport, Problem, Schedule, Scheduler};
 use fading_net::{instance_stats, io, RateModel, TopologyGenerator, UniformGenerator};
 use fading_sim::simulate_many;
 use std::path::Path;
@@ -66,13 +66,33 @@ fn dispatch(args: &Args, out: &mut dyn std::io::Write) -> Result<(), String> {
             stats(args, out)
         }
         "schedule" => {
-            reject_unknown_flags(args, &["instance", "algo", "alpha", "eps", "out"])?;
+            reject_unknown_flags(
+                args,
+                &[
+                    "instance",
+                    "algo",
+                    "alpha",
+                    "eps",
+                    "out",
+                    "interference",
+                    "tail-rtol",
+                ],
+            )?;
             schedule(args, out)
         }
         "simulate" => {
             reject_unknown_flags(
                 args,
-                &["instance", "schedule", "alpha", "eps", "trials", "seed"],
+                &[
+                    "instance",
+                    "schedule",
+                    "alpha",
+                    "eps",
+                    "trials",
+                    "seed",
+                    "interference",
+                    "tail-rtol",
+                ],
             )?;
             simulate(args, out)
         }
@@ -84,11 +104,31 @@ fn dispatch(args: &Args, out: &mut dyn std::io::Write) -> Result<(), String> {
             render(args, out)
         }
         "multislot" => {
-            reject_unknown_flags(args, &["instance", "algo", "alpha", "eps"])?;
+            reject_unknown_flags(
+                args,
+                &[
+                    "instance",
+                    "algo",
+                    "alpha",
+                    "eps",
+                    "interference",
+                    "tail-rtol",
+                ],
+            )?;
             multislot(args, out)
         }
         "capacity" => {
-            reject_unknown_flags(args, &["instance", "schedule", "alpha", "eps"])?;
+            reject_unknown_flags(
+                args,
+                &[
+                    "instance",
+                    "schedule",
+                    "alpha",
+                    "eps",
+                    "interference",
+                    "tail-rtol",
+                ],
+            )?;
             capacity(args, out)
         }
         "help" | "--help" => write!(out, "{}", usage()).map_err(|e| e.to_string()),
@@ -105,17 +145,26 @@ USAGE:
                   [--len-hi 20] [--seed 0] [--rate 1.0]
   fading stats    --instance <file>
   fading schedule --instance <file> --algo <name> [--alpha 3] [--eps 0.01]
-                  [--out <file>]
+                  [--out <file>] [--interference dense|sparse|auto]
   fading simulate --instance <file> --schedule <file> [--alpha 3]
                   [--eps 0.01] [--trials 1000] [--seed 0]
+                  [--interference dense|sparse|auto]
   fading render   --instance <file> --out <file.svg> [--schedule <file>]
                   [--width 800] [--grid-cell <units>] [--disks <radius-factor>]
   fading multislot --instance <file> --algo <name> [--alpha 3] [--eps 0.01]
+                  [--interference dense|sparse|auto]
   fading capacity --instance <file> --schedule <file> [--alpha 3] [--eps 0.01]
+                  [--interference dense|sparse|auto]
 
 ALGORITHMS:
   ldp | ldp-two-sided | rle | dls | greedy | random | exact | anneal |
   approx-logn | approx-diversity
+
+INTERFERENCE BACKENDS (default dense):
+  dense   exact N×N factor matrix (the paper configuration)
+  sparse  spatial-hash truncated store; tune with --tail-rtol <frac>
+          (omitted factors stay below tail-rtol × γ_ε; default 1e-3)
+  auto    dense up to 4096 links, sparse above
 "
     .to_string()
 }
@@ -134,11 +183,33 @@ fn build_problem(args: &Args, links: fading_net::LinkSet) -> Result<Problem, Str
     if !eps.is_finite() || eps <= 0.0 || eps >= 1.0 {
         return Err(format!("--eps must be in (0,1), got {eps}"));
     }
-    Ok(Problem::new(
+    Ok(Problem::with_backend(
         links,
         fading_channel::ChannelParams::with_alpha(alpha),
         eps,
+        parse_backend(args)?,
     ))
+}
+
+/// Resolves `--interference` / `--tail-rtol` to a [`BackendChoice`].
+fn parse_backend(args: &Args) -> Result<BackendChoice, String> {
+    let mut backend = match args.get("interference") {
+        None => BackendChoice::Dense,
+        Some(name) => BackendChoice::parse(name)?,
+    };
+    if let Some(v) = args.get("tail-rtol") {
+        let tail_rtol: f64 = v
+            .parse()
+            .map_err(|e| format!("option --tail-rtol: cannot parse {v:?}: {e}"))?;
+        if !tail_rtol.is_finite() || tail_rtol <= 0.0 || tail_rtol > 1.0 {
+            return Err(format!("--tail-rtol must be in (0,1], got {tail_rtol}"));
+        }
+        match &mut backend {
+            BackendChoice::Sparse(config) => config.tail_rtol = tail_rtol,
+            _ => return Err("--tail-rtol only applies with --interference sparse".into()),
+        }
+    }
+    Ok(backend)
 }
 
 /// Resolves an algorithm name to a scheduler.
@@ -400,6 +471,45 @@ mod tests {
             assert!(scheduler_by_name(name).is_ok(), "{name}");
         }
         assert!(scheduler_by_name("nope").is_err());
+    }
+
+    #[test]
+    fn sparse_backend_schedules_identically_to_dense() {
+        let inst = tmp("backend.json");
+        run_line(&format!("generate --n 80 --seed 11 --out {inst}")).unwrap();
+        let dense = run_line(&format!("schedule --instance {inst} --algo rle")).unwrap();
+        let sparse = run_line(&format!(
+            "schedule --instance {inst} --algo rle --interference sparse"
+        ))
+        .unwrap();
+        let auto = run_line(&format!(
+            "schedule --instance {inst} --algo rle --interference auto"
+        ))
+        .unwrap();
+        assert_eq!(dense, sparse);
+        assert_eq!(dense, auto);
+        assert!(dense.contains("fading-feasible: true"));
+    }
+
+    #[test]
+    fn backend_flag_errors_are_clean() {
+        let inst = tmp("backend_err.json");
+        run_line(&format!("generate --n 5 --out {inst}")).unwrap();
+        let err = run_line(&format!(
+            "schedule --instance {inst} --algo rle --interference csr"
+        ))
+        .unwrap_err();
+        assert!(err.contains("unknown interference backend"), "{err}");
+        let err = run_line(&format!(
+            "schedule --instance {inst} --algo rle --tail-rtol 1e-4"
+        ))
+        .unwrap_err();
+        assert!(err.contains("--interference sparse"), "{err}");
+        let err = run_line(&format!(
+            "schedule --instance {inst} --algo rle --interference sparse --tail-rtol 2"
+        ))
+        .unwrap_err();
+        assert!(err.contains("--tail-rtol"), "{err}");
     }
 
     #[test]

@@ -68,9 +68,15 @@ impl<'p> State<'p> {
         debug_assert!(!self.selected[id.index()]);
         self.selected[id.index()] = true;
         self.utility += self.problem.rate(id);
-        let row = self.problem.factors().row(id);
-        for (sum, f) in self.sums.iter_mut().zip(row) {
-            *sum += f;
+        if let Some(row) = self.problem.factors().dense_row(id) {
+            for (sum, f) in self.sums.iter_mut().zip(row) {
+                *sum += f;
+            }
+        } else {
+            let sums = &mut self.sums;
+            self.problem
+                .factors()
+                .for_each_out(id, &mut |j, f| sums[j.index()] += f);
         }
     }
 
@@ -78,26 +84,37 @@ impl<'p> State<'p> {
         debug_assert!(self.selected[id.index()]);
         self.selected[id.index()] = false;
         self.utility -= self.problem.rate(id);
-        let row = self.problem.factors().row(id);
-        for (sum, f) in self.sums.iter_mut().zip(row) {
-            *sum -= f;
+        if let Some(row) = self.problem.factors().dense_row(id) {
+            for (sum, f) in self.sums.iter_mut().zip(row) {
+                *sum -= f;
+            }
+        } else {
+            let sums = &mut self.sums;
+            self.problem
+                .factors()
+                .for_each_out(id, &mut |j, f| sums[j.index()] -= f);
         }
     }
 
-    /// Whether the current selection satisfies Corollary 3.1.
+    /// Whether the current selection satisfies Corollary 3.1. Under a
+    /// truncating backend the stored sums are lower bounds, so the test
+    /// is taken against the *upper* envelope — conservative, keeping
+    /// the tracked best state truly feasible (dense: exact, unchanged).
     fn feasible_with(&self, extra: Option<LinkId>) -> bool {
         let budget = self.problem.gamma_eps();
-        let extra_row = extra.map(|e| self.problem.factors().row(e));
+        let factors = self.problem.factors();
+        let members = self.selected.iter().filter(|&&s| s).count() + usize::from(extra.is_some());
         (0..self.selected.len())
             .filter(|&j| self.selected[j] || extra.is_some_and(|e| e.index() == j))
             .all(|j| {
+                let jid = LinkId(j as u32);
                 let mut s = self.sums[j];
-                if let (Some(row), Some(e)) = (extra_row, extra) {
+                if let Some(e) = extra {
                     if e.index() != j {
-                        s += row[j];
+                        s += self.problem.factor(e, jid);
                     }
                 }
-                within_budget(s, budget)
+                within_budget(s + members as f64 * factors.tail_cut(jid), budget)
             })
     }
 

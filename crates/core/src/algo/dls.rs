@@ -119,7 +119,6 @@ impl Dls {
             for &i in &activating {
                 let r_i = links.link(i).receiver;
                 let radius = c1 * links.length(i);
-                let row = problem.factors().row(i);
                 for j in links.ids() {
                     if state[j.index()] != State::Undecided {
                         continue;
@@ -127,7 +126,10 @@ impl Dls {
                     if links.link(j).sender.distance(&r_i) < radius {
                         state[j.index()] = State::Retired;
                     } else {
-                        acc[j.index()] += row[j.index()];
+                        // A receiver *measures* the clear broadcast, so
+                        // the scalar factor is the right model — exact
+                        // under every interference backend.
+                        acc[j.index()] += problem.factor(i, j);
                     }
                 }
             }

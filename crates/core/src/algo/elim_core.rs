@@ -72,22 +72,38 @@ pub fn eliminate_schedule(problem: &Problem, c1: f64, c2: f64, metric: ElimMetri
             }
         });
         // Line 5: delete links whose accumulated interference from the
-        // picked senders exceeds c₂·budget.
-        let row = problem.factors().row(i);
-        for j in 0..n {
-            if !alive[j] {
-                continue;
+        // picked senders exceeds c₂·budget. Dense: one contiguous row
+        // walk. Sparse: only the pick's stored out-neighborhood — links
+        // outside it receive strictly less than the certified cut, a
+        // slack absorbed by the c₂ margin Theorem 4.3 reserves.
+        // e^f − 1 recovers the deterministic relative interference from
+        // the fading factor.
+        let contribution = |f: f64| match metric {
+            ElimMetric::FadingFactor => f,
+            ElimMetric::DeterministicRelative => f.exp_m1(),
+        };
+        if let Some(row) = problem.factors().dense_row(i) {
+            for j in 0..n {
+                if !alive[j] {
+                    continue;
+                }
+                acc[j] += contribution(row[j]);
+                if acc[j] > threshold {
+                    alive[j] = false;
+                    eliminations += 1;
+                }
             }
-            acc[j] += match metric {
-                ElimMetric::FadingFactor => row[j],
-                // e^f − 1 recovers the deterministic relative
-                // interference from the precomputed factor.
-                ElimMetric::DeterministicRelative => row[j].exp_m1(),
-            };
-            if acc[j] > threshold {
-                alive[j] = false;
-                eliminations += 1;
-            }
+        } else {
+            problem.factors().for_each_out(i, &mut |j, f| {
+                let j = j.index();
+                if alive[j] {
+                    acc[j] += contribution(f);
+                    if acc[j] > threshold {
+                        alive[j] = false;
+                        eliminations += 1;
+                    }
+                }
+            });
         }
     }
     // Flushed once per schedule call: the elimination loop itself

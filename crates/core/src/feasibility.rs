@@ -27,6 +27,29 @@ pub fn within_budget(sum: f64, budget: f64) -> bool {
     sum <= budget * (1.0 + BUDGET_RTOL)
 }
 
+/// Budget test for a sum known only as a certified envelope
+/// `[sum_lo, sum_lo + tail]` (the sparse backend's stored-factor sums;
+/// see [`InterferenceModel::tail_cut`](crate::InterferenceModel::tail_cut)).
+///
+/// * `Some(true)` — the whole envelope passes: the true sum passes.
+/// * `Some(false)` — the lower bound already fails: the true sum fails.
+/// * `None` — the envelope straddles the threshold; the caller must
+///   resolve exactly (factors are always recomputable in `O(1)`), so
+///   feasibility verdicts never silently flip under truncation.
+///
+/// With `tail == 0` (dense/exhaustive backends) the result is always
+/// `Some(within_budget(sum_lo, budget))`.
+#[inline]
+pub fn within_budget_certified(sum_lo: f64, tail: f64, budget: f64) -> Option<bool> {
+    if !within_budget(sum_lo, budget) {
+        Some(false)
+    } else if within_budget(sum_lo + tail, budget) {
+        Some(true)
+    } else {
+        None
+    }
+}
+
 /// Per-link feasibility diagnostics for a schedule.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FeasibilityReport {
@@ -113,6 +136,14 @@ pub fn is_feasible(problem: &Problem, schedule: &Schedule) -> bool {
 /// Incremental feasibility helper used by constructive algorithms:
 /// tracks, for every link in the instance, the accumulated interference
 /// factor from the currently selected senders.
+///
+/// Under the dense backend the sums are exact. Under the sparse backend
+/// they accumulate *stored* factors only, so each is a lower bound with
+/// a certified envelope of `|selected| · tail_cut(j)`; every
+/// verdict-producing method resolves a straddling envelope by exact
+/// recomputation (in selection order, so the resolved sum is
+/// bit-identical to what the dense backend would have accumulated) —
+/// feasibility decisions never differ between backends.
 #[derive(Debug, Clone)]
 pub struct InterferenceAccumulator<'p> {
     problem: &'p Problem,
@@ -132,32 +163,74 @@ impl<'p> InterferenceAccumulator<'p> {
 
     /// Adds sender `i` to the selection, updating every receiver's sum.
     pub fn select(&mut self, i: LinkId) {
-        let row = self.problem.factors().row(i);
-        for (sum, f) in self.sums.iter_mut().zip(row) {
-            *sum += f;
+        if let Some(row) = self.problem.factors().dense_row(i) {
+            for (sum, f) in self.sums.iter_mut().zip(row) {
+                *sum += f;
+            }
+        } else {
+            let sums = &mut self.sums;
+            self.problem
+                .factors()
+                .for_each_out(i, &mut |j, f| sums[j.index()] += f);
         }
         self.selected.push(i);
     }
 
-    /// Accumulated interference factor on receiver `j` from the
-    /// selected senders (excluding `j` itself if selected — `f_{j,j}=0`).
+    /// Accumulated *stored* interference factor on receiver `j` from
+    /// the selected senders (excluding `j` itself if selected —
+    /// `f_{j,j}=0`). Exact under exhaustive backends; a certified lower
+    /// bound (within [`tail_on`](Self::tail_on)) under truncation.
     #[inline]
     pub fn sum_on(&self, j: LinkId) -> f64 {
         self.sums[j.index()]
     }
 
+    /// Certified width of the envelope on [`sum_on`](Self::sum_on):
+    /// the true sum lies in `[sum_on(j), sum_on(j) + tail_on(j)]`.
+    #[inline]
+    pub fn tail_on(&self, j: LinkId) -> f64 {
+        self.selected.len() as f64 * self.problem.factors().tail_cut(j)
+    }
+
+    /// The exact accumulated sum on `j`, recomputing omitted factors on
+    /// demand when the backend truncates. Matches the dense
+    /// accumulation bit-for-bit (same terms, same order, same formula).
+    pub fn exact_sum_on(&self, j: LinkId) -> f64 {
+        if self.problem.factors().tail_cut(j) == 0.0 {
+            return self.sums[j.index()];
+        }
+        let mut sum = 0.0;
+        for &i in &self.selected {
+            sum += self.problem.factor(i, j);
+        }
+        sum
+    }
+
     /// Whether adding `candidate` would keep the *entire* selection
-    /// (existing members and the candidate) within `budget`.
+    /// (existing members and the candidate) within `budget`. Identical
+    /// verdicts under every backend.
     pub fn addition_is_feasible(&self, candidate: LinkId, budget: f64) -> bool {
         // Candidate's own constraint under current senders:
-        if !within_budget(self.sums[candidate.index()], budget) {
+        if !self.certified_check(candidate, 0.0, budget) {
             return false;
         }
-        // Existing members' constraints with the candidate added:
-        let row = self.problem.factors().row(candidate);
+        // Existing members' constraints with the candidate added
+        // (factor() is exact under every backend):
         self.selected
             .iter()
-            .all(|&j| within_budget(self.sums[j.index()] + row[j.index()], budget))
+            .all(|&j| self.certified_check(j, self.problem.factor(candidate, j), budget))
+    }
+
+    /// Budget check of `sum_on(j) + extra` with envelope accounting and
+    /// exact fallback.
+    fn certified_check(&self, j: LinkId, extra: f64, budget: f64) -> bool {
+        match within_budget_certified(self.sums[j.index()] + extra, self.tail_on(j), budget) {
+            Some(v) => v,
+            None => {
+                fading_obs::counter!("core.accumulator.exact_fallbacks").incr();
+                within_budget(self.exact_sum_on(j) + extra, budget)
+            }
+        }
     }
 
     /// The selected senders, in selection order.

@@ -1,14 +1,80 @@
-//! Dense interference-factor matrix.
+//! Interference-factor storage — the substrate every solver consults.
 //!
 //! `f[i][j]` is the interference factor of sender `i` on receiver `j`
 //! (Eq. (17)): `ln(1 + γ_th (d_jj/d_ij)^α)` for `i ≠ j` and `0` on the
-//! diagonal. Every algorithm consults these values many times, so they
-//! are computed once per instance — in parallel across rows for large
-//! instances, since each entry is independent.
+//! diagonal. Two backends provide these values behind the
+//! [`InterferenceModel`] trait:
+//!
+//! * [`InterferenceMatrix`] — the dense `N×N` matrix, precomputed once
+//!   per instance (in parallel across rows for large instances). Exact
+//!   and exhaustive; `O(N²)` time and memory, the right choice at
+//!   paper sizes (`N ≤ ~4k`).
+//! * [`SparseInterference`](crate::sparse::SparseInterference) — a
+//!   spatial-hash truncated store holding only near-field factors, with
+//!   a certified per-receiver bound on every discarded factor. `O(N·k)`
+//!   memory for `k` stored neighbors per receiver — the unlock for
+//!   `10⁵`-link instances. See [`crate::sparse`] for the truncation
+//!   error budget.
+//!
+//! [`InterferenceBackend`] is the concrete enum [`Problem`] stores;
+//! dispatch is static (a `match`), so the dense hot paths keep their
+//! slice-based loops via [`InterferenceBackend::dense_row`].
+//!
+//! [`Problem`]: crate::problem::Problem
 
+use crate::sparse::SparseInterference;
 use fading_channel::RayleighChannel;
 use fading_net::{LinkId, LinkSet};
 use rayon::prelude::*;
+
+/// Read access to interference factors, uniform over backends.
+///
+/// The contract every solver relies on:
+///
+/// * [`factor`](Self::factor) is **exact** for *both* backends — the
+///   sparse backend recomputes unstored factors from geometry through
+///   the same channel code path, so the value is bit-identical to the
+///   dense entry. Scalar lookups never see truncation error.
+/// * [`for_each_out`](Self::for_each_out) /
+///   [`for_each_in`](Self::for_each_in) iterate only *stored* factors.
+///   Under the dense backend that is every off-diagonal pair; under the
+///   sparse backend every *omitted* factor is individually below
+///   [`tail_cut`](Self::tail_cut) of its receiver, so a sum over a
+///   selection `S` accumulated from stored factors is a lower bound
+///   within `|S| · tail_cut(j)` of the true sum (see
+///   [`within_budget_certified`](crate::feasibility::within_budget_certified)).
+pub trait InterferenceModel {
+    /// Number of links `N`.
+    fn len(&self) -> usize;
+
+    /// Whether the model covers no links.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The factor `f_{i,j}` of sender `i` on receiver `j` — exact in
+    /// every backend (`0` on the diagonal).
+    fn factor(&self, sender: LinkId, receiver: LinkId) -> f64;
+
+    /// Calls `f(receiver, factor)` for every *stored* out-factor of
+    /// `sender` (dense: all `j ≠ sender`).
+    fn for_each_out(&self, sender: LinkId, f: &mut dyn FnMut(LinkId, f64));
+
+    /// Calls `f(sender, factor)` for every *stored* in-factor onto
+    /// `receiver` (dense: all `i ≠ receiver`).
+    fn for_each_in(&self, receiver: LinkId, f: &mut dyn FnMut(LinkId, f64));
+
+    /// Certified upper bound on any single factor onto `receiver` that
+    /// the iteration methods omit. `0` means the backend is exhaustive
+    /// for this receiver.
+    fn tail_cut(&self, receiver: LinkId) -> f64;
+
+    /// Whether every receiver is exhaustive (`tail_cut == 0` for all).
+    fn is_exact(&self) -> bool;
+
+    /// Number of stored off-diagonal factors (dense: `N·(N−1)`).
+    fn stored_factors(&self) -> u64;
+}
 
 /// Row-major `N×N` matrix of interference factors.
 #[derive(Debug, Clone, PartialEq)]
@@ -20,7 +86,7 @@ pub struct InterferenceMatrix {
 
 /// Instances below this size are built sequentially; the rayon
 /// fork-join overhead only pays off once rows get expensive.
-const PARALLEL_THRESHOLD: usize = 64;
+pub(crate) const PARALLEL_THRESHOLD: usize = 64;
 
 impl InterferenceMatrix {
     /// Computes all pairwise factors for `links` under `channel` with
@@ -56,6 +122,9 @@ impl InterferenceMatrix {
             );
         }
         let mut data = vec![0.0; n * n];
+        // One shared row closure for both branches: the parallel and
+        // sequential paths must compute byte-identical rows (the
+        // PARALLEL_THRESHOLD regression tests below pin this).
         let fill_row = |i: usize, row: &mut [f64]| {
             let sender = LinkId(i as u32);
             for (j, slot) in row.iter_mut().enumerate() {
@@ -104,6 +173,206 @@ impl InterferenceMatrix {
     pub fn row(&self, sender: LinkId) -> &[f64] {
         let i = sender.index();
         &self.data[i * self.n..(i + 1) * self.n]
+    }
+}
+
+impl InterferenceModel for InterferenceMatrix {
+    #[inline]
+    fn len(&self) -> usize {
+        self.n
+    }
+
+    #[inline]
+    fn factor(&self, sender: LinkId, receiver: LinkId) -> f64 {
+        InterferenceMatrix::factor(self, sender, receiver)
+    }
+
+    fn for_each_out(&self, sender: LinkId, f: &mut dyn FnMut(LinkId, f64)) {
+        let i = sender.index();
+        for (j, &v) in self.row(sender).iter().enumerate() {
+            if j != i {
+                f(LinkId(j as u32), v);
+            }
+        }
+    }
+
+    fn for_each_in(&self, receiver: LinkId, f: &mut dyn FnMut(LinkId, f64)) {
+        let j = receiver.index();
+        for i in 0..self.n {
+            if i != j {
+                f(LinkId(i as u32), self.data[i * self.n + j]);
+            }
+        }
+    }
+
+    #[inline]
+    fn tail_cut(&self, _receiver: LinkId) -> f64 {
+        0.0
+    }
+
+    #[inline]
+    fn is_exact(&self) -> bool {
+        true
+    }
+
+    fn stored_factors(&self) -> u64 {
+        let n = self.n as u64;
+        n.saturating_mul(n.saturating_sub(1))
+    }
+}
+
+/// The concrete interference store a [`Problem`] carries.
+///
+/// An enum rather than a `dyn InterferenceModel` so `Problem` keeps
+/// `Clone`/`PartialEq` and hot loops dispatch statically; the dense
+/// fast path stays a contiguous slice via [`dense_row`].
+///
+/// [`Problem`]: crate::problem::Problem
+/// [`dense_row`]: InterferenceBackend::dense_row
+// One backend lives per `Problem` (never in collections), so the
+// variant size gap is irrelevant and boxing would only add a pointer
+// hop to every factor lookup.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone, PartialEq)]
+pub enum InterferenceBackend {
+    /// Exhaustive `N×N` matrix.
+    Dense(InterferenceMatrix),
+    /// Spatial-hash truncated near-field store.
+    Sparse(SparseInterference),
+}
+
+impl InterferenceBackend {
+    /// Number of links `N`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        match self {
+            Self::Dense(m) => m.len(),
+            Self::Sparse(s) => s.len(),
+        }
+    }
+
+    /// Whether the backend covers no links.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Exact factor `f_{i,j}` (both backends; see [`InterferenceModel`]).
+    #[inline]
+    pub fn factor(&self, sender: LinkId, receiver: LinkId) -> f64 {
+        match self {
+            Self::Dense(m) => m.factor(sender, receiver),
+            Self::Sparse(s) => s.factor(sender, receiver),
+        }
+    }
+
+    /// The dense row of `sender`, when the backend is dense — lets hot
+    /// loops keep their auto-vectorized slice walks with no indirect
+    /// calls. Sparse callers fall back to [`for_each_out`].
+    ///
+    /// [`for_each_out`]: InterferenceBackend::for_each_out
+    #[inline]
+    pub fn dense_row(&self, sender: LinkId) -> Option<&[f64]> {
+        match self {
+            Self::Dense(m) => Some(m.row(sender)),
+            Self::Sparse(_) => None,
+        }
+    }
+
+    /// Stored out-factors of `sender` (see [`InterferenceModel`]).
+    #[inline]
+    pub fn for_each_out(&self, sender: LinkId, f: &mut dyn FnMut(LinkId, f64)) {
+        match self {
+            Self::Dense(m) => InterferenceModel::for_each_out(m, sender, f),
+            Self::Sparse(s) => s.for_each_out(sender, f),
+        }
+    }
+
+    /// Stored in-factors onto `receiver` (see [`InterferenceModel`]).
+    #[inline]
+    pub fn for_each_in(&self, receiver: LinkId, f: &mut dyn FnMut(LinkId, f64)) {
+        match self {
+            Self::Dense(m) => InterferenceModel::for_each_in(m, receiver, f),
+            Self::Sparse(s) => s.for_each_in(receiver, f),
+        }
+    }
+
+    /// Certified bound on any omitted factor onto `receiver`.
+    #[inline]
+    pub fn tail_cut(&self, receiver: LinkId) -> f64 {
+        match self {
+            Self::Dense(_) => 0.0,
+            Self::Sparse(s) => s.tail_cut(receiver),
+        }
+    }
+
+    /// Whether iteration is exhaustive for every receiver.
+    pub fn is_exact(&self) -> bool {
+        match self {
+            Self::Dense(_) => true,
+            Self::Sparse(s) => InterferenceModel::is_exact(s),
+        }
+    }
+
+    /// Number of stored off-diagonal factors.
+    pub fn stored_factors(&self) -> u64 {
+        match self {
+            Self::Dense(m) => InterferenceModel::stored_factors(m),
+            Self::Sparse(s) => InterferenceModel::stored_factors(s),
+        }
+    }
+
+    /// Backend name for logs and manifests.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::Dense(_) => "dense",
+            Self::Sparse(_) => "sparse",
+        }
+    }
+
+    /// The dense matrix, when dense.
+    pub fn as_dense(&self) -> Option<&InterferenceMatrix> {
+        match self {
+            Self::Dense(m) => Some(m),
+            Self::Sparse(_) => None,
+        }
+    }
+
+    /// The sparse store, when sparse.
+    pub fn as_sparse(&self) -> Option<&SparseInterference> {
+        match self {
+            Self::Dense(_) => None,
+            Self::Sparse(s) => Some(s),
+        }
+    }
+}
+
+impl InterferenceModel for InterferenceBackend {
+    fn len(&self) -> usize {
+        InterferenceBackend::len(self)
+    }
+
+    fn factor(&self, sender: LinkId, receiver: LinkId) -> f64 {
+        InterferenceBackend::factor(self, sender, receiver)
+    }
+
+    fn for_each_out(&self, sender: LinkId, f: &mut dyn FnMut(LinkId, f64)) {
+        InterferenceBackend::for_each_out(self, sender, f)
+    }
+
+    fn for_each_in(&self, receiver: LinkId, f: &mut dyn FnMut(LinkId, f64)) {
+        InterferenceBackend::for_each_in(self, receiver, f)
+    }
+
+    fn tail_cut(&self, receiver: LinkId) -> f64 {
+        InterferenceBackend::tail_cut(self, receiver)
+    }
+
+    fn is_exact(&self) -> bool {
+        InterferenceBackend::is_exact(self)
+    }
+
+    fn stored_factors(&self) -> u64 {
+        InterferenceBackend::stored_factors(self)
     }
 }
 
@@ -165,6 +434,74 @@ mod tests {
     }
 
     #[test]
+    fn build_is_identical_across_the_parallel_threshold() {
+        // Regression pin: crossing PARALLEL_THRESHOLD must not change a
+        // single bit of the output. n = 63 builds sequentially, n = 64
+        // switches to rayon, n = 65 stays parallel; all three must match
+        // an entry-by-entry scalar rebuild exactly.
+        assert_eq!(PARALLEL_THRESHOLD, 64);
+        let channel = RayleighChannel::new(ChannelParams::paper_defaults());
+        for n in [
+            PARALLEL_THRESHOLD - 1,
+            PARALLEL_THRESHOLD,
+            PARALLEL_THRESHOLD + 1,
+        ] {
+            let links = UniformGenerator::paper(n).generate(20170714);
+            let m = InterferenceMatrix::build(&links, &channel);
+            for i in links.ids() {
+                for j in links.ids() {
+                    let expect = if i == j {
+                        0.0
+                    } else {
+                        channel.interference_factor(
+                            links.sender_receiver_distance(i, j),
+                            links.length(j),
+                        )
+                    };
+                    assert!(
+                        m.factor(i, j).to_bits() == expect.to_bits(),
+                        "n={n}: f({i},{j}) = {} differs from scalar {expect}",
+                        m.factor(i, j)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn powered_build_is_identical_across_the_parallel_threshold() {
+        // Same pin for the power-scaled branch of the shared closure.
+        let channel = RayleighChannel::new(ChannelParams::paper_defaults());
+        for n in [
+            PARALLEL_THRESHOLD - 1,
+            PARALLEL_THRESHOLD,
+            PARALLEL_THRESHOLD + 1,
+        ] {
+            let links = UniformGenerator::paper(n).generate(42);
+            let powers: Vec<f64> = (0..n).map(|i| 0.5 + (i % 7) as f64 * 0.25).collect();
+            let m = InterferenceMatrix::build_with_powers(&links, &channel, Some(&powers));
+            for i in links.ids() {
+                for j in links.ids() {
+                    let expect = if i == j {
+                        0.0
+                    } else {
+                        channel.interference_factor_scaled(
+                            links.sender_receiver_distance(i, j),
+                            links.length(j),
+                            powers[i.index()],
+                            powers[j.index()],
+                        )
+                    };
+                    assert!(
+                        m.factor(i, j).to_bits() == expect.to_bits(),
+                        "n={n}: scaled f({i},{j}) mismatch"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
     fn row_slices_align_with_factor() {
         let (links, m) = build(15, 4);
         for i in links.ids() {
@@ -193,5 +530,46 @@ mod tests {
         let channel = RayleighChannel::new(ChannelParams::paper_defaults());
         let m = InterferenceMatrix::build(&links, &channel);
         assert!(m.is_empty());
+        assert_eq!(InterferenceModel::stored_factors(&m), 0);
+    }
+
+    #[test]
+    fn dense_model_iteration_matches_rows() {
+        let (links, m) = build(12, 6);
+        for i in links.ids() {
+            let mut seen = vec![];
+            InterferenceModel::for_each_out(&m, i, &mut |j, f| seen.push((j, f)));
+            assert_eq!(seen.len(), links.len() - 1);
+            for (j, f) in seen {
+                assert_ne!(j, i, "diagonal must be skipped");
+                assert_eq!(f, m.factor(i, j));
+            }
+            let mut inbound = vec![];
+            InterferenceModel::for_each_in(&m, i, &mut |j, f| inbound.push((j, f)));
+            assert_eq!(inbound.len(), links.len() - 1);
+            for (j, f) in inbound {
+                assert_eq!(f, m.factor(j, i));
+            }
+        }
+        assert!(InterferenceModel::is_exact(&m));
+        assert_eq!(InterferenceModel::tail_cut(&m, LinkId(0)), 0.0);
+        assert_eq!(InterferenceModel::stored_factors(&m), 12 * 11);
+    }
+
+    #[test]
+    fn backend_enum_delegates_to_dense() {
+        let (links, m) = build(10, 7);
+        let backend = InterferenceBackend::Dense(m.clone());
+        assert_eq!(backend.len(), 10);
+        assert_eq!(backend.name(), "dense");
+        assert!(backend.is_exact());
+        assert!(backend.as_dense().is_some());
+        assert!(backend.as_sparse().is_none());
+        for i in links.ids() {
+            assert_eq!(backend.dense_row(i), Some(m.row(i)));
+            for j in links.ids() {
+                assert_eq!(backend.factor(i, j), m.factor(i, j));
+            }
+        }
     }
 }

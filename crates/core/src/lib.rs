@@ -8,8 +8,12 @@
 //! The decision machinery rests on Corollary 3.1: link `j` meets its
 //! reliability target under concurrent senders `P` iff
 //! `Σ_{i∈P\{j}} f_{i,j} ≤ γ_ε`, with interference factors
-//! `f_{i,j} = ln(1 + γ_th (d_jj/d_ij)^α)` precomputed in an
-//! [`interference::InterferenceMatrix`].
+//! `f_{i,j} = ln(1 + γ_th (d_jj/d_ij)^α)` served by an
+//! [`interference::InterferenceBackend`]: either the dense precomputed
+//! [`interference::InterferenceMatrix`] (the paper-scale default) or
+//! the spatial-hash truncated [`sparse::SparseInterference`] with a
+//! certified tail budget (the `10⁵`-link scale path; see
+//! `docs/interference.md`).
 //!
 //! # Algorithms
 //!
@@ -36,11 +40,13 @@ pub mod multislot;
 pub mod problem;
 pub mod reduction;
 pub mod schedule;
+pub mod sparse;
 
 pub use feasibility::FeasibilityReport;
-pub use interference::InterferenceMatrix;
-pub use problem::Problem;
+pub use interference::{InterferenceBackend, InterferenceMatrix, InterferenceModel};
+pub use problem::{BackendChoice, Problem};
 pub use schedule::Schedule;
+pub use sparse::{SparseConfig, SparseInterference};
 
 /// A one-shot link scheduling algorithm.
 ///

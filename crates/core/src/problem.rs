@@ -1,12 +1,56 @@
 //! The Fading-R-LS problem instance.
 
-use crate::interference::InterferenceMatrix;
+use crate::interference::{InterferenceBackend, InterferenceMatrix};
+use crate::sparse::{SparseConfig, SparseInterference};
 use fading_channel::{ChannelParams, DeterministicSinr, RayleighChannel};
 use fading_math::gamma_eps;
 use fading_net::{LinkId, LinkSet};
 
+/// Which interference backend a [`Problem`] should build.
+#[derive(Debug, Clone, Copy, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+pub enum BackendChoice {
+    /// The dense `N×N` matrix — exact and exhaustive, `O(N²)` memory.
+    /// The default; paper-scale results are bit-identical to the
+    /// pre-trait implementation.
+    #[default]
+    Dense,
+    /// The spatial-hash truncated store with the given cut policy.
+    Sparse(SparseConfig),
+    /// Dense up to [`AUTO_SPARSE_THRESHOLD`] links, sparse (default
+    /// [`SparseConfig`]) above it.
+    Auto,
+}
+
+/// Instance size at which [`BackendChoice::Auto`] switches to the
+/// sparse backend: past ~4k links the dense matrix crosses 128 MB and
+/// build time dominates small sweeps.
+pub const AUTO_SPARSE_THRESHOLD: usize = 4096;
+
+impl BackendChoice {
+    /// Parses a CLI-style name: `dense`, `sparse`, or `auto`.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "dense" => Ok(Self::Dense),
+            "sparse" => Ok(Self::Sparse(SparseConfig::default())),
+            "auto" => Ok(Self::Auto),
+            other => Err(format!(
+                "unknown interference backend {other:?} (expected dense, sparse, or auto)"
+            )),
+        }
+    }
+
+    /// The choice resolved against an instance size.
+    fn resolve(self, n: usize) -> BackendChoice {
+        match self {
+            Self::Auto if n > AUTO_SPARSE_THRESHOLD => Self::Sparse(SparseConfig::default()),
+            Self::Auto => Self::Dense,
+            other => other,
+        }
+    }
+}
+
 /// A complete Fading-R-LS instance: links, channel, reliability target,
-/// and the precomputed interference-factor matrix.
+/// and the interference-factor backend.
 ///
 /// ```
 /// use fading_core::Problem;
@@ -24,29 +68,33 @@ pub struct Problem {
     channel: RayleighChannel,
     epsilon: f64,
     gamma_eps: f64,
-    factors: InterferenceMatrix,
+    factors: InterferenceBackend,
     /// Per-link transmit power scales (`None` = uniform, the paper's
     /// model). Factors, feasibility, and the simulator all honor them.
     power_scales: Option<Vec<f64>>,
 }
 
 impl Problem {
-    /// Builds an instance; precomputes the `N×N` interference matrix.
+    /// Builds an instance with the dense backend; precomputes the `N×N`
+    /// interference matrix.
     ///
     /// # Panics
     /// Panics if `epsilon` is outside `(0, 1)`.
     pub fn new(links: LinkSet, params: ChannelParams, epsilon: f64) -> Self {
-        let gamma_eps = gamma_eps(epsilon); // validates epsilon
-        let channel = RayleighChannel::new(params);
-        let factors = InterferenceMatrix::build(&links, &channel);
-        Self {
-            links,
-            channel,
-            epsilon,
-            gamma_eps,
-            factors,
-            power_scales: None,
-        }
+        Self::with_backend(links, params, epsilon, BackendChoice::Dense)
+    }
+
+    /// Builds an instance with an explicit interference backend.
+    ///
+    /// # Panics
+    /// Panics if `epsilon` is outside `(0, 1)`.
+    pub fn with_backend(
+        links: LinkSet,
+        params: ChannelParams,
+        epsilon: f64,
+        backend: BackendChoice,
+    ) -> Self {
+        Self::build(links, params, epsilon, None, backend)
     }
 
     /// Builds an instance with per-link transmit power scales
@@ -63,16 +111,55 @@ impl Problem {
         epsilon: f64,
         power_scales: Vec<f64>,
     ) -> Self {
-        let gamma_eps = gamma_eps(epsilon);
+        Self::build(
+            links,
+            params,
+            epsilon,
+            Some(power_scales),
+            BackendChoice::Dense,
+        )
+    }
+
+    /// Power scales and a backend choice together.
+    ///
+    /// # Panics
+    /// As [`Problem::with_power_scales`].
+    pub fn with_power_scales_and_backend(
+        links: LinkSet,
+        params: ChannelParams,
+        epsilon: f64,
+        power_scales: Vec<f64>,
+        backend: BackendChoice,
+    ) -> Self {
+        Self::build(links, params, epsilon, Some(power_scales), backend)
+    }
+
+    fn build(
+        links: LinkSet,
+        params: ChannelParams,
+        epsilon: f64,
+        power_scales: Option<Vec<f64>>,
+        backend: BackendChoice,
+    ) -> Self {
+        let gamma_eps = gamma_eps(epsilon); // validates epsilon
         let channel = RayleighChannel::new(params);
-        let factors = InterferenceMatrix::build_with_powers(&links, &channel, Some(&power_scales));
+        let powers = power_scales.as_deref();
+        let factors = match backend.resolve(links.len()) {
+            BackendChoice::Dense => InterferenceBackend::Dense(
+                InterferenceMatrix::build_with_powers(&links, &channel, powers),
+            ),
+            BackendChoice::Sparse(config) => InterferenceBackend::Sparse(
+                SparseInterference::build_with_powers(&links, &channel, powers, gamma_eps, config),
+            ),
+            BackendChoice::Auto => unreachable!("resolve() eliminates Auto"),
+        };
         Self {
             links,
             channel,
             epsilon,
             gamma_eps,
             factors,
-            power_scales: Some(power_scales),
+            power_scales,
         }
     }
 
@@ -134,12 +221,13 @@ impl Problem {
         self.gamma_eps
     }
 
-    /// The precomputed interference factors.
-    pub fn factors(&self) -> &InterferenceMatrix {
+    /// The interference-factor backend.
+    pub fn factors(&self) -> &InterferenceBackend {
         &self.factors
     }
 
-    /// Interference factor `f_{i,j}` (Eq. (17)).
+    /// Interference factor `f_{i,j}` (Eq. (17)) — exact under every
+    /// backend.
     #[inline]
     pub fn factor(&self, sender: LinkId, receiver: LinkId) -> f64 {
         self.factors.factor(sender, receiver)
@@ -165,6 +253,7 @@ mod tests {
         assert_eq!(p.epsilon(), 0.01);
         assert_eq!(p.params().alpha, 3.0);
         assert_eq!(p.factors().len(), 25);
+        assert_eq!(p.factors().name(), "dense");
         assert!((p.gamma_eps() - (1.0f64 / 0.99).ln()).abs() < 1e-12);
         assert_eq!(p.links(), &links);
     }
@@ -178,6 +267,52 @@ mod tests {
                 assert_eq!(p.factor(i, j), p.factors().factor(i, j));
             }
         }
+    }
+
+    #[test]
+    fn sparse_backend_matches_dense_factors() {
+        let links = UniformGenerator::paper(30).generate(5);
+        let dense = Problem::paper(links.clone(), 3.0);
+        let sparse = Problem::with_backend(
+            links,
+            ChannelParams::with_alpha(3.0),
+            0.01,
+            BackendChoice::Sparse(SparseConfig::default()),
+        );
+        assert_eq!(sparse.factors().name(), "sparse");
+        for i in dense.links().ids() {
+            for j in dense.links().ids() {
+                assert_eq!(
+                    dense.factor(i, j).to_bits(),
+                    sparse.factor(i, j).to_bits(),
+                    "f({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn auto_resolves_by_size() {
+        let links = UniformGenerator::paper(20).generate(6);
+        let p = Problem::with_backend(
+            links,
+            ChannelParams::paper_defaults(),
+            0.01,
+            BackendChoice::Auto,
+        );
+        // Below the threshold Auto is dense.
+        assert_eq!(p.factors().name(), "dense");
+    }
+
+    #[test]
+    fn backend_choice_parses_cli_names() {
+        assert_eq!(BackendChoice::parse("dense"), Ok(BackendChoice::Dense));
+        assert_eq!(
+            BackendChoice::parse("sparse"),
+            Ok(BackendChoice::Sparse(SparseConfig::default()))
+        );
+        assert_eq!(BackendChoice::parse("auto"), Ok(BackendChoice::Auto));
+        assert!(BackendChoice::parse("csr").is_err());
     }
 
     #[test]

@@ -1,0 +1,692 @@
+//! Spatial-hash truncated interference store — the scale backend.
+//!
+//! The dense matrix costs `O(N²)` time and memory before any algorithm
+//! runs; at `N = 10⁵` links that is 80 GB. This backend exploits the
+//! geometry of Eq. (17): `f_{i,j} = ln(1 + γ_th (d_jj/d_ij)^α)` decays
+//! like `d_ij^{−α}`, so almost all of a receiver's interference mass
+//! comes from nearby senders. Per receiver `j` we store only the
+//! factors of senders within a *truncation radius*
+//!
+//! ```text
+//! R_j = d_jj · (γ_th · ρ_j / (e^τ − 1))^{1/α},   τ = tail_rtol · γ_ε,
+//! ```
+//!
+//! (`ρ_j` is the worst-case power ratio onto `j`; 1 under uniform
+//! power). By construction every *omitted* factor is individually below
+//! the per-receiver cut `τ` — [`SparseInterference::tail_cut`] — so a
+//! sum accumulated from stored factors over a selection `S` is a lower
+//! bound within `|S| · τ` of the true sum. Feasibility checks account
+//! for this envelope explicitly (see
+//! [`within_budget_certified`](crate::feasibility::within_budget_certified))
+//! and fall back to *exact* on-demand recomputation when the envelope
+//! straddles the budget, so **verdicts never silently flip**: scalar
+//! [`factor`](SparseInterference::factor) lookups recompute the Eq. (17)
+//! formula through the same channel code path as the dense build and
+//! are bit-identical to dense entries.
+//!
+//! When `R_j` reaches the instance diameter the receiver is stored
+//! exhaustively and its cut is exactly `0` — at paper sizes and
+//! densities the sparse backend therefore degenerates to a (CSR-shaped)
+//! exact store. The `ζ(α−1)` packing bound on the *total* omitted mass
+//! of a feasible selection is available as
+//! [`far_field_packing_bound`](SparseInterference::far_field_packing_bound);
+//! `docs/interference.md` derives both bounds.
+
+use crate::feasibility::BUDGET_RTOL;
+use crate::interference::{InterferenceModel, PARALLEL_THRESHOLD};
+use fading_channel::RayleighChannel;
+use fading_geom::{Point2, Rect, SpatialHash};
+use fading_math::zeta;
+use fading_net::{LinkId, LinkSet};
+use rayon::prelude::*;
+
+/// Truncation policy for [`SparseInterference`].
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SparseConfig {
+    /// Per-factor cut as a fraction of `γ_ε`: any omitted factor is
+    /// `< tail_rtol · γ_ε`. Smaller is more exact and stores more.
+    pub tail_rtol: f64,
+}
+
+impl SparseConfig {
+    /// Practical default: omitted factors below `10⁻³ · γ_ε`. Stored
+    /// sums then carry a certified envelope of `|S| · 10⁻³ γ_ε`;
+    /// verdict-producing checks resolve any straddle exactly.
+    pub const DEFAULT_TAIL_RTOL: f64 = 1e-3;
+
+    /// The strictest setting: cuts at `BUDGET_RTOL · γ_ε`, the same
+    /// slack [`within_budget`](crate::feasibility::within_budget)
+    /// already grants — truncation is then invisible even to raw sum
+    /// comparisons. Needs far larger radii (it usually degenerates to
+    /// the exhaustive store; see `docs/interference.md`).
+    pub fn certified() -> Self {
+        Self {
+            tail_rtol: BUDGET_RTOL,
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    /// Panics unless `0 < tail_rtol ≤ 1`.
+    fn validate(&self) {
+        assert!(
+            self.tail_rtol.is_finite() && self.tail_rtol > 0.0 && self.tail_rtol <= 1.0,
+            "tail_rtol must be in (0, 1], got {}",
+            self.tail_rtol
+        );
+    }
+}
+
+impl Default for SparseConfig {
+    fn default() -> Self {
+        Self {
+            tail_rtol: Self::DEFAULT_TAIL_RTOL,
+        }
+    }
+}
+
+/// Near-field interference factors in CSR form over a spatial hash.
+///
+/// Stores, per *sender*, the (receiver, factor) pairs with the receiver
+/// inside the sender's stored neighborhood; per *receiver*, the
+/// truncation radius and cut. Keeps the geometry (positions, lengths,
+/// power scales, channel), so any factor — stored or not — is
+/// recomputable exactly in `O(1)`.
+#[derive(Debug, Clone)]
+pub struct SparseInterference {
+    n: usize,
+    channel: RayleighChannel,
+    senders: Vec<Point2>,
+    receivers: Vec<Point2>,
+    lengths: Vec<f64>,
+    powers: Option<Vec<f64>>,
+    /// Hash over *sender* positions, for neighborhood queries.
+    sender_hash: SpatialHash,
+    /// CSR by sender: out-factors of sender `i` live at
+    /// `out_receivers[out_offsets[i]..out_offsets[i+1]]`.
+    out_offsets: Vec<usize>,
+    out_receivers: Vec<u32>,
+    out_factors: Vec<f64>,
+    /// Per-receiver truncation radius (senders within it are stored).
+    radius: Vec<f64>,
+    /// Per-receiver certified bound on any omitted factor (0 ⇒
+    /// exhaustive).
+    cut: Vec<f64>,
+    /// The absolute per-factor cut budget `τ = tail_rtol · γ_ε`.
+    tau: f64,
+    tail_rtol: f64,
+    exact: bool,
+}
+
+impl PartialEq for SparseInterference {
+    fn eq(&self, other: &Self) -> bool {
+        // The hash is derived from `senders`; everything else is
+        // compared structurally.
+        self.n == other.n
+            && self.channel == other.channel
+            && self.senders == other.senders
+            && self.receivers == other.receivers
+            && self.lengths == other.lengths
+            && self.powers == other.powers
+            && self.out_offsets == other.out_offsets
+            && self.out_receivers == other.out_receivers
+            && self.out_factors == other.out_factors
+            && self.radius == other.radius
+            && self.cut == other.cut
+            && self.tau == other.tau
+            && self.tail_rtol == other.tail_rtol
+    }
+}
+
+impl SparseInterference {
+    /// Builds the truncated store for `links` under uniform power.
+    ///
+    /// `gamma_eps` is the feasibility budget the truncation budget is
+    /// relative to (`τ = config.tail_rtol · γ_ε`).
+    pub fn build(
+        links: &LinkSet,
+        channel: &RayleighChannel,
+        gamma_eps: f64,
+        config: SparseConfig,
+    ) -> Self {
+        Self::build_with_powers(links, channel, None, gamma_eps, config)
+    }
+
+    /// Builds the truncated store with optional per-link power scales
+    /// (same contract as
+    /// [`InterferenceMatrix::build_with_powers`](crate::interference::InterferenceMatrix::build_with_powers)).
+    ///
+    /// # Panics
+    /// Panics on an invalid `config`, a power vector of the wrong
+    /// length, or non-positive scales.
+    pub fn build_with_powers(
+        links: &LinkSet,
+        channel: &RayleighChannel,
+        powers: Option<&[f64]>,
+        gamma_eps: f64,
+        config: SparseConfig,
+    ) -> Self {
+        config.validate();
+        assert!(
+            gamma_eps.is_finite() && gamma_eps > 0.0,
+            "gamma_eps must be positive"
+        );
+        let _span = fading_obs::span!("core.sparse.build");
+        let started = std::time::Instant::now();
+        let n = links.len();
+        if let Some(p) = powers {
+            assert_eq!(p.len(), n, "power vector length mismatch");
+            assert!(
+                p.iter().all(|&s| s.is_finite() && s > 0.0),
+                "power scales must be positive"
+            );
+        }
+        let senders = links.sender_positions();
+        let receivers = links.receiver_positions();
+        let lengths: Vec<f64> = links.ids().map(|i| links.length(i)).collect();
+        let tau = config.tail_rtol * gamma_eps;
+        let diameter = instance_diameter(&senders, &receivers);
+        let max_scale = powers
+            .map(|p| p.iter().copied().fold(f64::MIN, f64::max))
+            .unwrap_or(1.0);
+
+        // Per-receiver truncation radius: the distance at which the
+        // worst-case factor onto j drops to τ. Capped at the instance
+        // diameter, in which case the receiver is exhaustive (cut 0).
+        let mut radius = vec![0.0f64; n];
+        let mut cut = vec![0.0f64; n];
+        let alpha = channel.params.alpha;
+        let gamma_th = channel.params.gamma_th;
+        for j in 0..n {
+            let ratio = powers.map_or(1.0, |p| max_scale / p[j]);
+            let r = lengths[j] * (gamma_th * ratio / tau.exp_m1()).powf(1.0 / alpha);
+            if r >= diameter || !r.is_finite() {
+                radius[j] = diameter;
+                cut[j] = 0.0;
+            } else {
+                radius[j] = r;
+                cut[j] = tau;
+            }
+        }
+
+        // Hash cell ≈ the typical query radius (performance only;
+        // correctness is radius-driven).
+        let mean_radius = if n == 0 {
+            1.0
+        } else {
+            radius.iter().sum::<f64>() / n as f64
+        };
+        let cell = if mean_radius.is_finite() && mean_radius > 0.0 {
+            mean_radius
+        } else {
+            1.0
+        };
+        let sender_hash = SpatialHash::build(&senders, cell);
+
+        // Gather each receiver's stored in-neighborhood, then scatter
+        // into a CSR keyed by sender.
+        let gather = |j: usize| -> Vec<(u32, f64)> {
+            let mut found = Vec::new();
+            sender_hash.for_each_in_radius(&receivers[j], radius[j], |i| {
+                if i as usize != j {
+                    let f = pair_factor(
+                        channel, &senders, &receivers, &lengths, powers, i as usize, j,
+                    );
+                    found.push((i, f));
+                }
+            });
+            found
+        };
+        let in_lists: Vec<Vec<(u32, f64)>> = if n >= PARALLEL_THRESHOLD {
+            (0..n).into_par_iter().map(gather).collect()
+        } else {
+            (0..n).map(gather).collect()
+        };
+
+        let mut degree = vec![0usize; n];
+        for list in &in_lists {
+            for &(i, _) in list {
+                degree[i as usize] += 1;
+            }
+        }
+        let mut out_offsets = vec![0usize; n + 1];
+        for i in 0..n {
+            out_offsets[i + 1] = out_offsets[i] + degree[i];
+        }
+        let total = out_offsets[n];
+        let mut next = out_offsets.clone();
+        let mut out_receivers = vec![0u32; total];
+        let mut out_factors = vec![0.0f64; total];
+        // Iterating receivers in ascending order leaves every CSR row
+        // sorted by receiver id.
+        for (j, list) in in_lists.iter().enumerate() {
+            for &(i, f) in list {
+                let pos = next[i as usize];
+                out_receivers[pos] = j as u32;
+                out_factors[pos] = f;
+                next[i as usize] = pos + 1;
+            }
+        }
+
+        let exact = cut.iter().all(|&c| c == 0.0);
+        let pairs = (n as u64).saturating_mul(n.saturating_sub(1) as u64);
+        fading_obs::counter("core.sparse.builds").incr();
+        fading_obs::counter("core.sparse.factors_stored").add(total as u64);
+        fading_obs::counter("core.sparse.factors_pruned").add(pairs - total as u64);
+        fading_obs::gauge("core.sparse.build_ms").set(started.elapsed().as_secs_f64() * 1e3);
+        fading_obs::gauge("core.sparse.tail_cut_max").set(cut.iter().copied().fold(0.0, f64::max));
+        let neighborhood = fading_obs::histogram(
+            "core.sparse.in_degree",
+            &[1.0, 4.0, 16.0, 64.0, 256.0, 1024.0, 4096.0, 16384.0],
+        );
+        for list in &in_lists {
+            neighborhood.record(list.len() as f64);
+        }
+
+        Self {
+            n,
+            channel: *channel,
+            senders,
+            receivers,
+            lengths,
+            powers: powers.map(<[f64]>::to_vec),
+            sender_hash,
+            out_offsets,
+            out_receivers,
+            out_factors,
+            radius,
+            cut,
+            tau,
+            tail_rtol: config.tail_rtol,
+            exact,
+        }
+    }
+
+    /// Number of links `N`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the store covers no links.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Exact factor `f_{i,j}` — recomputed from geometry through the
+    /// same channel code path as the dense build, so the value is
+    /// bit-identical to the dense matrix entry whether or not the pair
+    /// is stored.
+    #[inline]
+    pub fn factor(&self, sender: LinkId, receiver: LinkId) -> f64 {
+        let (i, j) = (sender.index(), receiver.index());
+        if i == j {
+            return 0.0;
+        }
+        pair_factor(
+            &self.channel,
+            &self.senders,
+            &self.receivers,
+            &self.lengths,
+            self.powers.as_deref(),
+            i,
+            j,
+        )
+    }
+
+    /// Stored out-factors of `sender` (every omitted receiver `j` has
+    /// `f_{sender,j} < tail_cut(j)`).
+    #[inline]
+    pub fn for_each_out(&self, sender: LinkId, f: &mut dyn FnMut(LinkId, f64)) {
+        let i = sender.index();
+        let lo = self.out_offsets[i];
+        let hi = self.out_offsets[i + 1];
+        for k in lo..hi {
+            f(LinkId(self.out_receivers[k]), self.out_factors[k]);
+        }
+    }
+
+    /// Stored in-factors onto `receiver`, recomputed on demand from the
+    /// sender hash (nothing is stored per-receiver).
+    pub fn for_each_in(&self, receiver: LinkId, f: &mut dyn FnMut(LinkId, f64)) {
+        let j = receiver.index();
+        self.sender_hash
+            .for_each_in_radius(&self.receivers[j], self.radius[j], |i| {
+                if i as usize != j {
+                    let v = pair_factor(
+                        &self.channel,
+                        &self.senders,
+                        &self.receivers,
+                        &self.lengths,
+                        self.powers.as_deref(),
+                        i as usize,
+                        j,
+                    );
+                    f(LinkId(i), v);
+                }
+            });
+    }
+
+    /// Certified bound on any single omitted factor onto `receiver`
+    /// (`0` ⇒ the receiver's neighborhood is exhaustive).
+    #[inline]
+    pub fn tail_cut(&self, receiver: LinkId) -> f64 {
+        self.cut[receiver.index()]
+    }
+
+    /// The truncation radius of `receiver`.
+    pub fn truncation_radius(&self, receiver: LinkId) -> f64 {
+        self.radius[receiver.index()]
+    }
+
+    /// The absolute per-factor cut budget `τ = tail_rtol · γ_ε`.
+    pub fn tau(&self) -> f64 {
+        self.tau
+    }
+
+    /// The configured relative cut.
+    pub fn tail_rtol(&self) -> f64 {
+        self.tail_rtol
+    }
+
+    /// The largest per-receiver cut (0 when exhaustive everywhere).
+    pub fn max_tail_cut(&self) -> f64 {
+        self.cut.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Bytes held by the interference storage proper: CSR arrays,
+    /// per-receiver radii/cuts, geometry, and the sender hash's index
+    /// entries. The figure the large-n memory budget is checked against.
+    pub fn storage_bytes(&self) -> u64 {
+        let csr = self.out_offsets.len() * std::mem::size_of::<usize>()
+            + self.out_receivers.len() * std::mem::size_of::<u32>()
+            + self.out_factors.len() * std::mem::size_of::<f64>();
+        let per_receiver = (self.radius.len() + self.cut.len()) * std::mem::size_of::<f64>();
+        let geometry = (self.senders.len() + self.receivers.len()) * std::mem::size_of::<Point2>()
+            + self.lengths.len() * std::mem::size_of::<f64>()
+            + self.powers.as_ref().map_or(0, |p| p.len() * 8);
+        // Hash: one u32 index per point plus the point copy.
+        let hash = self.sender_hash.len() * (std::mem::size_of::<u32>() + 16);
+        (csr + per_receiver + geometry + hash) as u64
+    }
+
+    /// The `ζ(α−1)` packing bound on the **total** omitted interference
+    /// onto `receiver` from any concurrently transmitting set whose
+    /// senders are pairwise at least `min_separation` apart: omitted
+    /// senders sit beyond `R_j`, and an annulus decomposition of the far
+    /// field gives
+    ///
+    /// ```text
+    /// Σ_{d_ij > R_j} f_{i,j} ≤ 8 γ_th ρ_j d_jj^α (2ζ(α−1) + ζ(α)) / (λ² R_j^{α−2}),
+    /// ```
+    ///
+    /// with `λ = min(min_separation, R_j)`. Derivation in
+    /// `docs/interference.md`. Returns `0` for exhaustive receivers.
+    ///
+    /// # Panics
+    /// Panics if `α ≤ 2` (the far-field series diverges) or
+    /// `min_separation ≤ 0`.
+    pub fn far_field_packing_bound(&self, receiver: LinkId, min_separation: f64) -> f64 {
+        let j = receiver.index();
+        if self.cut[j] == 0.0 {
+            return 0.0;
+        }
+        let alpha = self.channel.params.alpha;
+        assert!(
+            alpha > 2.0,
+            "far-field packing bound needs alpha > 2, got {alpha}"
+        );
+        assert!(
+            min_separation > 0.0,
+            "min_separation must be positive, got {min_separation}"
+        );
+        let r = self.radius[j];
+        let lambda = min_separation.min(r);
+        let ratio = self
+            .powers
+            .as_ref()
+            .map_or(1.0, |p| p.iter().copied().fold(f64::MIN, f64::max) / p[j]);
+        let geometry = 2.0 * zeta(alpha - 1.0) + zeta(alpha);
+        8.0 * self.channel.params.gamma_th * ratio * self.lengths[j].powf(alpha) * geometry
+            / (lambda * lambda * r.powf(alpha - 2.0))
+    }
+}
+
+impl InterferenceModel for SparseInterference {
+    fn len(&self) -> usize {
+        self.n
+    }
+
+    fn factor(&self, sender: LinkId, receiver: LinkId) -> f64 {
+        SparseInterference::factor(self, sender, receiver)
+    }
+
+    fn for_each_out(&self, sender: LinkId, f: &mut dyn FnMut(LinkId, f64)) {
+        SparseInterference::for_each_out(self, sender, f)
+    }
+
+    fn for_each_in(&self, receiver: LinkId, f: &mut dyn FnMut(LinkId, f64)) {
+        SparseInterference::for_each_in(self, receiver, f)
+    }
+
+    fn tail_cut(&self, receiver: LinkId) -> f64 {
+        SparseInterference::tail_cut(self, receiver)
+    }
+
+    fn is_exact(&self) -> bool {
+        self.exact
+    }
+
+    fn stored_factors(&self) -> u64 {
+        self.out_factors.len() as u64
+    }
+}
+
+/// `f_{i,j}` from geometry — the single code path both the stored build
+/// and on-demand lookups share (and the same one the dense build uses),
+/// so every value is bit-identical across backends.
+#[inline]
+fn pair_factor(
+    channel: &RayleighChannel,
+    senders: &[Point2],
+    receivers: &[Point2],
+    lengths: &[f64],
+    powers: Option<&[f64]>,
+    i: usize,
+    j: usize,
+) -> f64 {
+    let d_ij = senders[i].distance(&receivers[j]);
+    let d_jj = lengths[j];
+    match powers {
+        None => channel.interference_factor(d_ij, d_jj),
+        Some(p) => channel.interference_factor_scaled(d_ij, d_jj, p[i], p[j]),
+    }
+}
+
+/// Diameter of the bounding box of all senders and receivers — an upper
+/// bound on any sender→receiver distance, hence the "store everything"
+/// radius cap.
+fn instance_diameter(senders: &[Point2], receivers: &[Point2]) -> f64 {
+    let mut min = Point2::new(f64::INFINITY, f64::INFINITY);
+    let mut max = Point2::new(f64::NEG_INFINITY, f64::NEG_INFINITY);
+    for p in senders.iter().chain(receivers) {
+        min = Point2::new(min.x.min(p.x), min.y.min(p.y));
+        max = Point2::new(max.x.max(p.x), max.y.max(p.y));
+    }
+    if senders.is_empty() && receivers.is_empty() {
+        return 1.0;
+    }
+    let diag = Rect::new(min, max).diagonal();
+    if diag.is_finite() && diag > 0.0 {
+        diag
+    } else {
+        1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interference::InterferenceMatrix;
+    use fading_channel::ChannelParams;
+    use fading_math::gamma_eps;
+    use fading_net::{TopologyGenerator, UniformGenerator};
+
+    fn paper_pair(
+        n: usize,
+        seed: u64,
+        rtol: f64,
+    ) -> (LinkSet, InterferenceMatrix, SparseInterference) {
+        let links = UniformGenerator::paper(n).generate(seed);
+        let channel = RayleighChannel::new(ChannelParams::paper_defaults());
+        let dense = InterferenceMatrix::build(&links, &channel);
+        let sparse = SparseInterference::build(
+            &links,
+            &channel,
+            gamma_eps(0.01),
+            SparseConfig { tail_rtol: rtol },
+        );
+        (links, dense, sparse)
+    }
+
+    #[test]
+    fn scalar_factors_are_bit_identical_to_dense() {
+        let (links, dense, sparse) = paper_pair(40, 9, SparseConfig::DEFAULT_TAIL_RTOL);
+        for i in links.ids() {
+            for j in links.ids() {
+                assert_eq!(
+                    sparse.factor(i, j).to_bits(),
+                    dense.factor(i, j).to_bits(),
+                    "f({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn certified_config_is_exhaustive_at_paper_scale() {
+        // Under the strictest cut the truncation radius (≈ 4642·d_jj at
+        // α = 3) exceeds the paper region's 707-unit diameter for every
+        // link, so the sparse store degenerates to an exact CSR: every
+        // pair stored, all cuts zero.
+        let (_, dense, sparse) = paper_pair(50, 10, SparseConfig::certified().tail_rtol);
+        assert!(InterferenceModel::is_exact(&sparse));
+        assert_eq!(
+            InterferenceModel::stored_factors(&sparse),
+            InterferenceModel::stored_factors(&dense)
+        );
+    }
+
+    #[test]
+    fn truncation_prunes_and_bounds_omitted_factors() {
+        // A coarse cut on a spread-out instance must actually prune, and
+        // every pruned factor must be below its receiver's cut.
+        let (links, dense, sparse) = paper_pair(80, 11, 0.5);
+        assert!(
+            !InterferenceModel::is_exact(&sparse),
+            "0.5·γ_ε must truncate"
+        );
+        assert!(
+            InterferenceModel::stored_factors(&sparse) < InterferenceModel::stored_factors(&dense)
+        );
+        for i in links.ids() {
+            let mut stored = vec![false; links.len()];
+            sparse.for_each_out(i, &mut |j, f| {
+                stored[j.index()] = true;
+                assert_eq!(f.to_bits(), dense.factor(i, j).to_bits());
+            });
+            for j in links.ids() {
+                if i != j && !stored[j.index()] {
+                    assert!(
+                        dense.factor(i, j) <= sparse.tail_cut(j) * (1.0 + 1e-12),
+                        "omitted f({i},{j}) = {} exceeds cut {}",
+                        dense.factor(i, j),
+                        sparse.tail_cut(j)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn in_and_out_iteration_are_transposes() {
+        let (links, _, sparse) = paper_pair(60, 12, 0.3);
+        let n = links.len();
+        let mut from_out = vec![vec![]; n];
+        let mut from_in = vec![vec![]; n];
+        for i in links.ids() {
+            sparse.for_each_out(i, &mut |j, f| from_out[j.index()].push((i, f)));
+            sparse.for_each_in(i, &mut |j, f| from_in[i.index()].push((j, f)));
+        }
+        for j in 0..n {
+            from_out[j].sort_by_key(|&(i, _)| i);
+            from_in[j].sort_by_key(|&(i, _)| i);
+            assert_eq!(from_out[j], from_in[j], "receiver {j}");
+        }
+    }
+
+    #[test]
+    fn power_scales_honored() {
+        let links = UniformGenerator::paper(30).generate(13);
+        let channel = RayleighChannel::new(ChannelParams::paper_defaults());
+        let powers: Vec<f64> = (0..30).map(|i| 0.5 + (i % 5) as f64 * 0.5).collect();
+        let dense = InterferenceMatrix::build_with_powers(&links, &channel, Some(&powers));
+        let sparse = SparseInterference::build_with_powers(
+            &links,
+            &channel,
+            Some(&powers),
+            gamma_eps(0.01),
+            SparseConfig::default(),
+        );
+        for i in links.ids() {
+            for j in links.ids() {
+                assert_eq!(sparse.factor(i, j).to_bits(), dense.factor(i, j).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn far_field_bound_is_zero_when_exhaustive_and_positive_otherwise() {
+        let (_, _, exact) = paper_pair(20, 14, SparseConfig::DEFAULT_TAIL_RTOL);
+        assert_eq!(exact.far_field_packing_bound(LinkId(0), 10.0), 0.0);
+        let (_, _, truncated) = paper_pair(80, 14, 0.5);
+        let j = (0..truncated.len())
+            .map(|j| LinkId(j as u32))
+            .find(|&j| truncated.tail_cut(j) > 0.0)
+            .expect("0.5·γ_ε must truncate somewhere");
+        let b = truncated.far_field_packing_bound(j, 10.0);
+        assert!(b > 0.0 && b.is_finite());
+        // Tighter separation ⇒ more far senders fit ⇒ larger bound.
+        assert!(truncated.far_field_packing_bound(j, 5.0) > b);
+    }
+
+    #[test]
+    fn empty_and_singleton_instances() {
+        let channel = RayleighChannel::new(ChannelParams::paper_defaults());
+        let empty = LinkSet::new(fading_geom::Rect::square(1.0), vec![]);
+        let s =
+            SparseInterference::build(&empty, &channel, gamma_eps(0.01), SparseConfig::default());
+        assert!(s.is_empty());
+        assert_eq!(InterferenceModel::stored_factors(&s), 0);
+
+        let one = UniformGenerator::paper(1).generate(15);
+        let s = SparseInterference::build(&one, &channel, gamma_eps(0.01), SparseConfig::default());
+        assert_eq!(s.len(), 1);
+        assert_eq!(InterferenceModel::stored_factors(&s), 0);
+        assert_eq!(s.factor(LinkId(0), LinkId(0)), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "tail_rtol")]
+    fn rejects_non_positive_tail_rtol() {
+        let links = UniformGenerator::paper(3).generate(16);
+        let channel = RayleighChannel::new(ChannelParams::paper_defaults());
+        SparseInterference::build(
+            &links,
+            &channel,
+            gamma_eps(0.01),
+            SparseConfig { tail_rtol: 0.0 },
+        );
+    }
+}

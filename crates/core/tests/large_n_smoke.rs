@@ -1,0 +1,92 @@
+//! Release-mode scale smoke: the sparse substrate at `N = 100 000`.
+//!
+//! Ignored by default — the dense matrix at this size would be 80 GB,
+//! and even the sparse pipeline wants a release build. CI runs it
+//! explicitly:
+//!
+//! ```text
+//! cargo test --release -p fading-core --test large_n_smoke -- --ignored
+//! ```
+//!
+//! The instance keeps the paper's density (300 links per 500×500 field,
+//! lengths U[5,20]) on a field scaled by `√(N/300)`, at `α = 4` — a
+//! Fig. 5(b) sweep value whose default truncation radius keeps the
+//! near-field store comfortably inside the 1 GB budget.
+
+use fading_channel::ChannelParams;
+use fading_core::algo::Rle;
+use fading_core::feasibility::within_budget;
+use fading_core::{BackendChoice, Problem, Scheduler, SparseConfig};
+use fading_net::{RateModel, TopologyGenerator, UniformGenerator};
+use std::time::{Duration, Instant};
+
+#[test]
+#[ignore = "release-mode scale smoke (CI runs it explicitly with --ignored)"]
+fn sparse_backend_runs_rle_at_one_hundred_thousand_links() {
+    let n = 100_000usize;
+    let started = Instant::now();
+    let gen = UniformGenerator {
+        side: 500.0 * (n as f64 / 300.0).sqrt(),
+        n,
+        len_lo: 5.0,
+        len_hi: 20.0,
+        rates: RateModel::Fixed(1.0),
+    };
+    let links = gen.generate(20170714);
+    let problem = Problem::with_backend(
+        links,
+        ChannelParams::with_alpha(4.0),
+        0.01,
+        BackendChoice::Sparse(SparseConfig::default()),
+    );
+    let model = problem
+        .factors()
+        .as_sparse()
+        .expect("smoke must run on the sparse backend");
+
+    // The memory contract from the issue: interference storage < 1 GB.
+    let storage = model.storage_bytes();
+    assert!(
+        storage < 1_000_000_000,
+        "interference storage is {storage} B, over the 1 GB budget"
+    );
+    // The instance must actually exercise truncation — otherwise this
+    // is a slow exhaustive test, not a certified-envelope one.
+    assert!(
+        model.max_tail_cut() > 0.0,
+        "instance was stored exhaustively"
+    );
+
+    let schedule = Rle::new().schedule(&problem);
+    assert!(
+        schedule.len() > 1_000,
+        "RLE picked only {} links at N = 100k",
+        schedule.len()
+    );
+
+    // Exact feasibility on a sample of receivers (the full O(|S|²)
+    // report at |S| in the tens of thousands is a benchmark, not a
+    // smoke). Factors recompute exactly regardless of truncation.
+    let members: Vec<_> = schedule.iter().collect();
+    let budget = problem.gamma_eps();
+    let step = (members.len() / 256).max(1);
+    for &j in members.iter().step_by(step) {
+        let sum: f64 = members
+            .iter()
+            .filter(|&&i| i != j)
+            .map(|&i| problem.factor(i, j))
+            .sum();
+        assert!(
+            within_budget(sum, budget),
+            "receiver {j} exceeds γ_ε: {sum} > {budget}"
+        );
+    }
+
+    // Wall-time guard: generous for slow CI hosts, tight enough to
+    // catch an accidental O(N²) regression (which would take hours).
+    let elapsed = started.elapsed();
+    assert!(
+        elapsed < Duration::from_secs(600),
+        "scale smoke took {elapsed:?}, over the 10-minute guard"
+    );
+}

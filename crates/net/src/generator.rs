@@ -8,11 +8,12 @@
 //! experiments.
 
 use crate::link::{Link, LinkId};
-use crate::linkset::LinkSet;
+use crate::linkset::{position_key, LinkSet};
 use fading_geom::{Point2, Rect};
 use fading_math::seeded_rng;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
 
 /// How link data rates are drawn.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -111,8 +112,11 @@ impl TopologyGenerator for UniformGenerator {
         let region = Rect::square(self.side);
         let mut rng = seeded_rng(seed);
         let mut links = Vec::with_capacity(self.n);
-        let mut senders: Vec<Point2> = Vec::with_capacity(self.n);
-        let mut receivers: Vec<Point2> = Vec::with_capacity(self.n);
+        // Constant-time duplicate rejection (exact coordinate identity)
+        // keeps generation O(N) — the sparse backend's large-n smoke
+        // draws 10⁵ links through this loop.
+        let mut senders: HashSet<(u64, u64)> = HashSet::with_capacity(self.n);
+        let mut receivers: HashSet<(u64, u64)> = HashSet::with_capacity(self.n);
         while links.len() < self.n {
             let s = Point2::new(rng.gen_range(0.0..self.side), rng.gen_range(0.0..self.side));
             let d = rng.gen_range(self.len_lo..=self.len_hi);
@@ -120,15 +124,13 @@ impl TopologyGenerator for UniformGenerator {
             let r = s.offset_polar(d, theta);
             // Enforce the model's uniqueness assumptions; duplicates are
             // measure-zero but a seed could hit one.
-            if senders.iter().any(|p| p.distance_sq(&s) == 0.0)
-                || receivers.iter().any(|p| p.distance_sq(&r) == 0.0)
-            {
+            if senders.contains(&position_key(&s)) || receivers.contains(&position_key(&r)) {
                 continue;
             }
             let id = LinkId(links.len() as u32);
             links.push(Link::new(id, s, r, self.rates.sample(&mut rng, d)));
-            senders.push(s);
-            receivers.push(r);
+            senders.insert(position_key(&s));
+            receivers.insert(position_key(&r));
         }
         LinkSet::new(region, links)
     }
@@ -162,8 +164,8 @@ impl TopologyGenerator for ClusteredGenerator {
         let region = Rect::square(self.side);
         let mut rng = seeded_rng(seed);
         let mut links = Vec::new();
-        let mut senders: Vec<Point2> = Vec::new();
-        let mut receivers: Vec<Point2> = Vec::new();
+        let mut senders: HashSet<(u64, u64)> = HashSet::new();
+        let mut receivers: HashSet<(u64, u64)> = HashSet::new();
         for _ in 0..self.clusters {
             let center = Point2::new(rng.gen_range(0.0..self.side), rng.gen_range(0.0..self.side));
             let mut placed = 0;
@@ -174,15 +176,13 @@ impl TopologyGenerator for ClusteredGenerator {
                 let d = rng.gen_range(self.len_lo..=self.len_hi);
                 let theta = rng.gen_range(0.0..std::f64::consts::TAU);
                 let r = s.offset_polar(d, theta);
-                if senders.iter().any(|p| p.distance_sq(&s) == 0.0)
-                    || receivers.iter().any(|p| p.distance_sq(&r) == 0.0)
-                {
+                if senders.contains(&position_key(&s)) || receivers.contains(&position_key(&r)) {
                     continue;
                 }
                 let id = LinkId(links.len() as u32);
                 links.push(Link::new(id, s, r, self.rates.sample(&mut rng, d)));
-                senders.push(s);
-                receivers.push(r);
+                senders.insert(position_key(&s));
+                receivers.insert(position_key(&r));
                 placed += 1;
             }
         }
@@ -270,16 +270,16 @@ impl TopologyGenerator for PoissonGenerator {
         let mut rng = seeded_rng(seed);
         let senders = fading_geom::poisson_disk(&mut rng, &region, self.min_separation, self.max_n);
         let mut links = Vec::with_capacity(senders.len());
-        let mut receivers: Vec<Point2> = Vec::with_capacity(senders.len());
+        let mut receivers: HashSet<(u64, u64)> = HashSet::with_capacity(senders.len());
         for s in senders {
             loop {
                 let d = rng.gen_range(self.len_lo..=self.len_hi);
                 let theta = rng.gen_range(0.0..std::f64::consts::TAU);
                 let r = s.offset_polar(d, theta);
-                if receivers.iter().all(|p| p.distance_sq(&r) > 0.0) {
+                if !receivers.contains(&position_key(&r)) {
                     let id = LinkId(links.len() as u32);
                     links.push(Link::new(id, s, r, self.rates.sample(&mut rng, d)));
-                    receivers.push(r);
+                    receivers.insert(position_key(&r));
                     break;
                 }
             }

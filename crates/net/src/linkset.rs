@@ -3,6 +3,18 @@
 use crate::link::{Link, LinkId};
 use fading_geom::{Point2, Rect};
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Hashable identity key of a coordinate pair: exact bit patterns with
+/// `-0.0` normalized onto `+0.0`, so two points compare equal iff their
+/// coordinates are numerically equal. Lets the duplicate-position
+/// validation run in `O(N)` instead of the former `O(N²)` pair scan —
+/// at the 10⁵-link scale the sparse interference backend targets, the
+/// pair scan alone would dominate instance construction.
+#[inline]
+pub(crate) fn position_key(p: &Point2) -> (u64, u64) {
+    ((p.x + 0.0).to_bits(), (p.y + 0.0).to_bits())
+}
 
 /// A scheduling instance: `N` links inside a deployment region.
 ///
@@ -62,15 +74,17 @@ impl LinkSet {
                 });
             }
         }
-        for i in 0..links.len() {
-            for j in (i + 1)..links.len() {
-                if links[i].sender.distance_sq(&links[j].sender) == 0.0 {
-                    return Err(E::DuplicateSender(links[i].id, links[j].id));
-                }
-                if links[i].receiver.distance_sq(&links[j].receiver) == 0.0 {
-                    return Err(E::DuplicateReceiver(links[i].id, links[j].id));
-                }
+        let mut senders: HashMap<(u64, u64), LinkId> = HashMap::with_capacity(links.len());
+        let mut receivers: HashMap<(u64, u64), LinkId> = HashMap::with_capacity(links.len());
+        for l in &links {
+            if let Some(&first) = senders.get(&position_key(&l.sender)) {
+                return Err(E::DuplicateSender(first, l.id));
             }
+            senders.insert(position_key(&l.sender), l.id);
+            if let Some(&first) = receivers.get(&position_key(&l.receiver)) {
+                return Err(E::DuplicateReceiver(first, l.id));
+            }
+            receivers.insert(position_key(&l.receiver), l.id);
         }
         Ok(Self { region, links })
     }

@@ -48,15 +48,17 @@ pub fn instance_stats(links: &LinkSet) -> InstanceStats {
             .iter()
             .enumerate()
             .map(|(i, p)| {
-                // Query the hash excluding the point itself.
+                // Query the hash excluding the point itself; the
+                // zero-alloc visitor keeps the doubling loop free of a
+                // per-iteration Vec.
                 let mut best = f64::INFINITY;
                 let mut radius = mean_length.max(1e-9);
                 loop {
-                    for j in hash.query_radius(p, radius) {
+                    hash.for_each_in_radius(p, radius, |j| {
                         if j as usize != i {
                             best = best.min(senders[j as usize].distance(p));
                         }
-                    }
+                    });
                     if best.is_finite() {
                         return best;
                     }

@@ -130,7 +130,6 @@ impl DlsProtocol {
                 traffic.record(MessageKind::Clear);
                 let r_i = links.link(i).receiver;
                 let radius = c1 * links.length(i);
-                let row = problem.factors().row(i);
                 for j in links.ids() {
                     if phase[j.index()] != Phase::Undecided {
                         continue;
@@ -138,7 +137,10 @@ impl DlsProtocol {
                     if links.link(j).sender.distance(&r_i) < radius {
                         phase[j.index()] = Phase::Retired;
                     } else {
-                        measured[j.index()] += row[j.index()];
+                        // The receiver *measures* the clear broadcast:
+                        // a scalar factor lookup, exact under every
+                        // interference backend.
+                        measured[j.index()] += problem.factor(i, j);
                     }
                 }
             }

@@ -58,7 +58,7 @@ fn measure_point(
             let inst_seed = split_seed(point_seed, k as u64);
             let links = config.generator(n).generate(inst_seed);
             let params = ChannelParams::new(alpha, config.gamma_th, 1.0, 0.0);
-            let problem = Problem::new(links, params, config.epsilon);
+            let problem = Problem::with_backend(links, params, config.epsilon, config.interference);
             let schedule = {
                 let _span = fading_obs::span!("scheduler");
                 scheduler.schedule(&problem)

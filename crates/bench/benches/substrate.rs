@@ -156,6 +156,52 @@ fn capacity_quadrature(c: &mut Criterion) {
     });
 }
 
+fn residual_construction(c: &mut Criterion) {
+    // Per-slot residual sub-problem construction at the acceptance
+    // scale (n = 2000, dense): `restrict` slices the parent's matrix
+    // (pure `f64` copies) where `rebuild` re-evaluates every factor's
+    // transcendental from geometry. Keeping half the links is the
+    // typical mid-run shape of the multi-slot / queueing loops.
+    let params = fading_channel::ChannelParams::paper_defaults();
+    let n = 2000usize;
+    let links = scaled_generator(n).generate(11);
+    let keep: Vec<fading_net::LinkId> = links.ids().step_by(2).collect();
+    let mut group = c.benchmark_group("residual_construction");
+    group.sample_size(10);
+    let dense = Problem::with_backend(links.clone(), params, 0.01, BackendChoice::Dense);
+    group.bench_function(BenchmarkId::new("dense_rebuild", n), |b| {
+        b.iter(|| {
+            let (sub_links, _) = dense.links().restrict(&keep);
+            black_box(Problem::with_backend(
+                sub_links,
+                params,
+                0.01,
+                BackendChoice::Dense,
+            ))
+        })
+    });
+    group.bench_function(BenchmarkId::new("dense_restrict", n), |b| {
+        b.iter(|| black_box(dense.restrict(&keep)))
+    });
+    let sparse =
+        Problem::with_backend(links, params, 0.01, BackendChoice::parse("sparse").unwrap());
+    group.bench_function(BenchmarkId::new("sparse_rebuild", n), |b| {
+        b.iter(|| {
+            let (sub_links, _) = sparse.links().restrict(&keep);
+            black_box(Problem::with_backend(
+                sub_links,
+                params,
+                0.01,
+                sparse.backend_choice(),
+            ))
+        })
+    });
+    group.bench_function(BenchmarkId::new("sparse_restrict", n), |b| {
+        b.iter(|| black_box(sparse.restrict(&keep)))
+    });
+    group.finish();
+}
+
 fn queueing_slots(c: &mut Criterion) {
     let links = UniformGenerator::paper(100).generate(8);
     let problem = Problem::paper(links, 3.0);
@@ -187,6 +233,7 @@ criterion_group!(
     spatial_hash,
     protocol_run,
     capacity_quadrature,
+    residual_construction,
     queueing_slots
 );
 criterion_main!(benches);

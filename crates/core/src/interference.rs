@@ -174,6 +174,25 @@ impl InterferenceMatrix {
         let i = sender.index();
         &self.data[i * self.n..(i + 1) * self.n]
     }
+
+    /// The `k×k` sub-matrix over `keep` (parent link ids, in the
+    /// sub-instance's id order): entry `(a, b)` is the parent's
+    /// `f_{keep[a], keep[b]}`, copied bit-for-bit. Factors depend only
+    /// on pairwise geometry, which restriction does not change, so the
+    /// slice equals a from-scratch rebuild of the sub-instance — minus
+    /// the `O(k²)` transcendental evaluations.
+    pub fn restrict(&self, keep: &[LinkId]) -> Self {
+        let k = keep.len();
+        let mut data = vec![0.0; k * k];
+        for (a, &i) in keep.iter().enumerate() {
+            let row = self.row(i);
+            let out = &mut data[a * k..(a + 1) * k];
+            for (b, &j) in keep.iter().enumerate() {
+                out[b] = row[j.index()];
+            }
+        }
+        Self { n: k, data }
+    }
 }
 
 impl InterferenceModel for InterferenceMatrix {

@@ -13,15 +13,31 @@ use crate::problem::Problem;
 use crate::schedule::Schedule;
 use crate::Scheduler;
 use fading_net::LinkId;
+use std::collections::HashMap;
 
 /// A complete multi-slot schedule: every link appears in exactly one
 /// slot, and every slot is feasible in isolation.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MultiSlotSchedule {
     slots: Vec<Schedule>,
+    /// Link → slot index, precomputed so [`slot_of`](Self::slot_of) is
+    /// `O(1)` instead of an `O(slots·n)` scan.
+    slot_index: HashMap<LinkId, usize>,
 }
 
 impl MultiSlotSchedule {
+    /// Builds the schedule from per-slot link sets, indexing each link's
+    /// slot. A link appearing in several slots keeps its first.
+    pub fn from_slots(slots: Vec<Schedule>) -> Self {
+        let mut slot_index = HashMap::new();
+        for (t, slot) in slots.iter().enumerate() {
+            for id in slot.iter() {
+                slot_index.entry(id).or_insert(t);
+            }
+        }
+        Self { slots, slot_index }
+    }
+
     /// The per-slot schedules, in transmission order.
     pub fn slots(&self) -> &[Schedule] {
         &self.slots
@@ -37,20 +53,23 @@ impl MultiSlotSchedule {
         self.slots.iter().map(Schedule::len).sum()
     }
 
-    /// Slot index of a link, if scheduled.
+    /// Slot index of a link, if scheduled (`O(1)`).
     pub fn slot_of(&self, id: LinkId) -> Option<usize> {
-        self.slots.iter().position(|s| s.contains(id))
+        self.slot_index.get(&id).copied()
     }
 }
 
 /// Schedules *all* links of `problem` using `scheduler` for each slot.
+///
+/// Each residual instance goes through [`Problem::restrict`], so the
+/// sub-problems keep the parent's power scales and interference backend
+/// and reuse its interference state instead of recomputing geometry.
 pub fn schedule_all<S: Scheduler + ?Sized>(problem: &Problem, scheduler: &S) -> MultiSlotSchedule {
     let mut remaining: Vec<LinkId> = problem.links().ids().collect();
     let mut slots = Vec::new();
     while !remaining.is_empty() {
-        // Build the residual instance (renumbered) and map ids back.
-        let (sub_links, mapping) = problem.links().restrict(&remaining);
-        let sub = Problem::new(sub_links, *problem.params(), problem.epsilon());
+        // Derive the residual instance (renumbered) and map ids back.
+        let (sub, mapping) = problem.restrict(&remaining);
         let sub_schedule = scheduler.schedule(&sub);
         let slot: Vec<LinkId> = if sub_schedule.is_empty() {
             // Fallback: a singleton is always feasible (no interferers).
@@ -73,7 +92,7 @@ pub fn schedule_all<S: Scheduler + ?Sized>(problem: &Problem, scheduler: &S) -> 
         remaining.retain(|id| !slot.contains(id));
         slots.push(Schedule::from_ids(slot));
     }
-    MultiSlotSchedule { slots }
+    MultiSlotSchedule::from_slots(slots)
 }
 
 /// A lower bound on the number of slots any multi-slot schedule needs:
@@ -166,6 +185,21 @@ mod tests {
             assert!(ms.slot_of(id).is_some());
         }
         assert_eq!(ms.total_links(), p.len());
+    }
+
+    #[test]
+    fn slot_index_matches_a_linear_scan() {
+        let slots = vec![
+            Schedule::from_ids([LinkId(3), LinkId(1)]),
+            Schedule::from_ids([LinkId(0)]),
+            Schedule::from_ids([LinkId(4), LinkId(2)]),
+        ];
+        let ms = MultiSlotSchedule::from_slots(slots.clone());
+        for id in (0..6).map(LinkId) {
+            let scanned = slots.iter().position(|s| s.contains(id));
+            assert_eq!(ms.slot_of(id), scanned, "link {id}");
+        }
+        assert_eq!(ms.slot_of(LinkId(5)), None);
     }
 
     #[test]

@@ -163,6 +163,93 @@ impl Problem {
         }
     }
 
+    /// The sub-problem over `keep` (parent link ids), with ids
+    /// renumbered to be dense; the returned mapping gives
+    /// `sub id → parent id`.
+    ///
+    /// Everything the parent was configured with survives: channel
+    /// parameters, `ε`, the per-link power scales (sliced to `keep`),
+    /// and the interference backend. The sub-problem's interference
+    /// state is *derived* from the parent's instead of rebuilt — a
+    /// row/column slice of the dense matrix, a remapped CSR sub-view of
+    /// the sparse store (parent truncation certificates remain valid;
+    /// see [`SparseInterference::restrict`]) — so per-slot residual
+    /// scheduling costs `O(k²)` copies (dense) or `O(stored)` (sparse)
+    /// rather than a full geometry recompute.
+    pub fn restrict(&self, keep: &[LinkId]) -> (Problem, Vec<LinkId>) {
+        let _span = fading_obs::span!("problem.restrict");
+        let (links, mapping) = self.links.restrict(keep);
+        let power_scales = self
+            .power_scales
+            .as_ref()
+            .map(|p| mapping.iter().map(|id| p[id.index()]).collect::<Vec<f64>>());
+        let factors = match &self.factors {
+            InterferenceBackend::Dense(m) => InterferenceBackend::Dense(m.restrict(&mapping)),
+            InterferenceBackend::Sparse(s) => InterferenceBackend::Sparse(s.restrict(&mapping)),
+        };
+        fading_obs::counter!("problem.restrict.calls").incr();
+        fading_obs::counter!("problem.restrict.links").add(keep.len() as u64);
+        let parent_stored = self.factors.stored_factors();
+        if parent_stored > 0 {
+            fading_obs::gauge("problem.restrict.reuse_ratio")
+                .set(factors.stored_factors() as f64 / parent_stored as f64);
+        }
+        let sub = Self {
+            links,
+            channel: self.channel,
+            epsilon: self.epsilon,
+            gamma_eps: self.gamma_eps,
+            factors,
+            power_scales,
+        };
+        (sub, mapping)
+    }
+
+    /// A problem with the same links and interference state but new
+    /// per-link rates (e.g. MaxWeight queue-length weights).
+    /// Interference factors depend only on geometry and powers — never
+    /// on rates — so no interference state is recomputed or copied
+    /// beyond a clone.
+    ///
+    /// # Panics
+    /// Panics on length mismatch or a non-positive/non-finite rate.
+    pub fn with_link_rates(&self, rates: &[f64]) -> Problem {
+        let mut out = self.clone();
+        out.links = self.links.with_rates(rates);
+        out
+    }
+
+    /// Rebuilds the instance on `links` (same link count, possibly new
+    /// geometry — e.g. after a mobility step), preserving `ε`, the
+    /// channel parameters, the per-link power scales, and the
+    /// interference backend choice. Geometry changed, so factors *are*
+    /// recomputed — this is the drifted-topology counterpart of
+    /// [`Problem::restrict`].
+    ///
+    /// # Panics
+    /// Panics if `links` has a different link count while power scales
+    /// are active.
+    pub fn rebuild_with_links(&self, links: LinkSet) -> Problem {
+        Self::build(
+            links,
+            self.channel.params,
+            self.epsilon,
+            self.power_scales.clone(),
+            self.backend_choice(),
+        )
+    }
+
+    /// The [`BackendChoice`] matching this instance's concrete backend
+    /// (the resolved choice — never `Auto`).
+    pub fn backend_choice(&self) -> BackendChoice {
+        match &self.factors {
+            InterferenceBackend::Dense(_) => BackendChoice::Dense,
+            InterferenceBackend::Sparse(s) => BackendChoice::Sparse(SparseConfig {
+                tail_rtol: s.tail_rtol(),
+            }),
+        }
+    }
+
     /// Transmit power scale of a link (1 under uniform power).
     #[inline]
     pub fn power_scale(&self, id: LinkId) -> f64 {

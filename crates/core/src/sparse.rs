@@ -303,6 +303,87 @@ impl SparseInterference {
         }
     }
 
+    /// The sub-store over `keep` (parent link ids, in the
+    /// sub-instance's id order): geometry, powers, radii, and stored
+    /// factors are sliced from the parent; CSR rows keep only entries
+    /// whose receiver survives, with both endpoints remapped to the
+    /// dense sub-ids. No factor is recomputed.
+    ///
+    /// The parent's certificates remain valid verbatim: receiver `j`'s
+    /// truncation radius and cut describe *geometry* ("any sender
+    /// beyond `R_j` contributes `< cut`"), so dropping senders can only
+    /// remove omitted factors, never add one above the cut. Receivers
+    /// whose parent cut was `0` stay exhaustive; truncated receivers
+    /// keep their (possibly now conservative) cut `τ`, which the
+    /// verdict machinery already resolves exactly on a straddle. The
+    /// per-store `exact` flag is re-validated from the sliced cuts.
+    pub fn restrict(&self, keep: &[LinkId]) -> Self {
+        let k = keep.len();
+        // Parent id → sub id, for filtering CSR entries.
+        let mut new_id = vec![u32::MAX; self.n];
+        for (a, &old) in keep.iter().enumerate() {
+            new_id[old.index()] = a as u32;
+        }
+        let senders: Vec<Point2> = keep.iter().map(|&i| self.senders[i.index()]).collect();
+        let receivers: Vec<Point2> = keep.iter().map(|&i| self.receivers[i.index()]).collect();
+        let lengths: Vec<f64> = keep.iter().map(|&i| self.lengths[i.index()]).collect();
+        let powers = self
+            .powers
+            .as_ref()
+            .map(|p| keep.iter().map(|&i| p[i.index()]).collect::<Vec<f64>>());
+        let radius: Vec<f64> = keep.iter().map(|&i| self.radius[i.index()]).collect();
+        let cut: Vec<f64> = keep.iter().map(|&i| self.cut[i.index()]).collect();
+
+        let mut out_offsets = Vec::with_capacity(k + 1);
+        out_offsets.push(0usize);
+        let mut out_receivers = Vec::new();
+        let mut out_factors = Vec::new();
+        for &old in keep {
+            let i = old.index();
+            for pos in self.out_offsets[i]..self.out_offsets[i + 1] {
+                let j = new_id[self.out_receivers[pos] as usize];
+                if j != u32::MAX {
+                    out_receivers.push(j);
+                    out_factors.push(self.out_factors[pos]);
+                }
+            }
+            out_offsets.push(out_receivers.len());
+        }
+
+        // The hash cell tracks the sub-instance's typical query radius
+        // (performance only; correctness is radius-driven).
+        let mean_radius = if k == 0 {
+            1.0
+        } else {
+            radius.iter().sum::<f64>() / k as f64
+        };
+        let cell = if mean_radius.is_finite() && mean_radius > 0.0 {
+            mean_radius
+        } else {
+            1.0
+        };
+        let sender_hash = SpatialHash::build(&senders, cell);
+        let exact = cut.iter().all(|&c| c == 0.0);
+
+        Self {
+            n: k,
+            channel: self.channel,
+            senders,
+            receivers,
+            lengths,
+            powers,
+            sender_hash,
+            out_offsets,
+            out_receivers,
+            out_factors,
+            radius,
+            cut,
+            tau: self.tau,
+            tail_rtol: self.tail_rtol,
+            exact,
+        }
+    }
+
     /// Number of links `N`.
     #[inline]
     pub fn len(&self) -> usize {

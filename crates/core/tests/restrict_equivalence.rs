@@ -1,0 +1,194 @@
+//! Restriction substrate equivalence (the tentpole contract).
+//!
+//! `Problem::restrict` derives a sub-problem's interference state from
+//! its parent — a row/column slice of the dense matrix, a remapped CSR
+//! sub-view of the sparse store — instead of rebuilding from geometry.
+//! These properties pin that the derived state is indistinguishable
+//! from a rebuild: same schedules, same feasibility verdicts, same
+//! (bit-identical) scalar factors, across backends, path-loss
+//! exponents, power scales, and random keep-subsets.
+
+use fading_channel::ChannelParams;
+use fading_core::algo::{GreedyRate, Ldp, Rle};
+use fading_core::feasibility::is_feasible;
+use fading_core::{BackendChoice, Problem, Schedule, Scheduler, SparseConfig};
+use fading_net::{LinkId, TopologyGenerator, UniformGenerator};
+use proptest::prelude::*;
+
+const ALPHAS: [f64; 3] = [2.5, 3.0, 4.0];
+/// Exhaustive-at-paper-scale and genuinely-truncating cuts.
+const TAIL_RTOLS: [f64; 2] = [1e-3, 5e-1];
+
+/// A parent problem under the requested backend and power model.
+fn parent(n: usize, seed: u64, alpha: f64, backend: BackendChoice, powered: bool) -> Problem {
+    let links = UniformGenerator::paper(n).generate(seed);
+    let params = ChannelParams::with_alpha(alpha);
+    if powered {
+        let scales: Vec<f64> = (0..n).map(|i| 0.5 + (i % 5) as f64 * 0.375).collect();
+        Problem::with_power_scales_and_backend(links, params, 0.01, scales, backend)
+    } else {
+        Problem::with_backend(links, params, 0.01, backend)
+    }
+}
+
+/// The keep-subset encoded by `mask` (always non-empty: id 0 is forced
+/// in when the mask selects nothing).
+fn keep_subset(n: usize, mask: u64) -> Vec<LinkId> {
+    let keep: Vec<LinkId> = (0..n)
+        .filter(|&i| mask & (1 << (i % 64)) != 0)
+        .map(|i| LinkId(i as u32))
+        .collect();
+    if keep.is_empty() {
+        vec![LinkId(0)]
+    } else {
+        keep
+    }
+}
+
+/// A from-scratch rebuild of the sub-instance with the parent's full
+/// configuration — the path `restrict` replaces.
+fn rebuild(parent: &Problem, keep: &[LinkId]) -> Problem {
+    let (links, mapping) = parent.links().restrict(keep);
+    match parent.power_scales() {
+        Some(p) => Problem::with_power_scales_and_backend(
+            links,
+            *parent.params(),
+            parent.epsilon(),
+            mapping.iter().map(|id| p[id.index()]).collect(),
+            parent.backend_choice(),
+        ),
+        None => Problem::with_backend(
+            links,
+            *parent.params(),
+            parent.epsilon(),
+            parent.backend_choice(),
+        ),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Restrict-then-schedule ≡ rebuild-then-schedule: identical
+    /// schedules and identical feasibility verdicts on both backends.
+    #[test]
+    fn restrict_then_schedule_equals_rebuild_then_schedule(
+        n in 4usize..40,
+        seed in 0u64..5_000,
+        alpha_idx in 0usize..3,
+        rtol_idx in 0usize..2,
+        sparse_bit in 0usize..2,
+        powered_bit in 0usize..2,
+        mask in 1u64..u64::MAX,
+    ) {
+        let backend = if sparse_bit == 1 {
+            BackendChoice::Sparse(SparseConfig { tail_rtol: TAIL_RTOLS[rtol_idx] })
+        } else {
+            BackendChoice::Dense
+        };
+        let parent = parent(n, seed, ALPHAS[alpha_idx], backend, powered_bit == 1);
+        let keep = keep_subset(n, mask);
+        let (sub, mapping) = parent.restrict(&keep);
+        let rebuilt = rebuild(&parent, &keep);
+        prop_assert_eq!(&mapping, &keep);
+        prop_assert_eq!(sub.links(), rebuilt.links());
+        prop_assert_eq!(sub.factors().name(), rebuilt.factors().name());
+
+        let schedulers: [&dyn Scheduler; 3] = [&Rle::new(), &Ldp::new(), &GreedyRate];
+        for s in schedulers {
+            let from_restrict = s.schedule(&sub);
+            let from_rebuild = s.schedule(&rebuilt);
+            prop_assert_eq!(&from_restrict, &from_rebuild, "{} diverged", s.name());
+            prop_assert_eq!(
+                is_feasible(&sub, &from_restrict),
+                is_feasible(&rebuilt, &from_restrict)
+            );
+        }
+    }
+
+    /// Scalar factors of the derived sub-problem are bit-identical to
+    /// the rebuild's, and both equal the parent's mapped factors — the
+    /// foundation verdict agreement rests on.
+    #[test]
+    fn restricted_factors_match_parent_and_rebuild(
+        n in 2usize..30,
+        seed in 0u64..5_000,
+        alpha_idx in 0usize..3,
+        sparse_bit in 0usize..2,
+        powered_bit in 0usize..2,
+        mask in 1u64..u64::MAX,
+    ) {
+        let backend = if sparse_bit == 1 {
+            BackendChoice::Sparse(SparseConfig { tail_rtol: 5e-1 })
+        } else {
+            BackendChoice::Dense
+        };
+        let parent = parent(n, seed, ALPHAS[alpha_idx], backend, powered_bit == 1);
+        let keep = keep_subset(n, mask);
+        let (sub, mapping) = parent.restrict(&keep);
+        let rebuilt = rebuild(&parent, &keep);
+        for a in sub.links().ids() {
+            for b in sub.links().ids() {
+                let from_parent = parent.factor(mapping[a.index()], mapping[b.index()]);
+                prop_assert_eq!(sub.factor(a, b).to_bits(), from_parent.to_bits());
+                prop_assert_eq!(sub.factor(a, b).to_bits(), rebuilt.factor(a, b).to_bits());
+            }
+        }
+        // Subset feasibility verdicts coincide too.
+        let every_other = Schedule::from_ids(sub.links().ids().filter(|id| id.index() % 2 == 0));
+        prop_assert_eq!(
+            is_feasible(&sub, &every_other),
+            is_feasible(&rebuilt, &every_other)
+        );
+    }
+}
+
+/// Restriction preserves the whole configuration: `ε`, channel
+/// parameters, per-link power scales (sliced), and the backend — the
+/// sparse backend no longer silently reverts to dense.
+#[test]
+fn restrict_preserves_configuration() {
+    let n = 30;
+    let scales: Vec<f64> = (0..n).map(|i| 0.5 + (i % 7) as f64 * 0.25).collect();
+    let p = Problem::with_power_scales_and_backend(
+        UniformGenerator::paper(n).generate(3),
+        ChannelParams::with_alpha(3.5),
+        0.02,
+        scales.clone(),
+        BackendChoice::Sparse(SparseConfig { tail_rtol: 1e-2 }),
+    );
+    let keep: Vec<LinkId> = [0u32, 7, 11, 19, 28].iter().map(|&i| LinkId(i)).collect();
+    let (sub, mapping) = p.restrict(&keep);
+    assert_eq!(sub.len(), keep.len());
+    assert_eq!(sub.epsilon(), p.epsilon());
+    assert_eq!(sub.params(), p.params());
+    assert_eq!(sub.factors().name(), "sparse", "backend must survive");
+    assert_eq!(
+        sub.backend_choice(),
+        p.backend_choice(),
+        "truncation policy must survive"
+    );
+    let sub_scales = sub.power_scales().expect("power scales must survive");
+    for (a, &orig) in mapping.iter().enumerate() {
+        assert_eq!(sub_scales[a], scales[orig.index()]);
+    }
+}
+
+/// An empty keep-set restricts to an empty problem on both backends.
+#[test]
+fn restrict_to_nothing_is_empty() {
+    for backend in [
+        BackendChoice::Dense,
+        BackendChoice::Sparse(SparseConfig::default()),
+    ] {
+        let p = Problem::with_backend(
+            UniformGenerator::paper(10).generate(4),
+            ChannelParams::paper_defaults(),
+            0.01,
+            backend,
+        );
+        let (sub, mapping) = p.restrict(&[]);
+        assert!(sub.is_empty());
+        assert!(mapping.is_empty());
+    }
+}

@@ -168,6 +168,25 @@ impl LinkSet {
         self.links.iter().map(|l| l.receiver).collect()
     }
 
+    /// The same links with new rates (id order). Geometry is untouched,
+    /// so validation reduces to the rate checks.
+    ///
+    /// # Panics
+    /// Panics on length mismatch or a non-positive/non-finite rate.
+    pub fn with_rates(&self, rates: &[f64]) -> LinkSet {
+        assert_eq!(rates.len(), self.links.len(), "rate vector length mismatch");
+        let links = self
+            .links
+            .iter()
+            .zip(rates)
+            .map(|(l, &rate)| Link::new(l.id, l.sender, l.receiver, rate))
+            .collect();
+        Self {
+            region: self.region,
+            links,
+        }
+    }
+
     /// A new instance containing only `keep` (ids are renumbered to be
     /// dense; the returned mapping gives `new id → old id`).
     pub fn restrict(&self, keep: &[LinkId]) -> (LinkSet, Vec<LinkId>) {

@@ -39,6 +39,34 @@ struct NodeState {
     offset: Point2,
     waypoint: Point2,
     speed: f64,
+    /// Waypoint sampling bounds: the region shrunk by the rigid
+    /// receiver offset, so a sender inside it keeps *both* endpoints
+    /// in-region along the whole leg (the leg is a straight segment and
+    /// the bounds are convex).
+    bounds: Rect,
+}
+
+/// The region of valid *sender* positions for a rigid pair with the
+/// given receiver offset: `region ∩ (region − offset)`. Any sender in
+/// it has its receiver in-region too. Falls back per axis to the full
+/// region when the pair is wider/taller than the region itself (the
+/// pair cannot fit; legacy behavior is the best we can do).
+fn sender_bounds(region: &Rect, offset: Point2) -> Rect {
+    let lo_x = region.min().x.max(region.min().x - offset.x);
+    let hi_x = region.max().x.min(region.max().x - offset.x);
+    let lo_y = region.min().y.max(region.min().y - offset.y);
+    let hi_y = region.max().y.min(region.max().y - offset.y);
+    let (lo_x, hi_x) = if lo_x <= hi_x {
+        (lo_x, hi_x)
+    } else {
+        (region.min().x, region.max().x)
+    };
+    let (lo_y, hi_y) = if lo_y <= hi_y {
+        (lo_y, hi_y)
+    } else {
+        (region.min().y, region.max().y)
+    };
+    Rect::new(Point2::new(lo_x, lo_y), Point2::new(hi_x, hi_y))
 }
 
 impl RandomWaypoint {
@@ -58,12 +86,15 @@ impl RandomWaypoint {
             .links()
             .iter()
             .map(|l| {
-                let waypoint = Self::random_point(&mut rng, &region);
+                let offset = l.receiver - l.sender;
+                let bounds = sender_bounds(&region, offset);
+                let waypoint = Self::random_point(&mut rng, &bounds);
                 NodeState {
                     sender: l.sender,
-                    offset: l.receiver - l.sender,
+                    offset,
                     waypoint,
                     speed: rng.gen_range(speed_lo..=speed_hi),
+                    bounds,
                 }
             })
             .collect();
@@ -99,7 +130,7 @@ impl RandomWaypoint {
                 if dist <= budget {
                     s.sender = s.waypoint;
                     budget -= dist;
-                    s.waypoint = Self::random_point(&mut self.rng, &self.region);
+                    s.waypoint = Self::random_point(&mut self.rng, &s.bounds);
                     s.speed = self.rng.gen_range(self.speed_lo..=self.speed_hi);
                     if dist == 0.0 {
                         break; // degenerate zero-length leg; retry next step
@@ -158,6 +189,44 @@ mod tests {
             let moved = mob.step(1.0);
             for l in moved.links() {
                 assert!(region.contains(&l.sender), "sender escaped: {:?}", l.sender);
+            }
+        }
+    }
+
+    #[test]
+    fn receivers_stay_inside_the_region_too() {
+        // A link hugging the right edge with its receiver offset
+        // pointing further right: the legacy sampler could pick a
+        // waypoint whose rigid offset carried the receiver out of the
+        // region. Drive it hard along many legs.
+        let region = Rect::square(100.0);
+        let links = LinkSet::new(
+            region,
+            vec![
+                Link::new(
+                    LinkId(0),
+                    Point2::new(95.0, 50.0),
+                    Point2::new(99.5, 50.0),
+                    1.0,
+                ),
+                Link::new(
+                    LinkId(1),
+                    Point2::new(50.0, 1.0),
+                    Point2::new(50.0, 19.0),
+                    1.0,
+                ),
+            ],
+        );
+        let mut mob = RandomWaypoint::new(&links, 20.0, 60.0, 23);
+        for _ in 0..300 {
+            let moved = mob.step(1.0);
+            for l in moved.links() {
+                assert!(region.contains(&l.sender), "sender escaped: {:?}", l.sender);
+                assert!(
+                    region.contains(&l.receiver),
+                    "receiver escaped: {:?}",
+                    l.receiver
+                );
             }
         }
     }

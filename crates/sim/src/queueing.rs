@@ -28,26 +28,70 @@ pub struct QueueConfig {
 }
 
 /// Aggregate results of a queueing run.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
 pub struct QueueResult {
     /// Packets that arrived.
     pub arrived: u64,
     /// Packets delivered.
     pub delivered: u64,
-    /// Mean delivery delay in slots (arrival slot → delivery slot).
-    pub mean_delay: f64,
+    /// Mean delivery delay in slots (arrival slot → delivery slot);
+    /// `None` when nothing was delivered (a mean over zero samples has
+    /// no value). Old manifests with a plain number still deserialize.
+    pub mean_delay: Option<f64>,
     /// Time-averaged total backlog (packets waiting, sampled per slot).
     pub mean_backlog: f64,
     /// Largest backlog observed.
     pub max_backlog: u64,
     /// Backlog remaining when the run ended.
     pub final_backlog: u64,
+    /// The simulated horizon, recorded so [`throughput`](Self::throughput)
+    /// can never be handed a wrong denominator. Old manifests without
+    /// the field deserialize to `0` (throughput then reads `0`).
+    pub slots: u64,
+}
+
+// The vendored serde derive requires every named field to be present;
+// this manual impl instead treats the fields added after the first
+// manifests shipped (`slots`; a possibly-null `mean_delay`) as
+// optional, so old manifests still load.
+impl Deserialize for QueueResult {
+    fn deserialize_node(node: &serde::Node) -> Result<Self, serde::DeError> {
+        fn field<T: Deserialize>(node: &serde::Node, name: &str) -> Result<T, serde::DeError> {
+            Deserialize::deserialize_node(
+                node.get(name)
+                    .ok_or_else(|| serde::DeError(format!("missing field `{name}`")))?,
+            )
+        }
+        if !matches!(node, serde::Node::Map(_)) {
+            return Err(serde::DeError(
+                "invalid type: expected a map for struct QueueResult".to_string(),
+            ));
+        }
+        Ok(Self {
+            arrived: field(node, "arrived")?,
+            delivered: field(node, "delivered")?,
+            mean_delay: match node.get("mean_delay") {
+                None => None,
+                Some(n) => Deserialize::deserialize_node(n)?,
+            },
+            mean_backlog: field(node, "mean_backlog")?,
+            max_backlog: field(node, "max_backlog")?,
+            final_backlog: field(node, "final_backlog")?,
+            slots: match node.get("slots") {
+                None => 0,
+                Some(n) => Deserialize::deserialize_node(n)?,
+            },
+        })
+    }
 }
 
 impl QueueResult {
-    /// Delivered throughput in packets/slot.
-    pub fn throughput(&self, slots: u64) -> f64 {
-        self.delivered as f64 / slots as f64
+    /// Delivered throughput in packets/slot over the run's own horizon.
+    pub fn throughput(&self) -> f64 {
+        if self.slots == 0 {
+            return 0.0;
+        }
+        self.delivered as f64 / self.slots as f64
     }
 }
 
@@ -114,23 +158,21 @@ pub fn simulate_queueing_with_policy<S: Scheduler + ?Sized>(
             .filter(|id| !queues[id.index()].is_empty())
             .collect();
         if !backlogged.is_empty() {
-            let (mut sub_links, mapping) = problem.links().restrict(&backlogged);
+            // Derive the residual instance from the parent: power
+            // scales and the interference backend survive, and the
+            // interference state is sliced, not rebuilt.
+            let (mut sub, mapping) = problem.restrict(&backlogged);
             if policy == ServicePolicy::MaxWeight {
                 // Reweight each backlogged link by its queue length so
-                // rate-aware schedulers implement backpressure.
-                let region = *sub_links.region();
-                let reweighted = sub_links
-                    .links()
+                // rate-aware schedulers implement backpressure. Rates
+                // never enter the interference factors, so this swaps
+                // link weights without touching geometry state.
+                let weights: Vec<f64> = mapping
                     .iter()
-                    .enumerate()
-                    .map(|(k, l)| {
-                        let backlog = queues[mapping[k].index()].len() as f64;
-                        fading_net::Link::new(l.id, l.sender, l.receiver, backlog.max(1e-9))
-                    })
+                    .map(|orig| (queues[orig.index()].len() as f64).max(1e-9))
                     .collect();
-                sub_links = fading_net::LinkSet::new(region, reweighted);
+                sub = sub.with_link_rates(&weights);
             }
-            let sub = Problem::new(sub_links, *problem.params(), problem.epsilon());
             let schedule = scheduler.schedule(&sub);
             // Channel realization decides actual delivery.
             let mut rng = seeded_rng(split_seed(cfg.seed, t + 1));
@@ -151,10 +193,11 @@ pub fn simulate_queueing_with_policy<S: Scheduler + ?Sized>(
     QueueResult {
         arrived,
         delivered,
-        mean_delay: delays.mean(),
+        mean_delay: (delivered > 0).then(|| delays.mean()),
         mean_backlog: backlog_stats.mean(),
         max_backlog,
         final_backlog: queues.iter().map(|q| q.len() as u64).sum(),
+        slots: cfg.slots,
     }
 }
 
@@ -195,7 +238,48 @@ mod tests {
             "light load left {} packets queued",
             r.final_backlog
         );
-        assert!(r.mean_delay < 5.0, "mean delay {}", r.mean_delay);
+        let delay = r.mean_delay.expect("packets were delivered");
+        assert!(delay < 5.0, "mean delay {delay}");
+        assert_eq!(r.slots, 1500);
+        assert!((r.throughput() - r.delivered as f64 / 1500.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn zero_deliveries_report_no_mean_delay() {
+        // delivered == 0 ⟺ mean_delay is None, and throughput always
+        // divides by the run's own horizon.
+        let p = problem(20, 9);
+        for slots in [1u64, 2, 3] {
+            let r = simulate_queueing(&p, &GreedyRate, &cfg(0.9, slots));
+            assert_eq!(r.slots, slots);
+            assert_eq!(r.mean_delay.is_none(), r.delivered == 0);
+            assert!((r.throughput() - r.delivered as f64 / slots as f64).abs() < 1e-15);
+        }
+        // And a guaranteed-empty case: deserialize-style construction.
+        let empty = QueueResult {
+            arrived: 0,
+            delivered: 0,
+            mean_delay: None,
+            mean_backlog: 0.0,
+            max_backlog: 0,
+            final_backlog: 0,
+            slots: 0,
+        };
+        assert_eq!(empty.throughput(), 0.0);
+    }
+
+    #[test]
+    fn queue_result_deserializes_old_manifests() {
+        // Pre-`slots` manifests carried a bare number for mean_delay
+        // and no slots field; both must still load.
+        let old = r#"{
+            "arrived": 10, "delivered": 8, "mean_delay": 2.5,
+            "mean_backlog": 1.0, "max_backlog": 3, "final_backlog": 2
+        }"#;
+        let r: QueueResult = serde_json::from_str(old).unwrap();
+        assert_eq!(r.mean_delay, Some(2.5));
+        assert_eq!(r.slots, 0);
+        assert_eq!(r.throughput(), 0.0);
     }
 
     #[test]

@@ -166,7 +166,11 @@ pub fn drift_reliability(
     out.push(expected_failures(problem));
     for _ in 0..steps {
         let moved = mobility.step(dt);
-        let drifted = Problem::new(moved, *problem.params(), problem.epsilon());
+        // Geometry changed, so factors must be recomputed — but the
+        // drifted instance keeps the parent's ε, power scales, and
+        // interference backend (a bare `Problem::new` silently dropped
+        // all three).
+        let drifted = problem.rebuild_with_links(moved);
         out.push(expected_failures(&drifted));
     }
     out

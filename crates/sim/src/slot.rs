@@ -4,6 +4,13 @@
 //! `Z_{j,j} ~ Exp(P·d_jj^{−α})` and each interferer's power
 //! `Z_{i,j} ~ Exp(P·d_ij^{−α})` independently (the Rayleigh model,
 //! Eq. (5)), then test the realized SINR against `γ_th` (Eq. (7)–(8)).
+//!
+//! Every draw is scaled by the problem's per-link power scale. The
+//! queueing and multi-slot loops hand this function *residual*
+//! sub-problems built by `Problem::restrict`, which slices the parent's
+//! power scales along with its interference state — so
+//! `sample_gain_scaled` sees the true transmit powers here even though
+//! the sub-instance was renumbered (see `docs/residual.md`).
 
 use fading_core::{Problem, Schedule};
 use fading_net::LinkId;

@@ -1,0 +1,73 @@
+//! Release-mode queueing smoke: the restriction substrate at scale.
+//!
+//! Ignored by default — the dense matrix at `n = 2000` alone is 32 MB
+//! and 200 slots of the old rebuild-per-slot loop took minutes in a
+//! debug build. CI runs it explicitly:
+//!
+//! ```text
+//! cargo test --release -p fading-sim --test queueing_smoke -- --ignored
+//! ```
+//!
+//! Before `Problem::restrict`, every backlogged slot paid an `O(n²)`
+//! geometry recompute; the wall guard here is the regression tripwire —
+//! restrict-based slots at this scale finish comfortably inside it,
+//! rebuild-based slots do not.
+
+use fading_channel::ChannelParams;
+use fading_core::algo::GreedyRate;
+use fading_core::{BackendChoice, Problem};
+use fading_net::{RateModel, TopologyGenerator, UniformGenerator};
+use fading_sim::queueing::{simulate_queueing_with_policy, QueueConfig, ServicePolicy};
+use std::time::{Duration, Instant};
+
+#[test]
+#[ignore = "release-mode scale smoke (CI runs it explicitly with --ignored)"]
+fn queueing_two_thousand_links_two_hundred_slots_within_wall_guard() {
+    let n = 2000usize;
+    // Paper density (300 links per 500×500 field) scaled to n.
+    let gen = UniformGenerator {
+        side: 500.0 * (n as f64 / 300.0).sqrt(),
+        n,
+        len_lo: 5.0,
+        len_hi: 20.0,
+        rates: RateModel::Fixed(1.0),
+    };
+    let links = gen.generate(20170715);
+    let problem = Problem::with_backend(
+        links,
+        ChannelParams::paper_defaults(),
+        0.01,
+        BackendChoice::Dense,
+    );
+    let cfg = QueueConfig {
+        arrival_prob: 0.2,
+        slots: 200,
+        seed: 3,
+    };
+
+    let started = Instant::now();
+    let result =
+        simulate_queueing_with_policy(&problem, &GreedyRate, &cfg, ServicePolicy::MaxWeight);
+    let elapsed = started.elapsed();
+
+    assert_eq!(result.slots, cfg.slots);
+    assert!(result.arrived > 0, "deterministic arrivals must occur");
+    assert!(
+        result.delivered > 0,
+        "a 2000-link instance must deliver something in 200 slots"
+    );
+    assert_eq!(
+        result.arrived,
+        result.delivered + result.final_backlog,
+        "packet conservation"
+    );
+    // Wall guard. The restrict-based loop runs this in seconds in a
+    // release build; the old rebuild-per-slot loop pays ~200 dense
+    // matrix builds (~30 ms each at n = 2000) on top of scheduling and
+    // blows well past any comfortable margin on slow CI runners.
+    let guard = Duration::from_secs(120);
+    assert!(
+        elapsed < guard,
+        "200 queueing slots at n = {n} took {elapsed:?}, over the {guard:?} wall guard"
+    );
+}

@@ -35,6 +35,37 @@ fn algorithm_scaling(c: &mut Criterion) {
     group.finish();
 }
 
+/// Dedicated LDP group: the regression gate for the tracing hooks.
+/// Tracing is disabled here (the default), so these numbers must stay
+/// within noise of the pre-trace baseline.
+fn ldp_schedule(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ldp_schedule");
+    for &n in &[300usize, 1000] {
+        let links = UniformGenerator::paper(n).generate(42);
+        let problem = Problem::paper(links, 3.0);
+        let ldp = Ldp::new();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &problem, |b, p| {
+            b.iter(|| black_box(ldp.schedule(p)))
+        });
+    }
+    group.finish();
+}
+
+/// Dedicated RLE group: exercises the budget-debit inner loop, the
+/// hottest path the tracing hooks touch.
+fn rle_schedule(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rle_schedule");
+    for &n in &[300usize, 1000] {
+        let links = UniformGenerator::paper(n).generate(42);
+        let problem = Problem::paper(links, 3.0);
+        let rle = Rle::new();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &problem, |b, p| {
+            b.iter(|| black_box(rle.schedule(p)))
+        });
+    }
+    group.finish();
+}
+
 fn interference_matrix(c: &mut Criterion) {
     let mut group = c.benchmark_group("interference_matrix");
     for &n in &[100usize, 500] {
@@ -77,6 +108,8 @@ fn exact_solver(c: &mut Criterion) {
 criterion_group!(
     benches,
     algorithm_scaling,
+    ldp_schedule,
+    rle_schedule,
     interference_matrix,
     exact_solver
 );

@@ -4,9 +4,10 @@
 //! pipeline), `--csv`/`--json` (also emit machine-readable output next
 //! to the text table, under `results/`), `--progress` (live sweep
 //! progress on stderr), `--quiet` (suppress progress and write
-//! chatter), and `--metrics-out <path>` (write a
+//! chatter), `--metrics-out <path>` (write a
 //! [`fading_obs::RunManifest`] with metrics and span timings after the
-//! run).
+//! run), and `--trace-out <path>` (write the schedulers' decision
+//! trace as JSONL; the file is hashed into the manifest's artifacts).
 
 use fading_core::BackendChoice;
 use fading_sim::{ExperimentConfig, ResultTable};
@@ -28,6 +29,8 @@ pub struct Cli {
     pub quiet: bool,
     /// Write a run manifest (metrics + spans) to this path.
     pub metrics_out: Option<PathBuf>,
+    /// Write the decision trace (JSONL) to this path.
+    pub trace_out: Option<PathBuf>,
     /// Interference backend for every `Problem` the sweep builds.
     pub interference: BackendChoice,
     /// When the run started (for the manifest's wall time).
@@ -43,6 +46,7 @@ impl Default for Cli {
             progress: false,
             quiet: false,
             metrics_out: None,
+            trace_out: None,
             interference: BackendChoice::Dense,
             started: Instant::now(),
         }
@@ -67,6 +71,10 @@ impl Cli {
                     let path = it.next().ok_or("--metrics-out is missing its path")?;
                     cli.metrics_out = Some(PathBuf::from(path));
                 }
+                "--trace-out" => {
+                    let path = it.next().ok_or("--trace-out is missing its path")?;
+                    cli.trace_out = Some(PathBuf::from(path));
+                }
                 "--interference" => {
                     let name = it.next().ok_or("--interference is missing its backend")?;
                     cli.interference = BackendChoice::parse(&name)?;
@@ -83,11 +91,15 @@ impl Cli {
         match Self::parse_from(std::env::args().skip(1)) {
             Ok(cli) => {
                 fading_obs::set_progress(cli.progress && !cli.quiet);
+                if cli.trace_out.is_some() {
+                    fading_obs::set_tracing(true);
+                    let _ = fading_obs::take_trace(); // start from an empty ring
+                }
                 cli
             }
             Err(e) => {
                 eprintln!(
-                    "error: {e}\nusage: [--quick] [--csv] [--json] [--progress] [--quiet] [--metrics-out <path>] [--interference dense|sparse|auto]"
+                    "error: {e}\nusage: [--quick] [--csv] [--json] [--progress] [--quiet] [--metrics-out <path>] [--trace-out <path>] [--interference dense|sparse|auto]"
                 );
                 std::process::exit(2);
             }
@@ -143,14 +155,30 @@ impl Cli {
     ///
     /// [`emit`]: Cli::emit
     pub fn write_manifest(&self, name: &str) {
+        if let Some(trace_path) = &self.trace_out {
+            fading_obs::set_tracing(false);
+            let trace = fading_obs::take_trace();
+            if let Err(e) = trace.write(trace_path) {
+                eprintln!("warning: cannot write {}: {e}", trace_path.display());
+            } else if !self.quiet {
+                eprintln!(
+                    "wrote {} trace events to {}",
+                    trace.events.len(),
+                    trace_path.display()
+                );
+            }
+        }
         let Some(path) = &self.metrics_out else {
             return;
         };
-        let manifest = fading_obs::ManifestBuilder::new(name)
+        let mut builder = fading_obs::ManifestBuilder::new(name)
             .started_at(self.started)
             .seed(self.config().seed)
-            .config_kv("quick", self.quick)
-            .finish();
+            .config_kv("quick", self.quick);
+        if let Some(trace_path) = &self.trace_out {
+            builder = builder.artifact("trace", trace_path);
+        }
+        let manifest = builder.finish();
         if let Err(e) = manifest.write(path) {
             eprintln!("warning: cannot write {}: {e}", path.display());
         } else if !self.quiet {
@@ -193,6 +221,17 @@ mod tests {
             cli.metrics_out.as_deref(),
             Some(std::path::Path::new("m.json"))
         );
+    }
+
+    #[test]
+    fn trace_out_flag_parses() {
+        let cli = Cli::parse_from(["--trace-out".to_string(), "t.jsonl".to_string()]).unwrap();
+        assert_eq!(
+            cli.trace_out.as_deref(),
+            Some(std::path::Path::new("t.jsonl"))
+        );
+        let err = Cli::parse_from(["--trace-out".to_string()]).unwrap_err();
+        assert!(err.contains("missing its path"), "{err}");
     }
 
     #[test]

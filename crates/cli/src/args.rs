@@ -15,7 +15,7 @@ pub struct Args {
 }
 
 /// Flags that never take a value; their presence stores `"true"`.
-pub const BOOLEAN_FLAGS: &[&str] = &["progress", "quiet"];
+pub const BOOLEAN_FLAGS: &[&str] = &["progress", "quiet", "budgets", "verify"];
 
 /// Parses an argument vector (excluding the program name).
 ///

@@ -10,7 +10,7 @@ use fading_sim::simulate_many;
 use std::path::Path;
 
 /// Flags accepted by every subcommand (observability plumbing).
-const GLOBAL_FLAGS: &[&str] = &["metrics-out", "progress", "quiet"];
+const GLOBAL_FLAGS: &[&str] = &["metrics-out", "trace-out", "progress", "quiet"];
 
 /// Rejects any option not in `allowed` (or [`GLOBAL_FLAGS`]), so a
 /// typo'd flag fails loudly instead of silently using a default.
@@ -29,20 +29,42 @@ fn reject_unknown_flags(args: &Args, allowed: &[&str]) -> Result<(), String> {
 /// Runs a parsed command, writing human output to `out`.
 ///
 /// Every subcommand also honors `--progress` (throttled stderr
-/// progress), `--quiet` (suppress progress and manifest chatter), and
-/// `--metrics-out <path>` (write a [`fading_obs::RunManifest`] JSON
-/// after a successful run).
+/// progress), `--quiet` (suppress progress and manifest chatter),
+/// `--trace-out <path>` (write the schedulers' decision trace as
+/// JSONL after a successful run), and `--metrics-out <path>` (write a
+/// [`fading_obs::RunManifest`] JSON after a successful run; trace
+/// files land in its `artifacts` list with their content hash).
 pub fn run(args: &Args, out: &mut dyn std::io::Write) -> Result<(), String> {
     let started = std::time::Instant::now();
     let quiet = args.flag("quiet");
     fading_obs::set_progress(args.flag("progress") && !quiet);
-    dispatch(args, out)?;
+    let trace_out = args.get("trace-out");
+    if trace_out.is_some() {
+        fading_obs::set_tracing(true);
+        let _ = fading_obs::take_trace(); // start from an empty ring
+    }
+    let dispatched = dispatch(args, out);
+    if trace_out.is_some() {
+        fading_obs::set_tracing(false);
+    }
+    dispatched?;
+    if let Some(path) = trace_out {
+        let trace = fading_obs::take_trace();
+        trace.write(Path::new(path))?;
+        if !quiet {
+            writeln!(out, "wrote {} trace events to {path}", trace.events.len())
+                .map_err(|e| e.to_string())?;
+        }
+    }
     if let Some(path) = args.get("metrics-out") {
         let mut builder = fading_obs::ManifestBuilder::new(&args.command)
             .started_at(started)
             .seed(args.get_or("seed", 0).unwrap_or(0));
         for (key, value) in &args.options {
             builder = builder.config_kv(key, value);
+        }
+        if let Some(trace_path) = trace_out {
+            builder = builder.artifact("trace", Path::new(trace_path));
         }
         builder.finish().write(Path::new(path))?;
         if !quiet {
@@ -131,6 +153,26 @@ fn dispatch(args: &Args, out: &mut dyn std::io::Write) -> Result<(), String> {
             )?;
             capacity(args, out)
         }
+        "explain" => {
+            reject_unknown_flags(
+                args,
+                &[
+                    "trace",
+                    "link",
+                    "budgets",
+                    "cascade",
+                    "block",
+                    "verify",
+                    "instance",
+                    "schedule",
+                    "alpha",
+                    "eps",
+                    "interference",
+                    "tail-rtol",
+                ],
+            )?;
+            crate::explain::explain(args, out)
+        }
         "help" | "--help" => write!(out, "{}", usage()).map_err(|e| e.to_string()),
         other => Err(format!("unknown subcommand {other}\n\n{}", usage())),
     }
@@ -155,6 +197,10 @@ USAGE:
                   [--interference dense|sparse|auto]
   fading capacity --instance <file> --schedule <file> [--alpha 3] [--eps 0.01]
                   [--interference dense|sparse|auto]
+  fading explain  --trace <file.jsonl> [--link <id>] [--budgets]
+                  [--cascade <pick#>] [--block <idx>]
+                  [--verify --instance <file> [--schedule <file>]
+                   [--alpha 3] [--eps 0.01] [--interference dense|sparse|auto]]
 
 ALGORITHMS:
   ldp | ldp-two-sided | rle | dls | greedy | random | exact | anneal |
@@ -165,6 +211,14 @@ INTERFERENCE BACKENDS (default dense):
   sparse  spatial-hash truncated store; tune with --tail-rtol <frac>
           (omitted factors stay below tail-rtol × γ_ε; default 1e-3)
   auto    dense up to 4096 links, sparse above
+
+GLOBAL FLAGS (every subcommand):
+  --trace-out <file.jsonl>  write the schedulers' decision trace
+                            (inspect and replay with `fading explain`)
+  --metrics-out <file.json> write a run manifest (metrics, spans,
+                            artifact hashes)
+  --progress                throttled progress on stderr
+  --quiet                   suppress progress and chatter
 "
     .to_string()
 }
@@ -174,7 +228,7 @@ fn load_instance(args: &Args) -> Result<fading_net::LinkSet, String> {
     io::load(Path::new(path)).map_err(|e| format!("cannot read {path}: {e}"))
 }
 
-fn build_problem(args: &Args, links: fading_net::LinkSet) -> Result<Problem, String> {
+pub(crate) fn build_problem(args: &Args, links: fading_net::LinkSet) -> Result<Problem, String> {
     let alpha: f64 = args.get_or("alpha", 3.0)?;
     let eps: f64 = args.get_or("eps", 0.01)?;
     if !alpha.is_finite() || alpha <= 2.0 {

@@ -6,6 +6,7 @@
 
 mod args;
 mod commands;
+mod explain;
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();

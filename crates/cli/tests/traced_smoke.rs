@@ -1,0 +1,243 @@
+//! End-to-end tests for `--trace-out` and the `explain` subcommand.
+//!
+//! Each test spawns the real binary, so the global trace ring lives in
+//! its own process and tests can run in parallel. The heavyweight
+//! n=1000 smoke (the CI traced-smoke job) is `#[ignore]`d by default:
+//! `cargo test -p fading-cli --test traced_smoke -- --ignored`.
+
+use fading_core::{verify_schedule, BackendChoice, Problem, Scheduler};
+use fading_obs::Trace;
+use std::path::{Path, PathBuf};
+
+fn run_binary(args: &[&str]) -> std::process::Output {
+    let exe = env!("CARGO_BIN_EXE_fading");
+    std::process::Command::new(exe)
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn ok(args: &[&str]) -> String {
+    let out = run_binary(args);
+    assert!(
+        out.status.success(),
+        "`fading {}` failed: {}",
+        args.join(" "),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("fading_traced_smoke");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+fn load_problem(instance: &Path, backend: BackendChoice) -> Problem {
+    let json = std::fs::read_to_string(instance).unwrap();
+    let links = fading_net::io::from_json(&json).unwrap();
+    Problem::with_backend(
+        links,
+        fading_channel::ChannelParams::with_alpha(3.0),
+        0.01,
+        backend,
+    )
+}
+
+#[test]
+fn trace_out_writes_replayable_jsonl_and_manifest_artifact() {
+    let inst = tmp("small.json");
+    let trace_path = tmp("small_rle.trace.jsonl");
+    let manifest_path = tmp("small_rle.manifest.json");
+    ok(&[
+        "generate",
+        "--n",
+        "80",
+        "--seed",
+        "5",
+        "--out",
+        inst.to_str().unwrap(),
+    ]);
+    let out = ok(&[
+        "schedule",
+        "--instance",
+        inst.to_str().unwrap(),
+        "--algo",
+        "rle",
+        "--trace-out",
+        trace_path.to_str().unwrap(),
+        "--metrics-out",
+        manifest_path.to_str().unwrap(),
+    ]);
+    assert!(out.contains("trace events"), "{out}");
+
+    // The trace file is valid JSONL, complete, and replays to the
+    // emitted schedule with a clean γ_ε ledger.
+    let jsonl = std::fs::read_to_string(&trace_path).unwrap();
+    let trace = Trace::from_jsonl(&jsonl).unwrap();
+    assert!(trace.is_complete(), "trace ring overflowed on n=80");
+    let problem = load_problem(&inst, BackendChoice::Dense);
+    let expected = fading_core::algo::Rle::default().schedule(&problem);
+    let cert = verify_schedule(&problem, &trace, &expected).unwrap();
+    assert_eq!(cert.scheduler, "RLE");
+    assert!(cert.ledger_checked);
+
+    // The manifest records the trace artifact with its content hash.
+    let manifest = std::fs::read_to_string(&manifest_path).unwrap();
+    let expected_hash = fading_obs::sha256_hex(jsonl.as_bytes());
+    assert!(manifest.contains("\"kind\": \"trace\""), "{manifest}");
+    assert!(manifest.contains(&expected_hash), "{manifest}");
+}
+
+#[test]
+fn explain_names_the_eliminating_rule_and_budget_state() {
+    let inst = tmp("explain.json");
+    let trace_path = tmp("explain_rle.trace.jsonl");
+    ok(&[
+        "generate",
+        "--n",
+        "60",
+        "--seed",
+        "7",
+        "--out",
+        inst.to_str().unwrap(),
+    ]);
+    ok(&[
+        "schedule",
+        "--instance",
+        inst.to_str().unwrap(),
+        "--algo",
+        "rle",
+        "--trace-out",
+        trace_path.to_str().unwrap(),
+    ]);
+
+    // Summary view names the scheduler and elimination causes.
+    let out = ok(&["explain", "--trace", trace_path.to_str().unwrap()]);
+    assert!(out.contains("RLE"), "{out}");
+    assert!(out.contains("radius"), "{out}");
+
+    // Per-link view names the rule and the ledger at elimination time.
+    let out = ok(&[
+        "explain",
+        "--trace",
+        trace_path.to_str().unwrap(),
+        "--link",
+        "17",
+    ]);
+    assert!(
+        out.contains("rule Radius")
+            || out.contains("rule BudgetExceeded")
+            || out.contains("PICKED"),
+        "{out}"
+    );
+    assert!(out.contains("threshold"), "{out}");
+
+    // Budget ledger view shows per-receiver utilization.
+    let out = ok(&[
+        "explain",
+        "--trace",
+        trace_path.to_str().unwrap(),
+        "--budgets",
+    ]);
+    assert!(out.contains("used%"), "{out}");
+    assert!(out.contains("threshold"), "{out}");
+
+    // Replay verification against the instance succeeds.
+    let out = ok(&[
+        "explain",
+        "--trace",
+        trace_path.to_str().unwrap(),
+        "--verify",
+        "--instance",
+        inst.to_str().unwrap(),
+    ]);
+    assert!(out.contains("VERIFIED RLE"), "{out}");
+    assert!(out.contains("Corollary 3.1"), "{out}");
+}
+
+#[test]
+fn explain_rejects_missing_and_mismatched_inputs() {
+    let out = run_binary(&["explain"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--trace"));
+
+    let bogus = tmp("not_a_trace.jsonl");
+    std::fs::write(&bogus, "{\"type\":\"nope\"}\n").unwrap();
+    let out = run_binary(&["explain", "--trace", bogus.to_str().unwrap()]);
+    assert!(!out.status.success());
+}
+
+/// The CI traced-smoke job: LDP and RLE at n=1000, traces written,
+/// JSONL validated, replay verifier run against the instance. Slow in
+/// debug builds, hence `--ignored` (CI runs it with `--release`).
+#[test]
+#[ignore = "heavyweight CI smoke; run with -- --ignored"]
+fn traced_smoke_n1000_ldp_and_rle() {
+    let inst = tmp("smoke1000.json");
+    ok(&[
+        "generate",
+        "--n",
+        "1000",
+        "--seed",
+        "42",
+        "--out",
+        inst.to_str().unwrap(),
+    ]);
+    let problem = load_problem(&inst, BackendChoice::Dense);
+
+    for (algo, scheduler, label) in [
+        (
+            "ldp",
+            Box::new(fading_core::algo::Ldp::default()) as Box<dyn Scheduler>,
+            "LDP",
+        ),
+        (
+            "rle",
+            Box::new(fading_core::algo::Rle::default()) as Box<dyn Scheduler>,
+            "RLE",
+        ),
+    ] {
+        let trace_path = tmp(&format!("smoke1000_{algo}.trace.jsonl"));
+        ok(&[
+            "schedule",
+            "--instance",
+            inst.to_str().unwrap(),
+            "--algo",
+            algo,
+            "--trace-out",
+            trace_path.to_str().unwrap(),
+        ]);
+        let jsonl = std::fs::read_to_string(&trace_path).unwrap();
+        // Every line must be a parseable record, and the stream must be
+        // a complete (non-truncated) trace.
+        let trace = Trace::from_jsonl(&jsonl).unwrap();
+        assert!(trace.is_complete(), "{algo} trace truncated at n=1000");
+        let expected = scheduler.schedule(&problem);
+        let cert = verify_schedule(&problem, &trace, &expected)
+            .unwrap_or_else(|e| panic!("{algo} replay failed: {e}"));
+        assert_eq!(cert.scheduler, label);
+        assert!(cert.ledger_checked, "{algo} ledger not audited");
+    }
+
+    // The sparse backend must produce the same replayable story.
+    let sparse_trace = tmp("smoke1000_rle_sparse.trace.jsonl");
+    ok(&[
+        "schedule",
+        "--instance",
+        inst.to_str().unwrap(),
+        "--algo",
+        "rle",
+        "--interference",
+        "sparse",
+        "--trace-out",
+        sparse_trace.to_str().unwrap(),
+    ]);
+    let jsonl = std::fs::read_to_string(&sparse_trace).unwrap();
+    let trace = Trace::from_jsonl(&jsonl).unwrap();
+    let sparse_problem = load_problem(&inst, BackendChoice::Sparse(Default::default()));
+    let expected = fading_core::algo::Rle::default().schedule(&sparse_problem);
+    verify_schedule(&sparse_problem, &trace, &expected)
+        .unwrap_or_else(|e| panic!("sparse replay failed: {e}"));
+}

@@ -132,6 +132,7 @@ impl Scheduler for Anneal {
     }
 
     fn schedule(&self, problem: &Problem) -> Schedule {
+        let _span = fading_obs::Span::enter("core.anneal.schedule");
         let n = problem.len();
         if n == 0 {
             return Schedule::empty();
@@ -190,7 +191,10 @@ impl Scheduler for Anneal {
             }
             temp = (temp * self.cooling).max(1e-6);
         }
-        Schedule::from_ids(best)
+        let s = Schedule::from_ids(best);
+        super::emit_algo_trace("Anneal", n, true, &s);
+        fading_obs::counter!("core.anneal.picks").add(s.len() as u64);
+        s
     }
 }
 

@@ -33,7 +33,7 @@ impl Scheduler for ApproxLogN {
 
     fn schedule(&self, problem: &Problem) -> Schedule {
         let mu = approx_logn_mu(problem.params());
-        grid_schedule_labeled(problem, ClassMode::TwoSided, mu, "core.approx_logn")
+        grid_schedule_labeled(problem, ClassMode::TwoSided, mu, "core.approx_logn", false)
     }
 }
 

@@ -176,7 +176,11 @@ impl Scheduler for Dls {
     }
 
     fn schedule(&self, problem: &Problem) -> Schedule {
-        self.run(problem).0
+        let _span = fading_obs::Span::enter("core.dls.schedule");
+        let s = self.run(problem).0;
+        super::emit_algo_trace("DLS", problem.len(), true, &s);
+        fading_obs::counter!("core.dls.picks").add(s.len() as u64);
+        s
     }
 }
 

@@ -13,6 +13,7 @@ use crate::problem::Problem;
 use crate::schedule::Schedule;
 use fading_geom::SpatialHash;
 use fading_net::LinkId;
+use fading_obs::{ElimCause, TraceEvent, TraceScope};
 
 /// Which accumulated-interference metric drives deletions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -24,11 +25,54 @@ pub enum ElimMetric {
     DeterministicRelative,
 }
 
+impl ElimMetric {
+    /// The metric name recorded in [`TraceEvent::ElimStart`].
+    pub fn trace_name(self) -> &'static str {
+        match self {
+            Self::FadingFactor => "fading",
+            Self::DeterministicRelative => "deterministic",
+        }
+    }
+}
+
 /// Runs the elimination skeleton. `c1` is the deletion-radius factor,
 /// `c2 ∈ (0,1)` the budget fraction reserved for already-picked senders.
 pub fn eliminate_schedule(problem: &Problem, c1: f64, c2: f64, metric: ElimMetric) -> Schedule {
     assert!(c1 >= 1.0, "deletion radius factor must be ≥ 1, got {c1}");
     assert!(c2 > 0.0 && c2 < 1.0, "c₂ must be in (0,1), got {c2}");
+    // Static names + per-call-site cached counters: the observability
+    // constants here must stay off the per-schedule cost profile.
+    struct Stats {
+        span: &'static str,
+        label: &'static str,
+        rounds: &'static fading_obs::Counter,
+        picks: &'static fading_obs::Counter,
+        eliminations: &'static fading_obs::Counter,
+        elim_radius: &'static fading_obs::Counter,
+        elim_budget: &'static fading_obs::Counter,
+    }
+    let stats = match metric {
+        ElimMetric::FadingFactor => Stats {
+            span: "core.rle.schedule",
+            label: "RLE",
+            rounds: fading_obs::counter!("core.rle.rounds"),
+            picks: fading_obs::counter!("core.rle.picks"),
+            eliminations: fading_obs::counter!("core.rle.eliminations"),
+            elim_radius: fading_obs::counter!("core.rle.elim_radius"),
+            elim_budget: fading_obs::counter!("core.rle.elim_budget"),
+        },
+        ElimMetric::DeterministicRelative => Stats {
+            span: "core.approx_diversity.schedule",
+            label: "ApproxDiversity",
+            rounds: fading_obs::counter!("core.approx_diversity.rounds"),
+            picks: fading_obs::counter!("core.approx_diversity.picks"),
+            eliminations: fading_obs::counter!("core.approx_diversity.eliminations"),
+            elim_radius: fading_obs::counter!("core.approx_diversity.elim_radius"),
+            elim_budget: fading_obs::counter!("core.approx_diversity.elim_budget"),
+        },
+    };
+    let label = stats.label;
+    let _span = fading_obs::Span::enter(stats.span);
     let links = problem.links();
     let n = links.len();
     if n == 0 {
@@ -50,12 +94,51 @@ pub fn eliminate_schedule(problem: &Problem, c1: f64, c2: f64, metric: ElimMetri
     let typical_radius = c1 * links.min_length().unwrap_or(1.0);
     let hash = SpatialHash::build(&senders, typical_radius.max(1e-9));
 
+    // The elimination loop exists twice: an untraced copy containing no
+    // trace hooks at all, and a fully traced `#[cold]` twin. Merging
+    // them (one loop with per-event `if traced` guards) measurably
+    // pessimizes the untraced dense walk — LLVM stops optimizing the
+    // hot row loop once the trace-event code is reachable from it —
+    // which regressed the disabled-tracing benchmark ~10% at N = 1000.
+    // Both copies make identical picks/eliminations in identical
+    // (FP-accumulation) order; `trace_certificates.rs` replays traced
+    // runs against `schedule()` output to pin that equivalence.
+    let (schedule, elim_radius, elim_budget) = if fading_obs::tracing_enabled() {
+        run_traced(
+            problem, &order, &hash, c1, c2, budget, threshold, metric, label,
+        )
+    } else {
+        run_untraced(problem, &order, &hash, c1, threshold, metric)
+    };
+    // Flushed once per schedule call: the elimination loop itself
+    // stays free of shared-state writes.
+    stats.rounds.add(schedule.len() as u64);
+    stats.picks.add(schedule.len() as u64);
+    stats.eliminations.add(elim_radius + elim_budget);
+    stats.elim_radius.add(elim_radius);
+    stats.elim_budget.add(elim_budget);
+    schedule
+}
+
+/// The hot path: Algorithm 2 with no tracing support compiled into it.
+#[inline(never)]
+fn run_untraced(
+    problem: &Problem,
+    order: &[LinkId],
+    hash: &SpatialHash,
+    c1: f64,
+    threshold: f64,
+    metric: ElimMetric,
+) -> (Schedule, u64, u64) {
+    let links = problem.links();
+    let n = links.len();
     let mut alive = vec![true; n];
     let mut acc = vec![0.0f64; n];
     let mut picked = Vec::new();
-    let mut eliminations = 0u64;
+    let mut elim_radius = 0u64;
+    let mut elim_budget = 0u64;
 
-    for &i in &order {
+    for &i in order {
         if !alive[i.index()] {
             continue;
         }
@@ -68,7 +151,7 @@ pub fn eliminate_schedule(problem: &Problem, c1: f64, c2: f64, metric: ElimMetri
         hash.for_each_in_radius(&receiver, radius, |j| {
             if alive[j as usize] {
                 alive[j as usize] = false;
-                eliminations += 1;
+                elim_radius += 1;
             }
         });
         // Line 5: delete links whose accumulated interference from the
@@ -90,7 +173,7 @@ pub fn eliminate_schedule(problem: &Problem, c1: f64, c2: f64, metric: ElimMetri
                 acc[j] += contribution(row[j]);
                 if acc[j] > threshold {
                     alive[j] = false;
-                    eliminations += 1;
+                    elim_budget += 1;
                 }
             }
         } else {
@@ -100,24 +183,119 @@ pub fn eliminate_schedule(problem: &Problem, c1: f64, c2: f64, metric: ElimMetri
                     acc[j] += contribution(f);
                     if acc[j] > threshold {
                         alive[j] = false;
-                        eliminations += 1;
+                        elim_budget += 1;
                     }
                 }
             });
         }
     }
-    // Flushed once per schedule call: the elimination loop itself
-    // stays free of shared-state writes.
-    let (rounds_name, elim_name) = match metric {
-        ElimMetric::FadingFactor => ("core.rle.rounds", "core.rle.eliminations"),
-        ElimMetric::DeterministicRelative => (
-            "core.approx_diversity.rounds",
-            "core.approx_diversity.eliminations",
-        ),
-    };
-    fading_obs::counter(rounds_name).add(picked.len() as u64);
-    fading_obs::counter(elim_name).add(eliminations);
-    Schedule::from_ids(picked)
+    (Schedule::from_ids(picked), elim_radius, elim_budget)
+}
+
+/// The traced twin of [`run_untraced`]: identical decision sequence,
+/// with every pick, elimination, and ledger debit recorded.
+#[cold]
+#[inline(never)]
+#[allow(clippy::too_many_arguments)]
+fn run_traced(
+    problem: &Problem,
+    order: &[LinkId],
+    hash: &SpatialHash,
+    c1: f64,
+    c2: f64,
+    budget: f64,
+    threshold: f64,
+    metric: ElimMetric,
+    label: &str,
+) -> (Schedule, u64, u64) {
+    let links = problem.links();
+    let n = links.len();
+    let mut tr = TraceScope::begin();
+    tr.push(TraceEvent::ElimStart {
+        scheduler: label.to_string(),
+        n: n as u32,
+        metric: metric.trace_name().to_string(),
+        budget,
+        threshold,
+        c1,
+        c2,
+    });
+    let mut alive = vec![true; n];
+    let mut acc = vec![0.0f64; n];
+    let mut picked = Vec::new();
+    let mut elim_radius = 0u64;
+    let mut elim_budget = 0u64;
+
+    for &i in order {
+        if !alive[i.index()] {
+            continue;
+        }
+        alive[i.index()] = false;
+        picked.push(i);
+        tr.push(TraceEvent::Pick { link: i.0 });
+        let receiver = links.link(i).receiver;
+        let radius = c1 * links.length(i);
+        hash.for_each_in_radius(&receiver, radius, |j| {
+            if alive[j as usize] {
+                alive[j as usize] = false;
+                elim_radius += 1;
+                tr.push(TraceEvent::Eliminate {
+                    link: j,
+                    cause: ElimCause::Radius,
+                    by: Some(i.0),
+                });
+            }
+        });
+        let contribution = |f: f64| match metric {
+            ElimMetric::FadingFactor => f,
+            ElimMetric::DeterministicRelative => f.exp_m1(),
+        };
+        // Every nonzero debit is recorded with the ledger state it
+        // left behind.
+        let mut debit =
+            |j: usize, f: f64, alive: &mut [bool], acc: &mut [f64], tr: &mut TraceScope| {
+                let f = contribution(f);
+                acc[j] += f;
+                if f != 0.0 {
+                    tr.push(TraceEvent::BudgetDebit {
+                        receiver: j as u32,
+                        from: i.0,
+                        factor: f,
+                        remaining: threshold - acc[j],
+                    });
+                }
+                if acc[j] > threshold {
+                    alive[j] = false;
+                    elim_budget += 1;
+                    tr.push(TraceEvent::Eliminate {
+                        link: j as u32,
+                        cause: ElimCause::BudgetExceeded,
+                        by: Some(i.0),
+                    });
+                }
+            };
+        if let Some(row) = problem.factors().dense_row(i) {
+            for j in 0..n {
+                if !alive[j] {
+                    continue;
+                }
+                debit(j, row[j], &mut alive, &mut acc, &mut tr);
+            }
+        } else {
+            problem.factors().for_each_out(i, &mut |j, f| {
+                let j = j.index();
+                if alive[j] {
+                    debit(j, f, &mut alive, &mut acc, &mut tr);
+                }
+            });
+        }
+    }
+    let schedule = Schedule::from_ids(picked);
+    tr.push(TraceEvent::End {
+        scheduled: schedule.iter().map(|id| id.0).collect(),
+    });
+    tr.finish();
+    (schedule, elim_radius, elim_budget)
 }
 
 #[cfg(test)]

@@ -251,7 +251,11 @@ impl Scheduler for ExactBnb {
     }
 
     fn schedule(&self, problem: &Problem) -> Schedule {
-        branch_and_bound(problem)
+        let _span = fading_obs::Span::enter("core.exact.schedule");
+        let s = branch_and_bound(problem);
+        super::emit_algo_trace("Exact(B&B)", problem.len(), true, &s);
+        fading_obs::counter!("core.exact.picks").add(s.len() as u64);
+        s
     }
 }
 

@@ -92,6 +92,7 @@ impl Scheduler for GraphModel {
     }
 
     fn schedule(&self, problem: &Problem) -> Schedule {
+        let _span = fading_obs::Span::enter("core.graph_model.schedule");
         let links = problem.links();
         let mut order: Vec<LinkId> = links.ids().collect();
         order.sort_by(|&a, &b| links.length(a).total_cmp(&links.length(b)).then(a.cmp(&b)));
@@ -101,7 +102,12 @@ impl Scheduler for GraphModel {
                 chosen.push(cand);
             }
         }
-        Schedule::from_ids(chosen)
+        let s = Schedule::from_ids(chosen);
+        // Graph models ignore accumulated interference entirely — their
+        // schedules carry no γ_ε guarantee, so the trace is uncertified.
+        super::emit_algo_trace(self.name(), links.len(), false, &s);
+        fading_obs::counter!("core.graph_model.picks").add(s.len() as u64);
+        s
     }
 }
 

@@ -12,6 +12,7 @@ use crate::problem::Problem;
 use crate::schedule::Schedule;
 use crate::Scheduler;
 use fading_net::LinkId;
+use fading_obs::{ElimCause, TraceEvent, TraceScope};
 
 /// Greedy-by-rate insertion with exact feasibility checks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -30,6 +31,7 @@ impl Scheduler for GreedyRate {
     }
 
     fn schedule(&self, problem: &Problem) -> Schedule {
+        let _span = fading_obs::Span::enter("core.greedy.schedule");
         let links = problem.links();
         let mut order: Vec<LinkId> = links.ids().collect();
         // Highest rate first; ties by shorter length (easier to keep
@@ -42,13 +44,37 @@ impl Scheduler for GreedyRate {
                 .then(a.cmp(&b))
         });
         let budget = problem.gamma_eps();
+        let mut tr = TraceScope::begin();
+        if tr.active() {
+            tr.push(TraceEvent::AlgoStart {
+                scheduler: "GreedyRate".to_string(),
+                n: links.len() as u32,
+                certified: true,
+            });
+        }
         let mut acc = InterferenceAccumulator::new(problem);
         for id in order {
             if acc.addition_is_feasible(id, budget) {
                 acc.select(id);
+                tr.push(TraceEvent::Pick { link: id.0 });
+            } else if tr.active() {
+                tr.push(TraceEvent::Eliminate {
+                    link: id.0,
+                    cause: ElimCause::BudgetExceeded,
+                    by: None,
+                });
             }
         }
-        Schedule::from_ids(acc.selected().iter().copied())
+        let schedule = Schedule::from_ids(acc.selected().iter().copied());
+        if tr.active() {
+            tr.push(TraceEvent::End {
+                scheduled: schedule.iter().map(|id| id.0).collect(),
+            });
+        }
+        tr.finish();
+        fading_obs::counter!("core.greedy.picks").add(schedule.len() as u64);
+        fading_obs::counter!("core.greedy.eliminations").add((links.len() - schedule.len()) as u64);
+        schedule
     }
 }
 

@@ -11,6 +11,7 @@ use crate::schedule::Schedule;
 use fading_geom::GridPartition;
 use fading_net::diversity::{diversity_exponents, magnitude};
 use fading_net::LinkId;
+use fading_obs::{ElimCause, TraceEvent, TraceScope};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -31,28 +32,40 @@ pub enum ClassMode {
 /// square scale (`β` for LDP, `μ` for ApproxLogN); the square for the
 /// class of magnitude `h` has side `2^{h+1}·scale·δ`.
 pub fn grid_schedule(problem: &Problem, mode: ClassMode, scale: f64) -> Schedule {
-    grid_schedule_labeled(problem, mode, scale, "core.grid")
+    grid_schedule_labeled(problem, mode, scale, "core.grid", true)
 }
 
 /// [`grid_schedule`] with an explicit metric prefix, so callers (LDP,
 /// ApproxLogN) report class/color counts under their own name:
 /// `<prefix>.classes`, `<prefix>.cells`, `<prefix>.colors`.
+/// `certified` states whether the caller's scale guarantees γ_ε
+/// feasibility (LDP's β does; ApproxLogN's μ bounds only the
+/// deterministic part) — it is recorded in the decision trace and
+/// decides whether the replay verifier audits the full ledger.
 pub fn grid_schedule_labeled(
     problem: &Problem,
     mode: ClassMode,
     scale: f64,
     stat_prefix: &str,
+    certified: bool,
 ) -> Schedule {
     assert!(
         scale.is_finite() && scale > 0.0,
         "invalid grid scale {scale}"
     );
+    let stats = GridStats::for_prefix(stat_prefix);
+    let _span = match &stats {
+        Some(s) => fading_obs::Span::enter(s.span),
+        None => fading_obs::Span::enter(&format!("{stat_prefix}.schedule")),
+    };
     let links = problem.links();
     let Some(delta) = links.min_length() else {
         return Schedule::empty();
     };
     let mut best = Schedule::empty();
     let mut best_utility = f64::NEG_INFINITY;
+    let mut best_class = 0u32;
+    let mut best_color = 0u32;
     let mut classes = 0u64;
     let mut cells = 0u64;
     let mut colors = 0u64;
@@ -96,21 +109,177 @@ pub fn grid_schedule_labeled(
         for (&cell_idx, &id) in &per_cell {
             per_color[grid.color_of(cell_idx).0 as usize].push(id);
         }
-        for ids in per_color {
+        for (color, ids) in per_color.into_iter().enumerate() {
             colors += 1;
             let utility: f64 = ids.iter().map(|&id| problem.rate(id)).sum();
             if utility > best_utility {
                 best_utility = utility;
+                best_class = h;
+                best_color = color as u32;
                 best = Schedule::from_ids(ids);
             }
         }
     }
+    let mut tr = TraceScope::begin();
+    if tr.active() {
+        // Replay the winning class once to attribute each link's fate:
+        // out-of-class, lost its square to a better rate, or sat in a
+        // square of the losing color. Only runs when tracing is on, so
+        // the untraced path keeps its single pass over the classes.
+        tr.push(TraceEvent::GridStart {
+            scheduler: grid_label(stat_prefix, mode).to_string(),
+            n: links.len() as u32,
+            scale,
+            nested: mode == ClassMode::Nested,
+            certified,
+        });
+        tr.push(TraceEvent::ClassColorChosen {
+            class: best_class,
+            color: best_color,
+            utility: best_utility,
+        });
+        let cell = 2f64.powi(best_class as i32 + 1) * scale * delta;
+        let grid = GridPartition::new(links.region(), cell);
+        let mut per_cell: HashMap<fading_geom::CellIndex, LinkId> = HashMap::new();
+        for link in links.links() {
+            let m = magnitude(link.length(), delta);
+            let in_class = match mode {
+                ClassMode::Nested => m <= best_class,
+                ClassMode::TwoSided => m == best_class,
+            };
+            if !in_class {
+                continue;
+            }
+            let cell_idx = grid.cell_of(&link.receiver);
+            per_cell
+                .entry(cell_idx)
+                .and_modify(|cur| {
+                    let cur_link = links.link(*cur);
+                    let better = (link.rate, -link.length(), std::cmp::Reverse(link.id))
+                        > (
+                            cur_link.rate,
+                            -cur_link.length(),
+                            std::cmp::Reverse(cur_link.id),
+                        );
+                    if better {
+                        *cur = link.id;
+                    }
+                })
+                .or_insert(link.id);
+        }
+        for link in links.links() {
+            let m = magnitude(link.length(), delta);
+            let in_class = match mode {
+                ClassMode::Nested => m <= best_class,
+                ClassMode::TwoSided => m == best_class,
+            };
+            if !in_class {
+                tr.push(TraceEvent::Eliminate {
+                    link: link.id.0,
+                    cause: ElimCause::ClassFiltered,
+                    by: None,
+                });
+                continue;
+            }
+            let cell_idx = grid.cell_of(&link.receiver);
+            let winner = per_cell[&cell_idx];
+            if winner != link.id {
+                tr.push(TraceEvent::Eliminate {
+                    link: link.id.0,
+                    cause: ElimCause::ColorConflict,
+                    by: Some(winner.0),
+                });
+            } else if grid.color_of(cell_idx).0 as u32 != best_color {
+                // Won its square, but the square's color lost.
+                tr.push(TraceEvent::Eliminate {
+                    link: link.id.0,
+                    cause: ElimCause::ColorConflict,
+                    by: None,
+                });
+            } else {
+                tr.push(TraceEvent::Pick { link: link.id.0 });
+            }
+        }
+        tr.push(TraceEvent::End {
+            scheduled: best.iter().map(|id| id.0).collect(),
+        });
+    }
+    tr.finish();
     // One registry flush per schedule call; the per-link loops above
     // touch no shared state.
-    fading_obs::counter(&format!("{stat_prefix}.classes")).add(classes);
-    fading_obs::counter(&format!("{stat_prefix}.cells")).add(cells);
-    fading_obs::counter(&format!("{stat_prefix}.colors")).add(colors);
+    let picks = best.len() as u64;
+    let eliminations = (links.len() - best.len()) as u64;
+    match &stats {
+        Some(s) => {
+            s.classes.add(classes);
+            s.cells.add(cells);
+            s.colors.add(colors);
+            s.picks.add(picks);
+            s.eliminations.add(eliminations);
+        }
+        None => {
+            fading_obs::counter(&format!("{stat_prefix}.classes")).add(classes);
+            fading_obs::counter(&format!("{stat_prefix}.cells")).add(cells);
+            fading_obs::counter(&format!("{stat_prefix}.colors")).add(colors);
+            fading_obs::counter(&format!("{stat_prefix}.picks")).add(picks);
+            fading_obs::counter(&format!("{stat_prefix}.eliminations")).add(eliminations);
+        }
+    }
     best
+}
+
+/// Per-call-site cached observability handles for the known callers:
+/// resolving names through the registry or formatting dotted paths per
+/// schedule call would put allocations on the untraced fast path.
+struct GridStats {
+    span: &'static str,
+    classes: &'static fading_obs::Counter,
+    cells: &'static fading_obs::Counter,
+    colors: &'static fading_obs::Counter,
+    picks: &'static fading_obs::Counter,
+    eliminations: &'static fading_obs::Counter,
+}
+
+impl GridStats {
+    fn for_prefix(prefix: &str) -> Option<Self> {
+        match prefix {
+            "core.ldp" => Some(Self {
+                span: "core.ldp.schedule",
+                classes: fading_obs::counter!("core.ldp.classes"),
+                cells: fading_obs::counter!("core.ldp.cells"),
+                colors: fading_obs::counter!("core.ldp.colors"),
+                picks: fading_obs::counter!("core.ldp.picks"),
+                eliminations: fading_obs::counter!("core.ldp.eliminations"),
+            }),
+            "core.approx_logn" => Some(Self {
+                span: "core.approx_logn.schedule",
+                classes: fading_obs::counter!("core.approx_logn.classes"),
+                cells: fading_obs::counter!("core.approx_logn.cells"),
+                colors: fading_obs::counter!("core.approx_logn.colors"),
+                picks: fading_obs::counter!("core.approx_logn.picks"),
+                eliminations: fading_obs::counter!("core.approx_logn.eliminations"),
+            }),
+            "core.grid" => Some(Self {
+                span: "core.grid.schedule",
+                classes: fading_obs::counter!("core.grid.classes"),
+                cells: fading_obs::counter!("core.grid.cells"),
+                colors: fading_obs::counter!("core.grid.colors"),
+                picks: fading_obs::counter!("core.grid.picks"),
+                eliminations: fading_obs::counter!("core.grid.eliminations"),
+            }),
+            _ => None,
+        }
+    }
+}
+
+/// Human-readable scheduler name recorded in the trace header.
+fn grid_label(stat_prefix: &str, mode: ClassMode) -> &'static str {
+    match (stat_prefix, mode) {
+        ("core.ldp", ClassMode::Nested) => "LDP",
+        ("core.ldp", ClassMode::TwoSided) => "LDP(two-sided)",
+        ("core.approx_logn", _) => "ApproxLogN",
+        _ => "Grid",
+    }
 }
 
 #[cfg(test)]

@@ -56,7 +56,7 @@ impl Scheduler for Ldp {
 
     fn schedule(&self, problem: &Problem) -> Schedule {
         let beta = ldp_beta(problem.params(), problem.gamma_eps());
-        grid_schedule_labeled(problem, self.mode, beta, "core.ldp")
+        grid_schedule_labeled(problem, self.mode, beta, "core.ldp", true)
     }
 }
 

@@ -113,8 +113,12 @@ impl<S: Scheduler> Scheduler for LocalSearch<S> {
     }
 
     fn schedule(&self, problem: &Problem) -> Schedule {
+        let _span = fading_obs::Span::enter("core.local_search.schedule");
         let base = self.base.schedule(problem);
-        improve(problem, &base, self.max_rounds)
+        let s = improve(problem, &base, self.max_rounds);
+        super::emit_algo_trace("LocalSearch", problem.len(), true, &s);
+        fading_obs::counter!("core.local_search.picks").add(s.len() as u64);
+        s
     }
 }
 

@@ -35,3 +35,32 @@ pub use local_search::LocalSearch;
 pub use power::PowerAssignment;
 pub use random::RandomFeasible;
 pub use rle::Rle;
+
+/// Emits the generic decision-trace block for schedulers whose search
+/// is too entangled for per-decision attribution (B&B, annealing,
+/// conflict graphs, …): an `AlgoStart` header, one `Pick` per
+/// scheduled link, and the final membership. The replay verifier
+/// checks membership — and the full γ_ε ledger when `certified`.
+pub(crate) fn emit_algo_trace(
+    scheduler: &str,
+    n: usize,
+    certified: bool,
+    schedule: &crate::schedule::Schedule,
+) {
+    use fading_obs::{TraceEvent, TraceScope};
+    let mut tr = TraceScope::begin();
+    if tr.active() {
+        tr.push(TraceEvent::AlgoStart {
+            scheduler: scheduler.to_string(),
+            n: n as u32,
+            certified,
+        });
+        for id in schedule.iter() {
+            tr.push(TraceEvent::Pick { link: id.0 });
+        }
+        tr.push(TraceEvent::End {
+            scheduled: schedule.iter().map(|id| id.0).collect(),
+        });
+    }
+    tr.finish();
+}

@@ -11,6 +11,7 @@ use crate::schedule::Schedule;
 use crate::Scheduler;
 use fading_math::seeded_rng;
 use fading_net::LinkId;
+use fading_obs::{ElimCause, TraceEvent, TraceScope};
 use rand::seq::SliceRandom;
 
 /// Random-order feasible insertion with a fixed seed.
@@ -33,16 +34,42 @@ impl Scheduler for RandomFeasible {
     }
 
     fn schedule(&self, problem: &Problem) -> Schedule {
+        let _span = fading_obs::Span::enter("core.random.schedule");
+        let n = problem.links().len();
         let mut order: Vec<LinkId> = problem.links().ids().collect();
         order.shuffle(&mut seeded_rng(self.seed));
         let budget = problem.gamma_eps();
+        let mut tr = TraceScope::begin();
+        if tr.active() {
+            tr.push(TraceEvent::AlgoStart {
+                scheduler: "RandomFeasible".to_string(),
+                n: n as u32,
+                certified: true,
+            });
+        }
         let mut acc = InterferenceAccumulator::new(problem);
         for id in order {
             if acc.addition_is_feasible(id, budget) {
                 acc.select(id);
+                tr.push(TraceEvent::Pick { link: id.0 });
+            } else if tr.active() {
+                tr.push(TraceEvent::Eliminate {
+                    link: id.0,
+                    cause: ElimCause::BudgetExceeded,
+                    by: None,
+                });
             }
         }
-        Schedule::from_ids(acc.selected().iter().copied())
+        let schedule = Schedule::from_ids(acc.selected().iter().copied());
+        if tr.active() {
+            tr.push(TraceEvent::End {
+                scheduled: schedule.iter().map(|id| id.0).collect(),
+            });
+        }
+        tr.finish();
+        fading_obs::counter!("core.random.picks").add(schedule.len() as u64);
+        fading_obs::counter!("core.random.eliminations").add((n - schedule.len()) as u64);
+        schedule
     }
 }
 

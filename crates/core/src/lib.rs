@@ -32,6 +32,7 @@
 //! paper's future work) in [`multislot`].
 
 pub mod algo;
+pub mod certify;
 pub mod constants;
 pub mod feasibility;
 pub mod ilp;
@@ -42,6 +43,7 @@ pub mod reduction;
 pub mod schedule;
 pub mod sparse;
 
+pub use certify::{replay_block, replay_trace, verify_schedule, Certificate};
 pub use feasibility::FeasibilityReport;
 pub use interference::{InterferenceBackend, InterferenceMatrix, InterferenceModel};
 pub use problem::{BackendChoice, Problem};

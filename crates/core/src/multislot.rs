@@ -65,9 +65,22 @@ impl MultiSlotSchedule {
 /// sub-problems keep the parent's power scales and interference backend
 /// and reuse its interference state instead of recomputing geometry.
 pub fn schedule_all<S: Scheduler + ?Sized>(problem: &Problem, scheduler: &S) -> MultiSlotSchedule {
+    let n = problem.len();
+    let progress = fading_obs::Progress::new("multislot", "links", n as u64);
+    let tracing = fading_obs::tracing_enabled();
     let mut remaining: Vec<LinkId> = problem.links().ids().collect();
     let mut slots = Vec::new();
     while !remaining.is_empty() {
+        let slot_no = slots.len() as u64;
+        if tracing {
+            // The slot marker brackets the scheduler's own trace block;
+            // that inner block uses the residual instance's renumbered
+            // ids, while SlotEnd reports the parent ids it commits.
+            fading_obs::trace::publish(vec![fading_obs::TraceEvent::SlotStart {
+                slot: slot_no,
+                backlog: remaining.len() as u32,
+            }]);
+        }
         // Derive the residual instance (renumbered) and map ids back.
         let (sub, mapping) = problem.restrict(&remaining);
         let sub_schedule = scheduler.schedule(&sub);
@@ -90,7 +103,19 @@ pub fn schedule_all<S: Scheduler + ?Sized>(problem: &Problem, scheduler: &S) -> 
                 .collect()
         };
         remaining.retain(|id| !slot.contains(id));
+        if tracing {
+            fading_obs::trace::publish(vec![fading_obs::TraceEvent::SlotEnd {
+                slot: slot_no,
+                links: slot.iter().map(|id| id.0).collect(),
+            }]);
+        }
         slots.push(Schedule::from_ids(slot));
+        let done = (n - remaining.len()) as u64;
+        progress.report(
+            done,
+            &format!("slot {} · {} left", slots.len(), remaining.len()),
+            done,
+        );
     }
     MultiSlotSchedule::from_slots(slots)
 }

@@ -1,0 +1,85 @@
+//! Metric-coverage parity: every scheduler in the workspace must emit
+//! its `core.<name>.schedule` span and a `core.<name>.picks` counter,
+//! so manifests always account for which algorithm ran and how often.
+//!
+//! Spans and counters are process-wide accumulators, so this file is a
+//! single sequential test: cause-partition checks diff two snapshots
+//! and would race against a parallel sibling running the same
+//! scheduler.
+
+use fading_core::algo::{
+    Anneal, ApproxDiversity, ApproxLogN, Dls, ExactBnb, GraphModel, GreedyRate, Ldp, LocalSearch,
+    RandomFeasible, Rle,
+};
+use fading_core::{Problem, Scheduler};
+use fading_net::{TopologyGenerator, UniformGenerator};
+
+/// Every registered scheduler paired with the dotted stat prefix its
+/// instrumentation uses. Keep in sync with `fading ... --metrics-out`
+/// output and `docs/observability.md`.
+fn registry() -> Vec<(Box<dyn Scheduler>, &'static str)> {
+    vec![
+        (Box::new(Ldp::new()), "core.ldp"),
+        (Box::new(Ldp::two_sided()), "core.ldp"),
+        (Box::new(Rle::new()), "core.rle"),
+        (Box::new(ApproxLogN), "core.approx_logn"),
+        (Box::new(ApproxDiversity::new()), "core.approx_diversity"),
+        (Box::new(GreedyRate), "core.greedy"),
+        (Box::new(RandomFeasible::new(7)), "core.random"),
+        (Box::new(Dls::new()), "core.dls"),
+        (Box::new(ExactBnb::new()), "core.exact"),
+        (Box::new(Anneal::new(7)), "core.anneal"),
+        (Box::new(LocalSearch::new(GreedyRate)), "core.local_search"),
+        (Box::new(GraphModel::pairwise_budget()), "core.graph_model"),
+    ]
+}
+
+fn counter_value(snapshot: &fading_obs::MetricsSnapshot, name: &str) -> u64 {
+    snapshot.counters.get(name).copied().unwrap_or(0)
+}
+
+#[test]
+fn every_scheduler_emits_its_schedule_span_and_picks_counter() {
+    // Small instance: ExactBnb is in the registry and exponential in n.
+    let links = UniformGenerator::paper(12).generate(5);
+    let problem = Problem::paper(links, 3.0);
+    for (scheduler, prefix) in registry() {
+        let _ = scheduler.schedule(&problem);
+        let spans = fading_obs::span_snapshot();
+        let path = format!("{prefix}.schedule");
+        assert!(
+            fading_obs::span::find(&spans, &path).is_some(),
+            "{} ({}) did not record span {path}",
+            scheduler.name(),
+            prefix
+        );
+        let metrics = fading_obs::snapshot();
+        let picks = format!("{prefix}.picks");
+        assert!(
+            metrics.counters.contains_key(&picks),
+            "{} ({}) did not record counter {picks}",
+            scheduler.name(),
+            prefix
+        );
+    }
+
+    // Elimination counters partition by cause: diff two snapshots
+    // around a single RLE run (nothing else runs in this binary).
+    let links = UniformGenerator::paper(80).generate(11);
+    let problem = Problem::paper(links, 3.0);
+    let before = fading_obs::snapshot();
+    let _ = Rle::new().schedule(&problem);
+    let after = fading_obs::snapshot();
+    let delta = |name: &str| counter_value(&after, name) - counter_value(&before, name);
+    let picks = delta("core.rle.picks");
+    let total = delta("core.rle.eliminations");
+    let by_cause = delta("core.rle.elim_radius") + delta("core.rle.elim_budget");
+    assert!(picks > 0, "RLE scheduled nothing at n=80");
+    assert_eq!(total, by_cause, "elimination causes must partition total");
+    assert_eq!(
+        picks + total,
+        80,
+        "picks + eliminations must cover the instance"
+    );
+    assert_eq!(delta("core.rle.rounds"), picks, "one round per pick");
+}

@@ -22,6 +22,10 @@
 //!   long sweeps (`point 3/12 · scheduler=RLE · 48k trials/s ·
 //!   ETA 00:41`), globally switched by [`set_progress`] so library
 //!   code can report unconditionally and stay silent by default.
+//! * **Decision traces** ([`trace`]) — typed, replayable records of
+//!   scheduler decisions (`Pick`, `Eliminate {cause}`, `BudgetDebit`,
+//!   `ClassColorChosen`), ring-buffered and zero-cost when disabled;
+//!   [`hash`] fingerprints the resulting artifacts for the manifest.
 //!
 //! Everything is safe to call from `rayon` worker threads. The
 //! registry is process-global: snapshots taken while writers are
@@ -29,19 +33,26 @@
 //! barrier.
 
 pub mod events;
+pub mod hash;
 pub mod manifest;
 pub mod metrics;
 pub mod progress;
 pub mod span;
+pub mod trace;
 
 pub use events::{emit_event, set_event_sink, EventValue};
-pub use manifest::{ManifestBuilder, RunManifest};
+pub use hash::{sha256, sha256_hex};
+pub use manifest::{Artifact, ManifestBuilder, RunManifest};
 pub use metrics::{
     counter, gauge, histogram, reset_metrics, snapshot, Counter, Gauge, Histogram,
     HistogramSnapshot, MetricsSnapshot,
 };
 pub use progress::{progress_enabled, set_progress, Progress};
 pub use span::{reset_spans, span_snapshot, Span, SpanNode};
+pub use trace::{
+    set_trace_capacity, set_tracing, take_trace, tracing_enabled, ElimCause, Trace, TraceEvent,
+    TraceScope,
+};
 
 /// Returns a `&'static Counter` for `$name`, resolving the registry
 /// lookup once per call site. The hot path after initialization is a

@@ -15,10 +15,24 @@ use std::time::Instant;
 
 /// The schema version written into every manifest, bumped on
 /// incompatible changes (see `docs/observability.md`).
-pub const MANIFEST_VERSION: u64 = 1;
+/// Version 2 added `artifacts`; version-1 manifests still deserialize.
+pub const MANIFEST_VERSION: u64 = 2;
+
+/// A file the run produced, pinned by content hash so results and
+/// their traces stay linkable after the fact.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Artifact {
+    /// What the file is: `"trace"`, `"schedule"`, `"csv"`, ….
+    pub kind: String,
+    /// Where it was written.
+    pub path: String,
+    /// SHA-256 of the file contents (hex), or `"unavailable"` if the
+    /// file could not be read back at manifest time.
+    pub sha256: String,
+}
 
 /// A complete description of one finished run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct RunManifest {
     /// Schema version ([`MANIFEST_VERSION`]).
     pub version: u64,
@@ -38,6 +52,43 @@ pub struct RunManifest {
     pub metrics: MetricsSnapshot,
     /// Hierarchical span timings.
     pub spans: Vec<SpanNode>,
+    /// Files the run produced (decision traces, schedules), with
+    /// content hashes. Empty in version-1 manifests.
+    pub artifacts: Vec<Artifact>,
+}
+
+// The vendored serde derive requires every named field to be present;
+// this manual impl instead defaults `artifacts` (added in version 2)
+// to empty, so version-1 manifests still load.
+impl Deserialize for RunManifest {
+    fn deserialize_node(node: &serde::Node) -> Result<Self, serde::DeError> {
+        fn field<T: Deserialize>(node: &serde::Node, name: &str) -> Result<T, serde::DeError> {
+            Deserialize::deserialize_node(
+                node.get(name)
+                    .ok_or_else(|| serde::DeError(format!("missing field `{name}`")))?,
+            )
+        }
+        if !matches!(node, serde::Node::Map(_)) {
+            return Err(serde::DeError(
+                "invalid type: expected a map for struct RunManifest".to_string(),
+            ));
+        }
+        Ok(Self {
+            version: field(node, "version")?,
+            name: field(node, "name")?,
+            git_describe: field(node, "git_describe")?,
+            build_profile: field(node, "build_profile")?,
+            seed: field(node, "seed")?,
+            config: field(node, "config")?,
+            wall_time_ms: field(node, "wall_time_ms")?,
+            metrics: field(node, "metrics")?,
+            spans: field(node, "spans")?,
+            artifacts: match node.get("artifacts") {
+                None => Vec::new(),
+                Some(n) => Deserialize::deserialize_node(n)?,
+            },
+        })
+    }
 }
 
 impl RunManifest {
@@ -58,6 +109,7 @@ pub struct ManifestBuilder {
     name: String,
     seed: u64,
     config: BTreeMap<String, String>,
+    artifacts: Vec<Artifact>,
     start: Instant,
 }
 
@@ -68,6 +120,7 @@ impl ManifestBuilder {
             name: name.to_string(),
             seed: 0,
             config: BTreeMap::new(),
+            artifacts: Vec::new(),
             start: Instant::now(),
         }
     }
@@ -90,6 +143,19 @@ impl ManifestBuilder {
         self
     }
 
+    /// Records a produced file, hashing its current contents.
+    pub fn artifact(mut self, kind: &str, path: &Path) -> Self {
+        let sha256 = std::fs::read(path)
+            .map(|bytes| crate::hash::sha256_hex(&bytes))
+            .unwrap_or_else(|_| "unavailable".to_string());
+        self.artifacts.push(Artifact {
+            kind: kind.to_string(),
+            path: path.display().to_string(),
+            sha256,
+        });
+        self
+    }
+
     /// Stops the clock and snapshots metrics, spans, git, and profile.
     pub fn finish(self) -> RunManifest {
         RunManifest {
@@ -106,6 +172,7 @@ impl ManifestBuilder {
             wall_time_ms: self.start.elapsed().as_millis() as u64,
             metrics: crate::metrics::snapshot(),
             spans: crate::span::span_snapshot(),
+            artifacts: self.artifacts,
         }
     }
 }
@@ -173,6 +240,12 @@ mod tests {
                     children: vec![],
                 }],
             }],
+            artifacts: vec![Artifact {
+                kind: "trace".to_string(),
+                path: "results/fig5a_trace.jsonl".to_string(),
+                sha256: "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+                    .to_string(),
+            }],
         }
     }
 
@@ -200,6 +273,36 @@ mod tests {
         let parsed: RunManifest = serde_json::from_str(golden).unwrap();
         assert_eq!(parsed, fixture());
         assert_eq!(fixture().to_json().trim(), golden.trim());
+    }
+
+    #[test]
+    fn version_1_manifests_without_artifacts_still_deserialize() {
+        let mut v1 = fixture();
+        v1.version = 1;
+        v1.artifacts.clear();
+        // A version-1 document has no `artifacts` key at all.
+        let json = v1.to_json().replace(",\n  \"artifacts\": []", "");
+        assert!(!json.contains("artifacts"), "{json}");
+        let back: RunManifest = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, v1);
+    }
+
+    #[test]
+    fn builder_records_and_hashes_artifacts() {
+        let path = std::env::temp_dir().join("fading_obs_artifact_test.jsonl");
+        std::fs::write(&path, b"abc").unwrap();
+        let m = ManifestBuilder::new("unit")
+            .artifact("trace", &path)
+            .artifact("missing", Path::new("/nonexistent/file"))
+            .finish();
+        assert_eq!(m.artifacts.len(), 2);
+        assert_eq!(m.artifacts[0].kind, "trace");
+        assert_eq!(
+            m.artifacts[0].sha256,
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+        assert_eq!(m.artifacts[1].sha256, "unavailable");
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -143,6 +143,8 @@ pub fn simulate_queueing_with_policy<S: Scheduler + ?Sized>(
     let mut arrived = 0u64;
     let mut delivered = 0u64;
     let mut max_backlog = 0u64;
+    let progress = fading_obs::Progress::new("queueing", "slots", cfg.slots);
+    let tracing = fading_obs::tracing_enabled();
 
     for t in 0..cfg.slots {
         // Arrivals.
@@ -157,6 +159,14 @@ pub fn simulate_queueing_with_policy<S: Scheduler + ?Sized>(
             .map(LinkId)
             .filter(|id| !queues[id.index()].is_empty())
             .collect();
+        if tracing {
+            // Bracket the scheduler's trace block (which uses residual
+            // ids) with the slot number and backlog it saw.
+            fading_obs::trace::publish(vec![fading_obs::TraceEvent::SlotStart {
+                slot: t,
+                backlog: backlogged.len() as u32,
+            }]);
+        }
         if !backlogged.is_empty() {
             // Derive the residual instance from the parent: power
             // scales and the interference backend survive, and the
@@ -174,6 +184,12 @@ pub fn simulate_queueing_with_policy<S: Scheduler + ?Sized>(
                 sub = sub.with_link_rates(&weights);
             }
             let schedule = scheduler.schedule(&sub);
+            if tracing {
+                fading_obs::trace::publish(vec![fading_obs::TraceEvent::SlotEnd {
+                    slot: t,
+                    links: schedule.iter().map(|id| mapping[id.index()].0).collect(),
+                }]);
+            }
             // Channel realization decides actual delivery.
             let mut rng = seeded_rng(split_seed(cfg.seed, t + 1));
             let outcome = simulate_slot(&sub, &schedule, &mut rng);
@@ -184,10 +200,16 @@ pub fn simulate_queueing_with_policy<S: Scheduler + ?Sized>(
                     delays.push((t - arrival_t) as f64);
                 }
             }
+        } else if tracing {
+            fading_obs::trace::publish(vec![fading_obs::TraceEvent::SlotEnd {
+                slot: t,
+                links: Vec::new(),
+            }]);
         }
         let backlog: u64 = queues.iter().map(|q| q.len() as u64).sum();
         backlog_stats.push(backlog as f64);
         max_backlog = max_backlog.max(backlog);
+        progress.report(t + 1, &format!("backlog {backlog}"), t + 1);
     }
 
     QueueResult {

@@ -8,7 +8,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fading_core::algo::{ApproxDiversity, ApproxLogN, Dls, GreedyRate, Ldp, Rle};
 use fading_core::{
     algo::exact::{branch_and_bound, branch_and_bound_parallel},
-    Problem, Scheduler,
+    Problem, SchedCtx, Scheduler,
 };
 use fading_net::{RateModel, TopologyGenerator, UniformGenerator};
 use std::hint::black_box;
@@ -35,9 +35,13 @@ fn algorithm_scaling(c: &mut Criterion) {
     group.finish();
 }
 
-/// Dedicated LDP group: the regression gate for the tracing hooks.
-/// Tracing is disabled here (the default), so these numbers must stay
-/// within noise of the pre-trace baseline.
+/// Dedicated LDP group: the regression gate for the tracing hooks and
+/// the fresh-call path of the workspace engine. Tracing is disabled
+/// here (the default), so these numbers must stay within noise of the
+/// pre-trace baseline. The `warm/…` variants reuse one [`SchedCtx`]
+/// across iterations — the steady-state shape the sweep runner drives
+/// (the ≥25% warm-vs-fresh contract is asserted by
+/// `tests/engine_gate.rs`; these numbers are for inspection).
 fn ldp_schedule(c: &mut Criterion) {
     let mut group = c.benchmark_group("ldp_schedule");
     for &n in &[300usize, 1000] {
@@ -47,12 +51,20 @@ fn ldp_schedule(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(n), &problem, |b, p| {
             b.iter(|| black_box(ldp.schedule(p)))
         });
+        let mut ctx = SchedCtx::with_capacity(n);
+        group.bench_with_input(BenchmarkId::new("warm", n), &problem, |b, p| {
+            b.iter(|| {
+                let s = black_box(ldp.schedule_in(p, &mut ctx));
+                ctx.recycle(s);
+            })
+        });
     }
     group.finish();
 }
 
 /// Dedicated RLE group: exercises the budget-debit inner loop, the
-/// hottest path the tracing hooks touch.
+/// hottest path the tracing hooks touch. `warm/…` reuses a workspace,
+/// as in `ldp_schedule`.
 fn rle_schedule(c: &mut Criterion) {
     let mut group = c.benchmark_group("rle_schedule");
     for &n in &[300usize, 1000] {
@@ -61,6 +73,13 @@ fn rle_schedule(c: &mut Criterion) {
         let rle = Rle::new();
         group.bench_with_input(BenchmarkId::from_parameter(n), &problem, |b, p| {
             b.iter(|| black_box(rle.schedule(p)))
+        });
+        let mut ctx = SchedCtx::with_capacity(n);
+        group.bench_with_input(BenchmarkId::new("warm", n), &problem, |b, p| {
+            b.iter(|| {
+                let s = black_box(rle.schedule_in(p, &mut ctx));
+                ctx.recycle(s);
+            })
         });
     }
     group.finish();

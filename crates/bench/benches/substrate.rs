@@ -35,23 +35,21 @@ fn interference_build(c: &mut Criterion) {
         if n <= DENSE_LIMIT {
             group.bench_with_input(BenchmarkId::new("dense", n), &links, |b, ls| {
                 b.iter(|| {
-                    black_box(Problem::with_backend(
-                        ls.clone(),
-                        params,
-                        0.01,
-                        BackendChoice::Dense,
-                    ))
+                    black_box(
+                        Problem::builder(ls.clone(), params)
+                            .backend(BackendChoice::Dense)
+                            .build(),
+                    )
                 })
             });
         }
         group.bench_with_input(BenchmarkId::new("sparse", n), &links, |b, ls| {
             b.iter(|| {
-                black_box(Problem::with_backend(
-                    ls.clone(),
-                    params,
-                    0.01,
-                    BackendChoice::parse("sparse").unwrap(),
-                ))
+                black_box(
+                    Problem::builder(ls.clone(), params)
+                        .backend(BackendChoice::parse("sparse").unwrap())
+                        .build(),
+                )
             })
         });
     }
@@ -78,13 +76,16 @@ fn interference_row_sums(c: &mut Criterion) {
     for &n in SUBSTRATE_SIZES {
         let links = scaled_generator(n).generate(9);
         if n <= DENSE_LIMIT {
-            let dense = Problem::with_backend(links.clone(), params, 0.01, BackendChoice::Dense);
+            let dense = Problem::builder(links.clone(), params)
+                .backend(BackendChoice::Dense)
+                .build();
             group.bench_with_input(BenchmarkId::new("dense", n), &dense, |b, p| {
                 b.iter(|| black_box(sum_all(p)))
             });
         }
-        let sparse =
-            Problem::with_backend(links, params, 0.01, BackendChoice::parse("sparse").unwrap());
+        let sparse = Problem::builder(links, params)
+            .backend(BackendChoice::parse("sparse").unwrap())
+            .build();
         group.bench_with_input(BenchmarkId::new("sparse", n), &sparse, |b, p| {
             b.iter(|| black_box(sum_all(p)))
         });
@@ -168,32 +169,33 @@ fn residual_construction(c: &mut Criterion) {
     let keep: Vec<fading_net::LinkId> = links.ids().step_by(2).collect();
     let mut group = c.benchmark_group("residual_construction");
     group.sample_size(10);
-    let dense = Problem::with_backend(links.clone(), params, 0.01, BackendChoice::Dense);
+    let dense = Problem::builder(links.clone(), params)
+        .backend(BackendChoice::Dense)
+        .build();
     group.bench_function(BenchmarkId::new("dense_rebuild", n), |b| {
         b.iter(|| {
             let (sub_links, _) = dense.links().restrict(&keep);
-            black_box(Problem::with_backend(
-                sub_links,
-                params,
-                0.01,
-                BackendChoice::Dense,
-            ))
+            black_box(
+                Problem::builder(sub_links, params)
+                    .backend(BackendChoice::Dense)
+                    .build(),
+            )
         })
     });
     group.bench_function(BenchmarkId::new("dense_restrict", n), |b| {
         b.iter(|| black_box(dense.restrict(&keep)))
     });
-    let sparse =
-        Problem::with_backend(links, params, 0.01, BackendChoice::parse("sparse").unwrap());
+    let sparse = Problem::builder(links, params)
+        .backend(BackendChoice::parse("sparse").unwrap())
+        .build();
     group.bench_function(BenchmarkId::new("sparse_rebuild", n), |b| {
         b.iter(|| {
             let (sub_links, _) = sparse.links().restrict(&keep);
-            black_box(Problem::with_backend(
-                sub_links,
-                params,
-                0.01,
-                sparse.backend_choice(),
-            ))
+            black_box(
+                Problem::builder(sub_links, params)
+                    .backend(sparse.backend_choice())
+                    .build(),
+            )
         })
     });
     group.bench_function(BenchmarkId::new("sparse_restrict", n), |b| {

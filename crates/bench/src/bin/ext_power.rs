@@ -45,12 +45,9 @@ fn main() {
                 };
                 let links = gen.generate(seed);
                 let scales = a.scales(&links, 3.0);
-                let p = Problem::with_power_scales(
-                    links,
-                    ChannelParams::paper_defaults(),
-                    0.01,
-                    scales,
-                );
+                let p = Problem::builder(links, ChannelParams::paper_defaults())
+                    .power_scales(scales)
+                    .build();
                 let s = GreedyRate.schedule(&p);
                 scheduled += s.len() as f64;
                 failed += simulate_many(&p, &s, trials, seed).failed.mean;

@@ -5,20 +5,20 @@
 //! deterministic baselines fail increasingly with N.
 
 use fading_bench::Cli;
-use fading_core::algo::{ApproxDiversity, ApproxLogN, Ldp, Rle};
-use fading_core::Scheduler;
+use fading_core::{AlgoId, Scheduler};
 use fading_sim::sweep_n;
 
 fn main() {
     let cli = Cli::parse();
     let config = cli.config();
-    let schedulers: [&dyn Scheduler; 4] = [
-        &Ldp::new(),
-        &Rle::new(),
-        &ApproxLogN,
-        &ApproxDiversity::new(),
-    ];
-    let table = sweep_n(&config, &schedulers);
+    let schedulers = cli.schedulers(&[
+        AlgoId::Ldp,
+        AlgoId::Rle,
+        AlgoId::ApproxLogN,
+        AlgoId::ApproxDiversity,
+    ]);
+    let refs: Vec<&dyn Scheduler> = schedulers.iter().map(Box::as_ref).collect();
+    let table = sweep_n(&config, &refs);
     cli.emit(
         "fig5a",
         "Fig. 5(a) — failed transmissions vs number of links (α = 3)",

@@ -4,15 +4,15 @@
 //! Expected shape: RLE > LDP at every N; throughput grows with N.
 
 use fading_bench::Cli;
-use fading_core::algo::{Dls, Ldp, Rle};
-use fading_core::Scheduler;
+use fading_core::{AlgoId, Scheduler};
 use fading_sim::sweep_n;
 
 fn main() {
     let cli = Cli::parse();
     let config = cli.config();
-    let schedulers: [&dyn Scheduler; 3] = [&Ldp::new(), &Rle::new(), &Dls::new()];
-    let table = sweep_n(&config, &schedulers);
+    let schedulers = cli.schedulers(&[AlgoId::Ldp, AlgoId::Rle, AlgoId::Dls]);
+    let refs: Vec<&dyn Scheduler> = schedulers.iter().map(Box::as_ref).collect();
+    let table = sweep_n(&config, &refs);
     cli.emit(
         "fig6a",
         "Fig. 6(a) — throughput vs number of links (α = 3)",

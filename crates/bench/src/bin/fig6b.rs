@@ -6,15 +6,15 @@
 //! RLE > LDP throughout.
 
 use fading_bench::Cli;
-use fading_core::algo::{Dls, Ldp, Rle};
-use fading_core::Scheduler;
+use fading_core::{AlgoId, Scheduler};
 use fading_sim::sweep_alpha;
 
 fn main() {
     let cli = Cli::parse();
     let config = cli.config();
-    let schedulers: [&dyn Scheduler; 3] = [&Ldp::new(), &Rle::new(), &Dls::new()];
-    let table = sweep_alpha(&config, &schedulers);
+    let schedulers = cli.schedulers(&[AlgoId::Ldp, AlgoId::Rle, AlgoId::Dls]);
+    let refs: Vec<&dyn Scheduler> = schedulers.iter().map(Box::as_ref).collect();
+    let table = sweep_alpha(&config, &refs);
     cli.emit(
         "fig6b",
         "Fig. 6(b) — throughput vs path-loss exponent (N = default)",

@@ -9,7 +9,7 @@
 //! run), and `--trace-out <path>` (write the schedulers' decision
 //! trace as JSONL; the file is hashed into the manifest's artifacts).
 
-use fading_core::BackendChoice;
+use fading_core::{AlgoId, BackendChoice, Scheduler};
 use fading_sim::{ExperimentConfig, ResultTable};
 use std::path::PathBuf;
 use std::time::Instant;
@@ -33,6 +33,9 @@ pub struct Cli {
     pub trace_out: Option<PathBuf>,
     /// Interference backend for every `Problem` the sweep builds.
     pub interference: BackendChoice,
+    /// Algorithms to sweep (`--algos ldp,rle,…`); `None` keeps each
+    /// figure's own default panel.
+    pub algos: Option<Vec<AlgoId>>,
     /// When the run started (for the manifest's wall time).
     started: Instant,
 }
@@ -48,6 +51,7 @@ impl Default for Cli {
             metrics_out: None,
             trace_out: None,
             interference: BackendChoice::Dense,
+            algos: None,
             started: Instant::now(),
         }
     }
@@ -79,6 +83,14 @@ impl Cli {
                     let name = it.next().ok_or("--interference is missing its backend")?;
                     cli.interference = BackendChoice::parse(&name)?;
                 }
+                "--algos" => {
+                    let csv = it.next().ok_or("--algos is missing its id list")?;
+                    let ids = csv
+                        .split(',')
+                        .map(|name| name.trim().parse::<AlgoId>())
+                        .collect::<Result<Vec<_>, _>>()?;
+                    cli.algos = Some(ids);
+                }
                 other => return Err(format!("unknown flag {other}")),
             }
         }
@@ -99,11 +111,23 @@ impl Cli {
             }
             Err(e) => {
                 eprintln!(
-                    "error: {e}\nusage: [--quick] [--csv] [--json] [--progress] [--quiet] [--metrics-out <path>] [--trace-out <path>] [--interference dense|sparse|auto]"
+                    "error: {e}\nusage: [--quick] [--csv] [--json] [--progress] [--quiet] [--metrics-out <path>] [--trace-out <path>] [--interference dense|sparse|auto] [--algos <id,id,…>]"
                 );
                 std::process::exit(2);
             }
         }
+    }
+
+    /// The scheduler panel to sweep: `--algos` when given, otherwise
+    /// the figure's `defaults`. Stochastic schedulers get seed 0, like
+    /// the CLI's `--algo` path.
+    pub fn schedulers(&self, defaults: &[AlgoId]) -> Vec<Box<dyn Scheduler>> {
+        self.algos
+            .as_deref()
+            .unwrap_or(defaults)
+            .iter()
+            .map(|id| id.build(0))
+            .collect()
     }
 
     /// The experiment configuration this invocation asked for.
@@ -240,6 +264,34 @@ mod tests {
         assert!(err.contains("--quik"), "{err}");
         let err = Cli::parse_from(["--metrics-out".to_string()]).unwrap_err();
         assert!(err.contains("missing its path"), "{err}");
+    }
+
+    #[test]
+    fn algos_flag_overrides_the_default_panel() {
+        let cli = Cli::parse_from(["--algos".to_string(), "rle, greedy".to_string()]).unwrap();
+        assert_eq!(cli.algos, Some(vec![AlgoId::Rle, AlgoId::Greedy]));
+        let names: Vec<&str> = cli
+            .schedulers(&[AlgoId::Ldp])
+            .iter()
+            .map(|s| s.name())
+            .collect();
+        assert_eq!(names, ["RLE", "GreedyRate"]);
+        // Without the flag, the figure's defaults stand.
+        let names: Vec<String> = Cli::default()
+            .schedulers(&[AlgoId::Ldp, AlgoId::Dls])
+            .iter()
+            .map(|s| s.name().to_string())
+            .collect();
+        assert_eq!(names, ["LDP", "DLS"]);
+    }
+
+    #[test]
+    fn algos_flag_rejects_unknown_and_empty_ids() {
+        let err = Cli::parse_from(["--algos".to_string(), "rle,nope".to_string()]).unwrap_err();
+        assert!(err.contains("unknown algorithm"), "{err}");
+        assert!(err.contains("valid ids"), "{err}");
+        let err = Cli::parse_from(["--algos".to_string()]).unwrap_err();
+        assert!(err.contains("missing its id list"), "{err}");
     }
 
     #[test]

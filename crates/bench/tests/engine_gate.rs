@@ -1,0 +1,109 @@
+//! The engine's performance contract, asserted as a release-mode gate
+//! (the vendored criterion is a stub without statistics, so the gate
+//! times directly):
+//!
+//! * steady-state `schedule_in` with a warm [`SchedCtx`] beats fresh
+//!   `schedule()` by ≥ 25% for RLE and LDP at n = 1000;
+//! * the fresh-call path pays ≤ 5% for the workspace indirection —
+//!   measured as ctx construction + drop overhead, the only cost the
+//!   default method adds on top of the old monolithic `schedule()`.
+//!
+//! Run under `--release --ignored` (debug timings are meaningless):
+//!
+//! ```text
+//! cargo test --release -p fading-bench --test engine_gate -- --ignored
+//! ```
+
+use fading_core::algo::{Ldp, Rle};
+use fading_core::{Problem, SchedCtx, Scheduler};
+use fading_net::{TopologyGenerator, UniformGenerator};
+use std::hint::black_box;
+use std::time::Instant;
+
+const N: usize = 1000;
+/// Warm must be at most this fraction of fresh (≥ 25% faster).
+const WARM_RATIO_LIMIT: f64 = 0.75;
+/// Ctx construction+drop may cost at most this fraction of a fresh call.
+const FRESH_OVERHEAD_LIMIT: f64 = 0.05;
+
+/// Median-of-repeats wall time of `f`, in seconds.
+fn time_median<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_unstable_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn gate_scheduler(scheduler: &dyn Scheduler, problem: &Problem) {
+    const CALLS: usize = 20;
+    let mut ctx = SchedCtx::with_capacity(N);
+    // Warm both code paths and the ctx before timing.
+    for _ in 0..3 {
+        let s = scheduler.schedule_in(problem, &mut ctx);
+        ctx.recycle(s);
+        black_box(scheduler.schedule(problem));
+    }
+
+    let fresh = time_median(7, || {
+        for _ in 0..CALLS {
+            black_box(scheduler.schedule(problem));
+        }
+    });
+    let warm = time_median(7, || {
+        for _ in 0..CALLS {
+            let s = black_box(scheduler.schedule_in(problem, &mut ctx));
+            ctx.recycle(s);
+        }
+    });
+    let ratio = warm / fresh;
+    eprintln!(
+        "{}: fresh {:.3} ms/call, warm {:.3} ms/call, ratio {:.2}",
+        scheduler.name(),
+        fresh * 1e3 / CALLS as f64,
+        warm * 1e3 / CALLS as f64,
+        ratio
+    );
+    assert!(
+        ratio <= WARM_RATIO_LIMIT,
+        "{}: warm ctx is only {:.0}% faster than fresh (need ≥ {:.0}%)",
+        scheduler.name(),
+        (1.0 - ratio) * 100.0,
+        (1.0 - WARM_RATIO_LIMIT) * 100.0
+    );
+
+    // Fresh-path regression bound: `schedule()` is now "construct a
+    // ctx, schedule through it, drop it", so its only new cost over
+    // the old monolith is ctx construction + drop. Bound that against
+    // the fresh call itself.
+    let ctx_churn = time_median(7, || {
+        for _ in 0..CALLS {
+            black_box(SchedCtx::new());
+        }
+    });
+    eprintln!(
+        "{}: ctx construct+drop {:.1} ns/call ({:.2}% of a fresh call)",
+        scheduler.name(),
+        ctx_churn * 1e9 / CALLS as f64,
+        ctx_churn / fresh * 100.0
+    );
+    assert!(
+        ctx_churn <= FRESH_OVERHEAD_LIMIT * fresh,
+        "{}: workspace churn is {:.1}% of a fresh call (limit {:.0}%)",
+        scheduler.name(),
+        ctx_churn / fresh * 100.0,
+        FRESH_OVERHEAD_LIMIT * 100.0
+    );
+}
+
+#[test]
+#[ignore = "release-mode perf gate; run with --release --ignored (CI does)"]
+fn warm_ctx_beats_fresh_by_a_quarter_at_n1000() {
+    let problem = Problem::paper(UniformGenerator::paper(N).generate(42), 3.0);
+    gate_scheduler(&Rle::new(), &problem);
+    gate_scheduler(&Ldp::new(), &problem);
+}

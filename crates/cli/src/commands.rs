@@ -1,9 +1,6 @@
 //! The CLI subcommands, separated from `main` for testability.
 
 use crate::args::Args;
-use fading_core::algo::{
-    Anneal, ApproxDiversity, ApproxLogN, Dls, ExactBnb, GreedyRate, Ldp, RandomFeasible, Rle,
-};
 use fading_core::{BackendChoice, FeasibilityReport, Problem, Schedule, Scheduler};
 use fading_net::{instance_stats, io, RateModel, TopologyGenerator, UniformGenerator};
 use fading_sim::simulate_many;
@@ -237,12 +234,12 @@ pub(crate) fn build_problem(args: &Args, links: fading_net::LinkSet) -> Result<P
     if !eps.is_finite() || eps <= 0.0 || eps >= 1.0 {
         return Err(format!("--eps must be in (0,1), got {eps}"));
     }
-    Ok(Problem::with_backend(
-        links,
-        fading_channel::ChannelParams::with_alpha(alpha),
-        eps,
-        parse_backend(args)?,
-    ))
+    Ok(
+        Problem::builder(links, fading_channel::ChannelParams::with_alpha(alpha))
+            .epsilon(eps)
+            .backend(parse_backend(args)?)
+            .build(),
+    )
 }
 
 /// Resolves `--interference` / `--tail-rtol` to a [`BackendChoice`].
@@ -266,21 +263,10 @@ fn parse_backend(args: &Args) -> Result<BackendChoice, String> {
     Ok(backend)
 }
 
-/// Resolves an algorithm name to a scheduler.
+/// Resolves an algorithm name to a scheduler via the typed registry.
 pub fn scheduler_by_name(name: &str) -> Result<Box<dyn Scheduler>, String> {
-    Ok(match name {
-        "ldp" => Box::new(Ldp::new()),
-        "ldp-two-sided" => Box::new(Ldp::two_sided()),
-        "rle" => Box::new(Rle::new()),
-        "dls" => Box::new(Dls::new()),
-        "greedy" => Box::new(GreedyRate),
-        "random" => Box::new(RandomFeasible::new(0)),
-        "exact" => Box::new(ExactBnb),
-        "anneal" => Box::new(Anneal::new(0)),
-        "approx-logn" => Box::new(ApproxLogN),
-        "approx-diversity" => Box::new(ApproxDiversity::new()),
-        other => return Err(format!("unknown algorithm {other}; see `fading help`")),
-    })
+    let id: fading_core::AlgoId = name.parse()?;
+    Ok(id.build(0))
 }
 
 fn generate(args: &Args, out: &mut dyn std::io::Write) -> Result<(), String> {

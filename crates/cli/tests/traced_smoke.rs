@@ -37,12 +37,9 @@ fn tmp(name: &str) -> PathBuf {
 fn load_problem(instance: &Path, backend: BackendChoice) -> Problem {
     let json = std::fs::read_to_string(instance).unwrap();
     let links = fading_net::io::from_json(&json).unwrap();
-    Problem::with_backend(
-        links,
-        fading_channel::ChannelParams::with_alpha(3.0),
-        0.01,
-        backend,
-    )
+    Problem::builder(links, fading_channel::ChannelParams::with_alpha(3.0))
+        .backend(backend)
+        .build()
 }
 
 #[test]

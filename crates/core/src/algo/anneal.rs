@@ -131,7 +131,7 @@ impl Scheduler for Anneal {
         "Anneal"
     }
 
-    fn schedule(&self, problem: &Problem) -> Schedule {
+    fn schedule_in(&self, problem: &Problem, ctx: &mut crate::ctx::SchedCtx) -> Schedule {
         let _span = fading_obs::Span::enter("core.anneal.schedule");
         let n = problem.len();
         if n == 0 {
@@ -141,7 +141,7 @@ impl Scheduler for Anneal {
         let mut rng = seeded_rng(self.seed);
         // Start from the greedy solution: annealing then only has to
         // improve on a strong incumbent.
-        let start = crate::algo::GreedyRate.schedule(problem);
+        let start = crate::algo::GreedyRate.schedule_in(problem, ctx);
         let mut state = State::new(problem);
         for id in start.iter() {
             state.insert(id);
@@ -192,7 +192,7 @@ impl Scheduler for Anneal {
             temp = (temp * self.cooling).max(1e-6);
         }
         let s = Schedule::from_ids(best);
-        super::emit_algo_trace("Anneal", n, true, &s);
+        super::emit_algo_trace("Anneal", n, true, &s, ctx);
         fading_obs::counter!("core.anneal.picks").add(s.len() as u64);
         s
     }

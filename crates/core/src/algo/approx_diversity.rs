@@ -10,8 +10,9 @@
 //! schedules meet the classical SINR threshold with zero margin for
 //! fading — which is exactly why it fails in Fig. 5.
 
-use crate::algo::elim_core::{eliminate_schedule, ElimMetric};
+use crate::algo::elim_core::{eliminate_schedule_in, ElimMetric};
 use crate::constants::approx_diversity_c1;
+use crate::ctx::SchedCtx;
 use crate::problem::Problem;
 use crate::schedule::Schedule;
 use crate::Scheduler;
@@ -41,9 +42,9 @@ impl Scheduler for ApproxDiversity {
         "ApproxDiversity"
     }
 
-    fn schedule(&self, problem: &Problem) -> Schedule {
+    fn schedule_in(&self, problem: &Problem, ctx: &mut SchedCtx) -> Schedule {
         let c1 = approx_diversity_c1(problem.params(), self.c2);
-        eliminate_schedule(problem, c1, self.c2, ElimMetric::DeterministicRelative)
+        eliminate_schedule_in(problem, c1, self.c2, ElimMetric::DeterministicRelative, ctx)
     }
 }
 

@@ -9,8 +9,9 @@
 //! schedules far more links, and (the paper's point) those links have
 //! no fading headroom and fail in a Rayleigh environment (Fig. 5).
 
-use crate::algo::grid_core::{grid_schedule_labeled, ClassMode};
+use crate::algo::grid_core::{grid_schedule_labeled_in, ClassMode};
 use crate::constants::approx_logn_mu;
+use crate::ctx::SchedCtx;
 use crate::problem::Problem;
 use crate::schedule::Schedule;
 use crate::Scheduler;
@@ -31,9 +32,16 @@ impl Scheduler for ApproxLogN {
         "ApproxLogN"
     }
 
-    fn schedule(&self, problem: &Problem) -> Schedule {
+    fn schedule_in(&self, problem: &Problem, ctx: &mut SchedCtx) -> Schedule {
         let mu = approx_logn_mu(problem.params());
-        grid_schedule_labeled(problem, ClassMode::TwoSided, mu, "core.approx_logn", false)
+        grid_schedule_labeled_in(
+            problem,
+            ClassMode::TwoSided,
+            mu,
+            "core.approx_logn",
+            false,
+            ctx,
+        )
     }
 }
 

@@ -175,10 +175,10 @@ impl Scheduler for Dls {
         "DLS"
     }
 
-    fn schedule(&self, problem: &Problem) -> Schedule {
+    fn schedule_in(&self, problem: &Problem, ctx: &mut crate::ctx::SchedCtx) -> Schedule {
         let _span = fading_obs::Span::enter("core.dls.schedule");
         let s = self.run(problem).0;
-        super::emit_algo_trace("DLS", problem.len(), true, &s);
+        super::emit_algo_trace("DLS", problem.len(), true, &s, ctx);
         fading_obs::counter!("core.dls.picks").add(s.len() as u64);
         s
     }

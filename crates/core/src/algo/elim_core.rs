@@ -9,10 +9,9 @@
 //! factors vs deterministic relative interference) and the budget
 //! (`γ_ε` vs 1).
 
+use crate::ctx::{OrderKind, SchedCtx};
 use crate::problem::Problem;
 use crate::schedule::Schedule;
-use fading_geom::SpatialHash;
-use fading_net::LinkId;
 use fading_obs::{ElimCause, TraceEvent, TraceScope};
 
 /// Which accumulated-interference metric drives deletions.
@@ -35,9 +34,22 @@ impl ElimMetric {
     }
 }
 
+/// [`eliminate_schedule_in`] with a private one-shot workspace.
+pub fn eliminate_schedule(problem: &Problem, c1: f64, c2: f64, metric: ElimMetric) -> Schedule {
+    eliminate_schedule_in(problem, c1, c2, metric, &mut SchedCtx::new())
+}
+
 /// Runs the elimination skeleton. `c1` is the deletion-radius factor,
 /// `c2 ∈ (0,1)` the budget fraction reserved for already-picked senders.
-pub fn eliminate_schedule(problem: &Problem, c1: f64, c2: f64, metric: ElimMetric) -> Schedule {
+/// All scratch (candidate order, alive bitmap, ledgers, spatial index)
+/// lives in `ctx`; a warm ctx makes the whole call allocation-free.
+pub fn eliminate_schedule_in(
+    problem: &Problem,
+    c1: f64,
+    c2: f64,
+    metric: ElimMetric,
+    ctx: &mut SchedCtx,
+) -> Schedule {
     assert!(c1 >= 1.0, "deletion radius factor must be ≥ 1, got {c1}");
     assert!(c2 > 0.0 && c2 < 1.0, "c₂ must be in (0,1), got {c2}");
     // Static names + per-call-site cached counters: the observability
@@ -84,15 +96,23 @@ pub fn eliminate_schedule(problem: &Problem, c1: f64, c2: f64, metric: ElimMetri
     };
     let threshold = c2 * budget;
 
-    // Links in non-decreasing length order (ties by id for determinism).
-    let mut order: Vec<LinkId> = links.ids().collect();
-    order.sort_by(|&a, &b| links.length(a).total_cmp(&links.length(b)).then(a.cmp(&b)));
+    // Links in non-decreasing length order (ties by id for determinism;
+    // the tie-break makes the comparator a total order, so the unstable
+    // sort's result is unique — which also makes the order safe to
+    // memoize across calls on bit-identical length vectors).
+    if !ctx.order_is_cached(OrderKind::ElimLength, links.ids().map(|i| links.length(i))) {
+        ctx.order.clear();
+        ctx.order.extend(links.ids());
+        ctx.order
+            .sort_unstable_by(|&a, &b| links.length(a).total_cmp(&links.length(b)).then(a.cmp(&b)));
+    }
 
-    // Spatial hash over sender positions for the disk deletions; cell
+    // Spatial index over sender positions for the disk deletions; cell
     // size near the typical deletion radius keeps queries local.
-    let senders = links.sender_positions();
+    ctx.senders.clear();
+    ctx.senders.extend(links.links().iter().map(|l| l.sender));
     let typical_radius = c1 * links.min_length().unwrap_or(1.0);
-    let hash = SpatialHash::build(&senders, typical_radius.max(1e-9));
+    ctx.spatial.rebuild(&ctx.senders, typical_radius.max(1e-9));
 
     // The elimination loop exists twice: an untraced copy containing no
     // trace hooks at all, and a fully traced `#[cold]` twin. Merging
@@ -104,11 +124,9 @@ pub fn eliminate_schedule(problem: &Problem, c1: f64, c2: f64, metric: ElimMetri
     // (FP-accumulation) order; `trace_certificates.rs` replays traced
     // runs against `schedule()` output to pin that equivalence.
     let (schedule, elim_radius, elim_budget) = if fading_obs::tracing_enabled() {
-        run_traced(
-            problem, &order, &hash, c1, c2, budget, threshold, metric, label,
-        )
+        run_traced(problem, ctx, c1, c2, budget, threshold, metric, label)
     } else {
-        run_untraced(problem, &order, &hash, c1, threshold, metric)
+        run_untraced(problem, ctx, c1, threshold, metric)
     };
     // Flushed once per schedule call: the elimination loop itself
     // stays free of shared-state writes.
@@ -121,24 +139,36 @@ pub fn eliminate_schedule(problem: &Problem, c1: f64, c2: f64, metric: ElimMetri
 }
 
 /// The hot path: Algorithm 2 with no tracing support compiled into it.
+/// All scratch comes from `ctx`; warm calls touch no heap.
 #[inline(never)]
 fn run_untraced(
     problem: &Problem,
-    order: &[LinkId],
-    hash: &SpatialHash,
+    ctx: &mut SchedCtx,
     c1: f64,
     threshold: f64,
     metric: ElimMetric,
 ) -> (Schedule, u64, u64) {
     let links = problem.links();
     let n = links.len();
-    let mut alive = vec![true; n];
-    let mut acc = vec![0.0f64; n];
-    let mut picked = Vec::new();
+    let mut picked = ctx.take_members();
+    let SchedCtx {
+        order,
+        alive,
+        acc,
+        live,
+        spatial,
+        ..
+    } = ctx;
+    alive.clear();
+    alive.resize(n, true);
+    acc.clear();
+    acc.resize(n, 0.0);
+    live.clear();
+    live.extend(0..n as u32);
     let mut elim_radius = 0u64;
     let mut elim_budget = 0u64;
 
-    for &i in order {
+    for &i in order.iter() {
         if !alive[i.index()] {
             continue;
         }
@@ -148,28 +178,31 @@ fn run_untraced(
         let receiver = links.link(i).receiver;
         let radius = c1 * links.length(i);
         // Line 4: delete links whose senders are within c₁·d_ii of r_i.
-        hash.for_each_in_radius(&receiver, radius, |j| {
+        spatial.for_each_in_radius(&receiver, radius, |j| {
             if alive[j as usize] {
                 alive[j as usize] = false;
                 elim_radius += 1;
             }
         });
         // Line 5: delete links whose accumulated interference from the
-        // picked senders exceeds c₂·budget. Dense: one contiguous row
-        // walk. Sparse: only the pick's stored out-neighborhood — links
-        // outside it receive strictly less than the certified cut, a
-        // slack absorbed by the c₂ margin Theorem 4.3 reserves.
-        // e^f − 1 recovers the deterministic relative interference from
-        // the fading factor.
+        // picked senders exceeds c₂·budget. Dense: walk only the links
+        // still alive — `live` is compacted against the bitmap first,
+        // which keeps the walk ascending in id, so each survivor takes
+        // the same debits in the same order as the full row walk (a
+        // link's verdict depends only on its own accumulator). Sparse:
+        // only the pick's stored out-neighborhood — links outside it
+        // receive strictly less than the certified cut, a slack
+        // absorbed by the c₂ margin Theorem 4.3 reserves. e^f − 1
+        // recovers the deterministic relative interference from the
+        // fading factor.
         let contribution = |f: f64| match metric {
             ElimMetric::FadingFactor => f,
             ElimMetric::DeterministicRelative => f.exp_m1(),
         };
         if let Some(row) = problem.factors().dense_row(i) {
-            for j in 0..n {
-                if !alive[j] {
-                    continue;
-                }
+            live.retain(|&j| alive[j as usize]);
+            for &j in live.iter() {
+                let j = j as usize;
                 acc[j] += contribution(row[j]);
                 if acc[j] > threshold {
                     alive[j] = false;
@@ -189,7 +222,7 @@ fn run_untraced(
             });
         }
     }
-    (Schedule::from_ids(picked), elim_radius, elim_budget)
+    (Schedule::from_vec(picked), elim_radius, elim_budget)
 }
 
 /// The traced twin of [`run_untraced`]: identical decision sequence,
@@ -199,8 +232,7 @@ fn run_untraced(
 #[allow(clippy::too_many_arguments)]
 fn run_traced(
     problem: &Problem,
-    order: &[LinkId],
-    hash: &SpatialHash,
+    ctx: &mut SchedCtx,
     c1: f64,
     c2: f64,
     budget: f64,
@@ -210,6 +242,8 @@ fn run_traced(
 ) -> (Schedule, u64, u64) {
     let links = problem.links();
     let n = links.len();
+    let order = &ctx.order;
+    let hash = &ctx.spatial;
     let mut tr = TraceScope::begin();
     tr.push(TraceEvent::ElimStart {
         scheduler: label.to_string(),

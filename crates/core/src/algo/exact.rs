@@ -250,10 +250,10 @@ impl Scheduler for ExactBnb {
         "Exact(B&B)"
     }
 
-    fn schedule(&self, problem: &Problem) -> Schedule {
+    fn schedule_in(&self, problem: &Problem, ctx: &mut crate::ctx::SchedCtx) -> Schedule {
         let _span = fading_obs::Span::enter("core.exact.schedule");
         let s = branch_and_bound(problem);
-        super::emit_algo_trace("Exact(B&B)", problem.len(), true, &s);
+        super::emit_algo_trace("Exact(B&B)", problem.len(), true, &s, ctx);
         fading_obs::counter!("core.exact.picks").add(s.len() as u64);
         s
     }

@@ -91,13 +91,24 @@ impl Scheduler for GraphModel {
         }
     }
 
-    fn schedule(&self, problem: &Problem) -> Schedule {
+    fn schedule_in(&self, problem: &Problem, ctx: &mut crate::ctx::SchedCtx) -> Schedule {
         let _span = fading_obs::Span::enter("core.graph_model.schedule");
         let links = problem.links();
-        let mut order: Vec<LinkId> = links.ids().collect();
-        order.sort_by(|&a, &b| links.length(a).total_cmp(&links.length(b)).then(a.cmp(&b)));
+        // Same (length asc, id asc) total order as the elimination
+        // schedulers, so the two share one memo slot.
+        let cached = ctx.order_is_cached(
+            crate::ctx::OrderKind::ElimLength,
+            links.ids().map(|i| links.length(i)),
+        );
+        if !cached {
+            ctx.order.clear();
+            ctx.order.extend(links.ids());
+            ctx.order.sort_unstable_by(|&a, &b| {
+                links.length(a).total_cmp(&links.length(b)).then(a.cmp(&b))
+            });
+        }
         let mut chosen: Vec<LinkId> = Vec::new();
-        for cand in order {
+        for &cand in &ctx.order {
             if chosen.iter().all(|&c| !self.conflicts(problem, c, cand)) {
                 chosen.push(cand);
             }
@@ -105,7 +116,7 @@ impl Scheduler for GraphModel {
         let s = Schedule::from_ids(chosen);
         // Graph models ignore accumulated interference entirely — their
         // schedules carry no γ_ε guarantee, so the trace is uncertified.
-        super::emit_algo_trace(self.name(), links.len(), false, &s);
+        super::emit_algo_trace(self.name(), links.len(), false, &s, ctx);
         fading_obs::counter!("core.graph_model.picks").add(s.len() as u64);
         s
     }

@@ -7,11 +7,11 @@
 //! for calibrating how much utility the guaranteed algorithms leave on
 //! the table.
 
+use crate::ctx::SchedCtx;
 use crate::feasibility::InterferenceAccumulator;
 use crate::problem::Problem;
 use crate::schedule::Schedule;
 use crate::Scheduler;
-use fading_net::LinkId;
 use fading_obs::{ElimCause, TraceEvent, TraceScope};
 
 /// Greedy-by-rate insertion with exact feasibility checks.
@@ -30,19 +30,24 @@ impl Scheduler for GreedyRate {
         "GreedyRate"
     }
 
-    fn schedule(&self, problem: &Problem) -> Schedule {
+    fn schedule_in(&self, problem: &Problem, ctx: &mut SchedCtx) -> Schedule {
         let _span = fading_obs::Span::enter("core.greedy.schedule");
         let links = problem.links();
-        let mut order: Vec<LinkId> = links.ids().collect();
         // Highest rate first; ties by shorter length (easier to keep
-        // feasible), then id.
-        order.sort_by(|&a, &b| {
-            problem
-                .rate(b)
-                .total_cmp(&problem.rate(a))
-                .then(links.length(a).total_cmp(&links.length(b)))
-                .then(a.cmp(&b))
-        });
+        // feasible), then id — a total order, so the unstable sort's
+        // result is unique and memoizable on the (rate, length) keys.
+        let keys = links.ids().flat_map(|i| [problem.rate(i), links.length(i)]);
+        if !ctx.order_is_cached(crate::ctx::OrderKind::GreedyRate, keys) {
+            ctx.order.clear();
+            ctx.order.extend(links.ids());
+            ctx.order.sort_unstable_by(|&a, &b| {
+                problem
+                    .rate(b)
+                    .total_cmp(&problem.rate(a))
+                    .then(links.length(a).total_cmp(&links.length(b)))
+                    .then(a.cmp(&b))
+            });
+        }
         let budget = problem.gamma_eps();
         let mut tr = TraceScope::begin();
         if tr.active() {
@@ -53,7 +58,7 @@ impl Scheduler for GreedyRate {
             });
         }
         let mut acc = InterferenceAccumulator::new(problem);
-        for id in order {
+        for &id in &ctx.order {
             if acc.addition_is_feasible(id, budget) {
                 acc.select(id);
                 tr.push(TraceEvent::Pick { link: id.0 });

@@ -9,8 +9,9 @@
 //! receiver in each square, and returns the best of the `4·g(L)`
 //! feasible schedules. Approximation ratio `O(g(L))` (Theorem 4.2).
 
-use crate::algo::grid_core::{grid_schedule_labeled, ClassMode};
+use crate::algo::grid_core::{grid_schedule_labeled_in, ClassMode};
 use crate::constants::ldp_beta;
+use crate::ctx::SchedCtx;
 use crate::problem::Problem;
 use crate::schedule::Schedule;
 use crate::Scheduler;
@@ -54,9 +55,9 @@ impl Scheduler for Ldp {
         }
     }
 
-    fn schedule(&self, problem: &Problem) -> Schedule {
+    fn schedule_in(&self, problem: &Problem, ctx: &mut SchedCtx) -> Schedule {
         let beta = ldp_beta(problem.params(), problem.gamma_eps());
-        grid_schedule_labeled(problem, self.mode, beta, "core.ldp", true)
+        grid_schedule_labeled_in(problem, self.mode, beta, "core.ldp", true, ctx)
     }
 }
 

@@ -112,11 +112,11 @@ impl<S: Scheduler> Scheduler for LocalSearch<S> {
         "LocalSearch"
     }
 
-    fn schedule(&self, problem: &Problem) -> Schedule {
+    fn schedule_in(&self, problem: &Problem, ctx: &mut crate::ctx::SchedCtx) -> Schedule {
         let _span = fading_obs::Span::enter("core.local_search.schedule");
-        let base = self.base.schedule(problem);
+        let base = self.base.schedule_in(problem, ctx);
         let s = improve(problem, &base, self.max_rounds);
-        super::emit_algo_trace("LocalSearch", problem.len(), true, &s);
+        super::emit_algo_trace("LocalSearch", problem.len(), true, &s, ctx);
         fading_obs::counter!("core.local_search.picks").add(s.len() as u64);
         s
     }

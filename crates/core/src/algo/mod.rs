@@ -41,26 +41,34 @@ pub use rle::Rle;
 /// conflict graphs, …): an `AlgoStart` header, one `Pick` per
 /// scheduled link, and the final membership. The replay verifier
 /// checks membership — and the full γ_ε ledger when `certified`.
+///
+/// The fast path is allocation-free: nothing is built when tracing is
+/// disabled, or when the ring is already saturated and would drop the
+/// block on publish anyway. When a block is emitted it is staged in the
+/// ctx's reusable scratch buffer and drained into the ring in place.
 pub(crate) fn emit_algo_trace(
     scheduler: &str,
     n: usize,
     certified: bool,
     schedule: &crate::schedule::Schedule,
+    ctx: &mut crate::ctx::SchedCtx,
 ) {
-    use fading_obs::{TraceEvent, TraceScope};
-    let mut tr = TraceScope::begin();
-    if tr.active() {
-        tr.push(TraceEvent::AlgoStart {
-            scheduler: scheduler.to_string(),
-            n: n as u32,
-            certified,
-        });
-        for id in schedule.iter() {
-            tr.push(TraceEvent::Pick { link: id.0 });
-        }
-        tr.push(TraceEvent::End {
-            scheduled: schedule.iter().map(|id| id.0).collect(),
-        });
+    use fading_obs::{trace, TraceEvent};
+    if !fading_obs::tracing_enabled() || trace::ring_saturated() {
+        return;
     }
-    tr.finish();
+    let buf = &mut ctx.trace_buf;
+    buf.clear();
+    buf.push(TraceEvent::AlgoStart {
+        scheduler: scheduler.to_string(),
+        n: n as u32,
+        certified,
+    });
+    for id in schedule.iter() {
+        buf.push(TraceEvent::Pick { link: id.0 });
+    }
+    buf.push(TraceEvent::End {
+        scheduled: schedule.iter().map(|id| id.0).collect(),
+    });
+    trace::publish_from(buf);
 }

@@ -140,12 +140,9 @@ mod tests {
             PowerAssignment::Linear,
         ] {
             let scales = a.scales(&links, 3.0);
-            let p = Problem::with_power_scales(
-                links.clone(),
-                ChannelParams::paper_defaults(),
-                0.01,
-                scales,
-            );
+            let p = Problem::builder(links.clone(), ChannelParams::paper_defaults())
+                .power_scales(scales)
+                .build();
             let s = GreedyRate.schedule(&p);
             assert!(!s.is_empty(), "{}", a.name());
             assert!(is_feasible(&p, &s), "{}", a.name());
@@ -154,12 +151,13 @@ mod tests {
 
     #[test]
     fn uniform_power_scales_match_the_plain_problem() {
-        // with_power_scales(1,…,1) must produce the identical factor
+        // power_scales(1,…,1) must produce the identical factor
         // matrix as the paper's model.
         let links = UniformGenerator::paper(25).generate(6);
         let plain = Problem::paper(links.clone(), 3.0);
-        let scaled =
-            Problem::with_power_scales(links, ChannelParams::paper_defaults(), 0.01, vec![1.0; 25]);
+        let scaled = Problem::builder(links, ChannelParams::paper_defaults())
+            .power_scales(vec![1.0; 25])
+            .build();
         for i in plain.links().ids() {
             for j in plain.links().ids() {
                 assert_eq!(plain.factor(i, j), scaled.factor(i, j));

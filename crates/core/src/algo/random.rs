@@ -10,7 +10,6 @@ use crate::problem::Problem;
 use crate::schedule::Schedule;
 use crate::Scheduler;
 use fading_math::seeded_rng;
-use fading_net::LinkId;
 use fading_obs::{ElimCause, TraceEvent, TraceScope};
 use rand::seq::SliceRandom;
 
@@ -33,10 +32,14 @@ impl Scheduler for RandomFeasible {
         "RandomFeasible"
     }
 
-    fn schedule(&self, problem: &Problem) -> Schedule {
+    fn schedule_in(&self, problem: &Problem, ctx: &mut crate::ctx::SchedCtx) -> Schedule {
         let _span = fading_obs::Span::enter("core.random.schedule");
         let n = problem.links().len();
-        let mut order: Vec<LinkId> = problem.links().ids().collect();
+        // Shuffled, not sorted: claim the buffer as scratch so the
+        // order memo is invalidated for the next memoizing caller.
+        let order = ctx.order_scratch();
+        order.clear();
+        order.extend(problem.links().ids());
         order.shuffle(&mut seeded_rng(self.seed));
         let budget = problem.gamma_eps();
         let mut tr = TraceScope::begin();
@@ -48,7 +51,7 @@ impl Scheduler for RandomFeasible {
             });
         }
         let mut acc = InterferenceAccumulator::new(problem);
-        for id in order {
+        for &id in &ctx.order {
             if acc.addition_is_feasible(id, budget) {
                 acc.select(id);
                 tr.push(TraceEvent::Pick { link: id.0 });
@@ -77,7 +80,7 @@ impl Scheduler for RandomFeasible {
 mod tests {
     use super::*;
     use crate::feasibility::is_feasible;
-    use fading_net::{TopologyGenerator, UniformGenerator};
+    use fading_net::{LinkId, TopologyGenerator, UniformGenerator};
 
     #[test]
     fn schedules_are_feasible_and_nonempty() {

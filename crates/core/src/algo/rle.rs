@@ -9,8 +9,9 @@
 //! picked senders exceeds `c₂ γ_ε`. Feasible by Theorem 4.3 and a
 //! constant-factor approximation by Theorem 4.4.
 
-use crate::algo::elim_core::{eliminate_schedule, ElimMetric};
+use crate::algo::elim_core::{eliminate_schedule_in, ElimMetric};
 use crate::constants::rle_c1;
+use crate::ctx::SchedCtx;
 use crate::problem::Problem;
 use crate::schedule::Schedule;
 use crate::Scheduler;
@@ -64,8 +65,14 @@ impl Scheduler for Rle {
         "RLE"
     }
 
-    fn schedule(&self, problem: &Problem) -> Schedule {
-        eliminate_schedule(problem, self.c1(problem), self.c2, ElimMetric::FadingFactor)
+    fn schedule_in(&self, problem: &Problem, ctx: &mut SchedCtx) -> Schedule {
+        eliminate_schedule_in(
+            problem,
+            self.c1(problem),
+            self.c2,
+            ElimMetric::FadingFactor,
+            ctx,
+        )
     }
 }
 

@@ -34,19 +34,23 @@
 pub mod algo;
 pub mod certify;
 pub mod constants;
+pub mod ctx;
 pub mod feasibility;
 pub mod ilp;
 pub mod interference;
 pub mod multislot;
 pub mod problem;
 pub mod reduction;
+pub mod registry;
 pub mod schedule;
 pub mod sparse;
 
 pub use certify::{replay_block, replay_trace, verify_schedule, Certificate};
+pub use ctx::SchedCtx;
 pub use feasibility::FeasibilityReport;
 pub use interference::{InterferenceBackend, InterferenceMatrix, InterferenceModel};
-pub use problem::{BackendChoice, Problem};
+pub use problem::{BackendChoice, Problem, ProblemBuilder};
+pub use registry::AlgoId;
 pub use schedule::Schedule;
 pub use sparse::{SparseConfig, SparseInterference};
 
@@ -58,10 +62,24 @@ pub trait Scheduler: Send + Sync {
     /// Human-readable algorithm name (used by result tables).
     fn name(&self) -> &'static str;
 
-    /// Computes a schedule for one time slot. Implementations must
-    /// return schedules that are feasible *under the model the
-    /// algorithm assumes* — for the fading-resistant algorithms that is
-    /// Corollary 3.1; for the deterministic baselines it is the
-    /// non-fading SINR test (which is the point of the comparison).
-    fn schedule(&self, problem: &Problem) -> Schedule;
+    /// Computes a schedule for one time slot using the caller's
+    /// reusable workspace. This is the engine entry point: the ctx
+    /// carries only buffer capacity, never semantic state, so the
+    /// result is bit-identical to [`schedule`](Self::schedule)
+    /// regardless of what the ctx was previously used for (see
+    /// `docs/engine.md`).
+    ///
+    /// Implementations must return schedules that are feasible *under
+    /// the model the algorithm assumes* — for the fading-resistant
+    /// algorithms that is Corollary 3.1; for the deterministic
+    /// baselines it is the non-fading SINR test (which is the point of
+    /// the comparison).
+    fn schedule_in(&self, problem: &Problem, ctx: &mut SchedCtx) -> Schedule;
+
+    /// Computes a schedule with a private one-shot workspace —
+    /// convenience wrapper over [`schedule_in`](Self::schedule_in) for
+    /// call sites that don't schedule in a loop.
+    fn schedule(&self, problem: &Problem) -> Schedule {
+        self.schedule_in(problem, &mut SchedCtx::new())
+    }
 }

@@ -59,12 +59,25 @@ impl MultiSlotSchedule {
     }
 }
 
-/// Schedules *all* links of `problem` using `scheduler` for each slot.
+/// [`schedule_all_in`] with a private one-shot workspace.
+pub fn schedule_all<S: Scheduler + ?Sized>(problem: &Problem, scheduler: &S) -> MultiSlotSchedule {
+    schedule_all_in(problem, scheduler, &mut crate::ctx::SchedCtx::new())
+}
+
+/// Schedules *all* links of `problem` using `scheduler` for each slot,
+/// driving every residual round through the caller's workspace.
 ///
 /// Each residual instance goes through [`Problem::restrict`], so the
 /// sub-problems keep the parent's power scales and interference backend
 /// and reuse its interference state instead of recomputing geometry.
-pub fn schedule_all<S: Scheduler + ?Sized>(problem: &Problem, scheduler: &S) -> MultiSlotSchedule {
+/// The ctx warm-starts across rounds for free: residual instances only
+/// shrink, so the buffers sized by the first round serve every later
+/// round without reallocating.
+pub fn schedule_all_in<S: Scheduler + ?Sized>(
+    problem: &Problem,
+    scheduler: &S,
+    ctx: &mut crate::ctx::SchedCtx,
+) -> MultiSlotSchedule {
     let n = problem.len();
     let progress = fading_obs::Progress::new("multislot", "links", n as u64);
     let tracing = fading_obs::tracing_enabled();
@@ -83,7 +96,7 @@ pub fn schedule_all<S: Scheduler + ?Sized>(problem: &Problem, scheduler: &S) -> 
         }
         // Derive the residual instance (renumbered) and map ids back.
         let (sub, mapping) = problem.restrict(&remaining);
-        let sub_schedule = scheduler.schedule(&sub);
+        let sub_schedule = scheduler.schedule_in(&sub, ctx);
         let slot: Vec<LinkId> = if sub_schedule.is_empty() {
             // Fallback: a singleton is always feasible (no interferers).
             let shortest = *remaining
@@ -102,6 +115,8 @@ pub fn schedule_all<S: Scheduler + ?Sized>(problem: &Problem, scheduler: &S) -> 
                 .map(|sub_id| mapping[sub_id.index()])
                 .collect()
         };
+        // The sub-schedule's buffer feeds the next round's output.
+        ctx.recycle(sub_schedule);
         remaining.retain(|id| !slot.contains(id));
         if tracing {
             fading_obs::trace::publish(vec![fading_obs::TraceEvent::SlotEnd {

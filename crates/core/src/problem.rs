@@ -76,18 +76,33 @@ pub struct Problem {
 
 impl Problem {
     /// Builds an instance with the dense backend; precomputes the `N×N`
-    /// interference matrix.
+    /// interference matrix. For non-default backends, power scales, or
+    /// ε, use [`Problem::builder`].
     ///
     /// # Panics
     /// Panics if `epsilon` is outside `(0, 1)`.
     pub fn new(links: LinkSet, params: ChannelParams, epsilon: f64) -> Self {
-        Self::with_backend(links, params, epsilon, BackendChoice::Dense)
+        Self::builder(links, params).epsilon(epsilon).build()
+    }
+
+    /// Starts a [`ProblemBuilder`] — the one entry point for every
+    /// non-default construction option (ε, interference backend,
+    /// per-link power scales).
+    pub fn builder(links: LinkSet, params: ChannelParams) -> ProblemBuilder {
+        ProblemBuilder {
+            links,
+            params,
+            epsilon: PAPER_EPSILON,
+            power_scales: None,
+            backend: BackendChoice::Dense,
+        }
     }
 
     /// Builds an instance with an explicit interference backend.
     ///
     /// # Panics
     /// Panics if `epsilon` is outside `(0, 1)`.
+    #[deprecated(note = "use Problem::builder(links, params).epsilon(…).backend(…).build()")]
     pub fn with_backend(
         links: LinkSet,
         params: ChannelParams,
@@ -105,6 +120,7 @@ impl Problem {
     /// # Panics
     /// Panics on length mismatch, non-positive scales, or `epsilon`
     /// outside `(0, 1)`.
+    #[deprecated(note = "use Problem::builder(links, params).epsilon(…).power_scales(…).build()")]
     pub fn with_power_scales(
         links: LinkSet,
         params: ChannelParams,
@@ -123,7 +139,10 @@ impl Problem {
     /// Power scales and a backend choice together.
     ///
     /// # Panics
-    /// As [`Problem::with_power_scales`].
+    /// As `Problem::with_power_scales`.
+    #[deprecated(
+        note = "use Problem::builder(links, params).epsilon(…).power_scales(…).backend(…).build()"
+    )]
     pub fn with_power_scales_and_backend(
         links: LinkSet,
         params: ChannelParams,
@@ -264,7 +283,7 @@ impl Problem {
     /// The paper's evaluation configuration: `ε = 0.01` and
     /// [`ChannelParams::paper_defaults`] (or a supplied `α`).
     pub fn paper(links: LinkSet, alpha: f64) -> Self {
-        Self::new(links, ChannelParams::with_alpha(alpha), 0.01)
+        Self::new(links, ChannelParams::with_alpha(alpha), PAPER_EPSILON)
     }
 
     /// The links of the instance.
@@ -327,6 +346,72 @@ impl Problem {
     }
 }
 
+/// The paper's evaluation reliability target, `ε = 0.01` — the builder
+/// default and what [`Problem::paper`] uses.
+pub const PAPER_EPSILON: f64 = 0.01;
+
+/// Builder for [`Problem`] — the single construction path for every
+/// non-default option, replacing the retired `with_backend` /
+/// `with_power_scales` / `with_power_scales_and_backend` constructor
+/// matrix.
+///
+/// ```
+/// use fading_core::{BackendChoice, Problem};
+/// use fading_net::{TopologyGenerator, UniformGenerator};
+///
+/// let links = UniformGenerator::paper(50).generate(1);
+/// let problem = Problem::builder(links, fading_channel::ChannelParams::paper_defaults())
+///     .epsilon(0.05)
+///     .backend(BackendChoice::Auto)
+///     .build();
+/// assert_eq!(problem.len(), 50);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ProblemBuilder {
+    links: LinkSet,
+    params: ChannelParams,
+    epsilon: f64,
+    power_scales: Option<Vec<f64>>,
+    backend: BackendChoice,
+}
+
+impl ProblemBuilder {
+    /// Reliability target `ε ∈ (0,1)` (default: [`PAPER_EPSILON`]).
+    /// Validated by [`build`](Self::build).
+    pub fn epsilon(mut self, epsilon: f64) -> Self {
+        self.epsilon = epsilon;
+        self
+    }
+
+    /// Per-link transmit power scales (`scale_i × P` for sender `i`) —
+    /// the power-control extension. Default: uniform power.
+    pub fn power_scales(mut self, power_scales: Vec<f64>) -> Self {
+        self.power_scales = Some(power_scales);
+        self
+    }
+
+    /// Interference backend (default: [`BackendChoice::Dense`]).
+    pub fn backend(mut self, backend: BackendChoice) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Builds the instance, precomputing the interference state.
+    ///
+    /// # Panics
+    /// Panics if `epsilon` is outside `(0, 1)`, or on power-scale
+    /// length mismatch / non-positive scales.
+    pub fn build(self) -> Problem {
+        Problem::build(
+            self.links,
+            self.params,
+            self.epsilon,
+            self.power_scales,
+            self.backend,
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -360,12 +445,9 @@ mod tests {
     fn sparse_backend_matches_dense_factors() {
         let links = UniformGenerator::paper(30).generate(5);
         let dense = Problem::paper(links.clone(), 3.0);
-        let sparse = Problem::with_backend(
-            links,
-            ChannelParams::with_alpha(3.0),
-            0.01,
-            BackendChoice::Sparse(SparseConfig::default()),
-        );
+        let sparse = Problem::builder(links, ChannelParams::with_alpha(3.0))
+            .backend(BackendChoice::Sparse(SparseConfig::default()))
+            .build();
         assert_eq!(sparse.factors().name(), "sparse");
         for i in dense.links().ids() {
             for j in dense.links().ids() {
@@ -381,12 +463,9 @@ mod tests {
     #[test]
     fn auto_resolves_by_size() {
         let links = UniformGenerator::paper(20).generate(6);
-        let p = Problem::with_backend(
-            links,
-            ChannelParams::paper_defaults(),
-            0.01,
-            BackendChoice::Auto,
-        );
+        let p = Problem::builder(links, ChannelParams::paper_defaults())
+            .backend(BackendChoice::Auto)
+            .build();
         // Below the threshold Auto is dense.
         assert_eq!(p.factors().name(), "dense");
     }

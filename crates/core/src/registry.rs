@@ -1,0 +1,163 @@
+//! The typed scheduler registry.
+//!
+//! [`AlgoId`] is the single source of truth for algorithm names: the
+//! CLI (`fading run --algo …`), the bench harness (`--algos …`), and
+//! any config file parse through [`AlgoId::from_str`] and construct
+//! through [`AlgoId::build`], so a new scheduler is registered in
+//! exactly one place and every frontend agrees on the spelling.
+
+use crate::algo::{
+    Anneal, ApproxDiversity, ApproxLogN, Dls, ExactBnb, GreedyRate, Ldp, RandomFeasible, Rle,
+};
+use crate::Scheduler;
+use std::fmt;
+use std::str::FromStr;
+
+/// Identifier of a registered scheduling algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AlgoId {
+    /// Link Diversity Partition (Algorithm 1, nested classes).
+    Ldp,
+    /// LDP with the pre-improvement two-sided classes (ablation A1).
+    LdpTwoSided,
+    /// Recursive Link Elimination (Algorithm 2).
+    Rle,
+    /// Decentralized link scheduling (DESIGN.md §5).
+    Dls,
+    /// Feasibility-aware rate-greedy heuristic.
+    Greedy,
+    /// Random-order feasible insertion (seeded).
+    Random,
+    /// Exact branch-and-bound (small `n` only).
+    Exact,
+    /// Simulated annealing over greedy's incumbent (seeded).
+    Anneal,
+    /// Deterministic-SINR grid baseline \[14\].
+    ApproxLogN,
+    /// Deterministic-SINR elimination baseline \[15\].
+    ApproxDiversity,
+}
+
+impl AlgoId {
+    /// Every registered algorithm, in display order.
+    pub const ALL: [AlgoId; 10] = [
+        AlgoId::Ldp,
+        AlgoId::LdpTwoSided,
+        AlgoId::Rle,
+        AlgoId::Dls,
+        AlgoId::Greedy,
+        AlgoId::Random,
+        AlgoId::Exact,
+        AlgoId::Anneal,
+        AlgoId::ApproxLogN,
+        AlgoId::ApproxDiversity,
+    ];
+
+    /// The canonical command-line name (what [`FromStr`] accepts and
+    /// [`fmt::Display`] prints).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            AlgoId::Ldp => "ldp",
+            AlgoId::LdpTwoSided => "ldp-two-sided",
+            AlgoId::Rle => "rle",
+            AlgoId::Dls => "dls",
+            AlgoId::Greedy => "greedy",
+            AlgoId::Random => "random",
+            AlgoId::Exact => "exact",
+            AlgoId::Anneal => "anneal",
+            AlgoId::ApproxLogN => "approx-logn",
+            AlgoId::ApproxDiversity => "approx-diversity",
+        }
+    }
+
+    /// Instantiates the scheduler. `seed` feeds the stochastic
+    /// algorithms (random insertion order, annealing moves); the
+    /// deterministic ones ignore it.
+    pub fn build(self, seed: u64) -> Box<dyn Scheduler> {
+        match self {
+            AlgoId::Ldp => Box::new(Ldp::new()),
+            AlgoId::LdpTwoSided => Box::new(Ldp::two_sided()),
+            AlgoId::Rle => Box::new(Rle::new()),
+            AlgoId::Dls => Box::new(Dls::new()),
+            AlgoId::Greedy => Box::new(GreedyRate),
+            AlgoId::Random => Box::new(RandomFeasible::new(seed)),
+            AlgoId::Exact => Box::new(ExactBnb),
+            AlgoId::Anneal => Box::new(Anneal::new(seed)),
+            AlgoId::ApproxLogN => Box::new(ApproxLogN),
+            AlgoId::ApproxDiversity => Box::new(ApproxDiversity::new()),
+        }
+    }
+}
+
+impl fmt::Display for AlgoId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl FromStr for AlgoId {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        AlgoId::ALL
+            .into_iter()
+            .find(|id| id.as_str() == s)
+            .ok_or_else(|| {
+                let valid: Vec<&str> = AlgoId::ALL.iter().map(|id| id.as_str()).collect();
+                format!("unknown algorithm {s:?}; valid ids: {}", valid.join(", "))
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for id in AlgoId::ALL {
+            let parsed: AlgoId = id.as_str().parse().unwrap();
+            assert_eq!(parsed, id);
+            assert_eq!(id.to_string(), id.as_str());
+        }
+    }
+
+    #[test]
+    fn unknown_name_lists_valid_ids() {
+        let err = "nope".parse::<AlgoId>().unwrap_err();
+        assert!(err.contains("unknown algorithm"), "{err}");
+        for id in AlgoId::ALL {
+            assert!(err.contains(id.as_str()), "error must list {id}: {err}");
+        }
+    }
+
+    #[test]
+    fn build_produces_the_named_scheduler() {
+        // Human-readable names differ from CLI ids; pin the mapping.
+        let expectations = [
+            (AlgoId::Ldp, "LDP"),
+            (AlgoId::LdpTwoSided, "LDP(two-sided)"),
+            (AlgoId::Rle, "RLE"),
+            (AlgoId::Dls, "DLS"),
+            (AlgoId::Greedy, "GreedyRate"),
+            (AlgoId::Random, "RandomFeasible"),
+            (AlgoId::Exact, "Exact(B&B)"),
+            (AlgoId::Anneal, "Anneal"),
+            (AlgoId::ApproxLogN, "ApproxLogN"),
+            (AlgoId::ApproxDiversity, "ApproxDiversity"),
+        ];
+        for (id, name) in expectations {
+            assert_eq!(id.build(0).name(), name);
+        }
+    }
+
+    #[test]
+    fn seed_reaches_stochastic_schedulers() {
+        use crate::Problem;
+        use fading_net::{TopologyGenerator, UniformGenerator};
+        let p = Problem::paper(UniformGenerator::paper(60).generate(3), 3.0);
+        let a = AlgoId::Random.build(1).schedule(&p);
+        let b = AlgoId::Random.build(1).schedule(&p);
+        assert_eq!(a, b, "same seed must reproduce");
+    }
+}

@@ -21,10 +21,22 @@ impl Schedule {
 
     /// Builds a schedule from ids (sorted and deduplicated).
     pub fn from_ids<I: IntoIterator<Item = LinkId>>(ids: I) -> Self {
-        let mut members: Vec<LinkId> = ids.into_iter().collect();
+        Self::from_vec(ids.into_iter().collect())
+    }
+
+    /// Builds a schedule from an owned id vector, sorting and
+    /// deduplicating in place — no fresh allocation, so recycled
+    /// buffers (see [`crate::SchedCtx::recycle`]) round-trip for free.
+    pub fn from_vec(mut members: Vec<LinkId>) -> Self {
         members.sort_unstable();
         members.dedup();
         Self { members }
+    }
+
+    /// Consumes the schedule and returns its backing vector (the
+    /// recycling half of [`Self::from_vec`]).
+    pub fn into_vec(self) -> Vec<LinkId> {
+        self.members
     }
 
     /// Number of scheduled links.

@@ -36,13 +36,18 @@ fn build_pair(
     if powered {
         let scales: Vec<f64> = (0..n).map(|i| 0.5 + (i % 5) as f64 * 0.375).collect();
         (
-            Problem::with_power_scales(links.clone(), params, 0.01, scales.clone()),
-            Problem::with_power_scales_and_backend(links, params, 0.01, scales, sparse),
+            Problem::builder(links.clone(), params)
+                .power_scales(scales.clone())
+                .build(),
+            Problem::builder(links, params)
+                .power_scales(scales)
+                .backend(sparse)
+                .build(),
         )
     } else {
         (
             Problem::new(links.clone(), params, 0.01),
-            Problem::with_backend(links, params, 0.01, sparse),
+            Problem::builder(links, params).backend(sparse).build(),
         )
     }
 }

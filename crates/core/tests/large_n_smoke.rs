@@ -33,12 +33,9 @@ fn sparse_backend_runs_rle_at_one_hundred_thousand_links() {
         rates: RateModel::Fixed(1.0),
     };
     let links = gen.generate(20170714);
-    let problem = Problem::with_backend(
-        links,
-        ChannelParams::with_alpha(4.0),
-        0.01,
-        BackendChoice::Sparse(SparseConfig::default()),
-    );
+    let problem = Problem::builder(links, ChannelParams::with_alpha(4.0))
+        .backend(BackendChoice::Sparse(SparseConfig::default()))
+        .build();
     let model = problem
         .factors()
         .as_sparse()

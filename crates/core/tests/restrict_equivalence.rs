@@ -25,9 +25,12 @@ fn parent(n: usize, seed: u64, alpha: f64, backend: BackendChoice, powered: bool
     let params = ChannelParams::with_alpha(alpha);
     if powered {
         let scales: Vec<f64> = (0..n).map(|i| 0.5 + (i % 5) as f64 * 0.375).collect();
-        Problem::with_power_scales_and_backend(links, params, 0.01, scales, backend)
+        Problem::builder(links, params)
+            .power_scales(scales)
+            .backend(backend)
+            .build()
     } else {
-        Problem::with_backend(links, params, 0.01, backend)
+        Problem::builder(links, params).backend(backend).build()
     }
 }
 
@@ -49,20 +52,14 @@ fn keep_subset(n: usize, mask: u64) -> Vec<LinkId> {
 /// configuration — the path `restrict` replaces.
 fn rebuild(parent: &Problem, keep: &[LinkId]) -> Problem {
     let (links, mapping) = parent.links().restrict(keep);
+    let builder = Problem::builder(links, *parent.params())
+        .epsilon(parent.epsilon())
+        .backend(parent.backend_choice());
     match parent.power_scales() {
-        Some(p) => Problem::with_power_scales_and_backend(
-            links,
-            *parent.params(),
-            parent.epsilon(),
-            mapping.iter().map(|id| p[id.index()]).collect(),
-            parent.backend_choice(),
-        ),
-        None => Problem::with_backend(
-            links,
-            *parent.params(),
-            parent.epsilon(),
-            parent.backend_choice(),
-        ),
+        Some(p) => builder
+            .power_scales(mapping.iter().map(|id| p[id.index()]).collect())
+            .build(),
+        None => builder.build(),
     }
 }
 
@@ -150,13 +147,14 @@ proptest! {
 fn restrict_preserves_configuration() {
     let n = 30;
     let scales: Vec<f64> = (0..n).map(|i| 0.5 + (i % 7) as f64 * 0.25).collect();
-    let p = Problem::with_power_scales_and_backend(
+    let p = Problem::builder(
         UniformGenerator::paper(n).generate(3),
         ChannelParams::with_alpha(3.5),
-        0.02,
-        scales.clone(),
-        BackendChoice::Sparse(SparseConfig { tail_rtol: 1e-2 }),
-    );
+    )
+    .epsilon(0.02)
+    .power_scales(scales.clone())
+    .backend(BackendChoice::Sparse(SparseConfig { tail_rtol: 1e-2 }))
+    .build();
     let keep: Vec<LinkId> = [0u32, 7, 11, 19, 28].iter().map(|&i| LinkId(i)).collect();
     let (sub, mapping) = p.restrict(&keep);
     assert_eq!(sub.len(), keep.len());
@@ -181,12 +179,12 @@ fn restrict_to_nothing_is_empty() {
         BackendChoice::Dense,
         BackendChoice::Sparse(SparseConfig::default()),
     ] {
-        let p = Problem::with_backend(
+        let p = Problem::builder(
             UniformGenerator::paper(10).generate(4),
             ChannelParams::paper_defaults(),
-            0.01,
-            backend,
-        );
+        )
+        .backend(backend)
+        .build();
         let (sub, mapping) = p.restrict(&[]);
         assert!(sub.is_empty());
         assert!(mapping.is_empty());

@@ -45,10 +45,13 @@ fn grid_problem(i: u64) -> Problem {
     let links = UniformGenerator::paper(n).generate(1000 + i);
     let params = fading_channel::ChannelParams::with_alpha(alpha);
     if i % 4 < 2 {
-        Problem::with_backend(links, params, 0.01, backend)
+        Problem::builder(links, params).backend(backend).build()
     } else {
         let scales: Vec<f64> = (0..n).map(|j| 0.5 + (j % 5) as f64 * 0.375).collect();
-        Problem::with_power_scales_and_backend(links, params, 0.01, scales, backend)
+        Problem::builder(links, params)
+            .power_scales(scales)
+            .backend(backend)
+            .build()
     }
 }
 

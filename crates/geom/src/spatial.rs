@@ -154,6 +154,132 @@ impl SpatialHash {
     }
 }
 
+/// A reusable spatial index: the same radius-query semantics as
+/// [`SpatialHash`], backed by buffers that survive rebuilds.
+///
+/// [`SpatialHash::build`] allocates a bucket `Vec` per occupied cell on
+/// every call — fine for one-shot use, but the zero-allocation
+/// scheduling engine rebuilds its index once per `schedule_in` call.
+/// `SpatialGrid` stores the same structure in CSR form (one `items`
+/// array sliced by per-cell offsets) over reusable buffers: after a
+/// warm-up rebuild at a given size, further rebuilds touch no heap.
+///
+/// Query results and *visit order* are identical to `SpatialHash` over
+/// the same points: cells are scanned in the same window order and
+/// points within a cell in index order (CSR placement preserves the
+/// bucket insertion order). Schedulers rely on that equivalence for
+/// bit-identical output; `grid_matches_hash_order` pins it.
+#[derive(Debug, Clone, Default)]
+pub struct SpatialGrid {
+    cell: f64,
+    points: Vec<Point2>,
+    /// cell key -> slot in the CSR arrays.
+    slots: HashMap<(i64, i64), u32>,
+    /// Per-slot start offsets into `items` (length `slots.len() + 1`).
+    starts: Vec<u32>,
+    /// Point indices grouped by cell, each group in ascending order.
+    items: Vec<u32>,
+    /// Scratch: per-point slot, reused between the counting and
+    /// placement passes.
+    point_slot: Vec<u32>,
+    /// Scratch: per-slot write cursor for the placement pass.
+    offsets: Vec<u32>,
+}
+
+impl SpatialGrid {
+    /// An empty index; call [`rebuild`](Self::rebuild) before querying.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Re-indexes `points` with bucket side `cell`, reusing all
+    /// internal buffers.
+    ///
+    /// When `points` and `cell` are bit-identical to the previous
+    /// rebuild the call returns immediately: the stored index is
+    /// already exactly what this input produces, so steady-state
+    /// callers re-indexing an unchanged instance pay one `memcmp`
+    /// instead of a full rebuild. (A `NaN` coordinate never compares
+    /// equal and therefore always rebuilds — conservative, not wrong.)
+    ///
+    /// # Panics
+    /// Panics if `cell` is not finite and positive.
+    pub fn rebuild(&mut self, points: &[Point2], cell: f64) {
+        assert!(
+            cell.is_finite() && cell > 0.0,
+            "spatial grid cell must be finite and positive, got {cell}"
+        );
+        if self.cell == cell && self.points == points {
+            return;
+        }
+        self.cell = cell;
+        self.points.clear();
+        self.points.extend_from_slice(points);
+        self.slots.clear();
+        self.point_slot.clear();
+        self.starts.clear();
+        // Pass 1: assign each point a cell slot and count occupancy
+        // (counts accumulate in `starts`, shifted by one for the
+        // prefix-sum below).
+        self.starts.push(0);
+        for p in points {
+            let next = self.slots.len() as u32;
+            let slot = *self.slots.entry(SpatialHash::key(p, cell)).or_insert(next);
+            if slot == next {
+                self.starts.push(0);
+            }
+            self.starts[slot as usize + 1] += 1;
+            self.point_slot.push(slot);
+        }
+        for i in 1..self.starts.len() {
+            self.starts[i] += self.starts[i - 1];
+        }
+        // Pass 2: place indices; ascending point order within each cell
+        // reproduces SpatialHash's bucket push order.
+        self.items.clear();
+        self.items.resize(points.len(), 0);
+        self.offsets.clear();
+        self.offsets
+            .extend_from_slice(&self.starts[..self.starts.len() - 1]);
+        for (i, &slot) in self.point_slot.iter().enumerate() {
+            let at = self.offsets[slot as usize];
+            self.items[at as usize] = i as u32;
+            self.offsets[slot as usize] = at + 1;
+        }
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Calls `f` for each point index within `radius` of `center`, in
+    /// the same order as [`SpatialHash::for_each_in_radius`].
+    pub fn for_each_in_radius<F: FnMut(u32)>(&self, center: &Point2, radius: f64, mut f: F) {
+        let r_sq = radius * radius;
+        let span = (radius / self.cell).ceil() as i64;
+        let (ca, cb) = SpatialHash::key(center, self.cell);
+        for a in (ca - span)..=(ca + span) {
+            for b in (cb - span)..=(cb + span) {
+                if let Some(&slot) = self.slots.get(&(a, b)) {
+                    let lo = self.starts[slot as usize] as usize;
+                    let hi = self.starts[slot as usize + 1] as usize;
+                    for &i in &self.items[lo..hi] {
+                        if self.points[i as usize].distance_sq(center) <= r_sq {
+                            f(i);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -177,6 +303,78 @@ mod tests {
             .collect();
         v.sort_unstable();
         v
+    }
+
+    /// Schedulers require the reusable grid to visit candidates in the
+    /// exact order `SpatialHash` does — membership parity alone is not
+    /// enough for bit-identical schedules.
+    #[test]
+    fn grid_matches_hash_order() {
+        let mut grid = SpatialGrid::new();
+        for (seed, n, cell) in [(1u64, 500usize, 10.0f64), (5, 173, 3.7), (9, 64, 25.0)] {
+            let pts = random_points(n, seed);
+            let hash = SpatialHash::build(&pts, cell);
+            grid.rebuild(&pts, cell);
+            assert_eq!(grid.len(), n);
+            for (i, c) in random_points(40, seed + 100).iter().enumerate() {
+                let r = 0.5 + (i as f64) % 30.0;
+                let mut from_hash = Vec::new();
+                hash.for_each_in_radius(c, r, |id| from_hash.push(id));
+                let mut from_grid = Vec::new();
+                grid.for_each_in_radius(c, r, |id| from_grid.push(id));
+                assert_eq!(from_grid, from_hash, "center {c:?} r {r} cell {cell}");
+            }
+        }
+    }
+
+    /// Rebuilding over a smaller point set must fully replace the old
+    /// contents (stale items from the previous, larger build must not
+    /// leak into queries).
+    #[test]
+    fn grid_rebuild_replaces_contents() {
+        let mut grid = SpatialGrid::new();
+        grid.rebuild(&random_points(400, 11), 5.0);
+        let pts = random_points(30, 12);
+        grid.rebuild(&pts, 8.0);
+        let hash = SpatialHash::build(&pts, 8.0);
+        let c = Point2::new(50.0, 50.0);
+        let mut from_hash = Vec::new();
+        hash.for_each_in_radius(&c, 200.0, |id| from_hash.push(id));
+        let mut from_grid = Vec::new();
+        grid.for_each_in_radius(&c, 200.0, |id| from_grid.push(id));
+        assert_eq!(from_grid, from_hash);
+        assert_eq!(from_grid.len(), 30, "radius covers everything");
+    }
+
+    #[test]
+    fn grid_empty_rebuild() {
+        let mut grid = SpatialGrid::new();
+        grid.rebuild(&[], 1.0);
+        assert!(grid.is_empty());
+        let mut seen = 0;
+        grid.for_each_in_radius(&Point2::origin(), 10.0, |_| seen += 1);
+        assert_eq!(seen, 0);
+    }
+
+    proptest! {
+        #[test]
+        fn grid_order_parity_prop(
+            seed in 0u64..1000,
+            n in 0usize..200,
+            cell in 0.5f64..20.0,
+            r in 0.0f64..40.0,
+        ) {
+            let pts = random_points(n, seed);
+            let hash = SpatialHash::build(&pts, cell);
+            let mut grid = SpatialGrid::new();
+            grid.rebuild(&pts, cell);
+            let c = Point2::new(50.0, 50.0);
+            let mut from_hash = Vec::new();
+            hash.for_each_in_radius(&c, r, |id| from_hash.push(id));
+            let mut from_grid = Vec::new();
+            grid.for_each_in_radius(&c, r, |id| from_grid.push(id));
+            prop_assert_eq!(from_grid, from_hash);
+        }
     }
 
     #[test]

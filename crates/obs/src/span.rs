@@ -1,14 +1,23 @@
 //! RAII wall-clock spans aggregated into a timing tree.
 //!
-//! [`Span::enter`] pushes a name onto a thread-local stack and starts
-//! a timer; dropping the guard pops the stack and accumulates the
-//! elapsed time under the dotted path of every open span on that
-//! thread. [`span_snapshot`] turns the accumulated paths into a
-//! hierarchical [`SpanNode`] tree.
+//! [`Span::enter`] appends a name to a thread-local dotted path and
+//! starts a timer; dropping the guard accumulates the elapsed time
+//! under that path and truncates it back. [`span_snapshot`] turns the
+//! accumulated paths into a hierarchical [`SpanNode`] tree.
 //!
 //! Spans opened on `rayon` worker threads start their own root (the
-//! stack is per-thread), which is the honest reading: a worker's time
+//! path is per-thread), which is the honest reading: a worker's time
 //! is not lexically inside the caller's frame.
+//!
+//! # Allocation discipline
+//!
+//! Spans sit on the per-`schedule()` hot path of the zero-allocation
+//! engine (`docs/engine.md`), so the warm path must not touch the heap:
+//! the thread-local path is one reused `String` (names are appended in
+//! place and truncated on drop), and the totals table is updated via
+//! `get_mut` on the borrowed path. The only allocations are one-time:
+//! growing the path string past its high-water mark and inserting a
+//! path's first table entry.
 
 use serde::{Deserialize, Serialize};
 use std::cell::RefCell;
@@ -17,7 +26,10 @@ use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
 thread_local! {
-    static STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+    /// The dotted path of the spans currently open on this thread,
+    /// e.g. `"sweep.scheduler.core.rle.schedule"`. Reused across
+    /// spans so steady-state enter/drop never allocates.
+    static PATH: RefCell<String> = const { RefCell::new(String::new()) };
 }
 
 /// path -> (calls, total nanoseconds)
@@ -30,7 +42,9 @@ fn table() -> &'static Mutex<BTreeMap<String, (u64, u64)>> {
 /// [`crate::span!`] macro, recorded on drop.
 pub struct Span {
     start: Instant,
-    path: String,
+    /// Path length before this span's segment was appended; drop
+    /// truncates back to it.
+    trunc: usize,
 }
 
 impl Span {
@@ -38,14 +52,18 @@ impl Span {
     /// on this thread. Guards must be dropped in reverse open order
     /// (the natural RAII scoping); bind the result to a local.
     pub fn enter(name: &str) -> Self {
-        let path = STACK.with(|s| {
-            let mut stack = s.borrow_mut();
-            stack.push(name.to_string());
-            stack.join(".")
+        let trunc = PATH.with(|p| {
+            let mut path = p.borrow_mut();
+            let trunc = path.len();
+            if !path.is_empty() {
+                path.push('.');
+            }
+            path.push_str(name);
+            trunc
         });
         Self {
             start: Instant::now(),
-            path,
+            trunc,
         }
     }
 }
@@ -53,15 +71,24 @@ impl Span {
 impl Drop for Span {
     fn drop(&mut self) {
         let elapsed_ns = self.start.elapsed().as_nanos() as u64;
-        STACK.with(|s| {
-            s.borrow_mut().pop();
+        PATH.with(|p| {
+            let mut path = p.borrow_mut();
+            {
+                let mut totals = table().lock().unwrap();
+                match totals.get_mut(path.as_str()) {
+                    Some(entry) => {
+                        entry.0 += 1;
+                        entry.1 += elapsed_ns;
+                    }
+                    // First completion of this path (warm-up): the one
+                    // place a key is allocated.
+                    None => {
+                        totals.insert(path.clone(), (1, elapsed_ns));
+                    }
+                }
+            }
+            path.truncate(self.trunc);
         });
-        let mut totals = table().lock().unwrap();
-        let entry = totals
-            .entry(std::mem::take(&mut self.path))
-            .or_insert((0, 0));
-        entry.0 += 1;
-        entry.1 += elapsed_ns;
     }
 }
 
@@ -184,5 +211,28 @@ mod tests {
         }
         let snap = span_snapshot();
         assert!(find(&snap, "obs_test_repeat").unwrap().calls >= 5);
+    }
+
+    #[test]
+    fn path_restores_after_nested_drops() {
+        // The thread-local path must come back to its pre-enter state
+        // even through interleaved sibling spans.
+        {
+            let _a = Span::enter("obs_test_restore");
+            {
+                let _b = Span::enter("child");
+            }
+            {
+                let _c = Span::enter("child2");
+            }
+        }
+        let before = PATH.with(|p| p.borrow().clone());
+        {
+            let _d = Span::enter("obs_test_restore2");
+        }
+        let after = PATH.with(|p| p.borrow().clone());
+        assert_eq!(before, after, "path not restored");
+        let snap = span_snapshot();
+        assert!(find(&snap, "obs_test_restore.child2").is_some());
     }
 }

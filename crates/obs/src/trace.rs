@@ -182,6 +182,30 @@ pub fn publish(block: Vec<TraceEvent>) {
     }
 }
 
+/// Like [`publish`], but drains `block` in place instead of consuming
+/// it, so a caller-owned scratch buffer keeps its capacity across
+/// schedule calls (the zero-allocation engine's trace path reuses one
+/// buffer per scheduling context — see `docs/engine.md`).
+pub fn publish_from(block: &mut Vec<TraceEvent>) {
+    if block.is_empty() {
+        return;
+    }
+    let mut b = buf().lock().unwrap();
+    b.events.extend(block.drain(..));
+    while b.events.len() > b.capacity {
+        b.events.pop_front();
+        b.dropped += 1;
+    }
+}
+
+/// Whether the ring already holds `capacity` records. Once saturated,
+/// publishing only evicts older records and the trace is no longer
+/// replayable, so emitters may skip building blocks entirely.
+pub fn ring_saturated() -> bool {
+    let b = buf().lock().unwrap();
+    b.events.len() >= b.capacity
+}
+
 /// Drains every collected record (and the overflow count), resetting
 /// the buffer.
 pub fn take_trace() -> Trace {

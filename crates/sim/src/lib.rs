@@ -5,6 +5,8 @@
 //! to clear the decoding threshold, and measure delivered throughput.
 //! This crate provides:
 //!
+//! * [`batch`] — pooled scheduling workspaces so sweep workers reuse
+//!   warm scratch arenas instead of allocating per instance;
 //! * [`slot`] — one channel realization of a schedule;
 //! * [`monte_carlo`] — many independent realizations in parallel
 //!   (rayon), reduced into exact mergeable statistics;
@@ -14,6 +16,7 @@
 //!   of schedulers;
 //! * [`results`] — serializable result rows, text tables, and CSV.
 
+pub mod batch;
 pub mod config;
 pub mod convergence;
 pub mod monte_carlo;
@@ -23,6 +26,7 @@ pub mod robustness;
 pub mod runner;
 pub mod slot;
 
+pub use batch::BatchRunner;
 pub use config::ExperimentConfig;
 pub use convergence::{convergence_trace, trials_for_ci, TracePoint};
 pub use monte_carlo::{simulate_many, MonteCarloStats};

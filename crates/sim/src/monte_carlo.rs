@@ -32,10 +32,11 @@ const PARALLEL_TRIALS_THRESHOLD: u64 = 32;
 /// ```
 /// use fading_core::{algo::Rle, Problem, Scheduler};
 /// use fading_net::{TopologyGenerator, UniformGenerator};
-/// use fading_sim::simulate_many;
+/// use fading_sim::{simulate_many, BatchRunner};
 ///
 /// let problem = Problem::paper(UniformGenerator::paper(80).generate(3), 3.0);
-/// let schedule = Rle::new().schedule(&problem);
+/// // Batched sweeps schedule through a pooled workspace.
+/// let schedule = BatchRunner::new().schedule(&Rle::new(), &problem);
 /// let stats = simulate_many(&problem, &schedule, 200, 42);
 /// // The ε = 1% target holds empirically.
 /// assert!(stats.failed.mean <= 0.01 * schedule.len() as f64 + 0.3);

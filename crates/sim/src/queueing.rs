@@ -145,6 +145,9 @@ pub fn simulate_queueing_with_policy<S: Scheduler + ?Sized>(
     let mut max_backlog = 0u64;
     let progress = fading_obs::Progress::new("queueing", "slots", cfg.slots);
     let tracing = fading_obs::tracing_enabled();
+    // One workspace for the whole run: the first busy slot sizes the
+    // arenas and every later slot schedules allocation-free.
+    let mut ctx = fading_core::SchedCtx::new();
 
     for t in 0..cfg.slots {
         // Arrivals.
@@ -183,7 +186,7 @@ pub fn simulate_queueing_with_policy<S: Scheduler + ?Sized>(
                     .collect();
                 sub = sub.with_link_rates(&weights);
             }
-            let schedule = scheduler.schedule(&sub);
+            let schedule = scheduler.schedule_in(&sub, &mut ctx);
             if tracing {
                 fading_obs::trace::publish(vec![fading_obs::TraceEvent::SlotEnd {
                     slot: t,
@@ -200,6 +203,8 @@ pub fn simulate_queueing_with_policy<S: Scheduler + ?Sized>(
                     delays.push((t - arrival_t) as f64);
                 }
             }
+            // This slot's member buffer becomes the next slot's output.
+            ctx.recycle(schedule);
         } else if tracing {
             fading_obs::trace::publish(vec![fading_obs::TraceEvent::SlotEnd {
                 slot: t,

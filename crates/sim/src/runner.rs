@@ -42,6 +42,7 @@ fn measure_point(
     alpha: f64,
     scheduler: &dyn Scheduler,
     point_seed: u64,
+    batch: &crate::batch::BatchRunner,
 ) -> Vec<MonteCarloStats> {
     let threads = std::thread::available_parallelism().map_or(1, |t| t.get());
     fading_obs::gauge("sim.runner.threads").set(threads as f64);
@@ -58,10 +59,13 @@ fn measure_point(
             let inst_seed = split_seed(point_seed, k as u64);
             let links = config.generator(n).generate(inst_seed);
             let params = ChannelParams::new(alpha, config.gamma_th, 1.0, 0.0);
-            let problem = Problem::with_backend(links, params, config.epsilon, config.interference);
+            let problem = Problem::builder(links, params)
+                .epsilon(config.epsilon)
+                .backend(config.interference)
+                .build();
             let schedule = {
                 let _span = fading_obs::span!("scheduler");
-                scheduler.schedule(&problem)
+                batch.schedule(scheduler, &problem)
             };
             let stats = {
                 let _span = fading_obs::span!("simulation");
@@ -110,9 +114,10 @@ fn measured_row(
     axis_label: &'static str,
     x: f64,
     meter: &mut SweepMeter,
+    batch: &crate::batch::BatchRunner,
 ) -> ResultRow {
     let started = std::time::Instant::now();
-    let stats = measure_point(config, n, alpha, scheduler, point_seed);
+    let stats = measure_point(config, n, alpha, scheduler, point_seed, batch);
     let row = {
         let _span = fading_obs::span!("aggregation");
         aggregate_row(axis_label, x, scheduler.name(), &stats)
@@ -146,6 +151,9 @@ fn measured_row(
 /// series, depending on which columns the caller reads).
 pub fn sweep_n(config: &ExperimentConfig, schedulers: &[&dyn Scheduler]) -> ResultTable {
     let mut meter = SweepMeter::new((config.n_values.len() * schedulers.len()) as u64);
+    // One workspace pool for the whole sweep: the largest point sizes
+    // the arenas once and every later point reuses them.
+    let batch = crate::batch::BatchRunner::new();
     let mut rows: Vec<ResultRow> = Vec::new();
     for (xi, &n) in config.n_values.iter().enumerate() {
         // One seed per sweep point: every scheduler is evaluated on the
@@ -161,6 +169,7 @@ pub fn sweep_n(config: &ExperimentConfig, schedulers: &[&dyn Scheduler]) -> Resu
                 "N",
                 n as f64,
                 &mut meter,
+                &batch,
             ));
         }
     }
@@ -171,6 +180,8 @@ pub fn sweep_n(config: &ExperimentConfig, schedulers: &[&dyn Scheduler]) -> Resu
 /// (Fig. 5(b)/6(b)).
 pub fn sweep_alpha(config: &ExperimentConfig, schedulers: &[&dyn Scheduler]) -> ResultTable {
     let mut meter = SweepMeter::new((config.alpha_values.len() * schedulers.len()) as u64);
+    // Shared workspace pool across every point of the sweep.
+    let batch = crate::batch::BatchRunner::new();
     let mut rows: Vec<ResultRow> = Vec::new();
     for (xi, &alpha) in config.alpha_values.iter().enumerate() {
         // One seed per sweep point (paired comparison across schedulers).
@@ -185,6 +196,7 @@ pub fn sweep_alpha(config: &ExperimentConfig, schedulers: &[&dyn Scheduler]) -> 
                 "alpha",
                 alpha,
                 &mut meter,
+                &batch,
             ));
         }
     }

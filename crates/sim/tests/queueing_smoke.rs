@@ -33,12 +33,9 @@ fn queueing_two_thousand_links_two_hundred_slots_within_wall_guard() {
         rates: RateModel::Fixed(1.0),
     };
     let links = gen.generate(20170715);
-    let problem = Problem::with_backend(
-        links,
-        ChannelParams::paper_defaults(),
-        0.01,
-        BackendChoice::Dense,
-    );
+    let problem = Problem::builder(links, ChannelParams::paper_defaults())
+        .backend(BackendChoice::Dense)
+        .build();
     let cfg = QueueConfig {
         arrival_prob: 0.2,
         slots: 200,

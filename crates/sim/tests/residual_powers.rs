@@ -44,12 +44,10 @@ fn uniform() -> Problem {
 }
 
 fn powered() -> Problem {
-    Problem::with_power_scales(
-        links(),
-        ChannelParams::paper_defaults(),
-        EPSILON,
-        SCALES.to_vec(),
-    )
+    Problem::builder(links(), ChannelParams::paper_defaults())
+        .epsilon(EPSILON)
+        .power_scales(SCALES.to_vec())
+        .build()
 }
 
 /// The preconditions the instance is engineered for — if these fail the

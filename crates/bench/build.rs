@@ -1,0 +1,17 @@
+//! Captures the compiler version for the bench-report machine
+//! fingerprint (`BENCH_*.json` embeds `rustc -V` so numbers built by
+//! different toolchains are never silently compared).
+
+fn main() {
+    let rustc = std::env::var("RUSTC").unwrap_or_else(|_| "rustc".to_string());
+    let version = std::process::Command::new(rustc)
+        .arg("-V")
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string());
+    println!("cargo:rustc-env=FADING_BENCH_RUSTC={version}");
+}

@@ -1,0 +1,68 @@
+//! A counting global allocator for the steady-state allocation probes.
+//!
+//! The bench-report runner measures allocations per warm
+//! `schedule_in` call (the zero-alloc contract from `docs/engine.md`)
+//! by reading a process-wide allocation counter. Counting has to
+//! happen in the `#[global_allocator]`, which only the *binary* crate
+//! can install — so the `fading` CLI declares
+//! `#[global_allocator] static A: fading_bench::alloc::CountingAlloc`
+//! and the probe in [`crate::report`] checks at runtime whether the
+//! counter is actually live ([`counter_active`]) before trusting it.
+//! The overhead is one relaxed `fetch_add` per alloc/realloc, shared
+//! equally by every timing bench in the same run.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// System allocator wrapper that counts allocations and reallocations.
+pub struct CountingAlloc;
+
+// SAFETY: defers entirely to `System`; the counter is a relaxed atomic.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // A realloc that moves (or grows in place) still touches the
+        // heap; count it like an allocation.
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+/// Total allocations counted so far. Meaningless (stuck at zero)
+/// unless the running binary installed [`CountingAlloc`].
+pub fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Whether the counter is live in this process: performs a real heap
+/// allocation and checks that the count moved.
+pub fn counter_active() -> bool {
+    let before = allocations();
+    let probe: Vec<u8> = Vec::with_capacity(64);
+    std::hint::black_box(&probe);
+    drop(probe);
+    allocations() > before
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_is_inert_without_installation() {
+        // The fading-bench test binary does not install the allocator,
+        // so the probe must report inactive rather than garbage.
+        assert!(!counter_active());
+        assert_eq!(allocations(), 0);
+    }
+}

@@ -9,6 +9,11 @@
 //! run), and `--trace-out <path>` (write the schedulers' decision
 //! trace as JSONL; the file is hashed into the manifest's artifacts).
 
+pub mod alloc;
+pub mod gates;
+pub mod report;
+pub mod schema;
+
 use fading_core::{AlgoId, BackendChoice, Scheduler};
 use fading_sim::{ExperimentConfig, ResultTable};
 use std::path::PathBuf;

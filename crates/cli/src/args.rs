@@ -15,7 +15,7 @@ pub struct Args {
 }
 
 /// Flags that never take a value; their presence stores `"true"`.
-pub const BOOLEAN_FLAGS: &[&str] = &["progress", "quiet", "budgets", "verify"];
+pub const BOOLEAN_FLAGS: &[&str] = &["progress", "quiet", "budgets", "verify", "check", "quick"];
 
 /// Parses an argument vector (excluding the program name).
 ///
@@ -141,6 +141,16 @@ mod tests {
         assert!(a.flag("quiet"));
         assert!(!a.flag("metrics-out"));
         assert_eq!(a.get_or::<u64>("trials", 0).unwrap(), 50);
+    }
+
+    #[test]
+    fn bench_report_booleans_do_not_swallow_values() {
+        // `--check`/`--quick` are presence flags: the token after them
+        // must still parse as its own flag.
+        let a = parse(argv("bench-report --check --quick --filter rle")).unwrap();
+        assert!(a.flag("check"));
+        assert!(a.flag("quick"));
+        assert_eq!(a.get("filter"), Some("rle"));
     }
 
     #[test]

@@ -1,0 +1,149 @@
+//! `fading bench-report` — the perf-trajectory ledger command.
+//!
+//! Runs the programmatic bench suite (`fading_bench::report`), writes
+//! a schema-versioned `BENCH_<date>.json`, and with `--check` diffs it
+//! against the newest committed ledger entry under the thresholds in
+//! `bench-gates.toml`. Exit codes: 0 clean, 1 regression (via the
+//! normal error path, naming the offending bench and threshold), 2
+//! fingerprint mismatch (would-be regressions reported as warnings).
+//! See `docs/bench-report.md`.
+
+use crate::args::Args;
+use crate::commands::CmdEffects;
+use fading_bench::gates::{GateConfig, Status, Verdict};
+use fading_bench::report::{run_report, ReportOptions};
+use fading_bench::schema::{latest_report_path, today_utc, BenchReport};
+use std::path::{Path, PathBuf};
+
+pub fn bench_report(
+    args: &Args,
+    out: &mut dyn std::io::Write,
+    effects: &mut CmdEffects,
+) -> Result<(), String> {
+    let quiet = args.flag("quiet");
+    let dir = PathBuf::from(args.get("dir").unwrap_or("."));
+    let out_path = args
+        .get("out")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| dir.join(format!("BENCH_{}.json", today_utc())));
+
+    // Measure (or reuse a prior report with --from, for re-checks and
+    // tests that must not pay a bench run).
+    let current = match args.get("from") {
+        Some(path) => BenchReport::load(Path::new(path))?,
+        None => {
+            if !quiet {
+                writeln!(out, "running bench suite (this takes a minute)...")
+                    .map_err(|e| e.to_string())?;
+            }
+            run_report(&ReportOptions {
+                quick: args.flag("quick"),
+                filter: args.get("filter").map(String::from),
+            })?
+        }
+    };
+
+    // Resolve the baseline *before* writing the new report, so a
+    // same-day rerun never diffs a file against itself.
+    let check = args.flag("check");
+    let baseline_path = match args.get("baseline") {
+        Some(path) => Some(PathBuf::from(path)),
+        None if check => Some(latest_report_path(&dir, Some(&out_path)).ok_or_else(|| {
+            format!(
+                "no committed BENCH_*.json found in {} to check against; \
+                 pass --baseline <file> or commit a seed report first",
+                dir.display()
+            )
+        })?),
+        None => None,
+    };
+    let baseline = baseline_path
+        .as_deref()
+        .map(BenchReport::load)
+        .transpose()?;
+
+    // Persist the ledger entry (skipped for --from unless --out asks
+    // for a copy) and summarize.
+    if args.get("from").is_none() || args.get("out").is_some() {
+        current.write(&out_path)?;
+        effects
+            .artifacts
+            .push(("bench-report".to_string(), out_path.clone()));
+        if !quiet {
+            writeln!(
+                out,
+                "wrote {} metrics to {} ({})",
+                current.metrics.len(),
+                out_path.display(),
+                current.fingerprint.describe()
+            )
+            .map_err(|e| e.to_string())?;
+        }
+    }
+
+    let Some(baseline) = baseline else {
+        return Ok(());
+    };
+    let gates = load_gates(args, &dir)?;
+    let diff = fading_bench::gates::diff_reports(&baseline, &current, &gates);
+    let table = diff.render_table();
+    write!(out, "{table}").map_err(|e| e.to_string())?;
+    if let Some(path) = args.get("diff-out") {
+        std::fs::write(path, &table).map_err(|e| format!("cannot write {path}: {e}"))?;
+        effects
+            .artifacts
+            .push(("bench-diff".to_string(), PathBuf::from(path)));
+        if !quiet {
+            writeln!(out, "wrote diff table to {path}").map_err(|e| e.to_string())?;
+        }
+    }
+    if !check {
+        return Ok(());
+    }
+    match diff.verdict() {
+        Verdict::Clean => {
+            writeln!(
+                out,
+                "bench-report check: clean against {}",
+                baseline_path.as_deref().unwrap_or(Path::new("?")).display()
+            )
+            .map_err(|e| e.to_string())?;
+            Ok(())
+        }
+        Verdict::Regression => Err(format!(
+            "bench-report check failed against {}:\n  {}",
+            baseline_path.as_deref().unwrap_or(Path::new("?")).display(),
+            diff.failures().join("\n  ")
+        )),
+        Verdict::FingerprintWarning => {
+            writeln!(
+                out,
+                "bench-report check: fingerprint mismatch — {} would-be regression(s) \
+                 reported as warnings, not failures:",
+                diff.with_status(Status::Regressed).count()
+            )
+            .map_err(|e| e.to_string())?;
+            for line in diff.failures() {
+                writeln!(out, "  warning: {line}").map_err(|e| e.to_string())?;
+            }
+            effects.exit_code = 2;
+            Ok(())
+        }
+    }
+}
+
+/// `--gates <path>`, else `<dir>/bench-gates.toml` when present, else
+/// built-in defaults (no per-metric overrides, no ceilings).
+fn load_gates(args: &Args, dir: &Path) -> Result<GateConfig, String> {
+    match args.get("gates") {
+        Some(path) => GateConfig::load(Path::new(path)),
+        None => {
+            let default = dir.join("bench-gates.toml");
+            if default.exists() {
+                GateConfig::load(&default)
+            } else {
+                Ok(GateConfig::default())
+            }
+        }
+    }
+}

@@ -9,6 +9,19 @@ use std::path::Path;
 /// Flags accepted by every subcommand (observability plumbing).
 const GLOBAL_FLAGS: &[&str] = &["metrics-out", "trace-out", "progress", "quiet"];
 
+/// Side effects a subcommand reports back to the shared [`run`]
+/// wrapper: files it produced (hashed into the `--metrics-out`
+/// manifest's `artifacts` list) and a non-error exit code
+/// (`bench-report --check` uses `2` for fingerprint-mismatch
+/// warnings; plain failures go through `Err` and exit `1`).
+#[derive(Debug, Default)]
+pub struct CmdEffects {
+    /// Process exit code for a *successful* run; `0` unless set.
+    pub exit_code: i32,
+    /// `(kind, path)` pairs to record in the run manifest.
+    pub artifacts: Vec<(String, std::path::PathBuf)>,
+}
+
 /// Rejects any option not in `allowed` (or [`GLOBAL_FLAGS`]), so a
 /// typo'd flag fails loudly instead of silently using a default.
 fn reject_unknown_flags(args: &Args, allowed: &[&str]) -> Result<(), String> {
@@ -31,7 +44,7 @@ fn reject_unknown_flags(args: &Args, allowed: &[&str]) -> Result<(), String> {
 /// JSONL after a successful run), and `--metrics-out <path>` (write a
 /// [`fading_obs::RunManifest`] JSON after a successful run; trace
 /// files land in its `artifacts` list with their content hash).
-pub fn run(args: &Args, out: &mut dyn std::io::Write) -> Result<(), String> {
+pub fn run(args: &Args, out: &mut dyn std::io::Write) -> Result<i32, String> {
     let started = std::time::Instant::now();
     let quiet = args.flag("quiet");
     fading_obs::set_progress(args.flag("progress") && !quiet);
@@ -40,7 +53,8 @@ pub fn run(args: &Args, out: &mut dyn std::io::Write) -> Result<(), String> {
         fading_obs::set_tracing(true);
         let _ = fading_obs::take_trace(); // start from an empty ring
     }
-    let dispatched = dispatch(args, out);
+    let mut effects = CmdEffects::default();
+    let dispatched = dispatch(args, out, &mut effects);
     if trace_out.is_some() {
         fading_obs::set_tracing(false);
     }
@@ -63,15 +77,22 @@ pub fn run(args: &Args, out: &mut dyn std::io::Write) -> Result<(), String> {
         if let Some(trace_path) = trace_out {
             builder = builder.artifact("trace", Path::new(trace_path));
         }
+        for (kind, artifact_path) in &effects.artifacts {
+            builder = builder.artifact(kind, artifact_path);
+        }
         builder.finish().write(Path::new(path))?;
         if !quiet {
             writeln!(out, "wrote metrics manifest to {path}").map_err(|e| e.to_string())?;
         }
     }
-    Ok(())
+    Ok(effects.exit_code)
 }
 
-fn dispatch(args: &Args, out: &mut dyn std::io::Write) -> Result<(), String> {
+fn dispatch(
+    args: &Args,
+    out: &mut dyn std::io::Write,
+    effects: &mut CmdEffects,
+) -> Result<(), String> {
     match args.command.as_str() {
         "generate" => {
             reject_unknown_flags(
@@ -170,6 +191,16 @@ fn dispatch(args: &Args, out: &mut dyn std::io::Write) -> Result<(), String> {
             )?;
             crate::explain::explain(args, out)
         }
+        "bench-report" => {
+            reject_unknown_flags(
+                args,
+                &[
+                    "out", "dir", "from", "baseline", "gates", "filter", "diff-out", "check",
+                    "quick",
+                ],
+            )?;
+            crate::bench_report::bench_report(args, out, effects)
+        }
         "help" | "--help" => write!(out, "{}", usage()).map_err(|e| e.to_string()),
         other => Err(format!("unknown subcommand {other}\n\n{}", usage())),
     }
@@ -198,6 +229,15 @@ USAGE:
                   [--cascade <pick#>] [--block <idx>]
                   [--verify --instance <file> [--schedule <file>]
                    [--alpha 3] [--eps 0.01] [--interference dense|sparse|auto]]
+  fading bench-report [--out <BENCH_date.json>] [--dir <repo-root>]
+                  [--check] [--baseline <file>] [--gates <bench-gates.toml>]
+                  [--quick] [--filter <substr>] [--from <file>]
+                  [--diff-out <file>]
+                  runs the bench suite and writes a perf-trajectory
+                  ledger entry; --check diffs it against the newest
+                  committed BENCH_*.json and exits 0 (clean),
+                  1 (regression), or 2 (fingerprint mismatch: would-be
+                  regressions downgraded to warnings)
 
 ALGORITHMS:
   ldp | ldp-two-sided | rle | dls | greedy | random | exact | anneal |
@@ -457,10 +497,15 @@ mod tests {
     use crate::args::parse;
 
     fn run_line(line: &str) -> Result<String, String> {
+        run_code(line).map(|(_, out)| out)
+    }
+
+    /// Like [`run_line`] but also returns the success exit code.
+    fn run_code(line: &str) -> Result<(i32, String), String> {
         let args = parse(line.split_whitespace().map(String::from))?;
         let mut buf = Vec::new();
-        run(&args, &mut buf)?;
-        Ok(String::from_utf8(buf).unwrap())
+        let code = run(&args, &mut buf)?;
+        Ok((code, String::from_utf8(buf).unwrap()))
     }
 
     fn tmp(name: &str) -> String {
@@ -648,6 +693,8 @@ mod tests {
         let out = run_line("help").unwrap();
         assert!(out.contains("USAGE"));
         assert!(out.contains("approx-diversity"));
+        assert!(out.contains("bench-report"));
+        assert!(out.contains("--check"));
     }
 
     #[test]
@@ -690,6 +737,166 @@ mod tests {
         // The Monte-Carlo loop ran, so its trial counter must be ≥ 64
         // (other tests on the shared registry may add more).
         assert!(*m.metrics.counters.get("sim.mc.trials").unwrap_or(&0) >= 64);
+    }
+
+    /// A synthetic two-metric ledger entry for the `--check` tests.
+    fn synthetic_report(rle_ns: f64) -> fading_bench::schema::BenchReport {
+        use fading_bench::schema::{BenchReport, MetricKind, MetricRecord};
+        let rec = |id: &str, value: f64| MetricRecord {
+            id: id.to_string(),
+            kind: MetricKind::NsPerOp,
+            value,
+            ci95: value * 0.01,
+            samples: 7,
+            lower_is_better: true,
+        };
+        BenchReport::new(
+            "2026-08-08".into(),
+            vec![
+                rec("schedule/rle/1000", rle_ns),
+                rec("schedule/ldp/1000", 5_000.0),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn bench_report_check_flags_a_doctored_regression_naming_bench_and_threshold() {
+        let baseline_path = tmp("bench_baseline.json");
+        let current_path = tmp("bench_current.json");
+        // Doctored history: the baseline ran `schedule/rle/1000` 2×
+        // faster than the current report claims.
+        synthetic_report(1_000.0)
+            .write(std::path::Path::new(&baseline_path))
+            .unwrap();
+        synthetic_report(2_000.0)
+            .write(std::path::Path::new(&current_path))
+            .unwrap();
+        let err = run_line(&format!(
+            "bench-report --from {current_path} --baseline {baseline_path} --check"
+        ))
+        .unwrap_err();
+        assert!(err.contains("schedule/rle/1000"), "{err}");
+        assert!(err.contains("threshold 30%"), "{err}");
+        assert!(err.contains(&baseline_path), "{err}");
+    }
+
+    #[test]
+    fn bench_report_check_is_clean_on_identical_history() {
+        let baseline_path = tmp("bench_clean_baseline.json");
+        let current_path = tmp("bench_clean_current.json");
+        synthetic_report(1_000.0)
+            .write(std::path::Path::new(&baseline_path))
+            .unwrap();
+        synthetic_report(1_010.0)
+            .write(std::path::Path::new(&current_path))
+            .unwrap();
+        let (code, out) = run_code(&format!(
+            "bench-report --from {current_path} --baseline {baseline_path} --check"
+        ))
+        .unwrap();
+        assert_eq!(code, 0);
+        assert!(out.contains("clean"), "{out}");
+    }
+
+    #[test]
+    fn bench_report_check_downgrades_regressions_on_fingerprint_mismatch() {
+        let baseline_path = tmp("bench_fp_baseline.json");
+        let current_path = tmp("bench_fp_current.json");
+        let mut baseline = synthetic_report(1_000.0);
+        baseline.fingerprint.cpu_model = "some other machine".into();
+        baseline
+            .write(std::path::Path::new(&baseline_path))
+            .unwrap();
+        synthetic_report(2_000.0)
+            .write(std::path::Path::new(&current_path))
+            .unwrap();
+        let (code, out) = run_code(&format!(
+            "bench-report --from {current_path} --baseline {baseline_path} --check"
+        ))
+        .unwrap();
+        assert_eq!(code, 2);
+        assert!(out.contains("fingerprint mismatch"), "{out}");
+        assert!(out.contains("warning"), "{out}");
+        assert!(out.contains("schedule/rle/1000"), "{out}");
+    }
+
+    #[test]
+    fn bench_report_check_enforces_absolute_ceilings_across_fingerprints() {
+        let baseline_path = tmp("bench_max_baseline.json");
+        let current_path = tmp("bench_max_current.json");
+        let gates_path = tmp("bench_max_gates.toml");
+        let mut baseline = synthetic_report(1_000.0);
+        baseline.fingerprint.cpu_model = "some other machine".into();
+        baseline
+            .write(std::path::Path::new(&baseline_path))
+            .unwrap();
+        synthetic_report(1_000.0)
+            .write(std::path::Path::new(&current_path))
+            .unwrap();
+        std::fs::write(&gates_path, "[max]\n\"schedule/ldp/1000\" = 10.0\n").unwrap();
+        let err = run_line(&format!(
+            "bench-report --from {current_path} --baseline {baseline_path} \
+             --gates {gates_path} --check"
+        ))
+        .unwrap_err();
+        assert!(err.contains("schedule/ldp/1000"), "{err}");
+        assert!(err.contains("ceiling"), "{err}");
+    }
+
+    #[test]
+    fn bench_report_writes_a_real_ledger_entry_for_a_filtered_run() {
+        let dir = std::env::temp_dir().join("fading_bench_report_emit");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let out_path = dir.join("BENCH_out.json");
+        let manifest = dir.join("manifest.json");
+        // A single cheap bench keeps this a plumbing test, not a perf
+        // run; debug timings are irrelevant.
+        let (code, out) = run_code(&format!(
+            "bench-report --filter schedule/greedy/300 --quick --out {} --metrics-out {}",
+            out_path.display(),
+            manifest.display()
+        ))
+        .unwrap();
+        assert_eq!(code, 0);
+        assert!(out.contains("wrote 1 metrics"), "{out}");
+        let report =
+            fading_bench::schema::BenchReport::load(&out_path).expect("emitted report parses");
+        assert_eq!(
+            report.schema_version,
+            fading_bench::schema::BENCH_SCHEMA_VERSION
+        );
+        assert_eq!(report.metrics.len(), 1);
+        assert_eq!(report.metrics[0].id, "schedule/greedy/300");
+        assert!(report.metrics[0].value > 0.0);
+        // The ledger entry lands in the manifest's artifacts, hashed.
+        let m: fading_obs::RunManifest =
+            serde_json::from_str(&std::fs::read_to_string(&manifest).unwrap()).unwrap();
+        let artifact = m
+            .artifacts
+            .iter()
+            .find(|a| a.kind == "bench-report")
+            .expect("bench-report artifact recorded");
+        assert_eq!(artifact.sha256.len(), 64);
+    }
+
+    #[test]
+    fn bench_report_check_without_baseline_names_the_search_dir() {
+        let dir = std::env::temp_dir().join("fading_bench_report_nobase");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let current_path = tmp("bench_nobase_current.json");
+        synthetic_report(1.0)
+            .write(std::path::Path::new(&current_path))
+            .unwrap();
+        let err = run_line(&format!(
+            "bench-report --from {current_path} --check --dir {}",
+            dir.display()
+        ))
+        .unwrap_err();
+        assert!(err.contains("no committed BENCH_"), "{err}");
+        assert!(err.contains("fading_bench_report_nobase"), "{err}");
     }
 
     #[test]

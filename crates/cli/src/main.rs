@@ -2,11 +2,20 @@
 //!
 //! See `fading help` (or [`commands::usage`]) for the subcommands:
 //! generate instances, inspect them, schedule with any algorithm in the
-//! workspace, and Monte-Carlo the result.
+//! workspace, Monte-Carlo the result, and maintain the perf-trajectory
+//! ledger (`bench-report`).
 
 mod args;
+mod bench_report;
 mod commands;
 mod explain;
+
+/// Counting allocator so `bench-report` can measure steady-state
+/// allocations per warm `schedule_in` call (the zero-alloc engine
+/// contract) in-process; the cost everywhere else is one relaxed
+/// atomic increment per allocation.
+#[global_allocator]
+static GLOBAL_ALLOC: fading_bench::alloc::CountingAlloc = fading_bench::alloc::CountingAlloc;
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -22,8 +31,11 @@ fn main() {
         }
     };
     let mut stdout = std::io::stdout();
-    if let Err(e) = commands::run(&parsed, &mut stdout) {
-        eprintln!("error: {e}");
-        std::process::exit(1);
+    match commands::run(&parsed, &mut stdout) {
+        Ok(code) => std::process::exit(code),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
     }
 }

@@ -108,6 +108,23 @@ impl GateConfig {
                 config.default_noise
             ));
         }
+        // A NaN or negative band (or non-finite ceiling) would make
+        // every comparison against it false, silently classifying all
+        // changes as WithinNoise and neutering that metric's gate.
+        for (key, &band) in &config.noise {
+            if !(band.is_finite() && band >= 0.0) {
+                return Err(format!(
+                    "[noise] {key:?} must be a finite nonnegative fraction, got {band}"
+                ));
+            }
+        }
+        for (key, &limit) in &config.max {
+            if !limit.is_finite() {
+                return Err(format!(
+                    "[max] {key:?} must be a finite ceiling, got {limit}"
+                ));
+            }
+        }
         Ok(config)
     }
 
@@ -510,6 +527,24 @@ bare_key = 0.1
         assert!(err.contains("unknown key"), "{err}");
         let err = GateConfig::from_toml("orphan = 1\n").unwrap_err();
         assert!(err.contains("outside any section"), "{err}");
+    }
+
+    #[test]
+    fn non_finite_or_negative_thresholds_are_rejected() {
+        for (toml, want) in [
+            ("[gates]\ndefault_noise = NaN\n", "nonnegative fraction"),
+            ("[noise]\nbench = NaN\n", "finite nonnegative fraction"),
+            ("[noise]\nbench = -0.1\n", "finite nonnegative fraction"),
+            ("[noise]\nbench = inf\n", "finite nonnegative fraction"),
+            ("[max]\nbench = NaN\n", "finite ceiling"),
+            ("[max]\nbench = inf\n", "finite ceiling"),
+        ] {
+            let err = GateConfig::from_toml(toml).unwrap_err();
+            assert!(err.contains(want), "{toml:?}: {err}");
+        }
+        // A zero band stays legal: it means any bad move fails.
+        let config = GateConfig::from_toml("[noise]\nbench = 0.0\n").unwrap();
+        assert_eq!(config.noise_for("bench"), 0.0);
     }
 
     #[test]

@@ -179,9 +179,13 @@ impl BenchReport {
 
 /// The newest committed ledger entry in `dir`: the lexicographically
 /// greatest `BENCH_*.json` (the `YYYY-MM-DD` date format makes
-/// lexicographic order chronological), excluding `exclude` (the file
-/// the current run is about to write).
+/// lexicographic order chronological), excluding `exclude` (the
+/// report under check, e.g. a `--from` source, which must never be
+/// diffed against itself). The exclusion compares canonicalized
+/// paths, so a different spelling of the same file (`--dir ./`, an
+/// absolute path, a `.` component) cannot defeat it.
 pub fn latest_report_path(dir: &Path, exclude: Option<&Path>) -> Option<PathBuf> {
+    let excluded = exclude.and_then(|p| p.canonicalize().ok());
     let entries = std::fs::read_dir(dir).ok()?;
     entries
         .filter_map(|e| e.ok())
@@ -190,7 +194,12 @@ pub fn latest_report_path(dir: &Path, exclude: Option<&Path>) -> Option<PathBuf>
             let name = p.file_name().and_then(|n| n.to_str()).unwrap_or("");
             name.starts_with("BENCH_") && name.ends_with(".json")
         })
-        .filter(|p| exclude.is_none_or(|x| x != p.as_path()))
+        .filter(|p| match (&excluded, p.canonicalize().ok()) {
+            (Some(x), Some(c)) => *x != c,
+            // A nonexistent exclude (canonicalize fails) cannot be an
+            // on-disk candidate, so nothing to filter.
+            _ => true,
+        })
         .max()
 }
 
@@ -276,6 +285,27 @@ mod tests {
         assert_eq!(
             latest_report_path(&dir, Some(&newest)),
             Some(dir.join("BENCH_2026-01-01.json"))
+        );
+    }
+
+    #[test]
+    fn latest_report_path_exclusion_survives_path_respelling() {
+        let dir = std::env::temp_dir().join("fading_bench_exclude_spelling_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("BENCH_2026-08-08.json"), "{}").unwrap();
+        // Same file, different spelling: `Path` equality normalizes
+        // `.` but not `..`, so this alias is raw-unequal to the scan
+        // result while canonicalizing to the same file.
+        std::fs::create_dir_all(dir.join("sub")).unwrap();
+        let alias = dir.join("sub").join("..").join("BENCH_2026-08-08.json");
+        assert_ne!(alias, dir.join("BENCH_2026-08-08.json"));
+        assert_eq!(latest_report_path(&dir, Some(&alias)), None);
+        // A nonexistent exclude filters nothing.
+        let ghost = dir.join("BENCH_9999-01-01.json");
+        assert_eq!(
+            latest_report_path(&dir, Some(&ghost)),
+            Some(dir.join("BENCH_2026-08-08.json"))
         );
     }
 }

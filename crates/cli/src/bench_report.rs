@@ -3,10 +3,13 @@
 //! Runs the programmatic bench suite (`fading_bench::report`), writes
 //! a schema-versioned `BENCH_<date>.json`, and with `--check` diffs it
 //! against the newest committed ledger entry under the thresholds in
-//! `bench-gates.toml`. Exit codes: 0 clean, 1 regression (via the
-//! normal error path, naming the offending bench and threshold), 2
-//! fingerprint mismatch (would-be regressions reported as warnings).
-//! See `docs/bench-report.md`.
+//! `bench-gates.toml`. Check runs default their output to
+//! `<dir>/target/BENCH_current.json` — outside the ledger scan — so a
+//! same-day committed entry (e.g. the seed on merge day) stays both
+//! findable as the baseline and untouched on disk. Exit codes: 0
+//! clean, 1 regression (via the normal error path, naming the
+//! offending bench and threshold), 2 fingerprint mismatch (would-be
+//! regressions reported as warnings). See `docs/bench-report.md`.
 
 use crate::args::Args;
 use crate::commands::CmdEffects;
@@ -21,11 +24,18 @@ pub fn bench_report(
     effects: &mut CmdEffects,
 ) -> Result<(), String> {
     let quiet = args.flag("quiet");
+    let check = args.flag("check");
     let dir = PathBuf::from(args.get("dir").unwrap_or("."));
-    let out_path = args
-        .get("out")
-        .map(PathBuf::from)
-        .unwrap_or_else(|| dir.join(format!("BENCH_{}.json", today_utc())));
+    let out_path = match args.get("out") {
+        Some(path) => PathBuf::from(path),
+        // A check run must never drop its fresh numbers into the
+        // ledger dir: a BENCH_<today>.json default would collide with
+        // a committed same-day entry (overwriting the baseline it is
+        // supposed to be judged against). `target/` is outside the
+        // top-level BENCH_*.json scan.
+        None if check => dir.join("target").join("BENCH_current.json"),
+        None => dir.join(format!("BENCH_{}.json", today_utc())),
+    };
 
     // Measure (or reuse a prior report with --from, for re-checks and
     // tests that must not pay a bench run).
@@ -43,18 +53,28 @@ pub fn bench_report(
         }
     };
 
-    // Resolve the baseline *before* writing the new report, so a
-    // same-day rerun never diffs a file against itself.
-    let check = args.flag("check");
+    // Resolve and *load* the baseline before writing the new report:
+    // an explicit --out naming a committed entry then diffs against
+    // that entry's pre-overwrite content. The only file excluded from
+    // the search is the --from source — the one case where the diff
+    // would trivially compare a report against itself.
     let baseline_path = match args.get("baseline") {
         Some(path) => Some(PathBuf::from(path)),
-        None if check => Some(latest_report_path(&dir, Some(&out_path)).ok_or_else(|| {
-            format!(
-                "no committed BENCH_*.json found in {} to check against; \
-                 pass --baseline <file> or commit a seed report first",
-                dir.display()
-            )
-        })?),
+        None if check => {
+            let under_check = args.get("from").map(Path::new);
+            Some(latest_report_path(&dir, under_check).ok_or_else(|| {
+                format!(
+                    "no committed BENCH_*.json found in {}{} to check against; \
+                     pass --baseline <file> or commit a seed report first",
+                    dir.display(),
+                    if under_check.is_some() {
+                        " (other than the report under check)"
+                    } else {
+                        ""
+                    }
+                )
+            })?)
+        }
         None => None,
     };
     let baseline = baseline_path
@@ -65,6 +85,10 @@ pub fn bench_report(
     // Persist the ledger entry (skipped for --from unless --out asks
     // for a copy) and summarize.
     if args.get("from").is_none() || args.get("out").is_some() {
+        if let Some(parent) = out_path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            std::fs::create_dir_all(parent)
+                .map_err(|e| format!("cannot create {}: {e}", parent.display()))?;
+        }
         current.write(&out_path)?;
         effects
             .artifacts

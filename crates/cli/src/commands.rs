@@ -882,6 +882,57 @@ mod tests {
     }
 
     #[test]
+    fn bench_report_check_survives_a_same_day_committed_baseline() {
+        let dir = std::env::temp_dir().join("fading_bench_report_sameday");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        // The newest (and only) committed entry bears today's date —
+        // the merge-day seed state that used to make --check error
+        // with "no committed BENCH_*.json found" (the default out
+        // path collided with it and was excluded from the search).
+        let committed = dir.join(format!("BENCH_{}.json", fading_bench::schema::today_utc()));
+        synthetic_report(1_000.0).write(&committed).unwrap();
+        let before = std::fs::read_to_string(&committed).unwrap();
+        // The filtered run shares no metric ids with the baseline, so
+        // the diff is all added/removed rows — verdict clean.
+        let (code, out) = run_code(&format!(
+            "bench-report --quick --filter schedule/greedy/300 --check --dir {}",
+            dir.display()
+        ))
+        .unwrap();
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("clean"), "{out}");
+        // The committed entry served as the baseline and is untouched;
+        // the fresh numbers landed outside the ledger scan.
+        assert_eq!(std::fs::read_to_string(&committed).unwrap(), before);
+        assert!(dir.join("target").join("BENCH_current.json").exists());
+    }
+
+    #[test]
+    fn bench_report_check_never_diffs_a_report_against_itself() {
+        let dir = std::env::temp_dir().join("fading_bench_report_selfdiff");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let committed = dir.join("BENCH_2026-01-01.json");
+        synthetic_report(1_000.0).write(&committed).unwrap();
+        // Spell the --from path differently from how the dir scan
+        // finds it (`..` survives raw `Path` comparison); the
+        // canonical-path exclusion must still recognize the sole
+        // committed entry as the report under check instead of
+        // reporting a trivially clean self-diff.
+        std::fs::create_dir_all(dir.join("sub")).unwrap();
+        let alias = dir.join("sub").join("..").join("BENCH_2026-01-01.json");
+        let err = run_line(&format!(
+            "bench-report --from {} --check --dir {}",
+            alias.display(),
+            dir.display()
+        ))
+        .unwrap_err();
+        assert!(err.contains("no committed BENCH_"), "{err}");
+        assert!(err.contains("other than the report under check"), "{err}");
+    }
+
+    #[test]
     fn bench_report_check_without_baseline_names_the_search_dir() {
         let dir = std::env::temp_dir().join("fading_bench_report_nobase");
         let _ = std::fs::remove_dir_all(&dir);

@@ -4,8 +4,10 @@
 //! One config file at the repo root declares every perf threshold the
 //! repo enforces — the per-metric relative noise bands for the
 //! `fading bench-report --check` trajectory diff *and* the absolute
-//! ceilings the engine gate (`tests/engine_gate.rs`) asserts — so a
-//! gate is a row in the ledger, not a constant buried in a test.
+//! `[max]` ceilings / `[min]` floors the engine gate
+//! (`tests/engine_gate.rs`) and the release smokes
+//! (`bench-report --smoke`) assert — so a gate is a row in the
+//! ledger, not a constant buried in a test.
 //!
 //! The parser is a deliberate hand-rolled subset of TOML (the build is
 //! offline; no `toml` crate is vendored): `[section]` headers and
@@ -31,6 +33,10 @@ pub struct GateConfig {
     /// value above its ceiling fails the check regardless of the
     /// baseline (these rows subsume the old hard-coded engine gates).
     pub max: BTreeMap<String, f64>,
+    /// `[min]` — absolute floors, keyed by metric id, for
+    /// higher-is-better metrics (sustained churn slots/sec). A current
+    /// value below its floor fails the check regardless of baseline.
+    pub min: BTreeMap<String, f64>,
 }
 
 impl Default for GateConfig {
@@ -39,6 +45,7 @@ impl Default for GateConfig {
             default_noise: 0.30,
             noise: BTreeMap::new(),
             max: BTreeMap::new(),
+            min: BTreeMap::new(),
         }
     }
 }
@@ -65,9 +72,9 @@ impl GateConfig {
                     .strip_suffix(']')
                     .ok_or_else(|| format!("line {}: unterminated section header", lineno + 1))?
                     .trim();
-                if !matches!(name, "gates" | "noise" | "max") {
+                if !matches!(name, "gates" | "noise" | "max" | "min") {
                     return Err(format!(
-                        "line {}: unknown section [{name}] (expected [gates], [noise], or [max])",
+                        "line {}: unknown section [{name}] (expected [gates], [noise], [max], or [min])",
                         lineno + 1
                     ));
                 }
@@ -93,6 +100,9 @@ impl GateConfig {
                 }
                 "max" => {
                     config.max.insert(key.clone(), expect_number(&key, &value)?);
+                }
+                "min" => {
+                    config.min.insert(key.clone(), expect_number(&key, &value)?);
                 }
                 _ => {
                     return Err(format!(
@@ -125,6 +135,11 @@ impl GateConfig {
                 ));
             }
         }
+        for (key, &limit) in &config.min {
+            if !limit.is_finite() {
+                return Err(format!("[min] {key:?} must be a finite floor, got {limit}"));
+            }
+        }
         Ok(config)
     }
 
@@ -136,6 +151,11 @@ impl GateConfig {
     /// The absolute ceiling for a metric id, if one is declared.
     pub fn max_for(&self, id: &str) -> Option<f64> {
         self.max.get(id).copied()
+    }
+
+    /// The absolute floor for a metric id, if one is declared.
+    pub fn min_for(&self, id: &str) -> Option<f64> {
+        self.min.get(id).copied()
     }
 }
 
@@ -218,9 +238,9 @@ pub enum Status {
     WithinNoise,
     /// Moved in the bad direction by more than the noise band.
     Regressed,
-    /// Current value exceeds its `[max]` absolute ceiling. Enforced
-    /// even across fingerprint mismatches (the ceilings are
-    /// dimensionless contracts, not machine-relative timings).
+    /// Current value breaks its `[max]` ceiling or `[min]` floor.
+    /// Enforced even across fingerprint mismatches (the limits are
+    /// absolute contracts, not machine-relative timings).
     OverLimit,
     /// Present only in the current report (new bench).
     Added,
@@ -302,12 +322,24 @@ impl DiffReport {
                     row.delta_frac.unwrap_or(f64::NAN) * 100.0,
                     row.threshold * 100.0
                 )),
-                Status::OverLimit => out.push(format!(
-                    "`{}` over its ceiling: {} > max {}",
-                    row.id,
-                    fmt_value(row.current.unwrap_or(f64::NAN)),
-                    fmt_value(row.threshold)
-                )),
+                Status::OverLimit => {
+                    let cur = row.current.unwrap_or(f64::NAN);
+                    out.push(if cur < row.threshold {
+                        format!(
+                            "`{}` under its floor: {} < min {}",
+                            row.id,
+                            fmt_value(cur),
+                            fmt_value(row.threshold)
+                        )
+                    } else {
+                        format!(
+                            "`{}` over its ceiling: {} > max {}",
+                            row.id,
+                            fmt_value(cur),
+                            fmt_value(row.threshold)
+                        )
+                    });
+                }
                 _ => {}
             }
         }
@@ -422,9 +454,11 @@ fn diff_one(
     gates: &GateConfig,
 ) -> DiffRow {
     let noise = gates.noise_for(id);
-    // A ceiling violation dominates every relative verdict.
-    if let (Some(cur), Some(limit)) = (current, gates.max_for(id)) {
-        if cur.value > limit {
+    // An absolute limit violation dominates every relative verdict.
+    if let Some(cur) = current {
+        let over_ceiling = gates.max_for(id).filter(|&limit| cur.value > limit);
+        let under_floor = gates.min_for(id).filter(|&limit| cur.value < limit);
+        if let Some(limit) = over_ceiling.or(under_floor) {
             return DiffRow {
                 id: id.to_string(),
                 baseline: baseline.map(|b| b.value),
@@ -637,6 +671,32 @@ bare_key = 0.1
             &gates,
         );
         assert_eq!(status_of(&diff, "allocs"), Status::WithinNoise);
+    }
+
+    #[test]
+    fn floors_gate_higher_is_better_metrics() {
+        let gates = GateConfig::from_toml("[min]\n\"churn.slots_per_sec\" = 25\n").unwrap();
+        assert_eq!(gates.min_for("churn.slots_per_sec"), Some(25.0));
+        let rate = |v: f64| MetricRecord {
+            kind: crate::schema::MetricKind::Rate,
+            lower_is_better: false,
+            ..record("churn.slots_per_sec", v)
+        };
+        // Under the floor: hard failure, even as a freshly added metric.
+        let diff = diff_reports(&report(vec![]), &report(vec![rate(10.0)]), &gates);
+        assert_eq!(status_of(&diff, "churn.slots_per_sec"), Status::OverLimit);
+        assert_eq!(diff.verdict(), Verdict::Regression);
+        assert!(
+            diff.failures()[0].contains("under its floor"),
+            "{:?}",
+            diff.failures()
+        );
+        // Above the floor: a new metric is just "added".
+        let diff = diff_reports(&report(vec![]), &report(vec![rate(100.0)]), &gates);
+        assert_eq!(status_of(&diff, "churn.slots_per_sec"), Status::Added);
+        assert_eq!(diff.verdict(), Verdict::Clean);
+        let err = GateConfig::from_toml("[min]\nbench = NaN\n").unwrap_err();
+        assert!(err.contains("finite floor"), "{err}");
     }
 
     #[test]

@@ -16,7 +16,8 @@
 
 use crate::schema::{BenchReport, MachineFingerprint, MetricKind, MetricRecord};
 use fading_core::algo::{GreedyRate, Ldp, Rle};
-use fading_core::{BackendChoice, Problem, SchedCtx, Scheduler};
+use fading_core::{BackendChoice, LinkSpec, Problem, SchedCtx, Scheduler, SparseConfig};
+use fading_geom::Point2;
 use fading_net::{LinkId, RateModel, TopologyGenerator, UniformGenerator};
 use std::hint::black_box;
 use std::time::{Duration, Instant};
@@ -30,6 +31,11 @@ pub struct ReportOptions {
     /// Only run metrics whose id contains this substring. Derived
     /// metrics additionally require their inputs to have run.
     pub filter: Option<String>,
+    /// Run the release smoke workloads (`smoke.*` metrics, single-shot
+    /// wall-clock seconds gated by `[max]` rows) instead of the micro
+    /// suite. Functional invariants inside the smokes (storage budget,
+    /// packet conservation, trace replay) fail the run outright.
+    pub smoke: bool,
 }
 
 /// One timing estimate from [`measure_ns`].
@@ -54,7 +60,7 @@ pub fn measure_ns<F: FnMut()>(samples: usize, target: Duration, mut f: F) -> Mea
     let probe = probe_start.elapsed().max(Duration::from_nanos(50));
     let iters = (target.as_nanos() / probe.as_nanos()).clamp(1, 1_000_000) as u64;
 
-    let mut xs: Vec<f64> = (0..samples.max(2))
+    let xs: Vec<f64> = (0..samples.max(2))
         .map(|_| {
             let start = Instant::now();
             for _ in 0..iters {
@@ -63,6 +69,11 @@ pub fn measure_ns<F: FnMut()>(samples: usize, target: Duration, mut f: F) -> Mea
             start.elapsed().as_nanos() as f64 / iters as f64
         })
         .collect();
+    summarize(xs)
+}
+
+/// Median + notch CI over raw per-op samples.
+fn summarize(mut xs: Vec<f64>) -> Measurement {
     xs.sort_unstable_by(f64::total_cmp);
     let n = xs.len();
     let median = if n.is_multiple_of(2) {
@@ -109,8 +120,32 @@ impl Recorder {
         });
     }
 
+    /// Records an externally collected timing, if the filter admits it
+    /// (for workloads whose halves are timed inside one loop and can't
+    /// go through [`Self::time`]).
+    fn timed(&mut self, id: &str, m: Measurement) {
+        if !self.wants(id) {
+            return;
+        }
+        fading_obs::counter!("bench.report.benches").incr();
+        self.metrics.push(MetricRecord {
+            id: id.to_string(),
+            kind: MetricKind::NsPerOp,
+            value: m.median_ns,
+            ci95: m.ci95_ns,
+            samples: m.samples,
+            lower_is_better: true,
+        });
+    }
+
     /// Records a derived (non-timed) metric, if the filter admits it.
     fn derived(&mut self, id: &str, kind: MetricKind, value: f64) {
+        self.derived_dir(id, kind, value, true);
+    }
+
+    /// [`Self::derived`] with an explicit regression direction, for
+    /// the few higher-is-better metrics (sustained rates).
+    fn derived_dir(&mut self, id: &str, kind: MetricKind, value: f64, lower_is_better: bool) {
         if !self.wants(id) {
             return;
         }
@@ -120,7 +155,7 @@ impl Recorder {
             value,
             ci95: 0.0,
             samples: 0,
-            lower_is_better: true,
+            lower_is_better,
         });
     }
 
@@ -150,10 +185,16 @@ pub fn run_report(opts: &ReportOptions) -> Result<BenchReport, String> {
         metrics: Vec::new(),
     };
 
-    schedule_benches(&mut rec);
-    substrate_benches(&mut rec);
-    engine_probes(&mut rec);
-    scaling_exponents(&mut rec);
+    if opts.smoke {
+        smoke_benches(&mut rec)?;
+    } else {
+        schedule_benches(&mut rec);
+        substrate_benches(&mut rec);
+        mutate_benches(&mut rec);
+        churn_benches(&mut rec);
+        engine_probes(&mut rec);
+        scaling_exponents(&mut rec);
+    }
 
     fading_obs::gauge("bench.report.metrics").set(rec.metrics.len() as f64);
     if rec.metrics.is_empty() {
@@ -337,6 +378,135 @@ fn substrate_benches(rec: &mut Recorder) {
     }
 }
 
+/// Paper-density generator scaled to `n` links (side `√(n/300)·500`).
+fn density_scaled(n: usize) -> UniformGenerator {
+    UniformGenerator {
+        side: 500.0 * (n as f64 / 300.0).sqrt(),
+        n,
+        len_lo: 5.0,
+        len_hi: 20.0,
+        rates: RateModel::Fixed(1.0),
+    }
+}
+
+/// The online-engine mutate benches: single-link `add_links` /
+/// `remove_links` cycles against the from-scratch rebuild they
+/// replace, at n = 10 000 on the sparse backend (α = 4, the large-N
+/// smoke config — the dense matrix at this size would be 800 MB).
+/// `mutate.vs_rebuild.ratio` is the headline contract, gated by a
+/// `[max]` ceiling of 0.1 in `bench-gates.toml`: a single-link patch
+/// must stay ≥ 10× cheaper than rebuilding.
+fn mutate_benches(rec: &mut Recorder) {
+    const N: usize = 10_000;
+    let add_id = format!("mutate/add/{N}");
+    let remove_id = format!("mutate/remove/{N}");
+    let rebuild_id = format!("mutate/rebuild/{N}");
+    let cycle_wanted = rec.wants(&add_id) || rec.wants(&remove_id);
+    if !cycle_wanted && !rec.wants(&rebuild_id) {
+        return;
+    }
+    let gen = density_scaled(N);
+    let links = gen.generate(13);
+    let params = fading_channel::ChannelParams::with_alpha(4.0);
+    let backend = BackendChoice::Sparse(SparseConfig::default());
+    let mut problem = Problem::builder(links.clone(), params)
+        .backend(backend)
+        .build();
+
+    if cycle_wanted {
+        // Strictly interior positions (region center, sub-unit jitter
+        // so the duplicate-position guard never trips): the cost
+        // measured is the CSR/grid patch itself, not an
+        // envelope-reconcile scan a boundary-growing link would force.
+        let mid = gen.side / 2.0;
+        let rounds = rec.samples * 40;
+        let mut add_ns = Vec::with_capacity(rounds);
+        let mut remove_ns = Vec::with_capacity(rounds);
+        let spec_at = |i: usize| {
+            let dx = (i % 97) as f64 * 0.017;
+            let dy = (i % 89) as f64 * 0.013;
+            LinkSpec::new(
+                Point2::new(mid + dx, mid + dy),
+                Point2::new(mid + dx + 7.0, mid + dy + 5.0),
+            )
+        };
+        for i in 0..4 {
+            // Warm-up cycles (first mutation on a fresh build also
+            // pays the one-time envelope reconcile).
+            let ids = problem.add_links(&[spec_at(i)]).expect("interior spec");
+            problem.remove_links(&ids);
+        }
+        for i in 0..rounds {
+            let spec = spec_at(i);
+            let start = Instant::now();
+            let ids = problem.add_links(&[spec]).expect("interior spec");
+            add_ns.push(start.elapsed().as_nanos() as f64);
+            let start = Instant::now();
+            problem.remove_links(&ids);
+            remove_ns.push(start.elapsed().as_nanos() as f64);
+        }
+        rec.timed(&add_id, summarize(add_ns));
+        rec.timed(&remove_id, summarize(remove_ns));
+    }
+
+    rec.time(&rebuild_id, || {
+        black_box(
+            Problem::builder(links.clone(), params)
+                .backend(backend)
+                .build(),
+        );
+    });
+
+    if let (Some(add), Some(rebuild)) = (rec.value_of(&add_id), rec.value_of(&rebuild_id)) {
+        if rebuild > 0.0 {
+            rec.derived("mutate.vs_rebuild.ratio", MetricKind::Ratio, add / rebuild);
+        }
+    }
+}
+
+/// Steady-state churn-engine slot latency at n = 2000 (the release
+/// smoke scale): Poisson arrivals and exponential departures patching
+/// the live problem in place, greedy MaxWeight service every slot.
+/// The derived `churn.slots_per_sec` is the sustained-throughput
+/// contract, gated by a `[min]` floor in `bench-gates.toml`.
+fn churn_benches(rec: &mut Recorder) {
+    const N: usize = 2000;
+    let slot_id = format!("churn_slot/maxweight/{N}");
+    if !rec.wants(&slot_id) && !rec.wants("churn.slots_per_sec") {
+        return;
+    }
+    let gen = density_scaled(N);
+    let problem = Problem::builder(
+        gen.generate(17),
+        fading_channel::ChannelParams::paper_defaults(),
+    )
+    .backend(BackendChoice::Dense)
+    .build();
+    // Arrival rate × lifetime = N keeps the population at equilibrium,
+    // so every timed step sees the same regime.
+    let cfg = fading_sim::ChurnConfig {
+        slots: 1_000_000,
+        link_arrival_rate: N as f64 / 100.0,
+        mean_lifetime: 100.0,
+        packet_prob: 0.2,
+        seed: 5,
+    };
+    let mut engine = fading_sim::ChurnEngine::new(problem, gen, cfg);
+    rec.time(&slot_id, move || {
+        black_box(engine.step(&GreedyRate, fading_sim::ServicePolicy::MaxWeight));
+    });
+    if let Some(slot_ns) = rec.value_of(&slot_id) {
+        if slot_ns > 0.0 {
+            rec.derived_dir(
+                "churn.slots_per_sec",
+                MetricKind::Rate,
+                1e9 / slot_ns,
+                false,
+            );
+        }
+    }
+}
+
 /// The engine-contract probes the ad-hoc gates used to hard-code:
 /// warm/fresh ratio and ctx churn per scheduler (`engine_gate.rs`) and
 /// steady-state allocations per warm call (`zero_alloc.rs`). The
@@ -409,6 +579,224 @@ fn engine_probes(rec: &mut Recorder) {
     }
 }
 
+// ---- release smokes (`bench-report --smoke`) -------------------------
+
+/// The release smoke workloads, formerly four separate ignored CI test
+/// steps (`large_n_smoke.rs`, `queueing_smoke.rs`, the ignored
+/// `traced_smoke` case, plus the new churn smoke). Functional
+/// invariants are hard errors; wall clocks land in the ledger as
+/// `smoke.*` [`MetricKind::Seconds`] rows whose `[max]` ceilings in
+/// `bench-gates.toml` replace the old inline `Duration` guards.
+fn smoke_benches(rec: &mut Recorder) -> Result<(), String> {
+    smoke_large_n(rec)?;
+    smoke_queueing(rec)?;
+    smoke_traced(rec)?;
+    smoke_churn(rec)
+}
+
+/// The sparse substrate at N = 100 000: build, RLE end-to-end, storage
+/// budget, certified truncation, and sampled exact feasibility (see
+/// `docs/interference.md`).
+fn smoke_large_n(rec: &mut Recorder) -> Result<(), String> {
+    if !rec.wants("smoke.large_n.build_s") && !rec.wants("smoke.large_n.wall_s") {
+        return Ok(());
+    }
+    let n = 100_000usize;
+    let started = Instant::now();
+    // α = 4 (a Fig. 5(b) sweep value): the default truncation radius
+    // keeps the near-field store inside the 1 GB budget.
+    let links = density_scaled(n).generate(20170714);
+    let build_started = Instant::now();
+    let problem = Problem::builder(links, fading_channel::ChannelParams::with_alpha(4.0))
+        .backend(BackendChoice::Sparse(SparseConfig::default()))
+        .build();
+    let build_s = build_started.elapsed().as_secs_f64();
+    let model = problem
+        .factors()
+        .as_sparse()
+        .ok_or("large-N smoke must run on the sparse backend")?;
+    let storage = model.storage_bytes();
+    if storage >= 1_000_000_000 {
+        return Err(format!(
+            "large-N smoke: interference storage is {storage} B, over the 1 GB budget"
+        ));
+    }
+    if model.max_tail_cut() <= 0.0 {
+        return Err(
+            "large-N smoke: instance was stored exhaustively, truncation unexercised".into(),
+        );
+    }
+    let schedule = Rle::new().schedule(&problem);
+    if schedule.len() <= 1_000 {
+        return Err(format!(
+            "large-N smoke: RLE picked only {} links at N = 100k",
+            schedule.len()
+        ));
+    }
+    // Exact feasibility on a sample of receivers; factors recompute
+    // exactly regardless of truncation.
+    let members: Vec<_> = schedule.iter().collect();
+    let budget = problem.gamma_eps();
+    let step = (members.len() / 256).max(1);
+    for &j in members.iter().step_by(step) {
+        let sum: f64 = members
+            .iter()
+            .filter(|&&i| i != j)
+            .map(|&i| problem.factor(i, j))
+            .sum();
+        if !fading_core::feasibility::within_budget(sum, budget) {
+            return Err(format!(
+                "large-N smoke: receiver {j} exceeds γ_ε: {sum} > {budget}"
+            ));
+        }
+    }
+    rec.derived("smoke.large_n.build_s", MetricKind::Seconds, build_s);
+    rec.derived(
+        "smoke.large_n.wall_s",
+        MetricKind::Seconds,
+        started.elapsed().as_secs_f64(),
+    );
+    Ok(())
+}
+
+/// The restrict-based queueing loop at n = 2000 × 200 slots under
+/// MaxWeight (see `docs/residual.md`), with packet conservation.
+fn smoke_queueing(rec: &mut Recorder) -> Result<(), String> {
+    if !rec.wants("smoke.queueing.wall_s") {
+        return Ok(());
+    }
+    let n = 2000usize;
+    let problem = Problem::builder(
+        density_scaled(n).generate(20170715),
+        fading_channel::ChannelParams::paper_defaults(),
+    )
+    .backend(BackendChoice::Dense)
+    .build();
+    let cfg = fading_sim::QueueConfig {
+        arrival_prob: 0.2,
+        slots: 200,
+        seed: 3,
+    };
+    let started = Instant::now();
+    let result = fading_sim::simulate_queueing_with_policy(
+        &problem,
+        &GreedyRate,
+        &cfg,
+        fading_sim::ServicePolicy::MaxWeight,
+    );
+    let wall_s = started.elapsed().as_secs_f64();
+    if result.delivered == 0 {
+        return Err("queueing smoke: nothing delivered in 200 slots at n = 2000".into());
+    }
+    if result.arrived != result.delivered + result.final_backlog {
+        return Err(format!(
+            "queueing smoke: packet conservation violated ({} arrived, {} delivered, {} queued)",
+            result.arrived, result.delivered, result.final_backlog
+        ));
+    }
+    rec.derived("smoke.queueing.wall_s", MetricKind::Seconds, wall_s);
+    Ok(())
+}
+
+/// LDP and RLE at n = 1000 with the decision trace on (plus RLE on the
+/// sparse backend): the JSONL stream must be complete, round-trip, and
+/// replay to the emitted schedule with an audited γ_ε ledger (see
+/// `docs/tracing.md`).
+fn smoke_traced(rec: &mut Recorder) -> Result<(), String> {
+    if !rec.wants("smoke.traced.wall_s") {
+        return Ok(());
+    }
+    let started = Instant::now();
+    let links = UniformGenerator::paper(1000).generate(42);
+    let panel: [(&str, Box<dyn Scheduler>, BackendChoice); 3] = [
+        ("ldp", Box::new(Ldp::default()), BackendChoice::Dense),
+        ("rle", Box::new(Rle::default()), BackendChoice::Dense),
+        (
+            "rle-sparse",
+            Box::new(Rle::default()),
+            BackendChoice::Sparse(SparseConfig::default()),
+        ),
+    ];
+    for (tag, scheduler, backend) in panel {
+        let problem = Problem::builder(
+            links.clone(),
+            fading_channel::ChannelParams::with_alpha(3.0),
+        )
+        .backend(backend)
+        .build();
+        fading_obs::set_tracing(true);
+        let _ = fading_obs::take_trace(); // start from an empty ring
+        let schedule = scheduler.schedule(&problem);
+        let trace = fading_obs::take_trace();
+        fading_obs::set_tracing(false);
+        if !trace.is_complete() {
+            return Err(format!("traced smoke: {tag} trace truncated at n = 1000"));
+        }
+        let round_tripped = fading_obs::Trace::from_jsonl(&trace.to_jsonl())
+            .map_err(|e| format!("traced smoke: {tag} JSONL does not round-trip: {e}"))?;
+        let cert = fading_core::verify_schedule(&problem, &round_tripped, &schedule)
+            .map_err(|e| format!("traced smoke: {tag} replay failed: {e}"))?;
+        if !cert.ledger_checked {
+            return Err(format!("traced smoke: {tag} ledger not audited"));
+        }
+    }
+    rec.derived(
+        "smoke.traced.wall_s",
+        MetricKind::Seconds,
+        started.elapsed().as_secs_f64(),
+    );
+    Ok(())
+}
+
+/// The streaming engine at the queueing-smoke scale: n = 2000 seed
+/// population, 200 slots of per-slot Poisson arrivals / exponential
+/// departures patching the problem in place, greedy MaxWeight service,
+/// packet conservation across departures (see `docs/online.md`).
+fn smoke_churn(rec: &mut Recorder) -> Result<(), String> {
+    if !rec.wants("smoke.churn.wall_s") {
+        return Ok(());
+    }
+    let n = 2000usize;
+    let gen = density_scaled(n);
+    let problem = Problem::builder(
+        gen.generate(20170716),
+        fading_channel::ChannelParams::paper_defaults(),
+    )
+    .backend(BackendChoice::Dense)
+    .build();
+    let cfg = fading_sim::ChurnConfig {
+        slots: 200,
+        link_arrival_rate: n as f64 / 100.0,
+        mean_lifetime: 100.0,
+        packet_prob: 0.2,
+        seed: 11,
+    };
+    let started = Instant::now();
+    let result = fading_sim::ChurnEngine::new(problem, gen, cfg)
+        .run(&GreedyRate, fading_sim::ServicePolicy::MaxWeight);
+    let wall_s = started.elapsed().as_secs_f64();
+    if result.links_arrived == 0 || result.links_departed == 0 {
+        return Err(format!(
+            "churn smoke: no topology churn over 200 slots ({} arrived, {} departed)",
+            result.links_arrived, result.links_departed
+        ));
+    }
+    if result.packets_delivered == 0 {
+        return Err("churn smoke: nothing delivered over 200 slots at n = 2000".into());
+    }
+    if !result.conserves_packets() {
+        return Err(format!(
+            "churn smoke: packet conservation violated ({} arrived != {} delivered + {} abandoned + {} queued)",
+            result.packets_arrived,
+            result.packets_delivered,
+            result.packets_abandoned,
+            result.final_backlog
+        ));
+    }
+    rec.derived("smoke.churn.wall_s", MetricKind::Seconds, wall_s);
+    Ok(())
+}
+
 /// Least-squares log-log slope of ns/op over the family sizes — the
 /// empirical n-scaling exponent per scheduler.
 fn scaling_exponents(rec: &mut Recorder) {
@@ -463,6 +851,7 @@ mod tests {
         let report = run_report(&ReportOptions {
             quick: true,
             filter: Some("greedy".to_string()),
+            smoke: false,
         })
         .unwrap();
         let ids: Vec<&str> = report.metrics.iter().map(|m| m.id.as_str()).collect();
@@ -484,6 +873,7 @@ mod tests {
         let err = run_report(&ReportOptions {
             quick: true,
             filter: Some("no-such-bench".to_string()),
+            smoke: false,
         })
         .unwrap_err();
         assert!(err.contains("no-such-bench"), "{err}");

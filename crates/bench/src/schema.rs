@@ -36,6 +36,12 @@ pub enum MetricKind {
     Ratio,
     /// A fitted n-scaling exponent (log-log least squares).
     Exponent,
+    /// Wall-clock seconds for a single-shot workload (the release
+    /// smokes); gated by absolute `[max]` ceilings, not noise bands.
+    Seconds,
+    /// Operations per second (sustained churn slots/sec); the one kind
+    /// where higher is better, gated by a `[min]` floor.
+    Rate,
 }
 
 /// One measured or derived metric.

@@ -15,7 +15,9 @@ pub struct Args {
 }
 
 /// Flags that never take a value; their presence stores `"true"`.
-pub const BOOLEAN_FLAGS: &[&str] = &["progress", "quiet", "budgets", "verify", "check", "quick"];
+pub const BOOLEAN_FLAGS: &[&str] = &[
+    "progress", "quiet", "budgets", "verify", "check", "quick", "smoke",
+];
 
 /// Parses an argument vector (excluding the program name).
 ///

@@ -49,6 +49,7 @@ pub fn bench_report(
             run_report(&ReportOptions {
                 quick: args.flag("quick"),
                 filter: args.get("filter").map(String::from),
+                smoke: args.flag("smoke"),
             })?
         }
     };

@@ -191,12 +191,37 @@ fn dispatch(
             )?;
             crate::explain::explain(args, out)
         }
+        "churn" => {
+            reject_unknown_flags(
+                args,
+                &[
+                    "n",
+                    "slots",
+                    "algo",
+                    "policy",
+                    "link-rate",
+                    "lifetime",
+                    "packet-prob",
+                    "frontier",
+                    "seed",
+                    "alpha",
+                    "eps",
+                    "interference",
+                    "tail-rtol",
+                    "side",
+                    "len-lo",
+                    "len-hi",
+                    "out",
+                ],
+            )?;
+            churn(args, out, effects)
+        }
         "bench-report" => {
             reject_unknown_flags(
                 args,
                 &[
                     "out", "dir", "from", "baseline", "gates", "filter", "diff-out", "check",
-                    "quick",
+                    "quick", "smoke",
                 ],
             )?;
             crate::bench_report::bench_report(args, out, effects)
@@ -229,15 +254,28 @@ USAGE:
                   [--cascade <pick#>] [--block <idx>]
                   [--verify --instance <file> [--schedule <file>]
                    [--alpha 3] [--eps 0.01] [--interference dense|sparse|auto]]
+  fading churn    [--n 50] [--slots 200] [--algo greedy]
+                  [--policy maxweight|plain] [--link-rate 1.0]
+                  [--lifetime 50] [--packet-prob 0.2]
+                  [--frontier p1,p2,...] [--seed 0] [--alpha 3]
+                  [--eps 0.01] [--interference dense|sparse|auto]
+                  [--side 500] [--len-lo 5] [--len-hi 20] [--out <json>]
+                  streaming run: links arrive (Poisson, --link-rate per
+                  slot) and depart (exponential --lifetime) while the
+                  engine patches the live problem in place; --frontier
+                  sweeps packet load and prints the stability table
   fading bench-report [--out <BENCH_date.json>] [--dir <repo-root>]
                   [--check] [--baseline <file>] [--gates <bench-gates.toml>]
-                  [--quick] [--filter <substr>] [--from <file>]
+                  [--quick] [--smoke] [--filter <substr>] [--from <file>]
                   [--diff-out <file>]
                   runs the bench suite and writes a perf-trajectory
                   ledger entry; --check diffs it against the newest
                   committed BENCH_*.json and exits 0 (clean),
                   1 (regression), or 2 (fingerprint mismatch: would-be
-                  regressions downgraded to warnings)
+                  regressions downgraded to warnings); --smoke runs the
+                  release smoke workloads (smoke.* wall-clock rows
+                  gated by bench-gates.toml [max]) instead of the
+                  micro suite
 
 ALGORITHMS:
   ldp | ldp-two-sided | rle | dls | greedy | random | exact | anneal |
@@ -461,6 +499,152 @@ fn capacity(args: &Args, out: &mut dyn std::io::Write) -> Result<(), String> {
     .map_err(|e| e.to_string())
 }
 
+/// Streaming churn run: links arrive (Poisson) and depart (exponential
+/// lifetimes) while the engine patches the live [`Problem`] in place
+/// and schedules every slot. With `--frontier p1,p2,...` it sweeps the
+/// packet arrival probability instead and prints the backlog-vs-load
+/// stability table.
+fn churn(
+    args: &Args,
+    out: &mut dyn std::io::Write,
+    effects: &mut CmdEffects,
+) -> Result<(), String> {
+    let n: usize = args.get_or("n", 50)?;
+    if n == 0 {
+        return Err("--n must be a positive seed population".into());
+    }
+    let geometry = UniformGenerator {
+        side: args.get_or("side", 500.0)?,
+        n,
+        len_lo: args.get_or("len-lo", 5.0)?,
+        len_hi: args.get_or("len-hi", 20.0)?,
+        rates: RateModel::Fixed(1.0),
+    };
+    let seed: u64 = args.get_or("seed", 0)?;
+    let problem = build_problem(args, geometry.generate(seed))?;
+    let scheduler = scheduler_by_name(args.get("algo").unwrap_or("greedy"))?;
+    let policy = match args.get("policy").unwrap_or("maxweight") {
+        "maxweight" => fading_sim::ServicePolicy::MaxWeight,
+        "plain" => fading_sim::ServicePolicy::PlainRates,
+        other => return Err(format!("--policy must be maxweight or plain, got {other}")),
+    };
+    let cfg = fading_sim::ChurnConfig {
+        slots: args.get_or("slots", 200)?,
+        link_arrival_rate: args.get_or("link-rate", 1.0)?,
+        mean_lifetime: args.get_or("lifetime", 50.0)?,
+        packet_prob: args.get_or("packet-prob", 0.2)?,
+        seed,
+    };
+    if cfg.slots == 0 {
+        return Err("--slots must be positive".into());
+    }
+    if !cfg.link_arrival_rate.is_finite() || cfg.link_arrival_rate < 0.0 {
+        return Err(format!(
+            "--link-rate must be finite and >= 0, got {}",
+            cfg.link_arrival_rate
+        ));
+    }
+    if !cfg.mean_lifetime.is_finite() || cfg.mean_lifetime < 1.0 {
+        return Err(format!(
+            "--lifetime must be >= 1 slot, got {}",
+            cfg.mean_lifetime
+        ));
+    }
+    if !(0.0..=1.0).contains(&cfg.packet_prob) {
+        return Err(format!(
+            "--packet-prob must be in [0,1], got {}",
+            cfg.packet_prob
+        ));
+    }
+
+    if let Some(list) = args.get("frontier") {
+        let probs: Vec<f64> = list
+            .split(',')
+            .map(|v| {
+                v.trim()
+                    .parse::<f64>()
+                    .map_err(|e| format!("--frontier: cannot parse {v:?}: {e}"))
+            })
+            .collect::<Result<_, _>>()?;
+        if probs.is_empty() || probs.iter().any(|p| !(0.0..=1.0).contains(p)) {
+            return Err("--frontier needs comma-separated probabilities in [0,1]".into());
+        }
+        let frontier = fading_sim::stability_frontier(
+            &problem,
+            geometry,
+            cfg,
+            scheduler.as_ref(),
+            policy,
+            &probs,
+        );
+        writeln!(
+            out,
+            "{} over {} slots (λ_link {}, E[life] {}):",
+            scheduler.name(),
+            cfg.slots,
+            cfg.link_arrival_rate,
+            cfg.mean_lifetime
+        )
+        .map_err(|e| e.to_string())?;
+        writeln!(
+            out,
+            "{:>12} {:>10} {:>12} {:>12} {:>10}",
+            "packet-prob", "mean pop", "mean backlog", "max backlog", "delivered"
+        )
+        .map_err(|e| e.to_string())?;
+        for (p, r) in &frontier {
+            writeln!(
+                out,
+                "{:>12.3} {:>10.1} {:>12.1} {:>12} {:>10}",
+                p, r.mean_population, r.mean_backlog, r.max_backlog, r.packets_delivered
+            )
+            .map_err(|e| e.to_string())?;
+        }
+        if let Some(path) = args.get("out") {
+            let json = serde_json::to_string_pretty(&frontier).map_err(|e| e.to_string())?;
+            std::fs::write(path, json).map_err(|e| format!("cannot write {path}: {e}"))?;
+            effects.artifacts.push(("frontier".into(), path.into()));
+            writeln!(out, "wrote frontier to {path}").map_err(|e| e.to_string())?;
+        }
+        return Ok(());
+    }
+
+    let engine = fading_sim::ChurnEngine::new(problem, geometry, cfg);
+    let result = engine.run(scheduler.as_ref(), policy);
+    writeln!(
+        out,
+        "{} over {} slots ({} policy):\n  links:   {} arrived, {} departed, mean population {:.1} (final {})\n  packets: {} arrived, {} delivered, {} abandoned, {} still queued\n  backlog: mean {:.1}, max {}\n  engine:  {:.0} slots/sec sustained",
+        scheduler.name(),
+        result.slots,
+        match policy {
+            fading_sim::ServicePolicy::MaxWeight => "maxweight",
+            fading_sim::ServicePolicy::PlainRates => "plain",
+        },
+        result.links_arrived,
+        result.links_departed,
+        result.mean_population,
+        result.final_population,
+        result.packets_arrived,
+        result.packets_delivered,
+        result.packets_abandoned,
+        result.final_backlog,
+        result.mean_backlog,
+        result.max_backlog,
+        result.slots_per_sec
+    )
+    .map_err(|e| e.to_string())?;
+    if !result.conserves_packets() {
+        return Err("internal error: packet conservation violated".into());
+    }
+    if let Some(path) = args.get("out") {
+        let json = serde_json::to_string_pretty(&result).map_err(|e| e.to_string())?;
+        std::fs::write(path, json).map_err(|e| format!("cannot write {path}: {e}"))?;
+        effects.artifacts.push(("churn".into(), path.into()));
+        writeln!(out, "wrote churn result to {path}").map_err(|e| e.to_string())?;
+    }
+    Ok(())
+}
+
 fn render(args: &Args, out: &mut dyn std::io::Write) -> Result<(), String> {
     let links = load_instance(args)?;
     let schedule: Option<Schedule> = match args.get("schedule") {
@@ -537,6 +721,46 @@ mod tests {
         ))
         .unwrap();
         assert!(out.contains("failed/slot"));
+    }
+
+    #[test]
+    fn churn_runs_a_streaming_horizon() {
+        let json = tmp("churn_result.json");
+        let out = run_line(&format!(
+            "churn --n 25 --slots 30 --algo greedy --seed 7 --out {json}"
+        ))
+        .unwrap();
+        assert!(out.contains("over 30 slots (maxweight policy)"));
+        assert!(out.contains("slots/sec sustained"));
+        assert!(out.contains(&format!("wrote churn result to {json}")));
+        let text = std::fs::read_to_string(&json).unwrap();
+        assert!(text.contains("\"slots\": 30"));
+        assert!(text.contains("\"slots_per_sec\""));
+
+        // Same seed, same run — everything but wall-clock slots/sec
+        // (the last summary line) is deterministic.
+        let again = run_line("churn --n 25 --slots 30 --algo greedy --seed 7").unwrap();
+        let summary = out.lines().take(4).collect::<Vec<_>>().join("\n");
+        assert!(again.starts_with(&summary));
+    }
+
+    #[test]
+    fn churn_frontier_sweeps_packet_load() {
+        let out =
+            run_line("churn --n 20 --slots 25 --frontier 0.05,0.8 --seed 1 --interference sparse")
+                .unwrap();
+        assert!(out.contains("packet-prob"));
+        assert!(out.contains("0.050"));
+        assert!(out.contains("0.800"));
+    }
+
+    #[test]
+    fn churn_rejects_bad_knobs() {
+        assert!(run_line("churn --policy bogus").is_err());
+        assert!(run_line("churn --lifetime 0.2").is_err());
+        assert!(run_line("churn --packet-prob 1.5").is_err());
+        assert!(run_line("churn --frontier 0.1,oops").is_err());
+        assert!(run_line("churn --what 3").is_err());
     }
 
     #[test]

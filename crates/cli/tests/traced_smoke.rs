@@ -2,8 +2,8 @@
 //!
 //! Each test spawns the real binary, so the global trace ring lives in
 //! its own process and tests can run in parallel. The heavyweight
-//! n=1000 smoke (the CI traced-smoke job) is `#[ignore]`d by default:
-//! `cargo test -p fading-cli --test traced_smoke -- --ignored`.
+//! n=1000 traced smoke lives in the ledgered release smoke suite
+//! (`fading bench-report --smoke`, `smoke.traced.wall_s`).
 
 use fading_core::{verify_schedule, BackendChoice, Problem, Scheduler};
 use fading_obs::Trace;
@@ -164,77 +164,4 @@ fn explain_rejects_missing_and_mismatched_inputs() {
     std::fs::write(&bogus, "{\"type\":\"nope\"}\n").unwrap();
     let out = run_binary(&["explain", "--trace", bogus.to_str().unwrap()]);
     assert!(!out.status.success());
-}
-
-/// The CI traced-smoke job: LDP and RLE at n=1000, traces written,
-/// JSONL validated, replay verifier run against the instance. Slow in
-/// debug builds, hence `--ignored` (CI runs it with `--release`).
-#[test]
-#[ignore = "heavyweight CI smoke; run with -- --ignored"]
-fn traced_smoke_n1000_ldp_and_rle() {
-    let inst = tmp("smoke1000.json");
-    ok(&[
-        "generate",
-        "--n",
-        "1000",
-        "--seed",
-        "42",
-        "--out",
-        inst.to_str().unwrap(),
-    ]);
-    let problem = load_problem(&inst, BackendChoice::Dense);
-
-    for (algo, scheduler, label) in [
-        (
-            "ldp",
-            Box::new(fading_core::algo::Ldp::default()) as Box<dyn Scheduler>,
-            "LDP",
-        ),
-        (
-            "rle",
-            Box::new(fading_core::algo::Rle::default()) as Box<dyn Scheduler>,
-            "RLE",
-        ),
-    ] {
-        let trace_path = tmp(&format!("smoke1000_{algo}.trace.jsonl"));
-        ok(&[
-            "schedule",
-            "--instance",
-            inst.to_str().unwrap(),
-            "--algo",
-            algo,
-            "--trace-out",
-            trace_path.to_str().unwrap(),
-        ]);
-        let jsonl = std::fs::read_to_string(&trace_path).unwrap();
-        // Every line must be a parseable record, and the stream must be
-        // a complete (non-truncated) trace.
-        let trace = Trace::from_jsonl(&jsonl).unwrap();
-        assert!(trace.is_complete(), "{algo} trace truncated at n=1000");
-        let expected = scheduler.schedule(&problem);
-        let cert = verify_schedule(&problem, &trace, &expected)
-            .unwrap_or_else(|e| panic!("{algo} replay failed: {e}"));
-        assert_eq!(cert.scheduler, label);
-        assert!(cert.ledger_checked, "{algo} ledger not audited");
-    }
-
-    // The sparse backend must produce the same replayable story.
-    let sparse_trace = tmp("smoke1000_rle_sparse.trace.jsonl");
-    ok(&[
-        "schedule",
-        "--instance",
-        inst.to_str().unwrap(),
-        "--algo",
-        "rle",
-        "--interference",
-        "sparse",
-        "--trace-out",
-        sparse_trace.to_str().unwrap(),
-    ]);
-    let jsonl = std::fs::read_to_string(&sparse_trace).unwrap();
-    let trace = Trace::from_jsonl(&jsonl).unwrap();
-    let sparse_problem = load_problem(&inst, BackendChoice::Sparse(Default::default()));
-    let expected = fading_core::algo::Rle::default().schedule(&sparse_problem);
-    verify_schedule(&sparse_problem, &trace, &expected)
-        .unwrap_or_else(|e| panic!("sparse replay failed: {e}"));
 }

@@ -100,7 +100,11 @@ pub fn eliminate_schedule_in(
     // the tie-break makes the comparator a total order, so the unstable
     // sort's result is unique — which also makes the order safe to
     // memoize across calls on bit-identical length vectors).
-    if !ctx.order_is_cached(OrderKind::ElimLength, links.ids().map(|i| links.length(i))) {
+    if !ctx.order_is_cached(
+        OrderKind::ElimLength,
+        problem.stamp(),
+        links.ids().map(|i| links.length(i)),
+    ) {
         ctx.order.clear();
         ctx.order.extend(links.ids());
         ctx.order

@@ -98,6 +98,7 @@ impl Scheduler for GraphModel {
         // schedulers, so the two share one memo slot.
         let cached = ctx.order_is_cached(
             crate::ctx::OrderKind::ElimLength,
+            problem.stamp(),
             links.ids().map(|i| links.length(i)),
         );
         if !cached {

@@ -37,7 +37,7 @@ impl Scheduler for GreedyRate {
         // feasible), then id — a total order, so the unstable sort's
         // result is unique and memoizable on the (rate, length) keys.
         let keys = links.ids().flat_map(|i| [problem.rate(i), links.length(i)]);
-        if !ctx.order_is_cached(crate::ctx::OrderKind::GreedyRate, keys) {
+        if !ctx.order_is_cached(crate::ctx::OrderKind::GreedyRate, problem.stamp(), keys) {
             ctx.order.clear();
             ctx.order.extend(links.ids());
             ctx.order.sort_unstable_by(|&a, &b| {

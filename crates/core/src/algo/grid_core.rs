@@ -101,7 +101,11 @@ pub fn grid_schedule_labeled_in(
         .links()
         .iter()
         .flat_map(|l| [l.length(), l.receiver.x, l.receiver.y, l.rate]);
-    if !ctx.grid_is_cached([mode_key, scale, anchor.x, anchor.y], witness) {
+    if !ctx.grid_is_cached(
+        problem.stamp(),
+        [mode_key, scale, anchor.x, anchor.y],
+        witness,
+    ) {
         // Distinct length magnitudes, ascending (`diversity_exponents`
         // inlined over the ctx buffer).
         ctx.exponents.clear();

@@ -78,7 +78,15 @@ pub struct SchedCtx {
     // --- verified order memoization ---
     /// Which sort (if any) produced the current `order`.
     order_kind: OrderKind,
-    /// Sort keys that produced `order` — the memo witness.
+    /// [`crate::Problem::stamp`] of the instance that produced `order`
+    /// (`0` = none). Equal stamps imply bit-identical problems, hence
+    /// bit-identical sort keys — the fine-grained fast path that lets
+    /// warm state survive a churn loop without the `O(n)` key
+    /// extraction + compare per call.
+    order_stamp: u64,
+    /// Sort keys that produced `order` — the memo witness (the
+    /// fallback when the stamp misses, e.g. across clones or rebuilt
+    /// instances with identical content).
     order_keys: Vec<f64>,
     /// Scratch for the candidate keys of the current call.
     key_scratch: Vec<f64>,
@@ -86,6 +94,11 @@ pub struct SchedCtx {
     /// Whether `best_ids` and the `grid_*` fields cache a valid
     /// selection for the witness in `grid_keys`.
     grid_valid: bool,
+    /// Problem stamp of the cached grid selection (`0` = none); same
+    /// fast-path contract as `order_stamp`. The scheduler-config header
+    /// (mode, scale, anchor) is still compared on a stamp hit — it is
+    /// not a function of the problem.
+    grid_stamp: u64,
     /// Grid-selection inputs that produced `best_ids` (memo witness).
     grid_keys: Vec<f64>,
     /// Scratch for the candidate grid witness of the current call.
@@ -148,6 +161,16 @@ impl SchedCtx {
     /// O(n log n) re-sort. Otherwise stores `keys` as the new memo
     /// witness and returns `false`; the caller must rebuild `order`.
     ///
+    /// Two-tier check: if `stamp` (the caller's
+    /// [`crate::Problem::stamp`]) matches the cached one, the keys are
+    /// provably bit-identical — equal stamps mean the *same content
+    /// snapshot*, and the keys are a pure function of the problem — so
+    /// the `O(n)` key extraction and compare are skipped entirely (the
+    /// mutation-epoch fast path). On a stamp miss the bit-compare
+    /// fallback still catches content-identical instances with
+    /// different stamps (clones mutated and reverted, independently
+    /// built equals) and adopts the new stamp on a hit.
+    ///
     /// This never changes *what* is computed, only whether a sort whose
     /// result is already in the buffer runs again: equivalence with a
     /// fresh workspace (`tests/ctx_equivalence.rs`) is unaffected. NaN
@@ -155,15 +178,22 @@ impl SchedCtx {
     pub(crate) fn order_is_cached(
         &mut self,
         kind: OrderKind,
+        stamp: u64,
         keys: impl Iterator<Item = f64>,
     ) -> bool {
+        if self.order_kind == kind && stamp != 0 && self.order_stamp == stamp {
+            fading_obs::counter!("core.ctx.order_stamp_hits").incr();
+            return true;
+        }
         self.key_scratch.clear();
         self.key_scratch.extend(keys);
         if self.order_kind == kind && self.order_keys == self.key_scratch {
+            self.order_stamp = stamp;
             return true;
         }
         std::mem::swap(&mut self.order_keys, &mut self.key_scratch);
         self.order_kind = kind;
+        self.order_stamp = stamp;
         false
     }
 
@@ -172,6 +202,7 @@ impl SchedCtx {
     /// caller cannot mistake the clobbered buffer for its own cache.
     pub(crate) fn order_scratch(&mut self) -> &mut Vec<LinkId> {
         self.order_kind = OrderKind::None;
+        self.order_stamp = 0;
         &mut self.order
     }
 
@@ -181,19 +212,36 @@ impl SchedCtx {
     /// from a bit-identical `header ++ keys` witness and may be reused
     /// verbatim. On `false` the memo is marked invalid; the caller must
     /// recompute and revalidate via [`Self::grid_store`].
+    ///
+    /// Stamp fast path as in [`Self::order_is_cached`]: the per-link
+    /// `keys` are a pure function of the problem, so a stamp hit skips
+    /// extracting them — but the `header` (class mode, square scale,
+    /// grid anchor) is scheduler configuration, not problem content,
+    /// and is always compared.
     pub(crate) fn grid_is_cached(
         &mut self,
+        stamp: u64,
         header: [f64; 4],
         keys: impl Iterator<Item = f64>,
     ) -> bool {
+        if self.grid_valid
+            && stamp != 0
+            && self.grid_stamp == stamp
+            && self.grid_keys.get(..4) == Some(header.as_slice())
+        {
+            fading_obs::counter!("core.ctx.grid_stamp_hits").incr();
+            return true;
+        }
         self.grid_scratch.clear();
         self.grid_scratch.extend_from_slice(&header);
         self.grid_scratch.extend(keys);
         if self.grid_valid && self.grid_keys == self.grid_scratch {
+            self.grid_stamp = stamp;
             return true;
         }
         std::mem::swap(&mut self.grid_keys, &mut self.grid_scratch);
         self.grid_valid = false;
+        self.grid_stamp = stamp;
         false
     }
 

@@ -175,6 +175,91 @@ impl InterferenceMatrix {
         &self.data[i * self.n..(i + 1) * self.n]
     }
 
+    /// Grows the matrix in place to cover `links` (the *extended* link
+    /// set; the first `self.len()` links must be unchanged). Existing
+    /// entries are kept verbatim; only the new rows and the new columns
+    /// of old rows are evaluated — `O(N·a)` transcendentals for `a`
+    /// appended links instead of the full `O(N²)` rebuild. Every entry
+    /// is a pure per-pair formula evaluation, so the result is
+    /// bit-identical to [`build_with_powers`] over the extended set.
+    ///
+    /// # Panics
+    /// Panics if `links` is smaller than the current matrix or `powers`
+    /// has the wrong length.
+    pub fn append(
+        &mut self,
+        links: &LinkSet,
+        channel: &RayleighChannel,
+        powers: Option<&[f64]>,
+    ) -> u64 {
+        let n = self.n;
+        let m = links.len();
+        assert!(m >= n, "append cannot shrink the matrix");
+        if let Some(p) = powers {
+            assert_eq!(p.len(), m, "power vector length mismatch");
+        }
+        if m == n {
+            return 0;
+        }
+        // Re-layout rows for the wider stride, back to front so the
+        // moves never overlap destructively; new slots are filled below.
+        self.data.resize(m * m, 0.0);
+        for i in (1..n).rev() {
+            self.data.copy_within(i * n..(i + 1) * n, i * m);
+        }
+        let entry = |i: usize, j: usize| -> f64 {
+            if i == j {
+                return 0.0;
+            }
+            let d_ij = links.sender_receiver_distance(LinkId(i as u32), LinkId(j as u32));
+            let d_jj = links.length(LinkId(j as u32));
+            match powers {
+                None => channel.interference_factor(d_ij, d_jj),
+                Some(p) => channel.interference_factor_scaled(d_ij, d_jj, p[i], p[j]),
+            }
+        };
+        // New columns of old rows, then the new rows in full.
+        for i in 0..n {
+            for j in n..m {
+                self.data[i * m + j] = entry(i, j);
+            }
+        }
+        for i in n..m {
+            for j in 0..m {
+                self.data[i * m + j] = entry(i, j);
+            }
+        }
+        self.n = m;
+        (2 * n as u64 + (m - n) as u64) * (m - n) as u64
+    }
+
+    /// Removes link `k` in place with `Vec::swap_remove` semantics: row
+    /// and column `n−1` move into slot `k`, matching
+    /// [`LinkSet::swap_remove`]'s renumbering. No factor is recomputed —
+    /// surviving entries are moved bit-for-bit, so the result equals a
+    /// fresh build over the mutated link set.
+    ///
+    /// # Panics
+    /// Panics if `k` is out of bounds.
+    pub fn swap_remove(&mut self, k: usize) {
+        let n = self.n;
+        assert!(k < n, "link index out of bounds");
+        let m = n - 1;
+        // Column n−1 → column k (row n−1's own entry lands on the new
+        // diagonal as the old zero diagonal entry).
+        for r in 0..n {
+            self.data[r * n + k] = self.data[r * n + m];
+        }
+        // Row n−1 → row k, columns already remapped.
+        self.data.copy_within(m * n..m * n + m, k * n);
+        // Compact to the narrower stride and drop the tail.
+        for r in 1..m {
+            self.data.copy_within(r * n..r * n + m, r * m);
+        }
+        self.data.truncate(m * m);
+        self.n = m;
+    }
+
     /// The `k×k` sub-matrix over `keep` (parent link ids, in the
     /// sub-instance's id order): entry `(a, b)` is the parent's
     /// `f_{keep[a], keep[b]}`, copied bit-for-bit. Factors depend only
@@ -573,6 +658,50 @@ mod tests {
         assert!(InterferenceModel::is_exact(&m));
         assert_eq!(InterferenceModel::tail_cut(&m, LinkId(0)), 0.0);
         assert_eq!(InterferenceModel::stored_factors(&m), 12 * 11);
+    }
+
+    #[test]
+    fn append_matches_fresh_build() {
+        let channel = RayleighChannel::new(ChannelParams::paper_defaults());
+        // Cross PARALLEL_THRESHOLD so the fresh reference build takes
+        // the rayon path while append fills scalar — must still match
+        // bit for bit.
+        let full = UniformGenerator::paper(70).generate(8);
+        let head = {
+            let keep: Vec<LinkId> = (0..50).map(LinkId).collect();
+            full.restrict(&keep).0
+        };
+        let mut m = InterferenceMatrix::build(&head, &channel);
+        let added = m.append(&full, &channel, None);
+        assert_eq!(added, 70 * 70 - 50 * 50);
+        let fresh = InterferenceMatrix::build(&full, &channel);
+        assert_eq!(m, fresh);
+        // Power-scaled variant.
+        let powers: Vec<f64> = (0..70).map(|i| 0.5 + (i % 5) as f64 * 0.375).collect();
+        let mut m = InterferenceMatrix::build_with_powers(&head, &channel, Some(&powers[..50]));
+        m.append(&full, &channel, Some(&powers));
+        assert_eq!(
+            m,
+            InterferenceMatrix::build_with_powers(&full, &channel, Some(&powers))
+        );
+    }
+
+    #[test]
+    fn swap_remove_matches_fresh_build() {
+        let channel = RayleighChannel::new(ChannelParams::paper_defaults());
+        let mut links = UniformGenerator::paper(40).generate(9);
+        let mut m = InterferenceMatrix::build(&links, &channel);
+        // Interior, tail, and repeated removals.
+        for k in [7usize, 38, 0, 20] {
+            m.swap_remove(k);
+            links.swap_remove(LinkId(k as u32));
+            assert_eq!(m, InterferenceMatrix::build(&links, &channel), "k={k}");
+        }
+        // Drain to empty.
+        while !m.is_empty() {
+            m.swap_remove(m.len() - 1);
+        }
+        assert!(m.is_empty());
     }
 
     #[test]

@@ -39,6 +39,7 @@ pub mod feasibility;
 pub mod ilp;
 pub mod interference;
 pub mod multislot;
+pub mod mutate;
 pub mod problem;
 pub mod reduction;
 pub mod registry;
@@ -49,6 +50,7 @@ pub use certify::{replay_block, replay_trace, verify_schedule, Certificate};
 pub use ctx::SchedCtx;
 pub use feasibility::FeasibilityReport;
 pub use interference::{InterferenceBackend, InterferenceMatrix, InterferenceModel};
+pub use mutate::{LinkIdMap, LinkSpec};
 pub use problem::{BackendChoice, Problem, ProblemBuilder};
 pub use registry::AlgoId;
 pub use schedule::Schedule;

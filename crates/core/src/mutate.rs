@@ -1,0 +1,211 @@
+//! Incremental topology mutation support types (see `docs/online.md`).
+//!
+//! [`crate::Problem::add_links`] / [`crate::Problem::remove_links`]
+//! patch a live instance in place, but they renumber: dense `LinkId`s
+//! must stay contiguous (`0..n`), so removal uses `swap_remove`
+//! semantics and the tail link takes the vacated id. A long-running
+//! engine (the churn simulator, an external controller) needs handles
+//! that *survive* that renumbering — [`LinkIdMap`] provides them by
+//! mirroring every mutation the problem performs.
+
+use fading_geom::Point2;
+use fading_net::LinkId;
+use std::collections::HashMap;
+
+/// A link to be added to a live [`crate::Problem`] — the mutation
+/// counterpart of constructing a [`fading_net::Link`] through a
+/// generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkSpec {
+    /// Sender position.
+    pub sender: Point2,
+    /// Receiver position.
+    pub receiver: Point2,
+    /// Traffic rate / scheduling weight `λ_i` (must be positive finite).
+    pub rate: f64,
+    /// Transmit power scale (`scale × P`; 1 = the uniform paper model).
+    pub power_scale: f64,
+}
+
+impl LinkSpec {
+    /// A uniform-power, unit-rate link — the paper's model.
+    pub fn new(sender: Point2, receiver: Point2) -> Self {
+        Self {
+            sender,
+            receiver,
+            rate: 1.0,
+            power_scale: 1.0,
+        }
+    }
+
+    /// Sets the traffic rate.
+    pub fn with_rate(mut self, rate: f64) -> Self {
+        self.rate = rate;
+        self
+    }
+
+    /// Sets the transmit power scale.
+    pub fn with_power_scale(mut self, power_scale: f64) -> Self {
+        self.power_scale = power_scale;
+        self
+    }
+}
+
+/// Stable external handles over the dense, renumbering [`LinkId`]
+/// space.
+///
+/// External ids are `u64`s handed out once per added link and never
+/// reused; dense ids are the contiguous `0..n` indices the problem's
+/// matrices are addressed by. The map stays consistent by *mirroring*
+/// the problem's mutations: call [`on_add`](Self::on_add) once per
+/// appended link and [`on_swap_remove`](Self::on_swap_remove) once per
+/// removed dense id, in the exact order the problem applied them
+/// ([`crate::Problem::remove_links`] returns that order).
+///
+/// ```
+/// use fading_core::LinkIdMap;
+/// use fading_net::LinkId;
+///
+/// let mut map = LinkIdMap::with_len(3); // dense 0,1,2 ↔ external 0,1,2
+/// let ext = map.on_add(); // dense 3
+/// assert_eq!(map.dense(ext), Some(LinkId(3)));
+/// map.on_swap_remove(LinkId(1)); // tail (dense 3) takes id 1
+/// assert_eq!(map.dense(ext), Some(LinkId(1)));
+/// assert_eq!(map.dense(1), None); // external 1 is gone
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LinkIdMap {
+    /// External id of each dense slot.
+    dense_to_ext: Vec<u64>,
+    /// Inverse: external id → dense index.
+    ext_to_dense: HashMap<u64, u32>,
+    /// Next external id to hand out (monotone, never reused).
+    next_ext: u64,
+}
+
+impl LinkIdMap {
+    /// An empty map (for an engine that starts with no links).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A map over an existing instance of `n` links: dense id `i` gets
+    /// external id `i`.
+    pub fn with_len(n: usize) -> Self {
+        let dense_to_ext: Vec<u64> = (0..n as u64).collect();
+        let ext_to_dense = dense_to_ext.iter().map(|&e| (e, e as u32)).collect();
+        Self {
+            dense_to_ext,
+            ext_to_dense,
+            next_ext: n as u64,
+        }
+    }
+
+    /// Registers one appended link (dense id = previous `len`) and
+    /// returns its external handle. Mirror of one
+    /// [`crate::Problem::add_links`] element, applied in spec order.
+    pub fn on_add(&mut self) -> u64 {
+        let ext = self.next_ext;
+        self.next_ext += 1;
+        self.ext_to_dense
+            .insert(ext, self.dense_to_ext.len() as u32);
+        self.dense_to_ext.push(ext);
+        ext
+    }
+
+    /// Registers the removal of dense id `dense` with swap-remove
+    /// semantics (the tail link takes its id), returning the removed
+    /// link's external handle. Mirror of one
+    /// [`crate::Problem::remove_links`] step.
+    ///
+    /// # Panics
+    /// Panics if `dense` is out of range.
+    pub fn on_swap_remove(&mut self, dense: LinkId) -> u64 {
+        let k = dense.index();
+        let removed = self.dense_to_ext.swap_remove(k);
+        self.ext_to_dense.remove(&removed);
+        if k < self.dense_to_ext.len() {
+            // The tail's external id now lives at dense slot `k`.
+            self.ext_to_dense.insert(self.dense_to_ext[k], k as u32);
+        }
+        removed
+    }
+
+    /// Current dense id of an external handle (`None` once removed).
+    pub fn dense(&self, ext: u64) -> Option<LinkId> {
+        self.ext_to_dense.get(&ext).map(|&k| LinkId(k))
+    }
+
+    /// External handle of a dense id.
+    ///
+    /// # Panics
+    /// Panics if `dense` is out of range.
+    pub fn external(&self, dense: LinkId) -> u64 {
+        self.dense_to_ext[dense.index()]
+    }
+
+    /// Number of live links.
+    pub fn len(&self) -> usize {
+        self.dense_to_ext.len()
+    }
+
+    /// Whether no links are live.
+    pub fn is_empty(&self) -> bool {
+        self.dense_to_ext.is_empty()
+    }
+
+    /// External handles of all live links, in dense-id order.
+    pub fn externals(&self) -> &[u64] {
+        &self.dense_to_ext
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_remove_track_renumbering() {
+        let mut map = LinkIdMap::with_len(4);
+        assert_eq!(map.len(), 4);
+        assert_eq!(map.external(LinkId(2)), 2);
+        let e4 = map.on_add();
+        assert_eq!(e4, 4);
+        assert_eq!(map.dense(e4), Some(LinkId(4)));
+
+        // Remove dense 1: tail (dense 4 = external 4) takes id 1.
+        assert_eq!(map.on_swap_remove(LinkId(1)), 1);
+        assert_eq!(map.dense(1), None);
+        assert_eq!(map.dense(e4), Some(LinkId(1)));
+        assert_eq!(map.external(LinkId(1)), e4);
+        assert_eq!(map.len(), 4);
+
+        // Removing the tail itself moves nothing.
+        assert_eq!(map.on_swap_remove(LinkId(3)), 3);
+        assert_eq!(map.dense(3), None);
+        assert_eq!(map.len(), 3);
+        assert_eq!(map.externals(), &[0, e4, 2]);
+    }
+
+    #[test]
+    fn external_ids_are_never_reused() {
+        let mut map = LinkIdMap::new();
+        let a = map.on_add();
+        map.on_swap_remove(LinkId(0));
+        let b = map.on_add();
+        assert_ne!(a, b);
+        assert_eq!(map.dense(b), Some(LinkId(0)));
+    }
+
+    #[test]
+    fn drain_to_empty() {
+        let mut map = LinkIdMap::with_len(3);
+        while !map.is_empty() {
+            map.on_swap_remove(LinkId(0));
+        }
+        assert_eq!(map.dense(0), None);
+        let e = map.on_add();
+        assert_eq!(e, 3);
+        assert_eq!(map.dense(e), Some(LinkId(0)));
+    }
+}

@@ -1,10 +1,22 @@
 //! The Fading-R-LS problem instance.
 
 use crate::interference::{InterferenceBackend, InterferenceMatrix};
+use crate::mutate::LinkSpec;
 use crate::sparse::{SparseConfig, SparseInterference};
 use fading_channel::{ChannelParams, DeterministicSinr, RayleighChannel};
 use fading_math::gamma_eps;
-use fading_net::{LinkId, LinkSet};
+use fading_net::{LinkId, LinkSet, ValidationError};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotone source of [`Problem::stamp`] values — process-global so a
+/// stamp identifies one content snapshot across every live instance.
+static NEXT_STAMP: AtomicU64 = AtomicU64::new(1);
+
+/// A fresh, never-before-seen stamp (`≥ 1`; `0` is the "no cached
+/// stamp" sentinel in [`crate::SchedCtx`]).
+fn next_stamp() -> u64 {
+    NEXT_STAMP.fetch_add(1, Ordering::Relaxed)
+}
 
 /// Which interference backend a [`Problem`] should build.
 #[derive(Debug, Clone, Copy, PartialEq, Default, serde::Serialize, serde::Deserialize)]
@@ -62,7 +74,7 @@ impl BackendChoice {
 /// // γ_ε = ln(1/(1−ε)) with the paper's ε = 0.01
 /// assert!((problem.gamma_eps() - (1.0f64 / 0.99).ln()).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct Problem {
     links: LinkSet,
     channel: RayleighChannel,
@@ -72,6 +84,28 @@ pub struct Problem {
     /// Per-link transmit power scales (`None` = uniform, the paper's
     /// model). Factors, feasibility, and the simulator all honor them.
     power_scales: Option<Vec<f64>>,
+    /// Content-snapshot identity: a process-globally unique value
+    /// assigned at construction and replaced by every mutation
+    /// ([`add_links`](Self::add_links) /
+    /// [`remove_links`](Self::remove_links)). Equal stamps imply
+    /// bit-identical content (clones share their source's stamp), so
+    /// [`crate::SchedCtx`] memoization can skip its `O(n)` witness
+    /// compare on a stamp hit. Excluded from `PartialEq`.
+    stamp: u64,
+}
+
+/// Content equality — everything except the [`stamp`](Problem::stamp)
+/// identity (two independently built but bit-identical instances
+/// compare equal).
+impl PartialEq for Problem {
+    fn eq(&self, other: &Self) -> bool {
+        self.links == other.links
+            && self.channel == other.channel
+            && self.epsilon == other.epsilon
+            && self.gamma_eps == other.gamma_eps
+            && self.factors == other.factors
+            && self.power_scales == other.power_scales
+    }
 }
 
 impl Problem {
@@ -179,6 +213,7 @@ impl Problem {
             gamma_eps,
             factors,
             power_scales,
+            stamp: next_stamp(),
         }
     }
 
@@ -220,6 +255,7 @@ impl Problem {
             gamma_eps: self.gamma_eps,
             factors,
             power_scales,
+            stamp: next_stamp(),
         };
         (sub, mapping)
     }
@@ -235,7 +271,131 @@ impl Problem {
     pub fn with_link_rates(&self, rates: &[f64]) -> Problem {
         let mut out = self.clone();
         out.links = self.links.with_rates(rates);
+        out.stamp = next_stamp();
         out
+    }
+
+    /// Appends links to the live instance in place — the inverse of
+    /// [`Problem::restrict`] and the online engine's arrival path (see
+    /// `docs/online.md`). New links take dense ids `n..n+k` in spec
+    /// order. The interference state is *patched*, not rebuilt: the
+    /// dense matrix is relaid in place and only the new rows/columns
+    /// are evaluated; the sparse CSR gets the new links' rows/columns
+    /// via spatial-hash gathers plus an envelope reconcile, with
+    /// certified cuts only ever re-derived by the build formula (so
+    /// truncation bounds stay true and verdicts never flip). The
+    /// mutated instance is bit-identical (`PartialEq`) to a from-scratch
+    /// build over the final link set (`tests/mutate_equivalence.rs`).
+    ///
+    /// On a validation error (duplicate position, bad rate, non-finite
+    /// coordinate) nothing is changed.
+    ///
+    /// # Panics
+    /// Panics on a non-positive or non-finite `power_scale`.
+    pub fn add_links(&mut self, specs: &[LinkSpec]) -> Result<Vec<LinkId>, ValidationError> {
+        let _span = fading_obs::span!("problem.mutate.add");
+        for spec in specs {
+            assert!(
+                spec.power_scale > 0.0 && spec.power_scale.is_finite(),
+                "power scales must be positive finite, got {}",
+                spec.power_scale
+            );
+        }
+        let n0 = self.links.len();
+        let mut ids = Vec::with_capacity(specs.len());
+        for spec in specs {
+            match self.links.append(spec.sender, spec.receiver, spec.rate) {
+                Ok(id) => ids.push(id),
+                Err(e) => {
+                    // Appended links sit at the tail; popping them
+                    // restores the original set exactly. No factor
+                    // state has been touched yet.
+                    while self.links.len() > n0 {
+                        self.links.swap_remove(LinkId(self.links.len() as u32 - 1));
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        // First non-uniform arrival on a uniform instance: materialize
+        // the all-ones profile (bit-identical factors — `scale ≡ 1`
+        // scales by exactly 1.0) so the new scales have a vector to
+        // extend.
+        if self.power_scales.is_none() && specs.iter().any(|s| s.power_scale != 1.0) {
+            self.power_scales = Some(vec![1.0; n0]);
+            if let InterferenceBackend::Sparse(s) = &mut self.factors {
+                s.materialize_powers();
+            }
+        }
+        if let Some(p) = &mut self.power_scales {
+            p.extend(specs.iter().map(|s| s.power_scale));
+        }
+        match &mut self.factors {
+            InterferenceBackend::Dense(m) => {
+                let cells = m.append(&self.links, &self.channel, self.power_scales.as_deref());
+                fading_obs::counter!("problem.mutate.dense_cells").add(cells);
+            }
+            InterferenceBackend::Sparse(s) => {
+                for (spec, &id) in specs.iter().zip(&ids) {
+                    let length = self.links.link(id).length();
+                    let power = self.power_scales.as_ref().map(|p| p[id.index()]);
+                    s.add_link(spec.sender, spec.receiver, length, power);
+                }
+            }
+        }
+        fading_obs::counter!("problem.mutate.add.calls").incr();
+        fading_obs::counter!("problem.mutate.add.links").add(specs.len() as u64);
+        self.stamp = next_stamp();
+        Ok(ids)
+    }
+
+    /// Removes links from the live instance in place — the online
+    /// engine's departure path. Ids are processed in descending order
+    /// after deduplication (so earlier removals cannot renumber later
+    /// victims); each removal has `Vec::swap_remove` semantics — the
+    /// current tail link takes the vacated id. Returns the dense ids in
+    /// the order actually applied, so a [`crate::LinkIdMap`] can mirror
+    /// the renumbering step by step.
+    ///
+    /// The interference state is patched in place (dense: column/row
+    /// swap-remove; sparse: targeted row edits plus an envelope
+    /// reconcile) and is bit-identical to a from-scratch build over the
+    /// surviving links.
+    ///
+    /// # Panics
+    /// Panics if any id is out of range.
+    pub fn remove_links(&mut self, ids: &[LinkId]) -> Vec<LinkId> {
+        let _span = fading_obs::span!("problem.mutate.remove");
+        let mut order: Vec<LinkId> = ids.to_vec();
+        order.sort_unstable_by(|a, b| b.cmp(a));
+        order.dedup();
+        assert!(
+            order.first().is_none_or(|id| id.index() < self.links.len()),
+            "remove_links: id out of range"
+        );
+        for &id in &order {
+            self.links.swap_remove(id);
+            if let Some(p) = &mut self.power_scales {
+                p.swap_remove(id.index());
+            }
+            match &mut self.factors {
+                InterferenceBackend::Dense(m) => m.swap_remove(id.index()),
+                InterferenceBackend::Sparse(s) => s.swap_remove_link(id.index()),
+            }
+        }
+        fading_obs::counter!("problem.mutate.remove.calls").incr();
+        fading_obs::counter!("problem.mutate.remove.links").add(order.len() as u64);
+        self.stamp = next_stamp();
+        order
+    }
+
+    /// The content-snapshot stamp: process-globally unique, replaced on
+    /// every mutation. Equal stamps imply bit-identical problems (the
+    /// converse need not hold), which is what lets [`crate::SchedCtx`]
+    /// memo checks short-circuit their `O(n)` key compare.
+    #[inline]
+    pub fn stamp(&self) -> u64 {
+        self.stamp
     }
 
     /// Rebuilds the instance on `links` (same link count, possibly new

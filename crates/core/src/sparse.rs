@@ -103,11 +103,20 @@ pub struct SparseInterference {
     powers: Option<Vec<f64>>,
     /// Hash over *sender* positions, for neighborhood queries.
     sender_hash: SpatialHash,
-    /// CSR by sender: out-factors of sender `i` live at
-    /// `out_receivers[out_offsets[i]..out_offsets[i+1]]`.
-    out_offsets: Vec<usize>,
-    out_receivers: Vec<u32>,
-    out_factors: Vec<f64>,
+    /// Slack-row CSR by sender: the out-factors of sender `i` occupy
+    /// `arena[row_start[i] .. row_start[i] + row_len[i]]` inside a
+    /// reserved extent of `row_cap[i]` slots. Extents never overlap;
+    /// a fresh build packs them tight (`cap == len`), and in-place
+    /// mutation grows rows by relocating full ones to the arena tail
+    /// (doubling their capacity) — see [`add_link`](Self::add_link).
+    row_start: Vec<usize>,
+    row_len: Vec<u32>,
+    row_cap: Vec<u32>,
+    arena_receivers: Vec<u32>,
+    arena_factors: Vec<f64>,
+    /// Arena slots stranded by row relocation; once more than half the
+    /// arena is dead, [`maybe_compact`](Self::maybe_compact) repacks.
+    dead: usize,
     /// Per-receiver truncation radius (senders within it are stored).
     radius: Vec<f64>,
     /// Per-receiver certified bound on any omitted factor (0 ⇒
@@ -117,25 +126,31 @@ pub struct SparseInterference {
     tau: f64,
     tail_rtol: f64,
     exact: bool,
+    /// Exact bbox diagonal the current radii were clamped with —
+    /// maintained under mutation so reconciled radii stay bit-identical
+    /// to a fresh build's.
+    diameter: f64,
+    /// Exact maximum power scale the current radii were computed with.
+    max_scale: f64,
 }
 
 impl PartialEq for SparseInterference {
     fn eq(&self, other: &Self) -> bool {
-        // The hash is derived from `senders`; everything else is
-        // compared structurally.
+        // The hash, diameter, and max scale are derived from the
+        // geometry; the CSR is compared row by row (logical contents,
+        // not arena layout) so a mutated store with slack extents
+        // equals a freshly packed build with the same stored factors.
         self.n == other.n
             && self.channel == other.channel
             && self.senders == other.senders
             && self.receivers == other.receivers
             && self.lengths == other.lengths
             && self.powers == other.powers
-            && self.out_offsets == other.out_offsets
-            && self.out_receivers == other.out_receivers
-            && self.out_factors == other.out_factors
             && self.radius == other.radius
             && self.cut == other.cut
             && self.tau == other.tau
             && self.tail_rtol == other.tail_rtol
+            && (0..self.n).all(|i| self.row(i) == other.row(i))
     }
 }
 
@@ -196,18 +211,11 @@ impl SparseInterference {
         // diameter, in which case the receiver is exhaustive (cut 0).
         let mut radius = vec![0.0f64; n];
         let mut cut = vec![0.0f64; n];
-        let alpha = channel.params.alpha;
-        let gamma_th = channel.params.gamma_th;
         for j in 0..n {
             let ratio = powers.map_or(1.0, |p| max_scale / p[j]);
-            let r = lengths[j] * (gamma_th * ratio / tau.exp_m1()).powf(1.0 / alpha);
-            if r >= diameter || !r.is_finite() {
-                radius[j] = diameter;
-                cut[j] = 0.0;
-            } else {
-                radius[j] = r;
-                cut[j] = tau;
-            }
+            let (r, c) = truncation_for(channel, lengths[j], ratio, tau, diameter);
+            radius[j] = r;
+            cut[j] = c;
         }
 
         // Hash cell ≈ the typical query radius (performance only;
@@ -250,21 +258,24 @@ impl SparseInterference {
                 degree[i as usize] += 1;
             }
         }
-        let mut out_offsets = vec![0usize; n + 1];
-        for i in 0..n {
-            out_offsets[i + 1] = out_offsets[i] + degree[i];
+        // Fresh rows are packed tight: extent capacity equals length.
+        let mut row_start = vec![0usize; n];
+        for i in 1..n {
+            row_start[i] = row_start[i - 1] + degree[i - 1];
         }
-        let total = out_offsets[n];
-        let mut next = out_offsets.clone();
-        let mut out_receivers = vec![0u32; total];
-        let mut out_factors = vec![0.0f64; total];
+        let total = row_start.last().map_or(0, |&s| s) + degree.last().copied().unwrap_or(0);
+        let row_len: Vec<u32> = degree.iter().map(|&d| d as u32).collect();
+        let row_cap = row_len.clone();
+        let mut next = row_start.clone();
+        let mut arena_receivers = vec![0u32; total];
+        let mut arena_factors = vec![0.0f64; total];
         // Iterating receivers in ascending order leaves every CSR row
         // sorted by receiver id.
         for (j, list) in in_lists.iter().enumerate() {
             for &(i, f) in list {
                 let pos = next[i as usize];
-                out_receivers[pos] = j as u32;
-                out_factors[pos] = f;
+                arena_receivers[pos] = j as u32;
+                arena_factors[pos] = f;
                 next[i as usize] = pos + 1;
             }
         }
@@ -292,15 +303,29 @@ impl SparseInterference {
             lengths,
             powers: powers.map(<[f64]>::to_vec),
             sender_hash,
-            out_offsets,
-            out_receivers,
-            out_factors,
+            row_start,
+            row_len,
+            row_cap,
+            arena_receivers,
+            arena_factors,
+            dead: 0,
             radius,
             cut,
             tau,
             tail_rtol: config.tail_rtol,
             exact,
+            diameter,
+            max_scale,
         }
+    }
+
+    /// Row `i` of the CSR: the stored `(receiver, factor)` pairs of
+    /// sender `i`, sorted by receiver id.
+    #[inline]
+    fn row(&self, i: usize) -> (&[u32], &[f64]) {
+        let lo = self.row_start[i];
+        let hi = lo + self.row_len[i] as usize;
+        (&self.arena_receivers[lo..hi], &self.arena_factors[lo..hi])
     }
 
     /// The sub-store over `keep` (parent link ids, in the
@@ -334,21 +359,43 @@ impl SparseInterference {
         let radius: Vec<f64> = keep.iter().map(|&i| self.radius[i.index()]).collect();
         let cut: Vec<f64> = keep.iter().map(|&i| self.cut[i.index()]).collect();
 
-        let mut out_offsets = Vec::with_capacity(k + 1);
-        out_offsets.push(0usize);
-        let mut out_receivers = Vec::new();
-        let mut out_factors = Vec::new();
+        let mut row_start = Vec::with_capacity(k);
+        let mut row_len = Vec::with_capacity(k);
+        let mut arena_receivers = Vec::new();
+        let mut arena_factors = Vec::new();
+        let mut scratch: Vec<(u32, f64)> = Vec::new();
         for &old in keep {
-            let i = old.index();
-            for pos in self.out_offsets[i]..self.out_offsets[i + 1] {
-                let j = new_id[self.out_receivers[pos] as usize];
+            row_start.push(arena_receivers.len());
+            let (recv, fact) = self.row(old.index());
+            for (&r, &f) in recv.iter().zip(fact) {
+                let j = new_id[r as usize];
                 if j != u32::MAX {
-                    out_receivers.push(j);
-                    out_factors.push(self.out_factors[pos]);
+                    arena_receivers.push(j);
+                    arena_factors.push(f);
                 }
             }
-            out_offsets.push(out_receivers.len());
+            let lo = *row_start.last().unwrap();
+            row_len.push((arena_receivers.len() - lo) as u32);
+            // A non-monotone `keep` permutes receiver ids; re-sort the
+            // row so the sorted-by-receiver CSR invariant (which both
+            // fresh builds and in-place mutation maintain) holds for
+            // every store.
+            if !arena_receivers[lo..].is_sorted() {
+                scratch.clear();
+                scratch.extend(
+                    arena_receivers[lo..]
+                        .iter()
+                        .copied()
+                        .zip(arena_factors[lo..].iter().copied()),
+                );
+                scratch.sort_unstable_by_key(|&(r, _)| r);
+                for (slot, &(r, f)) in scratch.iter().enumerate() {
+                    arena_receivers[lo + slot] = r;
+                    arena_factors[lo + slot] = f;
+                }
+            }
         }
+        let row_cap = row_len.clone();
 
         // The hash cell tracks the sub-instance's typical query radius
         // (performance only; correctness is radius-driven).
@@ -373,14 +420,23 @@ impl SparseInterference {
             lengths,
             powers,
             sender_hash,
-            out_offsets,
-            out_receivers,
-            out_factors,
+            row_start,
+            row_len,
+            row_cap,
+            arena_receivers,
+            arena_factors,
+            dead: 0,
             radius,
             cut,
             tau: self.tau,
             tail_rtol: self.tail_rtol,
             exact,
+            // The sliced radii are the *parent's* formula values, not
+            // the sub-instance's. Poison the envelope so the first
+            // mutation reconciles every radius to the fresh-build
+            // formula before relying on it.
+            diameter: f64::INFINITY,
+            max_scale: f64::INFINITY,
         }
     }
 
@@ -417,14 +473,12 @@ impl SparseInterference {
     }
 
     /// Stored out-factors of `sender` (every omitted receiver `j` has
-    /// `f_{sender,j} < tail_cut(j)`).
+    /// `f_{sender,j} < tail_cut(j)`), in ascending receiver order.
     #[inline]
     pub fn for_each_out(&self, sender: LinkId, f: &mut dyn FnMut(LinkId, f64)) {
-        let i = sender.index();
-        let lo = self.out_offsets[i];
-        let hi = self.out_offsets[i + 1];
-        for k in lo..hi {
-            f(LinkId(self.out_receivers[k]), self.out_factors[k]);
+        let (recv, fact) = self.row(sender.index());
+        for (&j, &v) in recv.iter().zip(fact) {
+            f(LinkId(j), v);
         }
     }
 
@@ -480,9 +534,10 @@ impl SparseInterference {
     /// per-receiver radii/cuts, geometry, and the sender hash's index
     /// entries. The figure the large-n memory budget is checked against.
     pub fn storage_bytes(&self) -> u64 {
-        let csr = self.out_offsets.len() * std::mem::size_of::<usize>()
-            + self.out_receivers.len() * std::mem::size_of::<u32>()
-            + self.out_factors.len() * std::mem::size_of::<f64>();
+        let csr = self.row_start.len() * std::mem::size_of::<usize>()
+            + (self.row_len.len() + self.row_cap.len() + self.arena_receivers.len())
+                * std::mem::size_of::<u32>()
+            + self.arena_factors.len() * std::mem::size_of::<f64>();
         let per_receiver = (self.radius.len() + self.cut.len()) * std::mem::size_of::<f64>();
         let geometry = (self.senders.len() + self.receivers.len()) * std::mem::size_of::<Point2>()
             + self.lengths.len() * std::mem::size_of::<f64>()
@@ -532,6 +587,345 @@ impl SparseInterference {
         8.0 * self.channel.params.gamma_th * ratio * self.lengths[j].powf(alpha) * geometry
             / (lambda * lambda * r.powf(alpha - 2.0))
     }
+
+    // ------------------------------------------------------------------
+    // In-place mutation.
+    //
+    // Invariant maintained by every operation below (and established by
+    // `build_with_powers` / `restrict`): entry `(i, j)` is stored iff
+    // `senders[i].distance_sq(receivers[j]) ≤ radius[j]²` and `i ≠ j`,
+    // with every CSR row sorted by receiver id. Because membership is a
+    // pure predicate of geometry and `radius`, and `radius` is
+    // reconciled to the fresh-build formula whenever the instance
+    // envelope (bbox diameter, max power scale) moves, a mutated store
+    // compares equal (`PartialEq`) to a from-scratch build over the
+    // mutated link set — the property `tests/mutate_equivalence.rs`
+    // pins. Certified cuts can only be *re-derived by the same formula*
+    // (never hand-adjusted), so a truncated receiver's bound stays a
+    // true bound at every intermediate state and feasibility verdicts
+    // never flip (straddles always resolve by exact recomputation).
+    // ------------------------------------------------------------------
+
+    /// Converts a uniform-power store to an explicit all-ones power
+    /// profile without touching any stored state. Safe because
+    /// `scale ≡ 1` evaluates every power-aware expression to the exact
+    /// same bits: `γ_th · (1/1) · x` left-associates to `γ_th · x`
+    /// (the unscaled formula), and the truncation ratio
+    /// `max_scale / p[j]` is `1/1 = 1`, the uniform default. Called by
+    /// `Problem::add_links` when the first non-uniform link arrives.
+    pub(crate) fn materialize_powers(&mut self) {
+        if self.powers.is_none() {
+            self.powers = Some(vec![1.0; self.n]);
+        }
+    }
+
+    /// Appends a link in place: the new link takes index `len()`. Cost
+    /// model (`docs/online.md`): one `O(N)` envelope scan, one hash
+    /// query for the new receiver's in-neighborhood, an `O(N)` receiver
+    /// scan for the new sender's row, plus `O(k)` factor evaluations —
+    /// versus the full `O(N·k)` transcendental rebuild.
+    ///
+    /// `length` must be the link's own sender→receiver distance;
+    /// `power` must be `Some` exactly when the store carries per-link
+    /// power scales.
+    ///
+    /// # Panics
+    /// Panics on a power-profile mismatch.
+    pub fn add_link(&mut self, sender: Point2, receiver: Point2, length: f64, power: Option<f64>) {
+        assert_eq!(
+            power.is_some(),
+            self.powers.is_some(),
+            "power profile mismatch: store and link must agree on scaled power"
+        );
+        let t = self.n;
+        self.senders.push(sender);
+        self.receivers.push(receiver);
+        self.lengths.push(length);
+        if let Some(p) = power {
+            self.powers.as_mut().expect("checked above").push(p);
+        }
+        self.n = t + 1;
+        // Reconcile existing radii against the grown envelope *before*
+        // wiring the new link, so its row/column are gathered under the
+        // final radii. The new sender is not yet in the hash, so any
+        // annulus edits touch only old pairs.
+        self.refresh_envelope();
+        let ratio = self.powers.as_ref().map_or(1.0, |p| self.max_scale / p[t]);
+        let (r, c) = truncation_for(&self.channel, length, ratio, self.tau, self.diameter);
+        self.radius.push(r);
+        self.cut.push(c);
+        // Column t: old senders within the new receiver's radius. The
+        // new receiver id is the maximum, so each insert lands at its
+        // row's tail.
+        let mut col: Vec<u32> = Vec::new();
+        self.sender_hash
+            .for_each_in_radius(&receiver, r, |i| col.push(i));
+        for i in col {
+            let f = pair_factor(
+                &self.channel,
+                &self.senders,
+                &self.receivers,
+                &self.lengths,
+                self.powers.as_deref(),
+                i as usize,
+                t,
+            );
+            self.row_insert(i as usize, t as u32, f);
+        }
+        // Row t: receivers whose radius covers the new sender, scanned
+        // in ascending id order (the row comes out sorted). The scan
+        // uses the same `d² ≤ r²` predicate as the hash query, so
+        // membership matches a fresh build exactly.
+        let lo = self.arena_receivers.len();
+        for j in 0..t {
+            if sender.distance_sq(&self.receivers[j]) <= self.radius[j] * self.radius[j] {
+                let f = pair_factor(
+                    &self.channel,
+                    &self.senders,
+                    &self.receivers,
+                    &self.lengths,
+                    self.powers.as_deref(),
+                    t,
+                    j,
+                );
+                self.arena_receivers.push(j as u32);
+                self.arena_factors.push(f);
+            }
+        }
+        self.row_start.push(lo);
+        let len = (self.arena_receivers.len() - lo) as u32;
+        self.row_len.push(len);
+        self.row_cap.push(len);
+        self.sender_hash.insert(sender);
+        self.exact = self.cut.iter().all(|&c| c == 0.0);
+        self.maybe_compact();
+    }
+
+    /// Removes link `k` in place with `Vec::swap_remove` semantics (the
+    /// link at `len()−1` takes index `k`), mirroring
+    /// [`LinkSet::swap_remove`]. Touches only the rows that actually
+    /// store the removed receiver or the renumbered one — `O(k)` row
+    /// edits plus the `O(N)` envelope scan.
+    ///
+    /// # Panics
+    /// Panics if `k` is out of bounds.
+    pub fn swap_remove_link(&mut self, k: usize) {
+        assert!(k < self.n, "link index out of bounds");
+        let last = self.n - 1;
+        // Drop column k: by the invariant, exactly the senders within
+        // radius[k] of receiver k store an entry onto it.
+        let mut col: Vec<u32> = Vec::new();
+        self.sender_hash
+            .for_each_in_radius(&self.receivers[k], self.radius[k], |i| {
+                if i as usize != k {
+                    col.push(i);
+                }
+            });
+        for i in col {
+            self.row_remove(i as usize, k as u32);
+        }
+        // Row k dies with its extent.
+        self.dead += self.row_cap[k] as usize;
+        // Rename receiver `last` → `k` wherever it is stored. It is the
+        // maximum id, hence at each row's tail; re-seat it at the new
+        // id's sorted position (row k itself is already dead, row last
+        // never stores its own diagonal).
+        if k != last {
+            let mut holders: Vec<u32> = Vec::new();
+            self.sender_hash
+                .for_each_in_radius(&self.receivers[last], self.radius[last], |i| {
+                    let i = i as usize;
+                    if i != last && i != k {
+                        holders.push(i as u32);
+                    }
+                });
+            for i in holders {
+                self.row_rename_tail(i as usize, last as u32, k as u32);
+            }
+        }
+        self.row_start.swap_remove(k);
+        self.row_len.swap_remove(k);
+        self.row_cap.swap_remove(k);
+        self.senders.swap_remove(k);
+        self.receivers.swap_remove(k);
+        self.lengths.swap_remove(k);
+        if let Some(p) = &mut self.powers {
+            p.swap_remove(k);
+        }
+        self.radius.swap_remove(k);
+        self.cut.swap_remove(k);
+        self.sender_hash.swap_remove(k as u32);
+        self.n = last;
+        // Bbox or max power scale may have shrunk; pull every radius
+        // back to the fresh-build formula.
+        self.refresh_envelope();
+        self.exact = self.cut.iter().all(|&c| c == 0.0);
+        self.maybe_compact();
+    }
+
+    /// Truncation radius and cut of receiver `j` under the *current*
+    /// envelope — the same expression `build_with_powers` evaluates, so
+    /// reconciled values are bit-identical to a fresh build's.
+    fn truncation_of(&self, j: usize) -> (f64, f64) {
+        let ratio = self.powers.as_ref().map_or(1.0, |p| self.max_scale / p[j]);
+        truncation_for(
+            &self.channel,
+            self.lengths[j],
+            ratio,
+            self.tau,
+            self.diameter,
+        )
+    }
+
+    /// Recomputes the instance envelope (bbox diameter, max power
+    /// scale) and, if it moved, reconciles every receiver's radius/cut
+    /// to the fresh-build formula — inserting or dropping exactly the
+    /// annulus entries between the old and new radius. Radii whose
+    /// annulus lies beyond the new diameter need no row edits (no pair
+    /// can be that far apart), which makes interior mutations under
+    /// uniform power a pure value update.
+    fn refresh_envelope(&mut self) {
+        let diameter = instance_diameter(&self.senders, &self.receivers);
+        let max_scale = self
+            .powers
+            .as_ref()
+            .map(|p| p.iter().copied().fold(f64::MIN, f64::max))
+            .unwrap_or(1.0);
+        if diameter == self.diameter && max_scale == self.max_scale {
+            return;
+        }
+        self.diameter = diameter;
+        self.max_scale = max_scale;
+        for j in 0..self.radius.len() {
+            let (r, c) = self.truncation_of(j);
+            let old = self.radius[j];
+            if r != old && old.min(r) < diameter {
+                // The annulus between the radii can hold senders; patch
+                // the affected rows. Membership uses the same `d² ≤ r²`
+                // predicate as the build's hash gather.
+                let (old_sq, new_sq) = (old * old, r * r);
+                let mut touched: Vec<u32> = Vec::new();
+                self.sender_hash
+                    .for_each_in_radius(&self.receivers[j], old.max(r), |i| {
+                        if i as usize != j {
+                            let d_sq = self.senders[i as usize].distance_sq(&self.receivers[j]);
+                            if d_sq <= old_sq.max(new_sq) && d_sq > old_sq.min(new_sq) {
+                                touched.push(i);
+                            }
+                        }
+                    });
+                fading_obs::counter("core.sparse.reconcile_edits").add(touched.len() as u64);
+                for i in touched {
+                    if r > old {
+                        let f = pair_factor(
+                            &self.channel,
+                            &self.senders,
+                            &self.receivers,
+                            &self.lengths,
+                            self.powers.as_deref(),
+                            i as usize,
+                            j,
+                        );
+                        self.row_insert(i as usize, j as u32, f);
+                    } else {
+                        self.row_remove(i as usize, j as u32);
+                    }
+                }
+            }
+            self.radius[j] = r;
+            self.cut[j] = c;
+        }
+    }
+
+    /// Inserts `(j, f)` into row `i` at its sorted position, relocating
+    /// a full row to the arena tail with doubled capacity first.
+    fn row_insert(&mut self, i: usize, j: u32, f: f64) {
+        if self.row_len[i] == self.row_cap[i] {
+            self.relocate(i);
+        }
+        let lo = self.row_start[i];
+        let len = self.row_len[i] as usize;
+        let at = lo + self.arena_receivers[lo..lo + len].partition_point(|&x| x < j);
+        debug_assert!(
+            at == lo + len || self.arena_receivers[at] != j,
+            "duplicate entry"
+        );
+        self.arena_receivers.copy_within(at..lo + len, at + 1);
+        self.arena_factors.copy_within(at..lo + len, at + 1);
+        self.arena_receivers[at] = j;
+        self.arena_factors[at] = f;
+        self.row_len[i] += 1;
+    }
+
+    /// Removes receiver `j` from row `i` (which must store it).
+    fn row_remove(&mut self, i: usize, j: u32) {
+        let lo = self.row_start[i];
+        let len = self.row_len[i] as usize;
+        let at = lo + self.arena_receivers[lo..lo + len].partition_point(|&x| x < j);
+        debug_assert_eq!(self.arena_receivers.get(at), Some(&j), "missing entry");
+        self.arena_receivers.copy_within(at + 1..lo + len, at);
+        self.arena_factors.copy_within(at + 1..lo + len, at);
+        self.row_len[i] -= 1;
+    }
+
+    /// Renames row `i`'s tail entry (receiver `old`, the row maximum)
+    /// to `new`, re-seating it at the sorted position.
+    fn row_rename_tail(&mut self, i: usize, old: u32, new: u32) {
+        let lo = self.row_start[i];
+        let len = self.row_len[i] as usize;
+        debug_assert_eq!(
+            self.arena_receivers[lo + len - 1],
+            old,
+            "tail must be the max id"
+        );
+        let f = self.arena_factors[lo + len - 1];
+        let at = lo + self.arena_receivers[lo..lo + len - 1].partition_point(|&x| x < new);
+        self.arena_receivers.copy_within(at..lo + len - 1, at + 1);
+        self.arena_factors.copy_within(at..lo + len - 1, at + 1);
+        self.arena_receivers[at] = new;
+        self.arena_factors[at] = f;
+    }
+
+    /// Moves row `i` to the arena tail with doubled capacity, stranding
+    /// its old extent (counted toward lazy compaction).
+    fn relocate(&mut self, i: usize) {
+        fading_obs::counter("core.sparse.row_relocations").incr();
+        let lo = self.row_start[i];
+        let len = self.row_len[i] as usize;
+        let cap = (self.row_cap[i] as usize * 2).max(4);
+        let new_lo = self.arena_receivers.len();
+        self.arena_receivers.resize(new_lo + cap, 0);
+        self.arena_factors.resize(new_lo + cap, 0.0);
+        self.arena_receivers.copy_within(lo..lo + len, new_lo);
+        self.arena_factors.copy_within(lo..lo + len, new_lo);
+        self.dead += self.row_cap[i] as usize;
+        self.row_start[i] = new_lo;
+        self.row_cap[i] = cap as u32;
+    }
+
+    /// Repacks the arena once more than half of it is dead — amortized
+    /// `O(stored)` across many mutations, never on the per-mutation hot
+    /// path for healthy stores.
+    fn maybe_compact(&mut self) {
+        if self.dead == 0 || self.dead * 2 <= self.arena_receivers.len() {
+            return;
+        }
+        fading_obs::counter("core.sparse.compactions").incr();
+        let live: usize = self.row_len.iter().map(|&l| l as usize).sum();
+        let mut recv = Vec::with_capacity(live);
+        let mut fact = Vec::with_capacity(live);
+        for i in 0..self.n {
+            let lo = self.row_start[i];
+            let len = self.row_len[i] as usize;
+            self.row_start[i] = recv.len();
+            self.row_cap[i] = self.row_len[i];
+            recv.extend_from_slice(&self.arena_receivers[lo..lo + len]);
+            fact.extend_from_slice(&self.arena_factors[lo..lo + len]);
+        }
+        self.arena_receivers = recv;
+        self.arena_factors = fact;
+        self.dead = 0;
+    }
 }
 
 impl InterferenceModel for SparseInterference {
@@ -560,7 +954,7 @@ impl InterferenceModel for SparseInterference {
     }
 
     fn stored_factors(&self) -> u64 {
-        self.out_factors.len() as u64
+        self.row_len.iter().map(|&l| l as u64).sum()
     }
 }
 
@@ -582,6 +976,29 @@ fn pair_factor(
     match powers {
         None => channel.interference_factor(d_ij, d_jj),
         Some(p) => channel.interference_factor_scaled(d_ij, d_jj, p[i], p[j]),
+    }
+}
+
+/// Per-receiver truncation radius and certified cut: the distance at
+/// which the worst-case factor onto a receiver of length `d_jj` drops
+/// to `τ`, clamped to the instance diameter (⇒ exhaustive, cut 0). The
+/// single code path `build_with_powers` and the in-place mutation
+/// reconcile share, so mutated radii are bit-identical to fresh ones.
+#[inline]
+fn truncation_for(
+    channel: &RayleighChannel,
+    length: f64,
+    power_ratio: f64,
+    tau: f64,
+    diameter: f64,
+) -> (f64, f64) {
+    let alpha = channel.params.alpha;
+    let gamma_th = channel.params.gamma_th;
+    let r = length * (gamma_th * power_ratio / tau.exp_m1()).powf(1.0 / alpha);
+    if r >= diameter || !r.is_finite() {
+        (diameter, 0.0)
+    } else {
+        (r, tau)
     }
 }
 
@@ -756,6 +1173,117 @@ mod tests {
         assert_eq!(s.len(), 1);
         assert_eq!(InterferenceModel::stored_factors(&s), 0);
         assert_eq!(s.factor(LinkId(0), LinkId(0)), 0.0);
+    }
+
+    /// Fresh build over the same geometry, for mutation-parity checks.
+    fn rebuild_of(s: &SparseInterference) -> SparseInterference {
+        let links: Vec<fading_net::Link> = (0..s.n)
+            .map(|i| fading_net::Link::new(LinkId(i as u32), s.senders[i], s.receivers[i], 1.0))
+            .collect();
+        let region = fading_geom::Rect::square(1e6);
+        SparseInterference::build_with_powers(
+            &LinkSet::new(region, links),
+            &s.channel,
+            s.powers.as_deref(),
+            s.tau / s.tail_rtol,
+            SparseConfig {
+                tail_rtol: s.tail_rtol,
+            },
+        )
+    }
+
+    #[test]
+    fn add_and_remove_match_fresh_build() {
+        for rtol in [SparseConfig::DEFAULT_TAIL_RTOL, 0.5] {
+            let full = UniformGenerator::paper(90).generate(17);
+            let channel = RayleighChannel::new(ChannelParams::paper_defaults());
+            let head = {
+                let keep: Vec<LinkId> = (0..60).map(LinkId).collect();
+                full.restrict(&keep).0
+            };
+            let mut s = SparseInterference::build(
+                &head,
+                &channel,
+                gamma_eps(0.01),
+                SparseConfig { tail_rtol: rtol },
+            );
+            for t in 60..90 {
+                let l = full.link(LinkId(t));
+                s.add_link(l.sender, l.receiver, l.length(), None);
+                if t % 9 == 0 || t == 89 {
+                    assert_eq!(s, rebuild_of(&s), "rtol {rtol} after add {t}");
+                }
+            }
+            // Interleave removals (interior, tail, repeated) with adds.
+            for k in [3usize, 88, 0, 40, 40] {
+                s.swap_remove_link(k);
+                assert_eq!(s, rebuild_of(&s), "rtol {rtol} after remove {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn powered_mutation_reconciles_the_envelope() {
+        // Adding a higher-power link grows every receiver's truncation
+        // radius (annulus inserts); removing it shrinks them back
+        // (annulus removals). Both must land exactly on the fresh
+        // build. A coarse cut keeps the store truncated so the
+        // envelope actually moves.
+        let links = UniformGenerator::paper(70).generate(18);
+        let channel = RayleighChannel::new(ChannelParams::paper_defaults());
+        let powers: Vec<f64> = (0..70).map(|i| 0.5 + (i % 4) as f64 * 0.25).collect();
+        let mut s = SparseInterference::build_with_powers(
+            &links,
+            &channel,
+            Some(&powers),
+            gamma_eps(0.01),
+            SparseConfig { tail_rtol: 0.5 },
+        );
+        assert!(!InterferenceModel::is_exact(&s), "0.5·γ_ε must truncate");
+        let extra = UniformGenerator::paper(80).generate(19);
+        let l = extra.link(LinkId(75));
+        s.add_link(l.sender, l.receiver, l.length(), Some(4.0));
+        assert_eq!(s, rebuild_of(&s), "after high-power add");
+        s.swap_remove_link(70);
+        assert_eq!(s, rebuild_of(&s), "after high-power remove");
+    }
+
+    #[test]
+    fn mutation_after_restrict_reconciles_sliced_radii() {
+        // Restricted stores inherit the parent's radii; the first
+        // mutation must pull them back to the sub-instance formula
+        // before extending the store.
+        let links = UniformGenerator::paper(80).generate(20);
+        let channel = RayleighChannel::new(ChannelParams::paper_defaults());
+        let parent = SparseInterference::build(
+            &links,
+            &channel,
+            gamma_eps(0.01),
+            SparseConfig { tail_rtol: 0.5 },
+        );
+        let keep: Vec<LinkId> = (0..60).map(LinkId).collect();
+        let mut sub = parent.restrict(&keep);
+        let l = links.link(LinkId(72));
+        sub.add_link(l.sender, l.receiver, l.length(), None);
+        assert_eq!(sub, rebuild_of(&sub));
+    }
+
+    #[test]
+    fn drain_and_refill() {
+        let links = UniformGenerator::paper(25).generate(21);
+        let channel = RayleighChannel::new(ChannelParams::paper_defaults());
+        let mut s =
+            SparseInterference::build(&links, &channel, gamma_eps(0.01), SparseConfig::default());
+        while !s.is_empty() {
+            s.swap_remove_link(s.len() / 2);
+        }
+        assert!(s.is_empty());
+        for i in 0..25 {
+            let l = links.link(LinkId(i));
+            s.add_link(l.sender, l.receiver, l.length(), None);
+        }
+        assert_eq!(s, rebuild_of(&s));
+        assert!(InterferenceModel::stored_factors(&s) > 0);
     }
 
     #[test]

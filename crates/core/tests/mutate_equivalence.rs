@@ -1,0 +1,269 @@
+//! Mutation substrate equivalence (the online-engine contract, see
+//! `docs/online.md`).
+//!
+//! `Problem::add_links` / `Problem::remove_links` patch a live
+//! instance's interference state in place — dense matrix relayout,
+//! sparse CSR row edits plus an envelope reconcile. These properties
+//! pin that a mutated instance is *indistinguishable* from a
+//! from-scratch build over the final link set: `PartialEq` (which
+//! compares every stored factor bit-for-bit), schedules from a warm
+//! reused `SchedCtx`, and feasibility verdicts, across backends,
+//! path-loss exponents, truncation policies, and non-uniform powers —
+//! including the uniform→powered profile transition mid-sequence.
+
+use fading_channel::ChannelParams;
+use fading_core::algo::{GreedyRate, Ldp, Rle};
+use fading_core::feasibility::is_feasible;
+use fading_core::{BackendChoice, LinkSpec, Problem, SchedCtx, Scheduler, SparseConfig};
+use fading_geom::Point2;
+use fading_net::{LinkId, LinkSet, TopologyGenerator, UniformGenerator};
+use proptest::prelude::*;
+
+const ALPHAS: [f64; 3] = [2.5, 3.0, 4.0];
+/// Exhaustive-at-paper-scale and genuinely-truncating cuts.
+const TAIL_RTOLS: [f64; 2] = [1e-3, 5e-1];
+
+/// A starting instance under the requested backend and power model.
+fn initial(n: usize, seed: u64, alpha: f64, backend: BackendChoice, powered: bool) -> Problem {
+    let links = UniformGenerator::paper(n).generate(seed);
+    let params = ChannelParams::with_alpha(alpha);
+    if powered {
+        let scales: Vec<f64> = (0..n).map(|i| 0.5 + (i % 5) as f64 * 0.375).collect();
+        Problem::builder(links, params)
+            .power_scales(scales)
+            .backend(backend)
+            .build()
+    } else {
+        Problem::builder(links, params).backend(backend).build()
+    }
+}
+
+/// A from-scratch build over the mutated problem's current link set
+/// and power scales — the path the in-place mutation replaces.
+fn rebuild(p: &Problem) -> Problem {
+    let links = LinkSet::new(*p.links().region(), p.links().links().to_vec());
+    let builder = Problem::builder(links, *p.params())
+        .epsilon(p.epsilon())
+        .backend(p.backend_choice());
+    match p.power_scales() {
+        Some(scales) => builder.power_scales(scales.to_vec()).build(),
+        None => builder.build(),
+    }
+}
+
+/// One mutation op decoded from proptest payload: `(kind, x, y, w)`.
+/// kind 0/1 → add a link (sender from `(x, y)`, receiver nudged by a
+/// `w`-derived offset), kind 2 → remove a `w`-derived victim. Kind 1
+/// adds with a non-uniform power scale, exercising the
+/// uniform→materialized profile transition when the instance started
+/// without power control.
+type Op = (u8, f64, f64, f64);
+
+fn apply(problem: &mut Problem, op: Op, tag: usize) {
+    let (kind, x, y, w) = op;
+    match kind {
+        2 if problem.len() > 1 => {
+            let victim = LinkId((w.to_bits() % problem.len() as u64) as u32);
+            problem.remove_links(&[victim]);
+        }
+        2 => {} // never empty the instance
+        _ => {
+            let sender = Point2::new(x, y);
+            // Short link, receiver strictly inside the paper region.
+            let receiver = Point2::new(
+                (x + 1.0 + (w % 7.0)).min(999.75),
+                (y + 0.5 + tag as f64 * 0.125).min(999.25),
+            );
+            let spec = LinkSpec::new(sender, receiver).with_rate(1.0 + (w % 3.0));
+            let spec = if kind == 1 {
+                spec.with_power_scale(0.5 + (w % 4.0) * 0.375)
+            } else {
+                spec
+            };
+            // Coincident positions are rejected with the instance
+            // unchanged — a legal no-op for this property.
+            let _ = problem.add_links(&[spec]);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// After every op in a random add/remove interleaving, the mutated
+    /// instance compares bit-identical (`PartialEq` covers all stored
+    /// factors, radii, and cuts) to a from-scratch build, a warm
+    /// reused ctx schedules it identically to a fresh one (mutation
+    /// epochs invalidate the memos), and feasibility verdicts agree.
+    #[test]
+    fn mutate_equals_rebuild_at_every_step(
+        n in 4usize..24,
+        seed in 0u64..5_000,
+        alpha_idx in 0usize..3,
+        rtol_idx in 0usize..2,
+        sparse_bit in 0usize..2,
+        powered_bit in 0usize..2,
+        ops in proptest::collection::vec(
+            (0u8..3, 0.0f64..998.0, 0.0f64..998.0, 0.0f64..100.0),
+            1..12,
+        ),
+    ) {
+        let backend = if sparse_bit == 1 {
+            BackendChoice::Sparse(SparseConfig { tail_rtol: TAIL_RTOLS[rtol_idx] })
+        } else {
+            BackendChoice::Dense
+        };
+        let mut problem = initial(n, seed, ALPHAS[alpha_idx], backend, powered_bit == 1);
+        let mut ctx = SchedCtx::new();
+        let schedulers: [&dyn Scheduler; 3] = [&Rle::new(), &Ldp::new(), &GreedyRate];
+        // Warm the ctx memos on the pre-mutation instance so stale
+        // cached state is live when the first mutation lands.
+        schedulers[0].schedule_in(&problem, &mut ctx);
+
+        for (tag, &op) in ops.iter().enumerate() {
+            apply(&mut problem, op, tag);
+            let rebuilt = rebuild(&problem);
+            prop_assert_eq!(&problem, &rebuilt, "state diverged after op {}", tag);
+            // Rotate one scheduler per op (all three at the end).
+            let s = schedulers[tag % schedulers.len()];
+            let warm = s.schedule_in(&problem, &mut ctx);
+            let fresh = s.schedule(&rebuilt);
+            prop_assert_eq!(&warm, &fresh, "{} diverged after op {}", s.name(), tag);
+            prop_assert_eq!(
+                is_feasible(&problem, &warm),
+                is_feasible(&rebuilt, &warm),
+                "verdict flipped after op {}", tag
+            );
+        }
+        for s in schedulers {
+            let rebuilt = rebuild(&problem);
+            let warm = s.schedule_in(&problem, &mut ctx);
+            prop_assert_eq!(&warm, &s.schedule(&rebuilt), "{} diverged at end", s.name());
+        }
+    }
+
+    /// Cross-backend verdict agreement after mutation: the sparse
+    /// store's certified verdicts (truncation cuts and all) match the
+    /// exact dense verdicts on the same mutated link set — truncated
+    /// bounds stay true bounds through every patch, so verdicts never
+    /// flip.
+    #[test]
+    fn sparse_verdicts_match_dense_after_mutation(
+        n in 4usize..20,
+        seed in 0u64..5_000,
+        alpha_idx in 0usize..3,
+        rtol_idx in 0usize..2,
+        ops in proptest::collection::vec(
+            (0u8..3, 0.0f64..998.0, 0.0f64..998.0, 0.0f64..100.0),
+            1..10,
+        ),
+    ) {
+        let params = ChannelParams::with_alpha(ALPHAS[alpha_idx]);
+        let links = UniformGenerator::paper(n).generate(seed);
+        let mut dense = Problem::builder(links.clone(), params).build();
+        let mut sparse = Problem::builder(links, params)
+            .backend(BackendChoice::Sparse(SparseConfig { tail_rtol: TAIL_RTOLS[rtol_idx] }))
+            .build();
+        for (tag, &op) in ops.iter().enumerate() {
+            apply(&mut dense, op, tag);
+            apply(&mut sparse, op, tag);
+            prop_assert_eq!(dense.links(), sparse.links());
+            // Every pairwise factor is exact under both backends.
+            for a in dense.links().ids() {
+                for b in dense.links().ids() {
+                    prop_assert_eq!(
+                        dense.factor(a, b).to_bits(),
+                        sparse.factor(a, b).to_bits(),
+                        "f({},{}) diverged after op {}", a.index(), b.index(), tag
+                    );
+                }
+            }
+            let every_other = fading_core::Schedule::from_ids(
+                dense.links().ids().filter(|id| id.index() % 2 == 0),
+            );
+            prop_assert_eq!(
+                is_feasible(&dense, &every_other),
+                is_feasible(&sparse, &every_other),
+                "verdict flipped after op {}", tag
+            );
+        }
+    }
+}
+
+/// Batch semantics and error atomicity: ids come back in spec order,
+/// a mid-batch validation error leaves the instance untouched, and
+/// `remove_links` reports the descending order it applied.
+#[test]
+fn batch_api_contract() {
+    let mut p = Problem::paper(UniformGenerator::paper(6).generate(9), 3.0);
+    let before = p.clone();
+    let stamp_before = p.stamp();
+
+    let specs = [
+        LinkSpec::new(Point2::new(10.0, 10.0), Point2::new(12.0, 10.0)),
+        LinkSpec::new(Point2::new(20.0, 10.0), Point2::new(22.0, 10.0)).with_rate(2.0),
+    ];
+    let ids = p.add_links(&specs).unwrap();
+    assert_eq!(ids, vec![LinkId(6), LinkId(7)]);
+    assert_eq!(p.len(), 8);
+    assert_ne!(p.stamp(), stamp_before, "mutation must move the stamp");
+    assert_eq!(p.rate(LinkId(7)), 2.0);
+
+    // Second spec duplicates the first's sender: nothing is applied.
+    let bad = [
+        LinkSpec::new(Point2::new(30.0, 10.0), Point2::new(32.0, 10.0)),
+        LinkSpec::new(Point2::new(30.0, 10.0), Point2::new(34.0, 10.0)),
+    ];
+    let snapshot = p.clone();
+    assert!(p.add_links(&bad).is_err());
+    assert_eq!(p, snapshot, "failed batch must be a no-op");
+
+    // Duplicate ids are applied once, in descending order.
+    let order = p.remove_links(&[LinkId(7), LinkId(6), LinkId(7)]);
+    assert_eq!(order, vec![LinkId(7), LinkId(6)]);
+    assert_eq!(p, before, "add then remove must round-trip");
+}
+
+/// The uniform→powered transition materializes an all-ones profile
+/// bit-identically: factors over the pre-existing links are unchanged.
+#[test]
+fn power_profile_materialization_is_exact() {
+    for backend in [
+        BackendChoice::Dense,
+        BackendChoice::Sparse(SparseConfig::default()),
+    ] {
+        let links = UniformGenerator::paper(12).generate(11);
+        let mut p = Problem::builder(links, ChannelParams::with_alpha(3.0))
+            .backend(backend)
+            .build();
+        let uniform = p.clone();
+        assert!(p.power_scales().is_none());
+        let ids = p
+            .add_links(&[
+                LinkSpec::new(Point2::new(500.0, 500.0), Point2::new(503.0, 500.0))
+                    .with_power_scale(2.5),
+            ])
+            .unwrap();
+        let scales = p.power_scales().expect("profile must materialize");
+        assert_eq!(scales.len(), 13);
+        assert!(scales[..12].iter().all(|&s| s == 1.0));
+        assert_eq!(scales[12], 2.5);
+        for a in uniform.links().ids() {
+            for b in uniform.links().ids() {
+                assert_eq!(
+                    p.factor(a, b).to_bits(),
+                    uniform.factor(a, b).to_bits(),
+                    "pre-existing factors must not move"
+                );
+            }
+        }
+        // And the whole state still equals a from-scratch powered build.
+        assert_eq!(p, rebuild(&p));
+        p.remove_links(&ids);
+        assert_eq!(
+            p.power_scales(),
+            Some(vec![1.0; 12].as_slice()),
+            "profile stays materialized after the powered link leaves"
+        );
+    }
+}

@@ -11,7 +11,11 @@ use crate::point::Point2;
 use std::collections::HashMap;
 
 /// A static spatial hash over indexed points.
-#[derive(Debug, Clone)]
+///
+/// Equality is structural (same cell size, buckets, and points) — used
+/// by tests to certify that in-place mutation leaves the index
+/// indistinguishable from a fresh [`build`](Self::build).
+#[derive(Debug, Clone, PartialEq)]
 pub struct SpatialHash {
     cell: f64,
     buckets: HashMap<(i64, i64), Vec<u32>>,
@@ -48,6 +52,67 @@ impl SpatialHash {
     #[inline]
     fn key(p: &Point2, cell: f64) -> (i64, i64) {
         ((p.x / cell).floor() as i64, (p.y / cell).floor() as i64)
+    }
+
+    /// Appends a point in place and returns its index (`len() - 1`).
+    ///
+    /// Equivalent to rebuilding over the extended point array: the new
+    /// index is the largest, so pushing it keeps every bucket in
+    /// ascending index order — exactly what [`build`](Self::build)
+    /// produces.
+    pub fn insert(&mut self, p: Point2) -> u32 {
+        let idx = self.points.len() as u32;
+        self.points.push(p);
+        self.buckets
+            .entry(Self::key(&p, self.cell))
+            .or_default()
+            .push(idx);
+        idx
+    }
+
+    /// Removes point `i` in place with `Vec::swap_remove` semantics:
+    /// the point previously at index `len() - 1` takes index `i`.
+    ///
+    /// The structure afterwards is indistinguishable from a fresh
+    /// [`build`](Self::build) over the mutated point array (ascending
+    /// index order within every bucket, no empty buckets), so query
+    /// results and visit order match a rebuild bit for bit.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of bounds.
+    pub fn swap_remove(&mut self, i: u32) {
+        let last = (self.points.len() - 1) as u32;
+        remove_from_bucket(
+            &mut self.buckets,
+            Self::key(&self.points[i as usize], self.cell),
+            i,
+        );
+        if i != last {
+            // The moved point keeps its cell; only its index changes.
+            // Its entry is the bucket maximum (ascending order), so it
+            // sits at the tail: pull it out and reinsert at the new
+            // index's sorted position.
+            let key = Self::key(&self.points[last as usize], self.cell);
+            let bucket = self
+                .buckets
+                .get_mut(&key)
+                .expect("moved point must be indexed");
+            debug_assert_eq!(bucket.last(), Some(&last));
+            bucket.pop();
+            let at = bucket.partition_point(|&x| x < i);
+            bucket.insert(at, i);
+        }
+        self.points.swap_remove(i as usize);
+    }
+
+    /// The bucket side length the index was built with.
+    pub fn cell(&self) -> f64 {
+        self.cell
+    }
+
+    /// The indexed points, in index order.
+    pub fn points(&self) -> &[Point2] {
+        &self.points
     }
 
     /// Number of indexed points.
@@ -154,6 +219,20 @@ impl SpatialHash {
     }
 }
 
+/// Removes index `value` from the (ascending) bucket at `key`,
+/// dropping the bucket when it empties — a fresh build allocates no
+/// empty buckets, and `SpatialHash::swap_remove` promises structural
+/// equality with one.
+fn remove_from_bucket(buckets: &mut HashMap<(i64, i64), Vec<u32>>, key: (i64, i64), value: u32) {
+    let bucket = buckets.get_mut(&key).expect("point must be indexed");
+    let at = bucket.partition_point(|&x| x < value);
+    debug_assert_eq!(bucket.get(at), Some(&value));
+    bucket.remove(at);
+    if bucket.is_empty() {
+        buckets.remove(&key);
+    }
+}
+
 /// A reusable spatial index: the same radius-query semantics as
 /// [`SpatialHash`], backed by buffers that survive rebuilds.
 ///
@@ -256,6 +335,81 @@ impl SpatialGrid {
     /// Whether the index is empty.
     pub fn is_empty(&self) -> bool {
         self.points.is_empty()
+    }
+
+    /// Appends a point in place — the incremental counterpart of a full
+    /// [`rebuild`](Self::rebuild) over the extended array. The new index
+    /// is the maximum, so placing it at the end of its cell's CSR
+    /// segment keeps the segment ascending, which is the property the
+    /// bucket-order equivalence contract with [`SpatialHash`] rests on.
+    /// Cost: one `memmove` of the items tail plus an offset walk —
+    /// no rehash of existing points.
+    ///
+    /// # Panics
+    /// Panics unless the grid was built (or rebuilt) at least once —
+    /// the cell size comes from that build.
+    pub fn insert(&mut self, p: Point2) -> u32 {
+        assert!(
+            self.cell.is_finite() && self.cell > 0.0,
+            "insert requires a prior rebuild (cell size unset)"
+        );
+        let idx = self.points.len() as u32;
+        self.points.push(p);
+        let key = SpatialHash::key(&p, self.cell);
+        match self.slots.get(&key) {
+            Some(&slot) => {
+                let at = self.starts[slot as usize + 1] as usize;
+                self.items.insert(at, idx);
+                for s in &mut self.starts[slot as usize + 1..] {
+                    *s += 1;
+                }
+            }
+            None => {
+                // A brand-new cell gets the next CSR slot, whose
+                // segment sits at the very end of `items`.
+                self.slots.insert(key, self.slots.len() as u32);
+                self.items.push(idx);
+                self.starts.push(self.items.len() as u32);
+            }
+        }
+        idx
+    }
+
+    /// Removes point `i` in place with `Vec::swap_remove` semantics
+    /// (the point at `len() - 1` takes index `i`), mirroring
+    /// [`SpatialHash::swap_remove`]: every cell segment stays in
+    /// ascending index order, so queries keep visiting points in the
+    /// exact order a fresh build would. Emptied cells keep their (now
+    /// zero-width) CSR slot — harmless to queries, reclaimed by the
+    /// next full rebuild.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of bounds.
+    pub fn swap_remove(&mut self, i: u32) {
+        let last = (self.points.len() - 1) as u32;
+        // Drop `i` from its segment.
+        let key = SpatialHash::key(&self.points[i as usize], self.cell);
+        let slot = self.slots[&key] as usize;
+        let (lo, hi) = (self.starts[slot] as usize, self.starts[slot + 1] as usize);
+        let at = lo + self.items[lo..hi].partition_point(|&x| x < i);
+        debug_assert_eq!(self.items.get(at), Some(&i));
+        self.items.remove(at);
+        for s in &mut self.starts[slot + 1..] {
+            *s -= 1;
+        }
+        if i != last {
+            // Rename `last` → `i` inside its segment: the entry is the
+            // segment maximum (tail position); reinsert at the new
+            // index's sorted position within the same segment.
+            let key = SpatialHash::key(&self.points[last as usize], self.cell);
+            let slot = self.slots[&key] as usize;
+            let (lo, hi) = (self.starts[slot] as usize, self.starts[slot + 1] as usize);
+            debug_assert_eq!(self.items.get(hi - 1), Some(&last));
+            let at = lo + self.items[lo..hi - 1].partition_point(|&x| x < i);
+            self.items[at..hi].rotate_right(1);
+            self.items[at] = i;
+        }
+        self.points.swap_remove(i as usize);
     }
 
     /// Calls `f` for each point index within `radius` of `center`, in
@@ -461,6 +615,150 @@ mod tests {
             let mut got = hash.query_radius(&c, r);
             got.sort_unstable();
             prop_assert_eq!(got, brute_force_radius(&pts, &c, r));
+        }
+    }
+
+    /// The mutation contract: after any interleaving of inserts and
+    /// swap-removes, both structures must be indistinguishable from a
+    /// fresh build over the mutated point array — same members *and*
+    /// the same visit order, since schedulers depend on order for
+    /// bit-identical results.
+    fn assert_matches_fresh_build(
+        hash: &SpatialHash,
+        grid: &SpatialGrid,
+        pts: &[Point2],
+        cell: f64,
+        seed: u64,
+    ) {
+        assert_eq!(hash.points(), pts);
+        let fresh = SpatialHash::build(pts, cell);
+        assert_eq!(hash, &fresh, "mutated hash differs from fresh build");
+        for (i, c) in random_points(20, seed).iter().enumerate() {
+            let r = 0.5 + (i as f64) % 30.0;
+            let mut want = Vec::new();
+            fresh.for_each_in_radius(c, r, |id| want.push(id));
+            let mut from_hash = Vec::new();
+            hash.for_each_in_radius(c, r, |id| from_hash.push(id));
+            assert_eq!(from_hash, want, "hash order diverged at {c:?} r {r}");
+            let mut from_grid = Vec::new();
+            grid.for_each_in_radius(c, r, |id| from_grid.push(id));
+            assert_eq!(from_grid, want, "grid order diverged at {c:?} r {r}");
+        }
+    }
+
+    #[test]
+    fn insert_matches_fresh_build() {
+        let cell = 6.0;
+        let mut pts = random_points(60, 21);
+        let mut hash = SpatialHash::build(&pts, cell);
+        let mut grid = SpatialGrid::new();
+        grid.rebuild(&pts, cell);
+        for (k, p) in random_points(40, 22).into_iter().enumerate() {
+            let got_h = hash.insert(p);
+            let got_g = grid.insert(p);
+            assert_eq!(got_h as usize, pts.len());
+            assert_eq!(got_g, got_h);
+            pts.push(p);
+            if k % 7 == 0 {
+                assert_matches_fresh_build(&hash, &grid, &pts, cell, 23 + k as u64);
+            }
+        }
+        assert_matches_fresh_build(&hash, &grid, &pts, cell, 99);
+    }
+
+    #[test]
+    fn swap_remove_matches_fresh_build() {
+        let cell = 6.0;
+        let mut pts = random_points(80, 31);
+        let mut hash = SpatialHash::build(&pts, cell);
+        let mut grid = SpatialGrid::new();
+        grid.rebuild(&pts, cell);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(32);
+        for k in 0..60 {
+            let i = rng.gen_range(0..pts.len()) as u32;
+            hash.swap_remove(i);
+            grid.swap_remove(i);
+            pts.swap_remove(i as usize);
+            if k % 7 == 0 {
+                assert_matches_fresh_build(&hash, &grid, &pts, cell, 33 + k as u64);
+            }
+        }
+        assert_matches_fresh_build(&hash, &grid, &pts, cell, 98);
+    }
+
+    #[test]
+    fn swap_remove_down_to_empty() {
+        let cell = 3.0;
+        let mut pts = random_points(17, 41);
+        let mut hash = SpatialHash::build(&pts, cell);
+        let mut grid = SpatialGrid::new();
+        grid.rebuild(&pts, cell);
+        while !pts.is_empty() {
+            let i = (pts.len() / 2) as u32;
+            hash.swap_remove(i);
+            grid.swap_remove(i);
+            pts.swap_remove(i as usize);
+            assert_matches_fresh_build(&hash, &grid, &pts, cell, pts.len() as u64);
+        }
+        assert!(hash.buckets.is_empty(), "empty buckets must be dropped");
+        // Refill after draining: mutation must not wedge the structures.
+        for p in random_points(9, 42) {
+            hash.insert(p);
+            grid.insert(p);
+            pts.push(p);
+        }
+        assert_matches_fresh_build(&hash, &grid, &pts, cell, 43);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        /// Satellite: interleaved insert/remove/query against a naive
+        /// reference (plain point vector + brute-force scan). Ops are
+        /// driven by a byte script so shrinking yields minimal
+        /// counterexample sequences.
+        #[test]
+        fn mutation_interleaving_matches_naive(
+            seed in 0u64..1000,
+            n0 in 0usize..40,
+            cell in 0.5f64..15.0,
+            ops in proptest::collection::vec((0u8..3, 0.0f64..100.0, 0.0f64..100.0, 0.0f64..60.0), 1..60),
+        ) {
+            let mut pts = random_points(n0, seed);
+            let mut hash = SpatialHash::build(&pts, cell);
+            let mut grid = SpatialGrid::new();
+            grid.rebuild(&pts, cell);
+            for (op, x, y, r) in ops {
+                match op {
+                    0 => {
+                        let p = Point2::new(x, y);
+                        hash.insert(p);
+                        grid.insert(p);
+                        pts.push(p);
+                    }
+                    1 if !pts.is_empty() => {
+                        // Derive the victim index from the coordinate
+                        // payload so shrinking stays meaningful.
+                        let i = ((x / 100.0) * pts.len() as f64) as u32;
+                        let i = i.min(pts.len() as u32 - 1);
+                        hash.swap_remove(i);
+                        grid.swap_remove(i);
+                        pts.swap_remove(i as usize);
+                    }
+                    _ => {
+                        let c = Point2::new(x, y);
+                        let mut got = hash.query_radius(&c, r);
+                        got.sort_unstable();
+                        prop_assert_eq!(got, brute_force_radius(&pts, &c, r));
+                        let mut from_grid = Vec::new();
+                        grid.for_each_in_radius(&c, r, |id| from_grid.push(id));
+                        let mut from_hash = Vec::new();
+                        hash.for_each_in_radius(&c, r, |id| from_hash.push(id));
+                        prop_assert_eq!(from_grid, from_hash);
+                    }
+                }
+            }
+            let fresh = SpatialHash::build(&pts, cell);
+            prop_assert_eq!(&hash, &fresh);
         }
     }
 }

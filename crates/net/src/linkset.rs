@@ -187,6 +187,66 @@ impl LinkSet {
         }
     }
 
+    /// Appends a link in place and returns its id (`len() - 1` after
+    /// the call). The caller supplies sender/receiver/rate; the id is
+    /// assigned here so the dense `id == index` invariant cannot be
+    /// violated. Runs the same per-link checks as [`try_new`]
+    /// (finite coordinates, nonzero length, positive rate) plus an
+    /// `O(N)` duplicate-position scan against existing links.
+    ///
+    /// Incremental counterpart of rebuilding via [`new`](Self::new)
+    /// over the extended link vector.
+    pub fn append(
+        &mut self,
+        sender: Point2,
+        receiver: Point2,
+        rate: f64,
+    ) -> Result<LinkId, crate::error::ValidationError> {
+        use crate::error::ValidationError as E;
+        let id = LinkId(self.links.len() as u32);
+        if !(sender.x.is_finite()
+            && sender.y.is_finite()
+            && receiver.x.is_finite()
+            && receiver.y.is_finite())
+        {
+            return Err(E::NonFiniteCoordinate(id));
+        }
+        if sender.distance_sq(&receiver) == 0.0 {
+            return Err(E::ZeroLengthLink(id));
+        }
+        if !(rate.is_finite() && rate > 0.0) {
+            return Err(E::BadRate { id, rate });
+        }
+        let (ks, kr) = (position_key(&sender), position_key(&receiver));
+        for l in &self.links {
+            if position_key(&l.sender) == ks {
+                return Err(E::DuplicateSender(l.id, id));
+            }
+            if position_key(&l.receiver) == kr {
+                return Err(E::DuplicateReceiver(l.id, id));
+            }
+        }
+        self.links.push(Link::new(id, sender, receiver, rate));
+        Ok(id)
+    }
+
+    /// Removes link `id` in place with `Vec::swap_remove` semantics:
+    /// the link previously holding the largest id is renumbered to
+    /// `id`, keeping ids dense (`0..N`). Returns the *old* id of the
+    /// renumbered link (`== id` when removing the tail), so callers
+    /// can mirror the renumbering in their own per-link state.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of bounds.
+    pub fn swap_remove(&mut self, id: LinkId) -> LinkId {
+        let last = LinkId(self.links.len() as u32 - 1);
+        self.links.swap_remove(id.index());
+        if id != last {
+            self.links[id.index()].id = id;
+        }
+        last
+    }
+
     /// A new instance containing only `keep` (ids are renumbered to be
     /// dense; the returned mapping gives `new id → old id`).
     pub fn restrict(&self, keep: &[LinkId]) -> (LinkSet, Vec<LinkId>) {
@@ -276,6 +336,51 @@ mod tests {
         assert_eq!(map, vec![LinkId(2), LinkId(0)]);
         assert_eq!(sub.link(LinkId(0)).sender, Point2::new(20.0, 0.0));
         assert_eq!(sub.link(LinkId(1)).sender, Point2::new(0.0, 0.0));
+    }
+
+    #[test]
+    fn append_validates_and_numbers() {
+        use crate::error::ValidationError;
+        let mut ls = mk(&[((0.0, 0.0), (1.0, 0.0)), ((10.0, 0.0), (11.0, 0.0))]);
+        let id = ls
+            .append(Point2::new(20.0, 0.0), Point2::new(21.0, 0.0), 2.0)
+            .unwrap();
+        assert_eq!(id, LinkId(2));
+        assert_eq!(ls.len(), 3);
+        assert_eq!(ls.link(id).rate, 2.0);
+        // Duplicate sender position is rejected, set unchanged.
+        assert_eq!(
+            ls.append(Point2::origin(), Point2::new(5.0, 5.0), 1.0),
+            Err(ValidationError::DuplicateSender(LinkId(0), LinkId(3)))
+        );
+        assert_eq!(ls.len(), 3);
+        assert!(matches!(
+            ls.append(Point2::new(7.0, 7.0), Point2::new(7.0, 7.0), 1.0),
+            Err(ValidationError::ZeroLengthLink(_))
+        ));
+        // The appended set is exactly what a batch build produces.
+        let rebuilt = LinkSet::new(*ls.region(), ls.links().to_vec());
+        assert_eq!(ls, rebuilt);
+    }
+
+    #[test]
+    fn swap_remove_renumbers_the_tail() {
+        let mut ls = mk(&[
+            ((0.0, 0.0), (1.0, 0.0)),
+            ((10.0, 0.0), (11.0, 0.0)),
+            ((20.0, 0.0), (21.0, 0.0)),
+        ]);
+        let moved = ls.swap_remove(LinkId(0));
+        assert_eq!(moved, LinkId(2));
+        assert_eq!(ls.len(), 2);
+        assert_eq!(ls.link(LinkId(0)).sender, Point2::new(20.0, 0.0));
+        assert_eq!(ls.link(LinkId(0)).id, LinkId(0));
+        // Removing the tail moves nothing.
+        let moved = ls.swap_remove(LinkId(1));
+        assert_eq!(moved, LinkId(1));
+        assert_eq!(ls.len(), 1);
+        // Still a valid dense set.
+        assert!(LinkSet::try_new(*ls.region(), ls.links().to_vec()).is_ok());
     }
 
     #[test]

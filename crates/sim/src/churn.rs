@@ -1,0 +1,640 @@
+//! The online scheduling engine: a slot loop under link churn.
+//!
+//! The queueing simulator ([`crate::queueing`]) serves packets on a
+//! *fixed* link population; real networks see links join and leave
+//! ("millions of users joining and leaving", ROADMAP north star). A
+//! [`ChurnEngine`] runs that regime on a live, incrementally mutated
+//! [`Problem`]: Poisson link arrivals, exponential link lifetimes,
+//! Bernoulli packet arrivals on the live links, per-slot scheduling of
+//! the backlogged sub-instance under a [`ServicePolicy`], and Rayleigh
+//! channel realizations deciding delivery — all seeded and
+//! deterministic. Topology changes go through
+//! [`Problem::add_links`] / [`Problem::remove_links`] (never a
+//! rebuild), with a [`LinkIdMap`] keeping stable external handles
+//! across the dense renumbering. See `docs/online.md`.
+
+use crate::queueing::ServicePolicy;
+use crate::slot::simulate_slot;
+use fading_core::{LinkIdMap, LinkSpec, Problem, SchedCtx, Scheduler};
+use fading_math::{seeded_rng, split_seed, OnlineStats};
+use fading_net::{LinkId, UniformGenerator};
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, VecDeque};
+
+/// Configuration of a churn run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChurnConfig {
+    /// Number of simulated slots.
+    pub slots: u64,
+    /// Mean new links per slot (Poisson).
+    pub link_arrival_rate: f64,
+    /// Mean link lifetime in slots (exponential, ≥ 1 slot realized).
+    pub mean_lifetime: f64,
+    /// Per-live-link probability of one packet arrival per slot.
+    pub packet_prob: f64,
+    /// RNG seed; topology, packet, and channel streams derive from it.
+    pub seed: u64,
+}
+
+impl ChurnConfig {
+    /// Offered steady-state population `initial + λ·E[lifetime]`-ish
+    /// sanity check helper: the equilibrium population of the M/G/∞
+    /// arrival process alone (ignores the seed population draining).
+    pub fn equilibrium_population(&self) -> f64 {
+        self.link_arrival_rate * self.mean_lifetime
+    }
+}
+
+/// What one [`ChurnEngine::step`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct ChurnSlot {
+    /// Slot index.
+    pub slot: u64,
+    /// Links that joined this slot.
+    pub link_arrivals: u32,
+    /// Links that departed this slot.
+    pub link_departures: u32,
+    /// Live links after churn.
+    pub population: u32,
+    /// Links scheduled for transmission.
+    pub scheduled: u32,
+    /// Packets that arrived this slot.
+    pub packets_arrived: u32,
+    /// Packets delivered.
+    pub delivered: u32,
+    /// Packets dropped with links that departed this slot.
+    pub packets_abandoned: u64,
+    /// Total backlog after service.
+    pub backlog: u64,
+}
+
+/// Aggregate results of a churn run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct ChurnResult {
+    /// Simulated horizon.
+    pub slots: u64,
+    /// Links that joined over the run.
+    pub links_arrived: u64,
+    /// Links that departed over the run.
+    pub links_departed: u64,
+    /// Time-averaged live population.
+    pub mean_population: f64,
+    /// Live links when the run ended.
+    pub final_population: usize,
+    /// Packets that arrived.
+    pub packets_arrived: u64,
+    /// Packets delivered.
+    pub packets_delivered: u64,
+    /// Packets dropped because their link departed while they queued.
+    pub packets_abandoned: u64,
+    /// Time-averaged total backlog (after service, per slot).
+    pub mean_backlog: f64,
+    /// Largest backlog observed.
+    pub max_backlog: u64,
+    /// Backlog remaining at the end.
+    pub final_backlog: u64,
+    /// Sustained engine throughput: slots per wall-clock second over
+    /// the whole run (churn + scheduling + channel realization).
+    pub slots_per_sec: f64,
+}
+
+impl ChurnResult {
+    /// Packet conservation: everything that arrived was delivered,
+    /// abandoned with a departing link, or still queued.
+    pub fn conserves_packets(&self) -> bool {
+        self.packets_arrived == self.packets_delivered + self.packets_abandoned + self.final_backlog
+    }
+}
+
+/// Per-link engine state, keyed by the link's stable external handle.
+#[derive(Debug)]
+struct LinkState {
+    /// FIFO of packet arrival slots.
+    queue: VecDeque<u64>,
+    /// First slot at which the link is gone.
+    departs_at: u64,
+}
+
+/// A long-running scheduling engine over a live, churning instance.
+///
+/// Owns the mutable [`Problem`], the external↔dense [`LinkIdMap`], all
+/// per-link queues, and a warm [`SchedCtx`]. Drive it one
+/// [`step`](Self::step) at a time (the CLI's progress loop does) or
+/// use [`run`](Self::run) for a whole horizon.
+#[derive(Debug)]
+pub struct ChurnEngine {
+    problem: Problem,
+    map: LinkIdMap,
+    states: HashMap<u64, LinkState>,
+    geometry: UniformGenerator,
+    cfg: ChurnConfig,
+    /// Topology stream: arrival counts, positions, lifetimes.
+    churn_rng: StdRng,
+    /// Packet-arrival stream, separate so arrival patterns don't shift
+    /// when churn parameters change.
+    packet_rng: StdRng,
+    ctx: SchedCtx,
+    slot: u64,
+    // scratch buffers reused across slots
+    departing: Vec<LinkId>,
+    backlogged: Vec<LinkId>,
+}
+
+impl ChurnEngine {
+    /// Builds the engine over a seed instance (its links are the slot-0
+    /// population; lifetimes for them are sampled like any arrival's).
+    /// `geometry` shapes arriving links: sender uniform in its region,
+    /// length `U[len_lo, len_hi]`, uniform direction — the same law the
+    /// seed generator uses. Everything the problem was configured with
+    /// (ε, channel, backend, power scales) rides along through the
+    /// in-place mutations.
+    ///
+    /// # Panics
+    /// Panics on a non-finite/negative arrival rate, a lifetime below
+    /// one slot, `packet_prob` outside `[0, 1]`, or `slots == 0`.
+    pub fn new(problem: Problem, geometry: UniformGenerator, cfg: ChurnConfig) -> Self {
+        assert!(
+            cfg.link_arrival_rate.is_finite() && cfg.link_arrival_rate >= 0.0,
+            "link arrival rate must be finite and non-negative"
+        );
+        assert!(
+            cfg.mean_lifetime >= 1.0,
+            "mean lifetime must be at least one slot"
+        );
+        assert!(
+            (0.0..=1.0).contains(&cfg.packet_prob),
+            "packet probability must be in [0,1]"
+        );
+        assert!(cfg.slots > 0, "need at least one slot");
+        let n0 = problem.len();
+        let mut churn_rng = seeded_rng(split_seed(cfg.seed, 0));
+        let packet_rng = seeded_rng(split_seed(cfg.seed, 1));
+        let map = LinkIdMap::with_len(n0);
+        let mut states = HashMap::with_capacity(n0 * 2);
+        for ext in 0..n0 as u64 {
+            states.insert(
+                ext,
+                LinkState {
+                    queue: VecDeque::new(),
+                    departs_at: exponential_departure(0, cfg.mean_lifetime, &mut churn_rng),
+                },
+            );
+        }
+        let mut ctx = SchedCtx::new();
+        ctx.prepare(n0);
+        Self {
+            problem,
+            map,
+            states,
+            geometry,
+            cfg,
+            churn_rng,
+            packet_rng,
+            ctx,
+            slot: 0,
+            departing: Vec::new(),
+            backlogged: Vec::new(),
+        }
+    }
+
+    /// The live instance (mutated in place across steps).
+    pub fn problem(&self) -> &Problem {
+        &self.problem
+    }
+
+    /// Number of live links.
+    pub fn population(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Current slot index (number of completed steps).
+    pub fn slot(&self) -> u64 {
+        self.slot
+    }
+
+    /// Advances one slot: departures → arrivals → packet arrivals →
+    /// schedule the backlogged sub-instance → channel realization →
+    /// service.
+    pub fn step<S: Scheduler + ?Sized>(
+        &mut self,
+        scheduler: &S,
+        policy: ServicePolicy,
+    ) -> ChurnSlot {
+        let _span = fading_obs::span!("sim.churn.slot");
+        let t = self.slot;
+        let mut abandoned = 0u64;
+
+        // Departures: collect expired links in dense order (the only
+        // deterministic iteration order), then remove in one batch —
+        // `remove_links` picks the renumbering-safe descending order
+        // and reports it so the id map can mirror each swap.
+        self.departing.clear();
+        for dense in 0..self.map.len() as u32 {
+            let ext = self.map.external(LinkId(dense));
+            if self.states[&ext].departs_at <= t {
+                self.departing.push(LinkId(dense));
+            }
+        }
+        let link_departures = self.departing.len() as u32;
+        if !self.departing.is_empty() {
+            let order = self.problem.remove_links(&self.departing);
+            for dense in order {
+                let ext = self.map.on_swap_remove(dense);
+                let state = self.states.remove(&ext).expect("state tracks map");
+                abandoned += state.queue.len() as u64;
+            }
+            fading_obs::counter!("sim.churn.link_departures").add(link_departures as u64);
+        }
+
+        // Arrivals: Poisson count, geometry sampled exactly like the
+        // seed generator's (sender uniform in the region, length
+        // U[lo, hi], uniform direction). Coordinate collisions are
+        // measure-zero but possible under adversarial seeds; resample.
+        let arrivals = poisson(self.cfg.link_arrival_rate, &mut self.churn_rng);
+        for _ in 0..arrivals {
+            let departs_at = exponential_departure(t, self.cfg.mean_lifetime, &mut self.churn_rng);
+            let mut tries = 0;
+            loop {
+                let side = self.geometry.side;
+                let s = fading_geom::Point2::new(
+                    self.churn_rng.gen_range(0.0..side),
+                    self.churn_rng.gen_range(0.0..side),
+                );
+                let d = self
+                    .churn_rng
+                    .gen_range(self.geometry.len_lo..=self.geometry.len_hi);
+                let theta = self.churn_rng.gen_range(0.0..std::f64::consts::TAU);
+                let spec = LinkSpec::new(s, s.offset_polar(d, theta));
+                if self.problem.add_links(&[spec]).is_ok() {
+                    let ext = self.map.on_add();
+                    self.states.insert(
+                        ext,
+                        LinkState {
+                            queue: VecDeque::new(),
+                            departs_at,
+                        },
+                    );
+                    break;
+                }
+                tries += 1;
+                assert!(tries < 100, "could not place an arriving link");
+            }
+        }
+        if arrivals > 0 {
+            fading_obs::counter!("sim.churn.link_arrivals").add(arrivals as u64);
+        }
+
+        // Packet arrivals on the live population, dense order.
+        let mut packets_arrived = 0u32;
+        for dense in 0..self.map.len() as u32 {
+            if self.packet_rng.gen::<f64>() < self.cfg.packet_prob {
+                let ext = self.map.external(LinkId(dense));
+                self.states
+                    .get_mut(&ext)
+                    .expect("state tracks map")
+                    .queue
+                    .push_back(t);
+                packets_arrived += 1;
+            }
+        }
+
+        // Schedule the backlogged sub-instance and realize the channel.
+        self.backlogged.clear();
+        for dense in 0..self.map.len() as u32 {
+            let ext = self.map.external(LinkId(dense));
+            if !self.states[&ext].queue.is_empty() {
+                self.backlogged.push(LinkId(dense));
+            }
+        }
+        let mut scheduled = 0u32;
+        let mut delivered = 0u32;
+        if !self.backlogged.is_empty() {
+            let (sub, mapping) = self.problem.restrict(&self.backlogged);
+            let sub = if policy == ServicePolicy::MaxWeight {
+                let weights: Vec<f64> = mapping
+                    .iter()
+                    .map(|orig| {
+                        let ext = self.map.external(*orig);
+                        (self.states[&ext].queue.len() as f64).max(1e-9)
+                    })
+                    .collect();
+                sub.with_link_rates(&weights)
+            } else {
+                sub
+            };
+            let schedule = scheduler.schedule_in(&sub, &mut self.ctx);
+            scheduled = schedule.len() as u32;
+            let mut channel_rng = seeded_rng(split_seed(self.cfg.seed, t + 2));
+            let outcome = simulate_slot(&sub, &schedule, &mut channel_rng);
+            for sub_id in outcome.successes {
+                let ext = self.map.external(mapping[sub_id.index()]);
+                if self
+                    .states
+                    .get_mut(&ext)
+                    .expect("live")
+                    .queue
+                    .pop_front()
+                    .is_some()
+                {
+                    delivered += 1;
+                }
+            }
+            self.ctx.recycle(schedule);
+        }
+
+        let backlog: u64 = self
+            .map
+            .externals()
+            .iter()
+            .map(|ext| self.states[ext].queue.len() as u64)
+            .sum();
+        self.slot = t + 1;
+        ChurnSlot {
+            slot: t,
+            link_arrivals: arrivals,
+            link_departures,
+            population: self.map.len() as u32,
+            scheduled,
+            packets_arrived,
+            delivered,
+            packets_abandoned: abandoned,
+            backlog,
+        }
+    }
+
+    /// Runs the configured horizon and aggregates, timing the loop for
+    /// the sustained slots/sec figure.
+    pub fn run<S: Scheduler + ?Sized>(
+        mut self,
+        scheduler: &S,
+        policy: ServicePolicy,
+    ) -> ChurnResult {
+        let _span = fading_obs::span!("sim.churn.run");
+        let progress = fading_obs::Progress::new("churn", "slots", self.cfg.slots);
+        let mut population = OnlineStats::new();
+        let mut backlog_stats = OnlineStats::new();
+        let mut out = ChurnResult {
+            slots: self.cfg.slots,
+            links_arrived: 0,
+            links_departed: 0,
+            mean_population: 0.0,
+            final_population: 0,
+            packets_arrived: 0,
+            packets_delivered: 0,
+            packets_abandoned: 0,
+            mean_backlog: 0.0,
+            max_backlog: 0,
+            final_backlog: 0,
+            slots_per_sec: 0.0,
+        };
+        let started = std::time::Instant::now();
+        for _ in 0..self.cfg.slots {
+            let slot = self.step(scheduler, policy);
+            out.links_arrived += slot.link_arrivals as u64;
+            out.links_departed += slot.link_departures as u64;
+            out.packets_arrived += slot.packets_arrived as u64;
+            out.packets_delivered += slot.delivered as u64;
+            out.packets_abandoned += slot.packets_abandoned;
+            out.max_backlog = out.max_backlog.max(slot.backlog);
+            out.final_backlog = slot.backlog;
+            population.push(slot.population as f64);
+            backlog_stats.push(slot.backlog as f64);
+            progress.report(
+                slot.slot + 1,
+                &format!("pop {} backlog {}", slot.population, slot.backlog),
+                slot.slot + 1,
+            );
+        }
+        let elapsed = started.elapsed().as_secs_f64();
+        out.mean_population = population.mean();
+        out.mean_backlog = backlog_stats.mean();
+        out.final_population = self.population();
+        out.slots_per_sec = if elapsed > 0.0 {
+            self.cfg.slots as f64 / elapsed
+        } else {
+            f64::INFINITY
+        };
+        out
+    }
+}
+
+/// One run per offered load: the backlog-vs-arrival-rate stability
+/// frontier (EXPERIMENTS.md §stability). Each entry pairs the packet
+/// arrival probability with the full run result; the frontier is where
+/// `mean_backlog` turns from flat to linear growth.
+pub fn stability_frontier<S: Scheduler + ?Sized>(
+    problem: &Problem,
+    geometry: UniformGenerator,
+    base: ChurnConfig,
+    scheduler: &S,
+    policy: ServicePolicy,
+    packet_probs: &[f64],
+) -> Vec<(f64, ChurnResult)> {
+    packet_probs
+        .iter()
+        .map(|&p| {
+            let cfg = ChurnConfig {
+                packet_prob: p,
+                ..base
+            };
+            let engine = ChurnEngine::new(problem.clone(), geometry, cfg);
+            (p, engine.run(scheduler, policy))
+        })
+        .collect()
+}
+
+/// Poisson sample by Knuth's product-of-uniforms method — exact, and
+/// `O(λ)` per draw, which is fine at per-slot link-arrival rates.
+fn poisson(lambda: f64, rng: &mut StdRng) -> u32 {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    let limit = (-lambda).exp();
+    let mut k = 0u32;
+    let mut p = 1.0f64;
+    loop {
+        p *= rng.gen::<f64>();
+        if p <= limit {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+/// First slot at which a link arriving at `t` is gone: an exponential
+/// lifetime with the given mean, floored at one full slot of life.
+fn exponential_departure(t: u64, mean: f64, rng: &mut StdRng) -> u64 {
+    let u: f64 = rng.gen();
+    let life = -mean * (1.0 - u).ln();
+    t + 1 + life.floor() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fading_channel::ChannelParams;
+    use fading_core::algo::{GreedyRate, Rle};
+    use fading_core::BackendChoice;
+    use fading_net::TopologyGenerator;
+
+    fn cfg(slots: u64) -> ChurnConfig {
+        ChurnConfig {
+            slots,
+            link_arrival_rate: 2.0,
+            mean_lifetime: 30.0,
+            packet_prob: 0.05,
+            seed: 7,
+        }
+    }
+
+    fn engine_sized(n: usize, c: ChurnConfig) -> ChurnEngine {
+        let geometry = UniformGenerator::paper(n);
+        let problem =
+            Problem::builder(geometry.generate(c.seed), ChannelParams::with_alpha(3.0)).build();
+        ChurnEngine::new(problem, geometry, c)
+    }
+
+    fn engine(c: ChurnConfig) -> ChurnEngine {
+        engine_sized(40, c)
+    }
+
+    #[test]
+    fn packets_are_conserved_under_churn() {
+        let r = engine(cfg(150)).run(&GreedyRate, ServicePolicy::MaxWeight);
+        assert!(r.conserves_packets(), "{r:?}");
+        assert!(r.links_arrived > 0, "arrivals must occur");
+        assert!(r.links_departed > 0, "departures must occur");
+        assert!(r.slots_per_sec > 0.0);
+    }
+
+    #[test]
+    fn population_tracks_the_mg_infinity_equilibrium() {
+        // λ·E[life] = 2 × 30 = 60; from a seed of 40 the time-averaged
+        // population must sit in that neighborhood, and the engine's
+        // live problem must agree with its own map.
+        let mut e = engine(cfg(300));
+        for _ in 0..300 {
+            e.step(&GreedyRate, ServicePolicy::PlainRates);
+        }
+        assert_eq!(e.population(), e.problem().len());
+        let pop = e.population() as f64;
+        assert!(
+            (20.0..=140.0).contains(&pop),
+            "population {pop} wandered far from equilibrium 60"
+        );
+    }
+
+    #[test]
+    fn engine_state_matches_a_fresh_rebuild_every_step() {
+        // The live problem is only ever touched by add_links /
+        // remove_links; after a burst of churn it must still be
+        // bit-identical to a from-scratch build over its own links.
+        let mut e = engine_sized(
+            20,
+            ChurnConfig {
+                slots: 40,
+                link_arrival_rate: 3.0,
+                mean_lifetime: 8.0,
+                packet_prob: 0.2,
+                seed: 11,
+            },
+        );
+        for _ in 0..40 {
+            e.step(&Rle::new(), ServicePolicy::PlainRates);
+        }
+        let p = e.problem();
+        let rebuilt = Problem::builder(
+            fading_net::LinkSet::new(*p.links().region(), p.links().links().to_vec()),
+            *p.params(),
+        )
+        .epsilon(p.epsilon())
+        .backend(p.backend_choice())
+        .build();
+        assert_eq!(p, &rebuilt);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = engine(cfg(120)).run(&GreedyRate, ServicePolicy::MaxWeight);
+        let b = engine(cfg(120)).run(&GreedyRate, ServicePolicy::MaxWeight);
+        // slots_per_sec is wall-clock; everything else must match.
+        assert_eq!(
+            (a.links_arrived, a.links_departed, a.packets_arrived),
+            (b.links_arrived, b.links_departed, b.packets_arrived)
+        );
+        assert_eq!(
+            (a.packets_delivered, a.packets_abandoned, a.final_backlog),
+            (b.packets_delivered, b.packets_abandoned, b.final_backlog)
+        );
+        assert_eq!(a.final_population, b.final_population);
+    }
+
+    #[test]
+    fn sparse_backend_runs_the_same_loop() {
+        let c = ChurnConfig {
+            slots: 60,
+            link_arrival_rate: 1.0,
+            mean_lifetime: 20.0,
+            packet_prob: 0.1,
+            seed: 3,
+        };
+        let geometry = UniformGenerator::paper(30);
+        let problem = Problem::builder(geometry.generate(c.seed), ChannelParams::with_alpha(3.0))
+            .backend(BackendChoice::Sparse(fading_core::SparseConfig::default()))
+            .build();
+        let e = ChurnEngine::new(problem, geometry, c);
+        let r = e.run(&GreedyRate, ServicePolicy::MaxWeight);
+        assert!(r.conserves_packets(), "{r:?}");
+    }
+
+    #[test]
+    fn heavier_load_means_more_backlog() {
+        let base = ChurnConfig {
+            slots: 250,
+            link_arrival_rate: 0.5,
+            mean_lifetime: 60.0,
+            packet_prob: 0.0, // overridden by the frontier
+            seed: 19,
+        };
+        let geometry = UniformGenerator::paper(60);
+        let problem =
+            Problem::builder(geometry.generate(base.seed), ChannelParams::with_alpha(3.0)).build();
+        let frontier = stability_frontier(
+            &problem,
+            geometry,
+            base,
+            &GreedyRate,
+            ServicePolicy::MaxWeight,
+            &[0.01, 0.9],
+        );
+        assert_eq!(frontier.len(), 2);
+        assert!(
+            frontier[1].1.mean_backlog > frontier[0].1.mean_backlog,
+            "overload backlog {} must exceed light-load backlog {}",
+            frontier[1].1.mean_backlog,
+            frontier[0].1.mean_backlog
+        );
+    }
+
+    #[test]
+    fn poisson_mean_is_right() {
+        let mut rng = seeded_rng(1);
+        let n = 20_000;
+        let total: u64 = (0..n).map(|_| poisson(3.0, &mut rng) as u64).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - 3.0).abs() < 0.1, "poisson mean {mean}");
+        assert_eq!(poisson(0.0, &mut rng), 0);
+    }
+
+    #[test]
+    fn lifetimes_last_at_least_one_slot() {
+        let mut rng = seeded_rng(2);
+        for t in [0u64, 5, 100] {
+            for _ in 0..200 {
+                assert!(exponential_departure(t, 1.0, &mut rng) > t);
+            }
+        }
+    }
+}

@@ -17,6 +17,7 @@
 //! * [`results`] — serializable result rows, text tables, and CSV.
 
 pub mod batch;
+pub mod churn;
 pub mod config;
 pub mod convergence;
 pub mod monte_carlo;
@@ -27,6 +28,7 @@ pub mod runner;
 pub mod slot;
 
 pub use batch::BatchRunner;
+pub use churn::{stability_frontier, ChurnConfig, ChurnEngine, ChurnResult, ChurnSlot};
 pub use config::ExperimentConfig;
 pub use convergence::{convergence_trace, trials_for_ci, TracePoint};
 pub use monte_carlo::{simulate_many, MonteCarloStats};

@@ -148,6 +148,10 @@ pub fn simulate_queueing_with_policy<S: Scheduler + ?Sized>(
     // One workspace for the whole run: the first busy slot sizes the
     // arenas and every later slot schedules allocation-free.
     let mut ctx = fading_core::SchedCtx::new();
+    // The most recent restricted descendant, its mapping, and the
+    // backlogged set that produced it — reused verbatim while the
+    // alive set stays unchanged between busy slots.
+    let mut cached: Option<(Problem, Vec<LinkId>, Vec<LinkId>)> = None;
 
     for t in 0..cfg.slots {
         // Arrivals.
@@ -158,7 +162,7 @@ pub fn simulate_queueing_with_policy<S: Scheduler + ?Sized>(
             }
         }
         // Backlogged sub-instance.
-        let backlogged: Vec<LinkId> = (0..n as u32)
+        let mut backlogged: Vec<LinkId> = (0..n as u32)
             .map(LinkId)
             .filter(|id| !queues[id.index()].is_empty())
             .collect();
@@ -173,9 +177,23 @@ pub fn simulate_queueing_with_policy<S: Scheduler + ?Sized>(
         if !backlogged.is_empty() {
             // Derive the residual instance from the parent: power
             // scales and the interference backend survive, and the
-            // interference state is sliced, not rebuilt.
-            let (mut sub, mapping) = problem.restrict(&backlogged);
-            if policy == ServicePolicy::MaxWeight {
+            // interference state is sliced, not rebuilt. When the
+            // alive set did not change since the previous busy slot
+            // (common at light load and deep overload), even the slice
+            // is skipped — the cached descendant is content-identical,
+            // so schedules are bit-identical either way (its stamp also
+            // stays put, letting the ctx order memo short-circuit).
+            let reusable = cached
+                .as_ref()
+                .is_some_and(|(_, _, prev)| *prev == backlogged);
+            if !reusable {
+                let (sub, mapping) = problem.restrict(&backlogged);
+                cached = Some((sub, mapping, std::mem::take(&mut backlogged)));
+            } else {
+                fading_obs::counter!("sim.queueing.restrict_reuse").incr();
+            }
+            let (base, mapping, _) = cached.as_ref().expect("just filled");
+            let sub: std::borrow::Cow<Problem> = if policy == ServicePolicy::MaxWeight {
                 // Reweight each backlogged link by its queue length so
                 // rate-aware schedulers implement backpressure. Rates
                 // never enter the interference factors, so this swaps
@@ -184,8 +202,10 @@ pub fn simulate_queueing_with_policy<S: Scheduler + ?Sized>(
                     .iter()
                     .map(|orig| (queues[orig.index()].len() as f64).max(1e-9))
                     .collect();
-                sub = sub.with_link_rates(&weights);
-            }
+                std::borrow::Cow::Owned(base.with_link_rates(&weights))
+            } else {
+                std::borrow::Cow::Borrowed(base)
+            };
             let schedule = scheduler.schedule_in(&sub, &mut ctx);
             if tracing {
                 fading_obs::trace::publish(vec![fading_obs::TraceEvent::SlotEnd {
@@ -334,6 +354,24 @@ mod tests {
             "greedy backlog {} vs RLE {}",
             greedy.mean_backlog,
             rle.mean_backlog
+        );
+    }
+
+    #[test]
+    fn unchanged_alive_set_reuses_the_restriction() {
+        // Deep overload: every link stays backlogged, so after the
+        // first busy slot the alive set never changes and every later
+        // slot must reuse the cached descendant instead of re-slicing.
+        let reuse = fading_obs::counter("sim.queueing.restrict_reuse");
+        let before = reuse.value();
+        let p = problem(40, 12);
+        let r =
+            simulate_queueing_with_policy(&p, &GreedyRate, &cfg(1.0, 50), ServicePolicy::MaxWeight);
+        assert_eq!(r.arrived, r.delivered + r.final_backlog);
+        assert!(
+            reuse.value() - before >= 40,
+            "expected ≥40 reused slots, got {}",
+            reuse.value() - before
         );
     }
 

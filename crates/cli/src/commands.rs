@@ -275,7 +275,8 @@ USAGE:
                   regressions downgraded to warnings); --smoke runs the
                   release smoke workloads (smoke.* wall-clock rows
                   gated by bench-gates.toml [max]) instead of the
-                  micro suite
+                  micro suite — including the 10^5- and 10^6-link
+                  sparse-substrate builds with RLE+LDP end-to-end
 
 ALGORITHMS:
   ldp | ldp-two-sided | rle | dls | greedy | random | exact | anneal |

@@ -171,6 +171,19 @@ fn run_untraced(
     live.extend(0..n as u32);
     let mut elim_radius = 0u64;
     let mut elim_budget = 0u64;
+    // Two-phase dense debit (FadingFactor only): while most links are
+    // still alive, the branch-free full-row kernel beats the compacted
+    // walk — the row is streamed once, no `live` maintenance, and the
+    // loop autovectorizes. Once survivors drop below ~25% the compacted
+    // walk wins (it skips the dead majority), so we rebuild `live` from
+    // the bitmap and switch permanently. Both forms are verdict- and
+    // bit-identical for every surviving receiver (see
+    // `crate::kernel::debit_dense`), so the schedule cannot depend on
+    // where the crossover lands. DeterministicRelative keeps the
+    // compacted walk throughout: its `exp_m1` per element makes full
+    // rows expensive on dead entries.
+    let mut alive_count = n;
+    let mut compacted = metric != ElimMetric::FadingFactor;
 
     for &i in order.iter() {
         if !alive[i.index()] {
@@ -178,6 +191,7 @@ fn run_untraced(
         }
         // Line 3: pick the shortest remaining link.
         alive[i.index()] = false;
+        alive_count -= 1;
         picked.push(i);
         let receiver = links.link(i).receiver;
         let radius = c1 * links.length(i);
@@ -185,6 +199,7 @@ fn run_untraced(
         spatial.for_each_in_radius(&receiver, radius, |j| {
             if alive[j as usize] {
                 alive[j as usize] = false;
+                alive_count -= 1;
                 elim_radius += 1;
             }
         });
@@ -204,18 +219,42 @@ fn run_untraced(
             ElimMetric::DeterministicRelative => f.exp_m1(),
         };
         if let Some(row) = problem.factors().dense_row(i) {
-            live.retain(|&j| alive[j as usize]);
-            for &j in live.iter() {
-                let j = j as usize;
-                acc[j] += contribution(row[j]);
-                if acc[j] > threshold {
-                    alive[j] = false;
-                    elim_budget += 1;
+            if !compacted && alive_count * 4 < n {
+                // Crossover: rebuild `live` from the bitmap (ascending,
+                // exactly what successive `retain`s would have left) and
+                // stay compacted for the rest of the run.
+                live.clear();
+                live.extend((0..n as u32).filter(|&j| alive[j as usize]));
+                compacted = true;
+            }
+            if compacted {
+                live.retain(|&j| alive[j as usize]);
+                for &j in live.iter() {
+                    let j = j as usize;
+                    acc[j] += contribution(row[j]);
+                    if acc[j] > threshold {
+                        alive[j] = false;
+                        elim_budget += 1;
+                    }
                 }
+            } else {
+                let newly = crate::kernel::debit_dense(row, acc, alive, threshold);
+                elim_budget += newly;
+                alive_count -= newly as usize;
             }
         } else {
-            problem.factors().for_each_out(i, &mut |j, f| {
-                let j = j.index();
+            // Sparse: walk the pick's CSR row as two parallel slices
+            // (receivers, factors) instead of the dyn-dispatch
+            // `for_each_out` visitor — same entries in the same stored
+            // order, so every accumulator sees bit-identical debits,
+            // but the bounds-checked closure call per entry is gone.
+            let sparse = problem
+                .factors()
+                .as_sparse()
+                .expect("backend is neither dense nor sparse");
+            let (recv, fact) = sparse.row_slices(i);
+            for (&j, &f) in recv.iter().zip(fact.iter()) {
+                let j = j as usize;
                 if alive[j] {
                     acc[j] += contribution(f);
                     if acc[j] > threshold {
@@ -223,7 +262,7 @@ fn run_untraced(
                         elim_budget += 1;
                     }
                 }
-            });
+            }
         }
     }
     (Schedule::from_vec(picked), elim_radius, elim_budget)

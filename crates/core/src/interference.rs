@@ -122,21 +122,48 @@ impl InterferenceMatrix {
             );
         }
         let mut data = vec![0.0; n * n];
+        // SoA views of the receiver geometry, hoisted out of the row
+        // loop: the distance lane streams rx/ry/d_jj contiguously
+        // instead of striding through the AoS link array. Each d_rr
+        // entry is `links.length(j)` evaluated through the same code
+        // path, so the hoist is bit-transparent.
+        let all = links.links();
+        let rx: Vec<f64> = all.iter().map(|l| l.receiver.x).collect();
+        let ry: Vec<f64> = all.iter().map(|l| l.receiver.y).collect();
+        let d_rr: Vec<f64> = all.iter().map(|l| l.length()).collect();
         // One shared row closure for both branches: the parallel and
         // sequential paths must compute byte-identical rows (the
-        // PARALLEL_THRESHOLD regression tests below pin this).
+        // PARALLEL_THRESHOLD regression tests below pin this). Each row
+        // is processed in cache blocks: a branch-free distance lane the
+        // autovectorizer keeps in SIMD registers (sub/mul/add/sqrt are
+        // IEEE-exact, so every d matches `sender_receiver_distance` bit
+        // for bit), then the scalar transcendental pass over the same
+        // block while it is still in L1 (`powf`/`ln_1p` are libm calls
+        // whose expression must stay exactly the channel's).
+        const BLOCK: usize = 64;
         let fill_row = |i: usize, row: &mut [f64]| {
-            let sender = LinkId(i as u32);
-            for (j, slot) in row.iter_mut().enumerate() {
-                if i != j {
-                    let receiver = LinkId(j as u32);
-                    let d_ij = links.sender_receiver_distance(sender, receiver);
-                    let d_jj = links.length(receiver);
-                    *slot = match powers {
-                        None => channel.interference_factor(d_ij, d_jj),
-                        Some(p) => channel.interference_factor_scaled(d_ij, d_jj, p[i], p[j]),
-                    };
+            let s = all[i].sender;
+            let mut dist = [0.0f64; BLOCK];
+            let mut j0 = 0usize;
+            while j0 < n {
+                let w = (n - j0).min(BLOCK);
+                for (k, d) in dist[..w].iter_mut().enumerate() {
+                    let dx = s.x - rx[j0 + k];
+                    let dy = s.y - ry[j0 + k];
+                    *d = (dx * dx + dy * dy).sqrt();
                 }
+                for (k, slot) in row[j0..j0 + w].iter_mut().enumerate() {
+                    let j = j0 + k;
+                    if i != j {
+                        *slot = match powers {
+                            None => channel.interference_factor(dist[k], d_rr[j]),
+                            Some(p) => {
+                                channel.interference_factor_scaled(dist[k], d_rr[j], p[i], p[j])
+                            }
+                        };
+                    }
+                }
+                j0 += w;
             }
         };
         if n >= PARALLEL_THRESHOLD {

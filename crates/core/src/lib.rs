@@ -38,6 +38,7 @@ pub mod ctx;
 pub mod feasibility;
 pub mod ilp;
 pub mod interference;
+pub mod kernel;
 pub mod multislot;
 pub mod mutate;
 pub mod problem;

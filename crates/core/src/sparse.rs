@@ -35,7 +35,7 @@
 use crate::feasibility::BUDGET_RTOL;
 use crate::interference::{InterferenceModel, PARALLEL_THRESHOLD};
 use fading_channel::RayleighChannel;
-use fading_geom::{Point2, Rect, SpatialHash};
+use fading_geom::{Point2, SpatialHash};
 use fading_math::zeta;
 use fading_net::{LinkId, LinkSet};
 use rayon::prelude::*;
@@ -132,6 +132,10 @@ pub struct SparseInterference {
     diameter: f64,
     /// Exact maximum power scale the current radii were computed with.
     max_scale: f64,
+    /// Reusable index scratch for the mutation paths (column gathers,
+    /// tail-rename holders, annulus edits) — excluded from `PartialEq`,
+    /// carried so steady-state mutations allocate nothing per call.
+    scratch: Vec<u32>,
 }
 
 impl PartialEq for SparseInterference {
@@ -202,9 +206,7 @@ impl SparseInterference {
         let lengths: Vec<f64> = links.ids().map(|i| links.length(i)).collect();
         let tau = config.tail_rtol * gamma_eps;
         let diameter = instance_diameter(&senders, &receivers);
-        let max_scale = powers
-            .map(|p| p.iter().copied().fold(f64::MIN, f64::max))
-            .unwrap_or(1.0);
+        let max_scale = max_power_scale(powers);
 
         // Per-receiver truncation radius: the distance at which the
         // worst-case factor onto j drops to τ. Capped at the instance
@@ -316,6 +318,7 @@ impl SparseInterference {
             exact,
             diameter,
             max_scale,
+            scratch: Vec::new(),
         }
     }
 
@@ -326,6 +329,15 @@ impl SparseInterference {
         let lo = self.row_start[i];
         let hi = lo + self.row_len[i] as usize;
         (&self.arena_receivers[lo..hi], &self.arena_factors[lo..hi])
+    }
+
+    /// The stored out-row of `sender` as raw CSR slices `(receivers,
+    /// factors)`, sorted by receiver id — the slice form of
+    /// [`for_each_out`](Self::for_each_out), letting hot loops walk the
+    /// row without a dynamic call per element.
+    #[inline]
+    pub fn row_slices(&self, sender: LinkId) -> (&[u32], &[f64]) {
+        self.row(sender.index())
     }
 
     /// The sub-store over `keep` (parent link ids, in the
@@ -437,6 +449,7 @@ impl SparseInterference {
             // formula before relying on it.
             diameter: f64::INFINITY,
             max_scale: f64::INFINITY,
+            scratch: Vec::new(),
         }
     }
 
@@ -656,11 +669,13 @@ impl SparseInterference {
         self.cut.push(c);
         // Column t: old senders within the new receiver's radius. The
         // new receiver id is the maximum, so each insert lands at its
-        // row's tail.
-        let mut col: Vec<u32> = Vec::new();
+        // row's tail. The reusable scratch keeps the warm mutation path
+        // allocation-free.
+        let mut col = std::mem::take(&mut self.scratch);
+        col.clear();
         self.sender_hash
             .for_each_in_radius(&receiver, r, |i| col.push(i));
-        for i in col {
+        for i in col.drain(..) {
             let f = pair_factor(
                 &self.channel,
                 &self.senders,
@@ -672,6 +687,7 @@ impl SparseInterference {
             );
             self.row_insert(i as usize, t as u32, f);
         }
+        self.scratch = col;
         // Row t: receivers whose radius covers the new sender, scanned
         // in ascending id order (the row comes out sorted). The scan
         // uses the same `d² ≤ r²` predicate as the hash query, so
@@ -713,15 +729,17 @@ impl SparseInterference {
         assert!(k < self.n, "link index out of bounds");
         let last = self.n - 1;
         // Drop column k: by the invariant, exactly the senders within
-        // radius[k] of receiver k store an entry onto it.
-        let mut col: Vec<u32> = Vec::new();
+        // radius[k] of receiver k store an entry onto it. The reusable
+        // scratch keeps the warm mutation path allocation-free.
+        let mut col = std::mem::take(&mut self.scratch);
+        col.clear();
         self.sender_hash
             .for_each_in_radius(&self.receivers[k], self.radius[k], |i| {
                 if i as usize != k {
                     col.push(i);
                 }
             });
-        for i in col {
+        for i in col.drain(..) {
             self.row_remove(i as usize, k as u32);
         }
         // Row k dies with its extent.
@@ -731,18 +749,18 @@ impl SparseInterference {
         // id's sorted position (row k itself is already dead, row last
         // never stores its own diagonal).
         if k != last {
-            let mut holders: Vec<u32> = Vec::new();
             self.sender_hash
                 .for_each_in_radius(&self.receivers[last], self.radius[last], |i| {
                     let i = i as usize;
                     if i != last && i != k {
-                        holders.push(i as u32);
+                        col.push(i as u32);
                     }
                 });
-            for i in holders {
+            for i in col.drain(..) {
                 self.row_rename_tail(i as usize, last as u32, k as u32);
             }
         }
+        self.scratch = col;
         self.row_start.swap_remove(k);
         self.row_len.swap_remove(k);
         self.row_cap.swap_remove(k);
@@ -786,16 +804,16 @@ impl SparseInterference {
     /// uniform power a pure value update.
     fn refresh_envelope(&mut self) {
         let diameter = instance_diameter(&self.senders, &self.receivers);
-        let max_scale = self
-            .powers
-            .as_ref()
-            .map(|p| p.iter().copied().fold(f64::MIN, f64::max))
-            .unwrap_or(1.0);
+        let max_scale = max_power_scale(self.powers.as_deref());
         if diameter == self.diameter && max_scale == self.max_scale {
             return;
         }
         self.diameter = diameter;
         self.max_scale = max_scale;
+        // The scratch is taken out of `self` so the hash-query closure
+        // (which reads `self.senders`/`self.receivers`) and the buffer
+        // can be borrowed simultaneously.
+        let mut touched = std::mem::take(&mut self.scratch);
         for j in 0..self.radius.len() {
             let (r, c) = self.truncation_of(j);
             let old = self.radius[j];
@@ -804,7 +822,7 @@ impl SparseInterference {
                 // the affected rows. Membership uses the same `d² ≤ r²`
                 // predicate as the build's hash gather.
                 let (old_sq, new_sq) = (old * old, r * r);
-                let mut touched: Vec<u32> = Vec::new();
+                touched.clear();
                 self.sender_hash
                     .for_each_in_radius(&self.receivers[j], old.max(r), |i| {
                         if i as usize != j {
@@ -815,7 +833,7 @@ impl SparseInterference {
                         }
                     });
                 fading_obs::counter("core.sparse.reconcile_edits").add(touched.len() as u64);
-                for i in touched {
+                for i in touched.drain(..) {
                     if r > old {
                         let f = pair_factor(
                             &self.channel,
@@ -835,6 +853,7 @@ impl SparseInterference {
             self.radius[j] = r;
             self.cut[j] = c;
         }
+        self.scratch = touched;
     }
 
     /// Inserts `(j, f)` into row `i` at its sorted position, relocating
@@ -892,15 +911,15 @@ impl SparseInterference {
         fading_obs::counter("core.sparse.row_relocations").incr();
         let lo = self.row_start[i];
         let len = self.row_len[i] as usize;
-        let cap = (self.row_cap[i] as usize * 2).max(4);
+        let cap = grown_row_cap(self.row_cap[i], self.row_len[i], self.n);
         let new_lo = self.arena_receivers.len();
-        self.arena_receivers.resize(new_lo + cap, 0);
-        self.arena_factors.resize(new_lo + cap, 0.0);
+        self.arena_receivers.resize(new_lo + cap as usize, 0);
+        self.arena_factors.resize(new_lo + cap as usize, 0.0);
         self.arena_receivers.copy_within(lo..lo + len, new_lo);
         self.arena_factors.copy_within(lo..lo + len, new_lo);
         self.dead += self.row_cap[i] as usize;
         self.row_start[i] = new_lo;
-        self.row_cap[i] = cap as u32;
+        self.row_cap[i] = cap;
     }
 
     /// Repacks the arena once more than half of it is dead — amortized
@@ -1002,6 +1021,35 @@ fn truncation_for(
     }
 }
 
+/// The maximum power scale of a profile — `1.0` for uniform power
+/// **and for an empty profile** (a zero-link store with explicit
+/// powers previously poisoned the envelope with `fold`'s `f64::MIN`
+/// identity). The single code path `build_with_powers` and
+/// `refresh_envelope` share, so mutate ≡ rebuild holds bit for bit.
+#[inline]
+fn max_power_scale(powers: Option<&[f64]>) -> f64 {
+    match powers {
+        None => 1.0,
+        Some([]) => 1.0,
+        Some(p) => p.iter().copied().fold(f64::MIN, f64::max),
+    }
+}
+
+/// Doubled row capacity for relocation, computed in 64-bit and clamped
+/// to the largest useful extent (a row stores at most `n − 1`
+/// receivers), so arenas near the `u32` limit cannot silently truncate
+/// the capacity — the old `cap as u32` cast wrapped.
+///
+/// # Panics
+/// Panics (checked, never wrapping) if even the clamped capacity
+/// exceeds `u32::MAX` — only reachable with more than `u32::MAX + 1`
+/// links, which [`fading_net::LinkSet`] already rejects.
+fn grown_row_cap(cap: u32, len: u32, n: usize) -> u32 {
+    let max_useful = (n.saturating_sub(1) as u64).max(len as u64 + 1);
+    let grown = (cap as u64 * 2).max(4).min(max_useful);
+    u32::try_from(grown).expect("sparse row capacity exceeds the u32 arena index space")
+}
+
 /// Diameter of the bounding box of all senders and receivers — an upper
 /// bound on any sender→receiver distance, hence the "store everything"
 /// radius cap.
@@ -1015,7 +1063,10 @@ fn instance_diameter(senders: &[Point2], receivers: &[Point2]) -> f64 {
     if senders.is_empty() && receivers.is_empty() {
         return 1.0;
     }
-    let diag = Rect::new(min, max).diagonal();
+    // Straight corner-to-corner distance; `Rect::new` would reject the
+    // degenerate boxes real mutations produce (a single link, or every
+    // endpoint on one axis-aligned line).
+    let diag = min.distance(&max);
     if diag.is_finite() && diag > 0.0 {
         diag
     } else {
@@ -1284,6 +1335,94 @@ mod tests {
         }
         assert_eq!(s, rebuild_of(&s));
         assert!(InterferenceModel::stored_factors(&s) > 0);
+    }
+
+    #[test]
+    fn grown_row_cap_doubles_clamps_and_checks_the_boundary() {
+        // Ordinary growth: double, floor of 4, clamp to n − 1.
+        assert_eq!(grown_row_cap(0, 0, 10), 4);
+        assert_eq!(grown_row_cap(3, 3, 100), 6);
+        assert_eq!(grown_row_cap(6, 6, 8), 7, "clamped to n - 1 receivers");
+        // Synthetic degree profile at the u32 boundary: doubling a
+        // 2³¹-entry row used to evaluate `(cap as usize * 2) as u32`
+        // = 2³² mod 2³² = **0**, a silently wrapped zero capacity. The
+        // 64-bit arithmetic clamps to the largest useful extent
+        // (n − 1 stored receivers) instead.
+        let huge_n = u32::MAX as usize; // n − 1 = u32::MAX − 1 receivers
+        assert_eq!(
+            grown_row_cap(1 << 31, 2_000_000_000, huge_n),
+            u32::MAX - 1,
+            "doubling past u32::MAX clamps to n - 1 instead of wrapping"
+        );
+        assert_eq!(
+            grown_row_cap(u32::MAX - 1, u32::MAX - 2, huge_n),
+            u32::MAX - 1
+        );
+        // A full row keeps at least one insert slot of headroom even
+        // when the n − 1 clamp would forbid growth.
+        assert_eq!(grown_row_cap(3, 3, 4), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "u32 arena index space")]
+    fn grown_row_cap_rejects_past_u32() {
+        // Only reachable with > u32::MAX + 1 links; must be a checked
+        // panic, not a silent wrap.
+        grown_row_cap(u32::MAX, u32::MAX, u32::MAX as usize + 3);
+    }
+
+    #[test]
+    fn instance_diameter_survives_degenerate_boxes() {
+        // A single horizontal link spans a zero-height bounding box,
+        // which `Rect::new` rejects; the diameter must not go through
+        // it. (Surfaced by mutating an instance down to one link.)
+        let s = [Point2::new(0.0, 5.0)];
+        let r = [Point2::new(3.0, 5.0)];
+        assert_eq!(instance_diameter(&s, &r), 3.0);
+        // Coincident endpoints and the empty set fall back to 1.
+        let p = [Point2::new(2.0, 2.0)];
+        assert_eq!(instance_diameter(&p, &p), 1.0);
+        assert_eq!(instance_diameter(&[], &[]), 1.0);
+    }
+
+    #[test]
+    fn empty_powers_do_not_poison_the_envelope() {
+        // A zero-link store with an explicit (empty) power profile used
+        // to set max_scale = f64::MIN via the fold identity; the first
+        // add_link then reconciled against garbage. Envelope values must
+        // match the uniform-power empty store exactly.
+        assert_eq!(max_power_scale(Some(&[])), 1.0);
+        assert_eq!(max_power_scale(None), 1.0);
+        assert_eq!(max_power_scale(Some(&[0.5, 2.0])), 2.0);
+        let channel = RayleighChannel::new(ChannelParams::paper_defaults());
+        let empty = LinkSet::new(fading_geom::Rect::square(1.0), vec![]);
+        let mut s = SparseInterference::build_with_powers(
+            &empty,
+            &channel,
+            Some(&[]),
+            gamma_eps(0.01),
+            SparseConfig::default(),
+        );
+        assert_eq!(s.max_scale, 1.0);
+        // Grow from empty with powered links; must equal a fresh build.
+        let links = UniformGenerator::paper(6).generate(23);
+        for i in 0..6 {
+            let l = links.link(LinkId(i));
+            s.add_link(l.sender, l.receiver, l.length(), Some(1.0 + i as f64 * 0.5));
+        }
+        assert_eq!(s, rebuild_of(&s));
+    }
+
+    #[test]
+    fn row_slices_match_for_each_out() {
+        let (links, _, sparse) = paper_pair(50, 24, 0.4);
+        for i in links.ids() {
+            let (recv, fact) = sparse.row_slices(i);
+            let mut walked = Vec::new();
+            sparse.for_each_out(i, &mut |j, f| walked.push((j.0, f)));
+            let zipped: Vec<(u32, f64)> = recv.iter().copied().zip(fact.iter().copied()).collect();
+            assert_eq!(zipped, walked);
+        }
     }
 
     #[test]

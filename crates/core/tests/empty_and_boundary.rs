@@ -1,0 +1,134 @@
+//! Degenerate-instance hardening: zero-link problems, restriction to
+//! the empty set, and mutation down to (and back up from) empty must
+//! be well-defined on both interference backends, for every registered
+//! scheduler. Regression tests for the empty-row panic family in the
+//! sparse CSR builder (`row_start.last().unwrap()` on n = 0 rows and
+//! the restrict/add_links paths).
+
+use fading_channel::ChannelParams;
+use fading_core::mutate::LinkSpec;
+use fading_core::{AlgoId, BackendChoice, Problem, SparseConfig};
+use fading_geom::{Point2, Rect};
+use fading_net::{LinkId, LinkSet, TopologyGenerator, UniformGenerator};
+
+fn empty_problem(backend: BackendChoice) -> Problem {
+    let links = LinkSet::new(Rect::square(10.0), vec![]);
+    Problem::builder(links, ChannelParams::paper_defaults())
+        .backend(backend)
+        .build()
+}
+
+fn backends() -> [BackendChoice; 2] {
+    [
+        BackendChoice::Dense,
+        BackendChoice::Sparse(SparseConfig::default()),
+    ]
+}
+
+#[test]
+fn zero_link_problem_is_schedulable_by_every_algorithm() {
+    for backend in backends() {
+        let p = empty_problem(backend);
+        assert_eq!(p.len(), 0);
+        for algo in AlgoId::ALL {
+            let s = algo.build(1).schedule(&p);
+            assert!(s.is_empty(), "{algo} on empty ({backend:?})");
+        }
+    }
+}
+
+#[test]
+fn restrict_to_nothing_yields_a_working_empty_problem() {
+    for backend in backends() {
+        let links = UniformGenerator::paper(40).generate(11);
+        let parent = Problem::builder(links, ChannelParams::paper_defaults())
+            .backend(backend)
+            .build();
+        let (sub, mapping) = parent.restrict(&[]);
+        assert_eq!(sub.len(), 0);
+        assert!(mapping.is_empty());
+        for algo in AlgoId::ALL {
+            assert!(algo.build(1).schedule(&sub).is_empty());
+        }
+        // The restricted-empty instance accepts arrivals again.
+        let mut sub = sub;
+        let ids = sub
+            .add_links(&[LinkSpec::new(Point2::new(1.0, 1.0), Point2::new(2.0, 1.0))])
+            .unwrap();
+        assert_eq!(ids, vec![LinkId(0)]);
+        assert_eq!(sub.len(), 1);
+    }
+}
+
+#[test]
+fn growing_from_empty_matches_a_batch_build() {
+    for backend in backends() {
+        let mut grown = empty_problem(backend);
+        let seeds = UniformGenerator::paper(12).generate(29);
+        let specs: Vec<LinkSpec> = seeds
+            .links()
+            .iter()
+            .map(|l| LinkSpec::new(l.sender, l.receiver))
+            .collect();
+        grown.add_links(&specs).unwrap();
+        let batch = Problem::builder(seeds, ChannelParams::paper_defaults())
+            .backend(backend)
+            .build();
+        assert_eq!(grown.len(), 12);
+        for i in grown.links().ids() {
+            for j in grown.links().ids() {
+                assert_eq!(
+                    grown.factor(i, j).to_bits(),
+                    batch.factor(i, j).to_bits(),
+                    "f({i},{j}) after growth from empty ({backend:?})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn removing_every_link_leaves_a_usable_instance() {
+    for backend in backends() {
+        let links = UniformGenerator::paper(15).generate(31);
+        let mut p = Problem::builder(links, ChannelParams::paper_defaults())
+            .backend(backend)
+            .build();
+        let all: Vec<LinkId> = p.links().ids().collect();
+        p.remove_links(&all);
+        assert_eq!(p.len(), 0);
+        for algo in AlgoId::ALL {
+            assert!(algo.build(1).schedule(&p).is_empty());
+        }
+        // And it accepts arrivals after hitting empty.
+        p.add_links(&[LinkSpec::new(Point2::new(3.0, 3.0), Point2::new(4.5, 3.0))])
+            .unwrap();
+        assert_eq!(p.len(), 1);
+        let s = AlgoId::Rle.build(1).schedule(&p);
+        assert_eq!(s.len(), 1);
+    }
+}
+
+#[test]
+fn removing_no_links_is_a_no_op_mutation() {
+    for backend in backends() {
+        let links = UniformGenerator::paper(10).generate(37);
+        let mut p = Problem::builder(links, ChannelParams::paper_defaults())
+            .backend(backend)
+            .build();
+        let before: Vec<u64> = p
+            .links()
+            .ids()
+            .flat_map(|i| p.links().ids().map(move |j| (i, j)))
+            .map(|(i, j)| p.factor(i, j).to_bits())
+            .collect();
+        assert!(p.remove_links(&[]).is_empty());
+        let after: Vec<u64> = p
+            .links()
+            .ids()
+            .flat_map(|i| p.links().ids().map(move |j| (i, j)))
+            .map(|(i, j)| p.factor(i, j).to_bits())
+            .collect();
+        assert_eq!(before, after);
+    }
+}

@@ -7,7 +7,7 @@
 //! test's allocations pollute the counters.
 
 use fading_core::algo::{Ldp, Rle};
-use fading_core::{Problem, SchedCtx, Scheduler};
+use fading_core::{BackendChoice, Problem, SchedCtx, Scheduler, SparseConfig};
 use fading_net::{TopologyGenerator, UniformGenerator};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -45,10 +45,20 @@ fn allocations() -> u64 {
 fn warm_schedule_in_is_allocation_free_for_rle_and_ldp() {
     let n = 256;
     // A few instances so reuse is exercised across *different*
-    // problems, not just repeated calls on one.
-    let problems: Vec<Problem> = (0..3)
+    // problems, not just repeated calls on one — and on *both*
+    // interference backends: the sparse CSR walk (including its
+    // envelope state) must be as allocation-free as the dense rows.
+    let mut problems: Vec<Problem> = (0..3)
         .map(|seed| Problem::paper(UniformGenerator::paper(n).generate(seed), 3.0))
         .collect();
+    problems.extend((3..6).map(|seed| {
+        Problem::builder(
+            UniformGenerator::paper(n).generate(seed),
+            fading_channel::ChannelParams::with_alpha(3.0),
+        )
+        .backend(BackendChoice::Sparse(SparseConfig::default()))
+        .build()
+    }));
     let schedulers: [&dyn Scheduler; 2] = [&Rle::new(), &Ldp::new()];
 
     for scheduler in schedulers {
@@ -71,7 +81,7 @@ fn warm_schedule_in_is_allocation_free_for_rle_and_ldp() {
         assert_eq!(
             during,
             0,
-            "{}: {during} heap allocations in 15 warm schedule_in calls",
+            "{}: {during} heap allocations in 30 warm schedule_in calls",
             scheduler.name()
         );
     }

@@ -8,7 +8,25 @@
 //! checks.
 
 use crate::point::Point2;
+use rayon::prelude::*;
 use std::collections::HashMap;
+
+/// Contiguous index-stripe width used by the tiled build paths.
+///
+/// Construction over `points` is sharded into ⌈n / TILE_SIZE⌉ stripes
+/// that are built independently (no locking) and merged in stripe
+/// order. The stripe count depends only on `n`, never on the thread
+/// count, so the merged structure is identical for every
+/// `RAYON_NUM_THREADS` — including 1 (the sequential build is the
+/// 1-stripe special case of the same merge).
+pub(crate) const TILE_SIZE: usize = 16_384;
+
+/// Minimum point count before [`SpatialGrid::rebuild`] runs its
+/// key-computation stage in parallel. Kept well above engine-scale
+/// instances (n ≤ ~4k) so warm `schedule_in` rebuilds stay on the
+/// sequential, allocation-free path; stage dispatch is per-stage
+/// tile scheduling, not one global switch.
+const GRID_PARALLEL_MIN: usize = 65_536;
 
 /// A static spatial hash over indexed points.
 ///
@@ -31,6 +49,13 @@ impl SpatialHash {
     /// # Panics
     /// Panics if `cell` is not finite and positive.
     pub fn build(points: &[Point2], cell: f64) -> Self {
+        // Large instances shard construction into index stripes; the
+        // stripe count derives from n alone, so the result is the same
+        // structure the sequential path produces (pinned by
+        // `tiled_build_matches_sequential`).
+        if points.len() >= 2 * TILE_SIZE {
+            return Self::build_tiled(points, cell, points.len().div_ceil(TILE_SIZE));
+        }
         assert!(
             cell.is_finite() && cell > 0.0,
             "spatial hash cell must be finite and positive, got {cell}"
@@ -41,6 +66,55 @@ impl SpatialHash {
                 .entry(Self::key(p, cell))
                 .or_default()
                 .push(i as u32);
+        }
+        Self {
+            cell,
+            buckets,
+            points: points.to_vec(),
+        }
+    }
+
+    /// Builds the hash from `tiles` independently constructed,
+    /// contiguous index stripes, merged in stripe order.
+    ///
+    /// Structurally identical to the sequential [`build`](Self::build)
+    /// for **every** `tiles ≥ 1`: each stripe's per-cell runs are
+    /// ascending (stripe indices ascend), stripes are disjoint and
+    /// ascending, and the merge appends stripe `t`'s run before stripe
+    /// `t + 1`'s — so every merged bucket is exactly the ascending
+    /// sequence the one-pass build pushes. Bucket-map iteration order is
+    /// never observable (queries look cells up by key; equality is
+    /// content-based), so thread count and tile count cannot leak into
+    /// results.
+    ///
+    /// # Panics
+    /// Panics if `cell` is not finite and positive.
+    pub fn build_tiled(points: &[Point2], cell: f64, tiles: usize) -> Self {
+        assert!(
+            cell.is_finite() && cell > 0.0,
+            "spatial hash cell must be finite and positive, got {cell}"
+        );
+        let tiles = tiles.max(1);
+        let stripe = points.len().div_ceil(tiles).max(1);
+        let parts: Vec<HashMap<(i64, i64), Vec<u32>>> = (0..tiles as u32)
+            .into_par_iter()
+            .map(|t| {
+                let lo = (t as usize * stripe).min(points.len());
+                let hi = (lo + stripe).min(points.len());
+                let mut m: HashMap<(i64, i64), Vec<u32>> = HashMap::new();
+                for (k, p) in points[lo..hi].iter().enumerate() {
+                    m.entry(Self::key(p, cell))
+                        .or_default()
+                        .push((lo + k) as u32);
+                }
+                m
+            })
+            .collect();
+        let mut buckets: HashMap<(i64, i64), Vec<u32>> = HashMap::new();
+        for mut part in parts {
+            for (key, mut run) in part.drain() {
+                buckets.entry(key).or_default().append(&mut run);
+            }
         }
         Self {
             cell,
@@ -263,6 +337,9 @@ pub struct SpatialGrid {
     point_slot: Vec<u32>,
     /// Scratch: per-slot write cursor for the placement pass.
     offsets: Vec<u32>,
+    /// Scratch: per-point cell key, filled (in parallel for large
+    /// rebuilds) before the sequential slot-assignment pass.
+    key_scratch: Vec<(i64, i64)>,
 }
 
 impl SpatialGrid {
@@ -297,13 +374,34 @@ impl SpatialGrid {
         self.slots.clear();
         self.point_slot.clear();
         self.starts.clear();
+        // Key stage: each point's cell key is a pure function of
+        // (point, cell), so the tile-parallel fill is bit-identical to
+        // the sequential one; only the slot-assignment pass below is
+        // order-sensitive, and it stays sequential.
+        self.key_scratch.clear();
+        if points.len() >= GRID_PARALLEL_MIN {
+            self.key_scratch.resize(points.len(), (0, 0));
+            self.key_scratch
+                .par_chunks_mut(TILE_SIZE)
+                .enumerate()
+                .for_each(|(t, chunk)| {
+                    let base = t * TILE_SIZE;
+                    for (k, slot) in chunk.iter_mut().enumerate() {
+                        *slot = SpatialHash::key(&points[base + k], cell);
+                    }
+                });
+        } else {
+            self.key_scratch
+                .extend(points.iter().map(|p| SpatialHash::key(p, cell)));
+        }
         // Pass 1: assign each point a cell slot and count occupancy
         // (counts accumulate in `starts`, shifted by one for the
-        // prefix-sum below).
+        // prefix-sum below). First-encounter order assigns slot ids,
+        // which must stay the sequential point order.
         self.starts.push(0);
-        for p in points {
+        for key in self.key_scratch.iter().copied() {
             let next = self.slots.len() as u32;
-            let slot = *self.slots.entry(SpatialHash::key(p, cell)).or_insert(next);
+            let slot = *self.slots.entry(key).or_insert(next);
             if slot == next {
                 self.starts.push(0);
             }
@@ -528,6 +626,55 @@ mod tests {
             let mut from_grid = Vec::new();
             grid.for_each_in_radius(&c, r, |id| from_grid.push(id));
             prop_assert_eq!(from_grid, from_hash);
+        }
+    }
+
+    /// Tile-sharded construction must be structurally identical to the
+    /// sequential build for every tile count — the tile count (and
+    /// hence the thread count) must never be observable.
+    #[test]
+    fn tiled_build_matches_sequential() {
+        let pts = random_points(3000, 77);
+        let seq = SpatialHash::build(&pts, 4.0);
+        for tiles in [1usize, 2, 3, 7, 16, 3000, 5000] {
+            let tiled = SpatialHash::build_tiled(&pts, 4.0, tiles);
+            assert_eq!(tiled, seq, "tiles={tiles}");
+        }
+        assert_eq!(
+            SpatialHash::build_tiled(&[], 1.0, 4),
+            SpatialHash::build(&[], 1.0)
+        );
+        let one = random_points(1, 5);
+        assert_eq!(
+            SpatialHash::build_tiled(&one, 1.0, 8),
+            SpatialHash::build(&one, 1.0)
+        );
+    }
+
+    /// Above the auto-tiling threshold `build` takes the sharded path
+    /// and `SpatialGrid::rebuild` the parallel key stage; both must
+    /// keep exact visit-order parity with each other and set-parity
+    /// with a brute-force scan.
+    #[test]
+    fn large_build_keeps_order_parity() {
+        // Forces both the tiled hash build (n ≥ 2·TILE_SIZE) and the
+        // grid's parallel key stage (n ≥ GRID_PARALLEL_MIN).
+        let n = GRID_PARALLEL_MIN + 137;
+        let pts = random_points(n, 81);
+        let cell = 2.0;
+        let hash = SpatialHash::build(&pts, cell);
+        let mut grid = SpatialGrid::new();
+        grid.rebuild(&pts, cell);
+        for (k, c) in random_points(10, 82).iter().enumerate() {
+            let r = 1.0 + (k as f64) % 8.0;
+            let mut from_hash = Vec::new();
+            hash.for_each_in_radius(c, r, |id| from_hash.push(id));
+            let mut from_grid = Vec::new();
+            grid.for_each_in_radius(c, r, |id| from_grid.push(id));
+            assert_eq!(from_grid, from_hash, "center {c:?} r {r}");
+            let mut sorted = from_hash.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, brute_force_radius(&pts, c, r));
         }
     }
 

@@ -32,6 +32,14 @@ pub enum ValidationError {
     DuplicateReceiver(LinkId, LinkId),
     /// A coordinate is NaN or infinite.
     NonFiniteCoordinate(LinkId),
+    /// The instance holds more links than the `u32` id space can
+    /// number. Ids double as arena indices throughout the interference
+    /// substrate, so exceeding the space would silently truncate —
+    /// rejected here instead.
+    CapacityExceeded {
+        /// Links the caller tried to store.
+        requested: usize,
+    },
 }
 
 impl std::fmt::Display for ValidationError {
@@ -55,6 +63,12 @@ impl std::fmt::Display for ValidationError {
             ValidationError::NonFiniteCoordinate(id) => {
                 write!(f, "link {id} has a non-finite coordinate")
             }
+            ValidationError::CapacityExceeded { requested } => {
+                write!(
+                    f,
+                    "instance holds {requested} links, exceeding the u32 id space"
+                )
+            }
         }
     }
 }
@@ -75,6 +89,11 @@ mod tests {
         };
         assert!(e.to_string().contains("l1"));
         assert!(e.to_string().contains("-2"));
+        let e = ValidationError::CapacityExceeded {
+            requested: 4_294_967_296,
+        };
+        assert!(e.to_string().contains("4294967296"));
+        assert!(e.to_string().contains("u32"));
     }
 
     #[test]

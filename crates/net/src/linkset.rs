@@ -48,6 +48,13 @@ impl LinkSet {
     /// instead of panicking.
     pub fn try_new(region: Rect, links: Vec<Link>) -> Result<Self, crate::error::ValidationError> {
         use crate::error::ValidationError as E;
+        // Ids double as u32 arena indices in the interference stores;
+        // `len as u32` below would silently truncate past this point.
+        if links.len() > u32::MAX as usize {
+            return Err(E::CapacityExceeded {
+                requested: links.len(),
+            });
+        }
         for (i, l) in links.iter().enumerate() {
             if l.id.index() != i {
                 return Err(E::MisnumberedId {
@@ -203,6 +210,12 @@ impl LinkSet {
         rate: f64,
     ) -> Result<LinkId, crate::error::ValidationError> {
         use crate::error::ValidationError as E;
+        // Appending at len == u32::MAX would wrap the new id to 0.
+        if self.links.len() >= u32::MAX as usize {
+            return Err(E::CapacityExceeded {
+                requested: self.links.len() + 1,
+            });
+        }
         let id = LinkId(self.links.len() as u32);
         if !(sender.x.is_finite()
             && sender.y.is_finite()

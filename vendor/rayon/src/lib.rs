@@ -25,7 +25,19 @@ pub mod prelude {
 }
 
 /// Number of worker threads used for parallel calls.
+///
+/// Honors `RAYON_NUM_THREADS` (like upstream rayon's default pool) so
+/// determinism tests can compare single-threaded and multi-threaded
+/// runs of the same build; unset, unparsable, or zero values fall back
+/// to the machine's available parallelism.
 fn threads() -> usize {
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
     std::thread::available_parallelism().map_or(1, NonZeroUsize::get)
 }
 

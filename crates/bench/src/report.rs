@@ -510,7 +510,9 @@ fn mutate_benches(rec: &mut Recorder) {
 fn churn_benches(rec: &mut Recorder) {
     const N: usize = 2000;
     let slot_id = format!("churn_slot/maxweight/{N}");
-    if !rec.wants(&slot_id) && !rec.wants("churn.slots_per_sec") {
+    let tel_id = format!("churn_slot_telemetry/maxweight/{N}");
+    let overhead_wanted = rec.wants(&tel_id) || rec.wants("churn_slot.telemetry_overhead");
+    if !rec.wants(&slot_id) && !rec.wants("churn.slots_per_sec") && !overhead_wanted {
         return;
     }
     let gen = density_scaled(N);
@@ -529,7 +531,7 @@ fn churn_benches(rec: &mut Recorder) {
         packet_prob: 0.2,
         seed: 5,
     };
-    let mut engine = fading_sim::ChurnEngine::new(problem, gen, cfg);
+    let mut engine = fading_sim::ChurnEngine::new(problem.clone(), gen, cfg);
     rec.time(&slot_id, move || {
         black_box(engine.step(&GreedyRate, fading_sim::ServicePolicy::MaxWeight));
     });
@@ -542,6 +544,60 @@ fn churn_benches(rec: &mut Recorder) {
                 false,
             );
         }
+    }
+
+    if !overhead_wanted {
+        return;
+    }
+    // Telemetry-overhead probe: two fresh same-seed engines walk the
+    // same churn stream in lockstep — one bare, one with the full
+    // steady-state telemetry footprint armed (in-memory series ring,
+    // flight recorder with its detectors effectively disabled so the
+    // probe measures the per-slot bookkeeping, not an anomaly dump).
+    // Pairing the steps makes the ratio robust to machine drift within
+    // the run; `churn_slot.telemetry_overhead` carries an absolute
+    // `[max]` ceiling of 1.02 in `bench-gates.toml` — the armed path
+    // may cost at most 2% on the release smoke scale.
+    let mut plain = fading_sim::ChurnEngine::new(problem.clone(), gen, cfg);
+    let mut armed = fading_sim::ChurnEngine::new(problem, gen, cfg);
+    armed.arm_series(fading_obs::SlotSeries::in_memory(
+        fading_obs::SeriesConfig::default(),
+    ));
+    armed.arm_flight(
+        fading_obs::FlightConfig {
+            min_stall_ns: u64::MAX,
+            growth_window: u32::MAX,
+            zero_delivery_window: u32::MAX,
+            capture_trace: false,
+            ..Default::default()
+        },
+        None,
+    );
+    for _ in 0..32 {
+        // Warm both engines past the cold caches and ring growth.
+        plain.step(&GreedyRate, fading_sim::ServicePolicy::MaxWeight);
+        armed.step(&GreedyRate, fading_sim::ServicePolicy::MaxWeight);
+    }
+    let rounds = rec.samples * 16;
+    let mut plain_ns = Vec::with_capacity(rounds);
+    let mut armed_ns = Vec::with_capacity(rounds);
+    for _ in 0..rounds {
+        let start = Instant::now();
+        black_box(plain.step(&GreedyRate, fading_sim::ServicePolicy::MaxWeight));
+        plain_ns.push(start.elapsed().as_nanos() as f64);
+        let start = Instant::now();
+        black_box(armed.step(&GreedyRate, fading_sim::ServicePolicy::MaxWeight));
+        armed_ns.push(start.elapsed().as_nanos() as f64);
+    }
+    let plain_total: f64 = plain_ns.iter().sum();
+    let armed_total: f64 = armed_ns.iter().sum();
+    rec.timed(&tel_id, summarize(armed_ns));
+    if plain_total > 0.0 {
+        rec.derived(
+            "churn_slot.telemetry_overhead",
+            MetricKind::Ratio,
+            armed_total / plain_total,
+        );
     }
 }
 

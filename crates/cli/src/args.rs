@@ -16,7 +16,15 @@ pub struct Args {
 
 /// Flags that never take a value; their presence stores `"true"`.
 pub const BOOLEAN_FLAGS: &[&str] = &[
-    "progress", "quiet", "budgets", "verify", "check", "quick", "smoke",
+    "progress",
+    "quiet",
+    "budgets",
+    "verify",
+    "check",
+    "quick",
+    "smoke",
+    "watch",
+    "series-timings",
 ];
 
 /// Parses an argument vector (excluding the program name).
@@ -143,6 +151,18 @@ mod tests {
         assert!(a.flag("quiet"));
         assert!(!a.flag("metrics-out"));
         assert_eq!(a.get_or::<u64>("trials", 0).unwrap(), 50);
+    }
+
+    #[test]
+    fn telemetry_booleans_do_not_swallow_values() {
+        let a = parse(argv(
+            "churn --watch --series-timings --series-out s.jsonl --slots 10",
+        ))
+        .unwrap();
+        assert!(a.flag("watch"));
+        assert!(a.flag("series-timings"));
+        assert_eq!(a.get("series-out"), Some("s.jsonl"));
+        assert_eq!(a.get_or::<u64>("slots", 0).unwrap(), 10);
     }
 
     #[test]

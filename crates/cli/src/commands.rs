@@ -7,7 +7,7 @@ use fading_sim::simulate_many;
 use std::path::Path;
 
 /// Flags accepted by every subcommand (observability plumbing).
-const GLOBAL_FLAGS: &[&str] = &["metrics-out", "trace-out", "progress", "quiet"];
+const GLOBAL_FLAGS: &[&str] = &["metrics-out", "trace-out", "prom-out", "progress", "quiet"];
 
 /// Side effects a subcommand reports back to the shared [`run`]
 /// wrapper: files it produced (hashed into the `--metrics-out`
@@ -65,6 +65,14 @@ pub fn run(args: &Args, out: &mut dyn std::io::Write) -> Result<i32, String> {
         if !quiet {
             writeln!(out, "wrote {} trace events to {path}", trace.events.len())
                 .map_err(|e| e.to_string())?;
+        }
+    }
+    if let Some(path) = args.get("prom-out") {
+        let text = fading_obs::render_prometheus(&fading_obs::snapshot());
+        std::fs::write(path, text).map_err(|e| format!("cannot write {path}: {e}"))?;
+        effects.artifacts.push(("prometheus".into(), path.into()));
+        if !quiet {
+            writeln!(out, "wrote prometheus metrics to {path}").map_err(|e| e.to_string())?;
         }
     }
     if let Some(path) = args.get("metrics-out") {
@@ -212,6 +220,12 @@ fn dispatch(
                     "len-lo",
                     "len-hi",
                     "out",
+                    "series-out",
+                    "series-timings",
+                    "series-cadence",
+                    "flight-out",
+                    "flight-slots",
+                    "watch",
                 ],
             )?;
             churn(args, out, effects)
@@ -260,10 +274,23 @@ USAGE:
                   [--frontier p1,p2,...] [--seed 0] [--alpha 3]
                   [--eps 0.01] [--interference dense|sparse|auto]
                   [--side 500] [--len-lo 5] [--len-hi 20] [--out <json>]
+                  [--series-out <file.jsonl>] [--series-timings]
+                  [--series-cadence 1] [--flight-out <dir>]
+                  [--flight-slots 64] [--watch]
                   streaming run: links arrive (Poisson, --link-rate per
                   slot) and depart (exponential --lifetime) while the
                   engine patches the live problem in place; --frontier
-                  sweeps packet load and prints the stability table
+                  sweeps packet load and prints the stability table.
+                  --series-out streams one JSON line per slot
+                  (deterministic per seed; --series-timings appends the
+                  measured per-phase ns fields; --series-cadence thins
+                  the stream); --flight-out arms the flight recorder,
+                  which keeps the last --flight-slots slots + their
+                  decision traces and dumps a replayable post-mortem
+                  bundle into the directory when an anomaly fires
+                  (mutually exclusive with --trace-out); --watch turns
+                  the progress line into a live slots/sec + phase-split
+                  + health view (see docs/telemetry.md)
   fading bench-report [--out <BENCH_date.json>] [--dir <repo-root>]
                   [--check] [--baseline <file>] [--gates <bench-gates.toml>]
                   [--quick] [--smoke] [--filter <substr>] [--from <file>]
@@ -293,6 +320,8 @@ GLOBAL FLAGS (every subcommand):
                             (inspect and replay with `fading explain`)
   --metrics-out <file.json> write a run manifest (metrics, spans,
                             artifact hashes)
+  --prom-out <file.prom>    write the metrics snapshot in Prometheus
+                            text exposition format
   --progress                throttled progress on stderr
   --quiet                   suppress progress and chatter
 "
@@ -557,8 +586,37 @@ fn churn(
             cfg.packet_prob
         ));
     }
+    let series_out = args.get("series-out");
+    let flight_out = args.get("flight-out");
+    let watch = args.flag("watch");
+    let series_cadence: u64 = args.get_or("series-cadence", 1)?;
+    if series_cadence == 0 {
+        return Err("--series-cadence must be >= 1".into());
+    }
+    let flight_slots: usize = args.get_or("flight-slots", 64)?;
+    if flight_slots == 0 {
+        return Err("--flight-slots must be >= 1".into());
+    }
+    if flight_out.is_some() && args.get("trace-out").is_some() {
+        return Err(
+            "--flight-out and --trace-out are mutually exclusive: the flight \
+             recorder owns the decision-trace ring while it captures"
+                .into(),
+        );
+    }
+    if watch {
+        // The watch view is the progress line with a live phase split
+        // and health state; it implies --progress.
+        fading_obs::set_progress(!args.flag("quiet"));
+    }
 
     if let Some(list) = args.get("frontier") {
+        if series_out.is_some() || flight_out.is_some() {
+            return Err(
+                "--series-out/--flight-out apply to a single churn run, not --frontier sweeps"
+                    .into(),
+            );
+        }
         let probs: Vec<f64> = list
             .split(',')
             .map(|v| {
@@ -610,7 +668,28 @@ fn churn(
         return Ok(());
     }
 
-    let engine = fading_sim::ChurnEngine::new(problem, geometry, cfg);
+    let mut engine = fading_sim::ChurnEngine::new(problem, geometry, cfg);
+    if let Some(path) = series_out {
+        let series_cfg = fading_obs::SeriesConfig {
+            cadence: series_cadence,
+            timings: args.flag("series-timings"),
+            ..Default::default()
+        };
+        engine.arm_series(fading_obs::SlotSeries::to_path(
+            series_cfg,
+            Path::new(path),
+        )?);
+    }
+    if let Some(dir) = flight_out {
+        let flight_cfg = fading_obs::FlightConfig {
+            capacity: flight_slots,
+            ..Default::default()
+        };
+        engine.arm_flight(flight_cfg, Some(dir.into()));
+    }
+    if watch {
+        engine.arm_phases();
+    }
     let result = engine.run(scheduler.as_ref(), policy);
     writeln!(
         out,
@@ -636,6 +715,33 @@ fn churn(
     .map_err(|e| e.to_string())?;
     if !result.conserves_packets() {
         return Err("internal error: packet conservation violated".into());
+    }
+    if let Some(tel) = engine.take_telemetry() {
+        if let Some(path) = series_out {
+            let recorded = tel.series().map_or(0, |s| s.recorded());
+            effects.artifacts.push(("series".into(), path.into()));
+            writeln!(out, "wrote {recorded} slot records to {path}").map_err(|e| e.to_string())?;
+        }
+        if tel.health() != "ok" {
+            writeln!(out, "  health:  anomaly `{}` fired", tel.health())
+                .map_err(|e| e.to_string())?;
+        }
+        if let Some(dir) = tel.postmortem() {
+            for name in [
+                "postmortem.json",
+                "flight_trace.jsonl",
+                "replay_trace.jsonl",
+                "replay_instance.json",
+                "replay_meta.json",
+            ] {
+                let p = dir.join(name);
+                if p.exists() {
+                    effects.artifacts.push(("postmortem".into(), p));
+                }
+            }
+            writeln!(out, "  post-mortem bundle at {}", dir.display())
+                .map_err(|e| e.to_string())?;
+        }
     }
     if let Some(path) = args.get("out") {
         let json = serde_json::to_string_pretty(&result).map_err(|e| e.to_string())?;
@@ -762,6 +868,114 @@ mod tests {
         assert!(run_line("churn --packet-prob 1.5").is_err());
         assert!(run_line("churn --frontier 0.1,oops").is_err());
         assert!(run_line("churn --what 3").is_err());
+        // Telemetry knobs validate too.
+        assert!(run_line("churn --series-cadence 0").is_err());
+        assert!(run_line("churn --flight-slots 0").is_err());
+        let err = run_line("churn --flight-out d --trace-out t.jsonl").unwrap_err();
+        assert!(err.contains("mutually exclusive"), "{err}");
+        let err = run_line("churn --frontier 0.1 --series-out s.jsonl").unwrap_err();
+        assert!(err.contains("--frontier"), "{err}");
+    }
+
+    #[test]
+    fn churn_series_stream_is_byte_identical_across_reruns() {
+        // Acceptance: the deterministic series is byte-stable at a
+        // fixed seed; --series-timings opts into the measured fields.
+        let s1 = tmp("churn_series_a.jsonl");
+        let s2 = tmp("churn_series_b.jsonl");
+        for s in [&s1, &s2] {
+            let out = run_line(&format!(
+                "churn --n 25 --slots 40 --seed 5 --series-out {s}"
+            ))
+            .unwrap();
+            assert!(
+                out.contains(&format!("wrote 40 slot records to {s}")),
+                "{out}"
+            );
+        }
+        let a = std::fs::read(&s1).unwrap();
+        assert_eq!(a, std::fs::read(&s2).unwrap(), "series bytes diverged");
+        let text = String::from_utf8(a).unwrap();
+        assert_eq!(text.lines().count(), 40);
+        assert!(!text.contains("_ns"), "det mode must omit timings");
+        assert!(text.lines().all(|l| l.starts_with("{\"slot\":")));
+
+        let s3 = tmp("churn_series_timed.jsonl");
+        run_line(&format!(
+            "churn --n 25 --slots 40 --seed 5 --series-timings --series-out {s3} --series-cadence 4"
+        ))
+        .unwrap();
+        let timed = std::fs::read_to_string(&s3).unwrap();
+        assert_eq!(timed.lines().count(), 10, "cadence 4 over 40 slots");
+        assert!(timed.contains("\"slot_ns\":"));
+    }
+
+    #[test]
+    fn churn_flight_out_stays_quiet_without_an_anomaly() {
+        let dir = std::env::temp_dir().join("fading_cli_flight_quiet");
+        let _ = std::fs::remove_dir_all(&dir);
+        let out = run_line(&format!(
+            "churn --n 20 --slots 30 --seed 3 --flight-out {}",
+            dir.display()
+        ))
+        .unwrap();
+        assert!(!out.contains("post-mortem"), "{out}");
+        assert!(!dir.join("postmortem.json").exists());
+    }
+
+    #[test]
+    fn churn_overload_dumps_a_postmortem_bundle_into_the_manifest() {
+        // Every link draws a packet every slot: backlog grows strictly
+        // and the queue-growth detector fires within the horizon.
+        let dir = std::env::temp_dir().join("fading_cli_flight_fire");
+        let _ = std::fs::remove_dir_all(&dir);
+        let manifest = tmp("churn_flight_manifest.json");
+        let out = run_line(&format!(
+            "churn --n 25 --slots 150 --seed 2 --packet-prob 1.0 --lifetime 80 \
+             --flight-out {} --metrics-out {manifest}",
+            dir.display()
+        ))
+        .unwrap();
+        assert!(out.contains("anomaly `queue_growth` fired"), "{out}");
+        assert!(out.contains("post-mortem bundle at"), "{out}");
+        for name in [
+            "postmortem.json",
+            "flight_trace.jsonl",
+            "replay_trace.jsonl",
+        ] {
+            assert!(dir.join(name).exists(), "missing {name}");
+        }
+        let m: fading_obs::RunManifest =
+            serde_json::from_str(&std::fs::read_to_string(&manifest).unwrap()).unwrap();
+        let bundle: Vec<_> = m
+            .artifacts
+            .iter()
+            .filter(|a| a.kind == "postmortem")
+            .collect();
+        assert!(bundle.len() >= 3, "bundle files hashed into the manifest");
+        assert!(bundle.iter().all(|a| a.sha256.len() == 64));
+    }
+
+    #[test]
+    fn prom_out_renders_the_metrics_snapshot() {
+        let prom = tmp("churn_prom.prom");
+        let series = tmp("churn_prom_series.jsonl");
+        let manifest = tmp("churn_prom_manifest.json");
+        run_line(&format!(
+            "churn --n 20 --slots 20 --seed 4 --series-out {series} \
+             --prom-out {prom} --metrics-out {manifest} --watch --quiet"
+        ))
+        .unwrap();
+        let text = std::fs::read_to_string(&prom).unwrap();
+        assert!(text.contains("# TYPE"), "{text}");
+        // The armed run registered the phase histograms globally.
+        assert!(text.contains("churn_slot_ns"), "{text}");
+        let body = std::fs::read_to_string(&manifest).unwrap();
+        let m: fading_obs::RunManifest = serde_json::from_str(&body).unwrap();
+        assert!(m.artifacts.iter().any(|a| a.kind == "series"));
+        assert!(m.artifacts.iter().any(|a| a.kind == "prometheus"));
+        // Satellite: derived quantiles ride along in the manifest.
+        assert!(body.contains("\"p50\""), "quantiles missing from manifest");
     }
 
     #[test]

@@ -26,6 +26,16 @@
 //!   scheduler decisions (`Pick`, `Eliminate {cause}`, `BudgetDebit`,
 //!   `ClassColorChosen`), ring-buffered and zero-cost when disabled;
 //!   [`hash`] fingerprints the resulting artifacts for the manifest.
+//! * **Slot time-series** ([`timeseries`]) — a bounded ring-buffered
+//!   per-slot recorder for the online engine, streamed to JSONL with
+//!   zero steady-state allocation (deterministic by default, measured
+//!   phase timings opt-in).
+//! * **Flight recorder** ([`flight`]) — a black box retaining the
+//!   last K slot records plus their trace events, with an anomaly
+//!   detector (stall / queue growth / conservation / zero delivery)
+//!   that dumps a replayable post-mortem bundle when it fires.
+//! * **Exposition** ([`exposition`]) — a Prometheus-text-format
+//!   renderer for [`MetricsSnapshot`] (`--prom-out`).
 //!
 //! Everything is safe to call from `rayon` worker threads. The
 //! registry is process-global: snapshots taken while writers are
@@ -33,14 +43,21 @@
 //! barrier.
 
 pub mod events;
+pub mod exposition;
+pub mod flight;
 pub mod hash;
 pub mod manifest;
 pub mod metrics;
 pub mod progress;
 pub mod span;
+pub mod timeseries;
 pub mod trace;
 
 pub use events::{emit_event, set_event_sink, EventValue};
+pub use exposition::render_prometheus;
+pub use flight::{
+    Anomaly, AnomalyDetector, FlightConfig, FlightRecorder, PostmortemPaths, POSTMORTEM_VERSION,
+};
 pub use hash::{sha256, sha256_hex};
 pub use manifest::{Artifact, ManifestBuilder, RunManifest};
 pub use metrics::{
@@ -49,6 +66,7 @@ pub use metrics::{
 };
 pub use progress::{progress_enabled, set_progress, Progress};
 pub use span::{reset_spans, span_snapshot, Span, SpanNode};
+pub use timeseries::{SeriesConfig, SlotRecord, SlotSeries};
 pub use trace::{
     set_trace_capacity, set_tracing, take_trace, tracing_enabled, ElimCause, Trace, TraceEvent,
     TraceScope,

@@ -15,8 +15,10 @@ use std::time::Instant;
 
 /// The schema version written into every manifest, bumped on
 /// incompatible changes (see `docs/observability.md`).
-/// Version 2 added `artifacts`; version-1 manifests still deserialize.
-pub const MANIFEST_VERSION: u64 = 2;
+/// Version 2 added `artifacts`; version 3 added derived p50/p95/p99
+/// quantiles to every histogram snapshot. Older manifests still
+/// deserialize (missing quantiles are recomputed from bucket counts).
+pub const MANIFEST_VERSION: u64 = 3;
 
 /// A file the run produced, pinned by content hash so results and
 /// their traces stay linkable after the fact.
@@ -205,13 +207,9 @@ mod tests {
         let mut histograms = BTreeMap::new();
         histograms.insert(
             "sim.runner.point_ms".to_string(),
-            HistogramSnapshot {
-                bounds: vec![10.0, 100.0, 1000.0],
-                counts: vec![1, 2, 0],
-                overflow: 1,
-                count: 4,
-                sum: 1234.5,
-            },
+            // 4 observations, 1 in overflow: p50 lands in bucket 100,
+            // p95/p99 in overflow (no finite bound -> None).
+            HistogramSnapshot::from_buckets(vec![10.0, 100.0, 1000.0], vec![1, 2, 0], 1, 4, 1234.5),
         );
         let mut config = BTreeMap::new();
         config.insert("alpha".to_string(), "3".to_string());

@@ -187,18 +187,16 @@ impl Histogram {
             count += s.count.load(Ordering::Relaxed);
             sum += f64::from_bits(s.sum_bits.load(Ordering::Relaxed));
         }
-        HistogramSnapshot {
-            bounds: cell.bounds.clone(),
-            counts,
-            overflow,
-            count,
-            sum,
-        }
+        HistogramSnapshot::from_buckets(cell.bounds.clone(), counts, overflow, count, sum)
     }
 }
 
-/// Serializable state of one histogram.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// Serializable state of one histogram, including derived p50/p95/p99
+/// quantiles. Quantiles are exact with respect to the bucketed data:
+/// the q-quantile is the smallest bucket upper bound whose cumulative
+/// count reaches `ceil(q × count)`, or `None` when the histogram is
+/// empty or the rank falls into the unbounded overflow bucket.
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct HistogramSnapshot {
     /// Bucket upper bounds (finite, increasing).
     pub bounds: Vec<f64>,
@@ -210,6 +208,100 @@ pub struct HistogramSnapshot {
     pub count: u64,
     /// Sum of all observed values.
     pub sum: f64,
+    /// Derived median (see [`HistogramSnapshot::quantile`]).
+    pub p50: Option<f64>,
+    /// Derived 95th percentile.
+    pub p95: Option<f64>,
+    /// Derived 99th percentile.
+    pub p99: Option<f64>,
+}
+
+impl HistogramSnapshot {
+    /// Builds a snapshot from raw bucket state, filling the derived
+    /// quantile fields.
+    pub fn from_buckets(
+        bounds: Vec<f64>,
+        counts: Vec<u64>,
+        overflow: u64,
+        count: u64,
+        sum: f64,
+    ) -> Self {
+        let mut s = Self {
+            bounds,
+            counts,
+            overflow,
+            count,
+            sum,
+            p50: None,
+            p95: None,
+            p99: None,
+        };
+        s.p50 = s.quantile(0.50);
+        s.p95 = s.quantile(0.95);
+        s.p99 = s.quantile(0.99);
+        s
+    }
+
+    /// The q-quantile (`0 < q <= 1`) of the bucketed distribution: the
+    /// smallest bucket upper bound whose cumulative count reaches
+    /// `ceil(q × count)`. Returns `None` for an empty histogram, a
+    /// `q` outside `(0, 1]`, or a rank that lands in the overflow
+    /// bucket (no finite bound can be named for it).
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 || !(q > 0.0 && q <= 1.0) {
+            return None;
+        }
+        let rank = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut cumulative = 0u64;
+        for (bound, c) in self.bounds.iter().zip(&self.counts) {
+            cumulative += c;
+            if cumulative >= rank {
+                return Some(*bound);
+            }
+        }
+        None // rank falls in the overflow bucket
+    }
+}
+
+// Manual impl so snapshots serialized before the derived-quantile
+// fields existed (manifest versions <= 2) still load: missing
+// quantiles are recomputed from the bucket counts. (The vendored
+// serde derive requires every named field to be present.)
+impl Deserialize for HistogramSnapshot {
+    fn deserialize_node(node: &serde::Node) -> Result<Self, serde::DeError> {
+        fn field<T: Deserialize>(node: &serde::Node, name: &str) -> Result<T, serde::DeError> {
+            Deserialize::deserialize_node(
+                node.get(name)
+                    .ok_or_else(|| serde::DeError(format!("missing field `{name}`")))?,
+            )
+        }
+        if !matches!(node, serde::Node::Map(_)) {
+            return Err(serde::DeError(
+                "invalid type: expected a map for struct HistogramSnapshot".to_string(),
+            ));
+        }
+        let base = Self::from_buckets(
+            field(node, "bounds")?,
+            field(node, "counts")?,
+            field(node, "overflow")?,
+            field(node, "count")?,
+            field(node, "sum")?,
+        );
+        let opt = |name: &str| -> Result<Option<f64>, serde::DeError> {
+            match node.get(name) {
+                None => Ok(None),
+                Some(n) => Deserialize::deserialize_node(n),
+            }
+        };
+        // Prefer recorded quantiles when present (round-trip fidelity);
+        // otherwise keep the recomputed ones.
+        Ok(Self {
+            p50: opt("p50")?.or(base.p50),
+            p95: opt("p95")?.or(base.p95),
+            p99: opt("p99")?.or(base.p99),
+            ..base
+        })
+    }
 }
 
 /// Serializable state of the whole registry at one instant.
@@ -408,6 +500,69 @@ mod tests {
         assert_eq!(s.counts, vec![0, 10_000]);
         assert_eq!(s.count, 10_000);
         assert!((s.sum - 10_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn quantiles_match_a_known_distribution() {
+        // 100 observations: 50 land in (<=10), 30 in (<=100), 15 in
+        // (<=1000), 5 overflow. Ranks: p50 -> 50th obs -> bucket 10;
+        // p95 -> 95th -> bucket 1000; p99 -> 99th -> overflow (None).
+        let h = histogram("obs.test.quantiles", &[10.0, 100.0, 1000.0]);
+        for _ in 0..50 {
+            h.record(5.0);
+        }
+        for _ in 0..30 {
+            h.record(50.0);
+        }
+        for _ in 0..15 {
+            h.record(500.0);
+        }
+        for _ in 0..5 {
+            h.record(5000.0);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.p50, Some(10.0));
+        assert_eq!(s.p95, Some(1000.0));
+        assert_eq!(s.p99, None);
+        // Exact boundary rank: the 80th observation closes bucket 100.
+        assert_eq!(s.quantile(0.80), Some(100.0));
+        assert_eq!(s.quantile(0.81), Some(1000.0));
+        // q=1.0 lands in overflow here; with no overflow it names the
+        // last populated bucket.
+        assert_eq!(s.quantile(1.0), None);
+    }
+
+    #[test]
+    fn quantiles_of_single_bucket_and_empty_histograms() {
+        let empty = HistogramSnapshot::from_buckets(vec![1.0, 2.0], vec![0, 0], 0, 0, 0.0);
+        assert_eq!(empty.p50, None);
+        assert_eq!(empty.quantile(0.5), None);
+
+        let one = HistogramSnapshot::from_buckets(vec![1.0, 2.0], vec![0, 1], 0, 1, 1.5);
+        assert_eq!(one.p50, Some(2.0));
+        assert_eq!(one.p95, Some(2.0));
+        assert_eq!(one.p99, Some(2.0));
+        assert_eq!(one.quantile(1.0), Some(2.0));
+        // Out-of-range q is rejected, not clamped.
+        assert_eq!(one.quantile(0.0), None);
+        assert_eq!(one.quantile(1.5), None);
+    }
+
+    #[test]
+    fn quantile_fields_survive_a_serde_round_trip_and_backfill() {
+        let s = HistogramSnapshot::from_buckets(vec![10.0, 100.0], vec![3, 1], 0, 4, 60.0);
+        assert_eq!(s.p50, Some(10.0));
+        let json = serde_json::to_string(&s).unwrap();
+        let back: HistogramSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+
+        // A pre-quantile (manifest v2) payload backfills from counts.
+        let legacy =
+            "{\"bounds\":[10.0,100.0],\"counts\":[3,1],\"overflow\":0,\"count\":4,\"sum\":60.0}";
+        let back: HistogramSnapshot = serde_json::from_str(legacy).unwrap();
+        assert_eq!(back.p50, Some(10.0));
+        assert_eq!(back.p95, Some(100.0));
+        assert_eq!(back, s);
     }
 
     #[test]

@@ -18,10 +18,14 @@ use crate::slot::simulate_slot;
 use fading_core::{LinkIdMap, LinkSpec, Problem, SchedCtx, Scheduler};
 use fading_math::{seeded_rng, split_seed, OnlineStats};
 use fading_net::{LinkId, UniformGenerator};
+use fading_obs::{FlightConfig, FlightRecorder, Histogram, SlotRecord, SlotSeries, TraceEvent};
 use rand::rngs::StdRng;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
 
 /// Configuration of a churn run.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -106,6 +110,27 @@ impl ChurnResult {
     pub fn conserves_packets(&self) -> bool {
         self.packets_arrived == self.packets_delivered + self.packets_abandoned + self.final_backlog
     }
+
+    /// Delivered throughput in packets/slot over the run's horizon.
+    pub fn delivered_per_slot(&self) -> f64 {
+        if self.slots == 0 {
+            return 0.0;
+        }
+        self.packets_delivered as f64 / self.slots as f64
+    }
+
+    /// Coarse drift verdict for frontier sweeps: `"growing"` when the
+    /// run ends with a backlog well above its own time average (the
+    /// signature of an unstable queue under Ásgeirsson–Halldórsson–
+    /// Mitra's stability lens), `"stable"` otherwise. A heuristic for
+    /// progress lines, not a proof of (in)stability.
+    pub fn drift_verdict(&self) -> &'static str {
+        if self.final_backlog > 10 && self.final_backlog as f64 > 2.0 * self.mean_backlog {
+            "growing"
+        } else {
+            "stable"
+        }
+    }
 }
 
 /// Per-link engine state, keyed by the link's stable external handle.
@@ -115,6 +140,170 @@ struct LinkState {
     queue: VecDeque<u64>,
     /// First slot at which the link is gone.
     departs_at: u64,
+}
+
+/// Phase indices for the per-slot attribution (see [`PhaseTimer`]).
+const PH_MUTATE: usize = 0;
+const PH_ENVELOPE: usize = 1;
+const PH_RESTRICT: usize = 2;
+const PH_SCHEDULE: usize = 3;
+const PH_SERVICE: usize = 4;
+const PHASE_NAMES: [&str; 5] = ["mutate", "envelope", "restrict", "schedule", "service"];
+
+/// Static, pre-registered histogram names for the five phases —
+/// resolved once at arm time so the hot path never touches the
+/// registry lock.
+const PHASE_HIST_NAMES: [&str; 5] = [
+    "churn.phase.mutate",
+    "churn.phase.envelope",
+    "churn.phase.restrict",
+    "churn.phase.schedule",
+    "churn.phase.service",
+];
+
+/// Nanosecond bucket bounds for the phase histograms: 1 µs → 10 s in
+/// decades, fine enough to separate the `O(N)` walks from the
+/// scheduler at any instance size the engine runs.
+const PHASE_HIST_BOUNDS: [f64; 8] = [1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9, 1e10];
+
+/// Segment stopwatch for phase attribution. `lap(phase)` charges the
+/// time since the previous lap to `phase`; segments of the same phase
+/// (the dense walks appear three times per slot) accumulate. When
+/// disarmed the laps are branch-only — no clock reads.
+struct PhaseTimer {
+    on: bool,
+    started: Instant,
+    mark: Instant,
+    acc: [u64; 5],
+}
+
+impl PhaseTimer {
+    fn start(on: bool) -> Self {
+        let now = Instant::now();
+        Self {
+            on,
+            started: now,
+            mark: now,
+            acc: [0; 5],
+        }
+    }
+
+    #[inline]
+    fn lap(&mut self, phase: usize) {
+        if self.on {
+            let now = Instant::now();
+            self.acc[phase] += (now - self.mark).as_nanos() as u64;
+            self.mark = now;
+        }
+    }
+
+    /// Whole-slot wall time so far — measured independently of the
+    /// laps, so the phase sum can be audited against it.
+    fn total_ns(&self) -> u64 {
+        self.started.elapsed().as_nanos() as u64
+    }
+}
+
+/// The flight-recorder side of the engine's telemetry: the obs-layer
+/// black box plus the engine-owned pieces it cannot know about — the
+/// dump directory and the last slot's restricted sub-instance (needed
+/// to make the post-mortem trace replayable).
+struct FlightBox {
+    rec: FlightRecorder,
+    out_dir: Option<PathBuf>,
+    /// The most recent slot's scheduled sub-problem, kept alive one
+    /// slot so a dump can write the instance its trace replays on.
+    last_sub: Option<Problem>,
+    /// Where the post-mortem bundle landed, once an anomaly fired.
+    postmortem: Option<PathBuf>,
+}
+
+/// Live telemetry armed onto a [`ChurnEngine`]: optional slot series,
+/// optional flight recorder, pre-registered phase histograms, and the
+/// cumulative totals the anomaly detector audits.
+pub struct ChurnTelemetry {
+    series: Option<SlotSeries>,
+    flight: Option<FlightBox>,
+    phase_hists: [Histogram; 5],
+    slot_hist: Histogram,
+    /// Cumulative per-phase ns, for the live phase-split view.
+    phase_totals: [u64; 5],
+    slot_ns_total: u64,
+    /// Cumulative packet totals for the conservation audit.
+    arrived_total: u64,
+    delivered_total: u64,
+    abandoned_total: u64,
+    health: &'static str,
+}
+
+impl std::fmt::Debug for ChurnTelemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChurnTelemetry")
+            .field("health", &self.health)
+            .field("phase_totals", &self.phase_totals)
+            .field("series", &self.series.is_some())
+            .field("flight", &self.flight.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ChurnTelemetry {
+    fn new() -> Self {
+        Self {
+            series: None,
+            flight: None,
+            phase_hists: std::array::from_fn(|i| {
+                fading_obs::histogram(PHASE_HIST_NAMES[i], &PHASE_HIST_BOUNDS)
+            }),
+            slot_hist: fading_obs::histogram("churn.slot_ns", &PHASE_HIST_BOUNDS),
+            phase_totals: [0; 5],
+            slot_ns_total: 0,
+            arrived_total: 0,
+            delivered_total: 0,
+            abandoned_total: 0,
+            health: "ok",
+        }
+    }
+
+    /// The armed slot series, if any.
+    pub fn series(&self) -> Option<&SlotSeries> {
+        self.series.as_ref()
+    }
+
+    /// `"ok"`, or the tag of the anomaly that fired.
+    pub fn health(&self) -> &'static str {
+        self.health
+    }
+
+    /// Directory the post-mortem bundle was written to, if one was.
+    pub fn postmortem(&self) -> Option<&Path> {
+        self.flight.as_ref().and_then(|f| f.postmortem.as_deref())
+    }
+
+    /// Cumulative per-phase share of attributed time, as integer
+    /// percentages in phase order (mutate, envelope, restrict,
+    /// schedule, service). Zero until the first timed slot.
+    pub fn phase_split(&self) -> [u32; 5] {
+        let total: u64 = self.phase_totals.iter().sum();
+        if total == 0 {
+            return [0; 5];
+        }
+        std::array::from_fn(|i| (self.phase_totals[i] * 100 / total) as u32)
+    }
+
+    /// Renders the live detail line for the watch view: phase split
+    /// plus health, appended to the population/backlog basics.
+    fn watch_detail(&self, out: &mut String, population: u32, backlog: u64) {
+        let split = self.phase_split();
+        let _ = write!(out, "pop {population} backlog {backlog} · ");
+        for (i, name) in PHASE_NAMES.iter().enumerate() {
+            let _ = write!(out, "{}{}%", &name[..2], split[i]);
+            if i + 1 < PHASE_NAMES.len() {
+                out.push('/');
+            }
+        }
+        let _ = write!(out, " · {}", self.health);
+    }
 }
 
 /// A long-running scheduling engine over a live, churning instance.
@@ -140,6 +329,11 @@ pub struct ChurnEngine {
     // scratch buffers reused across slots
     departing: Vec<LinkId>,
     backlogged: Vec<LinkId>,
+    /// Live telemetry (slot series / flight recorder / phase
+    /// attribution); `None` keeps the hot loop on the untimed path.
+    telemetry: Option<Box<ChurnTelemetry>>,
+    /// Scratch for the watch-view detail line.
+    detail: String,
 }
 
 impl ChurnEngine {
@@ -196,12 +390,68 @@ impl ChurnEngine {
             slot: 0,
             departing: Vec::new(),
             backlogged: Vec::new(),
+            telemetry: None,
+            detail: String::new(),
         }
     }
 
     /// The live instance (mutated in place across steps).
     pub fn problem(&self) -> &Problem {
         &self.problem
+    }
+
+    /// Arms the slot-series recorder. Also switches the engine onto
+    /// the timed path (phase attribution + histograms).
+    pub fn arm_series(&mut self, series: SlotSeries) {
+        self.telemetry
+            .get_or_insert_with(|| Box::new(ChurnTelemetry::new()))
+            .series = Some(series);
+    }
+
+    /// Arms the flight recorder. `out_dir` is where the post-mortem
+    /// bundle lands when the anomaly detector fires (`None` detects
+    /// but never dumps — used by the bench overhead probe). When
+    /// `cfg.capture_trace` is on the engine runs its scheduler traced
+    /// each slot, so don't combine with an external `--trace-out`
+    /// drain: the flight recorder owns the global trace ring.
+    pub fn arm_flight(&mut self, cfg: FlightConfig, out_dir: Option<PathBuf>) {
+        self.telemetry
+            .get_or_insert_with(|| Box::new(ChurnTelemetry::new()))
+            .flight = Some(FlightBox {
+            rec: FlightRecorder::new(cfg),
+            out_dir,
+            last_sub: None,
+            postmortem: None,
+        });
+    }
+
+    /// Arms the timed path (phase attribution + histograms) without a
+    /// series or flight recorder — the minimal telemetry footprint.
+    pub fn arm_phases(&mut self) {
+        self.telemetry
+            .get_or_insert_with(|| Box::new(ChurnTelemetry::new()));
+    }
+
+    /// The armed telemetry, if any.
+    pub fn telemetry(&self) -> Option<&ChurnTelemetry> {
+        self.telemetry.as_deref()
+    }
+
+    /// `"ok"`, or the tag of the anomaly that fired.
+    pub fn health(&self) -> &'static str {
+        self.telemetry.as_ref().map_or("ok", |t| t.health)
+    }
+
+    /// Detaches and returns the telemetry (flushing the series), e.g.
+    /// to inspect the ring after a hand-driven step loop.
+    pub fn take_telemetry(&mut self) -> Option<Box<ChurnTelemetry>> {
+        let mut tel = self.telemetry.take();
+        if let Some(t) = tel.as_mut() {
+            if let Some(s) = t.series.as_mut() {
+                let _ = s.flush();
+            }
+        }
+        tel
     }
 
     /// Number of live links.
@@ -223,6 +473,15 @@ impl ChurnEngine {
         policy: ServicePolicy,
     ) -> ChurnSlot {
         let _span = fading_obs::span!("sim.churn.slot");
+        let armed = self.telemetry.is_some();
+        // Trace capture (flight recorder only): the engine owns the
+        // global trace ring for the duration of the slot.
+        let capture = self
+            .telemetry
+            .as_ref()
+            .and_then(|t| t.flight.as_ref())
+            .is_some_and(|f| f.rec.wants_trace());
+        let mut timer = PhaseTimer::start(armed);
         let t = self.slot;
         let mut abandoned = 0u64;
 
@@ -237,6 +496,7 @@ impl ChurnEngine {
                 self.departing.push(LinkId(dense));
             }
         }
+        timer.lap(PH_ENVELOPE);
         let link_departures = self.departing.len() as u32;
         if !self.departing.is_empty() {
             let order = self.problem.remove_links(&self.departing);
@@ -247,6 +507,7 @@ impl ChurnEngine {
             }
             fading_obs::counter!("sim.churn.link_departures").add(link_departures as u64);
         }
+        timer.lap(PH_MUTATE);
 
         // Arrivals: Poisson count, geometry sampled exactly like the
         // seed generator's (sender uniform in the region, length
@@ -285,6 +546,7 @@ impl ChurnEngine {
         if arrivals > 0 {
             fading_obs::counter!("sim.churn.link_arrivals").add(arrivals as u64);
         }
+        timer.lap(PH_MUTATE);
 
         // Packet arrivals on the live population, dense order.
         let mut packets_arrived = 0u32;
@@ -308,9 +570,20 @@ impl ChurnEngine {
                 self.backlogged.push(LinkId(dense));
             }
         }
+        timer.lap(PH_ENVELOPE);
+        let backlogged_count = self.backlogged.len() as u32;
         let mut scheduled = 0u32;
         let mut delivered = 0u32;
+        let mut sub_for_flight: Option<Problem> = None;
+        let mut trace_events: Vec<TraceEvent> = Vec::new();
         if !self.backlogged.is_empty() {
+            if capture {
+                fading_obs::set_tracing(true);
+                fading_obs::trace::publish(vec![TraceEvent::SlotStart {
+                    slot: t,
+                    backlog: backlogged_count,
+                }]);
+            }
             let (sub, mapping) = self.problem.restrict(&self.backlogged);
             let sub = if policy == ServicePolicy::MaxWeight {
                 let weights: Vec<f64> = mapping
@@ -324,7 +597,9 @@ impl ChurnEngine {
             } else {
                 sub
             };
+            timer.lap(PH_RESTRICT);
             let schedule = scheduler.schedule_in(&sub, &mut self.ctx);
+            timer.lap(PH_SCHEDULE);
             scheduled = schedule.len() as u32;
             let mut channel_rng = seeded_rng(split_seed(self.cfg.seed, t + 2));
             let outcome = simulate_slot(&sub, &schedule, &mut channel_rng);
@@ -341,7 +616,17 @@ impl ChurnEngine {
                     delivered += 1;
                 }
             }
+            if capture {
+                fading_obs::trace::publish(vec![TraceEvent::SlotEnd {
+                    slot: t,
+                    links: schedule.iter().map(|id| mapping[id.index()].0).collect(),
+                }]);
+                trace_events = fading_obs::take_trace().events;
+                fading_obs::set_tracing(false);
+                sub_for_flight = Some(sub);
+            }
             self.ctx.recycle(schedule);
+            timer.lap(PH_SERVICE);
         }
 
         let backlog: u64 = self
@@ -350,8 +635,9 @@ impl ChurnEngine {
             .iter()
             .map(|ext| self.states[ext].queue.len() as u64)
             .sum();
+        timer.lap(PH_ENVELOPE);
         self.slot = t + 1;
-        ChurnSlot {
+        let out = ChurnSlot {
             slot: t,
             link_arrivals: arrivals,
             link_departures,
@@ -361,13 +647,99 @@ impl ChurnEngine {
             delivered,
             packets_abandoned: abandoned,
             backlog,
+        };
+        if armed {
+            let rec = SlotRecord {
+                slot: t,
+                population: out.population as u64,
+                arrivals: arrivals as u64,
+                departures: link_departures as u64,
+                backlogged: backlogged_count as u64,
+                scheduled: scheduled as u64,
+                eliminated: (backlogged_count - scheduled) as u64,
+                packets: packets_arrived as u64,
+                delivered: delivered as u64,
+                abandoned,
+                backlog,
+                mutate_ns: timer.acc[PH_MUTATE],
+                envelope_ns: timer.acc[PH_ENVELOPE],
+                restrict_ns: timer.acc[PH_RESTRICT],
+                schedule_ns: timer.acc[PH_SCHEDULE],
+                service_ns: timer.acc[PH_SERVICE],
+                slot_ns: timer.total_ns(),
+            };
+            self.finish_slot_telemetry(rec, trace_events, sub_for_flight);
+        }
+        out
+    }
+
+    /// The telemetry tail of one slot: series, histograms, anomaly
+    /// detection, and (at most once) the post-mortem dump.
+    fn finish_slot_telemetry(
+        &mut self,
+        rec: SlotRecord,
+        trace_events: Vec<TraceEvent>,
+        sub: Option<Problem>,
+    ) {
+        let Some(tel) = self.telemetry.as_deref_mut() else {
+            return;
+        };
+        for (i, h) in tel.phase_hists.iter().enumerate() {
+            h.record(timer_ns(&rec, i) as f64);
+        }
+        tel.slot_hist.record(rec.slot_ns as f64);
+        for i in 0..5 {
+            tel.phase_totals[i] += timer_ns(&rec, i);
+        }
+        tel.slot_ns_total += rec.slot_ns;
+        tel.arrived_total += rec.packets;
+        tel.delivered_total += rec.delivered;
+        tel.abandoned_total += rec.abandoned;
+        if let Some(series) = tel.series.as_mut() {
+            series.record(&rec);
+        }
+        if let Some(flight) = tel.flight.as_mut() {
+            let conserved_ok =
+                tel.arrived_total == tel.delivered_total + tel.abandoned_total + rec.backlog;
+            let conserved = Some((
+                conserved_ok,
+                tel.arrived_total,
+                tel.delivered_total,
+                tel.abandoned_total,
+                rec.backlog,
+            ));
+            if sub.is_some() {
+                flight.last_sub = sub;
+            }
+            if let Some(anomaly) = flight.rec.observe(&rec, trace_events, conserved) {
+                tel.health = anomaly.tag();
+                fading_obs::emit_event(
+                    "churn.anomaly",
+                    &[
+                        ("tag", fading_obs::EventValue::Str(anomaly.tag().into())),
+                        ("slot", fading_obs::EventValue::U64(rec.slot)),
+                    ],
+                );
+                if let Some(dir) = flight.out_dir.clone() {
+                    match flight.rec.dump(&dir, &anomaly) {
+                        Ok(_paths) => {
+                            write_replay_instance(&dir, flight.last_sub.as_ref());
+                            flight.postmortem = Some(dir);
+                        }
+                        Err(e) => eprintln!("flight recorder: dump failed: {e}"),
+                    }
+                }
+            }
         }
     }
 
     /// Runs the configured horizon and aggregates, timing the loop for
-    /// the sustained slots/sec figure.
+    /// the sustained slots/sec figure. With telemetry armed the
+    /// progress line grows a live phase split and health state (the
+    /// `--watch` view); query [`telemetry`](Self::telemetry) afterwards
+    /// for the series ring and any post-mortem location.
     pub fn run<S: Scheduler + ?Sized>(
-        mut self,
+        &mut self,
         scheduler: &S,
         policy: ServicePolicy,
     ) -> ChurnResult {
@@ -401,11 +773,15 @@ impl ChurnEngine {
             out.final_backlog = slot.backlog;
             population.push(slot.population as f64);
             backlog_stats.push(slot.backlog as f64);
-            progress.report(
-                slot.slot + 1,
-                &format!("pop {} backlog {}", slot.population, slot.backlog),
-                slot.slot + 1,
-            );
+            let mut detail = std::mem::take(&mut self.detail);
+            detail.clear();
+            if let Some(tel) = self.telemetry.as_deref() {
+                tel.watch_detail(&mut detail, slot.population, slot.backlog);
+            } else {
+                let _ = write!(detail, "pop {} backlog {}", slot.population, slot.backlog);
+            }
+            progress.report(slot.slot + 1, &detail, slot.slot + 1);
+            self.detail = detail;
         }
         let elapsed = started.elapsed().as_secs_f64();
         out.mean_population = population.mean();
@@ -416,7 +792,65 @@ impl ChurnEngine {
         } else {
             f64::INFINITY
         };
+        if let Some(tel) = self.telemetry.as_deref_mut() {
+            if let Some(series) = tel.series.as_mut() {
+                if let Err(e) = series.flush() {
+                    eprintln!("{e}");
+                }
+            }
+        }
         out
+    }
+}
+
+/// Maps a phase index to its field in a [`SlotRecord`].
+fn timer_ns(rec: &SlotRecord, phase: usize) -> u64 {
+    match phase {
+        PH_MUTATE => rec.mutate_ns,
+        PH_ENVELOPE => rec.envelope_ns,
+        PH_RESTRICT => rec.restrict_ns,
+        PH_SCHEDULE => rec.schedule_ns,
+        _ => rec.service_ns,
+    }
+}
+
+#[derive(Serialize)]
+struct ReplayMeta {
+    params: fading_channel::ChannelParams,
+    epsilon: f64,
+    backend: String,
+}
+
+/// Writes the anomaly slot's restricted sub-instance next to the
+/// post-mortem bundle (`replay_instance.json` + `replay_meta.json`),
+/// so `replay_trace.jsonl` can be replayed against a faithful rebuild:
+/// `Problem::builder(load(instance), meta.params).epsilon(meta.epsilon)`
+/// (replay audits picks/eliminations/debits, which are rate-blind, so
+/// the MaxWeight rate overrides riding along in the link set are
+/// harmless). Best-effort: a failed write degrades the bundle, it
+/// doesn't kill the run.
+fn write_replay_instance(dir: &Path, sub: Option<&Problem>) {
+    let Some(sub) = sub else {
+        return;
+    };
+    let inst = dir.join("replay_instance.json");
+    if let Err(e) = fading_net::io::save(sub.links(), &inst) {
+        eprintln!("flight recorder: cannot write {}: {e}", inst.display());
+        return;
+    }
+    let meta = ReplayMeta {
+        params: *sub.params(),
+        epsilon: sub.epsilon(),
+        backend: format!("{:?}", sub.backend_choice()),
+    };
+    let path = dir.join("replay_meta.json");
+    match serde_json::to_string_pretty(&meta) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(&path, json) {
+                eprintln!("flight recorder: cannot write {}: {e}", path.display());
+            }
+        }
+        Err(e) => eprintln!("flight recorder: meta encode failed: {e}"),
     }
 }
 
@@ -432,15 +866,30 @@ pub fn stability_frontier<S: Scheduler + ?Sized>(
     policy: ServicePolicy,
     packet_probs: &[f64],
 ) -> Vec<(f64, ChurnResult)> {
+    let progress =
+        fading_obs::Progress::new("frontier", "slots", base.slots * packet_probs.len() as u64);
     packet_probs
         .iter()
-        .map(|&p| {
+        .enumerate()
+        .map(|(i, &p)| {
             let cfg = ChurnConfig {
                 packet_prob: p,
                 ..base
             };
-            let engine = ChurnEngine::new(problem.clone(), geometry, cfg);
-            (p, engine.run(scheduler, policy))
+            let mut engine = ChurnEngine::new(problem.clone(), geometry, cfg);
+            let r = engine.run(scheduler, policy);
+            progress.report(
+                (i as u64 + 1) * base.slots,
+                &format!(
+                    "point {}/{} · p={p:.3} · {:.2} delivered/slot · {}",
+                    i + 1,
+                    packet_probs.len(),
+                    r.delivered_per_slot(),
+                    r.drift_verdict()
+                ),
+                (i as u64 + 1) * base.slots,
+            );
+            (p, r)
         })
         .collect()
 }
@@ -584,7 +1033,7 @@ mod tests {
         let problem = Problem::builder(geometry.generate(c.seed), ChannelParams::with_alpha(3.0))
             .backend(BackendChoice::Sparse(fading_core::SparseConfig::default()))
             .build();
-        let e = ChurnEngine::new(problem, geometry, c);
+        let mut e = ChurnEngine::new(problem, geometry, c);
         let r = e.run(&GreedyRate, ServicePolicy::MaxWeight);
         assert!(r.conserves_packets(), "{r:?}");
     }
@@ -616,6 +1065,256 @@ mod tests {
             frontier[1].1.mean_backlog,
             frontier[0].1.mean_backlog
         );
+    }
+
+    #[test]
+    fn phase_timings_sum_close_to_slot_span() {
+        // Acceptance: the five attributed phases must account for the
+        // slot span to within 5% (aggregated over the run, so one
+        // preempted slot cannot fail the audit). The ring always keeps
+        // timings, regardless of the stream's determinism mode.
+        let mut e = engine(cfg(120));
+        e.arm_series(SlotSeries::in_memory(fading_obs::SeriesConfig {
+            capacity: 200,
+            ..Default::default()
+        }));
+        for _ in 0..120 {
+            e.step(&GreedyRate, ServicePolicy::MaxWeight);
+        }
+        let tel = e.take_telemetry().expect("telemetry armed");
+        let series = tel.series().expect("series armed");
+        assert_eq!(series.recorded(), 120);
+        let mut phases = 0u64;
+        let mut spans = 0u64;
+        for rec in series.records() {
+            assert!(rec.slot_ns > 0, "armed slots must be timed");
+            phases += rec.phase_sum_ns();
+            spans += rec.slot_ns;
+        }
+        let ratio = phases as f64 / spans as f64;
+        assert!(
+            (0.95..=1.0).contains(&ratio),
+            "phase attribution covers {ratio:.4} of the slot span"
+        );
+        let split = tel.phase_split();
+        assert!(split.iter().sum::<u32>() <= 100);
+        assert!(split.iter().any(|&p| p > 0), "split {split:?} all zero");
+    }
+
+    #[test]
+    fn series_ring_mirrors_the_slot_outputs_deterministically() {
+        // Two same-seed runs must produce byte-identical deterministic
+        // series lines, and each record must agree with the ChurnSlot
+        // the engine returned for that slot.
+        let run = |check_slots: bool| -> String {
+            let mut e = engine(cfg(100));
+            e.arm_series(SlotSeries::in_memory(fading_obs::SeriesConfig {
+                capacity: 128,
+                ..Default::default()
+            }));
+            for _ in 0..100 {
+                let slot = e.step(&GreedyRate, ServicePolicy::MaxWeight);
+                if check_slots {
+                    let rec = *e
+                        .telemetry()
+                        .and_then(|t| t.series())
+                        .and_then(|s| s.last())
+                        .expect("record per slot");
+                    assert_eq!(rec.slot, slot.slot);
+                    assert_eq!(rec.population, slot.population as u64);
+                    assert_eq!(rec.scheduled, slot.scheduled as u64);
+                    assert_eq!(rec.delivered, slot.delivered as u64);
+                    assert_eq!(rec.backlog, slot.backlog);
+                    assert_eq!(rec.eliminated, rec.backlogged - rec.scheduled);
+                }
+            }
+            let tel = e.take_telemetry().unwrap();
+            let mut out = String::new();
+            for rec in tel.series().unwrap().records() {
+                out.push_str(&SlotSeries::render_line(rec, false));
+            }
+            out
+        };
+        let a = run(true);
+        let b = run(false);
+        assert!(!a.is_empty());
+        assert_eq!(a, b, "deterministic series lines diverged across reruns");
+        assert!(!a.contains("_ns"), "timing fields leaked into det mode");
+    }
+
+    #[test]
+    fn queue_blowup_dumps_a_replayable_postmortem_bundle() {
+        // Overload a small instance (every link draws a packet every
+        // slot) so backlog grows strictly; the flight recorder must
+        // fire QueueGrowth, dump the bundle, and the replay half of the
+        // bundle must replay cleanly against the saved sub-instance.
+        // The engine owns the global trace ring while capturing; this
+        // is the only test in the binary that traces.
+        fading_obs::set_tracing(false);
+        let _ = fading_obs::take_trace();
+        let dir = std::env::temp_dir().join(format!("churn_flight_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let mut e = engine_sized(
+            20,
+            ChurnConfig {
+                slots: 400,
+                link_arrival_rate: 0.5,
+                mean_lifetime: 40.0,
+                packet_prob: 1.0,
+                seed: 23,
+            },
+        );
+        e.arm_flight(
+            FlightConfig {
+                capacity: 16,
+                growth_window: 6,
+                min_stall_ns: u64::MAX,
+                zero_delivery_window: u32::MAX,
+                ..Default::default()
+            },
+            Some(dir.clone()),
+        );
+        let mut fired_at = None;
+        for t in 0..400 {
+            e.step(&GreedyRate, ServicePolicy::MaxWeight);
+            if e.health() != "ok" {
+                fired_at = Some(t);
+                break;
+            }
+        }
+        assert!(fired_at.is_some(), "overload never tripped the detector");
+        assert_eq!(e.health(), "queue_growth");
+        let tel = e.take_telemetry().unwrap();
+        assert_eq!(tel.postmortem(), Some(dir.as_path()));
+
+        // The bundle: post-mortem doc + forensic trace + replay half.
+        let doc = serde_json::parse_node_str(
+            &std::fs::read_to_string(dir.join("postmortem.json")).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(
+            doc.get("version"),
+            Some(&serde::Node::U64(u64::from(fading_obs::POSTMORTEM_VERSION)))
+        );
+        assert!(doc
+            .get("anomaly")
+            .and_then(|a| a.get("QueueGrowth"))
+            .is_some());
+        assert!(dir.join("flight_trace.jsonl").exists());
+
+        // Acceptance: replay_trace.jsonl replays against the saved
+        // sub-instance under certify::replay_trace.
+        let trace = fading_obs::Trace::from_jsonl(
+            &std::fs::read_to_string(dir.join("replay_trace.jsonl")).unwrap(),
+        )
+        .unwrap();
+        assert!(!trace.events.is_empty());
+        let links = fading_net::io::load(&dir.join("replay_instance.json")).unwrap();
+        let meta = serde_json::parse_node_str(
+            &std::fs::read_to_string(dir.join("replay_meta.json")).unwrap(),
+        )
+        .unwrap();
+        let eps = match meta.get("epsilon") {
+            Some(serde::Node::F64(x)) => *x,
+            other => panic!("epsilon missing from replay meta: {other:?}"),
+        };
+        let rebuilt = Problem::builder(links, ChannelParams::with_alpha(3.0))
+            .epsilon(eps)
+            .build();
+        let certs = fading_core::certify::replay_trace(&rebuilt, &trace)
+            .expect("post-mortem trace must replay");
+        assert!(!certs.is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Delegates to [`GreedyRate`] but sleeps once, well after the
+    /// stall detector's warmup — the injected anomaly.
+    struct Sleepy {
+        calls: std::sync::atomic::AtomicU64,
+    }
+
+    impl Scheduler for Sleepy {
+        fn name(&self) -> &'static str {
+            "sleepy"
+        }
+
+        fn schedule_in(&self, problem: &Problem, ctx: &mut SchedCtx) -> fading_core::Schedule {
+            let n = self
+                .calls
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            if n == 20 {
+                std::thread::sleep(std::time::Duration::from_millis(30));
+            }
+            GreedyRate.schedule_in(problem, ctx)
+        }
+    }
+
+    #[test]
+    fn injected_stall_fires_the_stall_detector() {
+        let mut e = engine(ChurnConfig {
+            packet_prob: 0.5, // busy enough that every slot schedules
+            ..cfg(80)
+        });
+        e.arm_flight(
+            FlightConfig {
+                stall_factor: 4.0,
+                min_stall_ns: 2_000_000, // 2ms floor; the sleep is 30ms
+                growth_window: u32::MAX,
+                zero_delivery_window: u32::MAX,
+                capture_trace: false,
+                ..Default::default()
+            },
+            None, // detect, don't dump
+        );
+        let sleepy = Sleepy {
+            calls: std::sync::atomic::AtomicU64::new(0),
+        };
+        for _ in 0..80 {
+            e.step(&sleepy, ServicePolicy::MaxWeight);
+            if e.health() != "ok" {
+                break;
+            }
+        }
+        assert_eq!(e.health(), "slot_stall");
+        assert!(e.telemetry().unwrap().postmortem().is_none());
+    }
+
+    /// Schedules nothing, ever — the zero-delivery pathology.
+    struct Noop;
+
+    impl Scheduler for Noop {
+        fn name(&self) -> &'static str {
+            "noop"
+        }
+
+        fn schedule_in(&self, _problem: &Problem, _ctx: &mut SchedCtx) -> fading_core::Schedule {
+            fading_core::Schedule::empty()
+        }
+    }
+
+    #[test]
+    fn zero_delivery_streak_fires_on_a_dead_scheduler() {
+        let mut e = engine(ChurnConfig {
+            packet_prob: 0.6,
+            ..cfg(60)
+        });
+        e.arm_flight(
+            FlightConfig {
+                zero_delivery_window: 5,
+                growth_window: u32::MAX,
+                min_stall_ns: u64::MAX,
+                capture_trace: false,
+                ..Default::default()
+            },
+            None,
+        );
+        for _ in 0..60 {
+            e.step(&Noop, ServicePolicy::PlainRates);
+            if e.health() != "ok" {
+                break;
+            }
+        }
+        assert_eq!(e.health(), "zero_delivery_streak");
     }
 
     #[test]

@@ -28,7 +28,9 @@ pub mod runner;
 pub mod slot;
 
 pub use batch::BatchRunner;
-pub use churn::{stability_frontier, ChurnConfig, ChurnEngine, ChurnResult, ChurnSlot};
+pub use churn::{
+    stability_frontier, ChurnConfig, ChurnEngine, ChurnResult, ChurnSlot, ChurnTelemetry,
+};
 pub use config::ExperimentConfig;
 pub use convergence::{convergence_trace, trials_for_ci, TracePoint};
 pub use monte_carlo::{simulate_many, MonteCarloStats};

@@ -17,7 +17,9 @@
 
 use crate::schema::{BenchReport, MachineFingerprint, MetricKind, MetricRecord};
 use fading_core::algo::{GreedyRate, Ldp, Rle};
-use fading_core::{BackendChoice, LinkSpec, Problem, SchedCtx, Scheduler, SparseConfig};
+use fading_core::{
+    BackendChoice, LinkIdMap, LinkSpec, MutationBatch, Problem, SchedCtx, Scheduler, SparseConfig,
+};
 use fading_geom::Point2;
 use fading_net::{LinkId, RateModel, TopologyGenerator, UniformGenerator};
 use std::hint::black_box;
@@ -196,7 +198,9 @@ pub fn run_report(opts: &ReportOptions) -> Result<BenchReport, String> {
         schedule_benches(&mut rec);
         substrate_benches(&mut rec);
         mutate_benches(&mut rec);
+        mutate_batch_benches(&mut rec);
         churn_benches(&mut rec);
+        churn_large_benches(&mut rec);
         engine_probes(&mut rec);
         scaling_exponents(&mut rec);
     }
@@ -433,7 +437,9 @@ fn density_scaled(n: usize) -> UniformGenerator {
 /// smoke config — the dense matrix at this size would be 800 MB).
 /// `mutate.vs_rebuild.ratio` is the headline contract, gated by a
 /// `[max]` ceiling of 0.1 in `bench-gates.toml`: a single-link patch
-/// must stay ≥ 10× cheaper than rebuilding.
+/// must stay ≥ 10× cheaper than rebuilding. (The transactional batch
+/// contract is gated separately, at the churn scale where it matters —
+/// see [`mutate_batch_benches`].)
 fn mutate_benches(rec: &mut Recorder) {
     const N: usize = 10_000;
     let add_id = format!("mutate/add/{N}");
@@ -450,24 +456,24 @@ fn mutate_benches(rec: &mut Recorder) {
     let mut problem = Problem::builder(links.clone(), params)
         .backend(backend)
         .build();
+    // Strictly interior positions (region center, sub-unit jitter so
+    // the duplicate-position guard never trips) and short lengths: the
+    // cost measured is the CSR/grid patch itself, not an
+    // envelope-reconcile scan a boundary-growing link would force.
+    let mid = gen.side / 2.0;
+    let spec_at = |i: usize| {
+        let dx = (i % 97) as f64 * 0.017;
+        let dy = (i % 89) as f64 * 0.013;
+        LinkSpec::new(
+            Point2::new(mid + dx, mid + dy),
+            Point2::new(mid + dx + 7.0, mid + dy + 5.0),
+        )
+    };
 
     if cycle_wanted {
-        // Strictly interior positions (region center, sub-unit jitter
-        // so the duplicate-position guard never trips): the cost
-        // measured is the CSR/grid patch itself, not an
-        // envelope-reconcile scan a boundary-growing link would force.
-        let mid = gen.side / 2.0;
         let rounds = rec.samples * 40;
         let mut add_ns = Vec::with_capacity(rounds);
         let mut remove_ns = Vec::with_capacity(rounds);
-        let spec_at = |i: usize| {
-            let dx = (i % 97) as f64 * 0.017;
-            let dy = (i % 89) as f64 * 0.013;
-            LinkSpec::new(
-                Point2::new(mid + dx, mid + dy),
-                Point2::new(mid + dx + 7.0, mid + dy + 5.0),
-            )
-        };
         for i in 0..4 {
             // Warm-up cycles (first mutation on a fresh build also
             // pays the one-time envelope reconcile).
@@ -560,18 +566,21 @@ fn churn_benches(rec: &mut Recorder) {
     // may cost at most 2% on the release smoke scale.
     let mut plain = fading_sim::ChurnEngine::new(problem.clone(), gen, cfg);
     let mut armed = fading_sim::ChurnEngine::new(problem, gen, cfg);
-    armed.arm_series(fading_obs::SlotSeries::in_memory(
-        fading_obs::SeriesConfig::default(),
-    ));
-    armed.arm_flight(
-        fading_obs::FlightConfig {
-            min_stall_ns: u64::MAX,
-            growth_window: u32::MAX,
-            zero_delivery_window: u32::MAX,
-            capture_trace: false,
-            ..Default::default()
-        },
-        None,
+    armed.arm(
+        fading_sim::TelemetryConfig::new()
+            .series(fading_obs::SlotSeries::in_memory(
+                fading_obs::SeriesConfig::default(),
+            ))
+            .flight(
+                fading_obs::FlightConfig {
+                    min_stall_ns: u64::MAX,
+                    growth_window: u32::MAX,
+                    zero_delivery_window: u32::MAX,
+                    capture_trace: false,
+                    ..Default::default()
+                },
+                None,
+            ),
     );
     for _ in 0..32 {
         // Warm both engines past the cold caches and ring growth.
@@ -598,6 +607,143 @@ fn churn_benches(rec: &mut Recorder) {
             MetricKind::Ratio,
             armed_total / plain_total,
         );
+    }
+}
+
+/// The transactional mutate contract at the churn scale: one
+/// `Problem::apply` of a 64-add `MutationBatch` versus the same 64
+/// links pushed one `add_links` call at a time, at n = 100 000 on the
+/// sparse substrate (α = 4, the sustained-churn geometry). At this n a
+/// single add is dominated by the per-commit `O(n)` terms — the
+/// envelope reconcile scan and the exactness sweep — while the
+/// per-link CSR wiring (factor evaluations against the ~constant local
+/// neighborhood; density-scaled, so independent of n) stays small. The
+/// batch pays the `O(n)` terms once where the sequential path pays
+/// them 64 times, and the derived `mutate.batch.vs_sequential`
+/// quotient certifies it: its `[max]` ceiling of 0.0625 in
+/// `bench-gates.toml` says the whole 64-link batch must cost less than
+/// four single adds.
+fn mutate_batch_benches(rec: &mut Recorder) {
+    const N: usize = 100_000;
+    const K: usize = 64;
+    let batch_id = format!("mutate/batch64/{N}");
+    let seq_id = format!("mutate/seq64/{N}");
+    if !rec.wants(&batch_id) && !rec.wants(&seq_id) && !rec.wants("mutate.batch.vs_sequential") {
+        return;
+    }
+    let gen = density_scaled(N);
+    let mut problem = Problem::builder(
+        gen.generate(13),
+        fading_channel::ChannelParams::with_alpha(4.0),
+    )
+    .backend(BackendChoice::Sparse(SparseConfig::default()))
+    .build();
+    // Strictly interior positions (region center, sub-unit jitter so
+    // the duplicate-position guard never trips): boundary-growing links
+    // would force envelope *changes* and annulus rewiring, which is a
+    // different (and rarer) regime than the steady interior churn the
+    // engine sustains.
+    let mid = gen.side / 2.0;
+    let spec_at = |i: usize| {
+        let dx = (i % 97) as f64 * 0.017;
+        let dy = (i % 89) as f64 * 0.013;
+        LinkSpec::new(
+            Point2::new(mid + dx, mid + dy),
+            Point2::new(mid + dx + 7.0, mid + dy + 5.0),
+        )
+    };
+    // Both paths append at the tail and then retire exactly that tail
+    // block (descending removes never disturb lower dense ids), so the
+    // external-id map stays valid across the interleaving. Round 0 is
+    // warm-up: on a fresh build the first mutation also pays the
+    // one-time envelope reconcile.
+    let mut map = LinkIdMap::with_len(problem.len());
+    let rounds = rec.samples * 4;
+    let mut batch_ns = Vec::with_capacity(rounds);
+    let mut seq_ns = Vec::with_capacity(rounds);
+    for round in 0..=rounds {
+        let mut batch = MutationBatch::new();
+        for i in 0..K {
+            batch.add(spec_at(i));
+        }
+        let start = Instant::now();
+        let receipt = problem.apply(&batch, &mut map).expect("interior specs");
+        let elapsed = start.elapsed().as_nanos() as f64;
+        if round > 0 {
+            batch_ns.push(elapsed);
+        }
+        let mut undo = MutationBatch::new();
+        for &ext in &receipt.added {
+            undo.remove(ext);
+        }
+        problem
+            .apply(&undo, &mut map)
+            .expect("just-added externals");
+
+        let mut dense = Vec::with_capacity(K);
+        let start = Instant::now();
+        for i in 0..K {
+            dense.extend(problem.add_links(&[spec_at(i)]).expect("interior spec"));
+        }
+        let elapsed = start.elapsed().as_nanos() as f64;
+        if round > 0 {
+            seq_ns.push(elapsed);
+        }
+        problem.remove_links(&dense);
+    }
+    rec.timed(&batch_id, summarize(batch_ns));
+    rec.timed(&seq_id, summarize(seq_ns));
+    if let (Some(batch), Some(seq)) = (rec.value_of(&batch_id), rec.value_of(&seq_id)) {
+        if seq > 0.0 {
+            rec.derived("mutate.batch.vs_sequential", MetricKind::Ratio, batch / seq);
+        }
+    }
+}
+
+/// Sustained-churn slot latency at n = 100 000 on the sparse substrate
+/// (α = 4, the large-N smoke geometry): the transactional mutate path
+/// — one `MutationBatch` committed per slot — plus the stamp-keyed
+/// backlog sub-problem cache are what keep a slot affordable at this
+/// scale; the per-slot restrict-from-scratch it replaced was `O(n)` in
+/// the full population every slot. Arrival rate 200 × mean lifetime
+/// 500 holds the population at the 100 000 equilibrium, and the light
+/// packet load keeps the backlog (and so the scheduled sub-problem)
+/// stationary, so every timed step sees the same regime. The derived
+/// `churn.slots_per_sec.100k` carries a `[min]` floor in
+/// `bench-gates.toml` — the sustained-churn contract at n = 10^5.
+fn churn_large_benches(rec: &mut Recorder) {
+    const N: usize = 100_000;
+    let slot_id = format!("churn_slot/maxweight/{N}");
+    if !rec.wants(&slot_id) && !rec.wants("churn.slots_per_sec.100k") {
+        return;
+    }
+    let gen = density_scaled(N);
+    let problem = Problem::builder(
+        gen.generate(29),
+        fading_channel::ChannelParams::with_alpha(4.0),
+    )
+    .backend(BackendChoice::Sparse(SparseConfig::default()))
+    .build();
+    let cfg = fading_sim::ChurnConfig {
+        slots: 1_000_000,
+        link_arrival_rate: 200.0,
+        mean_lifetime: 500.0,
+        packet_prob: 0.001,
+        seed: 7,
+    };
+    let mut engine = fading_sim::ChurnEngine::new(problem, gen, cfg);
+    rec.time(&slot_id, move || {
+        black_box(engine.step(&GreedyRate, fading_sim::ServicePolicy::MaxWeight));
+    });
+    if let Some(slot_ns) = rec.value_of(&slot_id) {
+        if slot_ns > 0.0 {
+            rec.derived_dir(
+                "churn.slots_per_sec.100k",
+                MetricKind::Rate,
+                1e9 / slot_ns,
+                false,
+            );
+        }
     }
 }
 
@@ -686,6 +832,7 @@ fn smoke_benches(rec: &mut Recorder) -> Result<(), String> {
     smoke_queueing(rec)?;
     smoke_traced(rec)?;
     smoke_churn(rec)?;
+    smoke_churn_100k(rec)?;
     smoke_million(rec)
 }
 
@@ -889,6 +1036,57 @@ fn smoke_churn(rec: &mut Recorder) -> Result<(), String> {
         ));
     }
     rec.derived("smoke.churn.wall_s", MetricKind::Seconds, wall_s);
+    Ok(())
+}
+
+/// Sustained churn at n = 100 000: the transactional per-slot mutate
+/// path and the cached backlog restriction, end-to-end through the
+/// engine for 50 slots on the sparse substrate. Functional invariants
+/// (churn actually happened, packets conserved) are hard errors; the
+/// wall clock lands as `smoke.churn_100k.wall_s` with a `[max]`
+/// ceiling in `bench-gates.toml`.
+fn smoke_churn_100k(rec: &mut Recorder) -> Result<(), String> {
+    if !rec.wants("smoke.churn_100k.wall_s") {
+        return Ok(());
+    }
+    let n = 100_000usize;
+    let gen = density_scaled(n);
+    let problem = Problem::builder(
+        gen.generate(20170718),
+        fading_channel::ChannelParams::with_alpha(4.0),
+    )
+    .backend(BackendChoice::Sparse(SparseConfig::default()))
+    .build();
+    let cfg = fading_sim::ChurnConfig {
+        slots: 50,
+        link_arrival_rate: 200.0,
+        mean_lifetime: 500.0,
+        packet_prob: 0.001,
+        seed: 13,
+    };
+    let started = Instant::now();
+    let result = fading_sim::ChurnEngine::new(problem, gen, cfg)
+        .run(&GreedyRate, fading_sim::ServicePolicy::MaxWeight);
+    let wall_s = started.elapsed().as_secs_f64();
+    if result.links_arrived == 0 || result.links_departed == 0 {
+        return Err(format!(
+            "churn 100k smoke: no topology churn over 50 slots ({} arrived, {} departed)",
+            result.links_arrived, result.links_departed
+        ));
+    }
+    if result.packets_delivered == 0 {
+        return Err("churn 100k smoke: nothing delivered over 50 slots at n = 100 000".into());
+    }
+    if !result.conserves_packets() {
+        return Err(format!(
+            "churn 100k smoke: packet conservation violated ({} arrived != {} delivered + {} abandoned + {} queued)",
+            result.packets_arrived,
+            result.packets_delivered,
+            result.packets_abandoned,
+            result.final_backlog
+        ));
+    }
+    rec.derived("smoke.churn_100k.wall_s", MetricKind::Seconds, wall_s);
     Ok(())
 }
 

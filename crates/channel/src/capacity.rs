@@ -30,7 +30,7 @@ pub fn sinr_ccdf(params: &ChannelParams, d_jj: f64, interferer_distances: &[f64]
         .iter()
         .map(|&d_ij| {
             assert!(d_ij > 0.0, "interferer distance must be positive");
-            1.0 / (1.0 + x * (d_jj / d_ij).powf(params.alpha))
+            1.0 / (1.0 + x * params.pow_alpha(d_jj / d_ij))
         })
         .product()
 }

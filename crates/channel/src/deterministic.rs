@@ -73,7 +73,7 @@ impl DeterministicSinr {
             d_ij > 0.0 && d_jj > 0.0,
             "relative interference needs positive distances"
         );
-        self.params.gamma_th * (d_jj / d_ij).powf(self.params.alpha)
+        self.params.gamma_th * self.params.pow_alpha(d_jj / d_ij)
     }
 
     /// Feasibility via the relative-interference budget (zero-noise

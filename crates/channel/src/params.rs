@@ -74,6 +74,30 @@ impl ChannelParams {
         assert!(d > 0.0, "path loss undefined at distance {d}");
         self.power * d.powf(-self.alpha)
     }
+
+    /// `x^α`, with the paper's integer path-loss exponents (2, 3, 4, 6)
+    /// specialized to repeated squaring. `powf` is a libm call that
+    /// prices every stored interference factor — at build time and on
+    /// every CSR mutation — and the specialization is ~20× cheaper
+    /// (within 1 ulp). Every factor producer must go through this one
+    /// helper so sparse/dense builds and in-place mutations keep
+    /// computing bit-identical values.
+    #[inline]
+    pub fn pow_alpha(&self, x: f64) -> f64 {
+        if self.alpha == 2.0 {
+            x * x
+        } else if self.alpha == 3.0 {
+            (x * x) * x
+        } else if self.alpha == 4.0 {
+            let x2 = x * x;
+            x2 * x2
+        } else if self.alpha == 6.0 {
+            let x2 = x * x;
+            (x2 * x2) * x2
+        } else {
+            x.powf(self.alpha)
+        }
+    }
 }
 
 impl Default for ChannelParams {

@@ -76,7 +76,7 @@ impl RayleighChannel {
             scale_i > 0.0 && scale_j > 0.0,
             "power scales must be positive"
         );
-        (self.params.gamma_th * (scale_i / scale_j) * (d_jj / d_ij).powf(self.params.alpha)).ln_1p()
+        (self.params.gamma_th * (scale_i / scale_j) * self.params.pow_alpha(d_jj / d_ij)).ln_1p()
     }
 
     /// The interference factor `f_{i,j}` of a sender at distance `d_ij`
@@ -92,7 +92,7 @@ impl RayleighChannel {
             d_ij > 0.0 && d_jj > 0.0,
             "interference factor needs positive distances, got d_ij={d_ij}, d_jj={d_jj}"
         );
-        (self.params.gamma_th * (d_jj / d_ij).powf(self.params.alpha)).ln_1p()
+        (self.params.gamma_th * self.params.pow_alpha(d_jj / d_ij)).ln_1p()
     }
 
     /// Closed-form probability that receiver `j` decodes successfully

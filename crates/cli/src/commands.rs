@@ -669,26 +669,33 @@ fn churn(
     }
 
     let mut engine = fading_sim::ChurnEngine::new(problem, geometry, cfg);
+    // One declarative telemetry bundle: the flags fold into a single
+    // TelemetryConfig and one arm() call (--watch alone arms the bare
+    // timed path for the live phase split).
+    let mut telemetry = fading_sim::TelemetryConfig::new();
+    let mut armed = watch;
     if let Some(path) = series_out {
         let series_cfg = fading_obs::SeriesConfig {
             cadence: series_cadence,
             timings: args.flag("series-timings"),
             ..Default::default()
         };
-        engine.arm_series(fading_obs::SlotSeries::to_path(
+        telemetry = telemetry.series(fading_obs::SlotSeries::to_path(
             series_cfg,
             Path::new(path),
         )?);
+        armed = true;
     }
     if let Some(dir) = flight_out {
         let flight_cfg = fading_obs::FlightConfig {
             capacity: flight_slots,
             ..Default::default()
         };
-        engine.arm_flight(flight_cfg, Some(dir.into()));
+        telemetry = telemetry.flight(flight_cfg, Some(dir.into()));
+        armed = true;
     }
-    if watch {
-        engine.arm_phases();
+    if armed {
+        engine.arm(telemetry);
     }
     let result = engine.run(scheduler.as_ref(), policy);
     writeln!(

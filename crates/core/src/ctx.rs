@@ -82,7 +82,12 @@ pub struct SchedCtx {
     /// (`0` = none). Equal stamps imply bit-identical problems, hence
     /// bit-identical sort keys — the fine-grained fast path that lets
     /// warm state survive a churn loop without the `O(n)` key
-    /// extraction + compare per call.
+    /// extraction + compare per call. Mutations move the stamp once
+    /// per *transaction*, not once per link — a whole
+    /// [`crate::MutationBatch`] committed by [`crate::Problem::apply`]
+    /// is a single bump — so a slot's worth of churn costs every
+    /// stamp-keyed memo (this one, `grid_stamp`, the engine's backlog
+    /// sub-problem cache) exactly one invalidation.
     order_stamp: u64,
     /// Sort keys that produced `order` — the memo witness (the
     /// fallback when the stamp misses, e.g. across clones or rebuilt

@@ -287,6 +287,46 @@ impl InterferenceMatrix {
         self.n = m;
     }
 
+    /// Removes a strictly-descending batch of links, each with the same
+    /// `Vec::swap_remove` semantics as [`swap_remove`](Self::swap_remove)
+    /// — but every move is performed in the original stride with only
+    /// the logical size shrinking, and the matrix is compacted to the
+    /// final narrower stride **once**. A batch of `r` removals costs
+    /// one `O(n²)` compaction total instead of `r` of them.
+    ///
+    /// # Panics
+    /// Panics if `ids` is not strictly descending or out of bounds.
+    pub fn swap_remove_batch(&mut self, ids: &[LinkId]) {
+        let n = self.n;
+        assert!(
+            ids.windows(2).all(|w| w[0] > w[1]),
+            "batch removals must be strictly descending"
+        );
+        let Some(&first) = ids.first() else {
+            return;
+        };
+        assert!(first.index() < n, "link index out of bounds");
+        let mut m = n; // logical size; the stride stays n until the end
+        for &id in ids {
+            let k = id.index();
+            m -= 1;
+            // Column m → column k for every surviving row plus row m
+            // itself (whose entry lands on the new diagonal as the old
+            // zero diagonal entry).
+            for r in 0..=m {
+                self.data[r * n + k] = self.data[r * n + m];
+            }
+            // Row m → row k, columns already remapped.
+            self.data.copy_within(m * n..m * n + m, k * n);
+        }
+        // One compaction to the final stride.
+        for r in 1..m {
+            self.data.copy_within(r * n..r * n + m, r * m);
+        }
+        self.data.truncate(m * m);
+        self.n = m;
+    }
+
     /// The `k×k` sub-matrix over `keep` (parent link ids, in the
     /// sub-instance's id order): entry `(a, b)` is the parent's
     /// `f_{keep[a], keep[b]}`, copied bit-for-bit. Factors depend only
@@ -729,6 +769,28 @@ mod tests {
             m.swap_remove(m.len() - 1);
         }
         assert!(m.is_empty());
+    }
+
+    #[test]
+    fn swap_remove_batch_matches_sequential() {
+        let channel = RayleighChannel::new(ChannelParams::paper_defaults());
+        let links = UniformGenerator::paper(40).generate(9);
+        let built = InterferenceMatrix::build(&links, &channel);
+        // Interior, tail, and head in one batch (descending).
+        let ids = [LinkId(38), LinkId(20), LinkId(7), LinkId(0)];
+        let mut sequential = built.clone();
+        for &id in &ids {
+            sequential.swap_remove(id.index());
+        }
+        let mut batched = built.clone();
+        batched.swap_remove_batch(&ids);
+        assert_eq!(batched, sequential);
+        // Empty batch is a no-op; a full drain truncates to zero.
+        batched.swap_remove_batch(&[]);
+        assert_eq!(batched, sequential);
+        let all: Vec<LinkId> = (0..batched.len() as u32).rev().map(LinkId).collect();
+        batched.swap_remove_batch(&all);
+        assert!(batched.is_empty());
     }
 
     #[test]

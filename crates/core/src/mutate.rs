@@ -7,9 +7,15 @@
 //! engine (the churn simulator, an external controller) needs handles
 //! that *survive* that renumbering — [`LinkIdMap`] provides them by
 //! mirroring every mutation the problem performs.
+//!
+//! [`MutationBatch`] is the transactional surface over both: typed
+//! adds ([`LinkSpec`]) plus removes by *external* id, validated
+//! atomically and committed by [`crate::Problem::apply`] with one
+//! envelope reconciliation and one spatial-index patch pass for the
+//! whole batch — the per-slot entry point of the churn engine.
 
 use fading_geom::Point2;
-use fading_net::LinkId;
+use fading_net::{LinkId, ValidationError};
 use std::collections::HashMap;
 
 /// A link to be added to a live [`crate::Problem`] — the mutation
@@ -48,6 +54,131 @@ impl LinkSpec {
     pub fn with_power_scale(mut self, power_scale: f64) -> Self {
         self.power_scale = power_scale;
         self
+    }
+}
+
+/// A transaction over a live [`crate::Problem`]: links to add (typed
+/// [`LinkSpec`]s) and links to remove (by the *external* ids a
+/// [`LinkIdMap`] handed out). [`crate::Problem::apply`] validates the
+/// whole batch atomically — on any error nothing changes — and commits
+/// it with one envelope reconciliation and one spatial-index patch
+/// pass, so a batch of `k` mutations costs `O(N + k·degree)` instead
+/// of `k` separate `O(N)` scans.
+///
+/// The batch is reusable: [`clear`](Self::clear) keeps the allocations
+/// so a per-slot loop builds each slot's transaction without touching
+/// the heap once warm.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MutationBatch {
+    adds: Vec<LinkSpec>,
+    removes: Vec<u64>,
+}
+
+impl MutationBatch {
+    /// An empty batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Queues a link to add; batch slot order is insertion order.
+    pub fn add(&mut self, spec: LinkSpec) -> &mut Self {
+        self.adds.push(spec);
+        self
+    }
+
+    /// Queues a removal by external id. Duplicate ids are allowed and
+    /// collapse to one removal.
+    pub fn remove(&mut self, ext: u64) -> &mut Self {
+        self.removes.push(ext);
+        self
+    }
+
+    /// The queued adds, in slot order.
+    pub fn adds(&self) -> &[LinkSpec] {
+        &self.adds
+    }
+
+    /// Replaces the queued add at `slot` — the retry path after
+    /// [`MutationError::InvalidAdd`] reported that slot (e.g. the churn
+    /// engine resampling a measure-zero coordinate collision).
+    ///
+    /// # Panics
+    /// Panics if `slot` is out of range.
+    pub fn replace_add(&mut self, slot: usize, spec: LinkSpec) {
+        self.adds[slot] = spec;
+    }
+
+    /// The queued removals (external ids, as queued).
+    pub fn removes(&self) -> &[u64] {
+        &self.removes
+    }
+
+    /// Whether the batch queues no mutations.
+    pub fn is_empty(&self) -> bool {
+        self.adds.is_empty() && self.removes.is_empty()
+    }
+
+    /// Number of queued mutations (adds plus removes).
+    pub fn len(&self) -> usize {
+        self.adds.len() + self.removes.len()
+    }
+
+    /// Empties the batch, keeping its allocations for reuse.
+    pub fn clear(&mut self) {
+        self.adds.clear();
+        self.removes.clear();
+    }
+}
+
+/// What [`crate::Problem::apply`] committed: the new links' external
+/// handles (spec order) and the removed links' external handles (the
+/// order the removals were applied in).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BatchReceipt {
+    /// External id of each added link, in batch slot order.
+    pub added: Vec<u64>,
+    /// External id of each removed link, in application order
+    /// (descending dense id, deduplicated).
+    pub removed: Vec<u64>,
+}
+
+/// Why a [`MutationBatch`] was rejected. The batch is transactional:
+/// any error leaves the problem (and the [`LinkIdMap`]) untouched.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MutationError {
+    /// A removal named an external id with no live link (never issued,
+    /// or already removed).
+    UnknownExternal(u64),
+    /// An added spec failed validation. `slot` indexes the batch's
+    /// [`adds`](MutationBatch::adds); the embedded error carries the
+    /// id the link would have taken.
+    InvalidAdd {
+        /// Index into the batch's adds.
+        slot: usize,
+        /// The underlying validation failure.
+        source: ValidationError,
+    },
+}
+
+impl std::fmt::Display for MutationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MutationError::UnknownExternal(ext) => {
+                write!(f, "removal names unknown external link id {ext}")
+            }
+            MutationError::InvalidAdd { slot, source } => {
+                write!(f, "batch add slot {slot} is invalid: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MutationError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MutationError::UnknownExternal(_) => None,
+            MutationError::InvalidAdd { source, .. } => Some(source),
+        }
     }
 }
 

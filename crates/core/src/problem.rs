@@ -1,11 +1,12 @@
 //! The Fading-R-LS problem instance.
 
 use crate::interference::{InterferenceBackend, InterferenceMatrix};
-use crate::mutate::LinkSpec;
+use crate::mutate::{BatchReceipt, LinkIdMap, LinkSpec, MutationBatch, MutationError};
 use crate::sparse::{SparseConfig, SparseInterference};
 use fading_channel::{ChannelParams, DeterministicSinr, RayleighChannel};
 use fading_math::gamma_eps;
-use fading_net::{LinkId, LinkSet, ValidationError};
+use fading_net::{position_key, LinkId, LinkSet, ValidationError};
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Monotone source of [`Problem::stamp`] values — process-global so a
@@ -61,6 +62,19 @@ impl BackendChoice {
     }
 }
 
+/// Duplicate-position index over the live links: the
+/// [`position_key`]s of every sender and every receiver. Built lazily
+/// on the first mutation that validates adds and maintained
+/// incrementally by every commit, so batch validation costs `O(k)`
+/// hash probes instead of the `O(kN)` per-spec scans that dominated
+/// sustained churn at n ≥ 10⁵. Pure cache: derivable from `links`,
+/// excluded from equality.
+#[derive(Debug, Clone, Default)]
+struct PositionIndex {
+    senders: HashSet<(u64, u64)>,
+    receivers: HashSet<(u64, u64)>,
+}
+
 /// A complete Fading-R-LS instance: links, channel, reliability target,
 /// and the interference-factor backend.
 ///
@@ -85,13 +99,19 @@ pub struct Problem {
     /// model). Factors, feasibility, and the simulator all honor them.
     power_scales: Option<Vec<f64>>,
     /// Content-snapshot identity: a process-globally unique value
-    /// assigned at construction and replaced by every mutation
-    /// ([`add_links`](Self::add_links) /
-    /// [`remove_links`](Self::remove_links)). Equal stamps imply
-    /// bit-identical content (clones share their source's stamp), so
-    /// [`crate::SchedCtx`] memoization can skip its `O(n)` witness
-    /// compare on a stamp hit. Excluded from `PartialEq`.
+    /// assigned at construction and replaced by every mutation — one
+    /// stamp per committed transaction ([`apply`](Self::apply) /
+    /// [`add_links`](Self::add_links) /
+    /// [`remove_links`](Self::remove_links) /
+    /// [`update_link_rates`](Self::update_link_rates)), not per link.
+    /// Equal stamps imply bit-identical content (clones share their
+    /// source's stamp), so [`crate::SchedCtx`] memoization can skip its
+    /// `O(n)` witness compare on a stamp hit. Excluded from
+    /// `PartialEq`.
     stamp: u64,
+    /// Lazy duplicate-position cache (see [`PositionIndex`]). Excluded
+    /// from `PartialEq`.
+    position_index: Option<PositionIndex>,
 }
 
 /// Content equality — everything except the [`stamp`](Problem::stamp)
@@ -214,6 +234,7 @@ impl Problem {
             factors,
             power_scales,
             stamp: next_stamp(),
+            position_index: None,
         }
     }
 
@@ -256,6 +277,7 @@ impl Problem {
             factors,
             power_scales,
             stamp: next_stamp(),
+            position_index: None,
         };
         (sub, mapping)
     }
@@ -288,65 +310,18 @@ impl Problem {
     /// build over the final link set (`tests/mutate_equivalence.rs`).
     ///
     /// On a validation error (duplicate position, bad rate, non-finite
-    /// coordinate) nothing is changed.
-    ///
-    /// # Panics
-    /// Panics on a non-positive or non-finite `power_scale`.
+    /// coordinate, bad power scale) nothing is changed.
     pub fn add_links(&mut self, specs: &[LinkSpec]) -> Result<Vec<LinkId>, ValidationError> {
         let _span = fading_obs::span!("problem.mutate.add");
-        for spec in specs {
-            assert!(
-                spec.power_scale > 0.0 && spec.power_scale.is_finite(),
-                "power scales must be positive finite, got {}",
-                spec.power_scale
-            );
-        }
+        self.validate_adds(specs, &[]).map_err(|e| match e {
+            MutationError::InvalidAdd { source, .. } => source,
+            MutationError::UnknownExternal(_) => unreachable!("add_links removes nothing"),
+        })?;
         let n0 = self.links.len();
-        let mut ids = Vec::with_capacity(specs.len());
-        for spec in specs {
-            match self.links.append(spec.sender, spec.receiver, spec.rate) {
-                Ok(id) => ids.push(id),
-                Err(e) => {
-                    // Appended links sit at the tail; popping them
-                    // restores the original set exactly. No factor
-                    // state has been touched yet.
-                    while self.links.len() > n0 {
-                        self.links.swap_remove(LinkId(self.links.len() as u32 - 1));
-                    }
-                    return Err(e);
-                }
-            }
-        }
-        // First non-uniform arrival on a uniform instance: materialize
-        // the all-ones profile (bit-identical factors — `scale ≡ 1`
-        // scales by exactly 1.0) so the new scales have a vector to
-        // extend.
-        if self.power_scales.is_none() && specs.iter().any(|s| s.power_scale != 1.0) {
-            self.power_scales = Some(vec![1.0; n0]);
-            if let InterferenceBackend::Sparse(s) = &mut self.factors {
-                s.materialize_powers();
-            }
-        }
-        if let Some(p) = &mut self.power_scales {
-            p.extend(specs.iter().map(|s| s.power_scale));
-        }
-        match &mut self.factors {
-            InterferenceBackend::Dense(m) => {
-                let cells = m.append(&self.links, &self.channel, self.power_scales.as_deref());
-                fading_obs::counter!("problem.mutate.dense_cells").add(cells);
-            }
-            InterferenceBackend::Sparse(s) => {
-                for (spec, &id) in specs.iter().zip(&ids) {
-                    let length = self.links.link(id).length();
-                    let power = self.power_scales.as_ref().map(|p| p[id.index()]);
-                    s.add_link(spec.sender, spec.receiver, length, power);
-                }
-            }
-        }
+        self.commit_batch(&[], specs);
         fading_obs::counter!("problem.mutate.add.calls").incr();
         fading_obs::counter!("problem.mutate.add.links").add(specs.len() as u64);
-        self.stamp = next_stamp();
-        Ok(ids)
+        Ok((n0..self.links.len()).map(|i| LinkId(i as u32)).collect())
     }
 
     /// Removes links from the live instance in place — the online
@@ -357,10 +332,10 @@ impl Problem {
     /// the order actually applied, so a [`crate::LinkIdMap`] can mirror
     /// the renumbering step by step.
     ///
-    /// The interference state is patched in place (dense: column/row
-    /// swap-remove; sparse: targeted row edits plus an envelope
-    /// reconcile) and is bit-identical to a from-scratch build over the
-    /// surviving links.
+    /// The interference state is patched in place (dense: one batched
+    /// column/row gather; sparse: targeted row edits plus one deferred
+    /// envelope reconcile) and is bit-identical to a from-scratch build
+    /// over the surviving links.
     ///
     /// # Panics
     /// Panics if any id is out of range.
@@ -373,20 +348,260 @@ impl Problem {
             order.first().is_none_or(|id| id.index() < self.links.len()),
             "remove_links: id out of range"
         );
-        for &id in &order {
+        self.commit_batch(&order, &[]);
+        fading_obs::counter!("problem.mutate.remove.calls").incr();
+        fading_obs::counter!("problem.mutate.remove.links").add(order.len() as u64);
+        order
+    }
+
+    /// Applies a whole [`MutationBatch`] transactionally — removals by
+    /// external id, adds by [`LinkSpec`] — committing with **one**
+    /// envelope reconciliation and **one** spatial-index patch pass for
+    /// the entire batch (the per-slot entry point of the churn engine;
+    /// cost model in `docs/online.md`). The map is kept in sync and the
+    /// receipt reports the external handles involved.
+    ///
+    /// Validation is atomic: on any error neither the problem nor the
+    /// map changes. An empty batch is a no-op and does not move the
+    /// [`stamp`](Self::stamp).
+    ///
+    /// # Panics
+    /// Panics if `map` does not mirror this problem (length mismatch).
+    pub fn apply(
+        &mut self,
+        batch: &MutationBatch,
+        map: &mut LinkIdMap,
+    ) -> Result<BatchReceipt, MutationError> {
+        assert_eq!(
+            map.len(),
+            self.links.len(),
+            "LinkIdMap out of sync with the problem"
+        );
+        if batch.is_empty() {
+            return Ok(BatchReceipt::default());
+        }
+        let _span = fading_obs::span!("problem.mutate.apply");
+        let mut removes: Vec<LinkId> = Vec::with_capacity(batch.removes().len());
+        for &ext in batch.removes() {
+            match map.dense(ext) {
+                Some(id) => removes.push(id),
+                None => return Err(MutationError::UnknownExternal(ext)),
+            }
+        }
+        removes.sort_unstable_by(|a, b| b.cmp(a));
+        removes.dedup();
+        self.validate_adds(batch.adds(), &removes)?;
+        self.commit_batch(&removes, batch.adds());
+        let mut receipt = BatchReceipt {
+            added: Vec::with_capacity(batch.adds().len()),
+            removed: Vec::with_capacity(removes.len()),
+        };
+        for &id in &removes {
+            receipt.removed.push(map.on_swap_remove(id));
+        }
+        for _ in batch.adds() {
+            receipt.added.push(map.on_add());
+        }
+        fading_obs::counter!("problem.mutate.batch.calls").incr();
+        fading_obs::counter!("problem.mutate.batch.removed").add(removes.len() as u64);
+        fading_obs::counter!("problem.mutate.batch.added").add(batch.adds().len() as u64);
+        Ok(receipt)
+    }
+
+    /// Overwrites the per-link rates in place — the allocation-free
+    /// mutation counterpart of [`with_link_rates`](Self::with_link_rates)
+    /// for engines that reuse one sub-problem across slots (MaxWeight
+    /// refreshes queue-length weights every slot). Factors depend only
+    /// on geometry and powers, so no interference state is touched; the
+    /// stamp moves because content changed.
+    ///
+    /// # Panics
+    /// Panics on length mismatch or a non-positive/non-finite rate.
+    pub fn update_link_rates(&mut self, rates: &[f64]) {
+        self.links.set_rates(rates);
+        self.stamp = next_stamp();
+    }
+
+    /// Builds the lazy duplicate-position index if absent — one `O(N)`
+    /// pass; every later commit maintains it incrementally.
+    fn ensure_position_index(&mut self) {
+        if self.position_index.is_none() {
+            let mut index = PositionIndex {
+                senders: HashSet::with_capacity(self.links.len()),
+                receivers: HashSet::with_capacity(self.links.len()),
+            };
+            for l in self.links.links() {
+                index.senders.insert(position_key(&l.sender));
+                index.receivers.insert(position_key(&l.receiver));
+            }
+            self.position_index = Some(index);
+        }
+    }
+
+    /// Error-path lookup (`O(N)`, only on duplicate rejection): the
+    /// live link owning a sender position key.
+    fn sender_owner(&self, key: (u64, u64)) -> LinkId {
+        self.links
+            .links()
+            .iter()
+            .find(|l| position_key(&l.sender) == key)
+            .map(|l| l.id)
+            .expect("position index says the sender key is live")
+    }
+
+    /// As [`sender_owner`](Self::sender_owner), for receiver keys.
+    fn receiver_owner(&self, key: (u64, u64)) -> LinkId {
+        self.links
+            .links()
+            .iter()
+            .find(|l| position_key(&l.receiver) == key)
+            .map(|l| l.id)
+            .expect("position index says the receiver key is live")
+    }
+
+    /// Validates batch adds against the live instance with `removes`
+    /// (dense ids, strictly descending, deduplicated) already treated
+    /// as gone. Duplicate checks are `O(1)` hash probes against the
+    /// incrementally maintained [`PositionIndex`]; the errors name the
+    /// *pre-removal* dense ids (the set is not yet mutated). Leaves
+    /// instance content untouched.
+    fn validate_adds(
+        &mut self,
+        specs: &[LinkSpec],
+        removes: &[LinkId],
+    ) -> Result<(), MutationError> {
+        use ValidationError as E;
+        if specs.is_empty() {
+            return Ok(());
+        }
+        let base = self.links.len() - removes.len();
+        if base + specs.len() > u32::MAX as usize {
+            return Err(MutationError::InvalidAdd {
+                slot: (u32::MAX as usize).saturating_sub(base),
+                source: E::CapacityExceeded {
+                    requested: base + specs.len(),
+                },
+            });
+        }
+        self.ensure_position_index();
+        let index = self.position_index.as_ref().expect("just built");
+        // Position keys freed by the removals: every live key belongs
+        // to exactly one link, so a freed key is reusable in-batch.
+        let mut freed_senders: HashSet<(u64, u64)> = HashSet::with_capacity(removes.len());
+        let mut freed_receivers: HashSet<(u64, u64)> = HashSet::with_capacity(removes.len());
+        for &id in removes {
+            let l = self.links.link(id);
+            freed_senders.insert(position_key(&l.sender));
+            freed_receivers.insert(position_key(&l.receiver));
+        }
+        // Keys claimed by earlier specs of this same batch.
+        let mut batch_senders: HashMap<(u64, u64), usize> = HashMap::with_capacity(specs.len());
+        let mut batch_receivers: HashMap<(u64, u64), usize> = HashMap::with_capacity(specs.len());
+        for (slot, spec) in specs.iter().enumerate() {
+            let id = LinkId((base + slot) as u32);
+            let invalid = |source| MutationError::InvalidAdd { slot, source };
+            if !(spec.sender.x.is_finite()
+                && spec.sender.y.is_finite()
+                && spec.receiver.x.is_finite()
+                && spec.receiver.y.is_finite())
+            {
+                return Err(invalid(E::NonFiniteCoordinate(id)));
+            }
+            if spec.sender.distance_sq(&spec.receiver) == 0.0 {
+                return Err(invalid(E::ZeroLengthLink(id)));
+            }
+            if !(spec.rate.is_finite() && spec.rate > 0.0) {
+                return Err(invalid(E::BadRate {
+                    id,
+                    rate: spec.rate,
+                }));
+            }
+            if !(spec.power_scale.is_finite() && spec.power_scale > 0.0) {
+                return Err(invalid(E::BadPowerScale {
+                    id,
+                    scale: spec.power_scale,
+                }));
+            }
+            let ks = position_key(&spec.sender);
+            if let Some(&first) = batch_senders.get(&ks) {
+                return Err(invalid(E::DuplicateSender(
+                    LinkId((base + first) as u32),
+                    id,
+                )));
+            }
+            if index.senders.contains(&ks) && !freed_senders.contains(&ks) {
+                return Err(invalid(E::DuplicateSender(self.sender_owner(ks), id)));
+            }
+            batch_senders.insert(ks, slot);
+            let kr = position_key(&spec.receiver);
+            if let Some(&first) = batch_receivers.get(&kr) {
+                return Err(invalid(E::DuplicateReceiver(
+                    LinkId((base + first) as u32),
+                    id,
+                )));
+            }
+            if index.receivers.contains(&kr) && !freed_receivers.contains(&kr) {
+                return Err(invalid(E::DuplicateReceiver(self.receiver_owner(kr), id)));
+            }
+            batch_receivers.insert(kr, slot);
+        }
+        Ok(())
+    }
+
+    /// Commits validated removals (descending, deduplicated dense ids)
+    /// and adds in one transaction: links, power scales, and position
+    /// index first, then **one** backend patch pass (dense: batched
+    /// column/row gather plus one relayout append; sparse: one
+    /// deferred-reconcile [`SparseInterference::apply_batch`]), then a
+    /// single stamp bump. Infallible — callers validate first.
+    fn commit_batch(&mut self, removes: &[LinkId], adds: &[LinkSpec]) {
+        // First non-uniform arrival on a uniform instance: materialize
+        // the all-ones profile (bit-identical factors — `scale ≡ 1`
+        // scales by exactly 1.0) so the new scales have a vector to
+        // extend.
+        if self.power_scales.is_none() && adds.iter().any(|s| s.power_scale != 1.0) {
+            self.power_scales = Some(vec![1.0; self.links.len()]);
+            if let InterferenceBackend::Sparse(s) = &mut self.factors {
+                s.materialize_powers();
+            }
+        }
+        for &id in removes {
+            if let Some(index) = &mut self.position_index {
+                let l = self.links.link(id);
+                index.senders.remove(&position_key(&l.sender));
+                index.receivers.remove(&position_key(&l.receiver));
+            }
             self.links.swap_remove(id);
             if let Some(p) = &mut self.power_scales {
                 p.swap_remove(id.index());
             }
-            match &mut self.factors {
-                InterferenceBackend::Dense(m) => m.swap_remove(id.index()),
-                InterferenceBackend::Sparse(s) => s.swap_remove_link(id.index()),
+        }
+        for spec in adds {
+            if let Some(index) = &mut self.position_index {
+                index.senders.insert(position_key(&spec.sender));
+                index.receivers.insert(position_key(&spec.receiver));
+            }
+            self.links
+                .append_prechecked(spec.sender, spec.receiver, spec.rate)
+                .expect("specs are validated before commit");
+        }
+        if let Some(p) = &mut self.power_scales {
+            p.extend(adds.iter().map(|s| s.power_scale));
+        }
+        match &mut self.factors {
+            InterferenceBackend::Dense(m) => {
+                m.swap_remove_batch(removes);
+                if !adds.is_empty() {
+                    let cells = m.append(&self.links, &self.channel, self.power_scales.as_deref());
+                    fading_obs::counter!("problem.mutate.dense_cells").add(cells);
+                }
+            }
+            InterferenceBackend::Sparse(s) => {
+                s.apply_batch(removes, adds)
+                    .expect("specs are validated before commit");
             }
         }
-        fading_obs::counter!("problem.mutate.remove.calls").incr();
-        fading_obs::counter!("problem.mutate.remove.links").add(order.len() as u64);
         self.stamp = next_stamp();
-        order
     }
 
     /// The content-snapshot stamp: process-globally unique, replaced on

@@ -34,10 +34,11 @@
 
 use crate::feasibility::BUDGET_RTOL;
 use crate::interference::{InterferenceModel, PARALLEL_THRESHOLD};
+use crate::mutate::LinkSpec;
 use fading_channel::RayleighChannel;
 use fading_geom::{Point2, SpatialHash};
 use fading_math::zeta;
-use fading_net::{LinkId, LinkSet};
+use fading_net::{LinkId, LinkSet, ValidationError};
 use rayon::prelude::*;
 
 /// Truncation policy for [`SparseInterference`].
@@ -103,6 +104,11 @@ pub struct SparseInterference {
     powers: Option<Vec<f64>>,
     /// Hash over *sender* positions, for neighborhood queries.
     sender_hash: SpatialHash,
+    /// Hash over *receiver* positions, for the inverse query the row
+    /// wiring needs — which receivers' radius balls contain a given
+    /// sender. Queried at [`max_radius`](Self::max_radius), filtered by
+    /// the exact per-receiver `d² ≤ r²` predicate.
+    receiver_hash: SpatialHash,
     /// Slack-row CSR by sender: the out-factors of sender `i` occupy
     /// `arena[row_start[i] .. row_start[i] + row_len[i]]` inside a
     /// reserved extent of `row_cap[i]` slots. Extents never overlap;
@@ -132,6 +138,11 @@ pub struct SparseInterference {
     diameter: f64,
     /// Exact maximum power scale the current radii were computed with.
     max_scale: f64,
+    /// Conservative upper bound on every entry of `radius`: exact after
+    /// a build or an envelope reconcile, pushed up by appended links,
+    /// never shrunk by removals (a stale-high bound only widens the
+    /// inverse query, it cannot miss a receiver).
+    max_radius: f64,
     /// Reusable index scratch for the mutation paths (column gathers,
     /// tail-rename holders, annulus edits) — excluded from `PartialEq`,
     /// carried so steady-state mutations allocate nothing per call.
@@ -233,6 +244,8 @@ impl SparseInterference {
             1.0
         };
         let sender_hash = SpatialHash::build(&senders, cell);
+        let receiver_hash = SpatialHash::build(&receivers, cell);
+        let max_radius = radius.iter().copied().fold(0.0, f64::max);
 
         // Gather each receiver's stored in-neighborhood, then scatter
         // into a CSR keyed by sender.
@@ -305,6 +318,7 @@ impl SparseInterference {
             lengths,
             powers: powers.map(<[f64]>::to_vec),
             sender_hash,
+            receiver_hash,
             row_start,
             row_len,
             row_cap,
@@ -318,6 +332,7 @@ impl SparseInterference {
             exact,
             diameter,
             max_scale,
+            max_radius,
             scratch: Vec::new(),
         }
     }
@@ -422,6 +437,11 @@ impl SparseInterference {
             1.0
         };
         let sender_hash = SpatialHash::build(&senders, cell);
+        let receiver_hash = SpatialHash::build(&receivers, cell);
+        // A valid bound for the *sliced* radii; the poisoned envelope
+        // below forces a full reconcile (which recomputes it exactly)
+        // before any wiring relies on it.
+        let max_radius = radius.iter().copied().fold(0.0, f64::max);
         let exact = cut.iter().all(|&c| c == 0.0);
 
         Self {
@@ -432,6 +452,7 @@ impl SparseInterference {
             lengths,
             powers,
             sender_hash,
+            receiver_hash,
             row_start,
             row_len,
             row_cap,
@@ -449,6 +470,7 @@ impl SparseInterference {
             // formula before relying on it.
             diameter: f64::INFINITY,
             max_scale: f64::INFINITY,
+            max_radius,
             scratch: Vec::new(),
         }
     }
@@ -555,8 +577,10 @@ impl SparseInterference {
         let geometry = (self.senders.len() + self.receivers.len()) * std::mem::size_of::<Point2>()
             + self.lengths.len() * std::mem::size_of::<f64>()
             + self.powers.as_ref().map_or(0, |p| p.len() * 8);
-        // Hash: one u32 index per point plus the point copy.
-        let hash = self.sender_hash.len() * (std::mem::size_of::<u32>() + 16);
+        // Hashes: one u32 index per point plus the point copy, for the
+        // sender and receiver grids.
+        let hash =
+            (self.sender_hash.len() + self.receiver_hash.len()) * (std::mem::size_of::<u32>() + 16);
         (csr + per_receiver + geometry + hash) as u64
     }
 
@@ -632,30 +656,51 @@ impl SparseInterference {
         }
     }
 
+    /// Checks a batch of specs against the store's power discipline:
+    /// every scale must be positive finite, and a non-unit scale needs
+    /// a materialized per-link profile to extend (callers convert a
+    /// uniform store first — see
+    /// [`materialize_powers`](Self::materialize_powers)). `base` is the
+    /// dense id the first spec would take, used for error reporting.
+    fn validate_specs(&self, specs: &[LinkSpec], base: usize) -> Result<(), ValidationError> {
+        for (slot, spec) in specs.iter().enumerate() {
+            if !(spec.power_scale.is_finite() && spec.power_scale > 0.0) {
+                return Err(ValidationError::BadPowerScale {
+                    id: LinkId((base + slot) as u32),
+                    scale: spec.power_scale,
+                });
+            }
+            if self.powers.is_none() && spec.power_scale != 1.0 {
+                return Err(ValidationError::PowerProfileMismatch {
+                    scale: spec.power_scale,
+                });
+            }
+        }
+        Ok(())
+    }
+
     /// Appends a link in place: the new link takes index `len()`. Cost
     /// model (`docs/online.md`): one `O(N)` envelope scan, one hash
-    /// query for the new receiver's in-neighborhood, an `O(N)` receiver
-    /// scan for the new sender's row, plus `O(k)` factor evaluations —
-    /// versus the full `O(N·k)` transcendental rebuild.
+    /// query for the new receiver's in-neighborhood, one inverse hash
+    /// query for the new sender's row, plus `O(degree)` factor
+    /// evaluations — versus the full `O(N·k)` transcendental rebuild.
+    /// For several mutations at once,
+    /// [`apply_batch`](Self::apply_batch) amortizes the `O(N)` terms
+    /// over the whole batch.
     ///
-    /// `length` must be the link's own sender→receiver distance;
-    /// `power` must be `Some` exactly when the store carries per-link
-    /// power scales.
-    ///
-    /// # Panics
-    /// Panics on a power-profile mismatch.
-    pub fn add_link(&mut self, sender: Point2, receiver: Point2, length: f64, power: Option<f64>) {
-        assert_eq!(
-            power.is_some(),
-            self.powers.is_some(),
-            "power profile mismatch: store and link must agree on scaled power"
-        );
+    /// The spec's `power_scale` extends the store's profile when one is
+    /// active; on a uniform store a non-unit scale is rejected with
+    /// [`ValidationError::PowerProfileMismatch`].
+    pub fn add_link(&mut self, spec: &LinkSpec) -> Result<(), ValidationError> {
+        self.validate_specs(std::slice::from_ref(spec), self.n)?;
+        let (sender, receiver) = (spec.sender, spec.receiver);
+        let length = sender.distance(&receiver);
         let t = self.n;
         self.senders.push(sender);
         self.receivers.push(receiver);
         self.lengths.push(length);
-        if let Some(p) = power {
-            self.powers.as_mut().expect("checked above").push(p);
+        if let Some(p) = &mut self.powers {
+            p.push(spec.power_scale);
         }
         self.n = t + 1;
         // Reconcile existing radii against the grown envelope *before*
@@ -667,6 +712,7 @@ impl SparseInterference {
         let (r, c) = truncation_for(&self.channel, length, ratio, self.tau, self.diameter);
         self.radius.push(r);
         self.cut.push(c);
+        self.max_radius = self.max_radius.max(r);
         // Column t: old senders within the new receiver's radius. The
         // new receiver id is the maximum, so each insert lands at its
         // row's tail. The reusable scratch keeps the warm mutation path
@@ -687,34 +733,44 @@ impl SparseInterference {
             );
             self.row_insert(i as usize, t as u32, f);
         }
-        self.scratch = col;
-        // Row t: receivers whose radius covers the new sender, scanned
-        // in ascending id order (the row comes out sorted). The scan
-        // uses the same `d² ≤ r²` predicate as the hash query, so
-        // membership matches a fresh build exactly.
+        // Row t: receivers whose radius ball covers the new sender —
+        // the inverse query, answered by the receiver hash at the
+        // conservative `max_radius` bound and filtered with the exact
+        // `d² ≤ r²` predicate (the same one the fresh build's hash
+        // gather applies), then sorted so the CSR row invariant holds.
+        col.clear();
+        self.receiver_hash
+            .for_each_in_radius(&sender, self.max_radius, |j| {
+                let ju = j as usize;
+                if sender.distance_sq(&self.receivers[ju]) <= self.radius[ju] * self.radius[ju] {
+                    col.push(j);
+                }
+            });
+        col.sort_unstable();
         let lo = self.arena_receivers.len();
-        for j in 0..t {
-            if sender.distance_sq(&self.receivers[j]) <= self.radius[j] * self.radius[j] {
-                let f = pair_factor(
-                    &self.channel,
-                    &self.senders,
-                    &self.receivers,
-                    &self.lengths,
-                    self.powers.as_deref(),
-                    t,
-                    j,
-                );
-                self.arena_receivers.push(j as u32);
-                self.arena_factors.push(f);
-            }
+        for j in col.drain(..) {
+            let f = pair_factor(
+                &self.channel,
+                &self.senders,
+                &self.receivers,
+                &self.lengths,
+                self.powers.as_deref(),
+                t,
+                j as usize,
+            );
+            self.arena_receivers.push(j);
+            self.arena_factors.push(f);
         }
+        self.scratch = col;
         self.row_start.push(lo);
         let len = (self.arena_receivers.len() - lo) as u32;
         self.row_len.push(len);
         self.row_cap.push(len);
         self.sender_hash.insert(sender);
+        self.receiver_hash.insert(receiver);
         self.exact = self.cut.iter().all(|&c| c == 0.0);
         self.maybe_compact();
+        Ok(())
     }
 
     /// Removes link `k` in place with `Vec::swap_remove` semantics (the
@@ -726,6 +782,21 @@ impl SparseInterference {
     /// # Panics
     /// Panics if `k` is out of bounds.
     pub fn swap_remove_link(&mut self, k: usize) {
+        self.remove_one(k);
+        // Bbox or max power scale may have shrunk; pull every radius
+        // back to the fresh-build formula.
+        self.refresh_envelope();
+        self.exact = self.cut.iter().all(|&c| c == 0.0);
+        self.maybe_compact();
+    }
+
+    /// The row/column edits of one swap-remove, with the envelope
+    /// reconcile, exactness flag, and compaction deferred to the
+    /// caller. Sound to chain: the membership invariant references the
+    /// *current* `radius` array, which removal never changes for
+    /// surviving receivers — only the final reconcile pulls the array
+    /// back to the fresh-build formula.
+    fn remove_one(&mut self, k: usize) {
         assert!(k < self.n, "link index out of bounds");
         let last = self.n - 1;
         // Drop column k: by the invariant, exactly the senders within
@@ -773,12 +844,166 @@ impl SparseInterference {
         self.radius.swap_remove(k);
         self.cut.swap_remove(k);
         self.sender_hash.swap_remove(k as u32);
+        self.receiver_hash.swap_remove(k as u32);
         self.n = last;
-        // Bbox or max power scale may have shrunk; pull every radius
-        // back to the fresh-build formula.
+    }
+
+    /// Applies a whole transaction — removals (dense ids, strictly
+    /// descending) then appended links (taking ids `n..n+k` in spec
+    /// order) — with **one** envelope reconciliation and **one**
+    /// compaction check for the entire batch.
+    ///
+    /// Equivalent to the matching sequence of
+    /// [`swap_remove_link`](Self::swap_remove_link) /
+    /// [`add_link`](Self::add_link) calls, and hence to a fresh build
+    /// over the final link set: every intermediate state still
+    /// satisfies the membership invariant *with respect to the current
+    /// `radius` array*, stored factors are pure per-pair values
+    /// independent of wiring order, and the final reconcile pulls the
+    /// array back to the fresh-build formula once. Each new link's row
+    /// and column are local hash queries (see
+    /// [`wire_new_links`](Self::wire_new_links)), so a `k`-link batch
+    /// costs `O(N + k·degree)` — the `O(N)` envelope scan paid once for
+    /// the whole transaction, however the batch is spread over the
+    /// region — instead of `k` separate `O(N)` passes.
+    ///
+    /// On a validation error nothing changes.
+    ///
+    /// # Panics
+    /// Panics if `removes` is not strictly descending or out of range.
+    pub fn apply_batch(
+        &mut self,
+        removes: &[LinkId],
+        adds: &[LinkSpec],
+    ) -> Result<(), ValidationError> {
+        if removes.is_empty() && adds.is_empty() {
+            return Ok(());
+        }
+        assert!(
+            removes.windows(2).all(|w| w[0] > w[1]),
+            "apply_batch removals must be strictly descending"
+        );
+        if let Some(&first) = removes.first() {
+            assert!(first.index() < self.n, "link index out of bounds");
+        }
+        self.validate_specs(adds, self.n - removes.len())?;
+        let _span = fading_obs::span!("core.sparse.apply_batch");
+        for &id in removes {
+            self.remove_one(id.index());
+        }
+        let n0 = self.n;
+        // Push all new geometry and powers, then reconcile the envelope
+        // once: the new senders are not yet hashed, so annulus edits
+        // touch only surviving old pairs, and the new rows/columns are
+        // wired directly under the final radii.
+        for spec in adds {
+            self.senders.push(spec.sender);
+            self.receivers.push(spec.receiver);
+            self.lengths.push(spec.sender.distance(&spec.receiver));
+            if let Some(p) = &mut self.powers {
+                p.push(spec.power_scale);
+            }
+        }
+        self.n = n0 + adds.len();
         self.refresh_envelope();
+        for t in n0..self.n {
+            let ratio = self.powers.as_ref().map_or(1.0, |p| self.max_scale / p[t]);
+            let (r, c) = truncation_for(
+                &self.channel,
+                self.lengths[t],
+                ratio,
+                self.tau,
+                self.diameter,
+            );
+            self.radius.push(r);
+            self.cut.push(c);
+            self.max_radius = self.max_radius.max(r);
+        }
+        if n0 < self.n {
+            self.wire_new_links(n0);
+        }
         self.exact = self.cut.iter().all(|&c| c == 0.0);
         self.maybe_compact();
+        Ok(())
+    }
+
+    /// Wires rows and columns for links `n0..n`, whose geometry, radii,
+    /// and cuts are already in place under the reconciled envelope.
+    /// Both directions are local hash queries: the column gathers the
+    /// senders inside the new receiver's radius from the sender hash,
+    /// and the row answers the inverse question — which receivers'
+    /// radius balls contain the new sender — from the receiver hash at
+    /// the conservative `max_radius` bound, filtered with the exact
+    /// `d² ≤ r²` predicate. Per-link cost is the local neighborhood
+    /// regardless of how the batch is spread over the region, which is
+    /// what keeps a slot's worth of *scattered* churn arrivals at
+    /// `O(k · degree)` instead of the `O(k · N)` per-link receiver
+    /// scans (or an `O(N)`-per-batch sweep that degenerates to visiting
+    /// every link once the batch's bounding circle covers the region).
+    fn wire_new_links(&mut self, n0: usize) {
+        let mut col = std::mem::take(&mut self.scratch);
+        let mut hits: Vec<u32> = Vec::with_capacity(64);
+        for t in n0..self.n {
+            let (sender, receiver) = (self.senders[t], self.receivers[t]);
+            // Column t: already-wired senders (old plus earlier new —
+            // each enters the hash as its own wiring completes) within
+            // the new receiver's radius. Receiver t is the maximum
+            // stored id, so each insert lands at its row's tail.
+            col.clear();
+            self.sender_hash
+                .for_each_in_radius(&receiver, self.radius[t], |i| col.push(i));
+            for i in col.drain(..) {
+                let f = pair_factor(
+                    &self.channel,
+                    &self.senders,
+                    &self.receivers,
+                    &self.lengths,
+                    self.powers.as_deref(),
+                    i as usize,
+                    t,
+                );
+                self.row_insert(i as usize, t as u32, f);
+            }
+            // Row t: receivers (old plus earlier new) whose radius ball
+            // contains the new sender — the inverse query, answered by
+            // the receiver hash at the conservative `max_radius` bound
+            // and filtered with the exact `d² ≤ r²` predicate, then
+            // sorted so the CSR row invariant holds. Local, whatever
+            // the batch's spatial spread: a slot's worth of scattered
+            // churn arrivals costs `O(k · neighborhood)`, not the
+            // `O(k · N)` a per-link receiver scan would pay.
+            hits.clear();
+            self.receiver_hash
+                .for_each_in_radius(&sender, self.max_radius, |j| {
+                    let ju = j as usize;
+                    if sender.distance_sq(&self.receivers[ju]) <= self.radius[ju] * self.radius[ju]
+                    {
+                        hits.push(j);
+                    }
+                });
+            hits.sort_unstable();
+            let lo = self.arena_receivers.len();
+            for &j in &hits {
+                let f = pair_factor(
+                    &self.channel,
+                    &self.senders,
+                    &self.receivers,
+                    &self.lengths,
+                    self.powers.as_deref(),
+                    t,
+                    j as usize,
+                );
+                self.arena_receivers.push(j);
+                self.arena_factors.push(f);
+            }
+            self.row_start.push(lo);
+            let len = (self.arena_receivers.len() - lo) as u32;
+            self.row_len.push(len);
+            self.row_cap.push(len);
+            self.sender_hash.insert(sender);
+            self.receiver_hash.insert(receiver);
+        }
+        self.scratch = col;
     }
 
     /// Truncation radius and cut of receiver `j` under the *current*
@@ -810,6 +1035,7 @@ impl SparseInterference {
         }
         self.diameter = diameter;
         self.max_scale = max_scale;
+        let mut max_radius = 0.0f64;
         // The scratch is taken out of `self` so the hash-query closure
         // (which reads `self.senders`/`self.receivers`) and the buffer
         // can be borrowed simultaneously.
@@ -852,7 +1078,9 @@ impl SparseInterference {
             }
             self.radius[j] = r;
             self.cut[j] = c;
+            max_radius = max_radius.max(r);
         }
+        self.max_radius = max_radius;
         self.scratch = touched;
     }
 
@@ -1260,7 +1488,7 @@ mod tests {
             );
             for t in 60..90 {
                 let l = full.link(LinkId(t));
-                s.add_link(l.sender, l.receiver, l.length(), None);
+                s.add_link(&LinkSpec::new(l.sender, l.receiver)).unwrap();
                 if t % 9 == 0 || t == 89 {
                     assert_eq!(s, rebuild_of(&s), "rtol {rtol} after add {t}");
                 }
@@ -1293,7 +1521,8 @@ mod tests {
         assert!(!InterferenceModel::is_exact(&s), "0.5·γ_ε must truncate");
         let extra = UniformGenerator::paper(80).generate(19);
         let l = extra.link(LinkId(75));
-        s.add_link(l.sender, l.receiver, l.length(), Some(4.0));
+        s.add_link(&LinkSpec::new(l.sender, l.receiver).with_power_scale(4.0))
+            .unwrap();
         assert_eq!(s, rebuild_of(&s), "after high-power add");
         s.swap_remove_link(70);
         assert_eq!(s, rebuild_of(&s), "after high-power remove");
@@ -1315,7 +1544,7 @@ mod tests {
         let keep: Vec<LinkId> = (0..60).map(LinkId).collect();
         let mut sub = parent.restrict(&keep);
         let l = links.link(LinkId(72));
-        sub.add_link(l.sender, l.receiver, l.length(), None);
+        sub.add_link(&LinkSpec::new(l.sender, l.receiver)).unwrap();
         assert_eq!(sub, rebuild_of(&sub));
     }
 
@@ -1331,10 +1560,78 @@ mod tests {
         assert!(s.is_empty());
         for i in 0..25 {
             let l = links.link(LinkId(i));
-            s.add_link(l.sender, l.receiver, l.length(), None);
+            s.add_link(&LinkSpec::new(l.sender, l.receiver)).unwrap();
         }
         assert_eq!(s, rebuild_of(&s));
         assert!(InterferenceModel::stored_factors(&s) > 0);
+    }
+
+    #[test]
+    fn batch_matches_sequential_and_fresh_build() {
+        // apply_batch defers the envelope reconcile and compaction to
+        // commit time; the result must still be bit-identical to the
+        // per-mutation path (and hence the fresh build). k = 50 > 32
+        // also exercises the transient-hash row gather.
+        for rtol in [SparseConfig::DEFAULT_TAIL_RTOL, 0.5] {
+            let full = UniformGenerator::paper(90).generate(29);
+            let channel = RayleighChannel::new(ChannelParams::paper_defaults());
+            let head = {
+                let keep: Vec<LinkId> = (0..40).map(LinkId).collect();
+                full.restrict(&keep).0
+            };
+            let built = SparseInterference::build(
+                &head,
+                &channel,
+                gamma_eps(0.01),
+                SparseConfig { tail_rtol: rtol },
+            );
+            let removes = [LinkId(35), LinkId(12), LinkId(0)];
+            let specs: Vec<LinkSpec> = (40..90)
+                .map(|t| {
+                    let l = full.link(LinkId(t));
+                    LinkSpec::new(l.sender, l.receiver)
+                })
+                .collect();
+            let mut sequential = built.clone();
+            for &k in &removes {
+                sequential.swap_remove_link(k.index());
+            }
+            for spec in &specs {
+                sequential.add_link(spec).unwrap();
+            }
+            let mut batched = built.clone();
+            batched.apply_batch(&removes, &specs).unwrap();
+            assert_eq!(batched, sequential, "rtol {rtol}");
+            assert_eq!(batched, rebuild_of(&batched), "rtol {rtol} vs fresh");
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op_and_errors_leave_the_store_untouched() {
+        let links = UniformGenerator::paper(30).generate(31);
+        let channel = RayleighChannel::new(ChannelParams::paper_defaults());
+        let built =
+            SparseInterference::build(&links, &channel, gamma_eps(0.01), SparseConfig::default());
+        let mut s = built.clone();
+        s.apply_batch(&[], &[]).unwrap();
+        assert_eq!(s, built, "empty batch must not touch the store");
+        // A non-unit power scale on a uniform store is a typed error,
+        // not a panic, and rejects the whole batch atomically.
+        let extra = UniformGenerator::paper(40).generate(32);
+        let l = extra.link(LinkId(35));
+        let bad = LinkSpec::new(l.sender, l.receiver).with_power_scale(2.0);
+        assert_eq!(
+            s.apply_batch(&[LinkId(3)], &[bad]),
+            Err(ValidationError::PowerProfileMismatch { scale: 2.0 })
+        );
+        assert!(matches!(
+            s.add_link(&LinkSpec::new(l.sender, l.receiver).with_power_scale(f64::NAN)),
+            Err(ValidationError::BadPowerScale {
+                id: LinkId(30),
+                scale,
+            }) if scale.is_nan()
+        ));
+        assert_eq!(s, built, "rejected batches must not touch the store");
     }
 
     #[test]
@@ -1408,7 +1705,8 @@ mod tests {
         let links = UniformGenerator::paper(6).generate(23);
         for i in 0..6 {
             let l = links.link(LinkId(i));
-            s.add_link(l.sender, l.receiver, l.length(), Some(1.0 + i as f64 * 0.5));
+            s.add_link(&LinkSpec::new(l.sender, l.receiver).with_power_scale(1.0 + i as f64 * 0.5))
+                .unwrap();
         }
         assert_eq!(s, rebuild_of(&s));
     }

@@ -14,9 +14,12 @@
 use fading_channel::ChannelParams;
 use fading_core::algo::{GreedyRate, Ldp, Rle};
 use fading_core::feasibility::is_feasible;
-use fading_core::{BackendChoice, LinkSpec, Problem, SchedCtx, Scheduler, SparseConfig};
+use fading_core::{
+    BackendChoice, BatchReceipt, LinkIdMap, LinkSpec, MutationBatch, MutationError, Problem,
+    SchedCtx, Scheduler, SparseConfig,
+};
 use fading_geom::Point2;
-use fading_net::{LinkId, LinkSet, TopologyGenerator, UniformGenerator};
+use fading_net::{LinkId, LinkSet, TopologyGenerator, UniformGenerator, ValidationError};
 use proptest::prelude::*;
 
 const ALPHAS: [f64; 3] = [2.5, 3.0, 4.0];
@@ -188,6 +191,170 @@ proptest! {
             );
         }
     }
+
+    /// The transactional path: a whole `MutationBatch` committed by
+    /// `Problem::apply` (one envelope reconciliation, one spatial-index
+    /// patch pass) lands bit-identically on the same state as applying
+    /// the same mutations one call at a time — and both equal a
+    /// from-scratch build. Batches mix adds (uniform and powered),
+    /// removals by external id, duplicate removals, and empty batches,
+    /// across both backends and both truncation policies.
+    #[test]
+    fn batch_equals_sequential_equals_rebuild(
+        n in 4usize..20,
+        seed in 0u64..5_000,
+        alpha_idx in 0usize..3,
+        rtol_idx in 0usize..2,
+        sparse_bit in 0usize..2,
+        powered_bit in 0usize..2,
+        batches in proptest::collection::vec(
+            proptest::collection::vec((0u8..3, 0.0f64..998.0, 0.0f64..100.0), 0..8),
+            1..5,
+        ),
+    ) {
+        let backend = if sparse_bit == 1 {
+            BackendChoice::Sparse(SparseConfig { tail_rtol: TAIL_RTOLS[rtol_idx] })
+        } else {
+            BackendChoice::Dense
+        };
+        let mut batched = initial(n, seed, ALPHAS[alpha_idx], backend, powered_bit == 1);
+        let mut bat_map = LinkIdMap::with_len(n);
+        let mut seq = batched.clone();
+        let mut seq_map = bat_map.clone();
+        let mut tag = 0usize;
+        for ops in &batches {
+            let mut batch = MutationBatch::new();
+            let mut doomed: Vec<u64> = Vec::new();
+            let mut planned_adds = 0usize;
+            for &(kind, x, w) in ops {
+                if kind == 2 {
+                    // Remove a random live link not already doomed,
+                    // keeping at least one link alive.
+                    let live: Vec<u64> = bat_map
+                        .externals()
+                        .iter()
+                        .copied()
+                        .filter(|e| !doomed.contains(e))
+                        .collect();
+                    if live.len() > 1 {
+                        let ext = live[(w.to_bits() % live.len() as u64) as usize];
+                        doomed.push(ext);
+                        batch.remove(ext);
+                        if w > 50.0 {
+                            batch.remove(ext); // duplicates collapse
+                        }
+                    }
+                } else {
+                    // Coordinates disjoint from the generator's region
+                    // and from every other generated link.
+                    let sender = Point2::new(5_000.0 + tag as f64 * 8.0, x);
+                    let receiver =
+                        Point2::new(5_000.0 + tag as f64 * 8.0 + 1.5 + (w % 5.0), x + 0.5);
+                    let spec = LinkSpec::new(sender, receiver).with_rate(1.0 + (w % 3.0));
+                    let spec = if kind == 1 {
+                        spec.with_power_scale(0.5 + (w % 4.0) * 0.375)
+                    } else {
+                        spec
+                    };
+                    batch.add(spec);
+                    planned_adds += 1;
+                }
+                tag += 1;
+            }
+            let stamp_before = batched.stamp();
+            let receipt = batched.apply(&batch, &mut bat_map).unwrap();
+            prop_assert_eq!(receipt.added.len(), planned_adds);
+            prop_assert_eq!(receipt.removed.len(), doomed.len());
+            if batch.is_empty() {
+                prop_assert_eq!(batched.stamp(), stamp_before, "empty batch moved the stamp");
+            } else {
+                prop_assert_ne!(batched.stamp(), stamp_before, "commit must move the stamp");
+            }
+            // Sequential mirror: the same removals in the order the
+            // batch applied them, one call each, then adds one by one.
+            for &ext in &receipt.removed {
+                let dense = seq_map.dense(ext).expect("live on the sequential side");
+                for id in seq.remove_links(&[dense]) {
+                    seq_map.on_swap_remove(id);
+                }
+            }
+            for spec in batch.adds() {
+                seq.add_links(std::slice::from_ref(spec)).unwrap();
+                seq_map.on_add();
+            }
+            prop_assert_eq!(&batched, &seq, "batch != sequential");
+            prop_assert_eq!(&bat_map, &seq_map, "maps diverged");
+            let rebuilt = rebuild(&batched);
+            prop_assert_eq!(&batched, &rebuilt, "batch != rebuild");
+        }
+    }
+}
+
+/// Transactional edge cases: empty batches leave the stamp alone,
+/// unknown externals and duplicate positions reject atomically, a
+/// position freed by a removal is reusable by an add in the *same*
+/// batch, and bad power scales surface as typed errors.
+#[test]
+fn transactional_batch_contract() {
+    let mut p = Problem::paper(UniformGenerator::paper(6).generate(9), 3.0);
+    let mut map = LinkIdMap::with_len(6);
+    let before = p.clone();
+    let stamp = p.stamp();
+
+    // Empty batch: receipt empty, stamp untouched.
+    let r = p.apply(&MutationBatch::new(), &mut map).unwrap();
+    assert_eq!(r, BatchReceipt::default());
+    assert_eq!(p.stamp(), stamp, "empty batch must not move the stamp");
+
+    // Unknown external id: typed error, nothing changes.
+    let mut batch = MutationBatch::new();
+    batch.remove(99);
+    assert_eq!(
+        p.apply(&batch, &mut map),
+        Err(MutationError::UnknownExternal(99))
+    );
+    assert_eq!(p, before);
+    assert_eq!(map.len(), 6);
+
+    // A removal frees its positions for an add in the same batch.
+    let (pos_s, pos_r) = {
+        let l = p.links().link(LinkId(2));
+        (l.sender, l.receiver)
+    };
+    let mut batch = MutationBatch::new();
+    batch
+        .remove(2)
+        .add(LinkSpec::new(pos_s, pos_r).with_rate(3.0));
+    let receipt = p.apply(&batch, &mut map).unwrap();
+    assert_eq!(receipt.removed, vec![2]);
+    assert_eq!(receipt.added.len(), 1);
+    assert_eq!(p.len(), 6);
+    assert_eq!(p, rebuild(&p));
+
+    // An add colliding with a live (non-removed) position rejects the
+    // whole batch atomically.
+    let live = p.links().link(LinkId(0)).sender;
+    let mut batch = MutationBatch::new();
+    batch.add(LinkSpec::new(live, Point2::new(7_777.0, 7.0)));
+    let snapshot = p.clone();
+    assert!(matches!(
+        p.apply(&batch, &mut map),
+        Err(MutationError::InvalidAdd {
+            slot: 0,
+            source: ValidationError::DuplicateSender(..),
+        })
+    ));
+    assert_eq!(p, snapshot, "rejected batch must be a no-op");
+
+    // The former power-profile panic is now a typed error.
+    assert!(matches!(
+        p.add_links(&[
+            LinkSpec::new(Point2::new(9_000.0, 1.0), Point2::new(9_002.0, 1.0))
+                .with_power_scale(-1.0),
+        ]),
+        Err(ValidationError::BadPowerScale { .. })
+    ));
+    assert_eq!(p, snapshot);
 }
 
 /// Batch semantics and error atomicity: ids come back in spec order,

@@ -40,6 +40,21 @@ pub enum ValidationError {
         /// Links the caller tried to store.
         requested: usize,
     },
+    /// A link's transmit power scale is non-positive or non-finite.
+    BadPowerScale {
+        /// The offending link.
+        id: LinkId,
+        /// The scale it carried.
+        scale: f64,
+    },
+    /// A scaled-power link reached a store without a per-link power
+    /// profile: the store and the link must agree on whether power
+    /// control is active (callers materialize the profile first; see
+    /// `fading-core`'s `Problem::apply`).
+    PowerProfileMismatch {
+        /// The non-unit power scale that had no profile to extend.
+        scale: f64,
+    },
 }
 
 impl std::fmt::Display for ValidationError {
@@ -67,6 +82,15 @@ impl std::fmt::Display for ValidationError {
                 write!(
                     f,
                     "instance holds {requested} links, exceeding the u32 id space"
+                )
+            }
+            ValidationError::BadPowerScale { id, scale } => {
+                write!(f, "link {id} has invalid power scale {scale}")
+            }
+            ValidationError::PowerProfileMismatch { scale } => {
+                write!(
+                    f,
+                    "power scale {scale} reached a store without a power profile"
                 )
             }
         }

@@ -27,6 +27,6 @@ pub use generator::{
     TopologyGenerator, UniformGenerator,
 };
 pub use link::{Link, LinkId};
-pub use linkset::LinkSet;
+pub use linkset::{position_key, LinkSet};
 pub use mobility::RandomWaypoint;
 pub use stats::{instance_stats, InstanceStats};

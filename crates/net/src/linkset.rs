@@ -10,9 +10,11 @@ use std::collections::HashMap;
 /// coordinates are numerically equal. Lets the duplicate-position
 /// validation run in `O(N)` instead of the former `O(N²)` pair scan —
 /// at the 10⁵-link scale the sparse interference backend targets, the
-/// pair scan alone would dominate instance construction.
+/// pair scan alone would dominate instance construction. Public so
+/// incremental callers (e.g. `fading-core`'s batch mutation path) can
+/// maintain their own position indexes with the exact same equality.
 #[inline]
-pub(crate) fn position_key(p: &Point2) -> (u64, u64) {
+pub fn position_key(p: &Point2) -> (u64, u64) {
     ((p.x + 0.0).to_bits(), (p.y + 0.0).to_bits())
 }
 
@@ -192,6 +194,67 @@ impl LinkSet {
             region: self.region,
             links,
         }
+    }
+
+    /// Overwrites every rate in place (id order) — the allocation-free
+    /// counterpart of [`with_rates`](Self::with_rates) for loops that
+    /// refresh weights every slot (e.g. MaxWeight queue lengths over a
+    /// reused sub-problem). Geometry is untouched, so validation
+    /// reduces to the rate checks.
+    ///
+    /// # Panics
+    /// Panics on length mismatch or a non-positive/non-finite rate.
+    pub fn set_rates(&mut self, rates: &[f64]) {
+        assert_eq!(rates.len(), self.links.len(), "rate vector length mismatch");
+        for (l, &rate) in self.links.iter_mut().zip(rates) {
+            assert!(
+                rate.is_finite() && rate > 0.0,
+                "link {} has invalid rate {rate}",
+                l.id
+            );
+            l.rate = rate;
+        }
+    }
+
+    /// Appends a link whose positions the caller has *already* checked
+    /// for uniqueness against every stored sender/receiver (e.g. via
+    /// the position index `fading-core`'s mutation batches maintain).
+    /// Runs the same scalar checks as [`append`](Self::append) —
+    /// capacity, finite coordinates, nonzero length, positive rate —
+    /// but skips the `O(N)` duplicate-position scan, so a `k`-link
+    /// batch costs `O(k)` instead of `O(kN)`.
+    ///
+    /// Appending a duplicate position through this method violates the
+    /// set's invariant (two links sharing a sender/receiver); it is the
+    /// caller's contract to prevent that.
+    pub fn append_prechecked(
+        &mut self,
+        sender: Point2,
+        receiver: Point2,
+        rate: f64,
+    ) -> Result<LinkId, crate::error::ValidationError> {
+        use crate::error::ValidationError as E;
+        if self.links.len() >= u32::MAX as usize {
+            return Err(E::CapacityExceeded {
+                requested: self.links.len() + 1,
+            });
+        }
+        let id = LinkId(self.links.len() as u32);
+        if !(sender.x.is_finite()
+            && sender.y.is_finite()
+            && receiver.x.is_finite()
+            && receiver.y.is_finite())
+        {
+            return Err(E::NonFiniteCoordinate(id));
+        }
+        if sender.distance_sq(&receiver) == 0.0 {
+            return Err(E::ZeroLengthLink(id));
+        }
+        if !(rate.is_finite() && rate > 0.0) {
+            return Err(E::BadRate { id, rate });
+        }
+        self.links.push(Link::new(id, sender, receiver, rate));
+        Ok(id)
     }
 
     /// Appends a link in place and returns its id (`len() - 1` after

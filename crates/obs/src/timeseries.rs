@@ -57,8 +57,12 @@ pub struct SlotRecord {
     pub abandoned: u64,
     /// Total queued packets after service.
     pub backlog: u64,
-    /// Wall time in the mutate phase (link arrivals + departures).
+    /// Wall time building the slot's mutation transaction (departure
+    /// scan + arrival sampling).
     pub mutate_ns: u64,
+    /// Wall time committing the transaction (`Problem::apply` plus the
+    /// receipt-driven state bookkeeping).
+    pub commit_ns: u64,
     /// Wall time in the dense `O(N)` bookkeeping walks.
     pub envelope_ns: u64,
     /// Wall time restricting to the backlogged sub-problem.
@@ -72,9 +76,14 @@ pub struct SlotRecord {
 }
 
 impl SlotRecord {
-    /// Sum of the five attributed phase timings.
+    /// Sum of the six attributed phase timings.
     pub fn phase_sum_ns(&self) -> u64 {
-        self.mutate_ns + self.envelope_ns + self.restrict_ns + self.schedule_ns + self.service_ns
+        self.mutate_ns
+            + self.commit_ns
+            + self.envelope_ns
+            + self.restrict_ns
+            + self.schedule_ns
+            + self.service_ns
     }
 
     /// Appends this record as one JSON line (including `\n`) to `out`.
@@ -101,9 +110,11 @@ impl SlotRecord {
         if timings {
             let _ = write!(
                 out,
-                ",\"mutate_ns\":{},\"envelope_ns\":{},\"restrict_ns\":{},\
-                 \"schedule_ns\":{},\"service_ns\":{},\"slot_ns\":{}",
+                ",\"mutate_ns\":{},\"commit_ns\":{},\"envelope_ns\":{},\
+                 \"restrict_ns\":{},\"schedule_ns\":{},\"service_ns\":{},\
+                 \"slot_ns\":{}",
                 self.mutate_ns,
+                self.commit_ns,
                 self.envelope_ns,
                 self.restrict_ns,
                 self.schedule_ns,
@@ -255,11 +266,12 @@ mod tests {
             abandoned: 0,
             backlog: 31,
             mutate_ns: 100,
+            commit_ns: 150,
             envelope_ns: 200,
             restrict_ns: 300,
             schedule_ns: 400,
             service_ns: 500,
-            slot_ns: 1550,
+            slot_ns: 1700,
         }
     }
 
@@ -307,9 +319,11 @@ mod tests {
     fn timing_line_appends_ns_fields_and_stays_valid_json() {
         let line = SlotSeries::render_line(&rec(3), true);
         assert!(line.contains("\"mutate_ns\":100"));
-        assert!(line.contains("\"slot_ns\":1550"));
+        assert!(line.contains("\"commit_ns\":150"));
+        assert!(line.contains("\"slot_ns\":1700"));
         let v = serde_json::parse_node_str(line.trim()).unwrap();
         assert_eq!(v.get("slot"), Some(&serde::Node::U64(3)));
+        assert_eq!(v.get("commit_ns"), Some(&serde::Node::U64(150)));
         assert_eq!(v.get("service_ns"), Some(&serde::Node::U64(500)));
     }
 
@@ -337,7 +351,7 @@ mod tests {
     }
 
     #[test]
-    fn phase_sum_adds_the_five_phases() {
-        assert_eq!(rec(0).phase_sum_ns(), 1500);
+    fn phase_sum_adds_the_six_phases() {
+        assert_eq!(rec(0).phase_sum_ns(), 1650);
     }
 }

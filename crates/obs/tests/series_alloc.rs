@@ -52,6 +52,7 @@ fn record_for(slot: u64) -> SlotRecord {
         abandoned: 1,
         backlog: 10_000 + slot,
         mutate_ns: 11_111,
+        commit_ns: 9_999,
         envelope_ns: 22_222,
         restrict_ns: 33_333,
         schedule_ns: 44_444,

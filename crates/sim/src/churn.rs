@@ -8,21 +8,27 @@
 //! Bernoulli packet arrivals on the live links, per-slot scheduling of
 //! the backlogged sub-instance under a [`ServicePolicy`], and Rayleigh
 //! channel realizations deciding delivery — all seeded and
-//! deterministic. Topology changes go through
-//! [`Problem::add_links`] / [`Problem::remove_links`] (never a
-//! rebuild), with a [`LinkIdMap`] keeping stable external handles
-//! across the dense renumbering. See `docs/online.md`.
+//! deterministic. Each slot's topology changes are one transaction: the
+//! engine queues departures and arrivals into a [`MutationBatch`] and
+//! commits it with a single [`Problem::apply`] (one envelope
+//! reconciliation, one spatial-index patch pass — never a rebuild),
+//! with a [`LinkIdMap`] keeping stable external handles across the
+//! dense renumbering. The backlog-active sub-instance is cached and
+//! patched incrementally across slots ([`SubCache`] internally) instead
+//! of being restricted from scratch. See `docs/online.md`.
 
 use crate::queueing::ServicePolicy;
 use crate::slot::simulate_slot;
-use fading_core::{LinkIdMap, LinkSpec, Problem, SchedCtx, Scheduler};
+use fading_core::{
+    LinkIdMap, LinkSpec, MutationBatch, MutationError, Problem, SchedCtx, Scheduler,
+};
 use fading_math::{seeded_rng, split_seed, OnlineStats};
 use fading_net::{LinkId, UniformGenerator};
 use fading_obs::{FlightConfig, FlightRecorder, Histogram, SlotRecord, SlotSeries, TraceEvent};
 use rand::rngs::StdRng;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
@@ -143,18 +149,27 @@ struct LinkState {
 }
 
 /// Phase indices for the per-slot attribution (see [`PhaseTimer`]).
+/// `mutate` is building the slot's transaction (departure scan +
+/// arrival sampling); `commit` is [`Problem::apply`] plus the engine
+/// state bookkeeping the receipt drives.
 const PH_MUTATE: usize = 0;
-const PH_ENVELOPE: usize = 1;
-const PH_RESTRICT: usize = 2;
-const PH_SCHEDULE: usize = 3;
-const PH_SERVICE: usize = 4;
-const PHASE_NAMES: [&str; 5] = ["mutate", "envelope", "restrict", "schedule", "service"];
+const PH_COMMIT: usize = 1;
+const PH_ENVELOPE: usize = 2;
+const PH_RESTRICT: usize = 3;
+const PH_SCHEDULE: usize = 4;
+const PH_SERVICE: usize = 5;
+/// Number of attributed phases.
+const PHASES: usize = 6;
+const PHASE_NAMES: [&str; PHASES] = [
+    "mutate", "commit", "envelope", "restrict", "schedule", "service",
+];
 
-/// Static, pre-registered histogram names for the five phases —
+/// Static, pre-registered histogram names for the six phases —
 /// resolved once at arm time so the hot path never touches the
 /// registry lock.
-const PHASE_HIST_NAMES: [&str; 5] = [
+const PHASE_HIST_NAMES: [&str; PHASES] = [
     "churn.phase.mutate",
+    "churn.phase.commit",
     "churn.phase.envelope",
     "churn.phase.restrict",
     "churn.phase.schedule",
@@ -174,7 +189,7 @@ struct PhaseTimer {
     on: bool,
     started: Instant,
     mark: Instant,
-    acc: [u64; 5],
+    acc: [u64; PHASES],
 }
 
 impl PhaseTimer {
@@ -184,7 +199,7 @@ impl PhaseTimer {
             on,
             started: now,
             mark: now,
-            acc: [0; 5],
+            acc: [0; PHASES],
         }
     }
 
@@ -224,10 +239,10 @@ struct FlightBox {
 pub struct ChurnTelemetry {
     series: Option<SlotSeries>,
     flight: Option<FlightBox>,
-    phase_hists: [Histogram; 5],
+    phase_hists: [Histogram; PHASES],
     slot_hist: Histogram,
     /// Cumulative per-phase ns, for the live phase-split view.
-    phase_totals: [u64; 5],
+    phase_totals: [u64; PHASES],
     slot_ns_total: u64,
     /// Cumulative packet totals for the conservation audit.
     arrived_total: u64,
@@ -256,7 +271,7 @@ impl ChurnTelemetry {
                 fading_obs::histogram(PHASE_HIST_NAMES[i], &PHASE_HIST_BOUNDS)
             }),
             slot_hist: fading_obs::histogram("churn.slot_ns", &PHASE_HIST_BOUNDS),
-            phase_totals: [0; 5],
+            phase_totals: [0; PHASES],
             slot_ns_total: 0,
             arrived_total: 0,
             delivered_total: 0,
@@ -281,12 +296,12 @@ impl ChurnTelemetry {
     }
 
     /// Cumulative per-phase share of attributed time, as integer
-    /// percentages in phase order (mutate, envelope, restrict,
+    /// percentages in phase order (mutate, commit, envelope, restrict,
     /// schedule, service). Zero until the first timed slot.
-    pub fn phase_split(&self) -> [u32; 5] {
+    pub fn phase_split(&self) -> [u32; PHASES] {
         let total: u64 = self.phase_totals.iter().sum();
         if total == 0 {
-            return [0; 5];
+            return [0; PHASES];
         }
         std::array::from_fn(|i| (self.phase_totals[i] * 100 / total) as u32)
     }
@@ -304,6 +319,80 @@ impl ChurnTelemetry {
         }
         let _ = write!(out, " · {}", self.health);
     }
+}
+
+/// Declarative telemetry selection for [`ChurnEngine::arm`]: choose a
+/// slot series, a flight recorder, both, or neither (bare phase
+/// attribution) and arm the whole bundle in one call. Replaces the
+/// `arm_series` / `arm_flight` / `arm_phases` trio.
+///
+/// ```ignore
+/// engine.arm(
+///     TelemetryConfig::new()
+///         .series(SlotSeries::in_memory(SeriesConfig::default()))
+///         .flight(FlightConfig::default(), Some(out_dir)),
+/// );
+/// ```
+#[derive(Default)]
+pub struct TelemetryConfig {
+    series: Option<SlotSeries>,
+    flight: Option<(FlightConfig, Option<PathBuf>)>,
+}
+
+impl TelemetryConfig {
+    /// An empty config — arming it still switches the engine onto the
+    /// timed path (phase attribution + histograms), nothing more.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Attaches a slot-series recorder.
+    pub fn series(mut self, series: SlotSeries) -> Self {
+        self.series = Some(series);
+        self
+    }
+
+    /// Attaches a flight recorder. `out_dir` is where the post-mortem
+    /// bundle lands when the anomaly detector fires (`None` detects
+    /// but never dumps). When `cfg.capture_trace` is on the engine runs
+    /// its scheduler traced each slot, so don't combine with an
+    /// external `--trace-out` drain: the flight recorder owns the
+    /// global trace ring.
+    pub fn flight(mut self, cfg: FlightConfig, out_dir: Option<PathBuf>) -> Self {
+        self.flight = Some((cfg, out_dir));
+        self
+    }
+}
+
+/// The cached backlog-active sub-problem, reused across slots.
+///
+/// `Problem::restrict` from scratch is `O(k·degree)` in the member
+/// count every slot; under churn the backlog set barely moves slot to
+/// slot, so the engine keeps the restricted sub-problem alive and
+/// patches it with a [`MutationBatch`] of exactly the links that
+/// entered or left the backlog (falling back to a full restrict when
+/// the diff exceeds half the membership). Soundness: a member link's
+/// geometry is immutable while it lives, engine external ids are never
+/// reused, and a restriction depends only on its members — so equality
+/// of the member-ext set means the cached sub-problem is still exact,
+/// regardless of what other links churned (the cache is stamp-keyed
+/// only to observe *whether* the main problem moved, not to rebuild).
+#[derive(Debug)]
+struct SubCache {
+    /// The restricted sub-instance, patched in place.
+    sub: Problem,
+    /// Mirror of the sub's dense renumbering (sub-external ↔ sub-dense).
+    map: LinkIdMap,
+    /// Sub-external id → engine-external id.
+    main_of: HashMap<u64, u64>,
+    /// Engine-external id → sub-external id (the membership set).
+    sub_of: HashMap<u64, u64>,
+    /// Reusable per-slot patch transaction.
+    batch: MutationBatch,
+    /// Engine-external ids of the batch's queued adds, in slot order.
+    pending: Vec<u64>,
+    /// Main-problem stamp the cache was last synced against.
+    synced: u64,
 }
 
 /// A long-running scheduling engine over a live, churning instance.
@@ -327,8 +416,13 @@ pub struct ChurnEngine {
     ctx: SchedCtx,
     slot: u64,
     // scratch buffers reused across slots
-    departing: Vec<LinkId>,
+    batch: MutationBatch,
+    arrival_departs: Vec<u64>,
     backlogged: Vec<LinkId>,
+    desired: HashSet<u64>,
+    rates: Vec<f64>,
+    /// Cached backlog-active sub-problem (see [`SubCache`]).
+    sub: Option<SubCache>,
     /// Live telemetry (slot series / flight recorder / phase
     /// attribution); `None` keeps the hot loop on the untimed path.
     telemetry: Option<Box<ChurnTelemetry>>,
@@ -388,8 +482,12 @@ impl ChurnEngine {
             packet_rng,
             ctx,
             slot: 0,
-            departing: Vec::new(),
+            batch: MutationBatch::new(),
+            arrival_departs: Vec::new(),
             backlogged: Vec::new(),
+            desired: HashSet::new(),
+            rates: Vec::new(),
+            sub: None,
             telemetry: None,
             detail: String::new(),
         }
@@ -400,36 +498,45 @@ impl ChurnEngine {
         &self.problem
     }
 
-    /// Arms the slot-series recorder. Also switches the engine onto
-    /// the timed path (phase attribution + histograms).
-    pub fn arm_series(&mut self, series: SlotSeries) {
-        self.telemetry
-            .get_or_insert_with(|| Box::new(ChurnTelemetry::new()))
-            .series = Some(series);
+    /// Arms live telemetry as declared by one [`TelemetryConfig`].
+    /// Arming anything — even an empty config — switches the engine
+    /// onto the timed path (phase attribution + histograms). Calling
+    /// again merges: components present in `cfg` replace their armed
+    /// counterparts, absent ones are left as they are.
+    pub fn arm(&mut self, cfg: TelemetryConfig) {
+        let tel = self
+            .telemetry
+            .get_or_insert_with(|| Box::new(ChurnTelemetry::new()));
+        if let Some(series) = cfg.series {
+            tel.series = Some(series);
+        }
+        if let Some((fcfg, out_dir)) = cfg.flight {
+            tel.flight = Some(FlightBox {
+                rec: FlightRecorder::new(fcfg),
+                out_dir,
+                last_sub: None,
+                postmortem: None,
+            });
+        }
     }
 
-    /// Arms the flight recorder. `out_dir` is where the post-mortem
-    /// bundle lands when the anomaly detector fires (`None` detects
-    /// but never dumps — used by the bench overhead probe). When
-    /// `cfg.capture_trace` is on the engine runs its scheduler traced
-    /// each slot, so don't combine with an external `--trace-out`
-    /// drain: the flight recorder owns the global trace ring.
+    /// Arms the slot-series recorder.
+    #[deprecated(note = "use `arm(TelemetryConfig::new().series(series))`")]
+    pub fn arm_series(&mut self, series: SlotSeries) {
+        self.arm(TelemetryConfig::new().series(series));
+    }
+
+    /// Arms the flight recorder.
+    #[deprecated(note = "use `arm(TelemetryConfig::new().flight(cfg, out_dir))`")]
     pub fn arm_flight(&mut self, cfg: FlightConfig, out_dir: Option<PathBuf>) {
-        self.telemetry
-            .get_or_insert_with(|| Box::new(ChurnTelemetry::new()))
-            .flight = Some(FlightBox {
-            rec: FlightRecorder::new(cfg),
-            out_dir,
-            last_sub: None,
-            postmortem: None,
-        });
+        self.arm(TelemetryConfig::new().flight(cfg, out_dir));
     }
 
     /// Arms the timed path (phase attribution + histograms) without a
     /// series or flight recorder — the minimal telemetry footprint.
+    #[deprecated(note = "use `arm(TelemetryConfig::new())`")]
     pub fn arm_phases(&mut self) {
-        self.telemetry
-            .get_or_insert_with(|| Box::new(ChurnTelemetry::new()));
+        self.arm(TelemetryConfig::new());
     }
 
     /// The armed telemetry, if any.
@@ -485,68 +592,69 @@ impl ChurnEngine {
         let t = self.slot;
         let mut abandoned = 0u64;
 
-        // Departures: collect expired links in dense order (the only
-        // deterministic iteration order), then remove in one batch —
-        // `remove_links` picks the renumbering-safe descending order
-        // and reports it so the id map can mirror each swap.
-        self.departing.clear();
+        // Build the slot's transaction. Departures: collect expired
+        // links in dense order (the only deterministic iteration
+        // order), queued by external id. Arrivals: Poisson count,
+        // geometry sampled exactly like the seed generator's (sender
+        // uniform in the region, length U[lo, hi], uniform direction).
+        self.batch.clear();
+        self.arrival_departs.clear();
         for dense in 0..self.map.len() as u32 {
             let ext = self.map.external(LinkId(dense));
             if self.states[&ext].departs_at <= t {
-                self.departing.push(LinkId(dense));
+                self.batch.remove(ext);
             }
         }
-        timer.lap(PH_ENVELOPE);
-        let link_departures = self.departing.len() as u32;
-        if !self.departing.is_empty() {
-            let order = self.problem.remove_links(&self.departing);
-            for dense in order {
-                let ext = self.map.on_swap_remove(dense);
-                let state = self.states.remove(&ext).expect("state tracks map");
-                abandoned += state.queue.len() as u64;
-            }
-            fading_obs::counter!("sim.churn.link_departures").add(link_departures as u64);
-        }
-        timer.lap(PH_MUTATE);
-
-        // Arrivals: Poisson count, geometry sampled exactly like the
-        // seed generator's (sender uniform in the region, length
-        // U[lo, hi], uniform direction). Coordinate collisions are
-        // measure-zero but possible under adversarial seeds; resample.
+        let link_departures = self.batch.removes().len() as u32;
         let arrivals = poisson(self.cfg.link_arrival_rate, &mut self.churn_rng);
         for _ in 0..arrivals {
             let departs_at = exponential_departure(t, self.cfg.mean_lifetime, &mut self.churn_rng);
-            let mut tries = 0;
-            loop {
-                let side = self.geometry.side;
-                let s = fading_geom::Point2::new(
-                    self.churn_rng.gen_range(0.0..side),
-                    self.churn_rng.gen_range(0.0..side),
-                );
-                let d = self
-                    .churn_rng
-                    .gen_range(self.geometry.len_lo..=self.geometry.len_hi);
-                let theta = self.churn_rng.gen_range(0.0..std::f64::consts::TAU);
-                let spec = LinkSpec::new(s, s.offset_polar(d, theta));
-                if self.problem.add_links(&[spec]).is_ok() {
-                    let ext = self.map.on_add();
-                    self.states.insert(
-                        ext,
-                        LinkState {
-                            queue: VecDeque::new(),
-                            departs_at,
-                        },
-                    );
-                    break;
-                }
-                tries += 1;
-                assert!(tries < 100, "could not place an arriving link");
-            }
-        }
-        if arrivals > 0 {
-            fading_obs::counter!("sim.churn.link_arrivals").add(arrivals as u64);
+            let spec = sample_spec(&self.geometry, &mut self.churn_rng);
+            self.batch.add(spec);
+            self.arrival_departs.push(departs_at);
         }
         timer.lap(PH_MUTATE);
+
+        // Commit it: one `Problem::apply` — one envelope
+        // reconciliation and one spatial-index patch pass for the whole
+        // slot, with the id map mirrored inside the same transaction.
+        // Coordinate collisions are measure-zero but possible under
+        // adversarial seeds; resample exactly the rejected slot.
+        if !self.batch.is_empty() {
+            let mut tries = 0;
+            let receipt = loop {
+                match self.problem.apply(&self.batch, &mut self.map) {
+                    Ok(receipt) => break receipt,
+                    Err(MutationError::InvalidAdd { slot, .. }) => {
+                        tries += 1;
+                        assert!(tries < 100, "could not place an arriving link");
+                        let spec = sample_spec(&self.geometry, &mut self.churn_rng);
+                        self.batch.replace_add(slot, spec);
+                    }
+                    Err(e) => unreachable!("engine removes only live externals: {e}"),
+                }
+            };
+            for ext in &receipt.removed {
+                let state = self.states.remove(ext).expect("state tracks map");
+                abandoned += state.queue.len() as u64;
+            }
+            for (i, &ext) in receipt.added.iter().enumerate() {
+                self.states.insert(
+                    ext,
+                    LinkState {
+                        queue: VecDeque::new(),
+                        departs_at: self.arrival_departs[i],
+                    },
+                );
+            }
+            if link_departures > 0 {
+                fading_obs::counter!("sim.churn.link_departures").add(link_departures as u64);
+            }
+            if arrivals > 0 {
+                fading_obs::counter!("sim.churn.link_arrivals").add(arrivals as u64);
+            }
+        }
+        timer.lap(PH_COMMIT);
 
         // Packet arrivals on the live population, dense order.
         let mut packets_arrived = 0u32;
@@ -584,27 +692,16 @@ impl ChurnEngine {
                     backlog: backlogged_count,
                 }]);
             }
-            let (sub, mapping) = self.problem.restrict(&self.backlogged);
-            let sub = if policy == ServicePolicy::MaxWeight {
-                let weights: Vec<f64> = mapping
-                    .iter()
-                    .map(|orig| {
-                        let ext = self.map.external(*orig);
-                        (self.states[&ext].queue.len() as f64).max(1e-9)
-                    })
-                    .collect();
-                sub.with_link_rates(&weights)
-            } else {
-                sub
-            };
+            self.sync_sub(policy);
             timer.lap(PH_RESTRICT);
-            let schedule = scheduler.schedule_in(&sub, &mut self.ctx);
+            let cache = self.sub.as_ref().expect("sync_sub always leaves a cache");
+            let schedule = scheduler.schedule_in(&cache.sub, &mut self.ctx);
             timer.lap(PH_SCHEDULE);
             scheduled = schedule.len() as u32;
             let mut channel_rng = seeded_rng(split_seed(self.cfg.seed, t + 2));
-            let outcome = simulate_slot(&sub, &schedule, &mut channel_rng);
+            let outcome = simulate_slot(&cache.sub, &schedule, &mut channel_rng);
             for sub_id in outcome.successes {
-                let ext = self.map.external(mapping[sub_id.index()]);
+                let ext = cache.main_of[&cache.map.external(sub_id)];
                 if self
                     .states
                     .get_mut(&ext)
@@ -619,11 +716,17 @@ impl ChurnEngine {
             if capture {
                 fading_obs::trace::publish(vec![TraceEvent::SlotEnd {
                     slot: t,
-                    links: schedule.iter().map(|id| mapping[id.index()].0).collect(),
+                    links: schedule
+                        .iter()
+                        .map(|id| {
+                            let ext = cache.main_of[&cache.map.external(id)];
+                            self.map.dense(ext).expect("scheduled links are live").0
+                        })
+                        .collect(),
                 }]);
                 trace_events = fading_obs::take_trace().events;
                 fading_obs::set_tracing(false);
-                sub_for_flight = Some(sub);
+                sub_for_flight = Some(cache.sub.clone());
             }
             self.ctx.recycle(schedule);
             timer.lap(PH_SERVICE);
@@ -662,6 +765,7 @@ impl ChurnEngine {
                 abandoned,
                 backlog,
                 mutate_ns: timer.acc[PH_MUTATE],
+                commit_ns: timer.acc[PH_COMMIT],
                 envelope_ns: timer.acc[PH_ENVELOPE],
                 restrict_ns: timer.acc[PH_RESTRICT],
                 schedule_ns: timer.acc[PH_SCHEDULE],
@@ -671,6 +775,123 @@ impl ChurnEngine {
             self.finish_slot_telemetry(rec, trace_events, sub_for_flight);
         }
         out
+    }
+
+    /// Brings the cached backlog-active sub-problem in sync with
+    /// `self.backlogged`: patches it with exactly the links that
+    /// entered or left the backlog since last slot (one transactional
+    /// [`Problem::apply`] on the sub-instance), or restricts from
+    /// scratch when there is no cache yet or the membership diff
+    /// exceeds half the cached size. Afterwards the sub's rates carry
+    /// this slot's scheduling weights (queue lengths under MaxWeight,
+    /// the links' own rates otherwise), set in place.
+    fn sync_sub(&mut self, policy: ServicePolicy) {
+        self.desired.clear();
+        for dense in &self.backlogged {
+            self.desired.insert(self.map.external(*dense));
+        }
+        // Diff the desired membership against the cache. Links whose
+        // geometry the cache copied are immutable while alive and
+        // external ids are never reused, so an unchanged member needs
+        // no work no matter how much the main problem churned around
+        // it; the diff IS the validity check. The main problem's stamp
+        // only classifies the outcome for telemetry: an empty diff at
+        // an unchanged stamp is a bit-identical reuse.
+        let rebuild = match self.sub.as_mut() {
+            None => true,
+            Some(cache) => {
+                cache.batch.clear();
+                cache.pending.clear();
+                for (ext, sub_ext) in &cache.sub_of {
+                    if !self.desired.contains(ext) {
+                        cache.batch.remove(*sub_ext);
+                    }
+                }
+                for dense in &self.backlogged {
+                    let ext = self.map.external(*dense);
+                    if !cache.sub_of.contains_key(&ext) {
+                        let link = self.problem.links().link(*dense);
+                        cache.batch.add(
+                            LinkSpec::new(link.sender, link.receiver)
+                                .with_rate(link.rate)
+                                .with_power_scale(self.problem.power_scale(*dense)),
+                        );
+                        cache.pending.push(ext);
+                    }
+                }
+                if 2 * cache.batch.len() > cache.map.len().max(1) {
+                    true
+                } else {
+                    if cache.batch.is_empty() {
+                        let tag = if cache.synced == self.problem.stamp() {
+                            "sim.churn.sub.reuses"
+                        } else {
+                            "sim.churn.sub.holds"
+                        };
+                        fading_obs::counter(tag).add(1);
+                    } else {
+                        let receipt = cache
+                            .sub
+                            .apply(&cache.batch, &mut cache.map)
+                            .expect("sub patches copy live links");
+                        for sub_ext in &receipt.removed {
+                            let ext = cache.main_of.remove(sub_ext).expect("membership mirrored");
+                            cache.sub_of.remove(&ext);
+                        }
+                        for (i, &sub_ext) in receipt.added.iter().enumerate() {
+                            cache.main_of.insert(sub_ext, cache.pending[i]);
+                            cache.sub_of.insert(cache.pending[i], sub_ext);
+                        }
+                        fading_obs::counter!("sim.churn.sub.patches").add(1);
+                    }
+                    cache.synced = self.problem.stamp();
+                    false
+                }
+            }
+        };
+        if rebuild {
+            let (sub, mapping) = self.problem.restrict(&self.backlogged);
+            let k = mapping.len();
+            let mut main_of = HashMap::with_capacity(2 * k);
+            let mut sub_of = HashMap::with_capacity(2 * k);
+            for (i, orig) in mapping.iter().enumerate() {
+                let ext = self.map.external(*orig);
+                main_of.insert(i as u64, ext);
+                sub_of.insert(ext, i as u64);
+            }
+            let batch = self
+                .sub
+                .take()
+                .map(|c| {
+                    let mut b = c.batch;
+                    b.clear();
+                    b
+                })
+                .unwrap_or_default();
+            self.sub = Some(SubCache {
+                sub,
+                map: LinkIdMap::with_len(k),
+                main_of,
+                sub_of,
+                batch,
+                pending: Vec::new(),
+                synced: self.problem.stamp(),
+            });
+            fading_obs::counter!("sim.churn.sub.rebuilds").add(1);
+        }
+        let cache = self.sub.as_mut().expect("cache just synced");
+        self.rates.clear();
+        for dense in 0..cache.map.len() as u32 {
+            let ext = cache.main_of[&cache.map.external(LinkId(dense))];
+            self.rates.push(match policy {
+                ServicePolicy::MaxWeight => (self.states[&ext].queue.len() as f64).max(1e-9),
+                _ => {
+                    let main = self.map.dense(ext).expect("member is live");
+                    self.problem.links().link(main).rate
+                }
+            });
+        }
+        cache.sub.update_link_rates(&self.rates);
     }
 
     /// The telemetry tail of one slot: series, histograms, anomaly
@@ -688,7 +909,7 @@ impl ChurnEngine {
             h.record(timer_ns(&rec, i) as f64);
         }
         tel.slot_hist.record(rec.slot_ns as f64);
-        for i in 0..5 {
+        for i in 0..PHASES {
             tel.phase_totals[i] += timer_ns(&rec, i);
         }
         tel.slot_ns_total += rec.slot_ns;
@@ -807,6 +1028,7 @@ impl ChurnEngine {
 fn timer_ns(rec: &SlotRecord, phase: usize) -> u64 {
     match phase {
         PH_MUTATE => rec.mutate_ns,
+        PH_COMMIT => rec.commit_ns,
         PH_ENVELOPE => rec.envelope_ns,
         PH_RESTRICT => rec.restrict_ns,
         PH_SCHEDULE => rec.schedule_ns,
@@ -894,6 +1116,17 @@ pub fn stability_frontier<S: Scheduler + ?Sized>(
         .collect()
 }
 
+/// Samples one arriving link's geometry exactly like the seed
+/// generator's law: sender uniform in the region, length
+/// `U[len_lo, len_hi]`, uniform direction.
+fn sample_spec(geometry: &UniformGenerator, rng: &mut StdRng) -> LinkSpec {
+    let side = geometry.side;
+    let s = fading_geom::Point2::new(rng.gen_range(0.0..side), rng.gen_range(0.0..side));
+    let d = rng.gen_range(geometry.len_lo..=geometry.len_hi);
+    let theta = rng.gen_range(0.0..std::f64::consts::TAU);
+    LinkSpec::new(s, s.offset_polar(d, theta))
+}
+
 /// Poisson sample by Knuth's product-of-uniforms method — exact, and
 /// `O(λ)` per draw, which is fine at per-slot link-arrival rates.
 fn poisson(lambda: f64, rng: &mut StdRng) -> u32 {
@@ -977,9 +1210,10 @@ mod tests {
 
     #[test]
     fn engine_state_matches_a_fresh_rebuild_every_step() {
-        // The live problem is only ever touched by add_links /
-        // remove_links; after a burst of churn it must still be
-        // bit-identical to a from-scratch build over its own links.
+        // The live problem is only ever touched by per-slot
+        // `Problem::apply` transactions; after a burst of churn it must
+        // still be bit-identical to a from-scratch build over its own
+        // links.
         let mut e = engine_sized(
             20,
             ChurnConfig {
@@ -1002,6 +1236,68 @@ mod tests {
         .backend(p.backend_choice())
         .build();
         assert_eq!(p, &rebuilt);
+    }
+
+    #[test]
+    fn sub_cache_mirrors_the_backlogged_restriction() {
+        // The incrementally patched sub-problem must stay an exact
+        // restriction: same membership as this slot's backlog, each
+        // member's geometry identical to its live counterpart, and the
+        // whole sub bit-equivalent to a fresh build over its own links
+        // (rates included — MaxWeight rewrites them in place each
+        // slot, so the weights ride along into the rebuild).
+        let mut e = engine(cfg(150));
+        let mut patched_slots = 0;
+        for _ in 0..150 {
+            e.step(&GreedyRate, ServicePolicy::MaxWeight);
+            if e.backlogged.is_empty() {
+                continue;
+            }
+            let cache = e.sub.as_ref().expect("backlog scheduled ⇒ cache");
+            patched_slots += 1;
+            assert_eq!(cache.sub.len(), e.backlogged.len());
+            assert_eq!(cache.map.len(), cache.sub.len());
+            assert_eq!(cache.main_of.len(), cache.sub.len());
+            let mut want: Vec<u64> = e.backlogged.iter().map(|d| e.map.external(*d)).collect();
+            let mut got: Vec<u64> = cache.sub_of.keys().copied().collect();
+            want.sort_unstable();
+            got.sort_unstable();
+            assert_eq!(want, got, "cache membership drifted from the backlog");
+            for dense in 0..cache.sub.len() as u32 {
+                let sub_link = cache.sub.links().link(LinkId(dense));
+                let ext = cache.main_of[&cache.map.external(LinkId(dense))];
+                let main_link = e.problem.links().link(e.map.dense(ext).expect("live"));
+                assert_eq!(sub_link.sender, main_link.sender);
+                assert_eq!(sub_link.receiver, main_link.receiver);
+            }
+            let p = &cache.sub;
+            let rebuilt = Problem::builder(
+                fading_net::LinkSet::new(*p.links().region(), p.links().links().to_vec()),
+                *p.params(),
+            )
+            .epsilon(p.epsilon())
+            .backend(p.backend_choice())
+            .build();
+            assert_eq!(p, &rebuilt, "patched sub-problem diverged from rebuild");
+        }
+        assert!(patched_slots > 50, "backlog was almost always empty");
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_arm_shims_still_arm() {
+        let mut e = engine(cfg(10));
+        e.arm_phases();
+        assert!(e.telemetry().is_some());
+        e.arm_series(SlotSeries::in_memory(fading_obs::SeriesConfig::default()));
+        e.arm_flight(FlightConfig::default(), None);
+        for _ in 0..10 {
+            e.step(&GreedyRate, ServicePolicy::MaxWeight);
+        }
+        let tel = e.take_telemetry().expect("armed");
+        assert!(tel.series().is_some());
+        assert_eq!(tel.series().unwrap().recorded(), 10);
+        assert_eq!(tel.health(), "ok");
     }
 
     #[test]
@@ -1074,10 +1370,12 @@ mod tests {
         // preempted slot cannot fail the audit). The ring always keeps
         // timings, regardless of the stream's determinism mode.
         let mut e = engine(cfg(120));
-        e.arm_series(SlotSeries::in_memory(fading_obs::SeriesConfig {
-            capacity: 200,
-            ..Default::default()
-        }));
+        e.arm(
+            TelemetryConfig::new().series(SlotSeries::in_memory(fading_obs::SeriesConfig {
+                capacity: 200,
+                ..Default::default()
+            })),
+        );
         for _ in 0..120 {
             e.step(&GreedyRate, ServicePolicy::MaxWeight);
         }
@@ -1108,10 +1406,12 @@ mod tests {
         // the engine returned for that slot.
         let run = |check_slots: bool| -> String {
             let mut e = engine(cfg(100));
-            e.arm_series(SlotSeries::in_memory(fading_obs::SeriesConfig {
-                capacity: 128,
-                ..Default::default()
-            }));
+            e.arm(
+                TelemetryConfig::new().series(SlotSeries::in_memory(fading_obs::SeriesConfig {
+                    capacity: 128,
+                    ..Default::default()
+                })),
+            );
             for _ in 0..100 {
                 let slot = e.step(&GreedyRate, ServicePolicy::MaxWeight);
                 if check_slots {
@@ -1164,7 +1464,7 @@ mod tests {
                 seed: 23,
             },
         );
-        e.arm_flight(
+        e.arm(TelemetryConfig::new().flight(
             FlightConfig {
                 capacity: 16,
                 growth_window: 6,
@@ -1173,7 +1473,7 @@ mod tests {
                 ..Default::default()
             },
             Some(dir.clone()),
-        );
+        ));
         let mut fired_at = None;
         for t in 0..400 {
             e.step(&GreedyRate, ServicePolicy::MaxWeight);
@@ -1255,7 +1555,7 @@ mod tests {
             packet_prob: 0.5, // busy enough that every slot schedules
             ..cfg(80)
         });
-        e.arm_flight(
+        e.arm(TelemetryConfig::new().flight(
             FlightConfig {
                 stall_factor: 4.0,
                 min_stall_ns: 2_000_000, // 2ms floor; the sleep is 30ms
@@ -1265,7 +1565,7 @@ mod tests {
                 ..Default::default()
             },
             None, // detect, don't dump
-        );
+        ));
         let sleepy = Sleepy {
             calls: std::sync::atomic::AtomicU64::new(0),
         };
@@ -1298,7 +1598,7 @@ mod tests {
             packet_prob: 0.6,
             ..cfg(60)
         });
-        e.arm_flight(
+        e.arm(TelemetryConfig::new().flight(
             FlightConfig {
                 zero_delivery_window: 5,
                 growth_window: u32::MAX,
@@ -1307,7 +1607,7 @@ mod tests {
                 ..Default::default()
             },
             None,
-        );
+        ));
         for _ in 0..60 {
             e.step(&Noop, ServicePolicy::PlainRates);
             if e.health() != "ok" {

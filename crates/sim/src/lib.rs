@@ -30,6 +30,7 @@ pub mod slot;
 pub use batch::BatchRunner;
 pub use churn::{
     stability_frontier, ChurnConfig, ChurnEngine, ChurnResult, ChurnSlot, ChurnTelemetry,
+    TelemetryConfig,
 };
 pub use config::ExperimentConfig;
 pub use convergence::{convergence_trace, trials_for_ci, TracePoint};
